@@ -1,0 +1,115 @@
+// Figure 1: cumulative distribution of node power consumption for 612
+// Haswell nodes of the Taurus HPC system over a production year.
+//
+// Paper (measured on the real fleet): a steep incline between 50 W and
+// 100 W created by idle power, a long tail, and a maximum of 359.9 W.
+//
+// Substitution: we have no production telemetry, so a synthetic fleet of
+// 612 simulated Haswell nodes runs a Markov workload mixture (idle /
+// interactive / partial / full HPC / stress) through the Fig. 2 power
+// model, sampled as 60 s means like the paper's aggregation.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "payload/compiler.hpp"
+#include "payload/mix.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fs2;
+
+namespace {
+
+enum class NodeState { kIdle, kInteractive, kPartialLoad, kFullLoad, kStress };
+constexpr int kStates = 5;
+
+// Row-stochastic transition matrix per 60 s step: states are sticky (HPC
+// jobs run for hours), with occasional bursts.
+constexpr double kTransitions[kStates][kStates] = {
+    {0.970, 0.015, 0.010, 0.004, 0.001},  // idle
+    {0.050, 0.920, 0.020, 0.009, 0.001},  // interactive
+    {0.015, 0.010, 0.950, 0.024, 0.001},  // partial load
+    {0.008, 0.004, 0.020, 0.966, 0.002},  // full load
+    {0.050, 0.010, 0.020, 0.020, 0.900},  // stress test
+};
+
+NodeState step(NodeState state, Xoshiro256& rng) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (int next = 0; next < kStates; ++next) {
+    acc += kTransitions[static_cast<int>(state)][next];
+    if (u < acc) return static_cast<NodeState>(next);
+  }
+  return state;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1: power CDF of 612 Haswell nodes (synthetic fleet) ===\n\n");
+
+  const sim::Simulator simulator(sim::MachineConfig::haswell_e5_2680v3_2s(0));
+  const auto caches = arch::CacheHierarchy::haswell_ep();
+  const auto& mix = payload::find_function("FUNC_FMA_256_HASWELL").mix;
+
+  // Representative operating points per state (threads scale occupancy).
+  auto payload_power = [&](const char* groups, int threads) {
+    const auto stats =
+        payload::analyze_payload(mix, payload::InstructionGroups::parse(groups), caches);
+    sim::RunConditions cond;
+    cond.freq_mhz = 2500;
+    cond.threads = threads;
+    return simulator.run(stats, cond).power_w;
+  };
+  const double state_power[kStates] = {
+      simulator.idle().power_w,
+      simulator.low_power_loop(2500).power_w,
+      payload_power("L1_LS:8,REG:8", 12),
+      payload_power("RAM_L:1,L3_LS:2,L2_LS:5,L1_LS:25,REG:12", 48),
+      payload_power("RAM_L:1,L3_LS:2,L2_LS:6,L1_LS:24,REG:12", 48),
+  };
+
+  // 612 nodes x 6 simulated days of 60 s means (scaled down from the
+  // paper's year to keep the bench fast; the distribution shape converges
+  // long before a year).
+  constexpr int kNodes = 612;
+  constexpr int kSteps = 6 * 24 * 60;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(kNodes) * kSteps);
+  Xoshiro256 rng(0xF16001);
+  for (int node = 0; node < kNodes; ++node) {
+    auto state = static_cast<NodeState>(rng.below(kStates));
+    for (int t = 0; t < kSteps; ++t) {
+      state = step(state, rng);
+      samples.push_back(state_power[static_cast<int>(state)] * (1.0 + 0.03 * rng.normal()));
+    }
+  }
+
+  const auto cdf = stats::cumulative_distribution(samples, 0.1);  // paper: 0.1 W bins
+  Table table({"power [W]", "proportion <="});
+  for (double threshold : {50.0, 75.0, 100.0, 150.0, 200.0, 250.0, 300.0, 340.0, 360.0}) {
+    const auto idx = std::min(static_cast<std::size_t>(threshold / 0.1), cdf.size() - 1);
+    table.add_row({strings::format("%.0f", threshold),
+                   strings::format("%.3f", cdf[idx].proportion)});
+  }
+  table.print(std::cout);
+
+  const double max_power = stats::max(samples);
+  const auto at = [&](double watts) {
+    const auto idx = std::min(static_cast<std::size_t>(watts / 0.1), cdf.size() - 1);
+    return cdf[idx].proportion;
+  };
+  std::printf("\nshape checks vs paper:\n");
+  std::printf("  steep idle incline 50-100 W: proportion rises %.2f -> %.2f  (paper: steep)\n",
+              at(50), at(100));
+  std::printf("  maximum node power: %.1f W                       (paper: 359.9 W)\n",
+              max_power);
+  std::printf("  samples: %zu node-minutes across %d nodes\n", samples.size(), kNodes);
+  return 0;
+}

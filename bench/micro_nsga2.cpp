@@ -1,0 +1,72 @@
+// Micro-benchmarks for the NSGA-II implementation, including the O(M N^2)
+// complexity claim of the fast non-dominated sort (Deb et al. 2002,
+// Sec. III-C: "runtime complexity of only O(M N^2)").
+
+#include <benchmark/benchmark.h>
+
+#include "tuning/nsga2.hpp"
+#include "util/rng.hpp"
+
+using namespace fs2;
+
+namespace {
+
+std::vector<tuning::Individual> random_population(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<tuning::Individual> population(n);
+  for (auto& ind : population) ind.objectives = {rng.uniform(0, 500), rng.uniform(0, 5)};
+  return population;
+}
+
+void BM_FastNonDominatedSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto population = random_population(n, 42);
+  for (auto _ : state) {
+    auto copy = population;
+    benchmark::DoNotOptimize(tuning::fast_non_dominated_sort(copy));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastNonDominatedSort)->RangeMultiplier(2)->Range(32, 512)->Complexity(
+    benchmark::oNSquared);
+
+void BM_CrowdingDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto population = random_population(n, 7);
+  std::vector<std::size_t> front(n);
+  for (std::size_t i = 0; i < n; ++i) front[i] = i;
+  for (auto _ : state) {
+    tuning::assign_crowding_distance(population, front);
+    benchmark::DoNotOptimize(population.data());
+  }
+}
+BENCHMARK(BM_CrowdingDistance)->Arg(64)->Arg(512);
+
+/// Cheap analytic problem so the benchmark isolates optimizer overhead.
+class AnalyticProblem : public tuning::Problem {
+ public:
+  std::size_t genome_length() const override { return 16; }
+  std::uint32_t gene_max(std::size_t) const override { return 100; }
+  std::size_t num_objectives() const override { return 2; }
+  std::string objective_name(std::size_t i) const override { return i ? "b" : "a"; }
+  std::vector<double> evaluate(const tuning::Genome& genome) override {
+    double sum = 0;
+    for (auto g : genome) sum += g;
+    return {sum, 1600.0 - sum};
+  }
+};
+
+void BM_Nsga2FullRun(benchmark::State& state) {
+  for (auto _ : state) {
+    AnalyticProblem problem;
+    tuning::Nsga2Config config;
+    config.individuals = static_cast<std::size_t>(state.range(0));
+    config.generations = 10;
+    tuning::Nsga2 optimizer(config);
+    benchmark::DoNotOptimize(optimizer.run(problem));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " individuals x 10 generations");
+}
+BENCHMARK(BM_Nsga2FullRun)->Arg(20)->Arg(40);
+
+}  // namespace

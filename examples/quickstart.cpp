@@ -1,0 +1,68 @@
+// Quickstart: the smallest end-to-end use of the fs2 public API on the
+// machine you are sitting at.
+//
+//   1. detect the host CPU and pick the matching instruction mix,
+//   2. JIT-compile the stress workload (instruction set I, unroll u,
+//      memory accesses M),
+//   3. run it on a few worker threads for two seconds,
+//   4. report loop throughput and the estimated IPC.
+//
+// Build: cmake --build build --target example_quickstart
+// Run:   ./build/examples/example_quickstart
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "arch/processor.hpp"
+#include "arch/topology.hpp"
+#include "kernel/thread_manager.hpp"
+#include "metrics/ipc_estimate.hpp"
+#include "payload/compiler.hpp"
+#include "payload/mix.hpp"
+
+int main() {
+  using namespace fs2;
+
+  // 1. Who are we running on?
+  const arch::ProcessorModel cpu = arch::detect_host();
+  std::printf("host: %s\n", cpu.describe().c_str());
+
+  const payload::FunctionDef& fn = payload::select_function(cpu);
+  std::printf("selected stress function: %s (%s)\n", fn.name.c_str(),
+              fn.mix.description.c_str());
+
+  // 2. Compile omega = (I, u, M). M comes from the function's tuned default;
+  //    pass your own InstructionGroups to experiment (see --avail).
+  const auto caches = arch::CacheHierarchy::from_sysfs();
+  const auto groups = payload::InstructionGroups::parse(fn.default_groups);
+  const auto workload = payload::compile_payload(fn.mix, groups, caches);
+  std::printf("compiled: u=%u, %u B loop, %u instructions/iteration\n",
+              workload.stats().unroll, workload.stats().loop_bytes,
+              workload.stats().instructions_per_iteration);
+
+  // 3. Stress four logical CPUs for two seconds.
+  const arch::Topology topology = arch::Topology::from_sysfs();
+  kernel::RunOptions options;
+  options.cpus = topology.worker_cpus(/*one_per_core=*/false);
+  if (options.cpus.size() > 4) options.cpus.resize(4);
+  kernel::ThreadManager manager(workload, options);
+
+  metrics::IpcEstimateMetric ipc([&manager] { return manager.total_iterations(); },
+                                 workload.stats().instructions_per_iteration,
+                                 /*assumed_mhz=*/2000.0,
+                                 static_cast<int>(options.cpus.size()));
+  manager.start();
+  ipc.begin();
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  const double estimated_ipc = ipc.sample();
+  manager.stop();
+
+  // 4. Report.
+  std::printf("executed %llu loop iterations on %zu workers in 2 s\n",
+              static_cast<unsigned long long>(manager.total_iterations()),
+              manager.num_workers());
+  std::printf("estimated IPC (at an assumed 2000 MHz): %.2f per core\n", estimated_ipc);
+  std::printf("\nnext steps: ./build/src/firestarter/fs2 --help\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "arch/cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::arch {
+
+const char* to_string(CacheType type) {
+  switch (type) {
+    case CacheType::kData: return "Data";
+    case CacheType::kInstruction: return "Instruction";
+    case CacheType::kUnified: return "Unified";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string read_line(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+/// Parse sysfs cache sizes like "32K", "512K", "16384K", "16M".
+std::size_t parse_size(const std::string& text) {
+  if (text.empty()) return 0;
+  std::size_t multiplier = 1;
+  std::string digits = text;
+  switch (text.back()) {
+    case 'K': multiplier = 1024; digits.pop_back(); break;
+    case 'M': multiplier = 1024 * 1024; digits.pop_back(); break;
+    case 'G': multiplier = 1024ull * 1024 * 1024; digits.pop_back(); break;
+    default: break;
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(digits)) * multiplier;
+  } catch (...) {
+    return 0;
+  }
+}
+
+/// Count CPUs in a shared_cpu_list like "0,64" or "0-3,64-67".
+int parse_cpu_list_count(const std::string& text) {
+  if (text.empty()) return 1;
+  int count = 0;
+  for (const auto& part : fs2::strings::split(text, ',')) {
+    const auto dash = part.find('-');
+    if (dash == std::string::npos) {
+      ++count;
+    } else {
+      try {
+        count += std::stoi(part.substr(dash + 1)) - std::stoi(part.substr(0, dash)) + 1;
+      } catch (...) {
+        ++count;
+      }
+    }
+  }
+  return std::max(count, 1);
+}
+
+}  // namespace
+
+CacheHierarchy CacheHierarchy::from_sysfs(int cpu, const std::string& sysfs_root) {
+  namespace fs = std::filesystem;
+  CacheHierarchy hierarchy;
+  const fs::path base = fs::path(sysfs_root) / "devices" / "system" / "cpu" /
+                        ("cpu" + std::to_string(cpu)) / "cache";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(base, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.compare(0, 5, "index") != 0) continue;
+    CacheLevel level;
+    try {
+      level.level = std::stoi(read_line(entry.path() / "level"));
+    } catch (...) {
+      continue;
+    }
+    const std::string type = read_line(entry.path() / "type");
+    if (type == "Data") level.type = CacheType::kData;
+    else if (type == "Instruction") level.type = CacheType::kInstruction;
+    else level.type = CacheType::kUnified;
+    level.size_bytes = parse_size(read_line(entry.path() / "size"));
+    const std::string line = read_line(entry.path() / "coherency_line_size");
+    if (!line.empty()) level.line_bytes = parse_size(line);
+    level.sharing = parse_cpu_list_count(read_line(entry.path() / "shared_cpu_list"));
+    hierarchy.levels_.push_back(level);
+  }
+  if (hierarchy.levels_.empty()) {
+    log::warn() << "no sysfs cache info for cpu" << cpu << "; assuming Zen 2 hierarchy";
+    return zen2();
+  }
+  std::sort(hierarchy.levels_.begin(), hierarchy.levels_.end(),
+            [](const CacheLevel& a, const CacheLevel& b) { return a.level < b.level; });
+  return hierarchy;
+}
+
+CacheHierarchy CacheHierarchy::zen2() {
+  CacheHierarchy h;
+  h.add({1, CacheType::kInstruction, 32 * 1024, 64, 2});
+  h.add({1, CacheType::kData, 32 * 1024, 64, 2});
+  h.add({2, CacheType::kUnified, 512 * 1024, 64, 2});
+  h.add({3, CacheType::kUnified, 16 * 1024 * 1024, 64, 8});  // per CCX (4 cores x SMT2)
+  return h;
+}
+
+CacheHierarchy CacheHierarchy::haswell_ep() {
+  CacheHierarchy h;
+  h.add({1, CacheType::kInstruction, 32 * 1024, 64, 2});
+  h.add({1, CacheType::kData, 32 * 1024, 64, 2});
+  h.add({2, CacheType::kUnified, 256 * 1024, 64, 2});
+  h.add({3, CacheType::kUnified, 30 * 1024 * 1024, 64, 24});  // 12 cores x SMT2
+  return h;
+}
+
+std::size_t CacheHierarchy::data_cache_size(int level) const {
+  for (const auto& c : levels_)
+    if (c.level == level && c.type != CacheType::kInstruction) return c.size_bytes;
+  return 0;
+}
+
+std::size_t CacheHierarchy::l1i_size() const {
+  for (const auto& c : levels_)
+    if (c.level == 1 && c.type != CacheType::kData) return c.size_bytes;
+  return 0;
+}
+
+}  // namespace fs2::arch

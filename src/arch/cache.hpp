@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fs2::arch {
+
+enum class CacheType { kData, kInstruction, kUnified };
+
+const char* to_string(CacheType type);
+
+/// One cache level as seen by one core.
+struct CacheLevel {
+  int level = 0;                  ///< 1, 2, 3
+  CacheType type = CacheType::kUnified;
+  std::size_t size_bytes = 0;
+  std::size_t line_bytes = 64;
+  int sharing = 1;                ///< logical CPUs sharing this cache
+};
+
+/// Per-core cache hierarchy. The payload compiler sizes its load/store
+/// buffers from this (e.g. L1 buffer = 2/3 of L1-D as in FIRESTARTER).
+class CacheHierarchy {
+ public:
+  static CacheHierarchy from_sysfs(int cpu = 0, const std::string& sysfs_root = "/sys");
+
+  /// The Table II hierarchy: 32 KiB L1-I + 32 KiB L1-D, 512 KiB L2,
+  /// 16 MiB L3 shared by 4 cores (one CCX).
+  static CacheHierarchy zen2();
+
+  /// The Fig. 2 hierarchy: 32 KiB L1, 256 KiB L2, 30 MiB L3 shared by 12.
+  static CacheHierarchy haswell_ep();
+
+  const std::vector<CacheLevel>& levels() const { return levels_; }
+
+  /// Size of the data cache at `level` (1-3); 0 if the level is absent.
+  std::size_t data_cache_size(int level) const;
+
+  /// Size of the instruction cache feeding the front-end (L1-I).
+  std::size_t l1i_size() const;
+
+  void add(CacheLevel level) { levels_.push_back(level); }
+
+ private:
+  std::vector<CacheLevel> levels_;
+};
+
+}  // namespace fs2::arch

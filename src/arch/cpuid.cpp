@@ -1,0 +1,96 @@
+#include "arch/cpuid.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace fs2::arch {
+
+CpuidRegs cpuid(std::uint32_t leaf, std::uint32_t subleaf) {
+  CpuidRegs regs;
+#if defined(__x86_64__) || defined(__i386__)
+  __cpuid_count(leaf, subleaf, regs.eax, regs.ebx, regs.ecx, regs.edx);
+#else
+  (void)leaf;
+  (void)subleaf;
+#endif
+  return regs;
+}
+
+std::string FeatureSet::to_string() const {
+  std::string out;
+  auto append = [&out](bool on, const char* name) {
+    if (!on) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(sse2, "sse2");
+  append(avx, "avx");
+  append(fma, "fma");
+  append(avx2, "avx2");
+  append(avx512f, "avx512f");
+  return out.empty() ? "none" : out;
+}
+
+namespace {
+
+CpuIdentity detect_identity() {
+  CpuIdentity id;
+  const CpuidRegs leaf0 = cpuid(0);
+  if (leaf0.eax == 0 && leaf0.ebx == 0) return id;  // non-x86 or CPUID unavailable
+
+  char vendor[13] = {};
+  auto put = [&vendor](std::uint32_t reg, int offset) {
+    for (int i = 0; i < 4; ++i) vendor[offset + i] = static_cast<char>((reg >> (8 * i)) & 0xff);
+  };
+  put(leaf0.ebx, 0);
+  put(leaf0.edx, 4);
+  put(leaf0.ecx, 8);
+  id.vendor = vendor;
+
+  const CpuidRegs leaf1 = cpuid(1);
+  const unsigned base_family = (leaf1.eax >> 8) & 0xf;
+  const unsigned base_model = (leaf1.eax >> 4) & 0xf;
+  const unsigned ext_family = (leaf1.eax >> 20) & 0xff;
+  const unsigned ext_model = (leaf1.eax >> 16) & 0xf;
+  id.stepping = leaf1.eax & 0xf;
+  id.family = base_family == 0xf ? base_family + ext_family : base_family;
+  id.model = (base_family == 0xf || base_family == 0x6) ? (ext_model << 4) + base_model : base_model;
+
+  id.features.sse2 = (leaf1.edx >> 26) & 1;
+  id.features.avx = (leaf1.ecx >> 28) & 1;
+  id.features.fma = (leaf1.ecx >> 12) & 1;
+
+  if (leaf0.eax >= 7) {
+    const CpuidRegs leaf7 = cpuid(7);
+    id.features.avx2 = (leaf7.ebx >> 5) & 1;
+    id.features.avx512f = (leaf7.ebx >> 16) & 1;
+  }
+
+  const CpuidRegs ext0 = cpuid(0x80000000u);
+  if (ext0.eax >= 0x80000004u) {
+    char brand[49] = {};
+    for (std::uint32_t leaf = 0; leaf < 3; ++leaf) {
+      const CpuidRegs r = cpuid(0x80000002u + leaf);
+      const std::uint32_t regs[4] = {r.eax, r.ebx, r.ecx, r.edx};
+      for (int w = 0; w < 4; ++w)
+        for (int i = 0; i < 4; ++i)
+          brand[leaf * 16 + static_cast<std::uint32_t>(w) * 4 + static_cast<std::uint32_t>(i)] =
+              static_cast<char>((regs[w] >> (8 * i)) & 0xff);
+    }
+    id.brand = brand;
+    // Trim leading spaces some CPUs pad with.
+    const auto first = id.brand.find_first_not_of(' ');
+    id.brand = first == std::string::npos ? "" : id.brand.substr(first);
+  }
+  return id;
+}
+
+}  // namespace
+
+const CpuIdentity& host_identity() {
+  static const CpuIdentity identity = detect_identity();
+  return identity;
+}
+
+}  // namespace fs2::arch

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fs2::arch {
+
+/// Raw result of one CPUID invocation.
+struct CpuidRegs {
+  std::uint32_t eax = 0;
+  std::uint32_t ebx = 0;
+  std::uint32_t ecx = 0;
+  std::uint32_t edx = 0;
+};
+
+/// Execute CPUID with the given leaf/subleaf. On non-x86 builds this
+/// returns all-zero registers, which downstream code treats as "no
+/// features" and falls back to portable paths.
+CpuidRegs cpuid(std::uint32_t leaf, std::uint32_t subleaf = 0);
+
+/// ISA feature flags relevant to stress-payload selection. Mirrors the
+/// dispatch set used by FIRESTARTER (SSE2 baseline up to AVX-512).
+struct FeatureSet {
+  bool sse2 = false;
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+
+  /// True if `other`'s requirements are satisfied by this feature set.
+  bool covers(const FeatureSet& other) const {
+    return (!other.sse2 || sse2) && (!other.avx || avx) && (!other.fma || fma) &&
+           (!other.avx2 || avx2) && (!other.avx512f || avx512f);
+  }
+
+  std::string to_string() const;
+};
+
+/// Identification of the running processor as reported by CPUID.
+struct CpuIdentity {
+  std::string vendor;       ///< "GenuineIntel", "AuthenticAMD", or "" off-x86
+  std::string brand;        ///< brand string (leaf 0x80000002..4), may be ""
+  unsigned family = 0;      ///< display family (incl. extended family)
+  unsigned model = 0;       ///< display model (incl. extended model)
+  unsigned stepping = 0;
+  FeatureSet features;
+};
+
+/// Query CPUID once and cache the result for the process lifetime.
+const CpuIdentity& host_identity();
+
+}  // namespace fs2::arch

@@ -1,0 +1,90 @@
+#include "arch/processor.hpp"
+
+#include "util/strings.hpp"
+
+namespace fs2::arch {
+
+const char* to_string(Microarch arch) {
+  switch (arch) {
+    case Microarch::kGeneric: return "generic";
+    case Microarch::kIntelNehalem: return "intel-nehalem";
+    case Microarch::kIntelSandyBridge: return "intel-sandybridge";
+    case Microarch::kIntelHaswell: return "intel-haswell";
+    case Microarch::kIntelSkylakeSp: return "intel-skylake-sp";
+    case Microarch::kAmdBulldozer: return "amd-bulldozer";
+    case Microarch::kAmdZen: return "amd-zen";
+    case Microarch::kAmdZen2: return "amd-zen2";
+  }
+  return "unknown";
+}
+
+std::string ProcessorModel::describe() const {
+  return strings::format("%s family %u model %u (%s, features: %s)",
+                         brand.empty() ? vendor.c_str() : brand.c_str(), family, model,
+                         to_string(microarch), features.to_string().c_str());
+}
+
+Microarch classify(const std::string& vendor, unsigned family, unsigned model) {
+  if (vendor == "GenuineIntel" && family == 6) {
+    switch (model) {
+      case 0x1a: case 0x1e: case 0x1f: case 0x2e:  // Nehalem
+      case 0x25: case 0x2c: case 0x2f:             // Westmere (same mix)
+        return Microarch::kIntelNehalem;
+      case 0x2a: case 0x2d:                        // Sandy Bridge
+      case 0x3a: case 0x3e:                        // Ivy Bridge
+        return Microarch::kIntelSandyBridge;
+      case 0x3c: case 0x3f: case 0x45: case 0x46:  // Haswell
+      case 0x3d: case 0x47: case 0x4f: case 0x56:  // Broadwell (same mix)
+        return Microarch::kIntelHaswell;
+      case 0x55:                                   // Skylake-SP / Cascade Lake
+        return Microarch::kIntelSkylakeSp;
+      default:
+        return Microarch::kGeneric;
+    }
+  }
+  if (vendor == "AuthenticAMD") {
+    if (family == 0x15) return Microarch::kAmdBulldozer;
+    if (family == 0x17) {
+      // Zen/Zen+ models are < 0x30; Zen 2 (Rome/Matisse) are 0x30..0x7f.
+      return model >= 0x30 ? Microarch::kAmdZen2 : Microarch::kAmdZen;
+    }
+    if (family == 0x19) return Microarch::kAmdZen2;  // Zen 3 reuses the Zen 2 mix here
+  }
+  return Microarch::kGeneric;
+}
+
+ProcessorModel detect_host() {
+  const CpuIdentity& id = host_identity();
+  ProcessorModel m;
+  m.vendor = id.vendor;
+  m.brand = id.brand;
+  m.family = id.family;
+  m.model = id.model;
+  m.features = id.features;
+  m.microarch = classify(id.vendor, id.family, id.model);
+  return m;
+}
+
+ProcessorModel epyc_7502_model() {
+  ProcessorModel m;
+  m.vendor = "AuthenticAMD";
+  m.brand = "AMD EPYC 7502 32-Core Processor";
+  m.family = 0x17;
+  m.model = 0x31;  // Rome
+  m.microarch = Microarch::kAmdZen2;
+  m.features = FeatureSet{.sse2 = true, .avx = true, .fma = true, .avx2 = true, .avx512f = false};
+  return m;
+}
+
+ProcessorModel xeon_e5_2680v3_model() {
+  ProcessorModel m;
+  m.vendor = "GenuineIntel";
+  m.brand = "Intel(R) Xeon(R) CPU E5-2680 v3 @ 2.50GHz";
+  m.family = 6;
+  m.model = 0x3f;  // Haswell-EP
+  m.microarch = Microarch::kIntelHaswell;
+  m.features = FeatureSet{.sse2 = true, .avx = true, .fma = true, .avx2 = true, .avx512f = false};
+  return m;
+}
+
+}  // namespace fs2::arch

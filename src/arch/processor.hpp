@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+#include "arch/cpuid.hpp"
+
+namespace fs2::arch {
+
+/// Microarchitecture families FIRESTARTER ships tuned instruction mixes
+/// for. `kGeneric` selects the widest payload the host's feature set
+/// supports (the FIRESTARTER 2 fallback behaviour).
+enum class Microarch {
+  kGeneric,
+  kIntelNehalem,
+  kIntelSandyBridge,
+  kIntelHaswell,
+  kIntelSkylakeSp,
+  kAmdBulldozer,
+  kAmdZen,
+  kAmdZen2,
+};
+
+const char* to_string(Microarch arch);
+
+/// Processor description used for payload dispatch: vendor/family/model
+/// mapped onto a known microarchitecture, plus the ISA feature set.
+struct ProcessorModel {
+  std::string vendor;
+  std::string brand;
+  unsigned family = 0;
+  unsigned model = 0;
+  Microarch microarch = Microarch::kGeneric;
+  FeatureSet features;
+
+  std::string describe() const;
+};
+
+/// Map vendor/family/model to a microarchitecture, mirroring the dispatch
+/// table FIRESTARTER uses (vendor + family + model check, Sec. III-A).
+Microarch classify(const std::string& vendor, unsigned family, unsigned model);
+
+/// Detect the host processor via CPUID.
+ProcessorModel detect_host();
+
+/// Construct the processor model for one of the paper's two testbeds;
+/// used when running against the simulator substrate.
+ProcessorModel epyc_7502_model();       ///< Table II system (Zen 2, family 23 model 49)
+ProcessorModel xeon_e5_2680v3_model();  ///< Fig. 2 system (Haswell, family 6 model 63)
+
+}  // namespace fs2::arch

@@ -1,0 +1,93 @@
+#include "arch/topology.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace fs2::arch {
+
+namespace {
+
+/// Read an integer from a sysfs file; returns `fallback` if unreadable.
+int read_int_file(const std::filesystem::path& path, int fallback) {
+  std::ifstream in(path);
+  int value = fallback;
+  if (in && (in >> value)) return value;
+  return fallback;
+}
+
+}  // namespace
+
+Topology Topology::from_sysfs(const std::string& sysfs_root) {
+  namespace fs = std::filesystem;
+  Topology topo;
+  const fs::path cpu_dir = fs::path(sysfs_root) / "devices" / "system" / "cpu";
+
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cpu_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.compare(0, 3, "cpu") != 0) continue;
+    if (!std::all_of(name.begin() + 3, name.end(), [](char c) { return c >= '0' && c <= '9'; }))
+      continue;
+    const int os_id = std::stoi(name.substr(3));
+    const fs::path topo_dir = entry.path() / "topology";
+    if (!fs::exists(topo_dir)) continue;  // offline CPU
+    LogicalCpu cpu;
+    cpu.os_id = os_id;
+    cpu.core_id = read_int_file(topo_dir / "core_id", os_id);
+    cpu.package_id = read_int_file(topo_dir / "physical_package_id", 0);
+    topo.cpus_.push_back(cpu);
+  }
+
+  if (topo.cpus_.empty()) {
+    // Fallback for stripped containers: assume flat topology of N cores.
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    log::warn() << "no sysfs topology under " << cpu_dir.string() << "; assuming " << n
+                << " independent cores";
+    for (unsigned i = 0; i < n; ++i)
+      topo.cpus_.push_back(LogicalCpu{static_cast<int>(i), static_cast<int>(i), 0, false});
+  }
+
+  topo.finalize();
+  return topo;
+}
+
+Topology Topology::synthetic(int packages, int cores_per_package, int threads_per_core) {
+  Topology topo;
+  int os_id = 0;
+  // Linux enumerates thread 0 of every core first, then SMT siblings —
+  // replicate that so worker pinning matches real machines.
+  for (int t = 0; t < threads_per_core; ++t)
+    for (int p = 0; p < packages; ++p)
+      for (int c = 0; c < cores_per_package; ++c)
+        topo.cpus_.push_back(LogicalCpu{os_id++, c, p, t > 0});
+  topo.finalize();
+  return topo;
+}
+
+void Topology::finalize() {
+  std::sort(cpus_.begin(), cpus_.end(),
+            [](const LogicalCpu& a, const LogicalCpu& b) { return a.os_id < b.os_id; });
+  std::set<std::pair<int, int>> cores;
+  std::set<int> packages;
+  for (auto& cpu : cpus_) {
+    const auto key = std::make_pair(cpu.package_id, cpu.core_id);
+    cpu.smt_sibling = !cores.insert(key).second;
+    packages.insert(cpu.package_id);
+  }
+  num_cores_ = cores.size();
+  num_packages_ = packages.size();
+}
+
+std::vector<int> Topology::worker_cpus(bool one_per_core) const {
+  std::vector<int> ids;
+  for (const auto& cpu : cpus_)
+    if (!one_per_core || !cpu.smt_sibling) ids.push_back(cpu.os_id);
+  return ids;
+}
+
+}  // namespace fs2::arch

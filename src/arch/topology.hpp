@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fs2::arch {
+
+/// One logical CPU as seen by the OS scheduler.
+struct LogicalCpu {
+  int os_id = 0;       ///< index in /sys/devices/system/cpu/cpuN
+  int core_id = 0;     ///< physical core within the package
+  int package_id = 0;  ///< socket
+  bool smt_sibling = false;  ///< true if another logical CPU shares the core with a lower os_id
+};
+
+/// System topology: which logical CPUs exist and how they group into cores
+/// and packages. FIRESTARTER pins one worker thread per logical CPU (or per
+/// core when SMT is disabled via `--threads`).
+class Topology {
+ public:
+  /// Read the topology from a sysfs tree. `sysfs_root` defaults to "/sys"
+  /// and is injectable so tests can run against fixture trees.
+  static Topology from_sysfs(const std::string& sysfs_root = "/sys");
+
+  /// Synthetic topology: `packages` sockets × `cores` cores × `threads` SMT.
+  /// Used for simulator-backed runs describing machines we do not run on.
+  static Topology synthetic(int packages, int cores_per_package, int threads_per_core);
+
+  const std::vector<LogicalCpu>& cpus() const { return cpus_; }
+  std::size_t num_logical() const { return cpus_.size(); }
+  std::size_t num_cores() const { return num_cores_; }
+  std::size_t num_packages() const { return num_packages_; }
+  bool smt_enabled() const { return num_logical() > num_cores(); }
+
+  /// Logical CPUs to pin workers to: all of them, or one per physical core.
+  std::vector<int> worker_cpus(bool one_per_core) const;
+
+ private:
+  std::vector<LogicalCpu> cpus_;
+  std::size_t num_cores_ = 0;
+  std::size_t num_packages_ = 0;
+
+  void finalize();
+};
+
+}  // namespace fs2::arch

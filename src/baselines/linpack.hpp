@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fs2::baselines {
+
+/// The LINPACK benchmark core (Table I baseline): solve a dense linear
+/// system A x = b via LU factorization with partial pivoting, then verify
+/// the residual — LINPACK "checks whether the result of the computation is
+/// correct" (Sec. II-B).
+///
+/// Implemented with a blocked right-looking factorization so the compiler
+/// can vectorize the update (LINPACK's power profile depends on the BLAS
+/// quality, which Table I flags as its portability weakness).
+class LinpackSolver {
+ public:
+  /// Build a diagonally dominant random system of dimension n.
+  LinpackSolver(std::size_t n, std::uint64_t seed);
+
+  /// Factor and solve; returns the normalized residual
+  /// ||A x - b||_inf / (||A||_inf * ||x||_inf * n * eps).
+  /// LINPACK accepts results with a residual check value < O(10).
+  double solve();
+
+  const std::vector<double>& solution() const { return x_; }
+  std::size_t dimension() const { return n_; }
+
+  /// FLOPs of one solve: 2/3 n^3 + 2 n^2 (the standard LINPACK count).
+  double flops() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;        ///< row-major n x n (factored in place)
+  std::vector<double> a_copy_;   ///< pristine copy for the residual check
+  std::vector<double> b_;
+  std::vector<double> b_copy_;
+  std::vector<double> x_;
+  std::vector<int> pivots_;
+
+  void factor();
+  void back_substitute();
+};
+
+/// One rep of the LINPACK stress loop: build (cheap), solve, verify.
+/// Returns the residual check value. Throws fs2::Error if the residual
+/// check fails — the error-detection behaviour Table I credits LINPACK
+/// with.
+double linpack_rep(std::size_t n, std::uint64_t seed);
+
+}  // namespace fs2::baselines

@@ -1,0 +1,158 @@
+#include "baselines/prime.hpp"
+
+#include "util/error.hpp"
+
+namespace fs2::baselines {
+
+BigUint::BigUint(std::uint64_t value) {
+  limbs_.push_back(static_cast<std::uint32_t>(value));
+  limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+  normalize();
+}
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::mersenne(unsigned p) {
+  BigUint out;
+  out.limbs_.assign((p + 31) / 32, 0xFFFFFFFFu);
+  const unsigned top_bits = p % 32;
+  if (top_bits != 0) out.limbs_.back() = (1u << top_bits) - 1;
+  return out;
+}
+
+BigUint BigUint::multiply(const BigUint& other) const {
+  if (limbs_.empty() || other.limbs_.empty()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::subtract_small(std::uint64_t value) const {
+  BigUint out = *this;
+  std::uint64_t borrow = value;
+  for (std::size_t i = 0; i < out.limbs_.size() && borrow != 0; ++i) {
+    const std::uint64_t limb = out.limbs_[i];
+    const std::uint64_t take = borrow & 0xFFFFFFFFull;
+    if (limb >= take) {
+      out.limbs_[i] = static_cast<std::uint32_t>(limb - take);
+      borrow >>= 32;
+    } else {
+      out.limbs_[i] = static_cast<std::uint32_t>(limb + 0x100000000ull - take);
+      borrow = (borrow >> 32) + 1;
+    }
+  }
+  if (borrow != 0) throw Error("BigUint::subtract_small: underflow");
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::shift_right_bits(unsigned bits) const {
+  const unsigned limb_shift = bits / 32;
+  const unsigned bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+      out.limbs_[i] >>= bit_shift;
+      if (i + 1 < out.limbs_.size())
+        out.limbs_[i] |= out.limbs_[i + 1] << (32 - bit_shift);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::mask_low_bits(unsigned bits) const {
+  BigUint out;
+  const std::size_t keep = (bits + 31) / 32;
+  out.limbs_.assign(limbs_.begin(),
+                    limbs_.begin() + static_cast<long>(std::min(keep, limbs_.size())));
+  const unsigned top_bits = bits % 32;
+  if (top_bits != 0 && out.limbs_.size() == keep)
+    out.limbs_.back() &= (1u << top_bits) - 1;
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::add(const BigUint& other) const {
+  BigUint out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.assign(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < limbs_.size() ? limbs_[i] : 0;
+    const std::uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const std::uint64_t cur = a + b + carry;
+    out.limbs_[i] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::mod_mersenne(unsigned p) const {
+  const BigUint m = mersenne(p);
+  BigUint value = *this;
+  while (value.bit_length() > p)
+    value = value.shift_right_bits(p).add(value.mask_low_bits(p));
+  if (value.equals(m)) return BigUint();  // 2^p - 1 == 0 (mod M_p)
+  return value;
+}
+
+bool BigUint::is_zero() const { return limbs_.empty(); }
+
+bool BigUint::equals(const BigUint& other) const { return limbs_ == other.limbs_; }
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = limbs_.size() * 32;
+  for (std::uint32_t probe = 0x80000000u; probe != 0 && (top & probe) == 0; probe >>= 1) --bits;
+  return bits;
+}
+
+bool LucasLehmer::is_mersenne_prime(unsigned p) {
+  if (p == 2) return true;  // M_2 = 3
+  if (p < 3 || p > 4096) throw Error("LucasLehmer: exponent out of supported range");
+  BigUint s(4);
+  for (unsigned i = 0; i < p - 2; ++i)
+    s = s.multiply(s).subtract_small(2).mod_mersenne(p);
+  return s.is_zero();
+}
+
+std::uint64_t LucasLehmer::residue(unsigned p) {
+  if (p < 3 || p > 4096) throw Error("LucasLehmer: exponent out of supported range");
+  BigUint s(4);
+  for (unsigned i = 0; i < p - 2; ++i)
+    s = s.multiply(s).subtract_small(2).mod_mersenne(p);
+  std::uint64_t low = 0;
+  for (int limb = 1; limb >= 0; --limb) {
+    low <<= 32;
+    if (static_cast<std::size_t>(limb) < s.limbs_.size()) low |= s.limbs_[limb];
+  }
+  return low;
+}
+
+}  // namespace fs2::baselines

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fs2::baselines {
+
+/// Fixed-width little-endian big unsigned integer used by the
+/// Lucas-Lehmer test. Limbs are 32-bit digits stored in 64-bit lanes so
+/// schoolbook multiplication never overflows.
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t value);
+
+  static BigUint mersenne(unsigned p);  ///< 2^p - 1
+
+  BigUint multiply(const BigUint& other) const;
+  BigUint subtract_small(std::uint64_t value) const;  ///< this - value (this >= value)
+
+  /// Reduce modulo the Mersenne number 2^p - 1 using the shift-and-add
+  /// identity (x mod 2^p - 1 == (x >> p) + (x & (2^p - 1)), iterated) —
+  /// the trick that makes Mersenne arithmetic fast (and Prime95 viable).
+  BigUint mod_mersenne(unsigned p) const;
+
+  bool is_zero() const;
+  bool equals(const BigUint& other) const;
+  std::size_t bit_length() const;
+
+ private:
+  std::vector<std::uint32_t> limbs_;  // base 2^32, little endian, normalized
+
+  void normalize();
+  BigUint shift_right_bits(unsigned bits) const;
+  BigUint mask_low_bits(unsigned bits) const;
+  BigUint add(const BigUint& other) const;
+  friend class LucasLehmer;
+};
+
+/// The Lucas-Lehmer primality test for Mersenne numbers M_p = 2^p - 1 —
+/// the Prime95/GIMPS workload of Table I: s_0 = 4,
+/// s_{i+1} = (s_i^2 - 2) mod M_p; M_p is prime iff s_{p-2} == 0.
+/// The squaring chain is exactly the computation whose residues GIMPS
+/// double-checks for hardware-error detection (Table I: "error check").
+class LucasLehmer {
+ public:
+  /// Test M_p for primality. p must be an odd prime >= 3 (p <= ~4096 keeps
+  /// the schoolbook multiply reasonable).
+  static bool is_mersenne_prime(unsigned p);
+
+  /// Run the full iteration chain and return a 64-bit residue of the final
+  /// s value — the GIMPS-style verification artifact (identical across
+  /// correct runs, diverges on any hardware miscomputation).
+  static std::uint64_t residue(unsigned p);
+};
+
+}  // namespace fs2::baselines

@@ -1,0 +1,46 @@
+#include "baselines/stressng.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fs2::baselines {
+
+long double stressng_matrixprod(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<long double> a(n * n), b(n * n), c(n * n, 0.0L);
+  for (auto& v : a) v = static_cast<long double>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<long double>(rng.uniform(-1.0, 1.0));
+  // Deliberately the naive x87-bound triple loop stress-ng uses: the inner
+  // accumulation over `long double` cannot map onto SSE/AVX units.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      long double sum = 0.0L;
+      for (std::size_t k = 0; k < n; ++k) sum += a[i * n + k] * b[k * n + j];
+      c[i * n + j] = sum;
+    }
+  long double checksum = 0.0L;
+  for (const long double v : c) checksum += v;
+  return checksum;
+}
+
+double stressng_sqrt(std::size_t iterations, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  double value = 1e12 * (1.0 + rng.uniform());
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    // Serialized: each sqrt depends on the previous result, so the FP
+    // pipeline drains between operations (the "low power loop" profile).
+    value = std::sqrt(value) * 1e6 + 1.0;
+    checksum += value * 1e-6;
+  }
+  return checksum;
+}
+
+double stressng_matrixprod_flops(std::size_t n) {
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * dn;
+}
+
+}  // namespace fs2::baselines

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fs2::baselines {
+
+/// stress-ng's matrixprod-style workload (Table I baseline): a matrix
+/// product over `long double` operands. The paper points out exactly this
+/// weakness: "it currently uses long doubles, which are not supported by
+/// SIMD extensions. The code is also written in C, and the compiler would
+/// need to vectorize it automatically" — so its power draw stays far below
+/// a SIMD-dense stress kernel. Returns a checksum of the product.
+long double stressng_matrixprod(std::size_t n, std::uint64_t seed);
+
+/// stress-ng's "sqrt" CPU method: serialized square roots over an array —
+/// the low-power active loop class of Fig. 2. Returns a checksum.
+double stressng_sqrt(std::size_t iterations, std::uint64_t seed);
+
+/// FLOP count of one matrixprod rep (2 n^3, in long-double operations).
+double stressng_matrixprod_flops(std::size_t n);
+
+}  // namespace fs2::baselines

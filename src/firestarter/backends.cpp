@@ -1,0 +1,105 @@
+#include "firestarter/backends.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "kernel/thread_manager.hpp"
+#include "metrics/measurement.hpp"
+#include "metrics/sim_metrics.hpp"
+#include "payload/compiler.hpp"
+#include "util/logging.hpp"
+
+namespace fs2::firestarter {
+
+SimBackend::SimBackend(sim::SimulatedSystem& system, payload::InstructionMix mix,
+                       arch::CacheHierarchy caches, sim::RunConditions conditions,
+                       double candidate_duration_s, std::uint64_t seed)
+    : system_(system),
+      mix_(std::move(mix)),
+      caches_(std::move(caches)),
+      conditions_(conditions),
+      duration_s_(candidate_duration_s),
+      seed_(seed) {}
+
+void SimBackend::preheat() {
+  const auto stats = payload::analyze_payload(
+      mix_, payload::InstructionGroups::parse("L1_LS:2,REG:1"), caches_);
+  system_.set_point(system_.simulator().run(stats, conditions_));
+}
+
+std::vector<double> SimBackend::evaluate(const payload::InstructionGroups& groups) {
+  const auto stats = payload::analyze_payload(mix_, groups, caches_);
+  system_.set_point(system_.simulator().run(stats, conditions_));
+
+  // "Measure" through the same Metric interface a real run uses: the
+  // simulated LMG95 at 20 Sa/s plus the simulated IPC counter, aggregated
+  // over the candidate window with a short start trim.
+  metrics::SimPowerMetric power(&system_, seed_ + ++evaluations_);
+  metrics::SimIpcMetric ipc(&system_);
+  metrics::TimeSeries power_series(power.name(), power.unit());
+  metrics::TimeSeries ipc_series(ipc.name(), ipc.unit());
+  const double sample_hz = 20.0;
+  const auto samples = static_cast<std::size_t>(duration_s_ * sample_hz);
+  power.begin();
+  ipc.begin();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / sample_hz;  // virtual time
+    power_series.add(t, power.sample());
+    ipc_series.add(t, ipc.sample());
+  }
+  const double start_trim = std::min(1.0, duration_s_ * 0.1);
+  return {power_series.summarize(start_trim, 0.0).mean,
+          ipc_series.summarize(start_trim, 0.0).mean};
+}
+
+HostBackend::HostBackend(payload::InstructionMix mix, arch::CacheHierarchy caches,
+                         std::vector<int> worker_cpus, std::vector<std::string> names,
+                         std::vector<MetricFactory> factories, double candidate_duration_s,
+                         std::uint64_t seed)
+    : mix_(std::move(mix)),
+      caches_(std::move(caches)),
+      cpus_(std::move(worker_cpus)),
+      names_(std::move(names)),
+      factories_(std::move(factories)),
+      duration_s_(candidate_duration_s),
+      seed_(seed) {}
+
+std::vector<double> HostBackend::evaluate(const payload::InstructionGroups& groups) {
+  payload::CompileOptions options;
+  auto payload = payload::compile_payload(mix_, groups, caches_, options);
+
+  kernel::RunOptions run;
+  run.cpus = cpus_;
+  run.seed = seed_;
+  kernel::ThreadManager manager(payload, run);
+
+  std::vector<metrics::MetricPtr> metric_list;
+  std::vector<metrics::TimeSeries> series;
+  const int workers = static_cast<int>(cpus_.size());
+  const auto counter = [&manager] { return manager.total_iterations(); };
+  for (const MetricFactory& factory : factories_) {
+    metric_list.push_back(factory(payload.stats(), workers, counter));
+    series.emplace_back(metric_list.back()->name(), metric_list.back()->unit());
+  }
+
+  manager.start();
+  for (auto& metric : metric_list) metric->begin();
+
+  const double sample_period_s = 0.05;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  while (elapsed < duration_s_) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sample_period_s));
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    for (std::size_t m = 0; m < metric_list.size(); ++m)
+      series[m].add(elapsed, metric_list[m]->sample());
+  }
+  manager.stop();
+
+  std::vector<double> objectives;
+  const double start_trim = std::min(1.0, duration_s_ * 0.1);
+  for (const auto& s : series) objectives.push_back(s.summarize(start_trim, 0.0).mean);
+  return objectives;
+}
+
+}  // namespace fs2::firestarter

@@ -1,0 +1,216 @@
+#include "firestarter/config.hpp"
+
+#include <functional>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::firestarter {
+
+const char* to_string(TargetSystem target) {
+  switch (target) {
+    case TargetSystem::kHost: return "host";
+    case TargetSystem::kSimZen2: return "sim-zen2";
+    case TargetSystem::kSimHaswell: return "sim-haswell";
+    case TargetSystem::kSimHaswellGpu: return "sim-haswell-gpu";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Argument cursor with checked value access.
+class Args {
+ public:
+  Args(int argc, const char* const* argv) : argc_(argc), argv_(argv) {}
+  bool done() const { return index_ >= argc_; }
+  std::string next() { return argv_[index_++]; }
+  std::string value(const std::string& flag) {
+    if (index_ >= argc_) throw ConfigError("flag " + flag + " expects a value");
+    return argv_[index_++];
+  }
+
+ private:
+  int argc_;
+  const char* const* argv_;
+  int index_ = 1;
+};
+
+/// Split "--flag=value" into flag and inline value.
+std::pair<std::string, std::optional<std::string>> split_flag(const std::string& arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) return {arg, std::nullopt};
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+}  // namespace
+
+Config parse_args(int argc, const char* const* argv) {
+  Config cfg;
+  Args args(argc, argv);
+
+  auto take = [&](const std::optional<std::string>& inline_value, Args& a,
+                  const std::string& flag) {
+    return inline_value ? *inline_value : a.value(flag);
+  };
+
+  while (!args.done()) {
+    const std::string raw = args.next();
+    const auto [flag, inline_value] = split_flag(raw);
+
+    if (flag == "-h" || flag == "--help") cfg.show_help = true;
+    else if (flag == "--version") cfg.show_version = true;
+    else if (flag == "-a" || flag == "--avail") cfg.list_functions = true;
+    else if (flag == "--list-metrics") cfg.list_metrics = true;
+    else if (flag == "-i" || flag == "--function") {
+      const std::string value = take(inline_value, args, flag);
+      try {
+        cfg.function_id = std::stoi(value);
+      } catch (...) {
+        cfg.function_name = value;
+      }
+    } else if (flag == "--run-instruction-groups") {
+      cfg.instruction_groups = take(inline_value, args, flag);
+    } else if (flag == "--set-line-count") {
+      cfg.line_count =
+          static_cast<unsigned>(strings::parse_u64(take(inline_value, args, flag), flag));
+    } else if (flag == "-t" || flag == "--timeout") {
+      cfg.timeout_s = strings::parse_double(take(inline_value, args, flag), flag);
+      cfg.candidate_duration_s = cfg.timeout_s > 0 ? cfg.timeout_s : cfg.candidate_duration_s;
+    } else if (flag == "-l" || flag == "--load") {
+      const double pct = strings::parse_double(take(inline_value, args, flag), flag);
+      if (pct < 0.0 || pct > 100.0) throw ConfigError("--load must be within [0, 100]");
+      cfg.load = pct / 100.0;
+    } else if (flag == "-n" || flag == "--threads") {
+      cfg.threads = static_cast<int>(strings::parse_u64(take(inline_value, args, flag), flag));
+    } else if (flag == "--one-thread-per-core") {
+      cfg.one_thread_per_core = true;
+    } else if (flag == "--seed") {
+      cfg.seed = strings::parse_u64(take(inline_value, args, flag), flag);
+    } else if (flag == "--allow-infinity-bug") {
+      cfg.v174_bug_mode = true;
+    } else if (flag == "--dump-asm") {
+      cfg.dump_asm = true;
+    } else if (flag == "--selftest") {
+      cfg.selftest = true;
+      if (inline_value)
+        cfg.selftest_iterations = strings::parse_u64(*inline_value, flag);
+    } else if (flag == "--dump-registers") {
+      cfg.dump_registers = true;
+      if (inline_value) cfg.dump_interval_s = strings::parse_double(*inline_value, flag);
+    } else if (flag == "--dump-path") {
+      cfg.dump_path = take(inline_value, args, flag);
+    } else if (flag == "--measurement") {
+      cfg.measurement = true;
+    } else if (flag == "--start-delta") {
+      cfg.start_delta_s = strings::parse_double(take(inline_value, args, flag), flag) / 1000.0;
+    } else if (flag == "--stop-delta") {
+      cfg.stop_delta_s = strings::parse_double(take(inline_value, args, flag), flag) / 1000.0;
+    } else if (flag == "--optimize") {
+      const std::string algo = strings::to_upper(take(inline_value, args, flag));
+      if (algo != "NSGA2")
+        throw ConfigError("unknown optimization algorithm '" + algo + "' (supported: NSGA2)");
+      cfg.optimize = true;
+    } else if (flag == "--individuals") {
+      cfg.individuals = strings::parse_u64(take(inline_value, args, flag), flag);
+    } else if (flag == "--generations") {
+      cfg.generations = strings::parse_u64(take(inline_value, args, flag), flag);
+    } else if (flag == "--nsga2-m") {
+      cfg.nsga2_m = strings::parse_double(take(inline_value, args, flag), flag);
+      if (cfg.nsga2_m < 0.0 || cfg.nsga2_m > 1.0)
+        throw ConfigError("--nsga2-m must be within [0, 1]");
+    } else if (flag == "--preheat") {
+      cfg.preheat_s = strings::parse_double(take(inline_value, args, flag), flag);
+    } else if (flag == "--optimization-metric") {
+      for (const auto& name : strings::split(take(inline_value, args, flag), ','))
+        cfg.optimization_metrics.push_back(std::string(strings::trim(name)));
+    } else if (flag == "--metric-path") {
+      cfg.metric_path = take(inline_value, args, flag);
+    } else if (flag == "--metric-command") {
+      cfg.metric_command = take(inline_value, args, flag);
+    } else if (flag == "--optimization-log") {
+      cfg.optimization_log = take(inline_value, args, flag);
+    } else if (flag == "--simulate") {
+      const std::string which = inline_value ? strings::to_lower(*inline_value) : "zen2";
+      if (which == "zen2") cfg.target = TargetSystem::kSimZen2;
+      else if (which == "haswell") cfg.target = TargetSystem::kSimHaswell;
+      else if (which == "haswell-gpu") cfg.target = TargetSystem::kSimHaswellGpu;
+      else throw ConfigError("unknown simulation target '" + which + "'");
+    } else if (flag == "--freq") {
+      cfg.sim_freq_mhz = strings::parse_double(take(inline_value, args, flag), flag);
+    } else if (flag == "--gpus") {
+      cfg.gpus = static_cast<int>(strings::parse_u64(take(inline_value, args, flag), flag));
+    } else if (flag == "--gpu-matrixsize") {
+      cfg.gpu_matrix_n = strings::parse_u64(take(inline_value, args, flag), flag);
+    } else if (flag == "--log-level") {
+      cfg.log_level = take(inline_value, args, flag);
+    } else {
+      throw ConfigError("unknown flag '" + flag + "' (see --help)");
+    }
+  }
+
+  if (cfg.optimize && cfg.optimization_metrics.empty()) {
+    // Paper default: power + IPC (Sec. III-C).
+    cfg.optimization_metrics = {"power", "ipc"};
+  }
+  return cfg;
+}
+
+std::string usage() {
+  return R"(fs2 — FIRESTARTER 2 reproduction: dynamic code generation for processor stress tests
+
+General:
+  -h, --help                   show this help
+  --version                    print version
+  -a, --avail                  list available stress functions
+  --list-metrics               list metrics available on this system
+  --log-level LEVEL            trace|debug|info|warn|error|off
+
+Workload (Sec. III):
+  -i, --function ID|NAME       select the instruction set I
+  --run-instruction-groups M   memory accesses, e.g. REG:4,L1_L:2,L2_L:1
+  --set-line-count U           unroll factor u (default: fill 3/4 of L1-I)
+  --allow-infinity-bug         reproduce the v1.7.4 operand bug (Sec. III-D)
+
+Execution:
+  -t, --timeout SEC            stop after SEC seconds
+  -l, --load PCT               busy fraction per period (default 100)
+  -n, --threads N              worker threads (default: all hardware threads)
+  --one-thread-per-core        skip SMT siblings
+  --seed N                     operand-initialization seed
+  --dump-asm                   print the disassembly of the generated kernel
+                               instead of running it
+  --selftest[=N]               synchronized SIMD error detection: every worker
+                               runs exactly N identical iterations; any register
+                               divergence or invalid value fails (exit code 1)
+  --dump-registers[=SEC]       flush SIMD registers to --dump-path periodically
+  --dump-path FILE             register dump file (default registers.dump)
+
+Measurement (Sec. III-D):
+  --measurement                print metric CSV after the run
+  --start-delta MS             ignore the first MS milliseconds (default 5000)
+  --stop-delta MS              ignore the last MS milliseconds (default 2000)
+
+Self-tuning (Sec. III-C / IV-E):
+  --optimize=NSGA2             tune M with the multi-objective optimizer
+  --individuals N              population size (default 40)
+  --generations N              generations (default 20)
+  --nsga2-m F                  mutation probability (default 0.35)
+  --preheat SEC                warm-up before tuning (default 240)
+  --optimization-metric LIST   e.g. power,ipc (or any --list-metrics name)
+  --metric-path LIB.so         external metric plugin (C ABI)
+  --metric-command CMD         external metric command printing one number
+  --optimization-log FILE      per-evaluation CSV log (Fig. 11 data)
+
+Target system:
+  --simulate[=zen2|haswell|haswell-gpu]
+                               run against the calibrated testbed simulator
+                               instead of the host (virtual time)
+  --freq MHZ                   simulated core P-state (default: nominal)
+  --gpus N                     stress N GPU stand-ins (DGEMM workers)
+  --gpu-matrixsize N           DGEMM dimension (default 256)
+)";
+}
+
+}  // namespace fs2::firestarter

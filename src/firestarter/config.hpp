@@ -1,0 +1,89 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fs2::firestarter {
+
+/// Which system the stress run targets.
+enum class TargetSystem {
+  kHost,        ///< the real machine this process runs on
+  kSimZen2,     ///< simulated Table II testbed (2x EPYC 7502)
+  kSimHaswell,  ///< simulated Fig. 2 testbed (2x E5-2680 v3)
+  kSimHaswellGpu,  ///< same, with 4x K80
+};
+
+/// Parsed command line. Flag names follow the paper (Sec. III/IV) and the
+/// original tool; simulator selection is this reproduction's addition.
+struct Config {
+  // Mode switches.
+  bool show_help = false;
+  bool show_version = false;
+  bool list_functions = false;     ///< -a / --avail
+  bool list_metrics = false;       ///< --list-metrics
+
+  // Workload selection (Sec. III-B).
+  std::optional<int> function_id;          ///< -i / --function (by id)
+  std::optional<std::string> function_name;
+  std::optional<std::string> instruction_groups;  ///< --run-instruction-groups
+  std::optional<unsigned> line_count;             ///< --set-line-count (u)
+
+  // Execution.
+  double timeout_s = 0.0;          ///< -t (0 = run until interrupted)
+  double load = 1.0;               ///< -l / --load (fraction busy)
+  std::optional<int> threads;      ///< --threads / -n
+  bool one_thread_per_core = false;
+  std::uint64_t seed = 0x5eed;
+  bool v174_bug_mode = false;      ///< --allow-infinity-bug (Sec. III-D demo)
+
+  // Synchronized SIMD self-test (error detection for overclocked systems).
+  bool selftest = false;
+  std::uint64_t selftest_iterations = 200000;
+
+  // Disassemble the generated kernel instead of running it.
+  bool dump_asm = false;
+
+  // Register dump (Sec. III-D).
+  bool dump_registers = false;
+  double dump_interval_s = 10.0;
+  std::string dump_path = "registers.dump";
+
+  // Measurement (Sec. III-D: CSV after the run).
+  bool measurement = false;
+  double start_delta_s = 5.0;      ///< --start-delta (ms on the CLI)
+  double stop_delta_s = 2.0;       ///< --stop-delta (ms on the CLI)
+
+  // Optimization (Sec. III-C / IV-E).
+  bool optimize = false;           ///< --optimize=NSGA2
+  std::size_t individuals = 40;
+  std::size_t generations = 20;
+  double nsga2_m = 0.35;
+  double preheat_s = 240.0;
+  double candidate_duration_s = 10.0;  ///< -t under --optimize
+  std::vector<std::string> optimization_metrics;  ///< --optimization-metric
+  std::optional<std::string> metric_path;         ///< --metric-path (plugin .so)
+  std::optional<std::string> metric_command;      ///< --metric-command (script)
+  std::string optimization_log = "fs2_optimization_log.csv";
+
+  // Target system.
+  TargetSystem target = TargetSystem::kHost;
+  double sim_freq_mhz = 0.0;       ///< requested P-state on the simulator (0 = nominal)
+
+  // GPU stress (host DGEMM stand-in).
+  int gpus = 0;                    ///< --gpus
+  std::size_t gpu_matrix_n = 256;  ///< --gpu-matrixsize
+
+  std::string log_level = "info";
+};
+
+/// Parse argv. Throws fs2::ConfigError on unknown flags or malformed
+/// values; never exits the process (the caller owns that decision).
+Config parse_args(int argc, const char* const* argv);
+
+/// --help text.
+std::string usage();
+
+const char* to_string(TargetSystem target);
+
+}  // namespace fs2::firestarter

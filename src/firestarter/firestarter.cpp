@@ -1,0 +1,454 @@
+#include "firestarter/firestarter.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "arch/processor.hpp"
+#include "arch/topology.hpp"
+#include "firestarter/backends.hpp"
+#include "gpu/dgemm_stress.hpp"
+#include "kernel/register_dump.hpp"
+#include "jit/disassembler.hpp"
+#include "kernel/selftest.hpp"
+#include "kernel/thread_manager.hpp"
+#include "kernel/watchdog.hpp"
+#include "metrics/external.hpp"
+#include "metrics/ipc_estimate.hpp"
+#include "metrics/measurement.hpp"
+#include "metrics/perf_ipc.hpp"
+#include "metrics/rapl.hpp"
+#include "payload/compiler.hpp"
+#include "payload/mix.hpp"
+#include "sim/sim_system.hpp"
+#include "tuning/nsga2.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace fs2::firestarter {
+
+namespace {
+
+constexpr const char* kVersion = "fs2 2.0.0 (FIRESTARTER 2 reproduction)";
+
+/// Machine description for the selected target.
+struct Target {
+  arch::ProcessorModel cpu;
+  arch::CacheHierarchy caches;
+  sim::MachineConfig sim_config;  // meaningful for simulator targets only
+  bool simulated = false;
+  bool gpu_stress = false;
+};
+
+Target resolve_target(const Config& cfg) {
+  Target target;
+  switch (cfg.target) {
+    case TargetSystem::kHost:
+      target.cpu = arch::detect_host();
+      target.caches = arch::CacheHierarchy::from_sysfs();
+      break;
+    case TargetSystem::kSimZen2:
+      target.cpu = arch::epyc_7502_model();
+      target.caches = arch::CacheHierarchy::zen2();
+      target.sim_config = sim::MachineConfig::zen2_epyc7502_2s();
+      target.simulated = true;
+      break;
+    case TargetSystem::kSimHaswell:
+    case TargetSystem::kSimHaswellGpu:
+      target.cpu = arch::xeon_e5_2680v3_model();
+      target.caches = arch::CacheHierarchy::haswell_ep();
+      target.sim_config = sim::MachineConfig::haswell_e5_2680v3_2s(
+          cfg.target == TargetSystem::kSimHaswellGpu ? 4 : 0);
+      target.simulated = true;
+      target.gpu_stress = cfg.target == TargetSystem::kSimHaswellGpu;
+      break;
+  }
+  return target;
+}
+
+const payload::FunctionDef& resolve_function(const Config& cfg, const Target& target) {
+  if (cfg.function_id) return payload::find_function(*cfg.function_id);
+  if (cfg.function_name) return payload::find_function(*cfg.function_name);
+  return payload::select_function(target.cpu);
+}
+
+payload::InstructionGroups resolve_groups(const Config& cfg, const payload::FunctionDef& fn) {
+  return payload::InstructionGroups::parse(
+      cfg.instruction_groups ? *cfg.instruction_groups : fn.default_groups);
+}
+
+payload::CompileOptions compile_options(const Config& cfg) {
+  payload::CompileOptions options;
+  if (cfg.line_count) options.unroll = *cfg.line_count;
+  options.dump_registers = cfg.dump_registers;
+  return options;
+}
+
+payload::DataInitPolicy policy_of(const Config& cfg) {
+  return cfg.v174_bug_mode ? payload::DataInitPolicy::kV174InfinityBug
+                           : payload::DataInitPolicy::kSafe;
+}
+
+}  // namespace
+
+Firestarter::Firestarter(Config config, std::ostream& out) : cfg_(std::move(config)), out_(out) {}
+
+int Firestarter::run() {
+  log::set_level(log::parse_level(cfg_.log_level));
+  if (cfg_.show_help) {
+    out_ << usage();
+    return 0;
+  }
+  if (cfg_.show_version) {
+    out_ << kVersion << "\n";
+    return 0;
+  }
+  if (cfg_.list_functions) return list_functions();
+  if (cfg_.list_metrics) return list_metrics();
+  if (cfg_.optimize) return run_optimization();
+  if (cfg_.dump_asm) return run_dump_asm();
+  if (cfg_.selftest) return run_selftest_mode();
+  if (cfg_.target != TargetSystem::kHost) return run_stress_simulated();
+  return run_stress_host();
+}
+
+int Firestarter::list_functions() {
+  Table table({"id", "name", "isa", "tuned for", "default instruction groups"});
+  for (const payload::FunctionDef& fn : payload::available_functions()) {
+    std::string tuned;
+    for (arch::Microarch arch : fn.tuned_for) {
+      if (!tuned.empty()) tuned += ", ";
+      tuned += arch::to_string(arch);
+    }
+    table.add_row({std::to_string(fn.id), fn.name, payload::to_string(fn.mix.isa),
+                   tuned.empty() ? "(generic)" : tuned, fn.default_groups});
+  }
+  table.print(out_);
+  return 0;
+}
+
+int Firestarter::list_metrics() {
+  Table table({"metric", "unit", "available", "notes"});
+  metrics::RaplPowerMetric rapl;
+  table.add_row({rapl.name(), rapl.unit(), rapl.available() ? "yes" : "no",
+                 "Intel RAPL package counters via powercap sysfs"});
+  metrics::PerfIpcMetric perf;
+  table.add_row({perf.name(), perf.unit(), perf.available() ? "yes" : "no",
+                 "perf_event_open hardware counters"});
+  table.add_row({"ipc-estimate", "instructions/cycle", "yes",
+                 "loop count x instructions/loop at assumed frequency"});
+  if (cfg_.metric_path) {
+    metrics::PluginMetric plugin(*cfg_.metric_path);
+    table.add_row({plugin.name(), plugin.unit(), plugin.available() ? "yes" : "no",
+                   "external plugin " + *cfg_.metric_path});
+  }
+  table.add_row({"sim-wall-power", "W", "yes", "with --simulate targets"});
+  table.add_row({"sim-perf-ipc", "instructions/cycle", "yes", "with --simulate targets"});
+  table.print(out_);
+  return 0;
+}
+
+int Firestarter::run_stress_simulated() {
+  const Target target = resolve_target(cfg_);
+  const payload::FunctionDef& fn = resolve_function(cfg_, target);
+  const auto groups = resolve_groups(cfg_, fn);
+  const auto stats = payload::analyze_payload(fn.mix, groups, target.caches,
+                                              compile_options(cfg_));
+
+  sim::SimulatedSystem system(target.sim_config);
+  sim::RunConditions cond;
+  cond.freq_mhz = cfg_.sim_freq_mhz;
+  cond.policy = policy_of(cfg_);
+  cond.gpu_stress = target.gpu_stress;
+  if (cfg_.threads) cond.threads = *cfg_.threads;
+  const sim::WorkloadPoint point = system.simulator().run(stats, cond);
+  system.set_point(point);
+
+  const double duration = cfg_.timeout_s > 0 ? cfg_.timeout_s : 240.0;
+  out_ << "target: " << target.sim_config.name << "\n"
+       << "function: " << fn.name << "  M=" << groups.to_string()
+       << "  u=" << stats.unroll << " (" << stats.loop_bytes << " B loop)\n";
+  out_ << strings::format(
+      "steady state: %.1f W, %.2f IPC/core, %.0f MHz%s, %.1f GFLOP/s, fetch from %s\n",
+      point.power_w, point.ipc_per_core, point.achieved_mhz,
+      point.throttled ? " (throttled)" : "", point.gflops, sim::to_string(point.fetch_source));
+
+  if (cfg_.measurement) {
+    // Synthesize the measurement window in virtual time and report the same
+    // CSV a real run prints.
+    const auto trace =
+        system.simulator().power_trace(point, duration, 20.0, cfg_.seed, /*warm_start_s=*/0.0);
+    metrics::TimeSeries power_series("sim-wall-power", "W");
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      power_series.add(static_cast<double>(i) / 20.0, trace[i]);
+    metrics::TimeSeries ipc_series("sim-perf-ipc", "instructions/cycle");
+    ipc_series.add(0.0, point.ipc_per_core);
+    ipc_series.add(duration, point.ipc_per_core);
+    metrics::print_csv(out_, {power_series.summarize(cfg_.start_delta_s, cfg_.stop_delta_s),
+                              ipc_series.summarize(0.0, 0.0)});
+  }
+  return 0;
+}
+
+int Firestarter::run_dump_asm() {
+  const Target target = resolve_target(cfg_);
+  const payload::FunctionDef& fn = resolve_function(cfg_, target);
+  const auto groups = resolve_groups(cfg_, fn);
+  // Regenerate the raw bytes outside executable memory for listing: the
+  // compiler is deterministic, so this is exactly what a run would map.
+  payload::CompileOptions options = compile_options(cfg_);
+  if (options.unroll == 0) options.unroll = 16;  // keep listings readable by default
+  auto payload = payload::compile_payload(fn.mix, groups, target.caches, options);
+  out_ << "kernel for " << fn.name << "  M=" << groups.to_string() << "  u="
+       << payload.stats().unroll << "  (" << payload.stats().loop_bytes << " B loop, "
+       << payload.stats().instructions_per_iteration << " instructions/iteration)\n";
+  // Disassemble straight from the mapped buffer (read access is allowed).
+  out_ << jit::format_listing(payload.code_bytes());
+  return 0;
+}
+
+int Firestarter::run_selftest_mode() {
+  const Target target = resolve_target(cfg_);
+  const payload::FunctionDef& fn = resolve_function(cfg_, target);
+  if (!target.cpu.features.covers(fn.mix.required))
+    throw UnsupportedError("host CPU lacks features for " + fn.name);
+  payload::CompileOptions options = compile_options(cfg_);
+  options.dump_registers = true;
+  auto payload = payload::compile_payload(fn.mix, resolve_groups(cfg_, fn), target.caches,
+                                          options);
+  const arch::Topology topology = arch::Topology::from_sysfs();
+  std::vector<int> cpus = topology.worker_cpus(cfg_.one_thread_per_core);
+  if (cfg_.threads && *cfg_.threads > 0 &&
+      static_cast<std::size_t>(*cfg_.threads) < cpus.size())
+    cpus.resize(static_cast<std::size_t>(*cfg_.threads));
+  out_ << "SIMD self-test: " << fn.name << " on " << cpus.size() << " workers, "
+       << cfg_.selftest_iterations << " iterations each\n";
+  const kernel::SelftestResult result =
+      kernel::run_selftest(payload, cpus, cfg_.selftest_iterations, cfg_.seed);
+  out_ << result.describe() << "\n";
+  return result.passed ? 0 : 1;
+}
+
+int Firestarter::run_stress_host() {
+  const Target target = resolve_target(cfg_);
+  const payload::FunctionDef& fn = resolve_function(cfg_, target);
+  if (!target.cpu.features.covers(fn.mix.required))
+    throw UnsupportedError("host CPU lacks features for " + fn.name + " (needs " +
+                           fn.mix.required.to_string() + ")");
+  const auto groups = resolve_groups(cfg_, fn);
+  log::info() << "host: " << target.cpu.describe();
+  log::info() << "function: " << fn.name << " M=" << groups.to_string();
+
+  auto payload = payload::compile_payload(fn.mix, groups, target.caches, compile_options(cfg_));
+  log::info() << "compiled loop: u=" << payload.stats().unroll << ", "
+              << payload.stats().loop_bytes << " B, "
+              << payload.stats().instructions_per_iteration << " instructions/iteration";
+
+  const arch::Topology topology = arch::Topology::from_sysfs();
+  kernel::RunOptions run_options;
+  run_options.cpus = topology.worker_cpus(cfg_.one_thread_per_core);
+  if (cfg_.threads && *cfg_.threads > 0 &&
+      static_cast<std::size_t>(*cfg_.threads) < run_options.cpus.size())
+    run_options.cpus.resize(static_cast<std::size_t>(*cfg_.threads));
+  run_options.policy = policy_of(cfg_);
+  run_options.seed = cfg_.seed;
+  run_options.load = cfg_.load;
+  kernel::ThreadManager manager(payload, run_options);
+
+  // Optional GPU stand-in stress.
+  std::unique_ptr<gpu::DgemmStressor> gpu_stress;
+  if (cfg_.gpus > 0) {
+    gpu::GpuStressOptions gpu_options;
+    gpu_options.devices = cfg_.gpus;
+    gpu_options.matrix_n = cfg_.gpu_matrix_n;
+    gpu_options.seed = cfg_.seed;
+    gpu_stress = std::make_unique<gpu::DgemmStressor>(gpu_options);
+  }
+
+  // Metrics for --measurement.
+  metrics::RaplPowerMetric rapl;
+  metrics::PerfIpcMetric perf;
+  metrics::IpcEstimateMetric estimate([&manager] { return manager.total_iterations(); },
+                                      payload.stats().instructions_per_iteration,
+                                      /*assumed_mhz=*/2000.0,
+                                      static_cast<int>(run_options.cpus.size()));
+  std::unique_ptr<metrics::PluginMetric> plugin;
+  if (cfg_.metric_path) plugin = std::make_unique<metrics::PluginMetric>(*cfg_.metric_path);
+  std::unique_ptr<metrics::CommandMetric> command;
+  if (cfg_.metric_command)
+    command = std::make_unique<metrics::CommandMetric>(*cfg_.metric_command, "external-command",
+                                                       "value");
+
+  std::vector<metrics::Metric*> active;
+  if (rapl.available()) active.push_back(&rapl);
+  if (perf.available()) active.push_back(&perf);
+  active.push_back(&estimate);
+  if (plugin && plugin->available()) active.push_back(plugin.get());
+  if (command && command->available()) active.push_back(command.get());
+  std::vector<metrics::TimeSeries> series;
+  for (metrics::Metric* metric : active) series.emplace_back(metric->name(), metric->unit());
+
+  kernel::Watchdog watchdog;
+  std::atomic<bool> done{false};
+  if (cfg_.timeout_s > 0)
+    watchdog.arm(std::chrono::duration<double>(cfg_.timeout_s), [&done] { done.store(true); });
+
+  log::info() << "stressing " << run_options.cpus.size() << " CPUs"
+              << (cfg_.timeout_s > 0 ? strings::format(" for %.0f s", cfg_.timeout_s)
+                                     : std::string(" until interrupted"));
+  manager.start();
+  if (gpu_stress) gpu_stress->start();
+  for (metrics::Metric* metric : active) metric->begin();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  double last_dump_s = 0.0;
+  std::ofstream dump_file;
+  if (cfg_.dump_registers) dump_file.open(cfg_.dump_path);
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (cfg_.measurement)
+      for (std::size_t m = 0; m < active.size(); ++m)
+        series[m].add(elapsed, active[m]->sample());
+    if (cfg_.dump_registers && elapsed - last_dump_s >= cfg_.dump_interval_s) {
+      kernel::write_dump(dump_file, kernel::capture_registers(manager));
+      dump_file.flush();
+      last_dump_s = elapsed;
+    }
+    if (cfg_.timeout_s <= 0 && elapsed >= 1e9) break;  // effectively forever
+  }
+  manager.stop();
+  if (gpu_stress) gpu_stress->stop();
+  if (cfg_.dump_registers) {
+    kernel::write_dump(dump_file, kernel::capture_registers(manager));
+    log::info() << "register dump written to " << cfg_.dump_path;
+  }
+
+  out_ << strings::format("executed %llu kernel loop iterations on %zu workers\n",
+                          static_cast<unsigned long long>(manager.total_iterations()),
+                          manager.num_workers());
+  if (gpu_stress)
+    out_ << strings::format("gpu stand-in: %llu DGEMMs (%.1f GFLOP total)\n",
+                            static_cast<unsigned long long>(gpu_stress->total_gemms()),
+                            gpu_stress->total_flops() / 1e9);
+  if (cfg_.measurement) {
+    std::vector<metrics::Summary> summaries;
+    for (const auto& s : series) {
+      try {
+        summaries.push_back(s.summarize(cfg_.start_delta_s, cfg_.stop_delta_s));
+      } catch (const Error& e) {
+        log::warn() << e.what();
+      }
+    }
+    metrics::print_csv(out_, summaries);
+  }
+  return 0;
+}
+
+int Firestarter::run_optimization() {
+  const Target target = resolve_target(cfg_);
+  const payload::FunctionDef& fn = resolve_function(cfg_, target);
+
+  std::unique_ptr<tuning::EvaluationBackend> backend;
+  std::unique_ptr<sim::SimulatedSystem> system;
+  if (target.simulated) {
+    system = std::make_unique<sim::SimulatedSystem>(target.sim_config);
+    sim::RunConditions cond;
+    cond.freq_mhz = cfg_.sim_freq_mhz;
+    cond.policy = policy_of(cfg_);
+    cond.gpu_stress = target.gpu_stress;
+    if (cfg_.threads) cond.threads = *cfg_.threads;
+    auto sim_backend =
+        std::make_unique<SimBackend>(*system, fn.mix, target.caches, cond,
+                                     cfg_.candidate_duration_s, cfg_.seed);
+    out_ << "preheat (" << cfg_.preheat_s << " s virtual) ...\n";
+    sim_backend->preheat();
+    backend = std::move(sim_backend);
+  } else {
+    const arch::Topology topology = arch::Topology::from_sysfs();
+    std::vector<int> cpus = topology.worker_cpus(cfg_.one_thread_per_core);
+    if (cfg_.threads && *cfg_.threads > 0 &&
+        static_cast<std::size_t>(*cfg_.threads) < cpus.size())
+      cpus.resize(static_cast<std::size_t>(*cfg_.threads));
+
+    // Objective set: power if RAPL (or a plugin/command) is available, IPC
+    // via perf or the estimate — mirroring --optimization-metric defaults.
+    std::vector<std::string> names;
+    std::vector<HostBackend::MetricFactory> factories;
+    if (metrics::RaplPowerMetric().available()) {
+      names.push_back("rapl-power-W");
+      factories.push_back([](const payload::PayloadStats&, int,
+                             HostBackend::IterationCounter) -> metrics::MetricPtr {
+        auto metric = std::make_unique<metrics::RaplPowerMetric>();
+        return metric;
+      });
+    } else if (cfg_.metric_command) {
+      names.push_back("external-power");
+      const std::string command = *cfg_.metric_command;
+      factories.push_back([command](const payload::PayloadStats&, int,
+                                    HostBackend::IterationCounter) -> metrics::MetricPtr {
+        return std::make_unique<metrics::CommandMetric>(command, "external-power", "W");
+      });
+    }
+    names.push_back("ipc");
+    factories.push_back([](const payload::PayloadStats& stats, int workers,
+                           HostBackend::IterationCounter counter) -> metrics::MetricPtr {
+      auto perf = std::make_unique<metrics::PerfIpcMetric>();
+      if (perf->available()) return perf;
+      return std::make_unique<metrics::IpcEstimateMetric>(
+          std::move(counter), stats.instructions_per_iteration, 2000.0, workers);
+    });
+    if (names.size() < 2)
+      log::warn() << "only one objective available on this host; NSGA-II degenerates "
+                     "to single-objective search";
+    out_ << "preheat (" << cfg_.preheat_s << " s) ...\n";
+    backend = std::make_unique<HostBackend>(fn.mix, target.caches, cpus, names, factories,
+                                            cfg_.candidate_duration_s, cfg_.seed);
+    // Real preheat: run the default workload to warm the package.
+    if (cfg_.preheat_s > 0) backend->evaluate(resolve_groups(cfg_, fn));
+  }
+
+  tuning::GroupsProblem problem(*backend);
+  tuning::Nsga2Config nsga2_config;
+  nsga2_config.individuals = cfg_.individuals;
+  nsga2_config.generations = cfg_.generations;
+  nsga2_config.mutation_probability = cfg_.nsga2_m;
+  nsga2_config.seed = cfg_.seed;
+  tuning::History history;
+  tuning::Nsga2 optimizer(nsga2_config);
+
+  out_ << "optimizing " << fn.name << " on " << (target.simulated ? target.sim_config.name : "host")
+       << ": " << cfg_.individuals << " individuals x " << cfg_.generations
+       << " generations, m=" << cfg_.nsga2_m << "\n";
+  const auto population = optimizer.run(problem, &history);
+
+  std::ofstream log_file(cfg_.optimization_log);
+  history.write_csv(log_file, backend->objective_names());
+  out_ << history.size() << " candidate evaluations logged to " << cfg_.optimization_log << "\n";
+
+  // Print the first front, best power first (the paper prints "the best
+  // individuals" after the last generation).
+  Table table({"rank", backend->objective_names()[0],
+               backend->objective_names().size() > 1 ? backend->objective_names()[1] : "-",
+               "instruction groups"});
+  int printed = 0;
+  for (const auto& ind : population) {
+    if (ind.rank != 0 || printed >= 10) continue;
+    table.add_row({std::to_string(ind.rank), strings::format("%.2f", ind.objectives[0]),
+                   ind.objectives.size() > 1 ? strings::format("%.3f", ind.objectives[1]) : "-",
+                   tuning::GroupsProblem::to_groups(ind.genome).to_string()});
+    ++printed;
+  }
+  table.print(out_);
+
+  const auto& best = tuning::Nsga2::best_by_objective(population, 0);
+  out_ << "selected optimum: " << tuning::GroupsProblem::to_groups(best.genome).to_string()
+       << strings::format("  (%.2f %s)\n", best.objectives[0],
+                          backend->objective_names()[0].c_str());
+  return 0;
+}
+
+}  // namespace fs2::firestarter

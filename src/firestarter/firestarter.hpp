@@ -1,0 +1,33 @@
+#pragma once
+
+#include <ostream>
+
+#include "firestarter/config.hpp"
+
+namespace fs2::firestarter {
+
+/// Top-level orchestration: wires CPU detection, payload selection and
+/// compilation, worker threads, metrics, the watchdog, and the NSGA-II
+/// tuning loop according to a parsed Config — the box labelled
+/// "FIRESTARTER" in Fig. 10.
+class Firestarter {
+ public:
+  Firestarter(Config config, std::ostream& out);
+
+  /// Execute the configured action. Returns a process exit code.
+  int run();
+
+ private:
+  int list_functions();
+  int list_metrics();
+  int run_stress_host();
+  int run_selftest_mode();
+  int run_dump_asm();
+  int run_stress_simulated();
+  int run_optimization();
+
+  Config cfg_;
+  std::ostream& out_;
+};
+
+}  // namespace fs2::firestarter

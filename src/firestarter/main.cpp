@@ -1,0 +1,25 @@
+// fs2 — FIRESTARTER 2 reproduction CLI. See --help for the flag set; the
+// defaults mirror the paper's tool (maximum load on every hardware thread
+// until interrupted).
+
+#include <exception>
+#include <iostream>
+
+#include "firestarter/config.hpp"
+#include "firestarter/firestarter.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    fs2::firestarter::Config config = fs2::firestarter::parse_args(argc, argv);
+    fs2::firestarter::Firestarter app(std::move(config), std::cout);
+    return app.run();
+  } catch (const fs2::ConfigError& e) {
+    std::cerr << "fs2: " << e.what() << "\n";
+    std::cerr << "try 'fs2 --help'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "fs2: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,101 @@
+#include "gpu/dgemm_stress.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fs2::gpu {
+
+void blocked_dgemm(std::size_t n, double alpha, const double* a, const double* b, double beta,
+                   double* c) {
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i = 0; i < n * n; ++i) c[i] *= beta;
+  for (std::size_t ii = 0; ii < n; ii += kBlock) {
+    const std::size_t i_end = std::min(ii + kBlock, n);
+    for (std::size_t kk = 0; kk < n; kk += kBlock) {
+      const std::size_t k_end = std::min(kk + kBlock, n);
+      for (std::size_t jj = 0; jj < n; jj += kBlock) {
+        const std::size_t j_end = std::min(jj + kBlock, n);
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double aik = alpha * a[i * n + k];
+            const double* b_row = &b[k * n];
+            double* c_row = &c[i * n];
+            for (std::size_t j = jj; j < j_end; ++j) c_row[j] += aik * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+struct DgemmStressor::Device {
+  std::thread thread;
+  std::vector<double> a, b, c;
+  std::atomic<std::uint64_t> gemms{0};
+  std::uint64_t seed = 0;
+};
+
+DgemmStressor::DgemmStressor(GpuStressOptions options) : options_(options) {
+  for (int d = 0; d < options_.devices; ++d) {
+    auto device = std::make_unique<Device>();
+    device->seed = options_.seed + static_cast<std::uint64_t>(d) * 0x9e3779b97f4a7c15ULL;
+    devices_.push_back(std::move(device));
+  }
+  for (auto& device : devices_)
+    device->thread = std::thread(&DgemmStressor::device_main, this, std::ref(*device));
+}
+
+DgemmStressor::~DgemmStressor() { stop(); }
+
+void DgemmStressor::start() { start_flag_.store(true, std::memory_order_release); }
+
+void DgemmStressor::stop() {
+  if (joined_) return;
+  joined_ = true;
+  stop_flag_.store(true, std::memory_order_release);
+  start_flag_.store(true, std::memory_order_release);
+  for (auto& device : devices_)
+    if (device->thread.joinable()) device->thread.join();
+}
+
+std::uint64_t DgemmStressor::total_gemms() const {
+  std::uint64_t total = 0;
+  for (const auto& device : devices_) total += device->gemms.load(std::memory_order_relaxed);
+  return total;
+}
+
+double DgemmStressor::total_flops() const {
+  const double n = static_cast<double>(options_.matrix_n);
+  return static_cast<double>(total_gemms()) * 2.0 * n * n * n;
+}
+
+double DgemmStressor::checksum(int device) const {
+  const auto& c = devices_.at(static_cast<std::size_t>(device))->c;
+  double sum = 0.0;
+  for (double v : c) sum += v;
+  return sum;
+}
+
+void DgemmStressor::device_main(Device& device) {
+  const std::size_t n = options_.matrix_n;
+  // Device-side initialization: allocated and filled in the device context,
+  // never touched by the "host" thread (the FIRESTARTER 2 cuBLAS fix).
+  Xoshiro256 rng(device.seed);
+  device.a.resize(n * n);
+  device.b.resize(n * n);
+  device.c.assign(n * n, 0.0);
+  for (double& v : device.a) v = 0.5 + rng.uniform();   // in [0.5, 1.5): no trivial operands
+  for (double& v : device.b) v = 0.5 + rng.uniform();
+
+  while (!start_flag_.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    // beta < 1 keeps C bounded: fixed point of |C| is alpha*E[A*B]*n/(1-beta).
+    blocked_dgemm(n, 1e-3, device.a.data(), device.b.data(), 0.5, device.c.data());
+    device.gemms.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace fs2::gpu

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace fs2::gpu {
+
+/// Configuration of the GPU-style DGEMM stressor.
+struct GpuStressOptions {
+  int devices = 1;           ///< simulated GPUs (worker contexts)
+  std::size_t matrix_n = 256;  ///< square matrix dimension per DGEMM
+  std::uint64_t seed = 0xD6E3;
+};
+
+/// Stand-in for FIRESTARTER's cuBLAS DGEMM GPU stress: each simulated
+/// device runs C = alpha*A*B + beta*C in a loop on its own buffers
+/// ("device memory"), using a cache-blocked kernel. Matrices are
+/// initialized *inside the device worker* — mirroring the FIRESTARTER 2
+/// improvement where data is initialized directly on the GPU instead of
+/// being filled on the host and copied (Sec. III-D).
+class DgemmStressor {
+ public:
+  explicit DgemmStressor(GpuStressOptions options);
+  ~DgemmStressor();
+  DgemmStressor(const DgemmStressor&) = delete;
+  DgemmStressor& operator=(const DgemmStressor&) = delete;
+
+  void start();
+  void stop();
+
+  /// DGEMM iterations completed across all devices.
+  std::uint64_t total_gemms() const;
+
+  /// FLOPs executed so far (2*n^3 per DGEMM).
+  double total_flops() const;
+
+  /// Checksum of device 0's C matrix — result verification across runs
+  /// (bit-flips alter it; same seed must reproduce it).
+  double checksum(int device = 0) const;
+
+  const GpuStressOptions& options() const { return options_; }
+
+ private:
+  struct Device;
+  void device_main(Device& device);
+
+  GpuStressOptions options_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::atomic<bool> start_flag_{false};
+  std::atomic<bool> stop_flag_{false};
+  bool joined_ = false;
+};
+
+/// Single blocked DGEMM: C = alpha*A*B + beta*C, row-major n x n.
+/// Exposed for direct testing against a naive reference implementation.
+void blocked_dgemm(std::size_t n, double alpha, const double* a, const double* b, double beta,
+                   double* c);
+
+}  // namespace fs2::gpu

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jit/registers.hpp"
+
+namespace fs2::jit {
+
+/// Forward-referenceable code position. Obtained from Assembler::new_label,
+/// bound with Assembler::bind, usable as a branch target before binding.
+struct Label {
+  std::uint32_t index;
+};
+
+/// x86-64 instruction encoder with label management — the subset of AsmJit
+/// that FIRESTARTER 2's payload generator needs, implemented from scratch.
+///
+/// Supported instruction classes:
+///  * integer: mov/add/sub/xor/shl/shr/dec/test/cmp, push/pop, jcc/jmp, ret
+///  * AVX (VEX): vmovapd/vmovupd, vaddpd/vmulpd/vxorpd, vfmadd231pd (FMA3),
+///    register and [base+disp] memory forms
+///  * SSE2: movapd/addpd/mulpd for the pre-AVX fallback payload
+///  * prefetch with locality hints, multi-byte NOP alignment
+///
+/// Encoding is deliberately conservative: memory operands are always
+/// base+disp (auto-selecting disp0/disp8/disp32 and inserting SIB bytes for
+/// rsp/r12 bases), which keeps the encoder small enough to be verified
+/// byte-for-byte in tests.
+class Assembler {
+ public:
+  // ---- labels & control flow -------------------------------------------
+  Label new_label();
+  void bind(Label label);
+  void jmp(Label target);   ///< jmp rel32
+  void jnz(Label target);   ///< jnz/jne rel32
+  void jz(Label target);    ///< jz/je rel32
+  void ret();
+
+  // ---- integer ALU -------------------------------------------------------
+  void mov(Gp dst, std::uint64_t imm);      ///< mov r64, imm64
+  void mov(Gp dst, Gp src);                 ///< mov r64, r64
+  void mov(Gp dst, Mem src);                ///< mov r64, [mem]
+  void mov(Mem dst, Gp src);                ///< mov [mem], r64
+  void add(Gp dst, std::int32_t imm);       ///< add r64, imm32 (sign-extended)
+  void sub(Gp dst, std::int32_t imm);
+  void add(Gp dst, Gp src);
+  void and_(Gp dst, std::int32_t imm);      ///< and r64, imm32 (sign-extended)
+  void xor_(Gp dst, Gp src);
+  void shl(Gp dst, std::uint8_t imm);
+  void shr(Gp dst, std::uint8_t imm);
+  void dec(Gp dst);
+  void inc(Gp dst);
+  void test(Gp a, Gp b);
+  void cmp(Gp a, std::int32_t imm);
+  void cmp(Gp a, Gp b);
+  void push(Gp reg);
+  void pop(Gp reg);
+
+  // ---- AVX / FMA (VEX-encoded, 256-bit) ----------------------------------
+  void vmovapd(Ymm dst, Ymm src);
+  void vmovapd(Ymm dst, Mem src);
+  void vmovapd(Mem dst, Ymm src);
+  void vmovupd(Mem dst, Ymm src);
+  void vaddpd(Ymm dst, Ymm lhs, Ymm rhs);
+  void vaddpd(Ymm dst, Ymm lhs, Mem rhs);
+  void vmulpd(Ymm dst, Ymm lhs, Ymm rhs);
+  void vmulpd(Ymm dst, Ymm lhs, Mem rhs);
+  void vxorpd(Ymm dst, Ymm lhs, Ymm rhs);
+  void vfmadd231pd(Ymm dst, Ymm a, Ymm b);  ///< dst += a * b
+  void vfmadd231pd(Ymm dst, Ymm a, Mem b);
+  void vzeroupper();  ///< avoid AVX->SSE transition stalls before returning
+
+  // ---- AVX-512F (EVEX-encoded, 512-bit, zmm0-15, no masking) --------------
+  void vmovapd(Zmm dst, Zmm src);
+  void vmovapd(Zmm dst, Mem src);
+  void vmovapd(Mem dst, Zmm src);
+  void vaddpd(Zmm dst, Zmm lhs, Zmm rhs);
+  void vmulpd(Zmm dst, Zmm lhs, Zmm rhs);
+  void vfmadd231pd(Zmm dst, Zmm a, Zmm b);
+  void vfmadd231pd(Zmm dst, Zmm a, Mem b);
+
+  // ---- SSE2 fallback (128-bit, legacy encoding) ---------------------------
+  void movapd(Xmm dst, Mem src);
+  void movapd(Mem dst, Xmm src);
+  void movapd(Xmm dst, Xmm src);
+  void addpd(Xmm dst, Xmm src);
+  void addpd(Xmm dst, Mem src);
+  void mulpd(Xmm dst, Xmm src);
+  void mulpd(Xmm dst, Mem src);
+
+  // ---- memory hints & padding ---------------------------------------------
+  void prefetch(Mem addr, PrefetchHint hint);
+  void nop(std::size_t bytes = 1);   ///< multi-byte NOP sequence
+  void align(std::size_t boundary);  ///< pad with NOPs to `boundary` bytes
+
+  // ---- finalization --------------------------------------------------------
+  /// Current emitted size in bytes (before fixups; fixup patching does not
+  /// change the size).
+  std::size_t size() const { return code_.size(); }
+
+  /// Patch all label fixups and return the finished machine code. Throws
+  /// fs2::Error if any referenced label was never bound.
+  std::vector<std::uint8_t> finalize();
+
+ private:
+  // Raw emission helpers.
+  void byte(std::uint8_t b) { code_.push_back(b); }
+  void dword(std::uint32_t v);
+  void qword(std::uint64_t v);
+
+  /// Emit a REX prefix. `w` selects 64-bit operands; reg/rm/index supply the
+  /// extension bits. The prefix is omitted when it would be 0x40 and not
+  /// required.
+  void rex(bool w, std::uint8_t reg, std::uint8_t rm, bool force = false,
+           std::uint8_t index = 0);
+
+  /// Emit ModRM (+SIB +disp) addressing `mem` with `reg` in the reg field.
+  void modrm_mem(std::uint8_t reg, const Mem& mem);
+  void modrm_reg(std::uint8_t reg, std::uint8_t rm);
+
+  /// Emit a VEX prefix (2-byte form when legal, else 3-byte).
+  /// mmmmm: 1=0F, 2=0F38, 3=0F3A; pp: 0=none, 1=66, 2=F3, 3=F2.
+  void vex(std::uint8_t reg, std::uint8_t vvvv, std::uint8_t rm_or_base, bool w,
+           bool l256, std::uint8_t mmmmm, std::uint8_t pp);
+
+  /// VEX op with register rm operand.
+  void vex_rr(std::uint8_t opcode, std::uint8_t dst, std::uint8_t vvvv, std::uint8_t src,
+              bool w, bool l256, std::uint8_t mmmmm, std::uint8_t pp);
+  /// VEX op with memory rm operand.
+  void vex_rm(std::uint8_t opcode, std::uint8_t dst, std::uint8_t vvvv, const Mem& mem,
+              bool w, bool l256, std::uint8_t mmmmm, std::uint8_t pp);
+
+  /// Emit a 4-byte EVEX prefix (512-bit vector length, no masking, no
+  /// broadcast; registers restricted to 0-15 so R'/V' stay clear).
+  /// mm: 1=0F, 2=0F38, 3=0F3A; pp as for VEX.
+  void evex(std::uint8_t reg, std::uint8_t vvvv, std::uint8_t rm_or_base, bool w,
+            std::uint8_t mm, std::uint8_t pp);
+  /// EVEX op with register rm operand.
+  void evex_rr(std::uint8_t opcode, std::uint8_t dst, std::uint8_t vvvv, std::uint8_t src,
+               bool w, std::uint8_t mm, std::uint8_t pp);
+  /// EVEX op with memory rm operand. Always uses disp32 addressing to
+  /// sidestep EVEX's compressed-disp8 scaling rules.
+  void evex_rm(std::uint8_t opcode, std::uint8_t dst, std::uint8_t vvvv, const Mem& mem,
+               bool w, std::uint8_t mm, std::uint8_t pp);
+  void modrm_mem_disp32(std::uint8_t reg, const Mem& mem);
+
+  /// SSE op: 66 0F <opcode> /r forms.
+  void sse_rr(std::uint8_t opcode, std::uint8_t dst, std::uint8_t src);
+  void sse_rm(std::uint8_t opcode, std::uint8_t reg, const Mem& mem);
+
+  void jcc(std::uint8_t opcode2, Label target);
+
+  struct Fixup {
+    std::size_t patch_pos;  ///< byte offset of the rel32 field
+    std::uint32_t label;
+  };
+
+  std::vector<std::uint8_t> code_;
+  std::vector<std::int64_t> label_offsets_;  ///< -1 while unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace fs2::jit

@@ -1,0 +1,408 @@
+#include "jit/disassembler.hpp"
+
+#include "util/strings.hpp"
+
+namespace fs2::jit {
+
+namespace {
+
+const char* kGpNames[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+                            "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+
+std::string vec_name(unsigned reg, int width_doubles) {
+  const char* prefix = width_doubles == 8 ? "zmm" : width_doubles == 4 ? "ymm" : "xmm";
+  return strings::format("%s%u", prefix, reg);
+}
+
+/// Streaming byte reader with bounds checking.
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> code, std::size_t pos) : code_(code), pos_(pos) {}
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+
+  std::uint8_t u8() {
+    if (pos_ >= code_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return code_[pos_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) value |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return value;
+  }
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) value |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return value;
+  }
+
+ private:
+  std::span<const std::uint8_t> code_;
+  std::size_t pos_;
+  bool ok_ = true;
+};
+
+/// Decoded ModRM with our addressing subset (base+disp or register).
+struct Operand {
+  bool is_memory = false;
+  unsigned reg = 0;     // reg field (with REX.R/VEX.R extension applied)
+  unsigned rm = 0;      // register or base
+  std::int32_t disp = 0;
+
+  std::string memory_text() const {
+    if (disp == 0) return strings::format("[%s]", kGpNames[rm]);
+    return strings::format("[%s%+d]", kGpNames[rm], disp);
+  }
+};
+
+/// Parse ModRM (+SIB +disp). rex_r/rex_b extend reg/rm.
+bool parse_modrm(Reader& r, bool rex_r, bool rex_b, Operand& out) {
+  const std::uint8_t modrm = r.u8();
+  const unsigned mod = modrm >> 6;
+  out.reg = ((modrm >> 3) & 7) | (rex_r ? 8 : 0);
+  unsigned rm_low = modrm & 7;
+  if (mod == 3) {
+    out.is_memory = false;
+    out.rm = rm_low | (rex_b ? 8 : 0);
+    return r.ok();
+  }
+  out.is_memory = true;
+  if (rm_low == 4) {
+    // SIB; we only emit no-index SIBs (index = 100).
+    const std::uint8_t sib = r.u8();
+    if (((sib >> 3) & 7) != 4) return false;
+    rm_low = sib & 7;
+  }
+  out.rm = rm_low | (rex_b ? 8 : 0);
+  if (mod == 0) {
+    if (rm_low == 5) return false;  // RIP-relative: never emitted
+    out.disp = 0;
+  } else if (mod == 1) {
+    out.disp = static_cast<std::int8_t>(r.u8());
+  } else {
+    out.disp = static_cast<std::int32_t>(r.u32());
+  }
+  return r.ok();
+}
+
+std::string two_op(const char* mnemonic, const Operand& op, bool reg_is_dest,
+                   int width_doubles) {
+  const std::string reg = width_doubles == 0 ? kGpNames[op.reg] : vec_name(op.reg, width_doubles);
+  const std::string rm = op.is_memory
+                             ? op.memory_text()
+                             : (width_doubles == 0 ? kGpNames[op.rm] : vec_name(op.rm, width_doubles));
+  if (reg_is_dest) return strings::format("%s %s, %s", mnemonic, reg.c_str(), rm.c_str());
+  return strings::format("%s %s, %s", mnemonic, rm.c_str(), reg.c_str());
+}
+
+/// Decode the 0F-escape legacy opcodes (jcc, prefetch, nop, SSE with 66).
+bool decode_0f(Reader& r, bool has_66, bool rex_r, bool rex_b, std::size_t start,
+               std::string& text) {
+  const std::uint8_t opcode = r.u8();
+  Operand op;
+  switch (opcode) {
+    case 0x84:
+    case 0x85: {
+      const auto rel = static_cast<std::int32_t>(r.u32());
+      const std::size_t target = r.pos() + static_cast<std::size_t>(rel);
+      text = strings::format("%s 0x%zx", opcode == 0x85 ? "jnz" : "jz", target);
+      (void)start;
+      return r.ok();
+    }
+    case 0x18: {
+      if (!parse_modrm(r, rex_r, rex_b, op) || !op.is_memory) return false;
+      static const char* hints[] = {"prefetchnta", "prefetcht0", "prefetcht1", "prefetcht2"};
+      if ((op.reg & 7) > 3) return false;
+      text = strings::format("%s %s", hints[op.reg & 7], op.memory_text().c_str());
+      return true;
+    }
+    case 0x1F: {
+      // Multi-byte NOP: skip the ModRM permissively (NOP encodings use SIB
+      // forms with index=000 that the strict parser rejects).
+      const std::uint8_t modrm = r.u8();
+      const unsigned mod = modrm >> 6;
+      if ((modrm & 7) == 4) r.u8();  // SIB
+      if (mod == 1) r.u8();
+      else if (mod == 2) r.u32();
+      text = "nop (multi-byte)";
+      return r.ok();
+    }
+    case 0x28:
+    case 0x29:
+      if (!has_66 || !parse_modrm(r, rex_r, rex_b, op)) return false;
+      text = two_op("movapd", op, opcode == 0x28, 2);
+      return true;
+    case 0x58:
+      if (!has_66 || !parse_modrm(r, rex_r, rex_b, op)) return false;
+      text = two_op("addpd", op, true, 2);
+      return true;
+    case 0x59:
+      if (!has_66 || !parse_modrm(r, rex_r, rex_b, op)) return false;
+      text = two_op("mulpd", op, true, 2);
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Decode a VEX- or EVEX-prefixed vector instruction.
+bool decode_vector(Reader& r, std::uint8_t map, std::uint8_t pp, unsigned vvvv,
+                   int width_doubles, bool vex_r, bool vex_b, std::string& text) {
+  if (pp != 1) return false;  // everything we emit is 66-prefixed
+  const std::uint8_t opcode = r.u8();
+  Operand op;
+  auto three_op = [&](const char* mnemonic) {
+    const std::string dst = vec_name(op.reg, width_doubles);
+    const std::string src1 = vec_name(vvvv, width_doubles);
+    const std::string src2 =
+        op.is_memory ? op.memory_text() : vec_name(op.rm, width_doubles);
+    return strings::format("%s %s, %s, %s", mnemonic, dst.c_str(), src1.c_str(), src2.c_str());
+  };
+  if (map == 1) {
+    switch (opcode) {
+      case 0x28:
+      case 0x29:
+        if (!parse_modrm(r, vex_r, vex_b, op)) return false;
+        text = two_op("vmovapd", op, opcode == 0x28, width_doubles);
+        return true;
+      case 0x10:
+      case 0x11:
+        if (!parse_modrm(r, vex_r, vex_b, op)) return false;
+        text = two_op("vmovupd", op, opcode == 0x10, width_doubles);
+        return true;
+      case 0x57:
+        if (!parse_modrm(r, vex_r, vex_b, op)) return false;
+        text = three_op("vxorpd");
+        return true;
+      case 0x58:
+        if (!parse_modrm(r, vex_r, vex_b, op)) return false;
+        text = three_op("vaddpd");
+        return true;
+      case 0x59:
+        if (!parse_modrm(r, vex_r, vex_b, op)) return false;
+        text = three_op("vmulpd");
+        return true;
+      default:
+        return false;
+    }
+  }
+  if (map == 2 && opcode == 0xB8) {
+    if (!parse_modrm(r, vex_r, vex_b, op)) return false;
+    text = three_op("vfmadd231pd");
+    return true;
+  }
+  return false;
+}
+
+DecodedInstruction decode_one(std::span<const std::uint8_t> code, std::size_t start) {
+  DecodedInstruction out;
+  out.offset = start;
+  Reader r(code, start);
+  std::uint8_t byte = r.u8();
+  if (!r.ok()) return out;
+
+  bool has_66 = false;
+  if (byte == 0x66) {
+    // 66 90 is the 2-byte NOP; otherwise an SSE prefix.
+    has_66 = true;
+    byte = r.u8();
+    if (byte == 0x90) {
+      out.text = "nop (2-byte)";
+      out.valid = r.ok();
+      out.length = r.pos() - start;
+      return out;
+    }
+  }
+
+  // VEX prefixes.
+  if (!has_66 && (byte == 0xC5 || byte == 0xC4)) {
+    bool vex_r, vex_b = false;
+    std::uint8_t map = 1, pp;
+    unsigned vvvv;
+    int width;
+    if (byte == 0xC5) {
+      const std::uint8_t p = r.u8();
+      if (p == 0xF8 && r.u8() == 0x77) {  // vzeroupper
+        out.text = "vzeroupper";
+        out.valid = r.ok();
+        out.length = r.pos() - start;
+        return out;
+      }
+      // Re-read: the simple path above consumed one byte too many on
+      // non-vzeroupper; rebuild the reader.
+      r = Reader(code, start + 2);
+      vex_r = (p & 0x80) == 0;
+      vvvv = (~(p >> 3)) & 0xf;
+      width = (p & 0x04) ? 4 : 2;
+      pp = p & 3;
+    } else {
+      const std::uint8_t p0 = r.u8();
+      const std::uint8_t p1 = r.u8();
+      vex_r = (p0 & 0x80) == 0;
+      vex_b = (p0 & 0x20) == 0;
+      map = p0 & 0x1f;
+      vvvv = (~(p1 >> 3)) & 0xf;
+      width = (p1 & 0x04) ? 4 : 2;
+      pp = p1 & 3;
+    }
+    if (decode_vector(r, map, pp, vvvv, width, vex_r, vex_b, out.text)) {
+      out.valid = r.ok();
+      out.length = r.pos() - start;
+    }
+    return out;
+  }
+
+  // EVEX prefix.
+  if (!has_66 && byte == 0x62) {
+    const std::uint8_t p0 = r.u8();
+    const std::uint8_t p1 = r.u8();
+    const std::uint8_t p2 = r.u8();
+    const bool evex_r = (p0 & 0x80) == 0;
+    const bool evex_b = (p0 & 0x20) == 0;
+    const std::uint8_t map = p0 & 3;
+    const unsigned vvvv = (~(p1 >> 3)) & 0xf;
+    const std::uint8_t pp = p1 & 3;
+    const int width = ((p2 >> 5) & 3) == 2 ? 8 : ((p2 >> 5) & 3) == 1 ? 4 : 2;
+    if (decode_vector(r, map, pp, vvvv, width, evex_r, evex_b, out.text)) {
+      out.valid = r.ok();
+      out.length = r.pos() - start;
+    }
+    return out;
+  }
+
+  // REX prefix.
+  bool rex_w = false, rex_r = false, rex_b = false;
+  if (!has_66 && byte >= 0x40 && byte <= 0x4F) {
+    rex_w = byte & 8;
+    rex_r = byte & 4;
+    rex_b = byte & 1;
+    byte = r.u8();
+  }
+  if (has_66) {
+    // 66 [REX] 0F ...: SSE2 path.
+    if (byte >= 0x40 && byte <= 0x4F) {
+      rex_r = byte & 4;
+      rex_b = byte & 1;
+      byte = r.u8();
+    }
+    if (byte != 0x0F) return out;
+    if (decode_0f(r, true, rex_r, rex_b, start, out.text)) {
+      out.valid = r.ok();
+      out.length = r.pos() - start;
+    }
+    return out;
+  }
+
+  Operand op;
+  switch (byte) {
+    case 0x0F:
+      if (decode_0f(r, false, rex_r, rex_b, start, out.text)) break;
+      return out;
+    case 0x90:
+      out.text = "nop";
+      break;
+    case 0xC3:
+      out.text = "ret";
+      break;
+    case 0xE9: {
+      const auto rel = static_cast<std::int32_t>(r.u32());
+      out.text = strings::format("jmp 0x%zx", r.pos() + static_cast<std::size_t>(rel));
+      break;
+    }
+    case 0x01:
+    case 0x89:
+    case 0x8B:
+    case 0x31:
+    case 0x39:
+    case 0x85: {
+      if (!parse_modrm(r, rex_r, rex_b, op)) return out;
+      const char* mnemonic = byte == 0x01   ? "add"
+                             : byte == 0x31 ? "xor"
+                             : byte == 0x39 ? "cmp"
+                             : byte == 0x85 ? "test"
+                                            : "mov";
+      out.text = two_op(mnemonic, op, byte == 0x8B, 0);
+      break;
+    }
+    case 0x81: {
+      if (!parse_modrm(r, rex_r, rex_b, op) || op.is_memory) return out;
+      const auto imm = static_cast<std::int32_t>(r.u32());
+      static const char* group1[] = {"add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"};
+      out.text = strings::format("%s %s, 0x%x", group1[op.reg & 7], kGpNames[op.rm], imm);
+      break;
+    }
+    case 0xC1: {
+      if (!parse_modrm(r, rex_r, rex_b, op) || op.is_memory) return out;
+      const std::uint8_t imm = r.u8();
+      if ((op.reg & 7) != 4 && (op.reg & 7) != 5) return out;
+      out.text = strings::format("%s %s, %u", (op.reg & 7) == 4 ? "shl" : "shr",
+                                 kGpNames[op.rm], imm);
+      break;
+    }
+    case 0xFF: {
+      if (!parse_modrm(r, rex_r, rex_b, op) || op.is_memory) return out;
+      if ((op.reg & 7) > 1) return out;
+      out.text = strings::format("%s %s", (op.reg & 7) == 0 ? "inc" : "dec", kGpNames[op.rm]);
+      break;
+    }
+    default:
+      if (byte >= 0xB8 && byte <= 0xBF && rex_w) {
+        const std::uint64_t imm = r.u64();
+        out.text = strings::format("mov %s, 0x%llx", kGpNames[(byte - 0xB8) | (rex_b ? 8 : 0)],
+                                   static_cast<unsigned long long>(imm));
+        break;
+      }
+      if (byte >= 0x50 && byte <= 0x57) {
+        out.text = strings::format("push %s", kGpNames[(byte - 0x50) | (rex_b ? 8 : 0)]);
+        break;
+      }
+      if (byte >= 0x58 && byte <= 0x5F) {
+        out.text = strings::format("pop %s", kGpNames[(byte - 0x58) | (rex_b ? 8 : 0)]);
+        break;
+      }
+      return out;  // unrecognized
+  }
+  out.valid = r.ok();
+  out.length = r.pos() - start;
+  return out;
+}
+
+}  // namespace
+
+std::vector<DecodedInstruction> disassemble(std::span<const std::uint8_t> code) {
+  std::vector<DecodedInstruction> instructions;
+  std::size_t pos = 0;
+  while (pos < code.size()) {
+    // Mapped code buffers are zero-padded to page size; a zero byte is
+    // never the start of an emitted instruction and terminates the listing.
+    if (code[pos] == 0x00) break;
+    DecodedInstruction instruction = decode_one(code, pos);
+    if (!instruction.valid) {
+      instruction.offset = pos;
+      instruction.length = 1;
+      instruction.text = strings::format("(byte 0x%02x)", code[pos]);
+      instructions.push_back(instruction);
+      break;
+    }
+    pos += instruction.length;
+    instructions.push_back(std::move(instruction));
+  }
+  return instructions;
+}
+
+std::string format_listing(std::span<const std::uint8_t> code) {
+  std::string out;
+  for (const DecodedInstruction& instruction : disassemble(code)) {
+    out += strings::format("%6zx:  ", instruction.offset);
+    std::string hex;
+    for (std::size_t i = 0; i < instruction.length && i < 12; ++i)
+      hex += strings::format("%02x ", code[instruction.offset + i]);
+    out += strings::format("%-37s %s\n", hex.c_str(), instruction.text.c_str());
+  }
+  return out;
+}
+
+}  // namespace fs2::jit

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fs2::jit {
+
+/// One decoded instruction.
+struct DecodedInstruction {
+  std::size_t offset = 0;   ///< byte offset in the code buffer
+  std::size_t length = 0;   ///< encoded length in bytes
+  std::string text;         ///< AT&T-free Intel-ish mnemonic rendering
+  bool valid = false;       ///< false: byte not recognized (decoding stops)
+};
+
+/// Disassembler for exactly the instruction subset the fs2 assembler emits
+/// (REX/VEX/EVEX forms of the stress-kernel instructions, the integer ALU
+/// ops, branches, NOP padding). Not a general x86 decoder: its purpose is
+///  * inspecting generated kernels (`fs2 --dump-asm`), and
+///  * property-testing the encoder by round-tripping
+///    encode -> decode -> compare.
+///
+/// Decoding stops at the first unrecognized byte (valid=false entry).
+std::vector<DecodedInstruction> disassemble(std::span<const std::uint8_t> code);
+
+/// Render a full listing with offsets and hex bytes, one line per
+/// instruction.
+std::string format_listing(std::span<const std::uint8_t> code);
+
+}  // namespace fs2::jit

@@ -1,0 +1,45 @@
+#include "jit/exec_memory.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::jit {
+
+ExecutableBuffer::ExecutableBuffer(std::span<const std::uint8_t> code) {
+  if (code.empty()) throw Error("ExecutableBuffer: refusing to map empty code");
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  size_ = (code.size() + page - 1) / page * page;
+  void* mem = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED)
+    throw Error(strings::format("ExecutableBuffer: mmap of %zu bytes failed", size_));
+  std::memcpy(mem, code.data(), code.size());
+  if (::mprotect(mem, size_, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(mem, size_);
+    throw Error("ExecutableBuffer: mprotect(PROT_READ|PROT_EXEC) failed");
+  }
+  base_ = mem;
+}
+
+ExecutableBuffer::ExecutableBuffer(ExecutableBuffer&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+ExecutableBuffer& ExecutableBuffer::operator=(ExecutableBuffer&& other) noexcept {
+  if (this != &other) {
+    this->~ExecutableBuffer();
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+ExecutableBuffer::~ExecutableBuffer() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+}  // namespace fs2::jit

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fs2::jit {
+
+/// Owner of a page-aligned executable code region with W^X discipline:
+/// the buffer is mapped writable, filled once, then flipped to read+execute.
+/// Never writable and executable at the same time.
+class ExecutableBuffer {
+ public:
+  /// Map `code.size()` bytes (rounded up to pages), copy `code` in, and
+  /// remap read+execute. Throws fs2::Error when mmap/mprotect fail.
+  explicit ExecutableBuffer(std::span<const std::uint8_t> code);
+
+  ExecutableBuffer(const ExecutableBuffer&) = delete;
+  ExecutableBuffer& operator=(const ExecutableBuffer&) = delete;
+  ExecutableBuffer(ExecutableBuffer&& other) noexcept;
+  ExecutableBuffer& operator=(ExecutableBuffer&& other) noexcept;
+  ~ExecutableBuffer();
+
+  const void* entry() const { return base_; }
+  std::size_t size() const { return size_; }
+
+  /// Reinterpret the entry point as a function pointer of type Fn.
+  template <typename Fn>
+  Fn as() const {
+    return reinterpret_cast<Fn>(const_cast<void*>(entry()));
+  }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fs2::jit

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fs2::jit {
+
+/// 64-bit general-purpose registers, encoded with their hardware numbers.
+/// Values 8-15 require a REX.B/REX.R prefix bit, handled by the encoder.
+enum class Gp : std::uint8_t {
+  rax = 0, rcx, rdx, rbx, rsp, rbp, rsi, rdi,
+  r8, r9, r10, r11, r12, r13, r14, r15,
+};
+
+/// 256-bit AVX registers. The same numbering is used for XMM views.
+enum class Ymm : std::uint8_t {
+  ymm0 = 0, ymm1, ymm2, ymm3, ymm4, ymm5, ymm6, ymm7,
+  ymm8, ymm9, ymm10, ymm11, ymm12, ymm13, ymm14, ymm15,
+};
+
+/// 128-bit SSE registers (used for the SSE2 fallback payload).
+enum class Xmm : std::uint8_t {
+  xmm0 = 0, xmm1, xmm2, xmm3, xmm4, xmm5, xmm6, xmm7,
+  xmm8, xmm9, xmm10, xmm11, xmm12, xmm13, xmm14, xmm15,
+};
+
+/// 512-bit AVX-512 registers (EVEX-encoded). Only zmm0-15 are used so the
+/// encoder never needs the R'/V' extension bits.
+enum class Zmm : std::uint8_t {
+  zmm0 = 0, zmm1, zmm2, zmm3, zmm4, zmm5, zmm6, zmm7,
+  zmm8, zmm9, zmm10, zmm11, zmm12, zmm13, zmm14, zmm15,
+};
+
+constexpr std::uint8_t id(Gp r) { return static_cast<std::uint8_t>(r); }
+constexpr std::uint8_t id(Ymm r) { return static_cast<std::uint8_t>(r); }
+constexpr std::uint8_t id(Xmm r) { return static_cast<std::uint8_t>(r); }
+constexpr std::uint8_t id(Zmm r) { return static_cast<std::uint8_t>(r); }
+
+constexpr Gp gp(unsigned n) { return static_cast<Gp>(n & 15); }
+constexpr Ymm ymm(unsigned n) { return static_cast<Ymm>(n & 15); }
+constexpr Xmm xmm(unsigned n) { return static_cast<Xmm>(n & 15); }
+constexpr Zmm zmm(unsigned n) { return static_cast<Zmm>(n & 15); }
+
+/// True for registers the System V AMD64 ABI requires callees to preserve.
+constexpr bool is_callee_saved(Gp r) {
+  switch (r) {
+    case Gp::rbx: case Gp::rbp: case Gp::r12: case Gp::r13: case Gp::r14: case Gp::r15:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Simple base+displacement memory operand. The stress kernels only ever
+/// address [pointer_register + constant offset], so no index/scale support
+/// is needed; keeping the operand minimal keeps the encoder verifiable.
+struct Mem {
+  Gp base;
+  std::int32_t disp = 0;
+};
+
+inline Mem ptr(Gp base, std::int32_t disp = 0) { return Mem{base, disp}; }
+
+/// Prefetch locality hints, mapping to prefetchnta/t0/t1/t2.
+enum class PrefetchHint : std::uint8_t { nta = 0, t0 = 1, t1 = 2, t2 = 3 };
+
+}  // namespace fs2::jit

@@ -1,0 +1,76 @@
+#include "kernel/register_dump.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace fs2::kernel {
+
+namespace {
+constexpr std::size_t kAccumulators = 11;
+/// The kernel dump area is laid out as 16 vector slots of 64 B each,
+/// regardless of the payload's SIMD width.
+constexpr std::size_t kSlotDoubles = 8;
+}  // namespace
+
+RegisterSnapshot capture_registers(const ThreadManager& manager) {
+  RegisterSnapshot snapshot;
+  snapshot.lanes =
+      static_cast<std::size_t>(manager.payload().mix().vector_doubles);
+  snapshot.values.reserve(manager.num_workers());
+  for (std::size_t w = 0; w < manager.num_workers(); ++w) {
+    const double* dump = manager.buffer(w).dump();
+    std::vector<double> values;
+    values.reserve(kAccumulators * snapshot.lanes);
+    for (std::size_t reg = 0; reg < kAccumulators; ++reg)
+      for (std::size_t lane = 0; lane < snapshot.lanes; ++lane)
+        values.push_back(dump[reg * kSlotDoubles + lane]);
+    snapshot.values.push_back(std::move(values));
+  }
+  return snapshot;
+}
+
+void write_dump(std::ostream& out, const RegisterSnapshot& snapshot) {
+  const char* reg_prefix = snapshot.lanes == 8 ? "zmm" : snapshot.lanes == 4 ? "ymm" : "xmm";
+  for (std::size_t w = 0; w < snapshot.values.size(); ++w) {
+    out << "worker " << w << ":\n";
+    for (std::size_t reg = 0; reg < kAccumulators; ++reg) {
+      out << strings::format("  %s%-2zu", reg_prefix, reg);
+      for (std::size_t lane = 0; lane < snapshot.lanes; ++lane) {
+        const double value = snapshot.values[w][reg * snapshot.lanes + lane];
+        std::uint64_t bits;
+        std::memcpy(&bits, &value, sizeof bits);
+        out << strings::format(" %016llx(%.6e)", static_cast<unsigned long long>(bits), value);
+      }
+      out << '\n';
+    }
+  }
+}
+
+std::vector<std::size_t> diverging_values(const RegisterSnapshot& a, const RegisterSnapshot& b) {
+  std::vector<std::size_t> diverging;
+  const std::size_t workers = std::min(a.values.size(), b.values.size());
+  std::size_t flat = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t n = std::min(a.values[w].size(), b.values[w].size());
+    for (std::size_t i = 0; i < n; ++i, ++flat) {
+      std::uint64_t bits_a, bits_b;
+      std::memcpy(&bits_a, &a.values[w][i], sizeof bits_a);
+      std::memcpy(&bits_b, &b.values[w][i], sizeof bits_b);
+      if (bits_a != bits_b) diverging.push_back(flat);
+    }
+  }
+  return diverging;
+}
+
+bool has_invalid_values(const RegisterSnapshot& snapshot) {
+  for (const auto& worker : snapshot.values)
+    for (double value : worker) {
+      if (!std::isfinite(value)) return true;
+      if (value != 0.0 && std::fpclassify(value) == FP_SUBNORMAL) return true;
+    }
+  return false;
+}
+
+}  // namespace fs2::kernel

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "kernel/thread_manager.hpp"
+
+namespace fs2::kernel {
+
+/// Snapshot of all workers' SIMD accumulator registers. Sec. III-D: the
+/// register flush "enables users to check whether their SIMD units still
+/// work correctly when processors are used out of their regular
+/// specifications" and lets developers spot diverging numbers after code
+/// changes.
+struct RegisterSnapshot {
+  /// Lanes per accumulator register: 2 (SSE2), 4 (AVX/FMA) or 8 (AVX-512).
+  std::size_t lanes = 4;
+  /// [worker][value]: 11 accumulators x `lanes` doubles per worker.
+  std::vector<std::vector<double>> values;
+
+  bool operator==(const RegisterSnapshot& other) const { return values == other.values; }
+};
+
+/// Capture the current dump areas of all workers (valid after the kernel
+/// returned from a chunk; the dump stores are part of the kernel epilogue).
+RegisterSnapshot capture_registers(const ThreadManager& manager);
+
+/// Write a snapshot in the FIRESTARTER dump format: one line per register
+/// with hex bit patterns and decimal values.
+void write_dump(std::ostream& out, const RegisterSnapshot& snapshot);
+
+/// Compare two snapshots; returns the flat indices of mismatching values
+/// (empty = bit-identical SIMD results).
+std::vector<std::size_t> diverging_values(const RegisterSnapshot& a, const RegisterSnapshot& b);
+
+/// True if any captured value is non-finite or denormal — the failure modes
+/// Sec. III-D's operand rules exist to prevent.
+bool has_invalid_values(const RegisterSnapshot& snapshot);
+
+}  // namespace fs2::kernel

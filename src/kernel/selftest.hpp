@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "payload/compiler.hpp"
+
+namespace fs2::kernel {
+
+/// Result of one synchronized SIMD self-test round.
+struct SelftestResult {
+  bool passed = false;
+  std::size_t workers = 0;
+  std::uint64_t iterations = 0;
+  /// Workers whose register state diverged from worker 0 (bit-exact
+  /// comparison). Non-empty => some execution unit computed a different
+  /// result — on an overclocked machine, the signal to back off.
+  std::vector<std::size_t> diverging_workers;
+  /// True if any worker produced non-finite or denormal values.
+  bool invalid_values = false;
+
+  std::string describe() const;
+};
+
+/// Synchronized SIMD error detection (the check Sec. III-D's register
+/// flushing enables, and the cross-core variant FIRESTARTER later shipped
+/// as --error-detection): every worker runs *exactly* `iterations` loop
+/// iterations over identically-seeded operands, so all register states are
+/// a pure function of the workload — any pairwise difference is a hardware
+/// (or codegen) error, not scheduling noise.
+///
+/// The payload must be compiled with dump_registers enabled; throws
+/// fs2::Error otherwise. `cpus` selects the logical CPUs to test
+/// (use -1 entries for unpinned workers).
+SelftestResult run_selftest(const payload::CompiledPayload& payload,
+                            const std::vector<int>& cpus, std::uint64_t iterations,
+                            std::uint64_t seed);
+
+}  // namespace fs2::kernel

@@ -1,0 +1,116 @@
+#include "kernel/thread_manager.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace fs2::kernel {
+
+namespace {
+
+void pin_to_cpu(int cpu) {
+  if (cpu < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  if (::pthread_setaffinity_np(::pthread_self(), sizeof set, &set) != 0)
+    log::warn() << "failed to pin worker to CPU " << cpu << " (continuing unpinned)";
+}
+
+double now_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ThreadManager::ThreadManager(const payload::CompiledPayload& payload, RunOptions options)
+    : payload_(payload), options_(std::move(options)) {
+  if (options_.cpus.empty()) throw Error("ThreadManager: no CPUs to run on");
+  if (options_.load < 0.0 || options_.load > 1.0)
+    throw Error("ThreadManager: load must be within [0, 1]");
+  buffers_.reserve(options_.cpus.size());
+  workers_.reserve(options_.cpus.size());
+  for (std::size_t i = 0; i < options_.cpus.size(); ++i) {
+    buffers_.push_back(payload_.make_buffer());
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::size_t i = 0; i < options_.cpus.size(); ++i)
+    workers_[i]->thread = std::thread(&ThreadManager::worker_main, this, i, options_.cpus[i]);
+  // Wait until every worker initialized its operand buffer so start() hits
+  // all of them simultaneously (no staggered power ramp).
+  while (ready_count_.load(std::memory_order_acquire) <
+         static_cast<int>(options_.cpus.size()))
+    std::this_thread::yield();
+}
+
+ThreadManager::~ThreadManager() { stop(); }
+
+void ThreadManager::start() { started_.store(true, std::memory_order_release); }
+
+void ThreadManager::stop() {
+  if (stopped_.exchange(true)) return;
+  stop_flag_.store(true, std::memory_order_release);
+  started_.store(true, std::memory_order_release);  // unblock workers never started
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
+}
+
+std::uint64_t ThreadManager::total_iterations() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->iterations.load(std::memory_order_relaxed);
+  return total;
+}
+
+void ThreadManager::worker_main(std::size_t index, int cpu) {
+  pin_to_cpu(cpu);
+  payload::WorkBuffer& buffer = *buffers_[index];
+  // Distinct seed per worker: identical operand streams across cores would
+  // underestimate data-toggle power on a real machine.
+  buffer.init(options_.policy, options_.seed + index * 0x9e3779b97f4a7c15ULL);
+  ready_count_.fetch_add(1, std::memory_order_release);
+
+  while (!started_.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  const payload::KernelFn kernel = payload_.fn();
+  Worker& self = *workers_[index];
+
+  // Chunk size adapts so one kernel call lasts roughly 5 ms: long enough to
+  // amortize the call, short enough for responsive stop and load control.
+  std::uint64_t chunk = 64;
+  constexpr double kTargetChunkSeconds = 0.005;
+
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    const double busy_until =
+        options_.load < 1.0 ? now_s() + options_.load * options_.period_s : 0.0;
+    // Busy phase.
+    do {
+      const double t0 = now_s();
+      const std::uint64_t done = kernel(&buffer.args(), chunk);
+      self.iterations.fetch_add(done, std::memory_order_relaxed);
+      const double elapsed = now_s() - t0;
+      if (elapsed > 0.0) {
+        const double scale = kTargetChunkSeconds / elapsed;
+        if (scale > 2.0 && chunk < (1ull << 24)) chunk *= 2;
+        else if (scale < 0.5 && chunk > 16) chunk /= 2;
+      }
+      if (stop_flag_.load(std::memory_order_acquire)) return;
+    } while (options_.load >= 1.0 || now_s() < busy_until);
+    // Idle phase of the duty cycle (--load < 1).
+    if (options_.load < 1.0) {
+      const double idle_s = (1.0 - options_.load) * options_.period_s;
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(idle_s));
+      while (!stop_flag_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+}  // namespace fs2::kernel

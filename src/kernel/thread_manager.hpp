@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "arch/cache.hpp"
+#include "payload/compiler.hpp"
+#include "payload/data.hpp"
+
+namespace fs2::kernel {
+
+/// Runtime options for the worker threads.
+struct RunOptions {
+  std::vector<int> cpus;          ///< logical CPUs to pin to (one worker each)
+  payload::DataInitPolicy policy = payload::DataInitPolicy::kSafe;
+  std::uint64_t seed = 0x5eed;
+  double load = 1.0;              ///< busy fraction per period (--load)
+  double period_s = 0.1;          ///< load/idle modulation period
+};
+
+/// Spawns one worker per target CPU, each running the compiled stress
+/// kernel in chunks over its own WorkBuffer. This is the "management code"
+/// of Fig. 4/5: pinning, synchronized start, responsive stop, load/idle
+/// duty-cycling, and loop accounting for the IPC-estimate metric.
+class ThreadManager {
+ public:
+  /// Workers are created suspended; call start() to begin stressing.
+  /// The payload must outlive the manager.
+  ThreadManager(const payload::CompiledPayload& payload, RunOptions options);
+  ~ThreadManager();
+  ThreadManager(const ThreadManager&) = delete;
+  ThreadManager& operator=(const ThreadManager&) = delete;
+
+  /// Release all workers (they spin-wait after initializing their buffers).
+  void start();
+
+  /// Signal stop and join all workers. Idempotent.
+  void stop();
+
+  bool running() const { return started_.load() && !stopped_.load(); }
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Total kernel-loop iterations executed across all workers — the counter
+  /// behind the estimated-IPC metric (Sec. III-C).
+  std::uint64_t total_iterations() const;
+
+  /// Per-worker buffer (register dump area, operand regions).
+  const payload::WorkBuffer& buffer(std::size_t worker) const { return *buffers_.at(worker); }
+
+  /// The payload these workers execute (register-dump readers need its
+  /// vector width).
+  const payload::CompiledPayload& payload() const { return payload_; }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::atomic<std::uint64_t> iterations{0};
+  };
+
+  void worker_main(std::size_t index, int cpu);
+
+  const payload::CompiledPayload& payload_;
+  RunOptions options_;
+  std::vector<std::unique_ptr<payload::WorkBuffer>> buffers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<int> ready_count_{0};
+};
+
+}  // namespace fs2::kernel

@@ -1,0 +1,35 @@
+#include "kernel/watchdog.hpp"
+
+namespace fs2::kernel {
+
+void Watchdog::arm(std::chrono::duration<double> timeout, std::function<void()> on_timeout) {
+  cancel();  // tear down any previous timer
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = false;
+    fired_ = false;
+  }
+  thread_ = std::thread([this, timeout, callback = std::move(on_timeout)] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (cv_.wait_for(lock, timeout, [this] { return cancelled_; })) return;
+    fired_ = true;
+    lock.unlock();
+    callback();
+  });
+}
+
+void Watchdog::cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Watchdog::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+}  // namespace fs2::kernel

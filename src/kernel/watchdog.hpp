@@ -1,0 +1,39 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace fs2::kernel {
+
+/// Runs a callback after a timeout unless cancelled first — implements the
+/// -t/--timeout behaviour (stop stressing after N seconds) without the
+/// workers having to watch the clock themselves.
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog() { cancel(); }
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Arm the watchdog. Replaces any previously armed timer.
+  void arm(std::chrono::duration<double> timeout, std::function<void()> on_timeout);
+
+  /// Cancel without firing. Safe to call from any thread, idempotent.
+  void cancel();
+
+  bool fired() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool cancelled_ = false;
+  bool fired_ = false;
+
+  void join_locked_thread();
+};
+
+}  // namespace fs2::kernel

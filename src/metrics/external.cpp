@@ -1,0 +1,75 @@
+#include "metrics/external.hpp"
+
+#include <dlfcn.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace fs2::metrics {
+
+PluginMetric::PluginMetric(const std::string& library_path) : path_(library_path) {
+  handle_ = ::dlopen(library_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    log::warn() << "metric plugin '" << library_path << "' failed to load: " << ::dlerror();
+    return;
+  }
+  auto resolve = [this](const char* symbol) -> void* {
+    void* fn = ::dlsym(handle_, symbol);
+    if (fn == nullptr)
+      log::warn() << "metric plugin '" << path_ << "' is missing symbol " << symbol;
+    return fn;
+  };
+  name_fn_ = reinterpret_cast<const char* (*)()>(resolve(ExternalMetricAbi::kName));
+  unit_fn_ = reinterpret_cast<const char* (*)()>(resolve(ExternalMetricAbi::kUnit));
+  read_fn_ = reinterpret_cast<double (*)()>(resolve(ExternalMetricAbi::kRead));
+  fini_fn_ = reinterpret_cast<void (*)()>(resolve(ExternalMetricAbi::kFini));
+  auto init_fn = reinterpret_cast<int (*)()>(resolve(ExternalMetricAbi::kInit));
+  if (name_fn_ == nullptr || unit_fn_ == nullptr || read_fn_ == nullptr || init_fn == nullptr)
+    return;
+  if (init_fn() != 0) {
+    log::warn() << "metric plugin '" << path_ << "' init failed";
+    return;
+  }
+  ready_ = true;
+}
+
+PluginMetric::~PluginMetric() {
+  if (ready_ && fini_fn_ != nullptr) fini_fn_();
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+std::string PluginMetric::name() const {
+  return ready_ ? std::string(name_fn_()) : "plugin(" + path_ + ")";
+}
+
+std::string PluginMetric::unit() const { return ready_ ? std::string(unit_fn_()) : "?"; }
+
+double PluginMetric::sample() { return ready_ ? read_fn_() : 0.0; }
+
+CommandMetric::CommandMetric(std::string command, std::string metric_name,
+                             std::string metric_unit)
+    : command_(std::move(command)), name_(std::move(metric_name)), unit_(std::move(metric_unit)) {}
+
+double CommandMetric::sample() {
+  if (!available_) return 0.0;
+  FILE* pipe = ::popen(command_.c_str(), "r");
+  if (pipe == nullptr) {
+    log::warn() << "command metric '" << name_ << "': failed to run '" << command_ << "'";
+    available_ = false;
+    return 0.0;
+  }
+  char buffer[256] = {};
+  const bool got = std::fgets(buffer, sizeof buffer, pipe) != nullptr;
+  const int status = ::pclose(pipe);
+  if (!got || status != 0) {
+    log::warn() << "command metric '" << name_ << "': no parsable output from '" << command_
+                << "'";
+    available_ = false;
+    return 0.0;
+  }
+  return std::strtod(buffer, nullptr);
+}
+
+}  // namespace fs2::metrics

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+
+#include "metrics/metric.hpp"
+
+namespace fs2::metrics {
+
+/// C ABI an external metric shared library must export (--metric-path,
+/// Sec. III-C: "libraries written in C/C++ can provide the same
+/// functionality with less overhead" than script metrics):
+///
+///   extern "C" {
+///     const char* fs2_metric_name(void);
+///     const char* fs2_metric_unit(void);
+///     int         fs2_metric_init(void);   // 0 on success
+///     double      fs2_metric_read(void);   // current value (gauge)
+///     void        fs2_metric_fini(void);
+///   }
+struct ExternalMetricAbi {
+  static constexpr const char* kName = "fs2_metric_name";
+  static constexpr const char* kUnit = "fs2_metric_unit";
+  static constexpr const char* kInit = "fs2_metric_init";
+  static constexpr const char* kRead = "fs2_metric_read";
+  static constexpr const char* kFini = "fs2_metric_fini";
+};
+
+/// Metric loaded from a shared library via dlopen (the libmetric-metricq.so
+/// role in Fig. 10). Unavailable when the library or a symbol is missing or
+/// init fails; the error is logged, never thrown, so a broken plugin cannot
+/// take down a stress run.
+class PluginMetric : public Metric {
+ public:
+  explicit PluginMetric(const std::string& library_path);
+  ~PluginMetric() override;
+  PluginMetric(const PluginMetric&) = delete;
+  PluginMetric& operator=(const PluginMetric&) = delete;
+
+  std::string name() const override;
+  std::string unit() const override;
+  bool available() const override { return ready_; }
+  void begin() override {}
+  double sample() override;
+
+ private:
+  void* handle_ = nullptr;
+  bool ready_ = false;
+  const char* (*name_fn_)() = nullptr;
+  const char* (*unit_fn_)() = nullptr;
+  double (*read_fn_)() = nullptr;
+  void (*fini_fn_)() = nullptr;
+  std::string path_;
+};
+
+/// Metric that runs an external command for every sample and parses the
+/// first line of stdout as a double ("a simple Python script could forward
+/// power measurement values from an external power meter", Sec. III-C).
+class CommandMetric : public Metric {
+ public:
+  CommandMetric(std::string command, std::string metric_name, std::string metric_unit);
+
+  std::string name() const override { return name_; }
+  std::string unit() const override { return unit_; }
+  bool available() const override { return available_; }
+  void begin() override {}
+  double sample() override;
+
+ private:
+  std::string command_;
+  std::string name_;
+  std::string unit_;
+  bool available_ = true;  // degraded to false after the first failure
+};
+
+}  // namespace fs2::metrics

@@ -1,0 +1,46 @@
+#include "metrics/ipc_estimate.hpp"
+
+#include <chrono>
+
+namespace fs2::metrics {
+
+IpcEstimateMetric::IpcEstimateMetric(std::function<std::uint64_t()> iteration_counter,
+                                     double instructions_per_iteration, double assumed_mhz,
+                                     int cores)
+    : counter_(std::move(iteration_counter)),
+      instr_per_iter_(instructions_per_iteration),
+      assumed_mhz_(assumed_mhz),
+      cores_(cores) {}
+
+void IpcEstimateMetric::reconfigure(double instructions_per_iteration, double assumed_mhz,
+                                    int cores) {
+  instr_per_iter_ = instructions_per_iteration;
+  assumed_mhz_ = assumed_mhz;
+  cores_ = cores;
+}
+
+double IpcEstimateMetric::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void IpcEstimateMetric::begin() {
+  last_count_ = counter_ ? counter_() : 0;
+  last_time_s_ = now_s();
+}
+
+double IpcEstimateMetric::sample() {
+  if (!counter_) return 0.0;
+  const std::uint64_t count = counter_();
+  const double t = now_s();
+  const double dt = t - last_time_s_;
+  const std::uint64_t d_iters = count - last_count_;
+  last_count_ = count;
+  last_time_s_ = t;
+  if (dt <= 0.0 || cores_ <= 0 || assumed_mhz_ <= 0.0) return 0.0;
+  const double instructions = static_cast<double>(d_iters) * instr_per_iter_;
+  const double cycles = dt * assumed_mhz_ * 1e6 * cores_;
+  return instructions / cycles;
+}
+
+}  // namespace fs2::metrics

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+
+#include "metrics/metric.hpp"
+
+namespace fs2::metrics {
+
+/// The paper's fallback IPC metric (Sec. III-C): when perf_event_open is
+/// unavailable, IPC is *estimated* from the number of executed inner loops
+/// (reported by the workload threads), the statically known instruction
+/// count per loop, and an assumed constant core frequency. As the paper
+/// notes, the estimate is distorted if the actual frequency changes during
+/// the run — which is exactly why the real counter is preferred.
+class IpcEstimateMetric : public Metric {
+ public:
+  /// @param iteration_counter returns total loop iterations executed so far
+  ///        (summed over all worker threads); monotonically increasing.
+  /// @param instructions_per_iteration from PayloadStats.
+  /// @param assumed_mhz the frequency assumed constant during the run.
+  /// @param cores number of physical cores the workers occupy.
+  IpcEstimateMetric(std::function<std::uint64_t()> iteration_counter,
+                    double instructions_per_iteration, double assumed_mhz, int cores);
+
+  std::string name() const override { return "ipc-estimate"; }
+  std::string unit() const override { return "instructions/cycle"; }
+  bool available() const override { return static_cast<bool>(counter_); }
+  void begin() override;
+  double sample() override;
+
+  /// Re-parameterize when the workload changes (new payload, new P-state).
+  void reconfigure(double instructions_per_iteration, double assumed_mhz, int cores);
+
+ private:
+  std::function<std::uint64_t()> counter_;
+  double instr_per_iter_;
+  double assumed_mhz_;
+  int cores_;
+  std::uint64_t last_count_ = 0;
+  double last_time_s_ = 0.0;
+
+  double now_s() const;
+};
+
+}  // namespace fs2::metrics

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/metric.hpp"
+
+namespace fs2::metrics {
+
+/// Aggregate of one metric over a measurement window.
+struct Summary {
+  std::string name;
+  std::string unit;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t samples = 0;
+};
+
+/// A recorded time series for one metric, with the paper's start/stop-delta
+/// trimming semantics (Sec. III-D: "values are averaged over the whole
+/// runtime, excluding an arbitrary time during the start and end of the
+/// measurement run, with a default of 5 s and 2 s").
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, std::string unit)
+      : name_(std::move(name)), unit_(std::move(unit)) {}
+
+  void add(double time_s, double value) { samples_.push_back(Sample{time_s, value}); }
+  const std::vector<Sample>& samples() const { return samples_; }
+  const std::string& name() const { return name_; }
+  const std::string& unit() const { return unit_; }
+
+  /// Samples with time in [start_delta, duration - stop_delta].
+  std::vector<double> trimmed_values(double start_delta_s, double stop_delta_s) const;
+
+  /// Aggregate over the trimmed window. Throws fs2::Error when trimming
+  /// removes every sample (misconfigured deltas).
+  Summary summarize(double start_delta_s = 5.0, double stop_delta_s = 2.0) const;
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::vector<Sample> samples_;
+};
+
+/// Print summaries as the comma-separated lines FIRESTARTER's --measurement
+/// mode emits: "name,unit,samples,mean,stddev,min,max".
+void print_csv(std::ostream& out, const std::vector<Summary>& summaries);
+
+}  // namespace fs2::metrics

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fs2::metrics {
+
+/// One timestamped metric reading.
+struct Sample {
+  double time_s = 0.0;  ///< seconds since the window began
+  double value = 0.0;
+};
+
+/// A measurable quantity of the system under stress (paper Sec. III-C).
+/// Implementations: RAPL package power, perf_event IPC, estimated IPC,
+/// external plugin metrics, and the simulated power meter.
+///
+/// Protocol: `begin()` arms the metric (resets counters); `sample()` is
+/// polled periodically and returns the metric's value over the interval
+/// since the previous sample (rate metrics) or the instantaneous value
+/// (gauge metrics). Implementations must be safe to begin() repeatedly.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string unit() const = 0;
+
+  /// False when the host lacks the interface (no RAPL sysfs, perf_event
+  /// denied, plugin failed to load). Unavailable metrics must not be
+  /// polled; callers choose fallbacks (Sec. III-C's estimated IPC).
+  virtual bool available() const = 0;
+
+  /// Arm/reset at the start of a measurement window.
+  virtual void begin() = 0;
+
+  /// Poll the current value. Called at the window's sampling rate.
+  virtual double sample() = 0;
+};
+
+using MetricPtr = std::unique_ptr<Metric>;
+
+}  // namespace fs2::metrics

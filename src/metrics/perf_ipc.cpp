@@ -1,0 +1,81 @@
+#include "metrics/perf_ipc.hpp"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace fs2::metrics {
+
+namespace {
+
+int perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                    unsigned long flags) {
+  return static_cast<int>(::syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+int open_counter(std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.inherit = 1;  // count worker threads spawned after the fact
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return perf_event_open(&attr, 0, -1, group_fd, 0);
+}
+
+}  // namespace
+
+PerfIpcMetric::PerfIpcMetric() {
+  instructions_fd_ = open_counter(PERF_COUNT_HW_INSTRUCTIONS, -1);
+  if (instructions_fd_ >= 0) {
+    cycles_fd_ = open_counter(PERF_COUNT_HW_CPU_CYCLES, instructions_fd_);
+    if (cycles_fd_ < 0) {
+      ::close(instructions_fd_);
+      instructions_fd_ = -1;
+    }
+  }
+  if (!available())
+    log::debug() << "perf-ipc: perf_event_open unavailable (paranoid setting or no PMU); "
+                    "use the IPC estimate instead";
+}
+
+PerfIpcMetric::~PerfIpcMetric() {
+  if (cycles_fd_ >= 0) ::close(cycles_fd_);
+  if (instructions_fd_ >= 0) ::close(instructions_fd_);
+}
+
+std::uint64_t PerfIpcMetric::read_counter(int fd) const {
+  std::uint64_t value = 0;
+  if (::read(fd, &value, sizeof value) != static_cast<ssize_t>(sizeof value)) return 0;
+  return value;
+}
+
+void PerfIpcMetric::begin() {
+  if (!available()) return;
+  ::ioctl(instructions_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(instructions_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  last_instructions_ = 0;
+  last_cycles_ = 0;
+}
+
+double PerfIpcMetric::sample() {
+  if (!available()) return 0.0;
+  const std::uint64_t instructions = read_counter(instructions_fd_);
+  const std::uint64_t cycles = read_counter(cycles_fd_);
+  const std::uint64_t d_instr = instructions - last_instructions_;
+  const std::uint64_t d_cycles = cycles - last_cycles_;
+  last_instructions_ = instructions;
+  last_cycles_ = cycles;
+  if (d_cycles == 0) return 0.0;
+  return static_cast<double>(d_instr) / static_cast<double>(d_cycles);
+}
+
+}  // namespace fs2::metrics

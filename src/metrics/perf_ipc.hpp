@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/metric.hpp"
+
+namespace fs2::metrics {
+
+/// IPC via perf_event_open (Sec. III-C): a group of two hardware counters
+/// (instructions retired, CPU cycles) attached to the calling process
+/// across all CPUs it runs on. Unavailable when the kernel denies the
+/// syscall (perf_event_paranoid, seccomp, missing PMU) — callers fall back
+/// to IpcEstimateMetric.
+class PerfIpcMetric : public Metric {
+ public:
+  PerfIpcMetric();
+  ~PerfIpcMetric() override;
+  PerfIpcMetric(const PerfIpcMetric&) = delete;
+  PerfIpcMetric& operator=(const PerfIpcMetric&) = delete;
+
+  std::string name() const override { return "perf-ipc"; }
+  std::string unit() const override { return "instructions/cycle"; }
+  bool available() const override { return instructions_fd_ >= 0 && cycles_fd_ >= 0; }
+  void begin() override;
+  double sample() override;
+
+ private:
+  int instructions_fd_ = -1;
+  int cycles_fd_ = -1;
+  std::uint64_t last_instructions_ = 0;
+  std::uint64_t last_cycles_ = 0;
+
+  std::uint64_t read_counter(int fd) const;
+};
+
+}  // namespace fs2::metrics

@@ -1,0 +1,92 @@
+#include "metrics/rapl.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hpp"
+
+namespace fs2::metrics {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_line(const fs::path& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+std::uint64_t read_u64(const fs::path& path, std::uint64_t fallback = 0) {
+  try {
+    const std::string text = read_line(path);
+    return text.empty() ? fallback : std::stoull(text);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+RaplReader::RaplReader(const std::string& sysfs_root) {
+  const fs::path base = fs::path(sysfs_root) / "class" / "powercap";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(base, ec)) {
+    const std::string dir_name = entry.path().filename().string();
+    if (dir_name.rfind("intel-rapl:", 0) != 0) continue;
+    const std::string domain_name = read_line(entry.path() / "name");
+    // Package domains only: dram/core/uncore subdomains double-count.
+    if (domain_name.rfind("package", 0) != 0) continue;
+    if (!fs::exists(entry.path() / "energy_uj")) continue;
+    RaplDomain domain;
+    domain.name = domain_name;
+    domain.energy_path = (entry.path() / "energy_uj").string();
+    domain.max_range_uj = read_u64(entry.path() / "max_energy_range_uj");
+    domains_.push_back(domain);
+  }
+  if (domains_.empty())
+    log::debug() << "RAPL: no package domains under " << base.string()
+                 << " (metric unavailable)";
+}
+
+std::uint64_t RaplReader::read_total_uj() const {
+  std::uint64_t total = 0;
+  for (const RaplDomain& domain : domains_) total += read_u64(domain.energy_path);
+  return total;
+}
+
+RaplPowerMetric::RaplPowerMetric(const std::string& sysfs_root) : reader_(sysfs_root) {}
+
+double RaplPowerMetric::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RaplPowerMetric::begin() {
+  last_uj_ = reader_.read_total_uj();
+  epoch_s_ = now_s();
+  last_time_s_ = epoch_s_;
+}
+
+double RaplPowerMetric::sample() {
+  const std::uint64_t now_uj = reader_.read_total_uj();
+  const double t = now_s();
+  const double dt = t - last_time_s_;
+  if (dt <= 0.0) return 0.0;
+  std::uint64_t delta;
+  if (now_uj >= last_uj_) {
+    delta = now_uj - last_uj_;
+  } else {
+    // Counter wrapped: add the combined range of all domains.
+    std::uint64_t range = 0;
+    for (const RaplDomain& domain : reader_.domains()) range += domain.max_range_uj;
+    delta = now_uj + range - last_uj_;
+  }
+  last_uj_ = now_uj;
+  last_time_s_ = t;
+  return static_cast<double>(delta) * 1e-6 / dt;  // microjoules -> watts
+}
+
+}  // namespace fs2::metrics

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/metric.hpp"
+
+namespace fs2::metrics {
+
+/// One powercap RAPL domain (package-N or dram) found in sysfs.
+struct RaplDomain {
+  std::string name;          ///< e.g. "package-0", "dram"
+  std::string energy_path;   ///< .../energy_uj
+  std::uint64_t max_range_uj = 0;  ///< wraparound point (max_energy_range_uj)
+};
+
+/// Scanner for the Intel RAPL powercap sysfs tree. The root is injectable
+/// so tests can run against fixture trees; production uses "/sys".
+class RaplReader {
+ public:
+  explicit RaplReader(const std::string& sysfs_root = "/sys");
+
+  bool available() const { return !domains_.empty(); }
+  const std::vector<RaplDomain>& domains() const { return domains_; }
+
+  /// Sum the current energy counters of all package domains, handling
+  /// counter wraparound relative to `previous` (pass 0 for the first read).
+  std::uint64_t read_total_uj() const;
+
+ private:
+  std::vector<RaplDomain> domains_;
+};
+
+/// Power metric backed by RAPL package counters: the most convenient way
+/// for users to measure power on Intel systems (Sec. III-C). Reports watts
+/// as delta(energy)/delta(time) between polls, with wraparound correction.
+class RaplPowerMetric : public Metric {
+ public:
+  explicit RaplPowerMetric(const std::string& sysfs_root = "/sys");
+
+  std::string name() const override { return "sysfs-powercap-rapl"; }
+  std::string unit() const override { return "W"; }
+  bool available() const override { return reader_.available(); }
+  void begin() override;
+  double sample() override;
+
+ private:
+  RaplReader reader_;
+  std::uint64_t last_uj_ = 0;
+  double last_time_s_ = 0.0;
+  double epoch_s_ = 0.0;
+
+  double now_s() const;
+};
+
+}  // namespace fs2::metrics

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "metrics/metric.hpp"
+#include "sim/sim_system.hpp"
+#include "util/rng.hpp"
+
+namespace fs2::metrics {
+
+/// Simulated wall-power meter: reads the SimulatedSystem's current
+/// operating point and adds LMG95-like measurement noise. This stands in
+/// for the external power meter + MetricQ pipeline of Fig. 10 and exercises
+/// the exact code path an external metric plugin would.
+class SimPowerMetric : public Metric {
+ public:
+  SimPowerMetric(const sim::SimulatedSystem* system, std::uint64_t seed = 0x1349)
+      : system_(system), rng_(seed) {}
+
+  std::string name() const override { return "sim-wall-power"; }
+  std::string unit() const override { return "W"; }
+  bool available() const override { return system_ != nullptr; }
+  void begin() override {}
+  double sample() override {
+    const double power = system_->point().power_w;
+    return power * (1.0 + 0.004 * rng_.normal());
+  }
+
+ private:
+  const sim::SimulatedSystem* system_;
+  Xoshiro256 rng_;
+};
+
+/// Simulated per-core IPC counter (the perf-ipc analogue for
+/// simulator-backed runs).
+class SimIpcMetric : public Metric {
+ public:
+  explicit SimIpcMetric(const sim::SimulatedSystem* system) : system_(system) {}
+
+  std::string name() const override { return "sim-perf-ipc"; }
+  std::string unit() const override { return "instructions/cycle"; }
+  bool available() const override { return system_ != nullptr; }
+  void begin() override {}
+  double sample() override { return system_->point().ipc_per_core; }
+
+ private:
+  const sim::SimulatedSystem* system_;
+};
+
+}  // namespace fs2::metrics

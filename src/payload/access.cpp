@@ -1,0 +1,126 @@
+#include "payload/access.hpp"
+
+#include "util/strings.hpp"
+
+namespace fs2::payload {
+
+const char* to_string(MemoryLevel level) {
+  switch (level) {
+    case MemoryLevel::kReg: return "REG";
+    case MemoryLevel::kL1: return "L1";
+    case MemoryLevel::kL2: return "L2";
+    case MemoryLevel::kL3: return "L3";
+    case MemoryLevel::kRam: return "RAM";
+  }
+  return "?";
+}
+
+const char* to_string(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kLoad: return "L";
+    case AccessPattern::kStore: return "S";
+    case AccessPattern::kLoadStore: return "LS";
+    case AccessPattern::kTwoLoadsStore: return "2LS";
+    case AccessPattern::kPrefetch: return "P";
+  }
+  return "?";
+}
+
+std::string AccessKind::to_string() const {
+  if (level == MemoryLevel::kReg) return "REG";
+  return std::string(payload::to_string(level)) + "_" + payload::to_string(pattern);
+}
+
+int AccessKind::loads() const {
+  if (level == MemoryLevel::kReg) return 0;
+  switch (pattern) {
+    case AccessPattern::kLoad: return 1;
+    case AccessPattern::kStore: return 0;
+    case AccessPattern::kLoadStore: return 1;
+    case AccessPattern::kTwoLoadsStore: return 2;
+    case AccessPattern::kPrefetch: return 0;
+  }
+  return 0;
+}
+
+int AccessKind::stores() const {
+  if (level == MemoryLevel::kReg) return 0;
+  switch (pattern) {
+    case AccessPattern::kStore:
+    case AccessPattern::kLoadStore:
+    case AccessPattern::kTwoLoadsStore:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+int AccessKind::prefetches() const {
+  return level != MemoryLevel::kReg && pattern == AccessPattern::kPrefetch ? 1 : 0;
+}
+
+int AccessKind::memory_ops() const { return loads() + stores() + prefetches(); }
+
+bool is_valid(MemoryLevel level, AccessPattern pattern) {
+  switch (level) {
+    case MemoryLevel::kReg:
+      return true;  // pattern is ignored
+    case MemoryLevel::kL1:
+      // L1 is close enough that prefetching it is pointless.
+      return pattern != AccessPattern::kPrefetch;
+    case MemoryLevel::kL2:
+      // 2LS at L2 would exceed the per-cycle L2 bandwidth on every target
+      // microarchitecture; FIRESTARTER defines L, S, LS.
+      return pattern == AccessPattern::kLoad || pattern == AccessPattern::kStore ||
+             pattern == AccessPattern::kLoadStore;
+    case MemoryLevel::kL3:
+    case MemoryLevel::kRam:
+      // Distant levels support prefetch (non-blocking warm-up) but not 2LS.
+      return pattern != AccessPattern::kTwoLoadsStore;
+  }
+  return false;
+}
+
+std::optional<AccessKind> parse_access_kind(const std::string& text) {
+  const std::string upper = strings::to_upper(strings::trim(text));
+  if (upper == "REG") return AccessKind{MemoryLevel::kReg, AccessPattern::kLoad};
+
+  const auto underscore = upper.find('_');
+  if (underscore == std::string::npos) return std::nullopt;
+  const std::string level_text = upper.substr(0, underscore);
+  const std::string pattern_text = upper.substr(underscore + 1);
+
+  MemoryLevel level;
+  if (level_text == "L1") level = MemoryLevel::kL1;
+  else if (level_text == "L2") level = MemoryLevel::kL2;
+  else if (level_text == "L3") level = MemoryLevel::kL3;
+  else if (level_text == "RAM") level = MemoryLevel::kRam;
+  else return std::nullopt;
+
+  AccessPattern pattern;
+  if (pattern_text == "L") pattern = AccessPattern::kLoad;
+  else if (pattern_text == "S") pattern = AccessPattern::kStore;
+  else if (pattern_text == "LS") pattern = AccessPattern::kLoadStore;
+  else if (pattern_text == "2LS") pattern = AccessPattern::kTwoLoadsStore;
+  else if (pattern_text == "P") pattern = AccessPattern::kPrefetch;
+  else return std::nullopt;
+
+  if (!is_valid(level, pattern)) return std::nullopt;
+  return AccessKind{level, pattern};
+}
+
+const std::vector<AccessKind>& all_access_kinds() {
+  static const std::vector<AccessKind> kinds = [] {
+    std::vector<AccessKind> out;
+    out.push_back(AccessKind{MemoryLevel::kReg, AccessPattern::kLoad});
+    for (MemoryLevel level : {MemoryLevel::kL1, MemoryLevel::kL2, MemoryLevel::kL3, MemoryLevel::kRam})
+      for (AccessPattern pattern :
+           {AccessPattern::kLoad, AccessPattern::kStore, AccessPattern::kLoadStore,
+            AccessPattern::kTwoLoadsStore, AccessPattern::kPrefetch})
+        if (is_valid(level, pattern)) out.push_back(AccessKind{level, pattern});
+    return out;
+  }();
+  return kinds;
+}
+
+}  // namespace fs2::payload

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fs2::payload {
+
+/// Memory hierarchy level an instruction group targets (Eq. 1 of the
+/// paper): registers, one of the three cache levels, or main memory.
+enum class MemoryLevel { kReg = 0, kL1, kL2, kL3, kRam };
+
+/// Access pattern for non-register levels (Eq. 1): Load, Store,
+/// Load+Store, 2 Loads+Store, Prefetch.
+enum class AccessPattern { kLoad, kStore, kLoadStore, kTwoLoadsStore, kPrefetch };
+
+constexpr int kNumMemoryLevels = 5;
+
+const char* to_string(MemoryLevel level);
+const char* to_string(AccessPattern pattern);
+
+/// One access definition: a level plus (for non-register levels) a pattern.
+/// Serialized in the FIRESTARTER grammar: "REG", "L1_L", "L2_LS", "RAM_P".
+struct AccessKind {
+  MemoryLevel level = MemoryLevel::kReg;
+  AccessPattern pattern = AccessPattern::kLoad;  ///< ignored for kReg
+
+  bool operator==(const AccessKind& other) const {
+    if (level != other.level) return false;
+    return level == MemoryLevel::kReg || pattern == other.pattern;
+  }
+
+  std::string to_string() const;
+
+  /// Number of cache lines touched per occurrence (loads + stores + prefetches).
+  int memory_ops() const;
+  int loads() const;
+  int stores() const;
+  int prefetches() const;
+};
+
+/// "Not all patterns are defined for all levels" (paper footnote 2).
+/// This predicate is the single source of truth for the grammar validator,
+/// the payload compiler, and the NSGA-II genome layout.
+bool is_valid(MemoryLevel level, AccessPattern pattern);
+
+/// Parse "REG" / "<LEVEL>_<PATTERN>". Returns nullopt on malformed input.
+std::optional<AccessKind> parse_access_kind(const std::string& text);
+
+/// Every valid AccessKind, in canonical order (REG, L1_*, L2_*, L3_*, RAM_*).
+/// This is the NSGA-II genome layout.
+const std::vector<AccessKind>& all_access_kinds();
+
+}  // namespace fs2::payload

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "payload/access.hpp"
+
+namespace fs2::payload {
+
+/// One entry of the memory-access multiset M: an access kind and its
+/// occurrence count a (Eq. 1).
+struct Group {
+  AccessKind kind;
+  std::uint32_t count = 0;  ///< a_i, must be >= 1 in a valid group list
+};
+
+/// Ordered list of instruction groups, i.e. the full M of a workload —
+/// the value of the --run-instruction-groups argument.
+class InstructionGroups {
+ public:
+  InstructionGroups() = default;
+  explicit InstructionGroups(std::vector<Group> groups);
+
+  /// Parse the FIRESTARTER grammar "REG:4,L1_L:2,L2_L:1". Throws
+  /// fs2::ConfigError on malformed text, unknown kinds, zero counts, or
+  /// duplicate kinds.
+  static InstructionGroups parse(const std::string& text);
+
+  /// Serialize back to the canonical grammar string.
+  std::string to_string() const;
+
+  const std::vector<Group>& groups() const { return groups_; }
+  bool empty() const { return groups_.empty(); }
+
+  /// Sum of all occurrence counts (denominator of the a_i fractions).
+  std::uint32_t total() const;
+
+  /// Occurrences of a specific kind (0 if absent).
+  std::uint32_t count_of(const AccessKind& kind) const;
+
+  /// True if any group accesses memory at `level` or beyond — used by the
+  /// buffer allocator to size only the regions a workload touches.
+  bool touches(MemoryLevel level) const;
+
+  bool operator==(const InstructionGroups& other) const;
+
+ private:
+  std::vector<Group> groups_;
+};
+
+}  // namespace fs2::payload

@@ -1,0 +1,150 @@
+#include "payload/mix.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::payload {
+
+const char* to_string(IsaClass isa) {
+  switch (isa) {
+    case IsaClass::kSse2: return "sse2";
+    case IsaClass::kAvx: return "avx";
+    case IsaClass::kFma: return "fma";
+    case IsaClass::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+namespace {
+
+InstructionMix sse2_mix() {
+  InstructionMix mix;
+  mix.name = "MIX_SSE2_128";
+  mix.isa = IsaClass::kSse2;
+  mix.required = arch::FeatureSet{.sse2 = true};
+  mix.simd_per_set = 2;  // mulpd + addpd
+  mix.alu_per_set = 2;
+  mix.vector_doubles = 2;
+  mix.description = "128-bit SSE2 mul/add pair with integer xor+shift filler";
+  return mix;
+}
+
+InstructionMix avx_mix() {
+  InstructionMix mix;
+  mix.name = "MIX_AVX_256";
+  mix.isa = IsaClass::kAvx;
+  mix.required = arch::FeatureSet{.sse2 = true, .avx = true};
+  mix.simd_per_set = 2;  // vmulpd + vaddpd
+  mix.alu_per_set = 2;
+  mix.vector_doubles = 4;
+  mix.description = "256-bit AVX mul/add pair with integer xor+shift filler";
+  return mix;
+}
+
+InstructionMix fma_mix() {
+  InstructionMix mix;
+  mix.name = "MIX_FMA_256";
+  mix.isa = IsaClass::kFma;
+  mix.required = arch::FeatureSet{.sse2 = true, .avx = true, .fma = true};
+  mix.simd_per_set = 2;  // 2x vfmadd231pd
+  mix.alu_per_set = 2;   // xor + alternating shl/shr
+  mix.vector_doubles = 4;
+  mix.description =
+      "Haswell mix (paper Sec. IV-B): 2x vfmadd231pd + 2 ALU ops, 4 instructions/cycle target";
+  return mix;
+}
+
+InstructionMix avx512_mix() {
+  InstructionMix mix;
+  mix.name = "MIX_AVX512_512";
+  mix.isa = IsaClass::kAvx512;
+  mix.required = arch::FeatureSet{.sse2 = true, .avx = true, .fma = true, .avx2 = true,
+                                  .avx512f = true};
+  mix.simd_per_set = 2;  // 2x 512-bit vfmadd231pd
+  mix.alu_per_set = 2;
+  mix.vector_doubles = 8;
+  mix.description =
+      "512-bit EVEX variant of the FMA mix (2x zmm vfmadd231pd + 2 ALU ops)";
+  return mix;
+}
+
+std::vector<FunctionDef> build_functions() {
+  using arch::Microarch;
+  std::vector<FunctionDef> fns;
+
+  // Default M values below are this reproduction's tuned approximations of
+  // the per-SKU omega_k definitions FIRESTARTER 1.x shipped: register-heavy
+  // with a thin tail into the deeper levels, per Sec. III.
+  fns.push_back(FunctionDef{
+      1, "FUNC_SSE2_128", sse2_mix(),
+      "RAM_L:2,L3_LS:1,L2_LS:6,L1_LS:36,REG:27",
+      {Microarch::kIntelNehalem}});
+  fns.push_back(FunctionDef{
+      2, "FUNC_AVX_256", avx_mix(),
+      "RAM_L:1,L3_L:1,L2_LS:4,L1_LS:30,REG:24",
+      {Microarch::kIntelSandyBridge, Microarch::kAmdBulldozer}});
+  fns.push_back(FunctionDef{
+      3, "FUNC_FMA_256_HASWELL", fma_mix(),
+      "RAM_L:2,L3_LS:3,L2_LS:9,L1_LS:90,REG:40",
+      {Microarch::kIntelHaswell}});
+  fns.push_back(FunctionDef{
+      4, "FUNC_FMA_256_ZEN2", fma_mix(),
+      "RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37",
+      {Microarch::kAmdZen, Microarch::kAmdZen2}});
+  // Generic fallbacks: one per ISA class, no microarch binding.
+  fns.push_back(FunctionDef{5, "FUNC_FMA_256_GENERIC", fma_mix(),
+                            "RAM_L:2,L3_LS:2,L2_LS:8,L1_LS:60,REG:30", {}});
+  fns.push_back(FunctionDef{6, "FUNC_AVX_256_GENERIC", avx_mix(),
+                            "RAM_L:1,L3_L:1,L2_LS:4,L1_LS:30,REG:24", {}});
+  fns.push_back(FunctionDef{7, "FUNC_SSE2_128_GENERIC", sse2_mix(),
+                            "RAM_L:1,L3_LS:1,L2_LS:4,L1_LS:24,REG:18", {}});
+  // AVX-512 (the paper's future-work direction; Skylake-SP defaults here).
+  fns.push_back(FunctionDef{8, "FUNC_AVX512_512_SKX", avx512_mix(),
+                            "RAM_L:2,L3_LS:2,L2_LS:6,L1_LS:45,REG:25",
+                            {Microarch::kIntelSkylakeSp}});
+  fns.push_back(FunctionDef{9, "FUNC_AVX512_512_GENERIC", avx512_mix(),
+                            "RAM_L:2,L3_LS:2,L2_LS:6,L1_LS:45,REG:25", {}});
+  return fns;
+}
+
+}  // namespace
+
+const std::vector<FunctionDef>& available_functions() {
+  static const std::vector<FunctionDef> fns = build_functions();
+  return fns;
+}
+
+const FunctionDef& find_function(int id) {
+  for (const FunctionDef& fn : available_functions())
+    if (fn.id == id) return fn;
+  throw ConfigError(strings::format("no stress function with id %d (see --avail)", id));
+}
+
+const FunctionDef& find_function(const std::string& name) {
+  const std::string upper = strings::to_upper(name);
+  for (const FunctionDef& fn : available_functions())
+    if (fn.name == upper) return fn;
+  throw ConfigError("no stress function named '" + name + "' (see --avail)");
+}
+
+const FunctionDef& select_function(const arch::ProcessorModel& cpu) {
+  // Pass 1: function explicitly tuned for this microarchitecture whose ISA
+  // requirements the host satisfies.
+  for (const FunctionDef& fn : available_functions())
+    for (arch::Microarch target : fn.tuned_for)
+      if (target == cpu.microarch && cpu.features.covers(fn.mix.required)) return fn;
+  // Pass 2: the widest generic mix the feature set supports.
+  const FunctionDef* best = nullptr;
+  for (const FunctionDef& fn : available_functions()) {
+    if (!fn.tuned_for.empty()) continue;
+    if (!cpu.features.covers(fn.mix.required)) continue;
+    if (best == nullptr || fn.mix.vector_doubles * fn.mix.flops_per_set() >
+                               best->mix.vector_doubles * best->mix.flops_per_set())
+      best = &fn;
+  }
+  if (best == nullptr)
+    throw UnsupportedError("host supports none of the built-in instruction mixes (needs SSE2)");
+  return *best;
+}
+
+}  // namespace fs2::payload

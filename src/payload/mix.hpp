@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/processor.hpp"
+#include "payload/groups.hpp"
+
+namespace fs2::payload {
+
+/// Execution-unit class a mix is built from. Decides both the encoder path
+/// (SSE legacy / VEX) and the per-set instruction template.
+enum class IsaClass {
+  kSse2,    ///< movapd/mulpd/addpd on xmm (baseline x86_64)
+  kAvx,     ///< vmulpd/vaddpd on ymm (AVX without FMA)
+  kFma,     ///< vfmadd231pd on ymm (the Haswell mix of the paper, Sec. IV-B)
+  kAvx512,  ///< vfmadd231pd on zmm (EVEX; the paper's future-work direction)
+};
+
+const char* to_string(IsaClass isa);
+
+/// An instruction mix definition — the set of instructions I of a workload.
+/// FIRESTARTER 2 explicitly excludes I from auto-tuning (Sec. III-B); the
+/// mixes here are the curated, per-architecture definitions the binary
+/// carries.
+struct InstructionMix {
+  std::string name;         ///< e.g. "FUNC_FMA_256"
+  IsaClass isa = IsaClass::kFma;
+  arch::FeatureSet required;  ///< ISA features the host must provide
+  int simd_per_set = 2;     ///< SIMD (FMA or mul/add) instructions per set
+  int alu_per_set = 2;      ///< integer instructions per set (xor + shift)
+  int vector_doubles = 4;   ///< elements per SIMD register (4 = ymm, 2 = xmm)
+  std::string description;
+
+  /// FLOPs contributed by one instruction set (FMA counts x2 per element).
+  int flops_per_set() const {
+    const int per_instr = isa == IsaClass::kFma ? 2 * vector_doubles : vector_doubles;
+    return simd_per_set * per_instr;
+  }
+};
+
+/// One selectable stress function (what `-a/--avail` lists and
+/// `-i/--function` selects): a mix plus the tuned default M and the target
+/// microarchitectures it was tuned for.
+struct FunctionDef {
+  int id = 0;                          ///< 1-based id, as printed by --avail
+  std::string name;                    ///< e.g. "FUNC_FMA_256_ZEN2"
+  InstructionMix mix;
+  std::string default_groups;          ///< tuned default --run-instruction-groups
+  std::vector<arch::Microarch> tuned_for;
+};
+
+/// All built-in functions, ordered by id.
+const std::vector<FunctionDef>& available_functions();
+
+/// Find a function by id or (case-insensitive) name; throws fs2::ConfigError
+/// if not found.
+const FunctionDef& find_function(int id);
+const FunctionDef& find_function(const std::string& name);
+
+/// Pick the best-fitting function for a processor: first the function tuned
+/// for its microarchitecture, else the widest mix its features support
+/// (the FIRESTARTER fallback behaviour). Throws fs2::UnsupportedError when
+/// not even SSE2 is available.
+const FunctionDef& select_function(const arch::ProcessorModel& cpu);
+
+}  // namespace fs2::payload

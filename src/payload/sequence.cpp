@@ -1,0 +1,96 @@
+#include "payload/sequence.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fs2::payload {
+
+std::vector<AccessKind> base_sequence(const InstructionGroups& groups) {
+  if (groups.empty()) throw ConfigError("base_sequence: empty instruction groups");
+  const std::uint64_t total = groups.total();
+
+  // Ideal-position scheduling: occurrence j of kind i wants the slot at
+  // (j + 1/2) * total / a_i. Sorting all occurrences by ideal position (a
+  // stable sort, comparing the cross-multiplied fractions exactly in
+  // integers) assigns each its rank as the real slot. Consecutive ideal
+  // positions of one kind are exactly total/a_i apart, so the real gap is
+  // the ideal gap plus at most one boundary slip per other group — a tight,
+  // provable spacing guarantee.
+  struct Occurrence {
+    AccessKind kind;
+    std::uint64_t numerator;  // (2j+1) * total
+    std::uint64_t rate;       // a_i (position = numerator / (2*rate))
+  };
+  std::vector<Occurrence> occurrences;
+  occurrences.reserve(total);
+  for (const Group& g : groups.groups())
+    for (std::uint32_t j = 0; j < g.count; ++j)
+      occurrences.push_back(Occurrence{g.kind, (2ull * j + 1) * total, g.count});
+
+  std::stable_sort(occurrences.begin(), occurrences.end(),
+                   [](const Occurrence& a, const Occurrence& b) {
+                     // a.num/a.rate < b.num/b.rate, exact in 128-bit.
+                     const auto lhs = static_cast<unsigned __int128>(a.numerator) * b.rate;
+                     const auto rhs = static_cast<unsigned __int128>(b.numerator) * a.rate;
+                     if (lhs != rhs) return lhs < rhs;
+                     // Ties: higher-rate kinds first, keeping their own
+                     // spacing tight; the rarer kind can absorb the slip.
+                     return a.rate > b.rate;
+                   });
+
+  std::vector<AccessKind> sequence;
+  sequence.reserve(total);
+  for (const Occurrence& occ : occurrences) sequence.push_back(occ.kind);
+  return sequence;
+}
+
+std::vector<AccessKind> unroll_sequence(const std::vector<AccessKind>& base, std::uint32_t u) {
+  if (base.empty()) throw ConfigError("unroll_sequence: empty base sequence");
+  if (u == 0) throw ConfigError("unroll_sequence: unroll factor must be >= 1");
+  std::vector<AccessKind> out;
+  out.reserve(u);
+  for (std::uint32_t i = 0; i < u; ++i) out.push_back(base[i % base.size()]);
+  return out;
+}
+
+std::vector<AccessKind> build_sequence(const InstructionGroups& groups, std::uint32_t u) {
+  return unroll_sequence(base_sequence(groups), u);
+}
+
+std::uint32_t SequenceStats::total_loads() const {
+  std::uint32_t sum = 0;
+  for (std::uint32_t v : loads) sum += v;
+  return sum;
+}
+
+std::uint32_t SequenceStats::total_stores() const {
+  std::uint32_t sum = 0;
+  for (std::uint32_t v : stores) sum += v;
+  return sum;
+}
+
+std::uint32_t SequenceStats::total_memory_ops() const {
+  std::uint32_t sum = total_loads() + total_stores();
+  for (std::uint32_t v : prefetches) sum += v;
+  return sum;
+}
+
+std::uint32_t SequenceStats::lines(MemoryLevel level) const {
+  const auto i = static_cast<std::size_t>(level);
+  return loads[i] + stores[i] + prefetches[i];
+}
+
+SequenceStats analyze_sequence(const std::vector<AccessKind>& sequence) {
+  SequenceStats stats;
+  stats.sets = static_cast<std::uint32_t>(sequence.size());
+  for (const AccessKind& kind : sequence) {
+    const auto level = static_cast<std::size_t>(kind.level);
+    stats.loads[level] += static_cast<std::uint32_t>(kind.loads());
+    stats.stores[level] += static_cast<std::uint32_t>(kind.stores());
+    stats.prefetches[level] += static_cast<std::uint32_t>(kind.prefetches());
+  }
+  return stats;
+}
+
+}  // namespace fs2::payload

@@ -1,0 +1,142 @@
+#include "sim/machine_config.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fs2::sim {
+
+double MachineConfig::volts_at(double mhz) const {
+  if (pstates.empty()) throw Error("MachineConfig: no P-states defined");
+  if (mhz <= pstates.front().mhz) return pstates.front().volts;
+  if (mhz >= pstates.back().mhz) return pstates.back().volts;
+  for (std::size_t i = 1; i < pstates.size(); ++i) {
+    if (mhz <= pstates[i].mhz) {
+      const PState& lo = pstates[i - 1];
+      const PState& hi = pstates[i];
+      const double t = (mhz - lo.mhz) / (hi.mhz - lo.mhz);
+      return lo.volts + t * (hi.volts - lo.volts);
+    }
+  }
+  return pstates.back().volts;
+}
+
+MachineConfig MachineConfig::zen2_epyc7502_2s() {
+  MachineConfig cfg;
+  cfg.name = "2x AMD EPYC 7502 (Zen 2, Table II)";
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 32;
+  cfg.smt = 2;
+  // Table II: available frequencies 1500, 2200, 2500 MHz (nominal).
+  // Server Rome parts run a narrow voltage band across P-states.
+  cfg.pstates = {{1500.0, 1.00}, {2200.0, 1.03}, {2500.0, 1.10}};
+  cfg.nominal_mhz = 2500.0;
+
+  // Front end (Zen 2: 4-wide decode, 8-wide op cache of 4K micro-ops).
+  cfg.decode_width = 4;
+  cfg.opcache_width = 8;
+  cfg.opcache_uops = 4096;
+  cfg.l1i_bytes = 32 * 1024;
+  cfg.l2_fetch_penalty = 0.004;
+
+  // Back end (Sec. IV-A: 2x fma/mul + 2x add pipes, 3 AGU, 4 ALU).
+  cfg.fma_pipes = 2;
+  cfg.alu_pipes = 4;
+  cfg.load_pipes = 2;
+  cfg.store_pipes = 1;
+  cfg.mlp = 20;
+
+  // Memory levels (latency in core cycles; RAM latency is wall-time and is
+  // rescaled by frequency inside the model). Bandwidths per core in
+  // bytes/cycle; RAM shared cap per socket in GB/s (8ch DDR4-1600 DIMMs,
+  // Table II).
+  cfg.mem[1] = MemLevelParams{4.0, 64.0, 0.0, 0.0};
+  cfg.mem[2] = MemLevelParams{13.0, 24.0, 0.0, 0.90};
+  cfg.mem[3] = MemLevelParams{39.0, 8.0, 0.0, 0.85};
+  cfg.mem[4] = MemLevelParams{275.0, 8.0, 80.0, 0.75};  // 110 ns at 2.5 GHz
+
+  PowerParams& p = cfg.power;
+  p.platform_static_w = 70.0;
+  p.uncore_static_w = 22.0;
+  p.dram_static_w = 8.0;
+  p.core_idle_w = 0.30;
+  p.ref_volts = 1.0;
+  p.active_cycle_nj = 0.275;
+  p.fma_nj = 0.205;
+  p.simd_other_nj = 0.155;
+  p.alu_nj = 0.030;
+  p.l1_access_nj = 0.34;
+  p.l2_access_nj = 2.75;
+  p.l3_access_nj = 12.0;
+  p.dram_access_nj = 37.0;
+  p.fetch_l1i_nj = 0.215;
+  p.fetch_l2_nj = 0.43;
+  p.trivial_operand_factor = 0.90;
+
+  cfg.throttle.edc_current_budget = 3.70;
+  cfg.throttle.step_mhz = 25.0;
+  cfg.throttle.floor_mhz = 400.0;
+  return cfg;
+}
+
+MachineConfig MachineConfig::haswell_e5_2680v3_2s(int gpus) {
+  MachineConfig cfg;
+  cfg.name = "2x Intel Xeon E5-2680 v3 (Haswell-EP, Fig. 2)";
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 12;
+  cfg.smt = 2;
+  // Fig. 2 runs at 2000 MHz to avoid AVX-frequency throttling.
+  cfg.pstates = {{1200.0, 0.85}, {2000.0, 0.95}, {2500.0, 1.05}};
+  cfg.nominal_mhz = 2500.0;
+
+  cfg.decode_width = 4;
+  cfg.opcache_width = 6;      // Haswell micro-op queue/LSD
+  cfg.opcache_uops = 1536;    // 1.5K micro-op cache
+  cfg.l1i_bytes = 32 * 1024;
+  cfg.l2_fetch_penalty = 0.03;
+
+  cfg.fma_pipes = 2;
+  cfg.alu_pipes = 4;
+  cfg.load_pipes = 2;
+  cfg.store_pipes = 1;
+  cfg.mlp = 10;
+
+  cfg.mem[1] = MemLevelParams{4.0, 64.0, 0.0, 0.0};
+  cfg.mem[2] = MemLevelParams{12.0, 32.0, 0.0, 0.90};
+  cfg.mem[3] = MemLevelParams{36.0, 7.0, 0.0, 0.80};
+  cfg.mem[4] = MemLevelParams{225.0, 6.0, 60.0, 0.70};  // 90 ns at 2.5 GHz, 4ch DDR4
+
+  PowerParams& p = cfg.power;
+  // Calibrated against Fig. 2's bars (per-node wall power): idle ~75 W,
+  // sqrtsd loop ~115 W, REG-only ~250 W, rising to ~355 W with all levels
+  // (the 2018 Taurus CDF tops out at 359.9 W).
+  p.platform_static_w = 45.0 + (gpus > 0 ? 110.0 : 0.0);  // GPU node: bigger PSU/fans
+  p.uncore_static_w = 9.0;
+  p.dram_static_w = 5.0;
+  p.core_idle_w = 0.25;
+  p.ref_volts = 0.95;
+  p.active_cycle_nj = 0.55;
+  p.fma_nj = 0.60;
+  p.simd_other_nj = 0.40;
+  p.alu_nj = 0.06;
+  p.l1_access_nj = 0.55;
+  p.l2_access_nj = 2.75;
+  p.l3_access_nj = 14.0;
+  p.dram_access_nj = 42.0;
+  p.fetch_l1i_nj = 0.10;
+  p.fetch_l2_nj = 2.4;
+  p.trivial_operand_factor = 0.88;
+
+  // At the pinned 2000 MHz the parts stay inside TDP: budget effectively
+  // only bites near nominal frequency.
+  cfg.throttle.edc_current_budget = 8.0;
+  cfg.throttle.step_mhz = 100.0;  // Haswell throttles in 100 MHz bins
+  cfg.throttle.floor_mhz = 1200.0;
+
+  cfg.gpu.count = gpus;
+  cfg.gpu.idle_w = 29.0;
+  cfg.gpu.stress_w = 156.0;
+  return cfg;
+}
+
+}  // namespace fs2::sim

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fs2::sim {
+
+/// One core P-state: frequency and the voltage the on-die regulator applies
+/// at that frequency (dynamic power scales with f * V^2).
+struct PState {
+  double mhz = 0.0;
+  double volts = 0.0;
+};
+
+/// Per-level memory parameters of the analytic performance model.
+struct MemLevelParams {
+  double latency_cycles = 0.0;       ///< load-to-use latency at nominal frequency
+  double core_bw_bytes_cycle = 0.0;  ///< per-core sustainable bandwidth
+  double shared_bw_gbps = 0.0;       ///< socket-wide bandwidth cap (0 = uncapped)
+  double prefetch_cover = 0.0;       ///< fraction of latency hidden by HW prefetch
+                                     ///< for the sequential streams FIRESTARTER emits
+};
+
+/// Energy coefficients of the power model. All per-event energies are in
+/// nanojoules; static powers in watts. Calibrated against the wattages the
+/// paper reports for the two testbeds (see sim/power_model.cpp for the
+/// anchor table).
+struct PowerParams {
+  // Platform & package static contributions (independent of load).
+  double platform_static_w = 0.0;   ///< PSU overhead, fans, board, disk
+  double uncore_static_w = 0.0;     ///< per socket: I/O die / ring at idle
+  double dram_static_w = 0.0;       ///< per socket: DIMM background
+  double core_idle_w = 0.0;         ///< per core in idle/C-state at nominal V
+
+  // Dynamic, per core: base cost of an active cycle and per-event adders,
+  // all normalized to the reference voltage below and scaled by f*V^2.
+  double ref_volts = 1.0;
+  double active_cycle_nj = 0.0;     ///< clocking + front-end base, per cycle
+  double fma_nj = 0.0;              ///< one 256-bit FMA, non-trivial operands
+  double simd_other_nj = 0.0;       ///< 256-bit mul/add/move
+  double alu_nj = 0.0;              ///< integer op
+  double l1_access_nj = 0.0;        ///< per 64 B line from L1-D
+  double l2_access_nj = 0.0;        ///< per line transferred L2<->L1
+  double l3_access_nj = 0.0;        ///< per line transferred L3<->L2
+  double dram_access_nj = 0.0;      ///< per line to/from DRAM (DIMM + PHY)
+  double fetch_l1i_nj = 0.0;        ///< per 32 B instruction-fetch from L1-I
+  double fetch_l2_nj = 0.0;         ///< additional per line fetched from L2
+
+  /// FMA energy multiplier when operands are trivial (0/inf): the unit
+  /// clock-gates parts of the datapath (Hickmann patent; Sec. III-D).
+  double trivial_operand_factor = 1.0;
+
+  /// Fraction of static (leakage) power added once the package is warm;
+  /// traces ramp toward this over `thermal_tau_s` (Fig. 7 preheat).
+  double warm_leakage_gain = 0.03;
+  double thermal_tau_s = 45.0;
+};
+
+/// EDC-style current-limit throttling (paper Sec. IV-E: peaks would "cause
+/// electrical design current specifications to be exceeded"). The governor
+/// watches a per-core current-peak proxy: average dynamic power over
+/// voltage, scaled up by burstiness (stall/resume swings raise di/dt), so
+/// memory-stalled workloads throttle deeper than smooth compute loops —
+/// exactly the pattern of Fig. 12c.
+struct ThrottleParams {
+  double edc_current_budget = 1e9;  ///< cap on core_dyn_w / V * burstiness
+  double step_mhz = 25.0;           ///< throttle granularity
+  double floor_mhz = 400.0;
+};
+
+/// NVIDIA-K80-style GPU power model (Fig. 2: each GPU adds 29 W idle to
+/// 156 W under DGEMM stress).
+struct GpuParams {
+  int count = 0;
+  double idle_w = 29.0;
+  double stress_w = 156.0;
+};
+
+/// Full analytic description of a machine under test. Two built-ins mirror
+/// the paper's testbeds; custom configs can be constructed for ablations.
+struct MachineConfig {
+  std::string name;
+
+  // Topology.
+  int sockets = 2;
+  int cores_per_socket = 32;
+  int smt = 2;
+
+  // Frequency domain.
+  std::vector<PState> pstates;
+  double nominal_mhz = 0.0;
+
+  // Front end.
+  int decode_width = 4;           ///< instructions decoded per cycle
+  int opcache_width = 8;          ///< micro-ops per cycle from the op cache
+  std::size_t opcache_uops = 4096;  ///< op-cache capacity in micro-ops
+  std::size_t l1i_bytes = 32 * 1024;
+  double l2_fetch_penalty = 0.02;  ///< extra cycles per instruction when code streams from L2
+
+  // Back end.
+  int fma_pipes = 2;
+  int alu_pipes = 4;
+  int load_pipes = 2;
+  int store_pipes = 1;
+  int mlp = 16;  ///< outstanding misses the OoO engine overlaps
+
+  // Memory hierarchy, indexed by payload::MemoryLevel (REG entry unused).
+  MemLevelParams mem[5];
+
+  PowerParams power;
+  ThrottleParams throttle;
+  GpuParams gpu;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int total_threads() const { return total_cores() * smt; }
+
+  /// Voltage at a given frequency: interpolated over the P-state table
+  /// (clamped at the ends).
+  double volts_at(double mhz) const;
+
+  /// The Table II system: 2x AMD EPYC 7502 (Zen 2), 3 P-states + SMT2.
+  static MachineConfig zen2_epyc7502_2s();
+
+  /// The Fig. 2 system: 2x Intel Xeon E5-2680 v3 (Haswell-EP) at 2000 MHz,
+  /// optionally with 4x NVIDIA K80.
+  static MachineConfig haswell_e5_2680v3_2s(int gpus = 0);
+};
+
+}  // namespace fs2::sim

@@ -1,0 +1,238 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fs2::sim {
+
+using payload::MemoryLevel;
+using payload::PayloadStats;
+
+const char* to_string(FetchSource source) {
+  switch (source) {
+    case FetchSource::kOpCache: return "op-cache";
+    case FetchSource::kL1I: return "L1-I";
+    case FetchSource::kL2: return "L2";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kNjToJ = 1e-9;
+
+/// Threads per core actually running, given a flat thread count spread
+/// one-per-core first (the FIRESTARTER pinning policy).
+int smt_factor(const MachineConfig& cfg, int threads) {
+  return threads > cfg.total_cores() ? 2 : 1;
+}
+
+FetchSource classify_fetch(const MachineConfig& cfg, const PayloadStats& stats) {
+  // Both SMT threads execute the same loop body, so op-cache and L1-I
+  // entries are shared rather than competitively split.
+  if (stats.instructions_per_iteration <= cfg.opcache_uops) return FetchSource::kOpCache;
+  if (stats.loop_bytes <= cfg.l1i_bytes) return FetchSource::kL1I;
+  return FetchSource::kL2;
+}
+
+}  // namespace
+
+WorkloadPoint Simulator::evaluate_at(const PayloadStats& stats, const RunConditions& cond,
+                                     double freq_mhz, double volts) const {
+  const int threads = cond.threads > 0 ? std::min(cond.threads, cfg_.total_threads())
+                                       : cfg_.total_threads();
+  const int smt = smt_factor(cfg_, threads);
+  const int active_cores = std::min(threads, cfg_.total_cores());
+  const double f_hz = freq_mhz * 1e6;
+  const double vscale = (volts / cfg_.power.ref_volts) * (volts / cfg_.power.ref_volts);
+
+  WorkloadPoint point;
+  point.achieved_mhz = freq_mhz;
+  point.fetch_source = classify_fetch(cfg_, stats);
+
+  // ---- performance: cycles per core-iteration (one loop iteration on each
+  // of the core's `smt` hardware threads) ------------------------------------
+  const double instr = static_cast<double>(stats.instructions_per_iteration) * smt;
+
+  double fe_width = cfg_.decode_width;
+  if (point.fetch_source == FetchSource::kOpCache) fe_width = cfg_.opcache_width;
+  double fe_cycles = instr / fe_width;
+  if (point.fetch_source == FetchSource::kL2) fe_cycles += instr * cfg_.l2_fetch_penalty;
+
+  const double fp = static_cast<double>(stats.fp_compute_per_iteration) * smt;
+  const double alu =
+      static_cast<double>(stats.alu_per_iteration + stats.overhead_per_iteration) * smt;
+  const auto& seq = stats.sequence;
+  double loads = 0, stores = 0, prefetches = 0;
+  for (int level = 1; level < payload::kNumMemoryLevels; ++level) {
+    loads += seq.loads[level];
+    stores += seq.stores[level];
+    prefetches += seq.prefetches[level];
+  }
+  const double exec_cycles =
+      std::max({fp / cfg_.fma_pipes, alu / cfg_.alu_pipes,
+                (loads + prefetches) * smt / cfg_.load_pipes, stores * smt / cfg_.store_pipes});
+
+  // Memory: bandwidth constraints overlap with compute (take the max);
+  // residual latency that MLP and prefetch cannot hide adds on top.
+  double bw_cycles = 0.0;
+  double latency_cycles = 0.0;
+  for (int level = 2; level < payload::kNumMemoryLevels; ++level) {
+    const double lines = static_cast<double>(seq.lines(static_cast<MemoryLevel>(level))) * smt;
+    if (lines == 0.0) continue;
+    const MemLevelParams& mem = cfg_.mem[level];
+    double lat = mem.latency_cycles;
+    if (level == static_cast<int>(MemoryLevel::kRam))
+      lat *= freq_mhz / cfg_.nominal_mhz;  // DRAM latency is wall-time, not core cycles
+    latency_cycles += lines * lat * (1.0 - mem.prefetch_cover) / cfg_.mlp;
+    // Stores beyond L1 cost double traffic: the write-allocate fill plus
+    // the eventual dirty writeback.
+    const double traffic_lines =
+        lines + static_cast<double>(seq.stores[level]) * smt;
+    bw_cycles = std::max(bw_cycles, traffic_lines * 64.0 / mem.core_bw_bytes_cycle);
+    if (mem.shared_bw_gbps > 0.0) {
+      const double cores_per_socket =
+          static_cast<double>(active_cores) / cfg_.sockets;
+      const double bytes_socket = traffic_lines * 64.0 * cores_per_socket;
+      bw_cycles = std::max(bw_cycles, bytes_socket / (mem.shared_bw_gbps * 1e9) * f_hz);
+    }
+  }
+
+  const double cycles = std::max({fe_cycles, exec_cycles, bw_cycles}) + latency_cycles;
+  point.cycles_per_iteration = cycles;
+  point.ipc_per_core = instr / cycles;
+
+  double dcache_lines = 0.0;
+  for (int level = 1; level < payload::kNumMemoryLevels; ++level) {
+    dcache_lines += (seq.loads[level] + seq.stores[level]) * smt;
+    point.lines_per_cycle[static_cast<std::size_t>(level)] =
+        static_cast<double>(seq.lines(static_cast<MemoryLevel>(level))) * smt / cycles;
+  }
+  point.dcache_rate = dcache_lines / cycles;
+  point.gflops = static_cast<double>(stats.flops_per_iteration) * smt * active_cores / cycles *
+                 f_hz / 1e9;
+
+  // ---- power ------------------------------------------------------------------
+  const PowerParams& p = cfg_.power;
+  const double trivial =
+      cond.policy == payload::DataInitPolicy::kV174InfinityBug ? p.trivial_operand_factor : 1.0;
+
+  const double r_fma = static_cast<double>(stats.fma_per_iteration) * smt / cycles;
+  const double r_other =
+      static_cast<double>(stats.simd_per_iteration - stats.fma_per_iteration) * smt / cycles;
+  const double r_alu = alu / cycles;
+  const double r_l1 = point.lines_per_cycle[static_cast<int>(MemoryLevel::kL1)];
+  const double r_l2 = point.lines_per_cycle[static_cast<int>(MemoryLevel::kL2)];
+
+  double fetch_nj = 0.0;
+  if (point.fetch_source != FetchSource::kOpCache) {
+    const double fetch_chunks = static_cast<double>(stats.loop_bytes) / 32.0 * smt / cycles;
+    fetch_nj += p.fetch_l1i_nj * fetch_chunks;
+  }
+  if (point.fetch_source == FetchSource::kL2) {
+    const double fetch_lines = static_cast<double>(stats.loop_bytes) / 64.0 * smt / cycles;
+    fetch_nj += p.fetch_l2_nj * fetch_lines;
+  }
+
+  // Per-op SIMD energy scales with datapath width (the coefficients are
+  // calibrated for the 256-bit mixes).
+  const double width_scale = static_cast<double>(stats.vector_doubles) / 4.0;
+  const double core_cycle_nj = p.active_cycle_nj + p.fma_nj * width_scale * r_fma * trivial +
+                               p.simd_other_nj * width_scale * r_other + p.alu_nj * r_alu +
+                               p.l1_access_nj * r_l1 + p.l2_access_nj * r_l2 + fetch_nj;
+  const double core_dyn_w = core_cycle_nj * kNjToJ * f_hz * vscale;
+  point.core_power_w = p.core_idle_w + core_dyn_w;
+  // Current-peak proxy for the EDC governor: stall/resume swings raise
+  // di/dt, so the mean current is scaled by burstiness.
+  point.burstiness = cycles / std::max(fe_cycles, exec_cycles);
+  point.edc_proxy = core_dyn_w / volts * point.burstiness;
+
+  // Off-core traffic is charged per line at fixed energy (I/O-die clock
+  // domain: no core-voltage scaling).
+  const double r_l3 = point.lines_per_cycle[static_cast<int>(MemoryLevel::kL3)];
+  const double r_ram = point.lines_per_cycle[static_cast<int>(MemoryLevel::kRam)];
+  const double uncore_dyn_w =
+      (p.l3_access_nj * r_l3 + p.dram_access_nj * r_ram) * kNjToJ * f_hz * active_cores;
+
+  const int idle_cores = cfg_.total_cores() - active_cores;
+  double power = p.platform_static_w + cfg_.sockets * (p.uncore_static_w + p.dram_static_w) +
+                 active_cores * point.core_power_w + idle_cores * p.core_idle_w + uncore_dyn_w;
+  power += cfg_.gpu.count * (cond.gpu_stress ? cfg_.gpu.stress_w : cfg_.gpu.idle_w);
+  point.power_w = power;
+  return point;
+}
+
+WorkloadPoint Simulator::run(const PayloadStats& stats, const RunConditions& cond) const {
+  double freq = cond.freq_mhz > 0.0 ? cond.freq_mhz : cfg_.nominal_mhz;
+  // Voltage follows the DVFS curve as the governor steps the clock down —
+  // consistent with Fig. 12a/c, where power tracks the *achieved*
+  // frequency (512.2 W @ 2164 MHz vs 514.4 W @ 2304 MHz) rather than the
+  // requested P-state's voltage.
+  WorkloadPoint point = evaluate_at(stats, cond, freq, cfg_.volts_at(freq));
+  // EDC-style governor: step the clock down until the current-peak proxy
+  // fits the budget (Sec. IV-E: "the processor decreases its frequency
+  // dynamically to avoid peaks").
+  while (point.edc_proxy > cfg_.throttle.edc_current_budget &&
+         freq - cfg_.throttle.step_mhz >= cfg_.throttle.floor_mhz) {
+    freq -= cfg_.throttle.step_mhz;
+    point = evaluate_at(stats, cond, freq, cfg_.volts_at(freq));
+    point.throttled = true;
+  }
+  return point;
+}
+
+WorkloadPoint Simulator::idle() const {
+  const PowerParams& p = cfg_.power;
+  WorkloadPoint point;
+  point.achieved_mhz = cfg_.pstates.front().mhz;
+  // Deep C-states: cores nearly gated, uncore clocked down.
+  point.power_w = p.platform_static_w * 0.9 +
+                  cfg_.sockets * (p.uncore_static_w * 0.8 + p.dram_static_w) +
+                  cfg_.total_cores() * 0.05;
+  point.power_w += cfg_.gpu.count * cfg_.gpu.idle_w;
+  return point;
+}
+
+WorkloadPoint Simulator::low_power_loop(double freq_mhz) const {
+  const PowerParams& p = cfg_.power;
+  const double freq = freq_mhz > 0.0 ? freq_mhz : cfg_.nominal_mhz;
+  const double volts = cfg_.volts_at(freq);
+  const double vscale = (volts / p.ref_volts) * (volts / p.ref_volts);
+  WorkloadPoint point;
+  point.achieved_mhz = freq;
+  // Serialized sqrtsd: the front-end and scheduler stay awake but execution
+  // units are idle most cycles; IPC is latency-bound at ~1/20.
+  point.ipc_per_core = 0.05;
+  const double core_dyn_w = p.active_cycle_nj * 1.0 * kNjToJ * freq * 1e6 * vscale;
+  point.core_power_w = p.core_idle_w + core_dyn_w;
+  point.power_w = p.platform_static_w + cfg_.sockets * (p.uncore_static_w + p.dram_static_w) +
+                  cfg_.total_cores() * point.core_power_w;
+  point.power_w += cfg_.gpu.count * cfg_.gpu.idle_w;
+  return point;
+}
+
+std::vector<double> Simulator::power_trace(const WorkloadPoint& point, double duration_s,
+                                           double sample_hz, std::uint64_t seed,
+                                           double warm_start_s) const {
+  if (duration_s <= 0.0 || sample_hz <= 0.0)
+    throw Error("Simulator::power_trace: duration and sample rate must be positive");
+  const PowerParams& p = cfg_.power;
+  Xoshiro256 rng(seed);
+  const auto samples = static_cast<std::size_t>(duration_s * sample_hz);
+  std::vector<double> trace;
+  trace.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = warm_start_s + static_cast<double>(i) / sample_hz;
+    // Leakage rises as the silicon warms: a cold start sits below the
+    // steady state by warm_leakage_gain and converges with thermal_tau_s.
+    const double thermal = 1.0 - p.warm_leakage_gain * std::exp(-t / p.thermal_tau_s);
+    const double noise = 1.0 + 0.004 * rng.normal();
+    trace.push_back(point.power_w * thermal * noise);
+  }
+  return trace;
+}
+
+}  // namespace fs2::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "payload/compiler.hpp"
+#include "payload/data.hpp"
+#include "sim/machine_config.hpp"
+
+namespace fs2::sim {
+
+/// Instruction-fetch source of the inner loop (Fig. 8's three categories).
+enum class FetchSource { kOpCache, kL1I, kL2 };
+
+const char* to_string(FetchSource source);
+
+/// Conditions of one simulated run.
+struct RunConditions {
+  double freq_mhz = 0.0;                 ///< requested P-state (0 = nominal)
+  int threads = 0;                       ///< active worker threads (0 = all)
+  payload::DataInitPolicy policy = payload::DataInitPolicy::kSafe;
+  bool gpu_stress = false;               ///< also stress attached GPUs (Fig. 2)
+};
+
+/// Steady-state result of running a workload on the simulated machine —
+/// the quantities the paper's figures plot.
+struct WorkloadPoint {
+  double power_w = 0.0;            ///< system wall power
+  double ipc_per_core = 0.0;       ///< instructions per cycle per core (Figs. 8/9/11/12b)
+  double achieved_mhz = 0.0;       ///< after EDC throttling (Fig. 12c)
+  double dcache_rate = 0.0;        ///< data-cache accesses per cycle per core (Fig. 9)
+  double gflops = 0.0;             ///< aggregate FLOP rate
+  double cycles_per_iteration = 0.0;
+  bool throttled = false;
+  FetchSource fetch_source = FetchSource::kOpCache;
+  double core_power_w = 0.0;       ///< per-core power
+  double edc_proxy = 0.0;          ///< current-peak proxy the governor watches
+  double burstiness = 1.0;         ///< total cycles / compute cycles (>= 1)
+  std::array<double, 5> lines_per_cycle{};  ///< per-level line transfers/cycle/core
+};
+
+/// Analytic microarchitecture performance & power simulator. This is the
+/// substitute for the paper's physical testbeds: it models the front-end
+/// fetch path (op cache / L1-I / L2), execution-port pressure, per-level
+/// memory bandwidth and latency with prefetch and MLP overlap, an EDC-style
+/// frequency governor, a data-dependent FMA power model, and the attached
+/// GPUs. Fully deterministic; all experiments run in virtual time.
+class Simulator {
+ public:
+  explicit Simulator(MachineConfig config) : cfg_(std::move(config)) {}
+
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Steady-state evaluation of a compiled/analyzed payload.
+  WorkloadPoint run(const payload::PayloadStats& stats, const RunConditions& cond) const;
+
+  /// System power with all cores in deep C-states (Fig. 2 "Idle").
+  WorkloadPoint idle() const;
+
+  /// Low-power active loop (Fig. 2 "Low power loop (sqrtsd)"): serialized
+  /// scalar sqrt keeps cores awake but pipelines nearly empty.
+  WorkloadPoint low_power_loop(double freq_mhz = 0.0) const;
+
+  /// Power trace for a steady workload: thermal leakage ramp toward the
+  /// warm state plus measurement noise, sampled at `sample_hz` (the ZES
+  /// LMG95 in the paper samples at 20 Sa/s). `warm_start_s` sets how much
+  /// preheat the package already had (Fig. 7: candidates after preheat show
+  /// no ramp).
+  std::vector<double> power_trace(const WorkloadPoint& point, double duration_s,
+                                  double sample_hz, std::uint64_t seed,
+                                  double warm_start_s = 0.0) const;
+
+ private:
+  /// Performance at a fixed frequency and core voltage (no throttling).
+  WorkloadPoint evaluate_at(const payload::PayloadStats& stats, const RunConditions& cond,
+                            double freq_mhz, double volts) const;
+
+  MachineConfig cfg_;
+};
+
+}  // namespace fs2::sim

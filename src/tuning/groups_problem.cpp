@@ -1,0 +1,60 @@
+#include "tuning/groups_problem.hpp"
+
+#include "payload/access.hpp"
+#include "util/error.hpp"
+
+namespace fs2::tuning {
+
+using payload::AccessKind;
+using payload::all_access_kinds;
+using payload::MemoryLevel;
+
+namespace {
+
+/// Search-space bounds per memory level: register and L1 groups dominate a
+/// good M (Sec. III's examples), deeper levels contribute a thin tail —
+/// and hundreds of RAM accesses per pass would only stall the machine.
+std::uint32_t level_limit(MemoryLevel level) {
+  switch (level) {
+    case MemoryLevel::kReg: return 100;
+    case MemoryLevel::kL1: return 100;
+    case MemoryLevel::kL2: return 40;
+    case MemoryLevel::kL3: return 20;
+    case MemoryLevel::kRam: return 12;
+  }
+  return 1;
+}
+
+}  // namespace
+
+GroupsProblem::GroupsProblem(EvaluationBackend& backend) : backend_(backend) {
+  for (const AccessKind& kind : all_access_kinds()) gene_limits_.push_back(level_limit(kind.level));
+}
+
+std::size_t GroupsProblem::genome_length() const { return gene_limits_.size(); }
+
+std::uint32_t GroupsProblem::gene_max(std::size_t i) const { return gene_limits_.at(i); }
+
+std::vector<double> GroupsProblem::evaluate(const Genome& genome) {
+  return backend_.evaluate(to_groups(genome));
+}
+
+payload::InstructionGroups GroupsProblem::to_groups(const Genome& genome) {
+  const auto& kinds = all_access_kinds();
+  if (genome.size() != kinds.size())
+    throw Error("GroupsProblem::to_groups: genome length mismatch");
+  std::vector<payload::Group> groups;
+  for (std::size_t i = 0; i < kinds.size(); ++i)
+    if (genome[i] > 0) groups.push_back(payload::Group{kinds[i], genome[i]});
+  if (groups.empty()) groups.push_back(payload::Group{kinds[0], 1});  // repaired REG:1
+  return payload::InstructionGroups(std::move(groups));
+}
+
+Genome GroupsProblem::from_groups(const payload::InstructionGroups& groups) {
+  const auto& kinds = all_access_kinds();
+  Genome genome(kinds.size(), 0);
+  for (std::size_t i = 0; i < kinds.size(); ++i) genome[i] = groups.count_of(kinds[i]);
+  return genome;
+}
+
+}  // namespace fs2::tuning

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "payload/groups.hpp"
+#include "tuning/problem.hpp"
+
+namespace fs2::tuning {
+
+/// Evaluates one candidate M by actually stressing the system (real or
+/// simulated) and reading the optimization metrics (Sec. III-C). The
+/// duration per candidate (-t) and the metric choice
+/// (--optimization-metric) live inside the backend.
+class EvaluationBackend {
+ public:
+  virtual ~EvaluationBackend() = default;
+  virtual std::vector<std::string> objective_names() const = 0;
+  virtual std::vector<double> evaluate(const payload::InstructionGroups& groups) = 0;
+};
+
+/// The FIRESTARTER tuning problem: genome = occurrence count per valid
+/// access kind (canonical order of payload::all_access_kinds()); zero means
+/// the kind is absent. The instruction set I is explicitly NOT part of the
+/// genome (Sec. III-B: poorly chosen instructions risk trivial operands).
+class GroupsProblem : public Problem {
+ public:
+  explicit GroupsProblem(EvaluationBackend& backend);
+
+  std::size_t genome_length() const override;
+  std::uint32_t gene_max(std::size_t i) const override;
+  std::size_t num_objectives() const override { return backend_.objective_names().size(); }
+  std::string objective_name(std::size_t i) const override {
+    return backend_.objective_names().at(i);
+  }
+  std::vector<double> evaluate(const Genome& genome) override;
+
+  /// Genome <-> grammar conversions (also used to print results).
+  static payload::InstructionGroups to_groups(const Genome& genome);
+  static Genome from_groups(const payload::InstructionGroups& groups);
+
+ private:
+  EvaluationBackend& backend_;
+  std::vector<std::uint32_t> gene_limits_;
+};
+
+}  // namespace fs2::tuning

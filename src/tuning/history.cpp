@@ -1,0 +1,38 @@
+#include "tuning/history.hpp"
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::tuning {
+
+void History::record(std::size_t generation, const Genome& genome,
+                     const std::vector<double>& objectives) {
+  Evaluation evaluation;
+  evaluation.order = evaluations_.size();
+  evaluation.generation = generation;
+  evaluation.genome = genome;
+  evaluation.objectives = objectives;
+  evaluations_.push_back(std::move(evaluation));
+}
+
+void History::write_csv(std::ostream& out,
+                        const std::vector<std::string>& objective_names) const {
+  CsvWriter csv(out);
+  std::vector<std::string> header = {"order", "generation"};
+  header.insert(header.end(), objective_names.begin(), objective_names.end());
+  header.push_back("genome");
+  csv.row(header);
+  for (const Evaluation& e : evaluations_) {
+    std::vector<std::string> row = {std::to_string(e.order), std::to_string(e.generation)};
+    for (double value : e.objectives) row.push_back(strings::format("%.4f", value));
+    std::string genome_text;
+    for (std::size_t i = 0; i < e.genome.size(); ++i) {
+      if (i != 0) genome_text += ' ';
+      genome_text += std::to_string(e.genome[i]);
+    }
+    row.push_back(genome_text);
+    csv.row(row);
+  }
+}
+
+}  // namespace fs2::tuning

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tuning/individual.hpp"
+
+namespace fs2::tuning {
+
+/// One log entry: an evaluation that happened during the optimization.
+/// Fig. 11 is a scatter of exactly this log (evaluation order encoded as
+/// colour); Sec. IV-E: "A logfile is saved for further evaluation."
+struct Evaluation {
+  std::size_t order = 0;       ///< global evaluation index (colour axis)
+  std::size_t generation = 0;  ///< 0 = initial population
+  Genome genome;
+  std::vector<double> objectives;
+};
+
+/// Append-only log of every evaluated individual.
+class History {
+ public:
+  void record(std::size_t generation, const Genome& genome,
+              const std::vector<double>& objectives);
+
+  const std::vector<Evaluation>& evaluations() const { return evaluations_; }
+  std::size_t size() const { return evaluations_.size(); }
+
+  /// CSV export: order,generation,<objective columns>,genome.
+  void write_csv(std::ostream& out, const std::vector<std::string>& objective_names) const;
+
+ private:
+  std::vector<Evaluation> evaluations_;
+};
+
+}  // namespace fs2::tuning

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fs2::tuning {
+
+/// Integer genome: one gene per valid access kind (the occurrence count a_i
+/// of Eq. 1; zero means the kind is absent from M).
+using Genome = std::vector<std::uint32_t>;
+
+/// One evaluated candidate workload. All objectives are maximized.
+struct Individual {
+  Genome genome;
+  std::vector<double> objectives;
+
+  // NSGA-II bookkeeping (filled by the sorter).
+  int rank = -1;                 ///< 0 = first (non-dominated) front
+  double crowding = 0.0;         ///< crowding distance within its front
+
+  bool evaluated() const { return !objectives.empty(); }
+};
+
+/// Pareto dominance for maximization: `a` dominates `b` iff a is >= in all
+/// objectives and strictly greater in at least one.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Crowded-comparison operator (Deb et al. 2002): lower rank wins; equal
+/// rank prefers the larger crowding distance.
+inline bool crowded_less(const Individual& a, const Individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+}  // namespace fs2::tuning

@@ -1,0 +1,204 @@
+#include "tuning/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fs2::tuning {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+    if (a[i] > b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+void Problem::repair(Genome& genome) const {
+  for (std::uint32_t gene : genome)
+    if (gene != 0) return;
+  if (!genome.empty()) genome[0] = 1;
+}
+
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(std::vector<Individual>& pop) {
+  const std::size_t n = pop.size();
+  std::vector<std::vector<std::size_t>> dominated(n);  // S_p
+  std::vector<int> domination_count(n, 0);             // n_p
+  std::vector<std::vector<std::size_t>> fronts(1);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(pop[p].objectives, pop[q].objectives)) {
+        dominated[p].push_back(q);
+      } else if (dominates(pop[q].objectives, pop[p].objectives)) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) {
+      pop[p].rank = 0;
+      fronts[0].push_back(p);
+    }
+  }
+
+  std::size_t current = 0;
+  while (!fronts[current].empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t p : fronts[current]) {
+      for (std::size_t q : dominated[p]) {
+        if (--domination_count[q] == 0) {
+          pop[q].rank = static_cast<int>(current) + 1;
+          next.push_back(q);
+        }
+      }
+    }
+    ++current;
+    fronts.push_back(std::move(next));
+  }
+  fronts.pop_back();  // the last front is always empty
+  return fronts;
+}
+
+void assign_crowding_distance(std::vector<Individual>& pop,
+                              const std::vector<std::size_t>& front) {
+  if (front.empty()) return;
+  for (std::size_t i : front) pop[i].crowding = 0.0;
+  const std::size_t objectives = pop[front[0]].objectives.size();
+  for (std::size_t m = 0; m < objectives; ++m) {
+    std::vector<std::size_t> order(front);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pop[a].objectives[m] < pop[b].objectives[m];
+    });
+    const double lo = pop[order.front()].objectives[m];
+    const double hi = pop[order.back()].objectives[m];
+    pop[order.front()].crowding = std::numeric_limits<double>::infinity();
+    pop[order.back()].crowding = std::numeric_limits<double>::infinity();
+    if (hi <= lo) continue;  // degenerate objective: all equal
+    for (std::size_t k = 1; k + 1 < order.size(); ++k)
+      pop[order[k]].crowding +=
+          (pop[order[k + 1]].objectives[m] - pop[order[k - 1]].objectives[m]) / (hi - lo);
+  }
+}
+
+namespace {
+
+Genome random_genome(const Problem& problem, Xoshiro256& rng) {
+  Genome genome(problem.genome_length());
+  for (std::size_t i = 0; i < genome.size(); ++i)
+    genome[i] = static_cast<std::uint32_t>(rng.below(problem.gene_max(i) + 1));
+  return genome;
+}
+
+void mutate(Genome& genome, const Problem& problem, Xoshiro256& rng) {
+  // Each gene flips with probability 1/length; half the flips are local
+  // steps (fine-tuning a ratio), half are random resets (escaping local
+  // optima without a sharing parameter).
+  const double per_gene = 1.0 / static_cast<double>(genome.size());
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (!rng.chance(per_gene)) continue;
+    const auto max = static_cast<std::int64_t>(problem.gene_max(i));
+    if (rng.chance(0.5)) {
+      const std::int64_t step = rng.range(1, 3) * (rng.chance(0.5) ? 1 : -1);
+      genome[i] = static_cast<std::uint32_t>(
+          std::clamp<std::int64_t>(static_cast<std::int64_t>(genome[i]) + step, 0, max));
+    } else {
+      genome[i] = static_cast<std::uint32_t>(rng.below(static_cast<std::uint64_t>(max) + 1));
+    }
+  }
+}
+
+const Individual& tournament(const std::vector<Individual>& pop, Xoshiro256& rng) {
+  const Individual& a = pop[rng.below(pop.size())];
+  const Individual& b = pop[rng.below(pop.size())];
+  return crowded_less(a, b) ? a : b;
+}
+
+}  // namespace
+
+std::vector<Individual> Nsga2::run(Problem& problem, History* history) {
+  if (config_.individuals < 2) throw Error("Nsga2: population must hold at least 2 individuals");
+  if (problem.genome_length() == 0) throw Error("Nsga2: empty genome");
+  Xoshiro256 rng(config_.seed);
+
+  auto evaluate = [&](Individual& ind, std::size_t generation) {
+    problem.repair(ind.genome);
+    ind.objectives = problem.evaluate(ind.genome);
+    if (history != nullptr) history->record(generation, ind.genome, ind.objectives);
+  };
+
+  // Initial population (generation 0).
+  std::vector<Individual> population(config_.individuals);
+  for (Individual& ind : population) {
+    ind.genome = random_genome(problem, rng);
+    evaluate(ind, 0);
+  }
+  {
+    auto fronts = fast_non_dominated_sort(population);
+    for (const auto& front : fronts) assign_crowding_distance(population, front);
+  }
+
+  for (std::size_t gen = 1; gen <= config_.generations; ++gen) {
+    // Variation: binary tournament -> uniform crossover -> mutation.
+    std::vector<Individual> offspring;
+    offspring.reserve(config_.individuals);
+    while (offspring.size() < config_.individuals) {
+      Genome child = tournament(population, rng).genome;
+      if (rng.chance(config_.crossover_probability)) {
+        const Genome& other = tournament(population, rng).genome;
+        for (std::size_t i = 0; i < child.size(); ++i)
+          if (rng.chance(0.5)) child[i] = other[i];
+      }
+      if (rng.chance(config_.mutation_probability)) mutate(child, problem, rng);
+      Individual ind;
+      ind.genome = std::move(child);
+      evaluate(ind, gen);
+      offspring.push_back(std::move(ind));
+    }
+
+    // (mu + lambda) elitist survival: sort the union, keep the best fronts,
+    // truncate the split front by crowding distance.
+    std::vector<Individual> combined = std::move(population);
+    combined.insert(combined.end(), std::make_move_iterator(offspring.begin()),
+                    std::make_move_iterator(offspring.end()));
+    auto fronts = fast_non_dominated_sort(combined);
+    for (const auto& front : fronts) assign_crowding_distance(combined, front);
+
+    population.clear();
+    for (const auto& front : fronts) {
+      if (population.size() + front.size() <= config_.individuals) {
+        for (std::size_t idx : front) population.push_back(std::move(combined[idx]));
+      } else {
+        std::vector<std::size_t> sorted(front);
+        std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+          return combined[a].crowding > combined[b].crowding;
+        });
+        for (std::size_t idx : sorted) {
+          if (population.size() >= config_.individuals) break;
+          population.push_back(std::move(combined[idx]));
+        }
+      }
+      if (population.size() >= config_.individuals) break;
+    }
+  }
+
+  std::sort(population.begin(), population.end(),
+            [](const Individual& a, const Individual& b) { return crowded_less(a, b); });
+  return population;
+}
+
+const Individual& Nsga2::best_by_objective(const std::vector<Individual>& population,
+                                           std::size_t objective) {
+  if (population.empty()) throw Error("Nsga2::best_by_objective: empty population");
+  const Individual* best = &population.front();
+  for (const Individual& ind : population) {
+    if (ind.rank != 0) continue;
+    if (best->rank != 0 || ind.objectives.at(objective) > best->objectives.at(objective))
+      best = &ind;
+  }
+  return *best;
+}
+
+}  // namespace fs2::tuning

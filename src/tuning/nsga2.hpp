@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tuning/history.hpp"
+#include "tuning/individual.hpp"
+#include "tuning/problem.hpp"
+
+namespace fs2::tuning {
+
+/// Configuration mirroring the paper's CLI (Sec. IV-E):
+/// --individuals=40 --generations=20 --nsga2-m=0.35.
+struct Nsga2Config {
+  std::size_t individuals = 40;
+  std::size_t generations = 20;
+  double mutation_probability = 0.35;   ///< per-individual mutation chance
+  double crossover_probability = 0.9;   ///< per-pair recombination chance
+  std::uint64_t seed = 0xF12E57A27E2ULL;
+};
+
+/// Fast non-dominated sort (Deb et al. 2002, O(M N^2)): assigns `rank` to
+/// every individual and returns the fronts as index lists, best first.
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(std::vector<Individual>& pop);
+
+/// Crowding-distance assignment within one front (indices into `pop`).
+void assign_crowding_distance(std::vector<Individual>& pop,
+                              const std::vector<std::size_t>& front);
+
+/// NSGA-II driver. Deterministic for a fixed (config.seed, problem).
+class Nsga2 {
+ public:
+  explicit Nsga2(Nsga2Config config) : config_(config) {}
+
+  /// Run the optimization: random initial population, then
+  /// binary-tournament selection, uniform crossover, and per-gene mutation
+  /// for `generations` rounds with (mu+lambda) elitist survival. Every
+  /// evaluation is appended to `history` when non-null. Returns the final
+  /// population sorted by crowded comparison (best first).
+  std::vector<Individual> run(Problem& problem, History* history = nullptr);
+
+  /// Pick the front member with the highest value in `objective` — the
+  /// "selected optimum" of Fig. 11 (the tool's goal is power, objective 0).
+  static const Individual& best_by_objective(const std::vector<Individual>& population,
+                                             std::size_t objective);
+
+ private:
+  Nsga2Config config_;
+};
+
+}  // namespace fs2::tuning

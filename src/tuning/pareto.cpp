@@ -1,0 +1,44 @@
+#include "tuning/pareto.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fs2::tuning {
+
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    bool is_dominated = false;
+    for (std::size_t q = 0; q < points.size() && !is_dominated; ++q)
+      if (p != q && dominates(points[q], points[p])) is_dominated = true;
+    if (!is_dominated) front.push_back(p);
+  }
+  return front;
+}
+
+double hypervolume_2d(const std::vector<std::vector<double>>& front,
+                      const std::vector<double>& reference) {
+  if (reference.size() != 2) throw Error("hypervolume_2d: reference must be 2-D");
+  if (front.empty()) return 0.0;
+  for (const auto& point : front) {
+    if (point.size() != 2) throw Error("hypervolume_2d: front points must be 2-D");
+    if (point[0] < reference[0] || point[1] < reference[1])
+      throw Error("hypervolume_2d: front point does not dominate the reference");
+  }
+  // Sort by first objective descending; sweep adds disjoint rectangles.
+  std::vector<std::vector<double>> sorted(front);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a[0] > b[0]; });
+  double volume = 0.0;
+  double prev_y = reference[1];
+  for (const auto& point : sorted) {
+    if (point[1] > prev_y) {
+      volume += (point[0] - reference[0]) * (point[1] - prev_y);
+      prev_y = point[1];
+    }
+  }
+  return volume;
+}
+
+}  // namespace fs2::tuning

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "tuning/individual.hpp"
+
+namespace fs2::tuning {
+
+/// Extract the non-dominated subset of a set of objective vectors
+/// (maximization). Returns indices into `points`, in input order.
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& points);
+
+/// 2-D hypervolume indicator (maximization) with respect to a reference
+/// point that every front member must dominate. Used to quantify optimizer
+/// convergence (Fig. 11: later individuals shrink the gap to the front).
+double hypervolume_2d(const std::vector<std::vector<double>>& front,
+                      const std::vector<double>& reference);
+
+}  // namespace fs2::tuning

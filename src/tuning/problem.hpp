@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tuning/individual.hpp"
+
+namespace fs2::tuning {
+
+/// A multi-objective maximization problem over integer genomes.
+/// FIRESTARTER's concrete problem (tune M for power and IPC) is
+/// GroupsProblem; the interface stays generic so the optimizer can be
+/// property-tested on analytic functions.
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  virtual std::size_t genome_length() const = 0;
+
+  /// Inclusive upper bound of gene `i` (genes are in [0, gene_max(i)]).
+  virtual std::uint32_t gene_max(std::size_t i) const = 0;
+
+  virtual std::size_t num_objectives() const = 0;
+  virtual std::string objective_name(std::size_t i) const = 0;
+
+  /// Evaluate a genome. Called once per candidate per generation; expensive
+  /// (10 s of stress time on real hardware, instantaneous on the
+  /// simulator).
+  virtual std::vector<double> evaluate(const Genome& genome) = 0;
+
+  /// Repair an invalid genome in place (e.g. all-zero). Default: if every
+  /// gene is zero, set the first to one.
+  virtual void repair(Genome& genome) const;
+};
+
+}  // namespace fs2::tuning

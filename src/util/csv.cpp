@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace fs2 {
+
+std::string CsvWriter::escape(const std::string& field, char sep) {
+  const bool needs_quotes = field.find_first_of(std::string("\"\n") + sep) != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& field : fields) {
+    if (!first) out_ << sep_;
+    out_ << escape(field, sep_);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    fields.emplace_back(buf);
+  }
+  row(fields);
+}
+
+}  // namespace fs2

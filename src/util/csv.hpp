@@ -1,0 +1,29 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fs2 {
+
+/// Minimal CSV writer used for metric exports (--measurement prints CSV per
+/// the paper, Sec. III-D) and experiment logs. Fields containing the
+/// separator, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+
+  /// Write one row; each field is escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: write a row of doubles with fixed precision.
+  void row(const std::vector<double>& values, int precision = 6);
+
+  static std::string escape(const std::string& field, char sep);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+}  // namespace fs2

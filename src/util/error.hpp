@@ -1,0 +1,34 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fs2 {
+
+/// Base exception for all errors raised by the fs2 library.
+///
+/// Every module throws `Error` (or a subclass) so that callers can catch a
+/// single type at the API boundary. The message is always a complete,
+/// human-readable sentence including the failing component.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Raised when user-provided configuration (CLI flags, instruction-group
+/// strings, machine descriptions) cannot be parsed or is semantically
+/// invalid.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& message) : Error(message) {}
+};
+
+/// Raised when the host system lacks a capability (ISA extension, sysfs
+/// interface, perf_event access) that a component requires. Callers are
+/// expected to catch this and fall back where a fallback exists.
+class UnsupportedError : public Error {
+ public:
+  explicit UnsupportedError(const std::string& message) : Error(message) {}
+};
+
+}  // namespace fs2

@@ -1,0 +1,52 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+
+#include "util/error.hpp"
+
+namespace fs2::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_emit_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+Level parse_level(const std::string& name) {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  throw ConfigError("unknown log level: '" + name + "'");
+}
+
+namespace detail {
+
+bool enabled(Level level) { return level >= g_level.load(std::memory_order_relaxed); }
+
+void emit(Level level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[fs2 %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace fs2::log

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fs2::log {
+
+/// Severity levels, ordered. Messages below the global threshold are
+/// discarded without formatting cost beyond stream construction.
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Set the global log threshold. Thread-safe.
+void set_level(Level level);
+
+/// Current global log threshold.
+Level level();
+
+/// Parse a level name ("trace", "debug", "info", "warn", "error", "off").
+/// Throws fs2::ConfigError on unknown names.
+Level parse_level(const std::string& name);
+
+namespace detail {
+void emit(Level level, const std::string& message);
+bool enabled(Level level);
+
+/// RAII message builder: collects stream output and emits on destruction.
+class LineLogger {
+ public:
+  explicit LineLogger(Level level) : level_(level) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() {
+    if (enabled(level_)) emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    if (enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LineLogger trace() { return detail::LineLogger(Level::kTrace); }
+inline detail::LineLogger debug() { return detail::LineLogger(Level::kDebug); }
+inline detail::LineLogger info() { return detail::LineLogger(Level::kInfo); }
+inline detail::LineLogger warn() { return detail::LineLogger(Level::kWarn); }
+inline detail::LineLogger error() { return detail::LineLogger(Level::kError); }
+
+}  // namespace fs2::log

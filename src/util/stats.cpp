@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fs2::stats {
+
+namespace {
+void require_nonempty(std::span<const double> values, const char* what) {
+  if (values.empty()) throw Error(std::string("stats::") + what + " called on empty sample");
+}
+}  // namespace
+
+double sum(std::span<const double> values) {
+  // Kahan summation: power traces hold ~10^5 similar-magnitude samples and a
+  // naive sum loses enough precision to move 0.1 W bins.
+  double total = 0.0;
+  double carry = 0.0;
+  for (double v : values) {
+    const double y = v - carry;
+    const double t = total + y;
+    carry = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+double mean(std::span<const double> values) {
+  require_nonempty(values, "mean");
+  return sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  require_nonempty(values, "variance");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double min(std::span<const double> values) {
+  require_nonempty(values, "min");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max(std::span<const double> values) {
+  require_nonempty(values, "max");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double p) {
+  require_nonempty(values, "percentile");
+  if (p < 0.0 || p > 100.0) throw Error("stats::percentile: p out of [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<CdfPoint> cumulative_distribution(std::span<const double> values, double bin_width) {
+  require_nonempty(values, "cumulative_distribution");
+  if (bin_width <= 0.0) throw Error("stats::cumulative_distribution: bin_width must be > 0");
+  const double top = max(values);
+  const auto bins = static_cast<std::size_t>(std::ceil(top / bin_width)) + 1;
+  std::vector<std::size_t> counts(bins, 0);
+  for (double v : values) {
+    auto idx = static_cast<std::size_t>(std::max(v, 0.0) / bin_width);
+    idx = std::min(idx, bins - 1);
+    ++counts[idx];
+  }
+  std::vector<CdfPoint> cdf(bins);
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    running += counts[i];
+    cdf[i].bin_upper = bin_width * static_cast<double>(i + 1);
+    cdf[i].proportion = static_cast<double>(running) / static_cast<double>(values.size());
+  }
+  return cdf;
+}
+
+void Accumulator::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Accumulator::mean() const {
+  if (count_ == 0) throw Error("stats::Accumulator::mean on empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (count_ == 0) throw Error("stats::Accumulator::variance on empty accumulator");
+  return m2_ / static_cast<double>(count_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  if (count_ == 0) throw Error("stats::Accumulator::min on empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  if (count_ == 0) throw Error("stats::Accumulator::max on empty accumulator");
+  return max_;
+}
+
+}  // namespace fs2::stats

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fs2 {
+
+/// Summary statistics over a sample. All functions take a span of doubles;
+/// empty input is a caller error and throws fs2::Error, because a silent
+/// NaN would propagate into experiment tables unnoticed.
+namespace stats {
+
+double mean(std::span<const double> values);
+double variance(std::span<const double> values);  ///< population variance
+double stddev(std::span<const double> values);
+double min(std::span<const double> values);
+double max(std::span<const double> values);
+double sum(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> values, double p);
+inline double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+/// Cumulative distribution over fixed-width bins, mirroring Fig. 1 of the
+/// paper (power binned into 0.1 W bins, proportion on the y-axis).
+struct CdfPoint {
+  double bin_upper;   ///< upper edge of the bin
+  double proportion;  ///< fraction of samples <= bin_upper
+};
+
+/// Bin `values` into `bin_width`-wide bins spanning [0, max] and return the
+/// cumulative proportion per bin. `bin_width` must be positive.
+std::vector<CdfPoint> cumulative_distribution(std::span<const double> values, double bin_width);
+
+/// Online mean/variance accumulator (Welford). Used by measurement windows
+/// where samples stream in at up to 20 Sa/s for minutes.
+class Accumulator {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace fs2

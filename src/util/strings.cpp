@@ -1,0 +1,95 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fs2::strings {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string to_upper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view context) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) throw ConfigError(std::string(context) + ": empty integer");
+  std::uint64_t value = 0;
+  for (char c : trimmed) {
+    if (c < '0' || c > '9')
+      throw ConfigError(std::string(context) + ": '" + std::string(trimmed) +
+                        "' is not a non-negative integer");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10)
+      throw ConfigError(std::string(context) + ": integer overflow in '" + std::string(trimmed) + "'");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+double parse_double(std::string_view text, std::string_view context) {
+  const std::string buf(trim(text));
+  if (buf.empty()) throw ConfigError(std::string(context) + ": empty number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size())
+    throw ConfigError(std::string(context) + ": '" + buf + "' is not a number");
+  return value;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace fs2::strings

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs2::strings {
+
+/// Split `text` on `sep`, keeping empty fields. "a,,b" -> {"a", "", "b"}.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Remove leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-casing (locale-independent; config grammar is ASCII).
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parse a non-negative integer; throws fs2::ConfigError with `context` in
+/// the message on malformed input or overflow.
+std::uint64_t parse_u64(std::string_view text, std::string_view context);
+
+/// Parse a double; throws fs2::ConfigError on malformed input.
+double parse_double(std::string_view text, std::string_view context);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace fs2::strings

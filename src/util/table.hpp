@@ -1,0 +1,28 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fs2 {
+
+/// Console table renderer used by the benchmark harnesses to print the
+/// rows/series of each paper table and figure in a stable, diffable format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience overload for numeric rows.
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 1);
+
+  /// Render with aligned columns and a header separator.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fs2

@@ -1,0 +1,31 @@
+// Test fixture: a minimal external metric plugin implementing the C ABI of
+// metrics/external.hpp. Built as a shared library and loaded by
+// test_metrics.cpp through the same dlopen path a real power-meter plugin
+// (e.g. libmetric-metricq.so in the paper's Fig. 10) would use.
+
+#include <atomic>
+
+namespace {
+std::atomic<int> g_reads{0};
+std::atomic<bool> g_initialized{false};
+}  // namespace
+
+extern "C" {
+
+const char* fs2_metric_name(void) { return "fixture-power"; }
+const char* fs2_metric_unit(void) { return "W"; }
+
+int fs2_metric_init(void) {
+  g_initialized.store(true);
+  g_reads.store(0);
+  return 0;
+}
+
+double fs2_metric_read(void) {
+  // Deterministic ramp so the test can assert successive values.
+  return 100.0 + static_cast<double>(g_reads.fetch_add(1));
+}
+
+void fs2_metric_fini(void) { g_initialized.store(false); }
+
+}  // extern "C"

@@ -1,0 +1,194 @@
+// Tests for src/arch: CPUID feature detection, microarchitecture
+// classification, sysfs topology/cache parsing against fixture trees.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "arch/cache.hpp"
+#include "arch/cpuid.hpp"
+#include "arch/processor.hpp"
+#include "arch/topology.hpp"
+
+namespace fs2::arch {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- cpuid ---------------------------------------------------------------
+
+TEST(Cpuid, HostIdentityIsConsistent) {
+  const CpuIdentity& id = host_identity();
+#if defined(__x86_64__)
+  EXPECT_FALSE(id.vendor.empty());
+  EXPECT_TRUE(id.features.sse2);  // baseline for any x86_64
+#endif
+  // Cached: second call returns the same object.
+  EXPECT_EQ(&host_identity(), &id);
+}
+
+TEST(Cpuid, FeatureSetCovers) {
+  FeatureSet host{.sse2 = true, .avx = true, .fma = true, .avx2 = true, .avx512f = false};
+  EXPECT_TRUE(host.covers(FeatureSet{.sse2 = true}));
+  EXPECT_TRUE(host.covers(FeatureSet{.sse2 = true, .avx = true, .fma = true}));
+  EXPECT_FALSE(host.covers(FeatureSet{.avx512f = true}));
+  EXPECT_TRUE(FeatureSet{}.covers(FeatureSet{}));
+}
+
+TEST(Cpuid, FeatureSetToString) {
+  EXPECT_EQ(FeatureSet{}.to_string(), "none");
+  FeatureSet f{.sse2 = true, .fma = true};
+  EXPECT_EQ(f.to_string(), "sse2 fma");
+}
+
+// ---- classification ----------------------------------------------------------
+
+TEST(Processor, ClassifiesPaperTestbeds) {
+  // Table II: AMD EPYC 7502 is family 0x17 model 0x31 (Rome).
+  EXPECT_EQ(classify("AuthenticAMD", 0x17, 0x31), Microarch::kAmdZen2);
+  // Fig. 2: Xeon E5-2680 v3 is family 6 model 0x3f (Haswell-EP).
+  EXPECT_EQ(classify("GenuineIntel", 6, 0x3f), Microarch::kIntelHaswell);
+}
+
+TEST(Processor, ClassifiesZenGenerations) {
+  EXPECT_EQ(classify("AuthenticAMD", 0x17, 0x01), Microarch::kAmdZen);
+  EXPECT_EQ(classify("AuthenticAMD", 0x17, 0x71), Microarch::kAmdZen2);  // Matisse
+  EXPECT_EQ(classify("AuthenticAMD", 0x15, 0x02), Microarch::kAmdBulldozer);
+}
+
+TEST(Processor, UnknownFallsBackToGeneric) {
+  EXPECT_EQ(classify("GenuineIntel", 6, 0xff), Microarch::kGeneric);
+  EXPECT_EQ(classify("SomethingElse", 1, 1), Microarch::kGeneric);
+}
+
+TEST(Processor, PaperModelsDescribe) {
+  const ProcessorModel zen2 = epyc_7502_model();
+  EXPECT_EQ(zen2.microarch, Microarch::kAmdZen2);
+  EXPECT_TRUE(zen2.features.fma);
+  EXPECT_FALSE(zen2.features.avx512f);
+  EXPECT_NE(zen2.describe().find("EPYC 7502"), std::string::npos);
+
+  const ProcessorModel haswell = xeon_e5_2680v3_model();
+  EXPECT_EQ(haswell.microarch, Microarch::kIntelHaswell);
+  EXPECT_TRUE(haswell.features.avx2);
+}
+
+TEST(Processor, DetectHostDoesNotThrow) {
+  const ProcessorModel host = detect_host();
+#if defined(__x86_64__)
+  EXPECT_TRUE(host.features.sse2);
+#endif
+  EXPECT_FALSE(host.describe().empty());
+}
+
+// ---- topology fixtures ------------------------------------------------------------
+
+class SysfsFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / ("fs2_sysfs_" + std::to_string(::getpid()) + "_" +
+                                         testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void add_cpu(int os_id, int core, int package) {
+    const fs::path dir = root_ / "devices" / "system" / "cpu" / ("cpu" + std::to_string(os_id)) /
+                         "topology";
+    fs::create_directories(dir);
+    write(dir / "core_id", std::to_string(core));
+    write(dir / "physical_package_id", std::to_string(package));
+  }
+
+  void add_cache(int cpu, int index, int level, const std::string& type, const std::string& size,
+                 const std::string& shared) {
+    const fs::path dir = root_ / "devices" / "system" / "cpu" / ("cpu" + std::to_string(cpu)) /
+                         "cache" / ("index" + std::to_string(index));
+    fs::create_directories(dir);
+    write(dir / "level", std::to_string(level));
+    write(dir / "type", type);
+    write(dir / "size", size);
+    write(dir / "coherency_line_size", "64");
+    write(dir / "shared_cpu_list", shared);
+  }
+
+  static void write(const fs::path& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content << "\n";
+  }
+
+  fs::path root_;
+};
+
+TEST_F(SysfsFixture, ParsesTwoSocketSmtTopology) {
+  // 2 packages x 2 cores x 2 SMT = 8 logical CPUs, Linux-style enumeration.
+  int os_id = 0;
+  for (int smt = 0; smt < 2; ++smt)
+    for (int pkg = 0; pkg < 2; ++pkg)
+      for (int core = 0; core < 2; ++core) add_cpu(os_id++, core, pkg);
+
+  const Topology topo = Topology::from_sysfs(root_.string());
+  EXPECT_EQ(topo.num_logical(), 8u);
+  EXPECT_EQ(topo.num_cores(), 4u);
+  EXPECT_EQ(topo.num_packages(), 2u);
+  EXPECT_TRUE(topo.smt_enabled());
+  EXPECT_EQ(topo.worker_cpus(false).size(), 8u);
+  EXPECT_EQ(topo.worker_cpus(true).size(), 4u);
+}
+
+TEST_F(SysfsFixture, MissingTreeFallsBackToFlat) {
+  const Topology topo = Topology::from_sysfs(root_.string());
+  EXPECT_GE(topo.num_logical(), 1u);
+  EXPECT_EQ(topo.num_logical(), topo.num_cores());
+}
+
+TEST(Topology, SyntheticMatchesTableII) {
+  // Table II: 2x AMD EPYC 7502, 2x 32 cores, SMT on.
+  const Topology topo = Topology::synthetic(2, 32, 2);
+  EXPECT_EQ(topo.num_logical(), 128u);
+  EXPECT_EQ(topo.num_cores(), 64u);
+  EXPECT_EQ(topo.num_packages(), 2u);
+  // SMT siblings are the second half of the OS id space.
+  const auto physical = topo.worker_cpus(true);
+  EXPECT_EQ(physical.size(), 64u);
+  EXPECT_EQ(physical.front(), 0);
+  EXPECT_EQ(physical.back(), 63);
+}
+
+TEST_F(SysfsFixture, ParsesCacheHierarchy) {
+  add_cpu(0, 0, 0);
+  add_cache(0, 0, 1, "Data", "32K", "0-1");
+  add_cache(0, 1, 1, "Instruction", "32K", "0-1");
+  add_cache(0, 2, 2, "Unified", "512K", "0-1");
+  add_cache(0, 3, 3, "Unified", "16384K", "0-7");
+
+  const CacheHierarchy caches = CacheHierarchy::from_sysfs(0, root_.string());
+  EXPECT_EQ(caches.data_cache_size(1), 32u * 1024);
+  EXPECT_EQ(caches.data_cache_size(2), 512u * 1024);
+  EXPECT_EQ(caches.data_cache_size(3), 16u * 1024 * 1024);
+  EXPECT_EQ(caches.l1i_size(), 32u * 1024);
+  // Sharing parsed from the cpu list.
+  bool found_l3 = false;
+  for (const auto& level : caches.levels())
+    if (level.level == 3) {
+      EXPECT_EQ(level.sharing, 8);
+      found_l3 = true;
+    }
+  EXPECT_TRUE(found_l3);
+}
+
+TEST(Cache, BuiltinHierarchiesMatchPaper) {
+  const CacheHierarchy zen2 = CacheHierarchy::zen2();
+  EXPECT_EQ(zen2.data_cache_size(1), 32u * 1024);     // Table II: 32 KiB L1-D
+  EXPECT_EQ(zen2.data_cache_size(2), 512u * 1024);    // Table II: 512 KiB L2
+  EXPECT_EQ(zen2.data_cache_size(3), 16u * 1024 * 1024);  // Table II: 16 MiB per CCX
+  EXPECT_EQ(zen2.l1i_size(), 32u * 1024);
+
+  const CacheHierarchy haswell = CacheHierarchy::haswell_ep();
+  EXPECT_EQ(haswell.data_cache_size(2), 256u * 1024);
+}
+
+}  // namespace
+}  // namespace fs2::arch

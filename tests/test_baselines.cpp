@@ -1,0 +1,136 @@
+// Tests for the Table I baseline workloads: LINPACK's LU solve with
+// residual verification, the Lucas-Lehmer Mersenne test (Prime95's core),
+// and stress-ng's matrixprod/sqrt methods.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/linpack.hpp"
+#include "baselines/prime.hpp"
+#include "baselines/stressng.hpp"
+#include "util/error.hpp"
+
+namespace fs2::baselines {
+namespace {
+
+// ---- LINPACK ---------------------------------------------------------------
+
+class LinpackSizes : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(LinpackSizes, ResidualCheckPasses) {
+  LinpackSolver solver(GetParam(), 42);
+  const double check = solver.solve();
+  // HPL convention: the normalized residual of a correct solve is O(1).
+  EXPECT_LT(check, 16.0);
+  EXPECT_GE(check, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinpackSizes, testing::Values(1, 2, 17, 64, 100, 257));
+
+TEST(Linpack, SolvesKnownSystemExactly) {
+  // 1x1 system: (1+1) x = b -> x = b/2... construct via the class and check
+  // A x = b holds by the residual instead of poking internals.
+  EXPECT_LT(linpack_rep(8, 7), 16.0);
+}
+
+TEST(Linpack, SolutionActuallySatisfiesSystem) {
+  LinpackSolver solver(50, 3);
+  solver.solve();
+  EXPECT_EQ(solver.solution().size(), 50u);
+  for (double v : solver.solution()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Linpack, FlopCountFollowsCubicLaw) {
+  LinpackSolver small(100, 1), big(200, 1);
+  EXPECT_NEAR(big.flops() / small.flops(), 8.0, 0.5);
+}
+
+TEST(Linpack, ZeroDimensionRejected) { EXPECT_THROW(LinpackSolver(0, 1), Error); }
+
+TEST(Linpack, DeterministicPerSeed) {
+  LinpackSolver a(32, 9), b(32, 9);
+  a.solve();
+  b.solve();
+  EXPECT_EQ(a.solution(), b.solution());
+}
+
+// ---- Lucas-Lehmer (Prime95 core) ------------------------------------------------
+
+TEST(LucasLehmer, KnownMersennePrimes) {
+  // M_p is prime for p in {2,3,5,7,13,17,19,31,61,89,107,127} (the classic
+  // list; GIMPS continues it).
+  for (unsigned p : {3u, 5u, 7u, 13u, 17u, 19u, 31u, 61u, 89u, 107u, 127u})
+    EXPECT_TRUE(LucasLehmer::is_mersenne_prime(p)) << "M_" << p;
+}
+
+TEST(LucasLehmer, KnownComposites) {
+  // M_11 = 2047 = 23 x 89 is the classic counterexample; M_23, M_29, M_37
+  // are composite too.
+  for (unsigned p : {11u, 23u, 29u, 37u, 41u, 43u, 47u})
+    EXPECT_FALSE(LucasLehmer::is_mersenne_prime(p)) << "M_" << p;
+}
+
+TEST(LucasLehmer, LargerExponents) {
+  EXPECT_TRUE(LucasLehmer::is_mersenne_prime(521));   // M_521 (1952)
+  EXPECT_FALSE(LucasLehmer::is_mersenne_prime(523));
+}
+
+TEST(LucasLehmer, ResidueIsDeterministicVerificationArtifact) {
+  // Prime residues are 0; composite residues are reproducible non-zero
+  // values (what GIMPS double-checking compares).
+  EXPECT_EQ(LucasLehmer::residue(13), 0u);
+  const std::uint64_t r1 = LucasLehmer::residue(37);
+  const std::uint64_t r2 = LucasLehmer::residue(37);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, 0u);
+}
+
+TEST(LucasLehmer, RejectsOutOfRange) {
+  EXPECT_THROW(LucasLehmer::is_mersenne_prime(1), Error);
+  EXPECT_THROW(LucasLehmer::is_mersenne_prime(5000), Error);
+}
+
+TEST(BigUintOps, MersenneConstruction) {
+  EXPECT_EQ(BigUint::mersenne(5).bit_length(), 5u);   // 31
+  EXPECT_EQ(BigUint::mersenne(32).bit_length(), 32u);
+  EXPECT_EQ(BigUint::mersenne(33).bit_length(), 33u);
+}
+
+TEST(BigUintOps, MultiplyAndReduce) {
+  // 31^2 = 961; 961 mod 31 = 0.
+  const BigUint m5 = BigUint::mersenne(5);
+  EXPECT_TRUE(m5.multiply(m5).mod_mersenne(5).is_zero());
+  // 4^2 - 2 = 14 mod 7 = 0 -> M_3 prime after one step.
+  BigUint s(4);
+  s = s.multiply(s).subtract_small(2).mod_mersenne(3);
+  EXPECT_TRUE(s.is_zero());
+}
+
+TEST(BigUintOps, SubtractUnderflowThrows) {
+  EXPECT_THROW(BigUint(1).subtract_small(2), Error);
+}
+
+// ---- stress-ng methods ----------------------------------------------------------------
+
+TEST(StressNg, MatrixprodChecksumFiniteAndSeeded) {
+  const long double a = stressng_matrixprod(24, 1);
+  const long double b = stressng_matrixprod(24, 1);
+  const long double c = stressng_matrixprod(24, 2);
+  EXPECT_TRUE(std::isfinite(static_cast<double>(a)));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(StressNg, SqrtLoopConvergesFinite) {
+  const double checksum = stressng_sqrt(10000, 5);
+  EXPECT_TRUE(std::isfinite(checksum));
+  EXPECT_GT(checksum, 0.0);
+}
+
+TEST(StressNg, FlopCount) {
+  EXPECT_DOUBLE_EQ(stressng_matrixprod_flops(10), 2000.0);
+}
+
+}  // namespace
+}  // namespace fs2::baselines

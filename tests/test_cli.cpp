@@ -1,0 +1,113 @@
+// End-to-end tests of the installed `fs2` binary via subprocess — the
+// outermost integration layer (argument handling, exit codes, output
+// formatting), exercised exactly the way a user runs it.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string command = std::string(FS2_BINARY_PATH) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  CliResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+    result.output += buffer.data();
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(Cli, HelpExitsZeroAndListsFlags) {
+  const CliResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--run-instruction-groups"), std::string::npos);
+  EXPECT_NE(r.output.find("--optimize=NSGA2"), std::string::npos);
+}
+
+TEST(Cli, VersionPrints) {
+  const CliResult r = run_cli("--version");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("fs2 2.0.0"), std::string::npos);
+}
+
+TEST(Cli, AvailListsAllFunctions) {
+  const CliResult r = run_cli("--avail");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("FUNC_FMA_256_ZEN2"), std::string::npos);
+  EXPECT_NE(r.output.find("FUNC_AVX512_512_SKX"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagExitsTwoWithHint) {
+  const CliResult r = run_cli("--frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown flag"), std::string::npos);
+  EXPECT_NE(r.output.find("--help"), std::string::npos);
+}
+
+TEST(Cli, MalformedGroupsExitsTwo) {
+  const CliResult r = run_cli("--simulate=zen2 --run-instruction-groups=L1_P:1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown access kind"), std::string::npos);
+}
+
+TEST(Cli, SimulatedRunPrintsSteadyStateAndCsv) {
+  const CliResult r = run_cli(
+      "--simulate=zen2 --freq 1500 -t 30 --measurement --start-delta=2000 --stop-delta=1000");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("steady state:"), std::string::npos);
+  EXPECT_NE(r.output.find("metric,unit,samples,mean"), std::string::npos);
+}
+
+TEST(Cli, SimulatedHaswellGpuRun) {
+  const CliResult r = run_cli("--simulate=haswell-gpu --freq 2000 -t 10");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("E5-2680 v3"), std::string::npos);
+}
+
+TEST(Cli, SimulatedOptimizationSmoke) {
+  const CliResult r = run_cli(
+      "--simulate=zen2 --freq 1500 --optimize=NSGA2 --individuals=6 --generations=2 -t 5 "
+      "--optimization-log=/tmp/fs2_cli_opt.csv");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("selected optimum:"), std::string::npos);
+  EXPECT_NE(r.output.find("18 candidate evaluations"), std::string::npos);
+}
+
+TEST(Cli, HostStressShortRun) {
+  // Two worker threads for half a second on the real machine.
+  const CliResult r = run_cli("-t 0.5 --threads 2 --log-level warn");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("kernel loop iterations"), std::string::npos);
+}
+
+TEST(Cli, SelftestPassesAndExitsZero) {
+  const CliResult r = run_cli("--selftest=20000 --threads 2 --log-level warn");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("PASS"), std::string::npos);
+}
+
+TEST(Cli, HostRegisterDump) {
+  const CliResult r = run_cli(
+      "-t 0.4 --threads 1 --dump-registers=0.2 --dump-path /tmp/fs2_cli_regs.dump "
+      "--log-level warn");
+  EXPECT_EQ(r.exit_code, 0);
+  FILE* dump = std::fopen("/tmp/fs2_cli_regs.dump", "r");
+  ASSERT_NE(dump, nullptr);
+  char line[256] = {};
+  EXPECT_NE(std::fgets(line, sizeof line, dump), nullptr);
+  std::fclose(dump);
+  EXPECT_NE(std::string(line).find("worker 0:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tests for the kernel disassembler: encode -> decode round trips over the
+// full emitted instruction set, and the property that every compiled
+// payload disassembles completely (no unrecognized bytes) — which checks
+// the encoder and decoder against each other instruction by instruction.
+
+#include <gtest/gtest.h>
+
+#include "arch/cache.hpp"
+#include "jit/assembler.hpp"
+#include "jit/disassembler.hpp"
+#include "payload/compiler.hpp"
+#include "payload/mix.hpp"
+
+namespace fs2::jit {
+namespace {
+
+std::vector<DecodedInstruction> decode(Assembler& a) {
+  const auto code = a.finalize();
+  return disassemble(code);
+}
+
+testing::AssertionResult decodes_as(Assembler& a,
+                                    std::initializer_list<const char*> expected) {
+  const auto instructions = decode(a);
+  std::vector<std::string> texts;
+  for (const auto& instruction : instructions) {
+    if (!instruction.valid)
+      return testing::AssertionFailure() << "undecodable at offset " << instruction.offset
+                                         << ": " << instruction.text;
+    texts.push_back(instruction.text);
+  }
+  std::vector<std::string> want(expected.begin(), expected.end());
+  if (texts == want) return testing::AssertionSuccess();
+  std::string got;
+  for (const auto& t : texts) got += t + " | ";
+  return testing::AssertionFailure() << "decoded: " << got;
+}
+
+TEST(Disassembler, IntegerInstructions) {
+  Assembler a;
+  a.mov(Gp::rax, 0x1234);
+  a.mov(Gp::rcx, Gp::rsi);
+  a.mov(Gp::r8, ptr(Gp::rdi, 8));
+  a.mov(ptr(Gp::rsp), Gp::rbx);
+  a.add(Gp::r10, 0x40);
+  a.sub(Gp::rax, 1);
+  a.and_(Gp::r8, ~0x4000);
+  a.xor_(Gp::rdx, Gp::rsi);
+  a.shl(Gp::r11, 1);
+  a.shr(Gp::r11, 2);
+  a.inc(Gp::rax);
+  a.dec(Gp::rcx);
+  a.test(Gp::rcx, Gp::rcx);
+  a.cmp(Gp::rax, 5);
+  a.push(Gp::r12);
+  a.pop(Gp::r12);
+  a.ret();
+  EXPECT_TRUE(decodes_as(
+      a, {"mov rax, 0x1234", "mov rcx, rsi", "mov r8, [rdi+8]", "mov [rsp], rbx",
+          "add r10, 0x40", "sub rax, 0x1", "and r8, 0xffffbfff", "xor rdx, rsi", "shl r11, 1",
+          "shr r11, 2", "inc rax", "dec rcx", "test rcx, rcx", "cmp rax, 0x5", "push r12",
+          "pop r12", "ret"}));
+}
+
+TEST(Disassembler, VexInstructions) {
+  Assembler a;
+  a.vmovapd(Ymm::ymm1, ptr(Gp::rax));
+  a.vmovapd(ptr(Gp::r9, 64), Ymm::ymm10);
+  a.vmovapd(Ymm::ymm2, Ymm::ymm3);
+  a.vaddpd(Ymm::ymm0, Ymm::ymm1, Ymm::ymm2);
+  a.vmulpd(Ymm::ymm4, Ymm::ymm5, ptr(Gp::rbx, -32));
+  a.vxorpd(Ymm::ymm6, Ymm::ymm7, Ymm::ymm8);
+  a.vfmadd231pd(Ymm::ymm0, Ymm::ymm14, Ymm::ymm12);
+  a.vfmadd231pd(Ymm::ymm3, Ymm::ymm13, ptr(Gp::r8, 128));
+  a.vzeroupper();
+  EXPECT_TRUE(decodes_as(
+      a, {"vmovapd ymm1, [rax]", "vmovapd [r9+64], ymm10", "vmovapd ymm2, ymm3",
+          "vaddpd ymm0, ymm1, ymm2", "vmulpd ymm4, ymm5, [rbx-32]",
+          "vxorpd ymm6, ymm7, ymm8", "vfmadd231pd ymm0, ymm14, ymm12",
+          "vfmadd231pd ymm3, ymm13, [r8+128]", "vzeroupper"}));
+}
+
+TEST(Disassembler, EvexInstructions) {
+  Assembler a;
+  a.vmovapd(Zmm::zmm1, ptr(Gp::rax));
+  a.vmovapd(ptr(Gp::r9, 64), Zmm::zmm10);
+  a.vfmadd231pd(Zmm::zmm0, Zmm::zmm14, Zmm::zmm12);
+  a.vfmadd231pd(Zmm::zmm8, Zmm::zmm13, ptr(Gp::r8, 192));
+  a.vaddpd(Zmm::zmm3, Zmm::zmm4, Zmm::zmm5);
+  a.vmulpd(Zmm::zmm6, Zmm::zmm7, Zmm::zmm9);
+  EXPECT_TRUE(decodes_as(
+      a, {"vmovapd zmm1, [rax]", "vmovapd [r9+64], zmm10",
+          "vfmadd231pd zmm0, zmm14, zmm12", "vfmadd231pd zmm8, zmm13, [r8+192]",
+          "vaddpd zmm3, zmm4, zmm5", "vmulpd zmm6, zmm7, zmm9"}));
+}
+
+TEST(Disassembler, SseAndPrefetch) {
+  Assembler a;
+  a.movapd(Xmm::xmm2, ptr(Gp::rsi));
+  a.movapd(ptr(Gp::rdi, 16), Xmm::xmm3);
+  a.mulpd(Xmm::xmm0, Xmm::xmm1);
+  a.addpd(Xmm::xmm4, ptr(Gp::rdx, 32));
+  a.prefetch(ptr(Gp::rbx), PrefetchHint::t2);
+  a.prefetch(ptr(Gp::r10, 64), PrefetchHint::nta);
+  EXPECT_TRUE(decodes_as(a, {"movapd xmm2, [rsi]", "movapd [rdi+16], xmm3",
+                             "mulpd xmm0, xmm1", "addpd xmm4, [rdx+32]", "prefetcht2 [rbx]",
+                             "prefetchnta [r10+64]"}));
+}
+
+TEST(Disassembler, BranchTargets) {
+  Assembler a;
+  Label top = a.new_label();
+  a.bind(top);
+  a.dec(Gp::rcx);
+  a.jnz(top);
+  a.ret();
+  const auto instructions = decode(a);
+  ASSERT_EQ(instructions.size(), 3u);
+  EXPECT_EQ(instructions[1].text, "jnz 0x0");  // back to offset 0
+}
+
+TEST(Disassembler, NopPadding) {
+  Assembler a;
+  a.ret();
+  a.align(16);
+  const auto instructions = decode(a);
+  std::size_t total = 0;
+  for (const auto& instruction : instructions) {
+    EXPECT_TRUE(instruction.valid) << "at " << instruction.offset;
+    total += instruction.length;
+  }
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(Disassembler, StopsAtUnknownByte) {
+  const std::uint8_t junk[] = {0xC3, 0xF4};  // ret; hlt (hlt never emitted)
+  const auto instructions = disassemble(junk);
+  ASSERT_EQ(instructions.size(), 2u);
+  EXPECT_TRUE(instructions[0].valid);
+  EXPECT_FALSE(instructions[1].valid);
+}
+
+// The strongest property: every payload the compiler can produce decodes
+// completely, for every ISA class and a spread of group lists.
+struct ListingCase {
+  const char* function;
+  const char* groups;
+};
+
+class PayloadListing : public testing::TestWithParam<ListingCase> {};
+
+TEST_P(PayloadListing, CompiledKernelDecodesCompletely) {
+  const auto& fn = payload::find_function(GetParam().function);
+  payload::CompileOptions options;
+  options.unroll = 48;
+  options.ram_region_bytes = 1 << 20;
+  options.dump_registers = true;
+  auto workload =
+      payload::compile_payload(fn.mix, payload::InstructionGroups::parse(GetParam().groups),
+                               arch::CacheHierarchy::zen2(), options);
+  const auto instructions = disassemble(workload.code_bytes());
+  ASSERT_FALSE(instructions.empty());
+  std::size_t rets = 0;
+  for (const auto& instruction : instructions) {
+    ASSERT_TRUE(instruction.valid)
+        << "undecodable byte at offset " << instruction.offset << " in " << GetParam().function;
+    if (instruction.text == "ret") ++rets;
+  }
+  EXPECT_EQ(rets, 1u);  // exactly one exit; everything after it is map padding? none: ret is last
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsaClasses, PayloadListing,
+    testing::Values(ListingCase{"FUNC_FMA_256_ZEN2", "REG:4,L1_L:2,L2_L:1"},
+                    ListingCase{"FUNC_FMA_256_ZEN2", "L1_2LS:3,L3_P:1,RAM_LS:1,REG:2"},
+                    ListingCase{"FUNC_AVX_256", "REG:2,L1_LS:2,L2_S:1"},
+                    ListingCase{"FUNC_SSE2_128", "REG:2,L1_2LS:1,RAM_L:1"},
+                    ListingCase{"FUNC_AVX512_512_GENERIC", "REG:2,L1_LS:2,L3_LS:1,RAM_P:1"}),
+    [](const testing::TestParamInfo<ListingCase>& info) {
+      std::string name = std::string(info.param.function) + "_" + std::to_string(info.index);
+      for (char& c : name)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(Disassembler, ListingFormatsOffsetsAndHex) {
+  Assembler a;
+  a.mov(Gp::rax, std::uint64_t{7});
+  a.ret();
+  const auto code = a.finalize();
+  const std::string listing = format_listing(code);
+  EXPECT_NE(listing.find("0:"), std::string::npos);
+  EXPECT_NE(listing.find("48 b8"), std::string::npos);
+  EXPECT_NE(listing.find("mov rax, 0x7"), std::string::npos);
+  EXPECT_NE(listing.find("ret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fs2::jit

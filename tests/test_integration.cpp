@@ -1,0 +1,175 @@
+// Cross-module integration tests: the full pipelines a user exercises.
+//
+//  * workload -> JIT -> threads -> metrics (the real stress path)
+//  * workload -> analysis -> simulator -> metrics -> NSGA-II (tuning path)
+//  * AVX-512 end to end (detection, compilation, execution, dump)
+//  * the reproduced paper workflow: optimize at a frequency, re-evaluate
+//    the optimum elsewhere
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "arch/cpuid.hpp"
+#include "arch/processor.hpp"
+#include "firestarter/backends.hpp"
+#include "kernel/register_dump.hpp"
+#include "kernel/thread_manager.hpp"
+#include "metrics/ipc_estimate.hpp"
+#include "metrics/measurement.hpp"
+#include "payload/compiler.hpp"
+#include "payload/mix.hpp"
+#include "tuning/nsga2.hpp"
+
+namespace fs2 {
+namespace {
+
+bool host_supports(const payload::InstructionMix& mix) {
+  return arch::host_identity().features.covers(mix.required);
+}
+
+payload::CompileOptions fast_options(std::uint32_t unroll = 128) {
+  payload::CompileOptions options;
+  options.unroll = unroll;
+  options.ram_region_bytes = 1 << 20;
+  return options;
+}
+
+TEST(Integration, StressRunWithEstimatedIpcMetric) {
+  const auto& fn = payload::find_function("FUNC_FMA_256_ZEN2");
+  if (!host_supports(fn.mix)) GTEST_SKIP() << "host lacks FMA";
+  auto workload = payload::compile_payload(
+      fn.mix, payload::InstructionGroups::parse("REG:4,L1_LS:2"), arch::CacheHierarchy::zen2(),
+      fast_options());
+
+  kernel::RunOptions run;
+  run.cpus = {-1, -1};
+  kernel::ThreadManager manager(workload, run);
+  metrics::IpcEstimateMetric ipc([&manager] { return manager.total_iterations(); },
+                                 workload.stats().instructions_per_iteration, 2000.0, 2);
+  metrics::TimeSeries series(ipc.name(), ipc.unit());
+
+  manager.start();
+  ipc.begin();
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    series.add(0.04 * (i + 1), ipc.sample());
+  }
+  manager.stop();
+
+  const auto summary = series.summarize(0.0, 0.0);
+  EXPECT_GT(summary.mean, 0.1);   // real work happened
+  EXPECT_LT(summary.mean, 16.0);  // and the estimate is in a plausible band
+}
+
+TEST(Integration, Avx512PayloadEndToEnd) {
+  const auto& fn = payload::find_function("FUNC_AVX512_512_GENERIC");
+  if (!host_supports(fn.mix)) GTEST_SKIP() << "host lacks AVX-512F";
+  payload::CompileOptions options = fast_options(64);
+  options.dump_registers = true;
+  auto workload = payload::compile_payload(
+      fn.mix, payload::InstructionGroups::parse("REG:2,L1_LS:2,L2_L:1"),
+      arch::CacheHierarchy::zen2(), options);
+  EXPECT_EQ(workload.stats().vector_doubles, 8);
+  EXPECT_EQ(workload.stats().flops_per_iteration % 16, 0u);  // 512-bit FMA = 16 flops
+
+  kernel::RunOptions run;
+  run.cpus = {-1};
+  kernel::ThreadManager manager(workload, run);
+  manager.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  manager.stop();
+  EXPECT_GT(manager.total_iterations(), 100u);
+
+  const auto snapshot = kernel::capture_registers(manager);
+  EXPECT_EQ(snapshot.lanes, 8u);
+  EXPECT_EQ(snapshot.values[0].size(), 11u * 8);
+  EXPECT_FALSE(kernel::has_invalid_values(snapshot));
+}
+
+TEST(Integration, HostSelectionPrefersWidestMix) {
+  // On this CI host (AVX-512F capable) the auto-selected function must be
+  // the 512-bit one; on narrower hosts the check degrades gracefully.
+  const auto host = arch::detect_host();
+  const auto& fn = payload::select_function(host);
+  if (host.features.avx512f && host.microarch == arch::Microarch::kGeneric) {
+    EXPECT_EQ(fn.mix.isa, payload::IsaClass::kAvx512);
+  }
+  EXPECT_TRUE(host.features.covers(fn.mix.required));
+}
+
+TEST(Integration, OptimizeThenCrossEvaluate) {
+  // The Fig. 12 workflow in miniature: tune at 1500 MHz on the simulator,
+  // then verify the optimum beats the default workload at its training
+  // point.
+  sim::SimulatedSystem system(sim::MachineConfig::zen2_epyc7502_2s());
+  sim::RunConditions cond;
+  cond.freq_mhz = 1500;
+  const auto& fn = payload::find_function("FUNC_FMA_256_ZEN2");
+  firestarter::SimBackend backend(system, fn.mix, arch::CacheHierarchy::zen2(), cond, 5.0, 99);
+  backend.preheat();
+  tuning::GroupsProblem problem(backend);
+  tuning::Nsga2Config config;
+  config.individuals = 16;
+  config.generations = 8;
+  config.seed = 99;
+  tuning::Nsga2 optimizer(config);
+  const auto population = optimizer.run(problem);
+  const auto& best = tuning::Nsga2::best_by_objective(population, 0);
+
+  const double default_power =
+      backend.evaluate(payload::InstructionGroups::parse(fn.default_groups))[0];
+  EXPECT_GT(best.objectives[0], default_power * 0.95);
+  // The optimum must actually be compilable and runnable end to end.
+  const auto groups = tuning::GroupsProblem::to_groups(best.genome);
+  if (host_supports(fn.mix)) {
+    auto workload =
+        payload::compile_payload(fn.mix, groups, arch::CacheHierarchy::zen2(), fast_options());
+    auto buffer = workload.make_buffer();
+    buffer->init(payload::DataInitPolicy::kSafe, 1);
+    EXPECT_EQ(workload.fn()(&buffer->args(), 100), 100u);
+  }
+}
+
+TEST(Integration, HostBackendEvaluatesRealCandidates) {
+  // The real-hardware tuning path (Fig. 10 with host metrics): compile and
+  // run two candidates, score them with the estimated-IPC metric.
+  const auto& fn = payload::find_function("FUNC_FMA_256_ZEN2");
+  if (!host_supports(fn.mix)) GTEST_SKIP() << "host lacks FMA";
+  std::vector<firestarter::HostBackend::MetricFactory> factories;
+  factories.push_back([](const payload::PayloadStats& stats, int workers,
+                         firestarter::HostBackend::IterationCounter counter)
+                          -> metrics::MetricPtr {
+    return std::make_unique<metrics::IpcEstimateMetric>(
+        std::move(counter), stats.instructions_per_iteration, 2000.0, workers);
+  });
+  firestarter::HostBackend backend(fn.mix, arch::CacheHierarchy::zen2(), {-1, -1},
+                                   {"ipc-estimate"}, factories,
+                                   /*candidate_duration_s=*/0.3, /*seed=*/5);
+  const auto a = backend.evaluate(payload::InstructionGroups::parse("REG:1"));
+  const auto b = backend.evaluate(payload::InstructionGroups::parse("REG:2,L1_LS:1"));
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_GT(a[0], 0.05);  // both candidates actually executed and scored
+  EXPECT_GT(b[0], 0.05);
+}
+
+TEST(Integration, SimAndHostAgreeOnPayloadStats) {
+  // analyze_payload (simulator path) and compile_payload (host path) must
+  // report identical static statistics — the sim substitution hinges on it.
+  const auto& fn = payload::find_function("FUNC_FMA_256_ZEN2");
+  const auto groups = payload::InstructionGroups::parse("REG:4,L1_LS:2,L2_L:1,RAM_P:1");
+  const auto caches = arch::CacheHierarchy::zen2();
+  const auto analyzed = payload::analyze_payload(fn.mix, groups, caches, fast_options());
+  if (!host_supports(fn.mix)) GTEST_SKIP() << "host lacks FMA";
+  const auto compiled = payload::compile_payload(fn.mix, groups, caches, fast_options());
+  EXPECT_EQ(analyzed.instructions_per_iteration,
+            compiled.stats().instructions_per_iteration);
+  EXPECT_EQ(analyzed.loop_bytes, compiled.stats().loop_bytes);
+  EXPECT_EQ(analyzed.flops_per_iteration, compiled.stats().flops_per_iteration);
+  EXPECT_EQ(analyzed.unroll, compiled.stats().unroll);
+}
+
+}  // namespace
+}  // namespace fs2

@@ -1,0 +1,318 @@
+// Tests for the payload model: the Eq. 1 grammar, the even-distribution
+// sequence builder (property-tested), the instruction-mix registry, and
+// static payload analysis.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "payload/access.hpp"
+#include "payload/compiler.hpp"
+#include "payload/groups.hpp"
+#include "payload/mix.hpp"
+#include "payload/sequence.hpp"
+#include "util/error.hpp"
+
+namespace fs2::payload {
+namespace {
+
+// ---- access kinds -----------------------------------------------------------
+
+TEST(Access, ParseCanonicalForms) {
+  auto reg = parse_access_kind("REG");
+  ASSERT_TRUE(reg.has_value());
+  EXPECT_EQ(reg->level, MemoryLevel::kReg);
+
+  auto l1 = parse_access_kind("L1_LS");
+  ASSERT_TRUE(l1.has_value());
+  EXPECT_EQ(l1->level, MemoryLevel::kL1);
+  EXPECT_EQ(l1->pattern, AccessPattern::kLoadStore);
+
+  auto ram = parse_access_kind("RAM_P");
+  ASSERT_TRUE(ram.has_value());
+  EXPECT_EQ(ram->pattern, AccessPattern::kPrefetch);
+}
+
+TEST(Access, ParseIsCaseInsensitive) {
+  EXPECT_TRUE(parse_access_kind("l1_l").has_value());
+  EXPECT_TRUE(parse_access_kind("ram_ls").has_value());
+  EXPECT_TRUE(parse_access_kind(" reg ").has_value());
+}
+
+TEST(Access, RejectsUndefinedPatterns) {
+  EXPECT_FALSE(parse_access_kind("L1_P").has_value());   // prefetch to L1 undefined
+  EXPECT_FALSE(parse_access_kind("L2_2LS").has_value()); // 2LS only at L1
+  EXPECT_FALSE(parse_access_kind("RAM_2LS").has_value());
+  EXPECT_FALSE(parse_access_kind("L4_L").has_value());
+  EXPECT_FALSE(parse_access_kind("bogus").has_value());
+  EXPECT_FALSE(parse_access_kind("").has_value());
+}
+
+TEST(Access, RoundTripsThroughToString) {
+  for (const AccessKind& kind : all_access_kinds()) {
+    const auto parsed = parse_access_kind(kind.to_string());
+    ASSERT_TRUE(parsed.has_value()) << kind.to_string();
+    EXPECT_TRUE(*parsed == kind) << kind.to_string();
+  }
+}
+
+TEST(Access, MemoryOpCounts) {
+  EXPECT_EQ(parse_access_kind("L1_2LS")->memory_ops(), 3);
+  EXPECT_EQ(parse_access_kind("L1_2LS")->loads(), 2);
+  EXPECT_EQ(parse_access_kind("L1_2LS")->stores(), 1);
+  EXPECT_EQ(parse_access_kind("RAM_P")->prefetches(), 1);
+  EXPECT_EQ(parse_access_kind("REG")->memory_ops(), 0);
+}
+
+TEST(Access, AllKindsAreValidAndUnique) {
+  const auto& kinds = all_access_kinds();
+  EXPECT_GT(kinds.size(), 10u);
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_TRUE(is_valid(kinds[i].level, kinds[i].pattern));
+    for (std::size_t j = i + 1; j < kinds.size(); ++j)
+      EXPECT_FALSE(kinds[i] == kinds[j]) << i << "," << j;
+  }
+}
+
+// ---- groups grammar --------------------------------------------------------------
+
+TEST(Groups, ParsesPaperExample) {
+  // The worked example from Sec. III: REG:4,L1_L:2,L2_L:1.
+  const auto groups = InstructionGroups::parse("REG:4,L1_L:2,L2_L:1");
+  EXPECT_EQ(groups.total(), 7u);
+  EXPECT_EQ(groups.count_of(*parse_access_kind("REG")), 4u);
+  EXPECT_EQ(groups.count_of(*parse_access_kind("L1_L")), 2u);
+  EXPECT_EQ(groups.count_of(*parse_access_kind("L2_L")), 1u);
+  EXPECT_EQ(groups.count_of(*parse_access_kind("RAM_L")), 0u);
+}
+
+TEST(Groups, RoundTrip) {
+  const std::string text = "RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37";
+  EXPECT_EQ(InstructionGroups::parse(text).to_string(), text);
+}
+
+TEST(Groups, RejectsMalformedInput) {
+  EXPECT_THROW(InstructionGroups::parse(""), ConfigError);
+  EXPECT_THROW(InstructionGroups::parse("REG"), ConfigError);          // missing count
+  EXPECT_THROW(InstructionGroups::parse("REG:0"), ConfigError);        // zero count
+  EXPECT_THROW(InstructionGroups::parse("REG:4,REG:2"), ConfigError);  // duplicate
+  EXPECT_THROW(InstructionGroups::parse("L9_L:1"), ConfigError);       // unknown level
+  EXPECT_THROW(InstructionGroups::parse("L1_P:1"), ConfigError);       // invalid pattern
+  EXPECT_THROW(InstructionGroups::parse("REG:abc"), ConfigError);
+  EXPECT_THROW(InstructionGroups::parse(",REG:1"), ConfigError);
+}
+
+TEST(Groups, TouchesLevels) {
+  const auto groups = InstructionGroups::parse("REG:4,L2_L:1");
+  EXPECT_TRUE(groups.touches(MemoryLevel::kReg));
+  EXPECT_TRUE(groups.touches(MemoryLevel::kL2));
+  EXPECT_FALSE(groups.touches(MemoryLevel::kRam));
+}
+
+// ---- sequence distribution (property tests) ------------------------------------------
+
+using SeqCase = const char*;
+class SequenceProperties : public testing::TestWithParam<SeqCase> {};
+
+TEST_P(SequenceProperties, ExactCountsAndBoundedGaps) {
+  const auto groups = InstructionGroups::parse(GetParam());
+  const auto seq = base_sequence(groups);
+  ASSERT_EQ(seq.size(), groups.total());
+
+  // Property 1: every kind appears exactly a_i times.
+  for (const Group& g : groups.groups()) {
+    const auto count = std::count_if(seq.begin(), seq.end(),
+                                     [&](const AccessKind& k) { return k == g.kind; });
+    EXPECT_EQ(count, static_cast<long>(g.count)) << g.kind.to_string();
+  }
+
+  // Property 2: occurrences of each kind are spread out — the gap between
+  // consecutive occurrences never exceeds the ideal gap ceil(total/a_i)
+  // plus one slot of slip per other group (the provable bound of the
+  // ideal-position scheduler).
+  const double total = groups.total();
+  for (const Group& g : groups.groups()) {
+    const long bound = static_cast<long>(std::ceil(total / g.count)) +
+                       static_cast<long>(groups.groups().size());
+    long last = -1;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (!(seq[i] == g.kind)) continue;
+      if (last >= 0) {
+        EXPECT_LE(static_cast<long>(i) - last, bound)
+            << g.kind.to_string() << " gap at " << i << " for " << GetParam();
+      }
+      last = static_cast<long>(i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, SequenceProperties,
+    testing::Values("REG:4,L1_L:2,L2_L:1", "REG:1", "L1_LS:7",
+                    "RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37",
+                    "REG:100,RAM_P:1", "REG:2,L1_L:2,L2_S:2,L3_P:2,RAM_LS:2",
+                    "L1_2LS:5,REG:3", "REG:40,L1_LS:90,L2_LS:9,L3_LS:3,RAM_L:2"));
+
+TEST(Sequence, PaperExampleSpacing) {
+  // Sec. III: with REG:4,L1_L:2,L2_L:1 the two L1 accesses must be at least
+  // three instruction sets apart.
+  const auto seq = base_sequence(InstructionGroups::parse("REG:4,L1_L:2,L2_L:1"));
+  std::vector<long> l1_positions;
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    if (seq[i].level == MemoryLevel::kL1) l1_positions.push_back(static_cast<long>(i));
+  ASSERT_EQ(l1_positions.size(), 2u);
+  EXPECT_GE(l1_positions[1] - l1_positions[0], 3);
+}
+
+TEST(Sequence, UnrollRepeatsCyclically) {
+  const auto base = base_sequence(InstructionGroups::parse("REG:2,L1_L:1"));
+  const auto unrolled = unroll_sequence(base, 10);
+  ASSERT_EQ(unrolled.size(), 10u);
+  for (std::size_t i = 0; i < unrolled.size(); ++i)
+    EXPECT_TRUE(unrolled[i] == base[i % base.size()]);
+}
+
+TEST(Sequence, UnrollValidation) {
+  const auto base = base_sequence(InstructionGroups::parse("REG:1"));
+  EXPECT_THROW(unroll_sequence(base, 0), ConfigError);
+  EXPECT_THROW(unroll_sequence({}, 5), ConfigError);
+}
+
+TEST(Sequence, AnalyzeCountsPerLevel) {
+  const auto seq = build_sequence(InstructionGroups::parse("REG:1,L1_2LS:1,RAM_P:1"), 6);
+  const SequenceStats stats = analyze_sequence(seq);
+  EXPECT_EQ(stats.sets, 6u);
+  // 6 sets = 2 full passes over the 3-entry base sequence.
+  EXPECT_EQ(stats.loads[static_cast<int>(MemoryLevel::kL1)], 4u);   // 2 per 2LS x 2
+  EXPECT_EQ(stats.stores[static_cast<int>(MemoryLevel::kL1)], 2u);
+  EXPECT_EQ(stats.prefetches[static_cast<int>(MemoryLevel::kRam)], 2u);
+  EXPECT_EQ(stats.total_memory_ops(), 8u);
+  EXPECT_EQ(stats.lines(MemoryLevel::kL1), 6u);
+}
+
+// ---- mix registry --------------------------------------------------------------------
+
+TEST(Mix, RegistryHasUniqueIdsAndNames) {
+  const auto& fns = available_functions();
+  ASSERT_GE(fns.size(), 5u);
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    EXPECT_EQ(fns[i].id, static_cast<int>(i) + 1);  // ids are 1-based and dense
+    for (std::size_t j = i + 1; j < fns.size(); ++j) EXPECT_NE(fns[i].name, fns[j].name);
+    // Every default group string must parse.
+    EXPECT_NO_THROW(InstructionGroups::parse(fns[i].default_groups)) << fns[i].name;
+  }
+}
+
+TEST(Mix, FindByIdAndName) {
+  EXPECT_EQ(find_function(1).id, 1);
+  EXPECT_EQ(find_function("FUNC_FMA_256_ZEN2").name, "FUNC_FMA_256_ZEN2");
+  EXPECT_EQ(find_function("func_fma_256_zen2").name, "FUNC_FMA_256_ZEN2");  // case-insensitive
+  EXPECT_THROW(find_function(999), ConfigError);
+  EXPECT_THROW(find_function("NOPE"), ConfigError);
+}
+
+TEST(Mix, SelectsTunedFunctionForPaperTestbeds) {
+  EXPECT_EQ(select_function(arch::epyc_7502_model()).name, "FUNC_FMA_256_ZEN2");
+  EXPECT_EQ(select_function(arch::xeon_e5_2680v3_model()).name, "FUNC_FMA_256_HASWELL");
+}
+
+TEST(Mix, FallsBackByFeatureSet) {
+  arch::ProcessorModel cpu;
+  cpu.microarch = arch::Microarch::kGeneric;
+  cpu.features = arch::FeatureSet{.sse2 = true};
+  EXPECT_EQ(select_function(cpu).mix.isa, IsaClass::kSse2);
+
+  cpu.features.avx = true;
+  EXPECT_EQ(select_function(cpu).mix.isa, IsaClass::kAvx);
+
+  cpu.features.fma = true;
+  EXPECT_EQ(select_function(cpu).mix.isa, IsaClass::kFma);
+}
+
+TEST(Mix, NoSse2Throws) {
+  arch::ProcessorModel cpu;  // all features false
+  EXPECT_THROW(select_function(cpu), UnsupportedError);
+}
+
+TEST(Mix, FlopsPerSet) {
+  const InstructionMix& fma = find_function("FUNC_FMA_256_ZEN2").mix;
+  EXPECT_EQ(fma.flops_per_set(), 2 * 2 * 4);  // 2 FMA x 2 flops x 4 doubles
+  const InstructionMix& sse = find_function("FUNC_SSE2_128").mix;
+  EXPECT_EQ(sse.flops_per_set(), 2 * 2);  // mul+add x 2 doubles
+}
+
+// ---- static payload analysis ------------------------------------------------------------
+
+TEST(Analyze, DefaultUnrollTargetsL1I) {
+  const auto& fn = find_function("FUNC_FMA_256_ZEN2");
+  const auto caches = arch::CacheHierarchy::zen2();
+  const PayloadStats stats =
+      analyze_payload(fn.mix, InstructionGroups::parse(fn.default_groups), caches);
+  // The loop must overflow typical micro-op caches (>4 KiB of code) but fit
+  // within the 32 KiB L1-I (paper Sec. III-B / IV-C).
+  EXPECT_GT(stats.loop_bytes, 4u * 1024);
+  EXPECT_LE(stats.loop_bytes, 32u * 1024);
+  EXPECT_EQ(stats.sequence.sets, stats.unroll);
+  EXPECT_GT(stats.instructions_per_iteration, 0u);
+  EXPECT_EQ(stats.instructions_per_iteration,
+            stats.simd_per_iteration + stats.alu_per_iteration + stats.overhead_per_iteration);
+}
+
+TEST(Analyze, ExplicitUnrollHonored) {
+  const auto& fn = find_function("FUNC_FMA_256_ZEN2");
+  const auto caches = arch::CacheHierarchy::zen2();
+  CompileOptions options;
+  options.unroll = 200;
+  const PayloadStats stats =
+      analyze_payload(fn.mix, InstructionGroups::parse("REG:1,L1_L:1"), caches, options);
+  EXPECT_EQ(stats.unroll, 200u);
+  EXPECT_EQ(stats.sequence.sets, 200u);
+  // 100 of the 200 sets carry an L1 load.
+  EXPECT_EQ(stats.sequence.loads[static_cast<int>(MemoryLevel::kL1)], 100u);
+}
+
+TEST(Analyze, AluAndFmaCountsMatchMix) {
+  const auto& fn = find_function("FUNC_FMA_256_ZEN2");
+  const auto caches = arch::CacheHierarchy::zen2();
+  CompileOptions options;
+  options.unroll = 100;
+  const PayloadStats stats =
+      analyze_payload(fn.mix, InstructionGroups::parse("REG:1"), caches, options);
+  // REG set: 2 FMA + 2 ALU per set.
+  EXPECT_EQ(stats.fma_per_iteration, 200u);
+  EXPECT_EQ(stats.alu_per_iteration, 200u);
+  EXPECT_EQ(stats.flops_per_iteration, 200u * 8);
+}
+
+TEST(Analyze, RegionsFollowHierarchy) {
+  const auto& fn = find_function("FUNC_FMA_256_ZEN2");
+  const auto caches = arch::CacheHierarchy::zen2();
+  const PayloadStats stats = analyze_payload(
+      fn.mix, InstructionGroups::parse("REG:4,L1_LS:4,L2_LS:2,L3_LS:1,RAM_L:1"), caches);
+  const auto level = [](MemoryLevel l) { return static_cast<int>(l); };
+  // L1 region fits in L1-D; L2 region exceeds L1 but fits in L2; L3 region
+  // exceeds L2; RAM region exceeds the per-thread L3 share.
+  EXPECT_LE(stats.regions.bytes[level(MemoryLevel::kL1)], 32u * 1024);
+  EXPECT_GT(stats.regions.bytes[level(MemoryLevel::kL2)], 32u * 1024);
+  EXPECT_LE(stats.regions.bytes[level(MemoryLevel::kL2)], 512u * 1024);
+  EXPECT_GT(stats.regions.bytes[level(MemoryLevel::kL3)], 512u * 1024);
+  EXPECT_GT(stats.regions.bytes[level(MemoryLevel::kRam)],
+            stats.regions.bytes[level(MemoryLevel::kL3)]);
+}
+
+TEST(Analyze, BytesPerIterationMatchLines) {
+  const auto& fn = find_function("FUNC_FMA_256_ZEN2");
+  const auto caches = arch::CacheHierarchy::zen2();
+  CompileOptions options;
+  options.unroll = 12;
+  const PayloadStats stats =
+      analyze_payload(fn.mix, InstructionGroups::parse("L1_2LS:1,L2_L:1"), caches, options);
+  // 6 sets of each kind: L1 2LS = 3 lines/set, L2 L = 1 line/set.
+  EXPECT_EQ(stats.bytes_per_iteration[static_cast<int>(MemoryLevel::kL1)], 6u * 3 * 64);
+  EXPECT_EQ(stats.bytes_per_iteration[static_cast<int>(MemoryLevel::kL2)], 6u * 64);
+}
+
+}  // namespace
+}  // namespace fs2::payload

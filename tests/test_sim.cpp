@@ -1,0 +1,410 @@
+// Tests for the microarchitecture power/performance simulator — the
+// substitute for the paper's physical testbeds. These tests pin down the
+// *shape* results of the paper's evaluation (who wins, orderings,
+// crossovers, throttle behaviour) plus coarse absolute anchors.
+
+#include <gtest/gtest.h>
+
+#include "payload/compiler.hpp"
+#include "payload/mix.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace fs2::sim {
+namespace {
+
+using payload::DataInitPolicy;
+using payload::InstructionGroups;
+using payload::MemoryLevel;
+
+const arch::CacheHierarchy& zen2_caches() {
+  static const auto caches = arch::CacheHierarchy::zen2();
+  return caches;
+}
+
+const payload::InstructionMix& fma_mix() {
+  static const auto mix = payload::find_function("FUNC_FMA_256_ZEN2").mix;
+  return mix;
+}
+
+payload::PayloadStats analyze(const std::string& groups, std::uint32_t unroll = 0) {
+  payload::CompileOptions options;
+  options.unroll = unroll;
+  return payload::analyze_payload(fma_mix(), InstructionGroups::parse(groups), zen2_caches(),
+                                  options);
+}
+
+Simulator zen2_sim() { return Simulator(MachineConfig::zen2_epyc7502_2s()); }
+
+WorkloadPoint run(const Simulator& sim, const std::string& groups, double mhz,
+                  DataInitPolicy policy = DataInitPolicy::kSafe) {
+  RunConditions cond;
+  cond.freq_mhz = mhz;
+  cond.policy = policy;
+  return sim.run(analyze(groups), cond);
+}
+
+// ---- machine config ---------------------------------------------------------
+
+TEST(MachineConfig, TableIITopology) {
+  const MachineConfig cfg = MachineConfig::zen2_epyc7502_2s();
+  EXPECT_EQ(cfg.total_cores(), 64);      // Table II: 2x 32 cores
+  EXPECT_EQ(cfg.total_threads(), 128);   // SMT enabled
+  ASSERT_EQ(cfg.pstates.size(), 3u);     // 1500, 2200, 2500 MHz
+  EXPECT_DOUBLE_EQ(cfg.nominal_mhz, 2500.0);
+}
+
+TEST(MachineConfig, VoltageInterpolation) {
+  const MachineConfig cfg = MachineConfig::zen2_epyc7502_2s();
+  EXPECT_DOUBLE_EQ(cfg.volts_at(1500), cfg.pstates.front().volts);
+  EXPECT_DOUBLE_EQ(cfg.volts_at(2500), cfg.pstates.back().volts);
+  EXPECT_DOUBLE_EQ(cfg.volts_at(1000), cfg.pstates.front().volts);  // clamped
+  EXPECT_DOUBLE_EQ(cfg.volts_at(3000), cfg.pstates.back().volts);
+  const double mid = cfg.volts_at(1850);
+  EXPECT_GT(mid, cfg.pstates.front().volts);
+  EXPECT_LT(mid, cfg.pstates[1].volts);
+}
+
+TEST(MachineConfig, EmptyPstatesThrows) {
+  MachineConfig cfg;
+  EXPECT_THROW(cfg.volts_at(1000), Error);
+}
+
+// ---- Sec. III-D: data-dependent power (infinity bug) ---------------------------
+
+TEST(SimPower, InfinityBugLowersPower) {
+  // Paper: v2.0 draws 314.1 W vs v1.7.4's 305.6 W on REG-only at nominal.
+  const Simulator sim = zen2_sim();
+  const double safe = run(sim, "REG:1", 2500).power_w;
+  const double bug = run(sim, "REG:1", 2500, DataInitPolicy::kV174InfinityBug).power_w;
+  EXPECT_GT(safe, bug);
+  EXPECT_NEAR(safe, 314.1, 314.1 * 0.05);     // within 5 % of the paper
+  EXPECT_NEAR(bug, 305.6, 305.6 * 0.05);
+  EXPECT_NEAR(safe - bug, 8.5, 4.0);          // the delta itself
+}
+
+// ---- Fig. 9: memory levels raise power, IPC stays high --------------------------
+
+TEST(SimPower, EachMemoryLevelAddsPower) {
+  const Simulator sim = zen2_sim();
+  const double none = run(sim, "REG:1", 1500).power_w;
+  const double l1 = run(sim, "L1_LS:12,REG:6", 1500).power_w;
+  const double l2 = run(sim, "L2_LS:3,L1_LS:12,REG:6", 1500).power_w;
+  const double l3 = run(sim, "L3_LS:1,L2_LS:3,L1_LS:12,REG:6", 1500).power_w;
+  const double ram = run(sim, "RAM_L:1,L3_LS:2,L2_LS:6,L1_LS:24,REG:12", 1500).power_w;
+  EXPECT_LT(none, l1);
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l2, l3);
+  EXPECT_LT(l3, ram);
+}
+
+TEST(SimPower, Fig9AbsoluteAnchors) {
+  // Paper Fig. 9: 235 W with no memory accesses rising to 437 W with the
+  // full hierarchy at the best ratio, an 86 % increase.
+  const Simulator sim = zen2_sim();
+  const double none = run(sim, "REG:1", 1500).power_w;
+  const double full = run(sim, "RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37", 1500).power_w;
+  EXPECT_NEAR(none, 235.0, 235.0 * 0.05);
+  EXPECT_NEAR(full, 437.0, 437.0 * 0.06);
+  EXPECT_GT(full / none, 1.6);
+  EXPECT_LT(full / none, 2.1);
+}
+
+TEST(SimPerf, IpcDropsOnlyModeratelyWithFullHierarchy) {
+  // Fig. 9: IPC drops from 4 to only ~3.4 at the highest-power point.
+  const Simulator sim = zen2_sim();
+  const auto none = run(sim, "REG:1", 1500);
+  const auto full = run(sim, "RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37", 1500);
+  EXPECT_NEAR(none.ipc_per_core, 4.0, 0.3);
+  EXPECT_GT(full.ipc_per_core, 3.0);
+  EXPECT_LT(full.ipc_per_core, none.ipc_per_core);
+}
+
+TEST(SimPerf, NoThrottlingAt1500) {
+  // Fig. 9 runs at 1500 MHz precisely to avoid throttling.
+  const Simulator sim = zen2_sim();
+  for (const char* groups :
+       {"REG:1", "L1_LS:2,REG:1", "RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37"}) {
+    const auto point = run(sim, groups, 1500);
+    EXPECT_FALSE(point.throttled) << groups;
+    EXPECT_DOUBLE_EQ(point.achieved_mhz, 1500.0) << groups;
+  }
+}
+
+// ---- Fig. 8: unroll factor, fetch source, and nominal-frequency throttle -------
+
+TEST(SimFrontend, FetchSourceTransitions) {
+  const Simulator sim = zen2_sim();
+  auto source_at = [&](std::uint32_t unroll) {
+    RunConditions cond;
+    cond.freq_mhz = 1500;
+    return sim.run(analyze("L1_L:1", unroll), cond).fetch_source;
+  };
+  EXPECT_EQ(source_at(256), FetchSource::kOpCache);
+  // Paper: leaves the op cache at u ~ 1000 (4096 micro-ops / ~4 per set)
+  // and the L1-I at u ~ 2000.
+  EXPECT_EQ(source_at(1200), FetchSource::kL1I);
+  EXPECT_EQ(source_at(4096), FetchSource::kL2);
+}
+
+TEST(SimFrontend, PowerIncreasesWithFetchDistance) {
+  const Simulator sim = zen2_sim();
+  auto power_at = [&](std::uint32_t unroll, double mhz) {
+    RunConditions cond;
+    cond.freq_mhz = mhz;
+    return sim.run(analyze("L1_L:1", unroll), cond).power_w;
+  };
+  // At 1500 and 2200 MHz (no throttling): op cache < L1-I < L2.
+  for (double mhz : {1500.0, 2200.0}) {
+    EXPECT_LT(power_at(256, mhz), power_at(1200, mhz)) << mhz;
+    EXPECT_LT(power_at(1200, mhz), power_at(4096, mhz)) << mhz;
+  }
+}
+
+TEST(SimFrontend, NominalFrequencyThrottlesOnlyLargeCase) {
+  // Fig. 8's surprise: at nominal 2500 MHz the L2-resident loop throttles
+  // (2.5 -> 2.4 GHz) while op-cache and L1-I loops do not.
+  const Simulator sim = zen2_sim();
+  auto point_at = [&](std::uint32_t unroll) {
+    RunConditions cond;
+    cond.freq_mhz = 2500;
+    return sim.run(analyze("L1_L:1", unroll), cond);
+  };
+  EXPECT_FALSE(point_at(256).throttled);
+  EXPECT_FALSE(point_at(1200).throttled);
+  const auto large = point_at(4096);
+  EXPECT_TRUE(large.throttled);
+  EXPECT_NEAR(large.achieved_mhz, 2400.0, 100.0);
+}
+
+TEST(SimFrontend, IpcStableAcrossFetchSources) {
+  // Paper: "instruction throughput does not decrease when instructions have
+  // to be served from the L2 cache".
+  const Simulator sim = zen2_sim();
+  auto ipc_at = [&](std::uint32_t unroll) {
+    RunConditions cond;
+    cond.freq_mhz = 1500;
+    return sim.run(analyze("L1_L:1", unroll), cond).ipc_per_core;
+  };
+  EXPECT_NEAR(ipc_at(1200), ipc_at(4096), 0.15);
+}
+
+// ---- Fig. 12: cross-frequency behaviour -----------------------------------------
+
+TEST(SimThrottle, MemoryHeavyWorkloadsThrottleAtHighFrequency) {
+  const Simulator sim = zen2_sim();
+  const char* heavy = "RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37";
+  const auto at_2200 = run(sim, heavy, 2200);
+  const auto at_2500 = run(sim, heavy, 2500);
+  EXPECT_TRUE(at_2200.throttled);
+  EXPECT_TRUE(at_2500.throttled);
+  EXPECT_LT(at_2200.achieved_mhz, 2200.0);
+  EXPECT_LT(at_2500.achieved_mhz, 2500.0);
+  // Power flattens near the governor's operating point (512.2 vs 514.4 in
+  // Fig. 12a) instead of scaling with the requested clock.
+  EXPECT_NEAR(at_2200.power_w, at_2500.power_w, at_2500.power_w * 0.02);
+}
+
+TEST(SimThrottle, LighterWorkloadThrottlesLess) {
+  // Fig. 12c: the workload optimized for 2500 MHz (fewer memory accesses)
+  // reaches a higher achieved frequency than the one optimized for 1500.
+  const Simulator sim = zen2_sim();
+  const auto heavy = run(sim, "RAM_L:4,L3_LS:4,L2_LS:12,L1_LS:77,REG:30", 2500);
+  const auto light = run(sim, "RAM_L:1,L3_LS:2,L2_LS:6,L1_LS:60,REG:60", 2500);
+  EXPECT_GT(light.achieved_mhz, heavy.achieved_mhz);
+}
+
+TEST(SimPerf, HigherFrequencyLowersIpcForMemoryHeavyWorkloads) {
+  // Fig. 12b: opt-1500 run at higher clocks loses IPC (stall cycles grow).
+  const Simulator sim = zen2_sim();
+  const char* heavy = "RAM_L:3,L3_LS:3,L2_LS:10,L1_LS:77,REG:37";
+  const double ipc_1500 = run(sim, heavy, 1500).ipc_per_core;
+  const double ipc_2500 = run(sim, heavy, 2500).ipc_per_core;
+  EXPECT_GT(ipc_1500, ipc_2500);
+  EXPECT_NEAR(ipc_1500, 3.39, 0.5);   // paper: 3.39
+  EXPECT_NEAR(ipc_2500, 2.61, 0.8);   // paper: 2.61
+}
+
+// ---- property sweeps -------------------------------------------------------------
+
+class FrequencySweep : public testing::TestWithParam<const char*> {};
+
+TEST_P(FrequencySweep, UnthrottledPowerMonotoneInFrequency) {
+  // For workloads below the EDC budget, requesting a higher P-state never
+  // lowers power; achieved frequency never exceeds the request.
+  const Simulator sim = zen2_sim();
+  double prev_power = 0.0;
+  for (double mhz : {1500.0, 1700.0, 1900.0, 2100.0}) {
+    const auto point = run(sim, GetParam(), mhz);
+    EXPECT_LE(point.achieved_mhz, mhz + 1e-9);
+    if (!point.throttled) {
+      EXPECT_GE(point.power_w, prev_power) << GetParam() << " @ " << mhz;
+      prev_power = point.power_w;
+    }
+  }
+}
+
+TEST_P(FrequencySweep, GflopsConsistentWithIpc) {
+  // Cross-check two independently derived outputs: FLOP rate must equal
+  // flops/iteration x iterations/s, which is tied to IPC via cycles.
+  const Simulator sim = zen2_sim();
+  const auto stats = analyze(GetParam());
+  RunConditions cond;
+  cond.freq_mhz = 1500;
+  const auto point = sim.run(stats, cond);
+  const double iterations_per_second =
+      point.achieved_mhz * 1e6 / point.cycles_per_iteration;
+  const int smt = 2;  // full machine: both hardware threads active
+  const double expected_gflops = static_cast<double>(stats.flops_per_iteration) * smt *
+                                 64 * iterations_per_second / 1e9;
+  EXPECT_NEAR(point.gflops, expected_gflops, expected_gflops * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FrequencySweep,
+                         testing::Values("REG:1", "L1_LS:2,REG:1",
+                                         "L2_LS:1,L1_LS:6,REG:3",
+                                         "RAM_L:1,L3_LS:2,L2_LS:6,L1_LS:24,REG:12"));
+
+TEST(SimProperties, PowerMonotoneInThreadCount) {
+  const Simulator sim = zen2_sim();
+  const auto stats = analyze("L1_LS:2,REG:1");
+  double prev = 0.0;
+  for (int threads : {8, 16, 32, 64, 128}) {
+    RunConditions cond;
+    cond.freq_mhz = 1500;
+    cond.threads = threads;
+    const double power = sim.run(stats, cond).power_w;
+    // Strictly increasing while cores are being filled; adding SMT siblings
+    // must never *reduce* power (it adds nothing for a workload that
+    // already saturates the 4-wide pipeline with one thread).
+    if (threads <= 64) EXPECT_GT(power, prev) << threads;
+    else EXPECT_GE(power, prev) << threads;
+    prev = power;
+  }
+}
+
+TEST(SimProperties, SmallerSkuDrawsLessPower) {
+  // Sec. III-A: sibling SKUs share the microarchitecture but differ in
+  // core count — and therefore in total draw and per-core memory headroom.
+  MachineConfig small = MachineConfig::zen2_epyc7502_2s();
+  small.cores_per_socket = 8;
+  const auto stats = analyze("RAM_L:1,L3_LS:2,L2_LS:6,L1_LS:24,REG:12");
+  RunConditions cond;
+  cond.freq_mhz = 2200;
+  const auto big_point = Simulator(MachineConfig::zen2_epyc7502_2s()).run(stats, cond);
+  const auto small_point = Simulator(small).run(stats, cond);
+  EXPECT_LT(small_point.power_w, big_point.power_w);
+  // Fewer cores contending for the same DRAM: per-core IPC is no worse.
+  EXPECT_GE(small_point.ipc_per_core, big_point.ipc_per_core - 1e-9);
+}
+
+// ---- special workloads & traces ----------------------------------------------------
+
+TEST(SimSpecial, IdleBelowLowPowerBelowStress) {
+  const Simulator sim = zen2_sim();
+  const double idle = sim.idle().power_w;
+  const double low = sim.low_power_loop().power_w;
+  const double stress = run(sim, "REG:1", 2500).power_w;
+  EXPECT_LT(idle, low);
+  EXPECT_LT(low, stress);
+  EXPECT_GT(idle, 50.0);   // a 2S server never idles at zero
+  EXPECT_LT(idle, 200.0);
+}
+
+TEST(SimSpecial, MoreThreadsMorePower) {
+  const Simulator sim = zen2_sim();
+  const auto stats = analyze("REG:1");
+  RunConditions half;
+  half.freq_mhz = 1500;
+  half.threads = 32;
+  RunConditions full;
+  full.freq_mhz = 1500;
+  const double p_half = sim.run(stats, half).power_w;
+  const double p_full = sim.run(stats, full).power_w;
+  EXPECT_LT(p_half, p_full);
+}
+
+TEST(SimSpecial, GpuStressAddsPerGpuPower) {
+  // Fig. 2: each GPU adds 29 W idle to 156 W stressed.
+  const Simulator with_gpu(MachineConfig::haswell_e5_2680v3_2s(4));
+  const Simulator without(MachineConfig::haswell_e5_2680v3_2s(0));
+  const auto stats = analyze("REG:1");
+  RunConditions cond;
+  cond.freq_mhz = 2000;
+  RunConditions gpu_cond = cond;
+  gpu_cond.gpu_stress = true;
+  const double base = without.run(stats, cond).power_w;
+  const double gpu_idle = with_gpu.run(stats, cond).power_w;
+  const double gpu_stress = with_gpu.run(stats, gpu_cond).power_w;
+  EXPECT_NEAR(gpu_idle - base, 4 * 29.0 + 110.0, 1.0);  // 4 GPUs idle + platform
+  EXPECT_NEAR(gpu_stress - gpu_idle, 4 * (156.0 - 29.0), 1.0);
+}
+
+TEST(SimTrace, ColdStartRampsTowardSteadyState) {
+  const Simulator sim = zen2_sim();
+  const auto point = run(sim, "REG:1", 1500);
+  const auto trace = sim.power_trace(point, 240.0, 20.0, 42);
+  ASSERT_EQ(trace.size(), 4800u);
+  // First samples sit below the steady state; late samples surround it.
+  const std::vector<double> head(trace.begin(), trace.begin() + 40);
+  const std::vector<double> tail(trace.end() - 400, trace.end());
+  EXPECT_LT(stats::mean(head), stats::mean(tail));
+  EXPECT_NEAR(stats::mean(tail), point.power_w, point.power_w * 0.01);
+}
+
+TEST(SimTrace, WarmStartShowsNoRamp) {
+  // Fig. 7: after the 240 s preheat, candidate switches show no power dip.
+  const Simulator sim = zen2_sim();
+  const auto point = run(sim, "REG:1", 1500);
+  const auto trace = sim.power_trace(point, 10.0, 20.0, 42, /*warm_start_s=*/240.0);
+  const std::vector<double> head(trace.begin(), trace.begin() + 40);
+  EXPECT_NEAR(stats::mean(head), point.power_w, point.power_w * 0.01);
+}
+
+TEST(SimTrace, DeterministicPerSeed) {
+  const Simulator sim = zen2_sim();
+  const auto point = run(sim, "REG:1", 1500);
+  EXPECT_EQ(sim.power_trace(point, 5, 20, 1), sim.power_trace(point, 5, 20, 1));
+  EXPECT_NE(sim.power_trace(point, 5, 20, 1), sim.power_trace(point, 5, 20, 2));
+}
+
+TEST(SimTrace, RejectsInvalidParameters) {
+  const Simulator sim = zen2_sim();
+  const auto point = run(sim, "REG:1", 1500);
+  EXPECT_THROW(sim.power_trace(point, 0, 20, 1), Error);
+  EXPECT_THROW(sim.power_trace(point, 5, 0, 1), Error);
+}
+
+// ---- Haswell testbed (Fig. 2) ---------------------------------------------------------
+
+TEST(SimHaswell, Fig2Ordering) {
+  const Simulator sim(MachineConfig::haswell_e5_2680v3_2s(0));
+  const auto caches = arch::CacheHierarchy::haswell_ep();
+  const auto& mix = payload::find_function("FUNC_FMA_256_HASWELL").mix;
+  auto hsw = [&](const char* groups) {
+    RunConditions cond;
+    cond.freq_mhz = 2000;  // Fig. 2 pins 2000 MHz to dodge AVX frequencies
+    return sim
+        .run(payload::analyze_payload(mix, InstructionGroups::parse(groups), caches), cond)
+        .power_w;
+  };
+  const double idle = sim.idle().power_w;
+  const double low = sim.low_power_loop(2000).power_w;
+  const double reg = hsw("REG:1");
+  const double l2 = hsw("L2_LS:1,L1_LS:4,REG:2");
+  const double l3 = hsw("L3_LS:1,L2_LS:3,L1_LS:12,REG:6");
+  const double ram = hsw("RAM_L:1,L3_LS:2,L2_LS:5,L1_LS:25,REG:12");
+  EXPECT_LT(idle, low);
+  EXPECT_LT(low, reg);
+  EXPECT_LT(reg, l2);
+  EXPECT_LT(l2, l3);
+  EXPECT_LT(l3, ram);
+  // The 2018 Taurus CDF (Fig. 1) tops out at 359.9 W — full-tilt
+  // FIRESTARTER is the most power-hungry thing those nodes ever ran.
+  EXPECT_GT(ram, 255.0);
+  EXPECT_LT(ram, 375.0);
+}
+
+}  // namespace
+}  // namespace fs2::sim

@@ -1,0 +1,332 @@
+// Tests for the NSGA-II optimizer: dominance and sorting verified against
+// brute force (property-tested over random point sets), crowding-distance
+// invariants, convergence on analytic trade-off problems, determinism, and
+// the FIRESTARTER genome <-> instruction-groups mapping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tuning/groups_problem.hpp"
+#include "tuning/history.hpp"
+#include "tuning/nsga2.hpp"
+#include "tuning/pareto.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fs2::tuning {
+namespace {
+
+// ---- dominance -------------------------------------------------------------
+
+TEST(Dominance, Basics) {
+  EXPECT_TRUE(dominates({2, 2}, {1, 1}));
+  EXPECT_TRUE(dominates({2, 1}, {1, 1}));
+  EXPECT_FALSE(dominates({1, 1}, {1, 1}));  // equal: no strict improvement
+  EXPECT_FALSE(dominates({2, 0}, {1, 1}));  // trade-off: incomparable
+  EXPECT_FALSE(dominates({1, 1}, {2, 2}));
+}
+
+// ---- non-dominated sort vs brute force ------------------------------------------
+
+int brute_force_rank(const std::vector<std::vector<double>>& points, std::size_t index) {
+  // Rank = how many "peeling" rounds before the point becomes non-dominated.
+  std::vector<bool> removed(points.size(), false);
+  for (int round = 0;; ++round) {
+    std::vector<std::size_t> front;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (removed[p]) continue;
+      bool dominated = false;
+      for (std::size_t q = 0; q < points.size() && !dominated; ++q)
+        if (q != p && !removed[q] && dominates(points[q], points[p])) dominated = true;
+      if (!dominated) front.push_back(p);
+    }
+    for (std::size_t p : front) {
+      if (p == index) return round;
+      removed[p] = true;
+    }
+  }
+}
+
+class SortProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SortProperty, MatchesBruteForcePeeling) {
+  Xoshiro256 rng(GetParam());
+  std::vector<Individual> population(30);
+  std::vector<std::vector<double>> points;
+  for (auto& ind : population) {
+    ind.objectives = {rng.uniform(0, 10), rng.uniform(0, 10)};
+    points.push_back(ind.objectives);
+  }
+  const auto fronts = fast_non_dominated_sort(population);
+
+  // Ranks match the brute-force peeling definition.
+  for (std::size_t p = 0; p < population.size(); ++p)
+    EXPECT_EQ(population[p].rank, brute_force_rank(points, p)) << "point " << p;
+
+  // Fronts partition the population.
+  std::size_t total = 0;
+  for (const auto& front : fronts) total += front.size();
+  EXPECT_EQ(total, population.size());
+
+  // No member of a front dominates another member of the same front.
+  for (const auto& front : fronts)
+    for (std::size_t a : front)
+      for (std::size_t b : front)
+        EXPECT_FALSE(dominates(population[a].objectives, population[b].objectives));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortProperty, testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+TEST(Crowding, BoundariesAreInfinite) {
+  std::vector<Individual> pop(5);
+  for (int i = 0; i < 5; ++i) pop[static_cast<std::size_t>(i)].objectives = {double(i), double(4 - i)};
+  const std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+  assign_crowding_distance(pop, front);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[4].crowding));
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GT(pop[static_cast<std::size_t>(i)].crowding, 0.0);
+    EXPECT_FALSE(std::isinf(pop[static_cast<std::size_t>(i)].crowding));
+  }
+}
+
+TEST(Crowding, DegenerateObjectiveHandled) {
+  std::vector<Individual> pop(3);
+  for (auto& ind : pop) ind.objectives = {1.0, 1.0};  // all identical
+  assign_crowding_distance(pop, {0, 1, 2});
+  // No NaNs; boundaries still infinite.
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+}
+
+// ---- pareto utilities ------------------------------------------------------------------
+
+TEST(Pareto, FrontExtraction) {
+  const std::vector<std::vector<double>> points = {
+      {1, 5}, {3, 3}, {5, 1}, {2, 2}, {0, 0}, {3, 3}};
+  const auto front = pareto_front(points);
+  // {1,5}, {3,3} (twice) and {5,1} are non-dominated; {2,2} and {0,0} are not.
+  EXPECT_EQ(front.size(), 4u);
+  EXPECT_TRUE(std::find(front.begin(), front.end(), 3u) == front.end());
+  EXPECT_TRUE(std::find(front.begin(), front.end(), 4u) == front.end());
+}
+
+TEST(Pareto, Hypervolume2d) {
+  // Two disjoint rectangles from (0,0): 2x1 + 1x1 = 3... computed by sweep:
+  // points (2,1) and (1,2): volume = 2*1 + 1*(2-1) = 3.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{2, 1}, {1, 2}}, {0, 0}), 3.0);
+  // Single point.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{2, 3}}, {0, 0}), 6.0);
+  // Dominated point adds nothing.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{2, 3}, {1, 1}}, {0, 0}), 6.0);
+  // Empty front.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, {0, 0}), 0.0);
+}
+
+TEST(Pareto, HypervolumeValidation) {
+  EXPECT_THROW(hypervolume_2d({{1, 1}}, {0, 0, 0}), Error);
+  EXPECT_THROW(hypervolume_2d({{-1, 1}}, {0, 0}), Error);
+}
+
+// ---- the optimizer on analytic problems ------------------------------------------------------
+
+/// Bi-objective trade-off: genome of one gene g in [0, 100]; objectives
+/// (g, 100-g). Every genome is Pareto-optimal: the final front should
+/// spread across the whole range (crowding keeps diversity).
+class TradeoffProblem : public Problem {
+ public:
+  std::size_t genome_length() const override { return 1; }
+  std::uint32_t gene_max(std::size_t) const override { return 100; }
+  std::size_t num_objectives() const override { return 2; }
+  std::string objective_name(std::size_t i) const override { return i == 0 ? "g" : "100-g"; }
+  std::vector<double> evaluate(const Genome& genome) override {
+    ++evaluations;
+    return {double(genome[0]), 100.0 - double(genome[0])};
+  }
+  int evaluations = 0;
+};
+
+/// Single peak: maximize both objectives simultaneously at gene = 60.
+/// Tests convergence toward a known optimum.
+class PeakProblem : public Problem {
+ public:
+  std::size_t genome_length() const override { return 4; }
+  std::uint32_t gene_max(std::size_t) const override { return 100; }
+  std::size_t num_objectives() const override { return 2; }
+  std::string objective_name(std::size_t i) const override { return i == 0 ? "f1" : "f2"; }
+  std::vector<double> evaluate(const Genome& genome) override {
+    double penalty = 0.0;
+    for (std::uint32_t g : genome) penalty += std::abs(double(g) - 60.0);
+    return {1000.0 - penalty, 1000.0 - penalty / 2.0};
+  }
+};
+
+TEST(Nsga2Run, EvaluationCountAndHistory) {
+  TradeoffProblem problem;
+  Nsga2Config config;
+  config.individuals = 12;
+  config.generations = 5;
+  History history;
+  Nsga2 optimizer(config);
+  const auto population = optimizer.run(problem, &history);
+  EXPECT_EQ(population.size(), 12u);
+  // N initial + N per generation.
+  EXPECT_EQ(problem.evaluations, 12 * 6);
+  EXPECT_EQ(history.size(), 12u * 6);
+  EXPECT_EQ(history.evaluations().front().generation, 0u);
+  EXPECT_EQ(history.evaluations().back().generation, 5u);
+}
+
+TEST(Nsga2Run, TradeoffFrontStaysDiverse) {
+  TradeoffProblem problem;
+  Nsga2Config config;
+  config.individuals = 20;
+  config.generations = 10;
+  Nsga2 optimizer(config);
+  const auto population = optimizer.run(problem);
+  // All individuals are rank 0 (every point is Pareto-optimal) and the
+  // crowding mechanism must retain spread, not collapse to one end.
+  double lo = 1e9, hi = -1e9;
+  for (const auto& ind : population) {
+    EXPECT_EQ(ind.rank, 0);
+    lo = std::min(lo, ind.objectives[0]);
+    hi = std::max(hi, ind.objectives[0]);
+  }
+  EXPECT_GT(hi - lo, 30.0);
+}
+
+TEST(Nsga2Run, ConvergesToPeak) {
+  PeakProblem problem;
+  Nsga2Config config;
+  config.individuals = 24;
+  config.generations = 30;
+  Nsga2 optimizer(config);
+  const auto population = optimizer.run(problem);
+  const auto& best = Nsga2::best_by_objective(population, 0);
+  // Random genomes average penalty ~4*25=100; the optimizer should get
+  // close to the peak at 1000.
+  EXPECT_GT(best.objectives[0], 960.0);
+}
+
+TEST(Nsga2Run, DeterministicForSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    PeakProblem problem;
+    Nsga2Config config;
+    config.individuals = 10;
+    config.generations = 5;
+    config.seed = seed;
+    Nsga2 optimizer(config);
+    const auto pop = optimizer.run(problem);
+    std::vector<double> firsts;
+    for (const auto& ind : pop) firsts.push_back(ind.objectives[0]);
+    return firsts;
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+  EXPECT_NE(run_once(99), run_once(100));
+}
+
+TEST(Nsga2Run, HypervolumeImprovesOverGenerations) {
+  // Fig. 11's story: later evaluations close in on the Pareto front.
+  PeakProblem problem;
+  Nsga2Config config;
+  config.individuals = 20;
+  config.generations = 15;
+  History history;
+  Nsga2 optimizer(config);
+  optimizer.run(problem, &history);
+
+  auto front_hv = [&](std::size_t gen_limit) {
+    std::vector<std::vector<double>> points;
+    for (const auto& e : history.evaluations())
+      if (e.generation <= gen_limit) points.push_back(e.objectives);
+    std::vector<std::vector<double>> front;
+    for (std::size_t i : pareto_front(points)) front.push_back(points[i]);
+    return hypervolume_2d(front, {0.0, 0.0});
+  };
+  EXPECT_GE(front_hv(15), front_hv(0));
+}
+
+TEST(Nsga2Run, RejectsDegenerateConfig) {
+  PeakProblem problem;
+  Nsga2Config config;
+  config.individuals = 1;
+  Nsga2 optimizer(config);
+  EXPECT_THROW(optimizer.run(problem), Error);
+}
+
+TEST(Nsga2Run, BestByObjectiveValidation) {
+  EXPECT_THROW(Nsga2::best_by_objective({}, 0), Error);
+}
+
+TEST(History, CsvRoundTrip) {
+  History history;
+  history.record(0, {1, 2, 3}, {10.5, 20.25});
+  history.record(1, {4, 5, 6}, {11.0, 19.0});
+  std::ostringstream out;
+  history.write_csv(out, {"power", "ipc"});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("order,generation,power,ipc,genome"), std::string::npos);
+  EXPECT_NE(text.find("0,0,10.5000,20.2500,1 2 3"), std::string::npos);
+  EXPECT_NE(text.find("1,1,11.0000,19.0000,4 5 6"), std::string::npos);
+}
+
+// ---- groups problem ----------------------------------------------------------------------------
+
+class RecordingBackend : public EvaluationBackend {
+ public:
+  std::vector<std::string> objective_names() const override { return {"power", "ipc"}; }
+  std::vector<double> evaluate(const payload::InstructionGroups& groups) override {
+    last = groups.to_string();
+    return {double(groups.total()), 1.0};
+  }
+  std::string last;
+};
+
+TEST(GroupsProblem, GenomeLayoutMatchesAccessKinds) {
+  RecordingBackend backend;
+  GroupsProblem problem(backend);
+  EXPECT_EQ(problem.genome_length(), payload::all_access_kinds().size());
+  EXPECT_EQ(problem.num_objectives(), 2u);
+  // REG (gene 0) allows the largest counts; RAM genes are bounded tighter.
+  EXPECT_EQ(problem.gene_max(0), 100u);
+  EXPECT_EQ(problem.gene_max(problem.genome_length() - 1), 12u);
+}
+
+TEST(GroupsProblem, RoundTripGroupsGenome) {
+  const auto groups = payload::InstructionGroups::parse("REG:4,L1_L:2,L2_L:1");
+  const Genome genome = GroupsProblem::from_groups(groups);
+  const auto back = GroupsProblem::to_groups(genome);
+  EXPECT_EQ(back.count_of(*payload::parse_access_kind("REG")), 4u);
+  EXPECT_EQ(back.count_of(*payload::parse_access_kind("L1_L")), 2u);
+  EXPECT_EQ(back.count_of(*payload::parse_access_kind("L2_L")), 1u);
+  EXPECT_EQ(back.total(), 7u);
+}
+
+TEST(GroupsProblem, AllZeroGenomeRepairsToReg) {
+  RecordingBackend backend;
+  GroupsProblem problem(backend);
+  Genome zeros(problem.genome_length(), 0);
+  problem.repair(zeros);
+  EXPECT_EQ(zeros[0], 1u);
+  const auto groups = GroupsProblem::to_groups(Genome(problem.genome_length(), 0));
+  EXPECT_EQ(groups.to_string(), "REG:1");
+}
+
+TEST(GroupsProblem, EvaluateDelegatesToBackend) {
+  RecordingBackend backend;
+  GroupsProblem problem(backend);
+  Genome genome(problem.genome_length(), 0);
+  genome[0] = 3;
+  const auto objectives = problem.evaluate(genome);
+  EXPECT_EQ(backend.last, "REG:3");
+  EXPECT_DOUBLE_EQ(objectives[0], 3.0);
+}
+
+TEST(GroupsProblem, GenomeLengthMismatchThrows) {
+  EXPECT_THROW(GroupsProblem::to_groups(Genome{1, 2}), Error);
+}
+
+}  // namespace
+}  // namespace fs2::tuning

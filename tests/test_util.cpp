@@ -1,0 +1,215 @@
+// Tests for src/util: stats, RNG determinism, CSV escaping, string parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace fs2 {
+namespace {
+
+// ---- stats ----------------------------------------------------------------
+
+TEST(Stats, MeanOfConstantSample) {
+  const std::vector<double> v(100, 3.25);
+  EXPECT_DOUBLE_EQ(stats::mean(v), 3.25);
+}
+
+TEST(Stats, MeanAndStddevKnownSample) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stats::mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stats::stddev(v), 2.0);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(stats::mean(empty), Error);
+  EXPECT_THROW(stats::min(empty), Error);
+  EXPECT_THROW(stats::percentile(empty, 50), Error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(stats::median(v), 2.5);
+}
+
+TEST(Stats, PercentileOutOfRangeThrows) {
+  const std::vector<double> v = {1, 2};
+  EXPECT_THROW(stats::percentile(v, -1), Error);
+  EXPECT_THROW(stats::percentile(v, 101), Error);
+}
+
+TEST(Stats, KahanSumStaysAccurate) {
+  // 10^6 values of 0.1 — naive float-order-dependent summation drifts.
+  const std::vector<double> v(1000000, 0.1);
+  EXPECT_NEAR(stats::sum(v), 100000.0, 1e-6);
+}
+
+TEST(Stats, CdfCoversAllSamplesMonotonically) {
+  const std::vector<double> v = {10.0, 20.0, 20.0, 30.0};
+  const auto cdf = stats::cumulative_distribution(v, 10.0);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().proportion, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i)
+    EXPECT_GE(cdf[i].proportion, cdf[i - 1].proportion);
+}
+
+TEST(Stats, CdfBinWidthValidation) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(stats::cumulative_distribution(v, 0.0), Error);
+}
+
+TEST(Stats, AccumulatorMatchesBatchStats) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  stats::Accumulator acc;
+  for (double x : v) acc.add(x);
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_DOUBLE_EQ(acc.mean(), stats::mean(v));
+  EXPECT_NEAR(acc.stddev(), stats::stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Stats, AccumulatorEmptyThrows) {
+  stats::Accumulator acc;
+  EXPECT_THROW(acc.mean(), Error);
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalRoughlyStandard) {
+  Xoshiro256 rng(99);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+// ---- strings ------------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = strings::split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(strings::trim("  x y \t"), "x y");
+  EXPECT_EQ(strings::trim("   "), "");
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(strings::to_lower("L1_LS"), "l1_ls");
+  EXPECT_EQ(strings::to_upper("ram_p"), "RAM_P");
+}
+
+TEST(Strings, ParseU64Valid) {
+  EXPECT_EQ(strings::parse_u64("42", "test"), 42u);
+  EXPECT_EQ(strings::parse_u64(" 0 ", "test"), 0u);
+}
+
+TEST(Strings, ParseU64Rejects) {
+  EXPECT_THROW(strings::parse_u64("", "ctx"), ConfigError);
+  EXPECT_THROW(strings::parse_u64("-1", "ctx"), ConfigError);
+  EXPECT_THROW(strings::parse_u64("12x", "ctx"), ConfigError);
+  EXPECT_THROW(strings::parse_u64("99999999999999999999999", "ctx"), ConfigError);
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(strings::parse_double("0.35", "m"), 0.35);
+  EXPECT_THROW(strings::parse_double("abc", "m"), ConfigError);
+  EXPECT_THROW(strings::parse_double("1.5x", "m"), ConfigError);
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(strings::format("%d W at %.1f MHz", 438, 1500.0), "438 W at 1500.0 MHz");
+}
+
+// ---- csv ---------------------------------------------------------------------------
+
+TEST(Csv, EscapesSeparatorAndQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<std::string>{"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, NumericRowPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<double>{1.23456, 2.0}, 2);
+  EXPECT_EQ(out.str(), "1.23,2.00\n");
+}
+
+// ---- table --------------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"row1", "1"});
+  t.add_row("row22", {3.14159}, 2);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fs2
