@@ -1,0 +1,112 @@
+// Micro-benchmarks for the load-profile scheduler. Workers consult
+// LoadProfile::load_at once per modulation window (default every 100 ms,
+// down to tens of microseconds for the paper's VR-stress oscillations), so
+// a scheduling decision must cost nanoseconds — far below one kernel chunk
+// — or fast PWM periods would spend their budget deciding instead of
+// stressing. parse_profile/Campaign::parse run once per run; they are
+// benchmarked for the campaign-validation path (hundreds of phases).
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "sched/campaign.hpp"
+#include "sched/load_profile.hpp"
+#include "sched/phase_clock.hpp"
+
+using namespace fs2;
+
+namespace {
+
+void BM_ConstantLoadAt(benchmark::State& state) {
+  const sched::ConstantProfile profile(0.5);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.load_at(t));
+    t += 0.1;
+  }
+}
+BENCHMARK(BM_ConstantLoadAt);
+
+void BM_SquareLoadAt(benchmark::State& state) {
+  const sched::SquareProfile profile(0.0, 1.0, 2.0, 0.5);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.load_at(t));
+    t += 0.1;
+  }
+}
+BENCHMARK(BM_SquareLoadAt);
+
+void BM_SineLoadAt(benchmark::State& state) {
+  const sched::SineProfile profile(0.1, 0.9, 5.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.load_at(t));
+    t += 0.1;
+  }
+}
+BENCHMARK(BM_SineLoadAt);
+
+void BM_BurstLoadAt(benchmark::State& state) {
+  const sched::BurstProfile profile(0.2, 1.0, 1.0, 0.25, 42);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.load_at(t));
+    t += 0.1;
+  }
+}
+BENCHMARK(BM_BurstLoadAt);
+
+void BM_TraceLoadAt(benchmark::State& state) {
+  // Binary search over `breakpoints` rows (64 .. 4096: a day of rack load
+  // at one sample per 20 s).
+  std::vector<sched::TraceProfile::Breakpoint> points;
+  const auto breakpoints = static_cast<std::size_t>(state.range(0));
+  points.reserve(breakpoints);
+  for (std::size_t i = 0; i < breakpoints; ++i)
+    points.push_back({static_cast<double>(i), (i % 10) / 10.0});
+  const sched::TraceProfile profile(std::move(points), /*loop=*/true);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.load_at(t));
+    t += 0.7;
+  }
+}
+BENCHMARK(BM_TraceLoadAt)->Range(64, 4096);
+
+void BM_WindowIndex(benchmark::State& state) {
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::PhaseClock::window_index(t, 0.1));
+    t += 0.013;
+  }
+}
+BENCHMARK(BM_WindowIndex);
+
+void BM_PhaseClockElapsed(benchmark::State& state) {
+  const sched::PhaseClock clock;
+  for (auto _ : state) benchmark::DoNotOptimize(clock.elapsed());
+}
+BENCHMARK(BM_PhaseClockElapsed);
+
+void BM_ParseProfileSpec(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sched::parse_profile("sine:low=10,high=90,period=2", 1.0, 0.1));
+}
+BENCHMARK(BM_ParseProfileSpec);
+
+void BM_CampaignParse(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < state.range(0); ++i)
+    text += "phase name=p" + std::to_string(i) +
+            " duration=10 profile=sine:low=10,high=90,period=5\n";
+  for (auto _ : state) {
+    std::istringstream in(text);
+    benchmark::DoNotOptimize(sched::Campaign::parse(in, "<bench>"));
+  }
+}
+BENCHMARK(BM_CampaignParse)->Range(4, 256);
+
+}  // namespace

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the test suite, then smoke-run
+# the scheduler subsystem end to end on the simulated Zen 2 target.
+# Mirrors .github/workflows/ci.yml so local runs and CI agree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+# Scheduler smoke: a dynamic profile and a three-phase campaign, both in
+# virtual time (no host stress, safe on shared CI runners).
+./build/fs2 --simulate=zen2 --freq 1500 -t 30 \
+    --load-profile=sine:low=10,high=90,period=5 \
+    --measurement --start-delta=2000 --stop-delta=1000
+
+campaign="$(mktemp)"
+trap 'rm -f "$campaign"' EXIT
+cat > "$campaign" <<'EOF'
+phase name=warmup duration=10 profile=constant:30
+phase name=swing  duration=20 profile=sine:low=10,high=90,period=5
+phase name=peak   duration=10 profile=square:low=0,high=100,period=2
+EOF
+./build/fs2 --simulate=zen2 --freq 1500 --campaign "$campaign"
+
+echo "verify: OK"

@@ -82,6 +82,20 @@ Config parse_args(int argc, const char* const* argv) {
       const double pct = strings::parse_double(take(inline_value, args, flag), flag);
       if (pct < 0.0 || pct > 100.0) throw ConfigError("--load must be within [0, 100]");
       cfg.load = pct / 100.0;
+    } else if (flag == "-p" || flag == "--period") {
+      // Microseconds, matching the original tool's -p (the paper's
+      // oscillation experiments use periods down to tens of us).
+      const double us = strings::parse_double(take(inline_value, args, flag), flag);
+      if (!(us > 0.0)) throw ConfigError("--period must be > 0 microseconds");
+      cfg.period_s = us / 1e6;
+    } else if (flag == "--load-profile") {
+      cfg.load_profile = take(inline_value, args, flag);
+    } else if (flag == "--phase-offset") {
+      const double us = strings::parse_double(take(inline_value, args, flag), flag);
+      if (!(us >= 0.0)) throw ConfigError("--phase-offset must be >= 0 microseconds");
+      cfg.phase_offset_s = us / 1e6;
+    } else if (flag == "--campaign") {
+      cfg.campaign_file = take(inline_value, args, flag);
     } else if (flag == "-n" || flag == "--threads") {
       cfg.threads = static_cast<int>(strings::parse_u64(take(inline_value, args, flag), flag));
     } else if (flag == "--one-thread-per-core") {
@@ -176,6 +190,8 @@ Workload (Sec. III):
 Execution:
   -t, --timeout SEC            stop after SEC seconds
   -l, --load PCT               busy fraction per period (default 100)
+  -p, --period US              load/idle modulation period in microseconds
+                               (default 100000)
   -n, --threads N              worker threads (default: all hardware threads)
   --one-thread-per-core        skip SMT siblings
   --seed N                     operand-initialization seed
@@ -186,6 +202,24 @@ Execution:
                                divergence or invalid value fails (exit code 1)
   --dump-registers[=SEC]       flush SIMD registers to --dump-path periodically
   --dump-path FILE             register dump file (default registers.dump)
+
+Load schedule (dynamic load patterns, Sec. III):
+  --load-profile SPEC          modulate load over time; SPEC is
+                               KIND[:key=value,...] with loads in percent and
+                               times in seconds:
+                                 constant[:load=P]
+                                 square[:low=P,high=P,period=S,duty=F]
+                                 sine[:low=P,high=P,period=S]
+                                 ramp[:from=P,to=P,duration=S]
+                                 bursts[:base=P,peak=P,window=S,prob=P,seed=N]
+                                 trace[:file=CSV,loop=0|1,span=S]
+                               e.g. --load-profile=sine:low=10,high=90,period=2
+  --phase-offset US            shift worker i's schedule by i*US microseconds
+                               (rotating-load scenarios; default 0 = lockstep)
+  --campaign FILE              run the multi-phase campaign described in FILE
+                               ("phase name=X duration=S profile=SPEC
+                               [function=F]" per line) and print one summary
+                               row per phase and metric
 
 Measurement (Sec. III-D):
   --measurement                print metric CSV after the run

@@ -32,10 +32,16 @@ struct Config {
   // Execution.
   double timeout_s = 0.0;          ///< -t (0 = run until interrupted)
   double load = 1.0;               ///< -l / --load (fraction busy)
+  double period_s = 0.1;           ///< -p / --period (us on the CLI, paper Sec. III)
   std::optional<int> threads;      ///< --threads / -n
   bool one_thread_per_core = false;
   std::uint64_t seed = 0x5eed;
   bool v174_bug_mode = false;      ///< --allow-infinity-bug (Sec. III-D demo)
+
+  // Load schedule (sched/ subsystem: dynamic load patterns & campaigns).
+  std::optional<std::string> load_profile;  ///< --load-profile SPEC
+  double phase_offset_s = 0.0;              ///< --phase-offset (us on the CLI)
+  std::optional<std::string> campaign_file; ///< --campaign FILE
 
   // Synchronized SIMD self-test (error detection for overclocked systems).
   bool selftest = false;

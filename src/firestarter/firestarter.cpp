@@ -20,6 +20,8 @@
 #include "metrics/rapl.hpp"
 #include "payload/compiler.hpp"
 #include "payload/mix.hpp"
+#include "sched/campaign.hpp"
+#include "sched/load_profile.hpp"
 #include "sim/sim_system.hpp"
 #include "tuning/nsga2.hpp"
 #include "util/error.hpp"
@@ -91,6 +93,172 @@ payload::DataInitPolicy policy_of(const Config& cfg) {
                            : payload::DataInitPolicy::kSafe;
 }
 
+/// The run's load schedule: --load-profile spec, or the classic --load duty
+/// cycle as a constant profile.
+sched::ProfilePtr resolve_profile(const Config& cfg) {
+  if (cfg.load_profile) return sched::parse_profile(*cfg.load_profile, cfg.load, cfg.period_s);
+  return std::make_shared<sched::ConstantProfile>(cfg.load);
+}
+
+/// Worker CPU list for host runs: the topology's choice, trimmed to
+/// --threads when set.
+std::vector<int> resolve_worker_cpus(const Config& cfg) {
+  std::vector<int> cpus = arch::Topology::from_sysfs().worker_cpus(cfg.one_thread_per_core);
+  if (cfg.threads && *cfg.threads > 0 && static_cast<std::size_t>(*cfg.threads) < cpus.size())
+    cpus.resize(static_cast<std::size_t>(*cfg.threads));
+  return cpus;
+}
+
+/// The IPC estimate converts loop counts to instructions/cycle at this
+/// assumed clock when the real frequency is unknown (Sec. III-C).
+constexpr double kIpcEstimateAssumedMhz = 2000.0;
+
+/// Metric set for a host stress run: RAPL power and perf IPC when available,
+/// the loop-count IPC estimate always, plus the --metric-path /
+/// --metric-command externals — shared by plain runs and campaign phases so
+/// both report through the same sources.
+struct HostMetricSet {
+  metrics::RaplPowerMetric rapl;
+  metrics::PerfIpcMetric perf;
+  std::unique_ptr<metrics::IpcEstimateMetric> estimate;
+  std::unique_ptr<metrics::PluginMetric> plugin;
+  std::unique_ptr<metrics::CommandMetric> command;
+  std::vector<metrics::Metric*> active;       ///< metrics that responded as available
+  std::vector<metrics::TimeSeries> series;    ///< one per active metric, same order
+
+  void begin_all() {
+    for (metrics::Metric* metric : active) metric->begin();
+  }
+  void sample_all(double elapsed_s) {
+    for (std::size_t m = 0; m < active.size(); ++m)
+      series[m].add(elapsed_s, active[m]->sample());
+  }
+};
+
+std::unique_ptr<HostMetricSet> build_host_metrics(const Config& cfg,
+                                                  const kernel::ThreadManager& manager,
+                                                  double instructions_per_iteration) {
+  auto set = std::make_unique<HostMetricSet>();
+  set->estimate = std::make_unique<metrics::IpcEstimateMetric>(
+      [&manager] { return manager.total_iterations(); }, instructions_per_iteration,
+      kIpcEstimateAssumedMhz, static_cast<int>(manager.num_workers()));
+  if (cfg.metric_path) set->plugin = std::make_unique<metrics::PluginMetric>(*cfg.metric_path);
+  if (cfg.metric_command)
+    set->command = std::make_unique<metrics::CommandMetric>(*cfg.metric_command,
+                                                            "external-command", "value");
+  if (set->rapl.available()) set->active.push_back(&set->rapl);
+  if (set->perf.available()) set->active.push_back(&set->perf);
+  set->active.push_back(set->estimate.get());
+  if (set->plugin && set->plugin->available()) set->active.push_back(set->plugin.get());
+  if (set->command && set->command->available()) set->active.push_back(set->command.get());
+  for (metrics::Metric* metric : set->active)
+    set->series.emplace_back(metric->name(), metric->unit());
+  return set;
+}
+
+double clamp01(double value) { return std::min(std::max(value, 0.0), 1.0); }
+
+/// Trim deltas for a phase summary: honor the configured --start/--stop
+/// deltas but never let them eat a short phase (campaign phases are often a
+/// few seconds; the paper's 5 s/2 s defaults assume multi-minute runs).
+metrics::Summary summarize_phase(const metrics::TimeSeries& series, double duration_s,
+                                 double start_delta_s, double stop_delta_s,
+                                 const std::string& phase) {
+  metrics::Summary summary = series.summarize(std::min(start_delta_s, 0.25 * duration_s),
+                                              std::min(stop_delta_s, 0.25 * duration_s));
+  summary.phase = phase;
+  return summary;
+}
+
+/// Evaluate one simulated stress phase: steady-state operating point plus a
+/// load-modulated power/IPC/load trace at the LMG95's 20 Sa/s. The
+/// modulation folds the duty cycle into the trace the same way the wall
+/// meter would see it — idle floor plus load-weighted dynamic power.
+struct SimPhase {
+  sim::WorkloadPoint point;
+  metrics::TimeSeries power{"sim-wall-power", "W"};
+  metrics::TimeSeries ipc{"sim-perf-ipc", "instructions/cycle"};
+  metrics::TimeSeries load{"load-level", "fraction"};
+};
+
+SimPhase run_sim_phase(const sim::SimulatedSystem& system, const Config& cfg,
+                       const payload::PayloadStats& stats, const sched::LoadProfile& profile,
+                       double duration_s, std::uint64_t seed, double warm_start_s,
+                       bool gpu_stress) {
+  sim::RunConditions cond;
+  cond.freq_mhz = cfg.sim_freq_mhz;
+  cond.policy = policy_of(cfg);
+  cond.gpu_stress = gpu_stress;
+  if (cfg.threads) cond.threads = *cfg.threads;
+
+  SimPhase phase;
+  phase.point = system.simulator().run(stats, cond);
+  constexpr double kSampleHz = 20.0;
+  const std::vector<double> trace =
+      system.simulator().power_trace(phase.point, duration_s, kSampleHz, seed, warm_start_s);
+  const double idle_w = system.simulator().idle().power_w;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double t = static_cast<double>(i) / kSampleHz;
+    const double level = clamp01(profile.load_at(t));
+    phase.power.add(t, idle_w + level * (trace[i] - idle_w));
+    phase.ipc.add(t, phase.point.ipc_per_core * level);
+    phase.load.add(t, level);
+  }
+  return phase;
+}
+
+/// Execute one campaign phase on the real machine: compile the phase's
+/// workload, stress under its profile for `duration_s`, and append one
+/// summary row per available metric tagged with the phase name.
+void run_host_phase(const Config& cfg, const Target& target, const payload::FunctionDef& fn,
+                    const payload::InstructionGroups& groups, sched::ProfilePtr profile,
+                    double duration_s, const std::string& phase_name,
+                    std::vector<metrics::Summary>* summaries) {
+  if (!target.cpu.features.covers(fn.mix.required))
+    throw UnsupportedError("host CPU lacks features for " + fn.name + " (needs " +
+                           fn.mix.required.to_string() + ")");
+  auto payload = payload::compile_payload(fn.mix, groups, target.caches, compile_options(cfg));
+
+  kernel::RunOptions options;
+  options.cpus = resolve_worker_cpus(cfg);
+  options.policy = policy_of(cfg);
+  options.seed = cfg.seed;
+  options.load = cfg.load;
+  options.period_s = cfg.period_s;
+  options.profile = profile;
+  options.phase_offset_s = cfg.phase_offset_s;
+  kernel::ThreadManager manager(payload, options);
+
+  auto metrics_set = build_host_metrics(cfg, manager, payload.stats().instructions_per_iteration);
+  metrics::TimeSeries load_series("load-level", "fraction");
+
+  kernel::Watchdog watchdog;
+  std::atomic<bool> done{false};
+  watchdog.arm(std::chrono::duration<double>(duration_s), [&done] { done.store(true); });
+  manager.start();
+  metrics_set->begin_all();
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    metrics_set->sample_all(elapsed);
+    load_series.add(elapsed, clamp01(profile->load_at(elapsed)));
+  }
+  manager.stop();
+
+  std::vector<metrics::TimeSeries>& series = metrics_set->series;
+  series.push_back(std::move(load_series));
+  for (const metrics::TimeSeries& s : series) {
+    try {
+      summaries->push_back(
+          summarize_phase(s, duration_s, cfg.start_delta_s, cfg.stop_delta_s, phase_name));
+    } catch (const Error& e) {
+      log::warn() << e.what();
+    }
+  }
+}
+
 }  // namespace
 
 Firestarter::Firestarter(Config config, std::ostream& out) : cfg_(std::move(config)), out_(out) {}
@@ -110,6 +278,7 @@ int Firestarter::run() {
   if (cfg_.optimize) return run_optimization();
   if (cfg_.dump_asm) return run_dump_asm();
   if (cfg_.selftest) return run_selftest_mode();
+  if (cfg_.campaign_file) return run_campaign();
   if (cfg_.target != TargetSystem::kHost) return run_stress_simulated();
   return run_stress_host();
 }
@@ -156,39 +325,115 @@ int Firestarter::run_stress_simulated() {
   const auto groups = resolve_groups(cfg_, fn);
   const auto stats = payload::analyze_payload(fn.mix, groups, target.caches,
                                               compile_options(cfg_));
+  const sched::ProfilePtr profile = resolve_profile(cfg_);
 
   sim::SimulatedSystem system(target.sim_config);
-  sim::RunConditions cond;
-  cond.freq_mhz = cfg_.sim_freq_mhz;
-  cond.policy = policy_of(cfg_);
-  cond.gpu_stress = target.gpu_stress;
-  if (cfg_.threads) cond.threads = *cfg_.threads;
-  const sim::WorkloadPoint point = system.simulator().run(stats, cond);
-  system.set_point(point);
-
   const double duration = cfg_.timeout_s > 0 ? cfg_.timeout_s : 240.0;
+  SimPhase phase = run_sim_phase(system, cfg_, stats, *profile, duration, cfg_.seed,
+                                 /*warm_start_s=*/0.0, target.gpu_stress);
+  system.set_point(phase.point);
+
   out_ << "target: " << target.sim_config.name << "\n"
        << "function: " << fn.name << "  M=" << groups.to_string()
        << "  u=" << stats.unroll << " (" << stats.loop_bytes << " B loop)\n";
+  if (!profile->constant()) out_ << "load profile: " << profile->describe() << "\n";
+  const sim::WorkloadPoint& point = phase.point;
   out_ << strings::format(
       "steady state: %.1f W, %.2f IPC/core, %.0f MHz%s, %.1f GFLOP/s, fetch from %s\n",
       point.power_w, point.ipc_per_core, point.achieved_mhz,
       point.throttled ? " (throttled)" : "", point.gflops, sim::to_string(point.fetch_source));
 
   if (cfg_.measurement) {
-    // Synthesize the measurement window in virtual time and report the same
-    // CSV a real run prints.
-    const auto trace =
-        system.simulator().power_trace(point, duration, 20.0, cfg_.seed, /*warm_start_s=*/0.0);
-    metrics::TimeSeries power_series("sim-wall-power", "W");
-    for (std::size_t i = 0; i < trace.size(); ++i)
-      power_series.add(static_cast<double>(i) / 20.0, trace[i]);
-    metrics::TimeSeries ipc_series("sim-perf-ipc", "instructions/cycle");
-    ipc_series.add(0.0, point.ipc_per_core);
-    ipc_series.add(duration, point.ipc_per_core);
-    metrics::print_csv(out_, {power_series.summarize(cfg_.start_delta_s, cfg_.stop_delta_s),
-                              ipc_series.summarize(0.0, 0.0)});
+    // Report the same CSV a real run prints, synthesized in virtual time.
+    std::vector<metrics::Summary> summaries = {
+        phase.power.summarize(cfg_.start_delta_s, cfg_.stop_delta_s),
+        phase.ipc.summarize(0.0, 0.0)};
+    if (!profile->constant()) summaries.push_back(phase.load.summarize(0.0, 0.0));
+    metrics::print_csv(out_, summaries);
   }
+  return 0;
+}
+
+int Firestarter::run_campaign() {
+  const sched::Campaign campaign = sched::Campaign::load(*cfg_.campaign_file);
+  const Target target = resolve_target(cfg_);
+  if (cfg_.load_profile)
+    log::warn() << "--load-profile is ignored under --campaign (phases define their "
+                   "own profiles)";
+
+  // Resolve every phase up front — functions (typos, host feature coverage)
+  // and profiles (including trace-file reads) — so a campaign fails before
+  // phase 1 starts stressing, never hours in. The cached profiles also mean
+  // trace CSVs are read once, not re-opened per phase.
+  struct ResolvedPhase {
+    const payload::FunctionDef* fn;
+    sched::ProfilePtr profile;
+  };
+  std::vector<ResolvedPhase> resolved;
+  resolved.reserve(campaign.size());
+  for (const sched::CampaignPhase& spec : campaign.phases()) {
+    const payload::FunctionDef& fn = spec.function ? payload::find_function(*spec.function)
+                                                   : resolve_function(cfg_, target);
+    if (!target.simulated && !target.cpu.features.covers(fn.mix.required))
+      throw UnsupportedError("campaign phase '" + spec.name +
+                             "': host CPU lacks features for " + fn.name + " (needs " +
+                             fn.mix.required.to_string() + ")");
+    resolved.push_back(
+        {&fn, sched::parse_profile(spec.profile_spec, cfg_.load, cfg_.period_s)});
+  }
+
+  out_ << "campaign: " << campaign.size() << " phases, "
+       << strings::format("%.0f s total", campaign.total_duration_s()) << " on "
+       << (target.simulated ? target.sim_config.name : "host") << "\n";
+
+  // The GPU stand-in runs for the whole campaign (constant backdrop; the
+  // load schedule does not modulate it yet — see ROADMAP follow-ups).
+  std::unique_ptr<gpu::DgemmStressor> gpu_stress;
+  if (!target.simulated && cfg_.gpus > 0) {
+    gpu::GpuStressOptions gpu_options;
+    gpu_options.devices = cfg_.gpus;
+    gpu_options.matrix_n = cfg_.gpu_matrix_n;
+    gpu_options.seed = cfg_.seed;
+    gpu_stress = std::make_unique<gpu::DgemmStressor>(gpu_options);
+    gpu_stress->start();
+  }
+
+  sim::SimulatedSystem system(target.sim_config);
+  std::vector<metrics::Summary> summaries;
+  double warm_start_s = 0.0;  // virtual preheat accumulated by earlier phases
+  std::size_t phase_index = 0;
+  for (const sched::CampaignPhase& spec : campaign.phases()) {
+    const payload::FunctionDef& fn = *resolved[phase_index].fn;
+    const auto groups = resolve_groups(cfg_, fn);
+    const sched::ProfilePtr& profile = resolved[phase_index].profile;
+    out_ << strings::format("phase %zu '%s': %s for %.0f s (%s)\n", phase_index + 1,
+                            spec.name.c_str(), fn.name.c_str(), spec.duration_s,
+                            profile->describe().c_str());
+
+    if (target.simulated) {
+      const auto stats =
+          payload::analyze_payload(fn.mix, groups, target.caches, compile_options(cfg_));
+      const SimPhase phase =
+          run_sim_phase(system, cfg_, stats, *profile, spec.duration_s,
+                        cfg_.seed + phase_index, warm_start_s, target.gpu_stress);
+      for (const metrics::TimeSeries* series : {&phase.power, &phase.ipc, &phase.load})
+        summaries.push_back(summarize_phase(*series, spec.duration_s, cfg_.start_delta_s,
+                                            cfg_.stop_delta_s, spec.name));
+    } else {
+      run_host_phase(cfg_, target, fn, groups, profile, spec.duration_s, spec.name,
+                     &summaries);
+    }
+    warm_start_s += spec.duration_s;
+    ++phase_index;
+  }
+
+  if (gpu_stress) {
+    gpu_stress->stop();
+    out_ << strings::format("gpu stand-in: %llu DGEMMs (%.1f GFLOP total)\n",
+                            static_cast<unsigned long long>(gpu_stress->total_gemms()),
+                            gpu_stress->total_flops() / 1e9);
+  }
+  metrics::print_csv(out_, summaries);
   return 0;
 }
 
@@ -218,11 +463,7 @@ int Firestarter::run_selftest_mode() {
   options.dump_registers = true;
   auto payload = payload::compile_payload(fn.mix, resolve_groups(cfg_, fn), target.caches,
                                           options);
-  const arch::Topology topology = arch::Topology::from_sysfs();
-  std::vector<int> cpus = topology.worker_cpus(cfg_.one_thread_per_core);
-  if (cfg_.threads && *cfg_.threads > 0 &&
-      static_cast<std::size_t>(*cfg_.threads) < cpus.size())
-    cpus.resize(static_cast<std::size_t>(*cfg_.threads));
+  const std::vector<int> cpus = resolve_worker_cpus(cfg_);
   out_ << "SIMD self-test: " << fn.name << " on " << cpus.size() << " workers, "
        << cfg_.selftest_iterations << " iterations each\n";
   const kernel::SelftestResult result =
@@ -246,16 +487,17 @@ int Firestarter::run_stress_host() {
               << payload.stats().loop_bytes << " B, "
               << payload.stats().instructions_per_iteration << " instructions/iteration";
 
-  const arch::Topology topology = arch::Topology::from_sysfs();
   kernel::RunOptions run_options;
-  run_options.cpus = topology.worker_cpus(cfg_.one_thread_per_core);
-  if (cfg_.threads && *cfg_.threads > 0 &&
-      static_cast<std::size_t>(*cfg_.threads) < run_options.cpus.size())
-    run_options.cpus.resize(static_cast<std::size_t>(*cfg_.threads));
+  run_options.cpus = resolve_worker_cpus(cfg_);
   run_options.policy = policy_of(cfg_);
   run_options.seed = cfg_.seed;
   run_options.load = cfg_.load;
+  run_options.period_s = cfg_.period_s;
+  run_options.profile = resolve_profile(cfg_);
+  run_options.phase_offset_s = cfg_.phase_offset_s;
   kernel::ThreadManager manager(payload, run_options);
+  if (!run_options.profile->constant())
+    log::info() << "load profile: " << run_options.profile->describe();
 
   // Optional GPU stand-in stress.
   std::unique_ptr<gpu::DgemmStressor> gpu_stress;
@@ -268,27 +510,10 @@ int Firestarter::run_stress_host() {
   }
 
   // Metrics for --measurement.
-  metrics::RaplPowerMetric rapl;
-  metrics::PerfIpcMetric perf;
-  metrics::IpcEstimateMetric estimate([&manager] { return manager.total_iterations(); },
-                                      payload.stats().instructions_per_iteration,
-                                      /*assumed_mhz=*/2000.0,
-                                      static_cast<int>(run_options.cpus.size()));
-  std::unique_ptr<metrics::PluginMetric> plugin;
-  if (cfg_.metric_path) plugin = std::make_unique<metrics::PluginMetric>(*cfg_.metric_path);
-  std::unique_ptr<metrics::CommandMetric> command;
-  if (cfg_.metric_command)
-    command = std::make_unique<metrics::CommandMetric>(*cfg_.metric_command, "external-command",
-                                                       "value");
-
-  std::vector<metrics::Metric*> active;
-  if (rapl.available()) active.push_back(&rapl);
-  if (perf.available()) active.push_back(&perf);
-  active.push_back(&estimate);
-  if (plugin && plugin->available()) active.push_back(plugin.get());
-  if (command && command->available()) active.push_back(command.get());
-  std::vector<metrics::TimeSeries> series;
-  for (metrics::Metric* metric : active) series.emplace_back(metric->name(), metric->unit());
+  auto metrics_set =
+      build_host_metrics(cfg_, manager, payload.stats().instructions_per_iteration);
+  metrics::TimeSeries load_series("load-level", "fraction");
+  const bool record_load = cfg_.measurement && !run_options.profile->constant();
 
   kernel::Watchdog watchdog;
   std::atomic<bool> done{false};
@@ -300,7 +525,7 @@ int Firestarter::run_stress_host() {
                                      : std::string(" until interrupted"));
   manager.start();
   if (gpu_stress) gpu_stress->start();
-  for (metrics::Metric* metric : active) metric->begin();
+  metrics_set->begin_all();
 
   const auto t0 = std::chrono::steady_clock::now();
   double last_dump_s = 0.0;
@@ -310,9 +535,9 @@ int Firestarter::run_stress_host() {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    if (cfg_.measurement)
-      for (std::size_t m = 0; m < active.size(); ++m)
-        series[m].add(elapsed, active[m]->sample());
+    if (cfg_.measurement) metrics_set->sample_all(elapsed);
+    if (record_load)
+      load_series.add(elapsed, manager.profile().load_at(elapsed));
     if (cfg_.dump_registers && elapsed - last_dump_s >= cfg_.dump_interval_s) {
       kernel::write_dump(dump_file, kernel::capture_registers(manager));
       dump_file.flush();
@@ -335,6 +560,8 @@ int Firestarter::run_stress_host() {
                             static_cast<unsigned long long>(gpu_stress->total_gemms()),
                             gpu_stress->total_flops() / 1e9);
   if (cfg_.measurement) {
+    std::vector<metrics::TimeSeries>& series = metrics_set->series;
+    if (record_load) series.push_back(std::move(load_series));
     std::vector<metrics::Summary> summaries;
     for (const auto& s : series) {
       try {
@@ -368,11 +595,7 @@ int Firestarter::run_optimization() {
     sim_backend->preheat();
     backend = std::move(sim_backend);
   } else {
-    const arch::Topology topology = arch::Topology::from_sysfs();
-    std::vector<int> cpus = topology.worker_cpus(cfg_.one_thread_per_core);
-    if (cfg_.threads && *cfg_.threads > 0 &&
-        static_cast<std::size_t>(*cfg_.threads) < cpus.size())
-      cpus.resize(static_cast<std::size_t>(*cfg_.threads));
+    const std::vector<int> cpus = resolve_worker_cpus(cfg_);
 
     // Objective set: power if RAPL (or a plugin/command) is available, IPC
     // via perf or the estimate — mirroring --optimization-metric defaults.

@@ -24,6 +24,7 @@ class Firestarter {
   int run_selftest_mode();
   int run_dump_asm();
   int run_stress_simulated();
+  int run_campaign();
   int run_optimization();
 
   Config cfg_;

@@ -21,18 +21,18 @@ void pin_to_cpu(int cpu) {
     log::warn() << "failed to pin worker to CPU " << cpu << " (continuing unpinned)";
 }
 
-double now_s() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 }  // namespace
 
 ThreadManager::ThreadManager(const payload::CompiledPayload& payload, RunOptions options)
     : payload_(payload), options_(std::move(options)) {
   if (options_.cpus.empty()) throw Error("ThreadManager: no CPUs to run on");
-  if (options_.load < 0.0 || options_.load > 1.0)
+  if (!(options_.load >= 0.0 && options_.load <= 1.0))
     throw Error("ThreadManager: load must be within [0, 1]");
+  if (!(options_.period_s > 0.0)) throw Error("ThreadManager: period must be > 0");
+  if (!(options_.phase_offset_s >= 0.0))
+    throw Error("ThreadManager: phase offset must be >= 0");
+  profile_ = options_.profile ? options_.profile
+                              : std::make_shared<sched::ConstantProfile>(options_.load);
   buffers_.reserve(options_.cpus.size());
   workers_.reserve(options_.cpus.size());
   for (std::size_t i = 0; i < options_.cpus.size(); ++i) {
@@ -50,7 +50,13 @@ ThreadManager::ThreadManager(const payload::CompiledPayload& payload, RunOptions
 
 ThreadManager::~ThreadManager() { stop(); }
 
-void ThreadManager::start() { started_.store(true, std::memory_order_release); }
+void ThreadManager::start() {
+  // Anchor the shared epoch immediately before release: the release-store /
+  // acquire-load pair on started_ publishes the fresh epoch to every worker,
+  // so all modulation windows are counted from the same instant.
+  clock_.restart();
+  started_.store(true, std::memory_order_release);
+}
 
 void ThreadManager::stop() {
   if (stopped_.exchange(true)) return;
@@ -78,38 +84,54 @@ void ThreadManager::worker_main(std::size_t index, int cpu) {
 
   const payload::KernelFn kernel = payload_.fn();
   Worker& self = *workers_[index];
+  const sched::LoadProfile& profile = *profile_;
+  const double period = options_.period_s;
+  // Rotating-load shift: worker i samples the profile `i * offset` into the
+  // future, staggering the pattern across workers.
+  const double offset = options_.phase_offset_s * static_cast<double>(index);
+  const bool full_load = profile.constant() && profile.load_at(0.0) >= 1.0;
 
   // Chunk size adapts so one kernel call lasts roughly 5 ms: long enough to
   // amortize the call, short enough for responsive stop and load control.
   std::uint64_t chunk = 64;
   constexpr double kTargetChunkSeconds = 0.005;
 
-  while (!stop_flag_.load(std::memory_order_acquire)) {
-    const double busy_until =
-        options_.load < 1.0 ? now_s() + options_.load * options_.period_s : 0.0;
-    // Busy phase.
-    do {
-      const double t0 = now_s();
-      const std::uint64_t done = kernel(&buffer.args(), chunk);
-      self.iterations.fetch_add(done, std::memory_order_relaxed);
-      const double elapsed = now_s() - t0;
-      if (elapsed > 0.0) {
-        const double scale = kTargetChunkSeconds / elapsed;
-        if (scale > 2.0 && chunk < (1ull << 24)) chunk *= 2;
-        else if (scale < 0.5 && chunk > 16) chunk /= 2;
-      }
-      if (stop_flag_.load(std::memory_order_acquire)) return;
-    } while (options_.load >= 1.0 || now_s() < busy_until);
-    // Idle phase of the duty cycle (--load < 1).
-    if (options_.load < 1.0) {
-      const double idle_s = (1.0 - options_.load) * options_.period_s;
-      const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                                std::chrono::duration<double>(idle_s));
-      while (!stop_flag_.load(std::memory_order_acquire) &&
-             std::chrono::steady_clock::now() < deadline)
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto run_chunk = [&] {
+    const double t0 = clock_.elapsed();
+    const std::uint64_t done = kernel(&buffer.args(), chunk);
+    self.iterations.fetch_add(done, std::memory_order_relaxed);
+    const double elapsed = clock_.elapsed() - t0;
+    if (elapsed > 0.0) {
+      const double scale = kTargetChunkSeconds / elapsed;
+      if (scale > 2.0 && chunk < (1ull << 24)) chunk *= 2;
+      else if (scale < 0.5 && chunk > 16) chunk /= 2;
     }
+  };
+
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    if (full_load) {  // hot path: no windowing arithmetic at 100 % load
+      run_chunk();
+      continue;
+    }
+    // All workers carve time into the same windows relative to the shared
+    // epoch: window k spans [k*period, (k+1)*period) and is busy for its
+    // first load_at(window start) fraction. Deriving both boundaries from
+    // the epoch (not from per-worker clock reads) keeps the workers'
+    // low/high phases aligned no matter how long the run lasts.
+    const double t = clock_.elapsed() + offset;
+    const double window = sched::PhaseClock::window_start(t, period);
+    const double load = std::min(std::max(profile.load_at(window), 0.0), 1.0);
+    const double busy_until = window + load * period;
+    const double idle_until = window + period;
+    if (load > 0.0) {
+      do {
+        run_chunk();
+        if (stop_flag_.load(std::memory_order_acquire)) return;
+      } while (clock_.elapsed() + offset < busy_until);
+    }
+    while (!stop_flag_.load(std::memory_order_acquire) &&
+           clock_.elapsed() + offset < idle_until)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
 

@@ -9,6 +9,8 @@
 #include "arch/cache.hpp"
 #include "payload/compiler.hpp"
 #include "payload/data.hpp"
+#include "sched/load_profile.hpp"
+#include "sched/phase_clock.hpp"
 
 namespace fs2::kernel {
 
@@ -18,7 +20,17 @@ struct RunOptions {
   payload::DataInitPolicy policy = payload::DataInitPolicy::kSafe;
   std::uint64_t seed = 0x5eed;
   double load = 1.0;              ///< busy fraction per period (--load)
-  double period_s = 0.1;          ///< load/idle modulation period
+  double period_s = 0.1;          ///< load/idle modulation period (-p, seconds)
+  /// Dynamic load schedule. When set it overrides `load`: each modulation
+  /// window's duty fraction is profile->load_at(window start). When null the
+  /// manager behaves like the classic --load square duty cycle (a
+  /// ConstantProfile of `load`).
+  sched::ProfilePtr profile;
+  /// Per-worker time shift: worker i evaluates the profile at t + i * offset.
+  /// Non-zero offsets rotate the load pattern across workers (e.g. a square
+  /// wave with offset = period/workers keeps exactly one worker busy at a
+  /// time); zero keeps all workers in lockstep.
+  double phase_offset_s = 0.0;
 };
 
 /// Spawns one worker per target CPU, each running the compiled stress
@@ -50,6 +62,13 @@ class ThreadManager {
   /// Per-worker buffer (register dump area, operand regions).
   const payload::WorkBuffer& buffer(std::size_t worker) const { return *buffers_.at(worker); }
 
+  /// The load schedule the workers follow (never null; defaults to a
+  /// constant profile built from RunOptions::load).
+  const sched::LoadProfile& profile() const { return *profile_; }
+
+  /// The shared epoch all workers anchor their modulation windows to.
+  const sched::PhaseClock& phase_clock() const { return clock_; }
+
   /// The payload these workers execute (register-dump readers need its
   /// vector width).
   const payload::CompiledPayload& payload() const { return payload_; }
@@ -64,6 +83,8 @@ class ThreadManager {
 
   const payload::CompiledPayload& payload_;
   RunOptions options_;
+  sched::ProfilePtr profile_;  ///< options_.profile or ConstantProfile(load)
+  sched::PhaseClock clock_;    ///< re-anchored by start()
   std::vector<std::unique_ptr<payload::WorkBuffer>> buffers_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> started_{false};

@@ -36,13 +36,14 @@ Summary TimeSeries::summarize(double start_delta_s, double stop_delta_s) const {
 
 void print_csv(std::ostream& out, const std::vector<Summary>& summaries) {
   CsvWriter csv(out);
-  csv.row(std::vector<std::string>{"metric", "unit", "samples", "mean", "stddev", "min", "max"});
+  csv.row(std::vector<std::string>{"metric", "unit", "samples", "mean", "stddev", "min", "max",
+                                   "phase"});
   for (const Summary& s : summaries)
     csv.row(std::vector<std::string>{s.name, s.unit, std::to_string(s.samples),
                                      strings::format("%.4f", s.mean),
                                      strings::format("%.4f", s.stddev),
                                      strings::format("%.4f", s.min),
-                                     strings::format("%.4f", s.max)});
+                                     strings::format("%.4f", s.max), s.phase});
 }
 
 }  // namespace fs2::metrics

@@ -17,6 +17,10 @@ struct Summary {
   double min = 0.0;
   double max = 0.0;
   std::size_t samples = 0;
+  /// Campaign phase this window belongs to (empty outside campaign runs).
+  /// Rendered as the trailing "phase" CSV column so every phase of a
+  /// multi-phase run gets its own attributed summary rows.
+  std::string phase;
 };
 
 /// A recorded time series for one metric, with the paper's start/stop-delta

@@ -1,0 +1,108 @@
+#include "sched/campaign.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sched/load_profile.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::sched {
+
+namespace {
+
+/// Split on any run of spaces/tabs, dropping empty tokens (profile specs
+/// contain commas, so whitespace is the field separator here).
+std::vector<std::string> split_tokens(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < line.size()) {
+    while (start < line.size() && (line[start] == ' ' || line[start] == '\t')) ++start;
+    std::size_t end = start;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    if (end > start) tokens.emplace_back(line.substr(start, end - start));
+    start = end;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Campaign Campaign::parse(std::istream& in, const std::string& origin) {
+  Campaign campaign;
+  std::string line;
+  int line_no = 0;
+  auto fail = [&origin, &line_no](const std::string& message) -> ConfigError {
+    return ConfigError(strings::format("campaign %s line %d: %s", origin.c_str(), line_no,
+                                       message.c_str()));
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = strings::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+
+    const std::vector<std::string> tokens = split_tokens(trimmed);
+    if (tokens.front() != "phase")
+      throw fail("expected 'phase key=value ...', got '" + tokens.front() + "'");
+
+    CampaignPhase phase;
+    phase.name = strings::format("phase%zu", campaign.phases_.size() + 1);
+    bool have_duration = false;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos)
+        throw fail("token '" + tokens[i] + "' is not key=value");
+      const std::string key = strings::to_lower(tokens[i].substr(0, eq));
+      const std::string value = tokens[i].substr(eq + 1);
+      if (value.empty()) throw fail("key '" + key + "' has an empty value");
+      if (key == "name") {
+        phase.name = value;
+      } else if (key == "duration") {
+        try {
+          phase.duration_s = strings::parse_double(value, "duration");
+        } catch (const Error& e) {
+          throw fail(e.what());
+        }
+        if (phase.duration_s <= 0.0) throw fail("duration must be > 0 seconds");
+        have_duration = true;
+      } else if (key == "profile") {
+        phase.profile_spec = value;
+      } else if (key == "function") {
+        phase.function = value;
+      } else {
+        throw fail("unknown key '" + key + "' (name, duration, profile, function)");
+      }
+    }
+    if (!have_duration) throw fail("phase '" + phase.name + "' is missing duration=SEC");
+
+    // Validate the profile spec now (defaults stand in for the CLI values);
+    // a campaign should fail before the first phase starts stressing, not in
+    // the middle of a multi-hour run.
+    try {
+      parse_profile(phase.profile_spec, /*default_load=*/1.0, /*default_period_s=*/0.1);
+    } catch (const Error& e) {
+      throw fail("phase '" + phase.name + "': " + e.what());
+    }
+
+    campaign.phases_.push_back(std::move(phase));
+  }
+
+  if (campaign.phases_.empty())
+    throw ConfigError("campaign " + origin + ": no phases defined");
+  return campaign;
+}
+
+Campaign Campaign::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("campaign: cannot open '" + path + "'");
+  return parse(in, "'" + path + "'");
+}
+
+double Campaign::total_duration_s() const {
+  double total = 0.0;
+  for (const CampaignPhase& phase : phases_) total += phase.duration_s;
+  return total;
+}
+
+}  // namespace fs2::sched

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fs2::sched {
+
+/// One phase of a stress campaign: run `function` (or the target's default)
+/// under `profile_spec` for `duration_s` seconds. Phases execute in file
+/// order within a single process, so back-to-back transitions happen without
+/// the cooldown a process restart would cause — the multi-phase equivalent of
+/// the paper's scripted measurement campaigns.
+struct CampaignPhase {
+  std::string name;                      ///< label for per-phase metric rows
+  double duration_s = 0.0;
+  std::string profile_spec = "constant"; ///< --load-profile grammar
+  std::optional<std::string> function;   ///< stress function override (-i name)
+};
+
+/// An ordered list of campaign phases parsed from a campaign file:
+///
+///   # comments and blank lines are ignored
+///   phase name=warmup duration=10 profile=constant:30
+///   phase name=swing  duration=30 profile=sine:low=10,high=90,period=5
+///   phase name=peak   duration=20 profile=constant:100 function=FUNC_FMA_256_ZEN2
+///
+/// Each line is whitespace-separated `key=value` tokens after the `phase`
+/// keyword; `duration` is required and must be > 0, `name` defaults to
+/// "phaseN", `profile` defaults to constant full load. Profile specs are
+/// validated at parse time (including trace file reads) so a malformed
+/// campaign fails before any stress starts.
+class Campaign {
+ public:
+  /// Parse campaign text. `origin` names the source in error messages.
+  static Campaign parse(std::istream& in, const std::string& origin);
+
+  /// Read and parse a campaign file. Throws fs2::ConfigError when the file
+  /// cannot be opened or is malformed.
+  static Campaign load(const std::string& path);
+
+  const std::vector<CampaignPhase>& phases() const { return phases_; }
+  std::size_t size() const { return phases_.size(); }
+  double total_duration_s() const;
+
+ private:
+  std::vector<CampaignPhase> phases_;
+};
+
+}  // namespace fs2::sched

@@ -1,0 +1,354 @@
+#include "sched/load_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::sched {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double clamp01(double value) { return std::clamp(value, 0.0, 1.0); }
+
+/// Percentages on the CLI, fractions internally (same convention as --load).
+/// The inverted comparison also rejects NaN.
+double percent_to_fraction(double pct, const std::string& context) {
+  if (!(pct >= 0.0 && pct <= 100.0))
+    throw ConfigError(context + " must be within [0, 100] (a load percentage)");
+  return pct / 100.0;
+}
+
+std::string percent(double fraction) {
+  return strings::format("%.0f %%", fraction * 100.0);
+}
+
+}  // namespace
+
+// ---- constant ---------------------------------------------------------------
+
+ConstantProfile::ConstantProfile(double load) : load_(clamp01(load)) {}
+
+std::string ConstantProfile::describe() const {
+  return "constant: " + percent(load_);
+}
+
+// ---- square -----------------------------------------------------------------
+
+SquareProfile::SquareProfile(double low, double high, double period_s, double duty)
+    : low_(clamp01(low)), high_(clamp01(high)), period_s_(period_s), duty_(duty) {
+  if (!(period_s_ > 0.0)) throw ConfigError("square profile: period must be > 0");
+  if (!(duty_ > 0.0 && duty_ < 1.0))
+    throw ConfigError("square profile: duty must be within (0, 1)");
+}
+
+double SquareProfile::load_at(double t_s) const {
+  const double phase = t_s - std::floor(t_s / period_s_) * period_s_;
+  return phase < duty_ * period_s_ ? high_ : low_;
+}
+
+std::string SquareProfile::describe() const {
+  return strings::format("square: %s/%s, period %g s, duty %.2f", percent(high_).c_str(),
+                         percent(low_).c_str(), period_s_, duty_);
+}
+
+// ---- sine -------------------------------------------------------------------
+
+SineProfile::SineProfile(double low, double high, double period_s)
+    : low_(clamp01(low)), high_(clamp01(high)), period_s_(period_s) {
+  if (!(period_s_ > 0.0)) throw ConfigError("sine profile: period must be > 0");
+  if (low_ > high_) std::swap(low_, high_);
+}
+
+double SineProfile::load_at(double t_s) const {
+  // 1-cos form: starts at `low` (t=0), peaks at period/2.
+  const double swing = 0.5 * (1.0 - std::cos(2.0 * kPi * t_s / period_s_));
+  return low_ + (high_ - low_) * swing;
+}
+
+std::string SineProfile::describe() const {
+  return strings::format("sine: %s .. %s over %g s", percent(low_).c_str(),
+                         percent(high_).c_str(), period_s_);
+}
+
+// ---- ramp -------------------------------------------------------------------
+
+RampProfile::RampProfile(double from, double to, double duration_s)
+    : from_(clamp01(from)), to_(clamp01(to)), duration_s_(duration_s) {
+  if (!(duration_s_ > 0.0)) throw ConfigError("ramp profile: duration must be > 0");
+}
+
+double RampProfile::load_at(double t_s) const {
+  if (t_s >= duration_s_) return to_;
+  return from_ + (to_ - from_) * (t_s / duration_s_);
+}
+
+std::string RampProfile::describe() const {
+  return strings::format("ramp: %s -> %s over %g s, then hold", percent(from_).c_str(),
+                         percent(to_).c_str(), duration_s_);
+}
+
+// ---- bursts -----------------------------------------------------------------
+
+BurstProfile::BurstProfile(double base, double peak, double window_s, double prob,
+                           std::uint64_t seed)
+    : base_(clamp01(base)), peak_(clamp01(peak)), window_s_(window_s),
+      prob_(prob), seed_(seed) {
+  if (!(window_s_ > 0.0)) throw ConfigError("bursts profile: window must be > 0");
+  if (!(prob_ >= 0.0 && prob_ <= 1.0))
+    throw ConfigError("bursts profile: prob must be a fraction within [0, 1]");
+}
+
+double BurstProfile::load_at(double t_s) const {
+  const auto window = static_cast<std::uint64_t>(std::floor(t_s / window_s_));
+  // Stateless per-window coin flip: hash (seed, window) so all workers agree
+  // on the pattern without sharing mutable PRNG state.
+  std::uint64_t state = seed_ ^ (window * 0x9e3779b97f4a7c15ULL);
+  const double draw =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return draw < prob_ ? peak_ : base_;
+}
+
+std::string BurstProfile::describe() const {
+  return strings::format("bursts: %s base, %s peaks, %g s windows, p=%.2f",
+                         percent(base_).c_str(), percent(peak_).c_str(), window_s_, prob_);
+}
+
+// ---- trace ------------------------------------------------------------------
+
+TraceProfile::TraceProfile(std::vector<Breakpoint> points, bool loop, double span_s)
+    : points_(std::move(points)), loop_(loop), span_s_(span_s) {
+  if (points_.empty()) throw ConfigError("trace profile: no breakpoints");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!(points_[i].time_s >= 0.0))
+      throw ConfigError("trace profile: breakpoint times must be non-negative numbers");
+    if (i > 0 && !(points_[i].time_s > points_[i - 1].time_s))
+      throw ConfigError("trace profile: breakpoint times must be strictly increasing");
+    points_[i].load = clamp01(points_[i].load);
+  }
+  if (!(span_s_ > 0.0)) {
+    // Natural span: the last segment lasts as long as the one before it.
+    const double last = points_.back().time_s;
+    const double prev_step =
+        points_.size() > 1 ? last - points_[points_.size() - 2].time_s : last;
+    span_s_ = last + (prev_step > 0.0 ? prev_step : 1.0);
+  } else if (!(span_s_ > points_.back().time_s)) {
+    // Strictly past the last breakpoint: with loop, t wraps into [0, span),
+    // so span == last time would make the final level unreachable.
+    throw ConfigError("trace profile: span must extend past the last breakpoint");
+  }
+}
+
+TraceProfile TraceProfile::from_csv(const std::string& path, bool loop, double span_s) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("trace profile: cannot open '" + path + "'");
+  std::vector<Breakpoint> points;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = strings::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = strings::split(trimmed, ',');
+    if (fields.size() != 2)
+      throw ConfigError(strings::format("trace '%s' line %d: expected 'time_s,load_pct'",
+                                        path.c_str(), line_no));
+    // Tolerate one header row ("time_s,load_pct" or similar).
+    if (points.empty() && line_no <= 2 &&
+        fields[0].find_first_not_of("0123456789.+-eE \t") != std::string::npos)
+      continue;
+    Breakpoint bp;
+    bp.time_s = strings::parse_double(strings::trim(fields[0]),
+                                      strings::format("trace line %d time", line_no));
+    bp.load = percent_to_fraction(
+        strings::parse_double(strings::trim(fields[1]),
+                              strings::format("trace line %d load", line_no)),
+        strings::format("trace '%s' line %d: load", path.c_str(), line_no));
+    points.push_back(bp);
+  }
+  if (points.empty())
+    throw ConfigError("trace profile: '" + path + "' contains no breakpoints");
+  return TraceProfile(std::move(points), loop, span_s);
+}
+
+double TraceProfile::load_at(double t_s) const {
+  double t = t_s;
+  if (loop_ && t >= span_s_) t -= std::floor(t / span_s_) * span_s_;
+  // Last breakpoint at or before t; before the first, the first level applies.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](double value, const Breakpoint& bp) {
+                               return value < bp.time_s;
+                             });
+  if (it == points_.begin()) return points_.front().load;
+  return std::prev(it)->load;
+}
+
+std::string TraceProfile::describe() const {
+  return strings::format("trace: %zu breakpoints over %g s%s", points_.size(), span_s_,
+                         loop_ ? ", looping" : ", hold last");
+}
+
+// ---- spec parser ------------------------------------------------------------
+
+namespace {
+
+/// "low=10,high=90,period=2" -> ordered key/value list; a bare first token
+/// is mapped to `primary`.
+std::map<std::string, std::string> parse_params(const std::string& text,
+                                                const std::string& kind,
+                                                const std::string& primary) {
+  std::map<std::string, std::string> params;
+  if (text.empty()) return params;
+  bool first = true;
+  for (const std::string& token : strings::split(text, ',')) {
+    const std::string_view trimmed = strings::trim(token);
+    if (trimmed.empty())
+      throw ConfigError("--load-profile " + kind + ": empty parameter");
+    const auto eq = trimmed.find('=');
+    std::string key, value;
+    if (eq == std::string_view::npos) {
+      if (!first)
+        throw ConfigError("--load-profile " + kind + ": parameter '" +
+                          std::string(trimmed) + "' is missing '='");
+      key = primary;
+      value = std::string(trimmed);
+    } else {
+      key = strings::to_lower(strings::trim(trimmed.substr(0, eq)));
+      value = std::string(strings::trim(trimmed.substr(eq + 1)));
+    }
+    if (!params.emplace(key, value).second)
+      throw ConfigError("--load-profile " + kind + ": duplicate parameter '" + key + "'");
+    first = false;
+  }
+  return params;
+}
+
+class ParamReader {
+ public:
+  ParamReader(std::map<std::string, std::string> params, std::string kind)
+      : params_(std::move(params)), kind_(std::move(kind)) {}
+
+  double number(const std::string& key, double fallback) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    const double value = strings::parse_double(it->second, kind_ + " " + key);
+    params_.erase(it);
+    return value;
+  }
+
+  double load(const std::string& key, double fallback_fraction) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) return fallback_fraction;
+    const double pct = strings::parse_double(it->second, kind_ + " " + key);
+    params_.erase(it);
+    return percent_to_fraction(pct, "--load-profile " + kind_ + ": " + key);
+  }
+
+  std::uint64_t integer(const std::string& key, std::uint64_t fallback) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    const std::uint64_t value = strings::parse_u64(it->second, kind_ + " " + key);
+    params_.erase(it);
+    return value;
+  }
+
+  std::optional<std::string> text(const std::string& key) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) return std::nullopt;
+    std::string value = it->second;
+    params_.erase(it);
+    return value;
+  }
+
+  /// Every recognized key has been consumed; anything left is a typo.
+  void finish() const {
+    if (params_.empty()) return;
+    throw ConfigError("--load-profile " + kind_ + ": unknown parameter '" +
+                      params_.begin()->first + "'");
+  }
+
+ private:
+  std::map<std::string, std::string> params_;
+  std::string kind_;
+};
+
+}  // namespace
+
+ProfilePtr parse_profile(const std::string& spec, double default_load,
+                         double default_period_s) {
+  const std::string_view trimmed = strings::trim(spec);
+  if (trimmed.empty()) throw ConfigError("--load-profile: empty spec");
+  const auto colon = trimmed.find(':');
+  const std::string kind = strings::to_lower(
+      colon == std::string_view::npos ? trimmed : trimmed.substr(0, colon));
+  const std::string param_text(colon == std::string_view::npos
+                                   ? std::string_view{}
+                                   : strings::trim(trimmed.substr(colon + 1)));
+
+  // The modulation window (--period) also anchors profile-period defaults:
+  // ten windows per profile cycle gives visible oscillation out of the box.
+  const double default_profile_period = 10.0 * default_period_s;
+
+  if (kind == "constant") {
+    ParamReader params(parse_params(param_text, kind, "load"), kind);
+    const double load = params.load("load", default_load);
+    params.finish();
+    return std::make_shared<ConstantProfile>(load);
+  }
+  if (kind == "square") {
+    ParamReader params(parse_params(param_text, kind, "high"), kind);
+    const double low = params.load("low", 0.0);
+    const double high = params.load("high", 1.0);
+    const double period = params.number("period", default_profile_period);
+    const double duty = params.number("duty", 0.5);
+    params.finish();
+    return std::make_shared<SquareProfile>(low, high, period, duty);
+  }
+  if (kind == "sine") {
+    ParamReader params(parse_params(param_text, kind, "high"), kind);
+    const double low = params.load("low", 0.0);
+    const double high = params.load("high", 1.0);
+    const double period = params.number("period", default_profile_period);
+    params.finish();
+    return std::make_shared<SineProfile>(low, high, period);
+  }
+  if (kind == "ramp") {
+    ParamReader params(parse_params(param_text, kind, "to"), kind);
+    const double from = params.load("from", 0.0);
+    const double to = params.load("to", 1.0);
+    const double duration = params.number("duration", 60.0);
+    params.finish();
+    return std::make_shared<RampProfile>(from, to, duration);
+  }
+  if (kind == "bursts") {
+    ParamReader params(parse_params(param_text, kind, "peak"), kind);
+    const double base = params.load("base", 0.2);
+    const double peak = params.load("peak", 1.0);
+    const double window = params.number("window", 1.0);
+    const double prob = percent_to_fraction(params.number("prob", 25.0),
+                                            "--load-profile bursts: prob");
+    const std::uint64_t seed = params.integer("seed", 0x5eed);
+    params.finish();
+    return std::make_shared<BurstProfile>(base, peak, window, prob, seed);
+  }
+  if (kind == "trace") {
+    ParamReader params(parse_params(param_text, kind, "file"), kind);
+    const auto file = params.text("file");
+    if (!file) throw ConfigError("--load-profile trace: 'file' parameter is required");
+    const bool loop = params.integer("loop", 0) != 0;
+    const double span = params.number("span", 0.0);
+    params.finish();
+    return std::make_shared<TraceProfile>(TraceProfile::from_csv(*file, loop, span));
+  }
+  throw ConfigError("--load-profile: unknown profile kind '" + kind +
+                    "' (constant, square, sine, ramp, bursts, trace)");
+}
+
+}  // namespace fs2::sched

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fs2::sched {
+
+/// A load profile maps elapsed run time to a target load level in [0, 1] —
+/// the generalization of the paper's fixed `--load`/period square wave
+/// (Sec. III: power oscillation and voltage-regulator experiments). Workers
+/// quantize time into modulation windows of `--period` length and ask the
+/// profile for the duty fraction of each window, so a profile only needs to
+/// be a pure function of time. Implementations must be thread-safe for
+/// concurrent `load_at` calls (all workers share one instance) and
+/// deterministic: the same (t, profile) pair always yields the same level,
+/// which keeps runs reproducible from a seed.
+class LoadProfile {
+ public:
+  virtual ~LoadProfile() = default;
+
+  /// Target load fraction at elapsed time `t_s` (seconds since the shared
+  /// run epoch). Results are clamped to [0, 1] by callers; implementations
+  /// should already stay inside the range. `t_s` is never negative.
+  virtual double load_at(double t_s) const = 0;
+
+  /// Short machine-readable kind tag ("sine", "trace", ...).
+  virtual const char* kind() const = 0;
+
+  /// Human-readable one-liner for logs and run headers, e.g.
+  /// "sine: 10 % .. 90 % over 2 s".
+  virtual std::string describe() const = 0;
+
+  /// True when load_at is the same for every t — lets hot paths skip
+  /// per-window profile evaluation and idle phases entirely at full load.
+  virtual bool constant() const { return false; }
+};
+
+using ProfilePtr = std::shared_ptr<const LoadProfile>;
+
+/// Fixed load level: the classic `--load` duty cycle once the worker PWM
+/// quantizes it into busy/idle windows.
+class ConstantProfile final : public LoadProfile {
+ public:
+  explicit ConstantProfile(double load);
+  double load_at(double) const override { return load_; }
+  const char* kind() const override { return "constant"; }
+  std::string describe() const override;
+  bool constant() const override { return true; }
+
+ private:
+  double load_;
+};
+
+/// Alternates between two load levels: `high` for `duty * period`, then
+/// `low` for the rest of the period. The paper's oscillation workload
+/// (low=0, high=1) is the default shape.
+class SquareProfile final : public LoadProfile {
+ public:
+  SquareProfile(double low, double high, double period_s, double duty = 0.5);
+  double load_at(double t_s) const override;
+  const char* kind() const override { return "square"; }
+  std::string describe() const override;
+
+ private:
+  double low_, high_, period_s_, duty_;
+};
+
+/// Sinusoidal sweep between `low` and `high`. Phase-shifted so the run
+/// starts at `low` and peaks at period/2 — a gentle ramp-in rather than an
+/// immediate mid-level jump.
+class SineProfile final : public LoadProfile {
+ public:
+  SineProfile(double low, double high, double period_s);
+  double load_at(double t_s) const override;
+  const char* kind() const override { return "sine"; }
+  std::string describe() const override;
+
+ private:
+  double low_, high_, period_s_;
+};
+
+/// Linear ramp from `from` to `to` over `duration`, holding `to` afterwards.
+/// Descending ramps (from > to) are allowed.
+class RampProfile final : public LoadProfile {
+ public:
+  RampProfile(double from, double to, double duration_s);
+  double load_at(double t_s) const override;
+  const char* kind() const override { return "ramp"; }
+  std::string describe() const override;
+
+ private:
+  double from_, to_, duration_s_;
+};
+
+/// Random bursts: each window of `window_s` seconds is independently `peak`
+/// with probability `prob`, else `base`. The decision for window k is a pure
+/// hash of (seed, k), so every worker sees the same burst pattern and a rerun
+/// with the same seed reproduces it exactly.
+class BurstProfile final : public LoadProfile {
+ public:
+  BurstProfile(double base, double peak, double window_s, double prob, std::uint64_t seed);
+  double load_at(double t_s) const override;
+  const char* kind() const override { return "bursts"; }
+  std::string describe() const override;
+
+ private:
+  double base_, peak_, window_s_, prob_;
+  std::uint64_t seed_;
+};
+
+/// Plays back a recorded load trace: a sorted list of (time, load)
+/// breakpoints with step-hold semantics — the level set at time T holds
+/// until the next breakpoint. Before the first breakpoint the first level
+/// applies. After the last breakpoint the trace either holds the last level
+/// forever or, with `loop`, wraps around at `span_s` (defaulting to the last
+/// breakpoint time plus the preceding step length, so the final segment
+/// plays out with its natural duration).
+class TraceProfile final : public LoadProfile {
+ public:
+  struct Breakpoint {
+    double time_s = 0.0;
+    double load = 0.0;
+  };
+
+  TraceProfile(std::vector<Breakpoint> points, bool loop, double span_s = 0.0);
+
+  /// Parse a two-column CSV ("time_s,load_pct", '#' comments and an optional
+  /// header row allowed). Throws fs2::ConfigError on malformed rows,
+  /// unsorted times, or out-of-range loads.
+  static TraceProfile from_csv(const std::string& path, bool loop, double span_s = 0.0);
+
+  double load_at(double t_s) const override;
+  const char* kind() const override { return "trace"; }
+  std::string describe() const override;
+
+  double span_s() const { return span_s_; }
+  const std::vector<Breakpoint>& breakpoints() const { return points_; }
+
+ private:
+  std::vector<Breakpoint> points_;
+  bool loop_;
+  double span_s_;
+};
+
+/// Build a profile from a CLI spec string:
+///
+///   KIND[:param=value,param=value,...]
+///
+/// Kinds and parameters (loads are percentages, like --load; times are
+/// seconds):
+///
+///   constant[:load=P]                              default: --load
+///   square[:low=P,high=P,period=S,duty=F]          defaults: 0, 100, 10x
+///                                                  --period, 0.5
+///   sine[:low=P,high=P,period=S]                   defaults: 0, 100, 10x --period
+///   ramp[:from=P,to=P,duration=S]                  defaults: 0, 100, 60
+///   bursts[:base=P,peak=P,window=S,prob=P,seed=N]  defaults: 20, 100, 1, 25, 5eed
+///   trace[:file=PATH,loop=0|1,span=S]              file required
+///
+/// A bare first parameter without '=' is shorthand for the kind's primary
+/// parameter: `constant:30` = `constant:load=30`, `trace:loads.csv` =
+/// `trace:file=loads.csv`. Throws fs2::ConfigError on unknown kinds,
+/// unknown or malformed parameters, and out-of-range values.
+ProfilePtr parse_profile(const std::string& spec, double default_load,
+                         double default_period_s);
+
+}  // namespace fs2::sched

@@ -1,0 +1,15 @@
+#include "sched/phase_clock.hpp"
+
+#include <cmath>
+
+namespace fs2::sched {
+
+std::int64_t PhaseClock::window_index(double t_s, double period_s) {
+  return static_cast<std::int64_t>(std::floor(t_s / period_s));
+}
+
+double PhaseClock::window_start(double t_s, double period_s) {
+  return static_cast<double>(window_index(t_s, period_s)) * period_s;
+}
+
+}  // namespace fs2::sched

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fs2::sched {
+
+/// Shared monotonic time base for load modulation. Every worker derives its
+/// busy/idle windows from the same epoch instead of its own clock reads, so
+/// low/high phases stay in lockstep across threads for arbitrarily long runs
+/// (the un-anchored per-worker arithmetic the seed used drifts apart as
+/// scheduling noise accumulates). The orchestrator restarts the clock once
+/// when it releases the workers; workers only ever read it.
+class PhaseClock {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  PhaseClock() : epoch_(Clock::now()) {}
+
+  /// Re-anchor the epoch to now. Not thread-safe against concurrent
+  /// elapsed() calls — call before releasing readers (the ThreadManager
+  /// restarts it before the start flag's release-store, which orders the
+  /// write for every worker).
+  void restart() { epoch_ = Clock::now(); }
+
+  /// Seconds since the epoch.
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  Clock::time_point epoch() const { return epoch_; }
+
+  /// Index of the modulation window containing time `t_s` (window k spans
+  /// [k*period, (k+1)*period)).
+  static std::int64_t window_index(double t_s, double period_s);
+
+  /// Start time of the window containing `t_s`.
+  static double window_start(double t_s, double period_s);
+
+ private:
+  Clock::time_point epoch_;
+};
+
+}  // namespace fs2::sched

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -95,6 +96,92 @@ TEST(Cli, SelftestPassesAndExitsZero) {
   const CliResult r = run_cli("--selftest=20000 --threads 2 --log-level warn");
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("PASS"), std::string::npos);
+}
+
+TEST(Cli, PeriodMustBePositive) {
+  const CliResult r = run_cli("--simulate=zen2 -p 0");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--period"), std::string::npos);
+}
+
+TEST(Cli, UnknownLoadProfileExitsTwo) {
+  const CliResult r = run_cli("--simulate=zen2 -t 10 --load-profile=sawtooth");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown profile kind"), std::string::npos);
+}
+
+TEST(Cli, SimulatedSineProfileRun) {
+  const CliResult r = run_cli(
+      "--simulate=zen2 --freq 1500 -t 30 --load-profile=sine:low=10,high=90,period=5 "
+      "--measurement --start-delta=2000 --stop-delta=1000");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("load profile: sine"), std::string::npos);
+  EXPECT_NE(r.output.find("load-level,fraction"), std::string::npos);
+}
+
+TEST(Cli, SimulatedSquareProfileRun) {
+  const CliResult r = run_cli(
+      "--simulate=zen2 -t 20 --load-profile=square:low=0,high=100,period=4 "
+      "--measurement --start-delta=0 --stop-delta=0");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("load profile: square"), std::string::npos);
+}
+
+TEST(Cli, SimulatedTraceProfileRun) {
+  {
+    std::ofstream trace("/tmp/fs2_cli_trace.csv");
+    trace << "# recorded load\n0,20\n5,80\n10,40\n";
+  }
+  const CliResult r = run_cli(
+      "--simulate=zen2 -t 30 --load-profile=trace:file=/tmp/fs2_cli_trace.csv,loop=1 "
+      "--measurement --start-delta=0 --stop-delta=0");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("load profile: trace"), std::string::npos);
+  EXPECT_NE(r.output.find("load-level,fraction"), std::string::npos);
+}
+
+TEST(Cli, CampaignEmitsOneSummaryRowPerPhaseAndMetric) {
+  {
+    std::ofstream campaign("/tmp/fs2_cli_campaign");
+    campaign << "# three-phase acceptance campaign\n"
+                "phase name=warmup duration=10 profile=constant:30\n"
+                "phase name=swing  duration=20 profile=sine:low=10,high=90,period=5\n"
+                "phase name=peak   duration=10 profile=square:low=0,high=100,period=2\n";
+  }
+  const CliResult r = run_cli("--simulate=zen2 --freq 1500 --campaign /tmp/fs2_cli_campaign");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("campaign: 3 phases"), std::string::npos);
+  EXPECT_NE(r.output.find("metric,unit,samples,mean"), std::string::npos);
+  for (const char* row : {"sim-wall-power,W", "load-level,fraction"})
+    for (const char* phase : {"warmup", "swing", "peak"}) {
+      // One attributed row per (metric, phase) pair.
+      bool found = false;
+      for (std::size_t pos = r.output.find(row); pos != std::string::npos;
+           pos = r.output.find(row, pos + 1)) {
+        const std::size_t eol = r.output.find('\n', pos);
+        if (r.output.substr(pos, eol - pos).find(phase) != std::string::npos) found = true;
+      }
+      EXPECT_TRUE(found) << "no CSV row for metric " << row << " in phase " << phase;
+    }
+}
+
+TEST(Cli, MalformedCampaignExitsTwoWithLineNumber) {
+  {
+    std::ofstream campaign("/tmp/fs2_cli_campaign_bad");
+    campaign << "phase name=ok duration=5\nphase name=broken profile=constant\n";
+  }
+  const CliResult r = run_cli("--simulate=zen2 --campaign /tmp/fs2_cli_campaign_bad");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("line 2"), std::string::npos);
+  EXPECT_NE(r.output.find("missing duration"), std::string::npos);
+}
+
+TEST(Cli, HostLoadProfileShortRun) {
+  const CliResult r = run_cli(
+      "-t 0.6 --threads 2 -p 50000 --load-profile=square:low=0,high=100,period=0.2 "
+      "--log-level warn");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("kernel loop iterations"), std::string::npos);
 }
 
 TEST(Cli, HostRegisterDump) {

@@ -91,6 +91,26 @@ TEST(Cli, LoadIsPercent) {
   EXPECT_THROW(parse({"--load", "150"}), ConfigError);
 }
 
+TEST(Cli, PeriodIsMicroseconds) {
+  EXPECT_DOUBLE_EQ(parse({}).period_s, 0.1);  // paper default: 100 ms
+  EXPECT_DOUBLE_EQ(parse({"-p", "50000"}).period_s, 0.05);
+  EXPECT_DOUBLE_EQ(parse({"--period=200000"}).period_s, 0.2);
+  EXPECT_THROW(parse({"--period", "0"}), ConfigError);
+  EXPECT_THROW(parse({"-p", "-10"}), ConfigError);
+  EXPECT_THROW(parse({"-p", "nan"}), ConfigError);  // strtod accepts "nan"; we don't
+}
+
+TEST(Cli, LoadScheduleFlags) {
+  const Config cfg = parse({"--load-profile=sine:low=10,high=90,period=2",
+                            "--phase-offset=250000", "--campaign", "burnin.campaign"});
+  EXPECT_EQ(*cfg.load_profile, "sine:low=10,high=90,period=2");
+  EXPECT_DOUBLE_EQ(cfg.phase_offset_s, 0.25);
+  EXPECT_EQ(*cfg.campaign_file, "burnin.campaign");
+  EXPECT_FALSE(parse({}).load_profile.has_value());
+  EXPECT_FALSE(parse({}).campaign_file.has_value());
+  EXPECT_THROW(parse({"--phase-offset=-1"}), ConfigError);
+}
+
 TEST(Cli, RejectsBadInput) {
   EXPECT_THROW(parse({"--bogus-flag"}), ConfigError);
   EXPECT_THROW(parse({"--set-line-count", "abc"}), ConfigError);
@@ -110,9 +130,10 @@ TEST(Cli, UsageMentionsEveryUserFlag) {
   const std::string text = usage();
   for (const char* flag :
        {"--avail", "--function", "--run-instruction-groups", "--set-line-count", "--timeout",
-        "--load", "--threads", "--dump-registers", "--measurement", "--start-delta",
-        "--stop-delta", "--optimize", "--individuals", "--generations", "--nsga2-m",
-        "--preheat", "--optimization-metric", "--metric-path", "--simulate", "--freq"})
+        "--load", "--period", "--load-profile", "--phase-offset", "--campaign", "--threads",
+        "--dump-registers", "--measurement", "--start-delta", "--stop-delta", "--optimize",
+        "--individuals", "--generations", "--nsga2-m", "--preheat", "--optimization-metric",
+        "--metric-path", "--simulate", "--freq"})
     EXPECT_NE(text.find(flag), std::string::npos) << flag;
 }
 

@@ -1,0 +1,446 @@
+// Tests for the load-profile scheduler subsystem: profile load(t) shapes,
+// the spec parser, the shared phase clock that keeps workers' duty cycles in
+// lockstep, campaign file parsing, and the ThreadManager integration.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "arch/cpuid.hpp"
+#include "kernel/thread_manager.hpp"
+#include "payload/mix.hpp"
+#include "sched/campaign.hpp"
+#include "sched/load_profile.hpp"
+#include "sched/phase_clock.hpp"
+#include "util/error.hpp"
+
+namespace fs2::sched {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- constant ---------------------------------------------------------------
+
+TEST(ConstantProfile, FixedLevelEverywhere) {
+  const ConstantProfile half(0.5);
+  EXPECT_DOUBLE_EQ(half.load_at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(half.load_at(123.456), 0.5);
+  EXPECT_TRUE(half.constant());
+  EXPECT_STREQ(half.kind(), "constant");
+}
+
+TEST(ConstantProfile, ClampsToUnitRange) {
+  EXPECT_DOUBLE_EQ(ConstantProfile(1.5).load_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ConstantProfile(-0.5).load_at(0.0), 0.0);
+}
+
+// ---- square -----------------------------------------------------------------
+
+TEST(SquareProfile, HighThenLowWithinEachPeriod) {
+  const SquareProfile wave(0.1, 0.9, /*period=*/2.0, /*duty=*/0.5);
+  EXPECT_DOUBLE_EQ(wave.load_at(0.0), 0.9);   // first half: high
+  EXPECT_DOUBLE_EQ(wave.load_at(0.99), 0.9);
+  EXPECT_DOUBLE_EQ(wave.load_at(1.0), 0.1);   // second half: low
+  EXPECT_DOUBLE_EQ(wave.load_at(1.99), 0.1);
+  EXPECT_DOUBLE_EQ(wave.load_at(2.0), 0.9);   // periodic
+  EXPECT_DOUBLE_EQ(wave.load_at(42.5), 0.9);  // 42.5 mod 2 = 0.5: high half
+  EXPECT_DOUBLE_EQ(wave.load_at(43.5), 0.1);  // 43.5 mod 2 = 1.5: low half
+}
+
+TEST(SquareProfile, DutyControlsHighFraction) {
+  const SquareProfile wave(0.0, 1.0, 10.0, /*duty=*/0.2);
+  EXPECT_DOUBLE_EQ(wave.load_at(1.9), 1.0);
+  EXPECT_DOUBLE_EQ(wave.load_at(2.1), 0.0);
+  EXPECT_DOUBLE_EQ(wave.load_at(9.9), 0.0);
+}
+
+TEST(SquareProfile, ValidatesParameters) {
+  EXPECT_THROW(SquareProfile(0.0, 1.0, 0.0), ConfigError);
+  EXPECT_THROW(SquareProfile(0.0, 1.0, 1.0, 0.0), ConfigError);
+  EXPECT_THROW(SquareProfile(0.0, 1.0, 1.0, 1.0), ConfigError);
+}
+
+// ---- sine -------------------------------------------------------------------
+
+TEST(SineProfile, StartsLowPeaksAtHalfPeriod) {
+  const SineProfile sweep(0.1, 0.9, 4.0);
+  EXPECT_NEAR(sweep.load_at(0.0), 0.1, 1e-12);
+  EXPECT_NEAR(sweep.load_at(1.0), 0.5, 1e-12);  // quarter period: midpoint
+  EXPECT_NEAR(sweep.load_at(2.0), 0.9, 1e-12);  // half period: peak
+  EXPECT_NEAR(sweep.load_at(3.0), 0.5, 1e-12);
+  EXPECT_NEAR(sweep.load_at(4.0), 0.1, 1e-12);  // full period: back to low
+}
+
+TEST(SineProfile, StaysWithinBand) {
+  const SineProfile sweep(0.2, 0.8, 1.0);
+  for (double t = 0.0; t < 3.0; t += 0.01) {
+    EXPECT_GE(sweep.load_at(t), 0.2 - 1e-12);
+    EXPECT_LE(sweep.load_at(t), 0.8 + 1e-12);
+  }
+}
+
+TEST(SineProfile, NormalizesSwappedBounds) {
+  const SineProfile sweep(0.9, 0.1, 2.0);
+  EXPECT_NEAR(sweep.load_at(0.0), 0.1, 1e-12);
+  EXPECT_NEAR(sweep.load_at(1.0), 0.9, 1e-12);
+}
+
+TEST(SineProfile, ValidatesPeriod) {
+  EXPECT_THROW(SineProfile(0.0, 1.0, 0.0), ConfigError);
+  EXPECT_THROW(SineProfile(0.0, 1.0, -2.0), ConfigError);
+}
+
+// ---- ramp -------------------------------------------------------------------
+
+TEST(RampProfile, LinearThenHold) {
+  const RampProfile ramp(0.2, 0.8, 10.0);
+  EXPECT_DOUBLE_EQ(ramp.load_at(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(ramp.load_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(ramp.load_at(10.0), 0.8);
+  EXPECT_DOUBLE_EQ(ramp.load_at(1000.0), 0.8);  // holds the target level
+}
+
+TEST(RampProfile, DescendingRampAllowed) {
+  const RampProfile cooldown(1.0, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(cooldown.load_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cooldown.load_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cooldown.load_at(8.0), 0.0);
+}
+
+TEST(RampProfile, ValidatesDuration) {
+  EXPECT_THROW(RampProfile(0.0, 1.0, 0.0), ConfigError);
+}
+
+// ---- bursts -----------------------------------------------------------------
+
+TEST(BurstProfile, OnlyEmitsBaseOrPeak) {
+  const BurstProfile bursts(0.2, 1.0, 0.5, 0.5, /*seed=*/42);
+  for (double t = 0.0; t < 50.0; t += 0.25) {
+    const double level = bursts.load_at(t);
+    EXPECT_TRUE(level == 0.2 || level == 1.0) << "t=" << t << " level=" << level;
+  }
+}
+
+TEST(BurstProfile, DeterministicPerSeedAndStableWithinWindow) {
+  const BurstProfile a(0.0, 1.0, 1.0, 0.5, 7);
+  const BurstProfile b(0.0, 1.0, 1.0, 0.5, 7);
+  bool saw_base = false, saw_peak = false;
+  for (int k = 0; k < 200; ++k) {
+    const double t = k * 1.0;
+    EXPECT_DOUBLE_EQ(a.load_at(t), b.load_at(t));
+    EXPECT_DOUBLE_EQ(a.load_at(t), a.load_at(t + 0.999));  // constant inside a window
+    (a.load_at(t) == 1.0 ? saw_peak : saw_base) = true;
+  }
+  EXPECT_TRUE(saw_base);  // p=0.5 over 200 windows: both outcomes occur
+  EXPECT_TRUE(saw_peak);
+}
+
+TEST(BurstProfile, ProbabilityExtremes) {
+  const BurstProfile never(0.3, 1.0, 1.0, 0.0, 1);
+  const BurstProfile always(0.3, 1.0, 1.0, 1.0, 1);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_DOUBLE_EQ(never.load_at(k * 1.0), 0.3);
+    EXPECT_DOUBLE_EQ(always.load_at(k * 1.0), 1.0);
+  }
+}
+
+TEST(BurstProfile, ValidatesParameters) {
+  EXPECT_THROW(BurstProfile(0.0, 1.0, 0.0, 0.5, 1), ConfigError);
+  EXPECT_THROW(BurstProfile(0.0, 1.0, 1.0, 1.5, 1), ConfigError);
+}
+
+// ---- trace ------------------------------------------------------------------
+
+std::vector<TraceProfile::Breakpoint> demo_points() {
+  return {{0.0, 0.2}, {5.0, 0.8}, {10.0, 0.4}};
+}
+
+TEST(TraceProfile, StepHoldSemantics) {
+  const TraceProfile trace(demo_points(), /*loop=*/false);
+  EXPECT_DOUBLE_EQ(trace.load_at(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(trace.load_at(4.9), 0.2);
+  EXPECT_DOUBLE_EQ(trace.load_at(5.0), 0.8);
+  EXPECT_DOUBLE_EQ(trace.load_at(9.9), 0.8);
+  EXPECT_DOUBLE_EQ(trace.load_at(10.0), 0.4);
+  EXPECT_DOUBLE_EQ(trace.load_at(1e6), 0.4);  // hold-last without loop
+}
+
+TEST(TraceProfile, LoopWrapsAtNaturalSpan) {
+  // Last segment inherits the preceding step length: span = 10 + 5 = 15 s.
+  const TraceProfile trace(demo_points(), /*loop=*/true);
+  EXPECT_DOUBLE_EQ(trace.span_s(), 15.0);
+  EXPECT_DOUBLE_EQ(trace.load_at(12.0), 0.4);
+  EXPECT_DOUBLE_EQ(trace.load_at(15.0), 0.2);  // wrapped
+  EXPECT_DOUBLE_EQ(trace.load_at(20.5), 0.8);  // 20.5 -> 5.5
+}
+
+TEST(TraceProfile, ExplicitSpanOverridesNatural) {
+  const TraceProfile trace(demo_points(), /*loop=*/true, /*span_s=*/20.0);
+  EXPECT_DOUBLE_EQ(trace.load_at(19.0), 0.4);
+  EXPECT_DOUBLE_EQ(trace.load_at(21.0), 0.2);
+}
+
+TEST(TraceProfile, ValidatesBreakpoints) {
+  EXPECT_THROW(TraceProfile({}, false), ConfigError);
+  EXPECT_THROW(TraceProfile({{0.0, 0.5}, {0.0, 0.6}}, false), ConfigError);  // not increasing
+  EXPECT_THROW(TraceProfile({{-1.0, 0.5}}, false), ConfigError);
+  EXPECT_THROW(TraceProfile(demo_points(), true, 9.0), ConfigError);   // span < last time
+  EXPECT_THROW(TraceProfile(demo_points(), true, 10.0), ConfigError);  // == last: level lost
+}
+
+class TraceCsvFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            ("fs2_trace_" +
+             std::string(testing::UnitTest::GetInstance()->current_test_info()->name()) +
+             ".csv");
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  void write(const std::string& text) {
+    std::ofstream out(path_);
+    out << text;
+  }
+
+  fs::path path_;
+};
+
+TEST_F(TraceCsvFixture, ParsesHeaderCommentsAndRows) {
+  write("# recorded datacenter load\ntime_s,load_pct\n0,20\n5, 80\n10,40\n");
+  const TraceProfile trace = TraceProfile::from_csv(path_.string(), false);
+  ASSERT_EQ(trace.breakpoints().size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.load_at(6.0), 0.8);
+}
+
+TEST_F(TraceCsvFixture, RejectsMalformedRows) {
+  write("0,20\n5\n");
+  EXPECT_THROW(TraceProfile::from_csv(path_.string(), false), ConfigError);
+  write("0,20\n5,eighty\n");
+  EXPECT_THROW(TraceProfile::from_csv(path_.string(), false), ConfigError);
+  write("0,150\n");
+  EXPECT_THROW(TraceProfile::from_csv(path_.string(), false), ConfigError);  // load > 100 %
+  write("");
+  EXPECT_THROW(TraceProfile::from_csv(path_.string(), false), ConfigError);
+}
+
+TEST(TraceProfileCsv, MissingFileThrows) {
+  EXPECT_THROW(TraceProfile::from_csv("/nonexistent/fs2_trace.csv", false), ConfigError);
+}
+
+// ---- spec parser ------------------------------------------------------------
+
+TEST(ParseProfile, ConstantInheritsCliLoadByDefault) {
+  const ProfilePtr profile = parse_profile("constant", /*default_load=*/0.35, 0.1);
+  EXPECT_STREQ(profile->kind(), "constant");
+  EXPECT_DOUBLE_EQ(profile->load_at(0.0), 0.35);
+}
+
+TEST(ParseProfile, ConstantShorthandIsLoadPercent) {
+  EXPECT_DOUBLE_EQ(parse_profile("constant:30", 1.0, 0.1)->load_at(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(parse_profile("constant:load=65", 1.0, 0.1)->load_at(0.0), 0.65);
+}
+
+TEST(ParseProfile, SquareDefaultsAndParameters) {
+  const ProfilePtr wave = parse_profile("square:low=10,high=90,period=2,duty=0.25", 1.0, 0.1);
+  EXPECT_STREQ(wave->kind(), "square");
+  EXPECT_DOUBLE_EQ(wave->load_at(0.1), 0.9);
+  EXPECT_DOUBLE_EQ(wave->load_at(0.6), 0.1);
+  // Defaults: full swing, period = 10x the modulation window.
+  const ProfilePtr dflt = parse_profile("square", 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(dflt->load_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dflt->load_at(0.6), 0.0);   // past duty of the 1 s default period
+  EXPECT_DOUBLE_EQ(dflt->load_at(1.0), 1.0);
+}
+
+TEST(ParseProfile, SineRampBurstsTrace) {
+  EXPECT_STREQ(parse_profile("sine:low=0,high=100,period=4", 1.0, 0.1)->kind(), "sine");
+  EXPECT_STREQ(parse_profile("ramp:from=0,to=100,duration=30", 1.0, 0.1)->kind(), "ramp");
+  EXPECT_STREQ(parse_profile("bursts:base=20,peak=100,window=1,prob=25,seed=9", 1.0, 0.1)
+                   ->kind(),
+               "bursts");
+  const auto csv = fs::temp_directory_path() / "fs2_parse_trace.csv";
+  { std::ofstream(csv) << "0,10\n1,90\n"; }
+  EXPECT_STREQ(parse_profile("trace:file=" + csv.string(), 1.0, 0.1)->kind(), "trace");
+  EXPECT_STREQ(parse_profile("trace:" + csv.string() + ",loop=1", 1.0, 0.1)->kind(), "trace");
+  fs::remove(csv);
+}
+
+TEST(ParseProfile, RejectsBadSpecs) {
+  EXPECT_THROW(parse_profile("", 1.0, 0.1), ConfigError);
+  EXPECT_THROW(parse_profile("sawtooth", 1.0, 0.1), ConfigError);
+  EXPECT_THROW(parse_profile("sine:frequency=2", 1.0, 0.1), ConfigError);   // unknown key
+  EXPECT_THROW(parse_profile("sine:low=10,low=20", 1.0, 0.1), ConfigError); // duplicate
+  EXPECT_THROW(parse_profile("constant:130", 1.0, 0.1), ConfigError);       // >100 %
+  EXPECT_THROW(parse_profile("square:period=abc", 1.0, 0.1), ConfigError);
+  EXPECT_THROW(parse_profile("trace", 1.0, 0.1), ConfigError);              // file required
+  EXPECT_THROW(parse_profile("square:low=1,high", 1.0, 0.1), ConfigError);  // bare non-first
+}
+
+// ---- phase clock ------------------------------------------------------------
+
+TEST(PhaseClock, ElapsedIsMonotonicFromEpoch) {
+  PhaseClock clock;
+  const double a = clock.elapsed();
+  const double b = clock.elapsed();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  clock.restart();
+  EXPECT_LT(clock.elapsed(), 0.5);
+}
+
+TEST(PhaseClock, WindowMath) {
+  EXPECT_EQ(PhaseClock::window_index(0.0, 0.1), 0);
+  EXPECT_EQ(PhaseClock::window_index(0.05, 0.1), 0);
+  EXPECT_EQ(PhaseClock::window_index(0.1, 0.1), 1);
+  EXPECT_EQ(PhaseClock::window_index(2.34, 0.1), 23);
+  EXPECT_DOUBLE_EQ(PhaseClock::window_start(2.34, 0.1), 2.3);
+  EXPECT_DOUBLE_EQ(PhaseClock::window_start(0.05, 0.1), 0.0);
+}
+
+TEST(PhaseClock, WorkersAgreeOnWindowIndex) {
+  // All threads sample the same clock concurrently: with windows far longer
+  // than any scheduling jitter they must land in the same window — the
+  // property that keeps duty cycles lockstep across workers.
+  PhaseClock clock;
+  constexpr int kThreads = 4;
+  constexpr double kPeriod = 30.0;  // enormous vs. thread-start jitter
+  std::barrier sync(kThreads);
+  std::vector<std::int64_t> windows(kThreads, -1);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] {
+      sync.arrive_and_wait();
+      windows[i] = PhaseClock::window_index(clock.elapsed(), kPeriod);
+    });
+  for (auto& thread : threads) thread.join();
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(windows[i], windows[0]);
+}
+
+// ---- campaign ---------------------------------------------------------------
+
+TEST(Campaign, ParsesPhasesInOrder) {
+  std::istringstream in(R"(# demo campaign
+phase name=warmup duration=10 profile=constant:30
+
+phase duration=20 profile=sine:low=10,high=90,period=5
+phase name=peak duration=5.5 profile=square function=FUNC_FMA_256_ZEN2
+)");
+  const Campaign campaign = Campaign::parse(in, "<test>");
+  ASSERT_EQ(campaign.size(), 3u);
+  EXPECT_EQ(campaign.phases()[0].name, "warmup");
+  EXPECT_DOUBLE_EQ(campaign.phases()[0].duration_s, 10.0);
+  EXPECT_EQ(campaign.phases()[0].profile_spec, "constant:30");
+  EXPECT_FALSE(campaign.phases()[0].function.has_value());
+  EXPECT_EQ(campaign.phases()[1].name, "phase2");  // defaulted
+  EXPECT_EQ(*campaign.phases()[2].function, "FUNC_FMA_256_ZEN2");
+  EXPECT_DOUBLE_EQ(campaign.total_duration_s(), 35.5);
+}
+
+void expect_campaign_error(const std::string& text, const std::string& needle) {
+  std::istringstream in(text);
+  try {
+    Campaign::parse(in, "<test>");
+    FAIL() << "expected ConfigError for: " << text;
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(Campaign, RejectsMalformedFiles) {
+  expect_campaign_error("", "no phases");
+  expect_campaign_error("stage duration=5\n", "expected 'phase");
+  expect_campaign_error("phase profile=constant\n", "missing duration");
+  expect_campaign_error("phase duration=0\n", "duration must be > 0");
+  expect_campaign_error("phase duration=-3\n", "duration must be > 0");
+  expect_campaign_error("phase duration=5 color=red\n", "unknown key 'color'");
+  expect_campaign_error("phase duration=5 profile\n", "not key=value");
+  expect_campaign_error("phase duration=5 profile=sawtooth\n", "unknown profile kind");
+  expect_campaign_error("phase duration=5 name=\n", "empty value");
+  // Errors carry the line number of the offending phase.
+  expect_campaign_error("phase name=ok duration=5\nphase duration=bad\n", "line 2");
+}
+
+TEST(Campaign, LoadRejectsMissingFile) {
+  EXPECT_THROW(Campaign::load("/nonexistent/fs2.campaign"), ConfigError);
+}
+
+// ---- ThreadManager integration ---------------------------------------------
+
+bool host_has_fma() {
+  return arch::host_identity().features.covers(
+      payload::find_function("FUNC_FMA_256_ZEN2").mix.required);
+}
+
+payload::CompiledPayload small_payload() {
+  payload::CompileOptions options;
+  options.unroll = 64;
+  options.ram_region_bytes = 1 << 20;
+  const auto& fn = payload::find_function("FUNC_FMA_256_ZEN2");
+  return payload::compile_payload(fn.mix, payload::InstructionGroups::parse("REG:2,L1_L:1"),
+                                  arch::CacheHierarchy::zen2(), options);
+}
+
+TEST(ThreadManagerSched, DefaultsToConstantProfileFromLoad) {
+  if (!host_has_fma()) GTEST_SKIP() << "host lacks FMA";
+  auto payload = small_payload();
+  kernel::RunOptions options;
+  options.cpus = {-1, -1};
+  options.load = 0.4;
+  kernel::ThreadManager manager(payload, options);
+  EXPECT_TRUE(manager.profile().constant());
+  EXPECT_DOUBLE_EQ(manager.profile().load_at(0.0), 0.4);
+}
+
+TEST(ThreadManagerSched, RunsUnderDynamicProfile) {
+  if (!host_has_fma()) GTEST_SKIP() << "host lacks FMA";
+  auto payload = small_payload();
+  kernel::RunOptions options;
+  options.cpus = {-1, -1};
+  options.period_s = 0.02;
+  options.profile = std::make_shared<SineProfile>(0.3, 1.0, 0.2);
+  kernel::ThreadManager manager(payload, options);
+  manager.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  manager.stop();
+  EXPECT_GT(manager.total_iterations(), 0u);
+  // The shared epoch was re-anchored by start(), not construction time.
+  EXPECT_LT(manager.phase_clock().elapsed(), 5.0);
+}
+
+TEST(ThreadManagerSched, ZeroLoadWindowsExecuteNothing) {
+  if (!host_has_fma()) GTEST_SKIP() << "host lacks FMA";
+  auto payload = small_payload();
+  kernel::RunOptions options;
+  options.cpus = {-1};
+  options.profile = std::make_shared<ConstantProfile>(0.0);
+  options.period_s = 0.05;
+  kernel::ThreadManager manager(payload, options);
+  manager.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  manager.stop();
+  EXPECT_EQ(manager.total_iterations(), 0u);
+}
+
+TEST(ThreadManagerSched, ValidatesPeriodAndOffset) {
+  if (!host_has_fma()) GTEST_SKIP() << "host lacks FMA";
+  auto payload = small_payload();
+  kernel::RunOptions bad_period;
+  bad_period.cpus = {-1};
+  bad_period.period_s = 0.0;
+  EXPECT_THROW(kernel::ThreadManager(payload, bad_period), Error);
+  kernel::RunOptions bad_offset;
+  bad_offset.cpus = {-1};
+  bad_offset.phase_offset_s = -0.1;
+  EXPECT_THROW(kernel::ThreadManager(payload, bad_offset), Error);
+}
+
+}  // namespace
+}  // namespace fs2::sched
