@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sku_sensitivity.dir/bench/ablation_sku_sensitivity.cpp.o"
+  "CMakeFiles/bench_ablation_sku_sensitivity.dir/bench/ablation_sku_sensitivity.cpp.o.d"
+  "bench_ablation_sku_sensitivity"
+  "bench_ablation_sku_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sku_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_07_tuning_timeline.dir/bench/fig06_07_tuning_timeline.cpp.o"
+  "CMakeFiles/bench_fig06_07_tuning_timeline.dir/bench/fig06_07_tuning_timeline.cpp.o.d"
+  "bench_fig06_07_tuning_timeline"
+  "bench_fig06_07_tuning_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_07_tuning_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

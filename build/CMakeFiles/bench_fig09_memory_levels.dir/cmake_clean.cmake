@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_memory_levels.dir/bench/fig09_memory_levels.cpp.o"
+  "CMakeFiles/bench_fig09_memory_levels.dir/bench/fig09_memory_levels.cpp.o.d"
+  "bench_fig09_memory_levels"
+  "bench_fig09_memory_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_memory_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cross_frequency.dir/bench/fig12_cross_frequency.cpp.o"
+  "CMakeFiles/bench_fig12_cross_frequency.dir/bench/fig12_cross_frequency.cpp.o.d"
+  "bench_fig12_cross_frequency"
+  "bench_fig12_cross_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cross_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_jit.dir/bench/micro_jit.cpp.o"
+  "CMakeFiles/bench_micro_jit.dir/bench/micro_jit.cpp.o.d"
+  "bench_micro_jit"
+  "bench_micro_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

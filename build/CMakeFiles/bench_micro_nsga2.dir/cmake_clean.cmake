@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_nsga2.dir/bench/micro_nsga2.cpp.o"
+  "CMakeFiles/bench_micro_nsga2.dir/bench/micro_nsga2.cpp.o.d"
+  "bench_micro_nsga2"
+  "bench_micro_nsga2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_nsga2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_payload.dir/bench/micro_payload.cpp.o"
+  "CMakeFiles/bench_micro_payload.dir/bench/micro_payload.cpp.o.d"
+  "bench_micro_payload"
+  "bench_micro_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3d_infinity_bug.dir/bench/sec3d_infinity_bug.cpp.o"
+  "CMakeFiles/bench_sec3d_infinity_bug.dir/bench/sec3d_infinity_bug.cpp.o.d"
+  "bench_sec3d_infinity_bug"
+  "bench_sec3d_infinity_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3d_infinity_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec3d_infinity_bug.
+# This may be replaced when dependencies are built.

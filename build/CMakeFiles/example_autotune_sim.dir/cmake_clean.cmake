@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autotune_sim.dir/examples/autotune_sim.cpp.o"
+  "CMakeFiles/example_autotune_sim.dir/examples/autotune_sim.cpp.o.d"
+  "example_autotune_sim"
+  "example_autotune_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autotune_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

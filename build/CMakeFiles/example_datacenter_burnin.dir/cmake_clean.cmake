@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datacenter_burnin.dir/examples/datacenter_burnin.cpp.o"
+  "CMakeFiles/example_datacenter_burnin.dir/examples/datacenter_burnin.cpp.o.d"
+  "example_datacenter_burnin"
+  "example_datacenter_burnin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datacenter_burnin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_load_profiles.dir/examples/load_profiles.cpp.o"
+  "CMakeFiles/example_load_profiles.dir/examples/load_profiles.cpp.o.d"
+  "example_load_profiles"
+  "example_load_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_load_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

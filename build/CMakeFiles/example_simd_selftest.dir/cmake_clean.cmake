@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_simd_selftest.dir/examples/simd_selftest.cpp.o"
+  "CMakeFiles/example_simd_selftest.dir/examples/simd_selftest.cpp.o.d"
+  "example_simd_selftest"
+  "example_simd_selftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_simd_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs2.dir/src/firestarter/main.cpp.o"
+  "CMakeFiles/fs2.dir/src/firestarter/main.cpp.o.d"
+  "fs2"
+  "fs2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache.cpp" "CMakeFiles/fs2_core.dir/src/arch/cache.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/arch/cache.cpp.o.d"
+  "/root/repo/src/arch/cpuid.cpp" "CMakeFiles/fs2_core.dir/src/arch/cpuid.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/arch/cpuid.cpp.o.d"
+  "/root/repo/src/arch/processor.cpp" "CMakeFiles/fs2_core.dir/src/arch/processor.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/arch/processor.cpp.o.d"
+  "/root/repo/src/arch/topology.cpp" "CMakeFiles/fs2_core.dir/src/arch/topology.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/arch/topology.cpp.o.d"
+  "/root/repo/src/baselines/linpack.cpp" "CMakeFiles/fs2_core.dir/src/baselines/linpack.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/baselines/linpack.cpp.o.d"
+  "/root/repo/src/baselines/prime.cpp" "CMakeFiles/fs2_core.dir/src/baselines/prime.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/baselines/prime.cpp.o.d"
+  "/root/repo/src/baselines/stressng.cpp" "CMakeFiles/fs2_core.dir/src/baselines/stressng.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/baselines/stressng.cpp.o.d"
+  "/root/repo/src/firestarter/backends.cpp" "CMakeFiles/fs2_core.dir/src/firestarter/backends.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/firestarter/backends.cpp.o.d"
+  "/root/repo/src/firestarter/config.cpp" "CMakeFiles/fs2_core.dir/src/firestarter/config.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/firestarter/config.cpp.o.d"
+  "/root/repo/src/firestarter/firestarter.cpp" "CMakeFiles/fs2_core.dir/src/firestarter/firestarter.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/firestarter/firestarter.cpp.o.d"
+  "/root/repo/src/gpu/dgemm_stress.cpp" "CMakeFiles/fs2_core.dir/src/gpu/dgemm_stress.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/gpu/dgemm_stress.cpp.o.d"
+  "/root/repo/src/jit/assembler.cpp" "CMakeFiles/fs2_core.dir/src/jit/assembler.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/jit/assembler.cpp.o.d"
+  "/root/repo/src/jit/disassembler.cpp" "CMakeFiles/fs2_core.dir/src/jit/disassembler.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/jit/disassembler.cpp.o.d"
+  "/root/repo/src/jit/exec_memory.cpp" "CMakeFiles/fs2_core.dir/src/jit/exec_memory.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/jit/exec_memory.cpp.o.d"
+  "/root/repo/src/kernel/register_dump.cpp" "CMakeFiles/fs2_core.dir/src/kernel/register_dump.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/kernel/register_dump.cpp.o.d"
+  "/root/repo/src/kernel/selftest.cpp" "CMakeFiles/fs2_core.dir/src/kernel/selftest.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/kernel/selftest.cpp.o.d"
+  "/root/repo/src/kernel/thread_manager.cpp" "CMakeFiles/fs2_core.dir/src/kernel/thread_manager.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/kernel/thread_manager.cpp.o.d"
+  "/root/repo/src/kernel/watchdog.cpp" "CMakeFiles/fs2_core.dir/src/kernel/watchdog.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/kernel/watchdog.cpp.o.d"
+  "/root/repo/src/metrics/external.cpp" "CMakeFiles/fs2_core.dir/src/metrics/external.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/metrics/external.cpp.o.d"
+  "/root/repo/src/metrics/hw_events.cpp" "CMakeFiles/fs2_core.dir/src/metrics/hw_events.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/metrics/hw_events.cpp.o.d"
+  "/root/repo/src/metrics/ipc_estimate.cpp" "CMakeFiles/fs2_core.dir/src/metrics/ipc_estimate.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/metrics/ipc_estimate.cpp.o.d"
+  "/root/repo/src/metrics/measurement.cpp" "CMakeFiles/fs2_core.dir/src/metrics/measurement.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/metrics/measurement.cpp.o.d"
+  "/root/repo/src/metrics/perf_ipc.cpp" "CMakeFiles/fs2_core.dir/src/metrics/perf_ipc.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/metrics/perf_ipc.cpp.o.d"
+  "/root/repo/src/metrics/rapl.cpp" "CMakeFiles/fs2_core.dir/src/metrics/rapl.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/metrics/rapl.cpp.o.d"
+  "/root/repo/src/payload/access.cpp" "CMakeFiles/fs2_core.dir/src/payload/access.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/payload/access.cpp.o.d"
+  "/root/repo/src/payload/compiler.cpp" "CMakeFiles/fs2_core.dir/src/payload/compiler.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/payload/compiler.cpp.o.d"
+  "/root/repo/src/payload/data.cpp" "CMakeFiles/fs2_core.dir/src/payload/data.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/payload/data.cpp.o.d"
+  "/root/repo/src/payload/groups.cpp" "CMakeFiles/fs2_core.dir/src/payload/groups.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/payload/groups.cpp.o.d"
+  "/root/repo/src/payload/mix.cpp" "CMakeFiles/fs2_core.dir/src/payload/mix.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/payload/mix.cpp.o.d"
+  "/root/repo/src/payload/sequence.cpp" "CMakeFiles/fs2_core.dir/src/payload/sequence.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/payload/sequence.cpp.o.d"
+  "/root/repo/src/sched/campaign.cpp" "CMakeFiles/fs2_core.dir/src/sched/campaign.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/sched/campaign.cpp.o.d"
+  "/root/repo/src/sched/load_profile.cpp" "CMakeFiles/fs2_core.dir/src/sched/load_profile.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/sched/load_profile.cpp.o.d"
+  "/root/repo/src/sched/phase_clock.cpp" "CMakeFiles/fs2_core.dir/src/sched/phase_clock.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/sched/phase_clock.cpp.o.d"
+  "/root/repo/src/sim/machine_config.cpp" "CMakeFiles/fs2_core.dir/src/sim/machine_config.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/sim/machine_config.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/fs2_core.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/tuning/groups_problem.cpp" "CMakeFiles/fs2_core.dir/src/tuning/groups_problem.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/tuning/groups_problem.cpp.o.d"
+  "/root/repo/src/tuning/history.cpp" "CMakeFiles/fs2_core.dir/src/tuning/history.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/tuning/history.cpp.o.d"
+  "/root/repo/src/tuning/nsga2.cpp" "CMakeFiles/fs2_core.dir/src/tuning/nsga2.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/tuning/nsga2.cpp.o.d"
+  "/root/repo/src/tuning/pareto.cpp" "CMakeFiles/fs2_core.dir/src/tuning/pareto.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/tuning/pareto.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/fs2_core.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/fs2_core.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/fs2_core.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/fs2_core.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/fs2_core.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/fs2_core.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

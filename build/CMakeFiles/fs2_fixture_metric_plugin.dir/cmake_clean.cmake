@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs2_fixture_metric_plugin.dir/tests/fixture_metric_plugin.cpp.o"
+  "CMakeFiles/fs2_fixture_metric_plugin.dir/tests/fixture_metric_plugin.cpp.o.d"
+  "libfs2_fixture_metric_plugin.pdb"
+  "libfs2_fixture_metric_plugin.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs2_fixture_metric_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fs2_fixture_metric_plugin.
+# This may be replaced when dependencies are built.

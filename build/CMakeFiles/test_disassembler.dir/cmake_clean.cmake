@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disassembler.dir/tests/test_disassembler.cpp.o"
+  "CMakeFiles/test_disassembler.dir/tests/test_disassembler.cpp.o.d"
+  "test_disassembler"
+  "test_disassembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disassembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firestarter.dir/tests/test_firestarter.cpp.o"
+  "CMakeFiles/test_firestarter.dir/tests/test_firestarter.cpp.o.d"
+  "test_firestarter"
+  "test_firestarter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firestarter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit.dir/tests/test_jit.cpp.o"
+  "CMakeFiles/test_jit.dir/tests/test_jit.cpp.o.d"
+  "test_jit"
+  "test_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

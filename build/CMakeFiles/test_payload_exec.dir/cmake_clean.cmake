@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payload_exec.dir/tests/test_payload_exec.cpp.o"
+  "CMakeFiles/test_payload_exec.dir/tests/test_payload_exec.cpp.o.d"
+  "test_payload_exec"
+  "test_payload_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payload_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_payload_exec.
+# This may be replaced when dependencies are built.
