@@ -1,0 +1,101 @@
+// Micro-benchmarks for the closed-loop control subsystem. The controller
+// runs on the orchestrator thread at the --target tick interval (default
+// 4 Hz), so its absolute cost barely matters — what does matter is the
+// ControlledProfile read on the worker side: every worker samples the
+// commanded level once per modulation window and, for live profiles, once
+// per ~5 ms kernel chunk. That read must stay at nanoseconds or fast PWM
+// periods would burn their budget on control instead of stress (same budget
+// argument as bench/micro_sched.cpp).
+
+#include <benchmark/benchmark.h>
+
+#include "control/controlled_profile.hpp"
+#include "control/feedback_loop.hpp"
+#include "control/pid.hpp"
+#include "control/setpoint.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/plant.hpp"
+
+using namespace fs2;
+
+namespace {
+
+void BM_ControlledProfileLoadAt(benchmark::State& state) {
+  const control::ControlledProfile profile(0.5);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.load_at(t));
+    t += 0.005;
+  }
+}
+BENCHMARK(BM_ControlledProfileLoadAt);
+
+void BM_ControlledProfileSetLevel(benchmark::State& state) {
+  control::ControlledProfile profile(0.5);
+  double level = 0.0;
+  for (auto _ : state) {
+    profile.set_level(level);
+    level = level < 1.0 ? level + 0.001 : 0.0;
+  }
+}
+BENCHMARK(BM_ControlledProfileSetLevel);
+
+void BM_PidUpdate(benchmark::State& state) {
+  control::PidConfig cfg;
+  cfg.gains = control::PidGains{0.5, 2.0, 0.1};
+  cfg.derivative_tau_s = 1.0;
+  control::PidController pid(cfg);
+  double measurement = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pid.update(0.8, measurement, 0.25));
+    measurement = measurement < 1.0 ? measurement + 0.001 : 0.0;
+  }
+}
+BENCHMARK(BM_PidUpdate);
+
+void BM_FeedbackLoopTick(benchmark::State& state) {
+  // tick() appends telemetry, so a single loop driven for millions of
+  // benchmark iterations would time ever-larger vector reallocations (and
+  // eat memory). Rebuild the loop outside the timed region every 64k ticks
+  // to keep the per-tick cost honest.
+  auto profile = std::make_shared<control::ControlledProfile>(0.5);
+  const control::Setpoint sp = control::Setpoint::parse("power=250W");
+  auto loop = std::make_unique<control::FeedbackLoop>(sp, profile, 300.0, 0.5);
+  double t = 0.0, measurement = 240.0;
+  std::size_t ticks = 0;
+  for (auto _ : state) {
+    if (++ticks == 65536) {
+      state.PauseTiming();
+      loop = std::make_unique<control::FeedbackLoop>(sp, profile, 300.0, 0.5);
+      t = 0.0;
+      ticks = 0;
+      state.ResumeTiming();
+    }
+    t += 0.25;
+    benchmark::DoNotOptimize(loop->tick(t, measurement));
+    measurement = measurement < 260.0 ? measurement + 0.1 : 240.0;
+  }
+}
+BENCHMARK(BM_FeedbackLoopTick);
+
+void BM_SetpointParse(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        control::Setpoint::parse("power=150W,kp=0.4,ki=1.5,interval=0.5,band=2"));
+}
+BENCHMARK(BM_SetpointParse);
+
+void BM_PlantStep(benchmark::State& state) {
+  const sim::Simulator sim(sim::MachineConfig::zen2_epyc7502_2s());
+  sim::WorkloadPoint point;
+  point.power_w = 420.0;
+  sim::PowerPlant plant(sim, point, /*seed=*/7);
+  double level = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plant.step(level, 0.25));
+    level = level < 1.0 ? level + 0.001 : 0.0;
+  }
+}
+BENCHMARK(BM_PlantStep);
+
+}  // namespace

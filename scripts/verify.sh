@@ -24,4 +24,13 @@ phase name=peak   duration=10 profile=square:low=0,high=100,period=2
 EOF
 ./build/fs2 --simulate=zen2 --freq 1500 --campaign "$campaign"
 
+# Closed-loop smoke: the setpoint-stepping campaign must converge on every
+# phase, and the recorded duty-cycle trace must replay open-loop.
+trace="$(mktemp)"
+trap 'rm -f "$campaign" "$trace"' EXIT
+./build/fs2 --simulate=zen2 --freq 1500 \
+    --campaign examples/setpoint_steps.campaign \
+    --require-convergence --record-trace "$trace"
+./build/fs2 --simulate=zen2 --freq 1500 -t 30 --load-profile "trace:file=$trace"
+
 echo "verify: OK"

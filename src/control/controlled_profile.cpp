@@ -1,0 +1,21 @@
+#include "control/controlled_profile.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace fs2::control {
+
+ControlledProfile::ControlledProfile(double initial_level)
+    : level_(std::clamp(initial_level, 0.0, 1.0)) {}
+
+void ControlledProfile::set_level(double level) {
+  level_.store(std::clamp(level, 0.0, 1.0), std::memory_order_relaxed);
+}
+
+std::string ControlledProfile::describe() const {
+  return strings::format("controlled: closed-loop commanded level (now %.0f %%)",
+                         level() * 100.0);
+}
+
+}  // namespace fs2::control

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "sched/load_profile.hpp"
+
+namespace fs2::control {
+
+/// The actuator end of the feedback loop: a LoadProfile whose level is a
+/// shared atomic written by the controller and read by every worker.
+///
+/// This deliberately breaks LoadProfile's "pure function of time" contract
+/// (and reports `live() == true` so callers know): the commanded level is
+/// whatever the controller last wrote, regardless of `t`. Workers still
+/// quantize time into modulation windows off the shared PhaseClock epoch, so
+/// all cores apply a new command in lockstep at the next window boundary —
+/// and, because the profile is live, mid-window too.
+class ControlledProfile final : public sched::LoadProfile {
+ public:
+  explicit ControlledProfile(double initial_level);
+
+  double load_at(double) const override {
+    return level_.load(std::memory_order_relaxed);
+  }
+  const char* kind() const override { return "controlled"; }
+  std::string describe() const override;
+  bool live() const override { return true; }
+
+  /// Publish a new commanded level (clamped to [0, 1]). Called by the
+  /// feedback loop; safe against concurrent load_at readers.
+  void set_level(double level);
+  double level() const { return level_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> level_;
+};
+
+}  // namespace fs2::control

@@ -1,0 +1,108 @@
+#include "control/feedback_loop.hpp"
+
+#include <cmath>
+
+#include "metrics/metric.hpp"
+#include "util/error.hpp"
+
+namespace fs2::control {
+
+namespace {
+
+PidConfig make_pid_config(const Setpoint& sp) {
+  PidConfig cfg;
+  cfg.gains = FeedbackLoop::default_gains(sp.variable);
+  if (sp.kp) cfg.gains.kp = *sp.kp;
+  if (sp.ki) cfg.gains.ki = *sp.ki;
+  if (sp.kd) cfg.gains.kd = *sp.kd;
+  cfg.out_min = 0.0;
+  cfg.out_max = 1.0;
+  // Filter the derivative over ~4 ticks; harmless when kd == 0.
+  cfg.derivative_tau_s = 4.0 * sp.interval_s;
+  return cfg;
+}
+
+}  // namespace
+
+PidGains FeedbackLoop::default_gains(ControlVariable variable) {
+  switch (variable) {
+    case ControlVariable::kPower:
+      // The plant settles within one tick (duty cycle -> power is immediate),
+      // so the loop can be aggressive: half the residual error per tick from
+      // P alone, the rest integrated out within ~2 intervals.
+      return PidGains{0.5, 2.0, 0.0};
+    case ControlVariable::kTemperature:
+      // Temperature lags by the package thermal time constant (tens of
+      // seconds). A strong P pushes through the lag, the slow I removes the
+      // offset, and D brakes against overshoot as the reading ramps.
+      return PidGains{4.0, 0.25, 4.0};
+  }
+  return PidGains{};
+}
+
+double FeedbackLoop::default_scale(ControlVariable variable) {
+  switch (variable) {
+    case ControlVariable::kPower: return 100.0;       // typical package span, W
+    case ControlVariable::kTemperature: return 40.0;  // idle->full-load rise, degC
+  }
+  return 1.0;
+}
+
+FeedbackLoop::FeedbackLoop(Setpoint setpoint, std::shared_ptr<ControlledProfile> profile,
+                           double plant_scale, double initial_level)
+    : setpoint_(setpoint),
+      profile_(std::move(profile)),
+      scale_(plant_scale > 0.0 ? plant_scale : default_scale(setpoint.variable)),
+      pid_(make_pid_config(setpoint)) {
+  if (!profile_) throw Error("FeedbackLoop: profile must not be null");
+  profile_->set_level(initial_level);
+  pid_.reset(profile_->level());
+}
+
+bool FeedbackLoop::due(double t_s) const {
+  // A hair under the nominal interval so a sampling loop whose period divides
+  // interval_s doesn't skip every other tick to float rounding.
+  return !ticked_ || t_s - last_tick_s_ >= 0.999 * setpoint_.interval_s;
+}
+
+double FeedbackLoop::tick(double t_s, double measurement) {
+  const double dt = ticked_ ? t_s - last_tick_s_ : setpoint_.interval_s;
+  if (!(dt > 0.0)) throw Error("FeedbackLoop: tick times must be strictly increasing");
+  const double level =
+      pid_.update(setpoint_.value / scale_, measurement / scale_, dt);
+  profile_->set_level(level);
+  ticks_.push_back(ControlTick{t_s, setpoint_.value, measurement,
+                               setpoint_.value - measurement, level});
+  last_tick_s_ = t_s;
+  ticked_ = true;
+  return level;
+}
+
+double FeedbackLoop::poll(double t_s, metrics::Metric& metric) {
+  return tick(t_s, metric.sample());
+}
+
+FeedbackLoop::TrailingStats FeedbackLoop::trailing_stats(double window_s) const {
+  TrailingStats stats;
+  if (ticks_.empty()) return stats;
+  const double cutoff = ticks_.back().time_s - window_s;
+  double sum = 0.0;
+  for (auto it = ticks_.rbegin(); it != ticks_.rend() && it->time_s >= cutoff; ++it) {
+    sum += it->measurement;
+    ++stats.samples;
+  }
+  if (stats.samples > 0) stats.mean = sum / static_cast<double>(stats.samples);
+  return stats;
+}
+
+double FeedbackLoop::trailing_mean(double window_s) const {
+  return trailing_stats(window_s).mean;
+}
+
+bool FeedbackLoop::converged(double window_s) const {
+  const TrailingStats stats = trailing_stats(window_s);
+  if (stats.samples < 2) return false;
+  return std::abs(stats.mean - setpoint_.value) <= setpoint_.band * setpoint_.value;
+}
+
+}  // namespace fs2::control

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/controlled_profile.hpp"
+#include "control/pid.hpp"
+#include "control/setpoint.hpp"
+
+namespace fs2::metrics {
+class Metric;
+}
+
+namespace fs2::control {
+
+/// One controller tick of telemetry: what the loop saw and what it did.
+/// Emitted as the ctl-* rows of the measurement CSV and, per tick, to
+/// --control-log.
+struct ControlTick {
+  double time_s = 0.0;
+  double setpoint = 0.0;     ///< W or degC
+  double measurement = 0.0;  ///< same unit
+  double error = 0.0;        ///< setpoint - measurement
+  double output = 0.0;       ///< commanded load level in [0, 1]
+};
+
+/// Closed-loop regulator: polls a process measurement (RAPL package power,
+/// coretemp temperature, or the simulator's power plant) at the setpoint's
+/// tick interval and actuates the commanded load level through a
+/// ControlledProfile that all workers read.
+///
+/// The loop normalizes the error by `plant_scale` — the measured-unit change
+/// a full 0→1 load swing produces — so the PID gains are dimensionless and
+/// one default tuning works across SKUs: on the simulator the span is known
+/// exactly; on hosts it is the setpoint's `scale=` hint (or a conservative
+/// default).
+///
+/// The loop is driven, not driving: the orchestrator owns the clock (real
+/// 50 ms sampling loop, or the simulator's virtual-time steps) and calls
+/// tick()/poll() — which is what makes the whole subsystem testable in
+/// deterministic virtual time.
+class FeedbackLoop {
+ public:
+  /// `profile` receives every commanded level and must outlive the loop.
+  /// `initial_level` seeds both the profile and the controller's integral
+  /// (bumpless start from a feed-forward guess). `plant_scale` <= 0 selects
+  /// the variable's default span.
+  FeedbackLoop(Setpoint setpoint, std::shared_ptr<ControlledProfile> profile,
+               double plant_scale, double initial_level);
+
+  /// One controller update at elapsed time `t_s` with a fresh measurement.
+  /// Returns (and publishes) the commanded load level. Call at intervals of
+  /// roughly interval_s(); the loop uses the actual time delta.
+  double tick(double t_s, double measurement);
+
+  /// Convenience for host runs: sample `metric` and tick.
+  double poll(double t_s, metrics::Metric& metric);
+
+  /// True when `t_s` is at least one tick interval past the previous tick —
+  /// lets a faster sampling loop drive the controller at its own rate.
+  bool due(double t_s) const;
+
+  const Setpoint& setpoint() const { return setpoint_; }
+  const ControlledProfile& profile() const { return *profile_; }
+  const std::vector<ControlTick>& telemetry() const { return ticks_; }
+
+  /// Converged = the mean measurement over the trailing `window_s` seconds
+  /// of telemetry is within the setpoint's band (default +-2 %). False until
+  /// the window has at least two ticks.
+  bool converged(double window_s) const;
+
+  /// Mean measurement over the trailing `window_s` of telemetry (0 when no
+  /// ticks landed in the window) — the "achieved plateau" a phase summary
+  /// reports next to the setpoint.
+  double trailing_mean(double window_s) const;
+
+  /// Default dimensionless gains per variable: power plants react within one
+  /// tick, so the loop is tuned fast; temperature lags by the thermal time
+  /// constant and gets a slower integral plus a derivative brake.
+  static PidGains default_gains(ControlVariable variable);
+
+  /// Default plant span when neither the simulator nor a `scale=` hint
+  /// provides one (host power span in W; temperature span in degC).
+  static double default_scale(ControlVariable variable);
+
+ private:
+  struct TrailingStats {
+    double mean = 0.0;
+    std::size_t samples = 0;
+  };
+  TrailingStats trailing_stats(double window_s) const;
+
+  Setpoint setpoint_;
+  std::shared_ptr<ControlledProfile> profile_;
+  double scale_;
+  PidController pid_;
+  std::vector<ControlTick> ticks_;
+  double last_tick_s_ = 0.0;
+  bool ticked_ = false;
+};
+
+}  // namespace fs2::control

@@ -1,0 +1,54 @@
+#include "control/pid.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fs2::control {
+
+PidController::PidController(PidConfig config) : cfg_(config) {
+  if (!(cfg_.out_min < cfg_.out_max))
+    throw ConfigError("PidController: output range must satisfy out_min < out_max");
+  if (!(cfg_.derivative_tau_s >= 0.0))
+    throw ConfigError("PidController: derivative filter time constant must be >= 0");
+}
+
+void PidController::reset(double output_bias) {
+  integral_ = std::clamp(output_bias, cfg_.out_min, cfg_.out_max);
+  prev_measurement_ = 0.0;
+  derivative_ = 0.0;
+  primed_ = false;
+  saturated_ = false;
+}
+
+double PidController::update(double setpoint, double measurement, double dt_s) {
+  if (!(dt_s > 0.0)) throw Error("PidController: dt must be > 0");
+  const double error = setpoint - measurement;
+
+  // Derivative on measurement (negated: a rising measurement should push the
+  // output down), through a first-order low-pass.
+  const double raw = primed_ ? -(measurement - prev_measurement_) / dt_s : 0.0;
+  const double alpha =
+      cfg_.derivative_tau_s > 0.0 ? dt_s / (cfg_.derivative_tau_s + dt_s) : 1.0;
+  derivative_ += alpha * (raw - derivative_);
+  prev_measurement_ = measurement;
+  primed_ = true;
+
+  const double p_term = cfg_.gains.kp * error;
+  const double d_term = cfg_.gains.kd * derivative_;
+  const double i_candidate = integral_ + cfg_.gains.ki * error * dt_s;
+
+  double unclamped = p_term + i_candidate + d_term;
+  const bool winds_up = (unclamped > cfg_.out_max && error > 0.0) ||
+                        (unclamped < cfg_.out_min && error < 0.0);
+  if (!winds_up)
+    integral_ = i_candidate;
+  else
+    unclamped = p_term + integral_ + d_term;  // hold the integral where it was
+
+  const double output = std::clamp(unclamped, cfg_.out_min, cfg_.out_max);
+  saturated_ = output != unclamped;
+  return output;
+}
+
+}  // namespace fs2::control

@@ -1,0 +1,69 @@
+#pragma once
+
+namespace fs2::control {
+
+/// PID gains. The feedback loop normalizes the process error by the plant's
+/// full-scale span before it reaches the controller, so gains are
+/// dimensionless: kp is output (load fraction) per unit of normalized error,
+/// ki per unit-error-second, kd per unit-error/second.
+struct PidGains {
+  double kp = 0.0;
+  double ki = 0.0;
+  double kd = 0.0;
+};
+
+/// Controller parameters beyond the gains.
+struct PidConfig {
+  PidGains gains;
+  double out_min = 0.0;  ///< actuator floor (idle)
+  double out_max = 1.0;  ///< actuator ceiling (full load)
+  /// First-order low-pass time constant for the derivative term. The raw
+  /// derivative of a noisy power reading is useless (0.4 % meter noise at
+  /// 4 Hz swamps any trend); 0 disables filtering.
+  double derivative_tau_s = 0.0;
+};
+
+/// Discrete PID controller with output clamping, conditional-integration
+/// anti-windup, and derivative-on-measurement filtering.
+///
+/// Design notes:
+///  - The derivative acts on the measurement, not the error, so setpoint
+///    steps (campaign `target=` transitions) do not kick the actuator.
+///  - Anti-windup: the integral is frozen whenever the unclamped output is
+///    saturated *and* the error would push it further out. Under an
+///    unreachable setpoint the integral therefore stays bounded and the
+///    loop recovers in one or two ticks once the setpoint drops back.
+///  - The integral state stores the accumulated I *term* (already scaled by
+///    ki), so `reset(bias)` gives a bumpless start from a feed-forward
+///    guess: the first output equals `bias` when the error is zero.
+class PidController {
+ public:
+  explicit PidController(PidConfig config);
+
+  /// One controller tick: returns the clamped actuator command for the
+  /// given setpoint/measurement pair. `dt_s` is the time since the previous
+  /// update and must be > 0.
+  double update(double setpoint, double measurement, double dt_s);
+
+  /// Clear dynamic state; preload the integral so the next output starts at
+  /// `output_bias` (clamped into [out_min, out_max]) for zero error.
+  void reset(double output_bias = 0.0);
+
+  /// Accumulated integral term (post-ki). Bounded under saturation.
+  double integral() const { return integral_; }
+
+  /// True when the previous update clamped its output.
+  bool saturated() const { return saturated_; }
+
+  const PidConfig& config() const { return cfg_; }
+
+ private:
+  PidConfig cfg_;
+  double integral_ = 0.0;
+  double prev_measurement_ = 0.0;
+  double derivative_ = 0.0;  ///< filtered d(measurement)/dt, sign-flipped
+  bool primed_ = false;      ///< prev_measurement_ holds a real sample
+  bool saturated_ = false;
+};
+
+}  // namespace fs2::control

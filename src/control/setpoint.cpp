@@ -1,0 +1,136 @@
+#include "control/setpoint.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::control {
+
+const char* to_string(ControlVariable variable) {
+  switch (variable) {
+    case ControlVariable::kPower: return "power";
+    case ControlVariable::kTemperature: return "temperature";
+  }
+  return "?";
+}
+
+const char* unit_of(ControlVariable variable) {
+  switch (variable) {
+    case ControlVariable::kPower: return "W";
+    case ControlVariable::kTemperature: return "degC";
+  }
+  return "?";
+}
+
+namespace {
+
+/// PID gain override: finite and non-negative (the derivative term is
+/// sign-flipped internally, so all gains are positive in this formulation;
+/// NaN would poison the whole loop through std::clamp).
+double parse_gain(const std::string& value, const std::string& key) {
+  const double gain = strings::parse_double(value, "--target " + key);
+  if (!(gain >= 0.0 && gain <= 1000.0))
+    throw ConfigError("--target: " + key + " must be a finite gain within [0, 1000]");
+  return gain;
+}
+
+/// Numeric value with an optional unit suffix ("150W", "85C", "85c").
+double parse_valued(const std::string& text, char unit, const std::string& context) {
+  std::string number = text;
+  if (!number.empty()) {
+    const char last = number.back();
+    if (last == unit || last == static_cast<char>(unit + ('a' - 'A')))
+      number.pop_back();
+  }
+  return strings::parse_double(strings::trim(number), context);
+}
+
+}  // namespace
+
+Setpoint Setpoint::parse(const std::string& spec) {
+  const std::string_view trimmed = strings::trim(spec);
+  if (trimmed.empty()) throw ConfigError("--target: empty setpoint spec");
+
+  Setpoint sp;
+  std::map<std::string, std::string> seen;
+  bool first = true;
+  for (const std::string& token : strings::split(trimmed, ',')) {
+    const std::string_view entry = strings::trim(token);
+    if (entry.empty()) throw ConfigError("--target: empty parameter in '" + spec + "'");
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos)
+      throw ConfigError("--target: parameter '" + std::string(entry) + "' is not key=value");
+    const std::string key = strings::to_lower(strings::trim(entry.substr(0, eq)));
+    const std::string value(strings::trim(entry.substr(eq + 1)));
+    if (value.empty()) throw ConfigError("--target: key '" + key + "' has an empty value");
+    if (!seen.emplace(key, value).second)
+      throw ConfigError("--target: duplicate key '" + key + "'");
+
+    if (first) {
+      if (key == "power") {
+        sp.variable = ControlVariable::kPower;
+        sp.value = parse_valued(value, 'W', "--target power");
+        if (!(sp.value > 0.0 && sp.value <= 100000.0))
+          throw ConfigError("--target: power setpoint must be within (0, 100000] watts");
+      } else if (key == "temp" || key == "temperature") {
+        sp.variable = ControlVariable::kTemperature;
+        sp.value = parse_valued(value, 'C', "--target temp");
+        if (!(sp.value > 0.0 && sp.value <= 150.0))
+          throw ConfigError("--target: temperature setpoint must be within (0, 150] degC");
+      } else {
+        throw ConfigError("--target: spec must start with power=WATTS or temp=DEGC, got '" +
+                          key + "'");
+      }
+      first = false;
+      continue;
+    }
+
+    if (key == "kp") sp.kp = parse_gain(value, "kp");
+    else if (key == "ki") sp.ki = parse_gain(value, "ki");
+    else if (key == "kd") sp.kd = parse_gain(value, "kd");
+    else if (key == "interval") {
+      sp.interval_s = strings::parse_double(value, "--target interval");
+      // Floor at 10 ms: RAPL updates at ~1 kHz and the sim tick loop runs
+      // duration/interval iterations — a microsecond interval would spin a
+      // "virtual time" run for hours and accumulate telemetry unbounded.
+      if (!(sp.interval_s >= 0.01 && sp.interval_s <= 60.0))
+        throw ConfigError("--target: interval must be within [0.01, 60] seconds");
+    } else if (key == "band") {
+      const double pct = strings::parse_double(value, "--target band");
+      if (!(pct > 0.0 && pct <= 50.0))
+        throw ConfigError("--target: band must be within (0, 50] percent");
+      sp.band = pct / 100.0;
+    } else if (key == "scale") {
+      sp.scale = strings::parse_double(value, "--target scale");
+      // Finite too: scale=inf would normalize every error to zero and
+      // silently freeze the controller at its initial level.
+      if (!std::isfinite(*sp.scale) || !(*sp.scale > 0.0))
+        throw ConfigError(
+            "--target: scale must be a finite value > 0 measured units per unit load");
+    } else {
+      throw ConfigError("--target: unknown key '" + key +
+                        "' (power, temp, kp, ki, kd, interval, band, scale)");
+    }
+  }
+  return sp;
+}
+
+void Setpoint::validate_duration(double duration_s, const std::string& what) const {
+  // Two ticks minimum: one tick cannot yield a convergence verdict
+  // (converged() needs >= 2 samples), so anything shorter would fail
+  // --require-convergence vacuously instead of erroring up front.
+  if (duration_s < 2.0 * interval_s)
+    throw ConfigError(strings::format(
+        "%s of %g s is shorter than two controller intervals of %g s (lower "
+        "interval= in the target spec or lengthen it)",
+        what.c_str(), duration_s, interval_s));
+}
+
+std::string Setpoint::describe() const {
+  return strings::format("%s setpoint %g %s (tick %g s, band %g %%)", to_string(variable),
+                         value, unit_of(variable), interval_s, band * 100.0);
+}
+
+}  // namespace fs2::control

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "control/pid.hpp"
+
+namespace fs2::control {
+
+/// Which process variable the feedback loop regulates.
+enum class ControlVariable {
+  kPower,        ///< package/wall power in watts (RAPL or the sim meter)
+  kTemperature,  ///< package temperature in degrees Celsius (coretemp/k10temp)
+};
+
+const char* to_string(ControlVariable variable);
+const char* unit_of(ControlVariable variable);
+
+/// A parsed `--target` / campaign `target=` specification: the regulated
+/// variable, its setpoint, and optional loop-tuning overrides.
+///
+/// Grammar (comma-separated key=value, first entry picks the variable):
+///
+///   power=WATTS[W]   e.g. power=150W
+///   temp=DEGC[C]     e.g. temp=85C (also: temperature=)
+///
+/// optionally followed by any of
+///
+///   kp=G  ki=G  kd=G    dimensionless PID gain overrides (see PidGains)
+///   interval=SEC        controller tick period (default 0.25)
+///   band=PCT            convergence band as percent of setpoint (default 2)
+///   scale=UNITS         plant span hint: measured units per unit load swing
+///                       (host runs only; simulated plants know their span)
+///
+/// Example: `--target power=150W,kp=0.4,ki=1.5,interval=0.5`.
+struct Setpoint {
+  ControlVariable variable = ControlVariable::kPower;
+  double value = 0.0;       ///< watts or degrees Celsius
+  double interval_s = 0.25; ///< controller tick period
+  double band = 0.02;       ///< convergence band, fraction of the setpoint
+
+  // Per-gain overrides; unset entries fall back to the variable's defaults
+  // (FeedbackLoop::default_gains).
+  std::optional<double> kp, ki, kd;
+
+  /// Plant span hint for host runs, in measured units per unit load swing.
+  std::optional<double> scale;
+
+  /// Parse a spec string. Throws fs2::ConfigError on unknown variables,
+  /// malformed or duplicate keys, and out-of-range values.
+  static Setpoint parse(const std::string& spec);
+
+  /// Throw fs2::ConfigError when a run/phase of `duration_s` seconds cannot
+  /// fit at least two controller ticks — fewer cannot yield a convergence
+  /// verdict, so the run would fail --require-convergence vacuously instead
+  /// of erroring up front. `what` names the offender in the message
+  /// ("closed-loop run", "campaign phase 'x'").
+  void validate_duration(double duration_s, const std::string& what) const;
+
+  /// One-liner for logs, e.g. "power setpoint 150 W (tick 0.25 s, band 2 %)".
+  std::string describe() const;
+};
+
+}  // namespace fs2::control

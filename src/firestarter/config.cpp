@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 
+#include "control/setpoint.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -96,6 +97,15 @@ Config parse_args(int argc, const char* const* argv) {
       cfg.phase_offset_s = us / 1e6;
     } else if (flag == "--campaign") {
       cfg.campaign_file = take(inline_value, args, flag);
+    } else if (flag == "--record-trace") {
+      cfg.record_trace = take(inline_value, args, flag);
+    } else if (flag == "--target") {
+      cfg.target_spec = take(inline_value, args, flag);
+      control::Setpoint::parse(*cfg.target_spec);  // reject malformed specs here
+    } else if (flag == "--control-log") {
+      cfg.control_log = take(inline_value, args, flag);
+    } else if (flag == "--require-convergence") {
+      cfg.require_convergence = true;
     } else if (flag == "-n" || flag == "--threads") {
       cfg.threads = static_cast<int>(strings::parse_u64(take(inline_value, args, flag), flag));
     } else if (flag == "--one-thread-per-core") {
@@ -218,8 +228,28 @@ Load schedule (dynamic load patterns, Sec. III):
                                (rotating-load scenarios; default 0 = lockstep)
   --campaign FILE              run the multi-phase campaign described in FILE
                                ("phase name=X duration=S profile=SPEC
-                               [function=F]" per line) and print one summary
+                               [function=F] [target=SPEC] [threads=N]
+                               [freq=MHZ]" per line) and print one summary
                                row per phase and metric
+  --record-trace FILE          write the achieved load-level series as a
+                               trace CSV that --load-profile trace:file=FILE
+                               replays (record -> replay)
+
+Closed-loop control (hold a power or temperature setpoint):
+  --target SPEC                regulate the duty cycle against a measured
+                               setpoint instead of an open-loop profile;
+                               SPEC is power=WATTS[W] or temp=DEGC[C],
+                               optionally with kp=/ki=/kd= (PID gains),
+                               interval=SEC (tick, default 0.25),
+                               band=PCT (convergence band, default 2),
+                               scale=UNITS (plant span hint, host runs).
+                               Feedback: RAPL package power or
+                               coretemp/k10temp on hosts, the power plant
+                               model under --simulate
+  --control-log FILE           per-tick controller CSV
+                               (time_s,setpoint,measurement,error,level,phase)
+  --require-convergence        exit 1 when a controlled run/phase does not
+                               settle inside the setpoint band
 
 Measurement (Sec. III-D):
   --measurement                print metric CSV after the run

@@ -42,6 +42,14 @@ struct Config {
   std::optional<std::string> load_profile;  ///< --load-profile SPEC
   double phase_offset_s = 0.0;              ///< --phase-offset (us on the CLI)
   std::optional<std::string> campaign_file; ///< --campaign FILE
+  /// Achieved-load trace recording (sched/trace_recorder): the replayable
+  /// CSV closing the record -> replay loop.
+  std::optional<std::string> record_trace;  ///< --record-trace FILE
+
+  // Closed-loop control (control/ subsystem: setpoint regulation).
+  std::optional<std::string> target_spec;   ///< --target SPEC (power=W / temp=C)
+  std::optional<std::string> control_log;   ///< --control-log FILE (per-tick CSV)
+  bool require_convergence = false;         ///< --require-convergence (exit 1 if not)
 
   // Synchronized SIMD self-test (error detection for overclocked systems).
   bool selftest = false;

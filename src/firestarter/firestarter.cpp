@@ -1,11 +1,17 @@
 #include "firestarter/firestarter.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
+#include <limits>
+#include <set>
 #include <thread>
 
 #include "arch/processor.hpp"
 #include "arch/topology.hpp"
+#include "control/controlled_profile.hpp"
+#include "control/feedback_loop.hpp"
+#include "control/setpoint.hpp"
 #include "firestarter/backends.hpp"
 #include "gpu/dgemm_stress.hpp"
 #include "kernel/register_dump.hpp"
@@ -13,6 +19,7 @@
 #include "kernel/selftest.hpp"
 #include "kernel/thread_manager.hpp"
 #include "kernel/watchdog.hpp"
+#include "metrics/coretemp.hpp"
 #include "metrics/external.hpp"
 #include "metrics/ipc_estimate.hpp"
 #include "metrics/measurement.hpp"
@@ -22,6 +29,8 @@
 #include "payload/mix.hpp"
 #include "sched/campaign.hpp"
 #include "sched/load_profile.hpp"
+#include "sched/trace_recorder.hpp"
+#include "sim/plant.hpp"
 #include "sim/sim_system.hpp"
 #include "tuning/nsga2.hpp"
 #include "util/error.hpp"
@@ -101,11 +110,13 @@ sched::ProfilePtr resolve_profile(const Config& cfg) {
 }
 
 /// Worker CPU list for host runs: the topology's choice, trimmed to
-/// --threads when set.
-std::vector<int> resolve_worker_cpus(const Config& cfg) {
+/// --threads (or a campaign phase's threads= override) when set.
+std::vector<int> resolve_worker_cpus(const Config& cfg,
+                                     std::optional<int> threads_override = std::nullopt) {
   std::vector<int> cpus = arch::Topology::from_sysfs().worker_cpus(cfg.one_thread_per_core);
-  if (cfg.threads && *cfg.threads > 0 && static_cast<std::size_t>(*cfg.threads) < cpus.size())
-    cpus.resize(static_cast<std::size_t>(*cfg.threads));
+  const std::optional<int> threads = threads_override ? threads_override : cfg.threads;
+  if (threads && *threads > 0 && static_cast<std::size_t>(*threads) < cpus.size())
+    cpus.resize(static_cast<std::size_t>(*threads));
   return cpus;
 }
 
@@ -135,15 +146,24 @@ struct HostMetricSet {
   }
 };
 
+/// `skip_plugin` / `skip_command` suppress the --metric-path or
+/// --metric-command instance when the control loop already owns exactly that
+/// source — instantiating it twice would double-initialize plugin state or
+/// double-spawn meter commands (the controller's readings still land in the
+/// CSV as ctl-measurement). The source the loop did NOT take keeps its
+/// measurement series.
 std::unique_ptr<HostMetricSet> build_host_metrics(const Config& cfg,
                                                   const kernel::ThreadManager& manager,
-                                                  double instructions_per_iteration) {
+                                                  double instructions_per_iteration,
+                                                  bool skip_plugin = false,
+                                                  bool skip_command = false) {
   auto set = std::make_unique<HostMetricSet>();
   set->estimate = std::make_unique<metrics::IpcEstimateMetric>(
       [&manager] { return manager.total_iterations(); }, instructions_per_iteration,
       kIpcEstimateAssumedMhz, static_cast<int>(manager.num_workers()));
-  if (cfg.metric_path) set->plugin = std::make_unique<metrics::PluginMetric>(*cfg.metric_path);
-  if (cfg.metric_command)
+  if (cfg.metric_path && !skip_plugin)
+    set->plugin = std::make_unique<metrics::PluginMetric>(*cfg.metric_path);
+  if (cfg.metric_command && !skip_command)
     set->command = std::make_unique<metrics::CommandMetric>(*cfg.metric_command,
                                                             "external-command", "value");
   if (set->rapl.available()) set->active.push_back(&set->rapl);
@@ -168,6 +188,222 @@ metrics::Summary summarize_phase(const metrics::TimeSeries& series, double durat
                                               std::min(stop_delta_s, 0.25 * duration_s));
   summary.phase = phase;
   return summary;
+}
+
+/// Summarize every series into per-phase rows, downgrading empty-window
+/// errors (deltas ate a short phase's samples) to warnings — one place owns
+/// the catch policy for all run modes.
+void summarize_all(const std::vector<const metrics::TimeSeries*>& series, double duration_s,
+                   double start_delta_s, double stop_delta_s, const std::string& phase,
+                   std::vector<metrics::Summary>* summaries) {
+  for (const metrics::TimeSeries* s : series) {
+    try {
+      summaries->push_back(
+          summarize_phase(*s, duration_s, start_delta_s, stop_delta_s, phase));
+    } catch (const Error& e) {
+      log::warn() << e.what();
+    }
+  }
+}
+
+/// Borrowed view of a series vector for summarize_all (avoids deep-copying
+/// sample data just to read it).
+std::vector<const metrics::TimeSeries*> series_ptrs(
+    const std::vector<metrics::TimeSeries>& series) {
+  std::vector<const metrics::TimeSeries*> ptrs;
+  ptrs.reserve(series.size());
+  for (const metrics::TimeSeries& s : series) ptrs.push_back(&s);
+  return ptrs;
+}
+
+// ---- closed-loop control helpers --------------------------------------------
+
+/// Controller telemetry as extra measurement rows: one ctl-* TimeSeries per
+/// tick-level quantity, summarized alongside the regular metrics so every
+/// controlled phase's setpoint, achieved measurement, residual error, and
+/// commanded output land in the summary CSV.
+void append_control_series(const control::FeedbackLoop& loop,
+                           std::vector<metrics::TimeSeries>* series) {
+  const char* unit = control::unit_of(loop.setpoint().variable);
+  metrics::TimeSeries setpoint("ctl-setpoint", unit);
+  metrics::TimeSeries measurement("ctl-measurement", unit);
+  metrics::TimeSeries error("ctl-error", unit);
+  metrics::TimeSeries output("ctl-output", "fraction");
+  for (const control::ControlTick& tick : loop.telemetry()) {
+    setpoint.add(tick.time_s, tick.setpoint);
+    measurement.add(tick.time_s, tick.measurement);
+    error.add(tick.time_s, tick.error);
+    output.add(tick.time_s, tick.output);
+  }
+  series->push_back(std::move(setpoint));
+  series->push_back(std::move(measurement));
+  series->push_back(std::move(error));
+  series->push_back(std::move(output));
+}
+
+/// One --control-log row. Fixed-point timestamps: %g's significant-digit
+/// rounding collapses adjacent 0.25 s ticks once a burn-in campaign passes
+/// a few hours (the same failure TraceRecorder::write_csv guards against).
+void write_control_tick(std::ostream& out, const control::ControlTick& tick,
+                        double time_offset_s, const std::string& phase) {
+  out << strings::format("%.6f,%.6g,%.6g,%.6g,%.6g,%s\n", time_offset_s + tick.time_s,
+                         tick.setpoint, tick.measurement, tick.error, tick.output,
+                         phase.c_str());
+}
+
+/// Write a loop's full telemetry (instant virtual-time phases). Real-time
+/// paths stream ticks as they happen instead — a week-long burn-in that
+/// dies mid-run must not lose its entire log.
+void append_control_log(std::ostream& out, const control::FeedbackLoop& loop,
+                        double time_offset_s, const std::string& phase) {
+  for (const control::ControlTick& tick : loop.telemetry())
+    write_control_tick(out, tick, time_offset_s, phase);
+}
+
+/// Stream any not-yet-written ticks to the log; tracks progress through
+/// `written` so the sampling loop can call it every iteration.
+void stream_control_log(std::ostream& out, const control::FeedbackLoop& loop,
+                        double time_offset_s, const std::string& phase,
+                        std::size_t* written) {
+  const std::vector<control::ControlTick>& ticks = loop.telemetry();
+  if (*written == ticks.size()) return;
+  for (; *written < ticks.size(); ++*written)
+    write_control_tick(out, ticks[*written], time_offset_s, phase);
+  out.flush();  // survive a mid-run kill
+}
+
+/// Open an output file (--record-trace, --control-log) up front — before
+/// any stress runs — so a bad path fails in seconds, not after an
+/// hour-long burn-in has produced the data it was meant to keep.
+std::ofstream open_output_file(const std::string& path, const char* flag) {
+  std::ofstream out(path);
+  if (!out)
+    throw Error(std::string(flag) + ": cannot open '" + path + "' for writing");
+  return out;
+}
+
+/// Open --control-log with its header when the run actually has a
+/// controller to log; otherwise warn and return a closed stream. One place
+/// owns the schema so the three run modes cannot drift apart.
+std::ofstream open_control_log(const std::optional<std::string>& path, bool has_target,
+                               const char* ignored_reason) {
+  std::ofstream out;
+  if (!path) return out;
+  if (!has_target) {
+    log::warn() << "--control-log is ignored" << ignored_reason;
+    return out;
+  }
+  out = open_output_file(*path, "--control-log");
+  out << "time_s,setpoint,measurement,error,level,phase\n";
+  return out;
+}
+
+/// Write the recorded trace into the stream that was opened up front and
+/// tell the user where it went.
+void finish_recorded_trace(const std::optional<std::string>& path,
+                           const sched::TraceRecorder& trace, std::ofstream& out) {
+  if (!path) return;
+  trace.write_csv(out);
+  log::info() << "achieved-load trace written to " << *path;
+}
+
+/// Convergence window for a phase of `duration_s`: the trailing quarter,
+/// but at least a few controller ticks' worth.
+double convergence_window_s(const control::FeedbackLoop& loop, double duration_s) {
+  return std::max(4.0 * loop.setpoint().interval_s, 0.25 * duration_s);
+}
+
+/// Log whether the loop settled inside the band; returns the verdict so
+/// callers can honor --require-convergence.
+bool report_convergence(const control::FeedbackLoop& loop, double duration_s,
+                        const std::string& label) {
+  const double window = convergence_window_s(loop, duration_s);
+  const bool converged = loop.converged(window);
+  const double achieved = loop.trailing_mean(window);
+  const control::Setpoint& sp = loop.setpoint();
+  if (converged)
+    log::info() << label << ": converged to "
+                << strings::format("%.1f %s (target %g +-%g %%)", achieved,
+                                   control::unit_of(sp.variable), sp.value, sp.band * 100.0);
+  else
+    log::warn() << label << ": NOT converged — trailing mean "
+                << strings::format("%.1f %s vs target %g +-%g %%", achieved,
+                                   control::unit_of(sp.variable), sp.value, sp.band * 100.0);
+  return converged;
+}
+
+/// Copy an achieved load-level series into the trace recorder, shifted to
+/// campaign time.
+void record_load_series(sched::TraceRecorder* trace, const metrics::TimeSeries& load,
+                        double time_offset_s) {
+  if (trace == nullptr) return;
+  for (const metrics::Sample& sample : load.samples())
+    trace->record(time_offset_s + sample.time_s, sample.value);
+}
+
+/// Actuator + sensor + regulator for a closed-loop phase on the real host.
+struct HostControl {
+  std::shared_ptr<control::ControlledProfile> profile;
+  std::unique_ptr<metrics::Metric> sensor;
+  std::unique_ptr<control::FeedbackLoop> loop;
+  /// Which external source `sensor` is, if any — the measurement set must
+  /// not instantiate that same source a second time (double plugin init,
+  /// doubled meter-command spawns); the other one keeps its series.
+  bool owns_plugin = false;
+  bool owns_command = false;
+};
+
+/// Wire a host feedback loop: pick the sensor for the regulated variable
+/// (RAPL, else an external plugin/command for power; coretemp for
+/// temperature) and start from mid-scale — on an unknown SKU there is no
+/// feed-forward model, the integrator finds the level.
+HostControl make_host_control(const Config& cfg, const control::Setpoint& sp) {
+  HostControl hc;
+  if (sp.variable == control::ControlVariable::kPower) {
+    // An explicitly requested external meter outranks the implicit RAPL
+    // default: a user passing --metric-path/--metric-command wants the loop
+    // to regulate *that* reading (e.g. wall power, which differs from RAPL
+    // package watts by PSU and fan losses). RAPL is the fallback.
+    if (cfg.metric_path) {
+      if (auto plugin = std::make_unique<metrics::PluginMetric>(*cfg.metric_path);
+          plugin->available()) {
+        hc.sensor = std::move(plugin);
+        hc.owns_plugin = true;
+      } else {
+        log::warn() << "--metric-path sensor is unavailable; --target power falls "
+                       "back to the next source (which regulates a different reading)";
+      }
+    }
+    if (!hc.sensor && cfg.metric_command) {
+      if (auto command = std::make_unique<metrics::CommandMetric>(
+              *cfg.metric_command, "external-power", "W");
+          command->available()) {
+        hc.sensor = std::move(command);
+        hc.owns_command = true;
+      } else {
+        log::warn() << "--metric-command sensor is unavailable; --target power falls "
+                       "back to the next source (which regulates a different reading)";
+      }
+    }
+    if (!hc.sensor) {
+      if (auto rapl = std::make_unique<metrics::RaplPowerMetric>(); rapl->available())
+        hc.sensor = std::move(rapl);
+    }
+    if (!hc.sensor)
+      throw UnsupportedError(
+          "--target power needs a power sensor: no RAPL package domain in sysfs and no "
+          "working --metric-path/--metric-command fallback");
+  } else {
+    auto coretemp = std::make_unique<metrics::CoretempMetric>();
+    if (!coretemp->available())
+      throw UnsupportedError(
+          "--target temp needs a temperature sensor: no coretemp/k10temp hwmon chip");
+    hc.sensor = std::move(coretemp);
+  }
+  hc.profile = std::make_shared<control::ControlledProfile>(0.5);
+  hc.loop = std::make_unique<control::FeedbackLoop>(
+      sp, hc.profile, sp.scale.value_or(0.0), /*initial_level=*/0.5);
+  return hc;
 }
 
 /// Evaluate one simulated stress phase: steady-state operating point plus a
@@ -207,20 +443,116 @@ SimPhase run_sim_phase(const sim::SimulatedSystem& system, const Config& cfg,
   return phase;
 }
 
+/// One simulated closed-loop phase: the controller and the PowerPlant step
+/// together in virtual time, so a whole campaign of setpoint steps runs
+/// deterministically in milliseconds. The plant exposes its exact span, so
+/// the loop starts from a feed-forward guess and the PID only has to trim
+/// leakage warm-up, quantization, and meter noise.
+struct ControlledSimPhase {
+  SimPhase base;  ///< power/ipc/load series + steady-state point
+  metrics::TimeSeries temp{"sim-package-temp", "degC"};
+  std::shared_ptr<control::ControlledProfile> profile;
+  std::unique_ptr<control::FeedbackLoop> loop;
+  double final_temp_c = 0.0;  ///< noise-free thermal state for the next phase
+};
+
+ControlledSimPhase run_sim_controlled_phase(const sim::SimulatedSystem& system,
+                                            const Config& cfg,
+                                            const payload::PayloadStats& stats,
+                                            const control::Setpoint& sp, double duration_s,
+                                            std::uint64_t seed, double warm_start_s,
+                                            bool gpu_stress,
+                                            std::optional<double> freq_override,
+                                            std::optional<int> threads_override,
+                                            std::optional<double> initial_temp_c) {
+  sp.validate_duration(duration_s, "closed-loop phase");
+  sim::RunConditions cond;
+  cond.freq_mhz = freq_override ? *freq_override : cfg.sim_freq_mhz;
+  cond.policy = policy_of(cfg);
+  cond.gpu_stress = gpu_stress;
+  if (threads_override) cond.threads = *threads_override;
+  else if (cfg.threads) cond.threads = *cfg.threads;
+
+  ControlledSimPhase phase;
+  phase.base.point = system.simulator().run(stats, cond);
+  sim::PowerPlant plant(system.simulator(), phase.base.point, seed, warm_start_s,
+                        /*noise=*/true, initial_temp_c);
+
+  double scale, feed_forward;
+  if (sp.variable == control::ControlVariable::kPower) {
+    scale = plant.power_span_w();
+    feed_forward = (sp.value - plant.idle_power_w()) / scale;
+  } else {
+    scale = plant.temp_span_c();
+    feed_forward = (sp.value - plant.steady_temp_c(plant.idle_power_w())) / scale;
+  }
+  phase.profile = std::make_shared<control::ControlledProfile>(clamp01(feed_forward));
+  phase.loop = std::make_unique<control::FeedbackLoop>(sp, phase.profile, scale,
+                                                       clamp01(feed_forward));
+
+  // Tick loop: the plant advances one interval under the previously
+  // commanded level, then the controller reacts to the fresh measurement —
+  // the same one-tick sensing lag a real RAPL poll has.
+  const double dt = sp.interval_s;
+  while (plant.state().time_s + dt <= duration_s + 1e-9) {
+    const sim::PowerPlant::State& st = plant.step(phase.profile->level(), dt);
+    const double measurement =
+        sp.variable == control::ControlVariable::kPower ? st.power_w : st.temp_c;
+    phase.loop->tick(st.time_s, measurement);
+    phase.base.power.add(st.time_s, st.power_w);
+    phase.base.ipc.add(st.time_s, phase.base.point.ipc_per_core * st.level);
+    // The level was applied over [time_s - dt, time_s]; stamp it at the
+    // interval *start* so a recorded trace replays each duty-cycle edge at
+    // the moment it originally happened, not one tick late (and so the
+    // feed-forward level of the first interval is part of the record).
+    phase.base.load.add(st.time_s - dt, st.level);
+    phase.temp.add(st.time_s, st.temp_c);
+  }
+  phase.final_temp_c = plant.true_temp_c();
+  return phase;
+}
+
+/// What a host phase leaves behind beyond its summary rows: the achieved
+/// load series (trace recording) and, for controlled phases, the feedback
+/// loop with its telemetry.
+struct HostPhaseOutput {
+  metrics::TimeSeries load{"load-level", "fraction"};
+  std::unique_ptr<control::FeedbackLoop> loop;
+  /// Wall-clock phase length — slightly over the nominal duration (the
+  /// sampling loop quantizes at 50 ms); campaign time advances by this so
+  /// cross-phase timestamps stay monotonic.
+  double elapsed_s = 0.0;
+};
+
 /// Execute one campaign phase on the real machine: compile the phase's
-/// workload, stress under its profile for `duration_s`, and append one
-/// summary row per available metric tagged with the phase name.
-void run_host_phase(const Config& cfg, const Target& target, const payload::FunctionDef& fn,
-                    const payload::InstructionGroups& groups, sched::ProfilePtr profile,
-                    double duration_s, const std::string& phase_name,
-                    std::vector<metrics::Summary>* summaries) {
+/// workload, stress for `duration_s` — under its profile, or under the
+/// feedback loop when `setpoint` is set — and append one summary row per
+/// available metric tagged with the phase name.
+HostPhaseOutput run_host_phase(const Config& cfg, const Target& target,
+                               const payload::FunctionDef& fn,
+                               const payload::InstructionGroups& groups,
+                               sched::ProfilePtr profile, const control::Setpoint* setpoint,
+                               std::optional<int> threads_override, double duration_s,
+                               const std::string& phase_name,
+                               std::vector<metrics::Summary>* summaries,
+                               std::ostream* control_log = nullptr,
+                               double log_time_offset_s = 0.0) {
   if (!target.cpu.features.covers(fn.mix.required))
     throw UnsupportedError("host CPU lacks features for " + fn.name + " (needs " +
                            fn.mix.required.to_string() + ")");
   auto payload = payload::compile_payload(fn.mix, groups, target.caches, compile_options(cfg));
 
+  HostPhaseOutput output;
+  HostControl hc;
+  if (setpoint != nullptr) {
+    setpoint->validate_duration(duration_s, "closed-loop phase");
+    hc = make_host_control(cfg, *setpoint);
+    profile = hc.profile;
+    output.loop = std::move(hc.loop);
+  }
+
   kernel::RunOptions options;
-  options.cpus = resolve_worker_cpus(cfg);
+  options.cpus = resolve_worker_cpus(cfg, threads_override);
   options.policy = policy_of(cfg);
   options.seed = cfg.seed;
   options.load = cfg.load;
@@ -229,34 +561,40 @@ void run_host_phase(const Config& cfg, const Target& target, const payload::Func
   options.phase_offset_s = cfg.phase_offset_s;
   kernel::ThreadManager manager(payload, options);
 
-  auto metrics_set = build_host_metrics(cfg, manager, payload.stats().instructions_per_iteration);
-  metrics::TimeSeries load_series("load-level", "fraction");
+  auto metrics_set = build_host_metrics(cfg, manager, payload.stats().instructions_per_iteration,
+                                        hc.owns_plugin, hc.owns_command);
 
   kernel::Watchdog watchdog;
   std::atomic<bool> done{false};
   watchdog.arm(std::chrono::duration<double>(duration_s), [&done] { done.store(true); });
   manager.start();
   metrics_set->begin_all();
+  if (hc.sensor) hc.sensor->begin();
   const auto t0 = std::chrono::steady_clock::now();
+  std::size_t log_ticks_written = 0;
   while (!done.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     metrics_set->sample_all(elapsed);
-    load_series.add(elapsed, clamp01(profile->load_at(elapsed)));
+    if (output.loop && output.loop->due(elapsed)) {
+      output.loop->poll(elapsed, *hc.sensor);
+      if (control_log != nullptr)
+        stream_control_log(*control_log, *output.loop, log_time_offset_s, phase_name,
+                           &log_ticks_written);
+    }
+    output.load.add(elapsed, clamp01(manager.profile().load_at(elapsed)));
+    output.elapsed_s = elapsed;
   }
   manager.stop();
 
-  std::vector<metrics::TimeSeries>& series = metrics_set->series;
-  series.push_back(std::move(load_series));
-  for (const metrics::TimeSeries& s : series) {
-    try {
-      summaries->push_back(
-          summarize_phase(s, duration_s, cfg.start_delta_s, cfg.stop_delta_s, phase_name));
-    } catch (const Error& e) {
-      log::warn() << e.what();
-    }
-  }
+  std::vector<metrics::TimeSeries> series = std::move(metrics_set->series);
+  if (output.loop) append_control_series(*output.loop, &series);
+  std::vector<const metrics::TimeSeries*> ptrs = series_ptrs(series);
+  ptrs.push_back(&output.load);  // borrowed: output.load survives for the caller
+  summarize_all(ptrs, duration_s, cfg.start_delta_s, cfg.stop_delta_s, phase_name,
+                summaries);
+  return output;
 }
 
 }  // namespace
@@ -306,6 +644,9 @@ int Firestarter::list_metrics() {
   metrics::PerfIpcMetric perf;
   table.add_row({perf.name(), perf.unit(), perf.available() ? "yes" : "no",
                  "perf_event_open hardware counters"});
+  metrics::CoretempMetric coretemp;
+  table.add_row({coretemp.name(), coretemp.unit(), coretemp.available() ? "yes" : "no",
+                 "hottest coretemp/k10temp hwmon sensor (--target temp feedback)"});
   table.add_row({"ipc-estimate", "instructions/cycle", "yes",
                  "loop count x instructions/loop at assumed frequency"});
   if (cfg_.metric_path) {
@@ -325,17 +666,66 @@ int Firestarter::run_stress_simulated() {
   const auto groups = resolve_groups(cfg_, fn);
   const auto stats = payload::analyze_payload(fn.mix, groups, target.caches,
                                               compile_options(cfg_));
-  const sched::ProfilePtr profile = resolve_profile(cfg_);
 
   sim::SimulatedSystem system(target.sim_config);
   const double duration = cfg_.timeout_s > 0 ? cfg_.timeout_s : 240.0;
-  SimPhase phase = run_sim_phase(system, cfg_, stats, *profile, duration, cfg_.seed,
-                                 /*warm_start_s=*/0.0, target.gpu_stress);
-  system.set_point(phase.point);
+
+  std::ofstream trace_out, control_log;
+  if (cfg_.record_trace) trace_out = open_output_file(*cfg_.record_trace, "--record-trace");
+  control_log = open_control_log(cfg_.control_log, cfg_.target_spec.has_value(),
+                                 " without --target (no controller ticks to log)");
 
   out_ << "target: " << target.sim_config.name << "\n"
        << "function: " << fn.name << "  M=" << groups.to_string()
        << "  u=" << stats.unroll << " (" << stats.loop_bytes << " B loop)\n";
+
+  if (cfg_.target_spec) {
+    // Closed-loop run against the virtual-time plant.
+    if (cfg_.load_profile)
+      log::warn() << "--load-profile is ignored under --target (the controller owns "
+                     "the duty cycle)";
+    const control::Setpoint sp = control::Setpoint::parse(*cfg_.target_spec);
+    out_ << "control: " << sp.describe() << "\n";
+    const ControlledSimPhase phase =
+        run_sim_controlled_phase(system, cfg_, stats, sp, duration, cfg_.seed,
+                                 /*warm_start_s=*/0.0, target.gpu_stress,
+                                 std::nullopt, std::nullopt, std::nullopt);
+    system.set_point(phase.base.point);
+    const bool converged = report_convergence(*phase.loop, duration, "controller");
+    const double window = convergence_window_s(*phase.loop, duration);
+    out_ << strings::format(
+        "closed loop: %.1f %s achieved (setpoint %g), level %.0f %%, %s\n",
+        phase.loop->trailing_mean(window), control::unit_of(sp.variable), sp.value,
+        phase.profile->level() * 100.0, converged ? "converged" : "NOT converged");
+
+    if (cfg_.measurement) {
+      std::vector<metrics::TimeSeries> ctl;
+      append_control_series(*phase.loop, &ctl);
+      std::vector<const metrics::TimeSeries*> series = {
+          &phase.base.power, &phase.base.ipc, &phase.base.load, &phase.temp};
+      for (const metrics::TimeSeries& s : ctl) series.push_back(&s);
+      std::vector<metrics::Summary> summaries;
+      summarize_all(series, duration, cfg_.start_delta_s, cfg_.stop_delta_s,
+                    /*phase=*/"", &summaries);
+      metrics::print_csv(out_, summaries);
+    }
+    if (cfg_.record_trace) {
+      sched::TraceRecorder trace;
+      record_load_series(&trace, phase.base.load, 0.0);
+      finish_recorded_trace(cfg_.record_trace, trace, trace_out);
+    }
+    if (cfg_.control_log) append_control_log(control_log, *phase.loop, 0.0, "");
+    return cfg_.require_convergence && !converged ? 1 : 0;
+  }
+
+  if (cfg_.require_convergence)
+    log::warn() << "--require-convergence is ignored without --target "
+                   "(nothing is regulated)";
+  const sched::ProfilePtr profile = resolve_profile(cfg_);
+  SimPhase phase = run_sim_phase(system, cfg_, stats, *profile, duration, cfg_.seed,
+                                 /*warm_start_s=*/0.0, target.gpu_stress);
+  system.set_point(phase.point);
+
   if (!profile->constant()) out_ << "load profile: " << profile->describe() << "\n";
   const sim::WorkloadPoint& point = phase.point;
   out_ << strings::format(
@@ -351,6 +741,11 @@ int Firestarter::run_stress_simulated() {
     if (!profile->constant()) summaries.push_back(phase.load.summarize(0.0, 0.0));
     metrics::print_csv(out_, summaries);
   }
+  if (cfg_.record_trace) {
+    sched::TraceRecorder trace;
+    record_load_series(&trace, phase.load, 0.0);
+    finish_recorded_trace(cfg_.record_trace, trace, trace_out);
+  }
   return 0;
 }
 
@@ -360,17 +755,22 @@ int Firestarter::run_campaign() {
   if (cfg_.load_profile)
     log::warn() << "--load-profile is ignored under --campaign (phases define their "
                    "own profiles)";
+  if (cfg_.target_spec)
+    log::warn() << "--target is ignored under --campaign (phases define their own "
+                   "target= setpoints)";
 
-  // Resolve every phase up front — functions (typos, host feature coverage)
-  // and profiles (including trace-file reads) — so a campaign fails before
-  // phase 1 starts stressing, never hours in. The cached profiles also mean
-  // trace CSVs are read once, not re-opened per phase.
+  // Resolve every phase up front — functions (typos, host feature coverage),
+  // profiles (including trace-file reads), and setpoints — so a campaign
+  // fails before phase 1 starts stressing, never hours in. The cached
+  // profiles also mean trace CSVs are read once, not re-opened per phase.
   struct ResolvedPhase {
     const payload::FunctionDef* fn;
     sched::ProfilePtr profile;
+    std::optional<control::Setpoint> setpoint;
   };
   std::vector<ResolvedPhase> resolved;
   resolved.reserve(campaign.size());
+  std::set<control::ControlVariable> probed;  // one sensor probe per variable
   for (const sched::CampaignPhase& spec : campaign.phases()) {
     const payload::FunctionDef& fn = spec.function ? payload::find_function(*spec.function)
                                                    : resolve_function(cfg_, target);
@@ -378,8 +778,37 @@ int Firestarter::run_campaign() {
       throw UnsupportedError("campaign phase '" + spec.name +
                              "': host CPU lacks features for " + fn.name + " (needs " +
                              fn.mix.required.to_string() + ")");
-    resolved.push_back(
-        {&fn, sched::parse_profile(spec.profile_spec, cfg_.load, cfg_.period_s)});
+    if (!target.simulated && spec.freq_mhz)
+      log::warn() << "campaign phase '" << spec.name
+                  << "': freq= only applies to --simulate targets (ignored on host)";
+    ResolvedPhase phase{&fn,
+                        sched::parse_profile(spec.profile_spec, cfg_.load, cfg_.period_s),
+                        std::nullopt};
+    if (spec.target_spec) {
+      if (spec.profile_explicit)
+        log::warn() << "campaign phase '" << spec.name
+                    << "': profile= is ignored under target= (the controller owns "
+                       "the duty cycle)";
+      try {
+        phase.setpoint = control::Setpoint::parse(*spec.target_spec);
+      } catch (const Error& e) {
+        throw ConfigError("campaign phase '" + spec.name + "': " + e.what());
+      }
+      phase.setpoint->validate_duration(spec.duration_s,
+                                        "campaign phase '" + spec.name + "'");
+      // Probe sensor availability now, not when the phase starts: a host
+      // campaign with a power/temp target and no matching sensor must fail
+      // before phase 1 begins stressing, never hours in. Once per variable —
+      // plugin init/fini can have side effects worth not repeating.
+      if (!target.simulated && probed.insert(phase.setpoint->variable).second) {
+        try {
+          make_host_control(cfg_, *phase.setpoint);
+        } catch (const Error& e) {
+          throw UnsupportedError("campaign phase '" + spec.name + "': " + e.what());
+        }
+      }
+    }
+    resolved.push_back(std::move(phase));
   }
 
   out_ << "campaign: " << campaign.size() << " phases, "
@@ -398,32 +827,111 @@ int Firestarter::run_campaign() {
     gpu_stress->start();
   }
 
+  bool any_target = false;
+  for (const ResolvedPhase& phase : resolved) any_target |= phase.setpoint.has_value();
+  if (cfg_.require_convergence && !any_target)
+    log::warn() << "--require-convergence is ignored: no campaign phase has a "
+                   "target= setpoint";
+
+  sched::TraceRecorder trace;
+  std::size_t trace_rows_written = 0;
+  std::ofstream trace_out, control_log;
+  if (cfg_.record_trace) {
+    trace_out = open_output_file(*cfg_.record_trace, "--record-trace");
+    sched::TraceRecorder::write_header(trace_out);
+  }
+  control_log = open_control_log(cfg_.control_log, any_target,
+                                 ": no campaign phase has a target= setpoint");
+
   sim::SimulatedSystem system(target.sim_config);
   std::vector<metrics::Summary> summaries;
-  double warm_start_s = 0.0;  // virtual preheat accumulated by earlier phases
+  bool all_converged = true;
+  double campaign_time_s = 0.0;  // elapsed (and virtual preheat) from earlier phases
+  // Thermal state carried between controlled sim phases so back-to-back
+  // holds heat continuously instead of each phase snapping back to the
+  // idle-settled temperature. (Open-loop phases don't integrate the thermal
+  // model and leave the carry untouched.)
+  std::optional<double> carry_temp_c;
   std::size_t phase_index = 0;
   for (const sched::CampaignPhase& spec : campaign.phases()) {
-    const payload::FunctionDef& fn = *resolved[phase_index].fn;
+    const ResolvedPhase& res = resolved[phase_index];
+    const payload::FunctionDef& fn = *res.fn;
     const auto groups = resolve_groups(cfg_, fn);
-    const sched::ProfilePtr& profile = resolved[phase_index].profile;
     out_ << strings::format("phase %zu '%s': %s for %.0f s (%s)\n", phase_index + 1,
                             spec.name.c_str(), fn.name.c_str(), spec.duration_s,
-                            profile->describe().c_str());
+                            res.setpoint ? res.setpoint->describe().c_str()
+                                         : res.profile->describe().c_str());
 
     if (target.simulated) {
       const auto stats =
           payload::analyze_payload(fn.mix, groups, target.caches, compile_options(cfg_));
-      const SimPhase phase =
-          run_sim_phase(system, cfg_, stats, *profile, spec.duration_s,
-                        cfg_.seed + phase_index, warm_start_s, target.gpu_stress);
-      for (const metrics::TimeSeries* series : {&phase.power, &phase.ipc, &phase.load})
-        summaries.push_back(summarize_phase(*series, spec.duration_s, cfg_.start_delta_s,
-                                            cfg_.stop_delta_s, spec.name));
+      if (res.setpoint) {
+        const ControlledSimPhase phase = run_sim_controlled_phase(
+            system, cfg_, stats, *res.setpoint, spec.duration_s, cfg_.seed + phase_index,
+            campaign_time_s, target.gpu_stress, spec.freq_mhz, spec.threads,
+            carry_temp_c);
+        carry_temp_c = phase.final_temp_c;
+        std::vector<metrics::TimeSeries> ctl;
+        append_control_series(*phase.loop, &ctl);
+        std::vector<const metrics::TimeSeries*> series = {
+            &phase.base.power, &phase.base.ipc, &phase.base.load, &phase.temp};
+        for (const metrics::TimeSeries& s : ctl) series.push_back(&s);
+        summarize_all(series, spec.duration_s, cfg_.start_delta_s, cfg_.stop_delta_s,
+                      spec.name, &summaries);
+        record_load_series(cfg_.record_trace ? &trace : nullptr, phase.base.load,
+                           campaign_time_s);
+        if (control_log.is_open())
+          append_control_log(control_log, *phase.loop, campaign_time_s, spec.name);
+        all_converged &=
+            report_convergence(*phase.loop, spec.duration_s, "phase '" + spec.name + "'");
+      } else {
+        sched::ProfilePtr profile = res.profile;
+        Config phase_cfg = cfg_;
+        if (spec.freq_mhz) phase_cfg.sim_freq_mhz = *spec.freq_mhz;
+        if (spec.threads) phase_cfg.threads = *spec.threads;
+        const SimPhase phase =
+            run_sim_phase(system, phase_cfg, stats, *profile, spec.duration_s,
+                          cfg_.seed + phase_index, campaign_time_s, target.gpu_stress);
+        summarize_all({&phase.power, &phase.ipc, &phase.load}, spec.duration_s,
+                      cfg_.start_delta_s, cfg_.stop_delta_s, spec.name, &summaries);
+        record_load_series(cfg_.record_trace ? &trace : nullptr, phase.load,
+                           campaign_time_s);
+        // Advance the thermal carry through this open-loop phase too — a
+        // first-order settle toward the phase's mean-power steady state —
+        // so a later temp-target phase doesn't inherit a stale (or
+        // idle-cold) package after e.g. 300 s of full load.
+        if (!phase.power.samples().empty()) {
+          const sim::ThermalParams& th = system.simulator().config().thermal;
+          double mean_power = 0.0;
+          for (const metrics::Sample& s : phase.power.samples()) mean_power += s.value;
+          mean_power /= static_cast<double>(phase.power.samples().size());
+          const double steady = th.ambient_c + th.c_per_w * mean_power;
+          const double prev = carry_temp_c.value_or(
+              th.ambient_c + th.c_per_w * system.simulator().idle().power_w);
+          carry_temp_c = steady + (prev - steady) * std::exp(-spec.duration_s / th.tau_s);
+        }
+      }
+      campaign_time_s += spec.duration_s;
     } else {
-      run_host_phase(cfg_, target, fn, groups, profile, spec.duration_s, spec.name,
-                     &summaries);
+      const HostPhaseOutput output = run_host_phase(
+          cfg_, target, fn, groups, res.profile,
+          res.setpoint ? &*res.setpoint : nullptr, spec.threads, spec.duration_s,
+          spec.name, &summaries,
+          control_log.is_open() ? &control_log : nullptr, campaign_time_s);
+      record_load_series(cfg_.record_trace ? &trace : nullptr, output.load,
+                         campaign_time_s);
+      if (output.loop)
+        all_converged &= report_convergence(*output.loop, spec.duration_s,
+                                            "phase '" + spec.name + "'");
+      // Advance by the *actual* phase length: the 50 ms sampling loop
+      // overruns the nominal duration slightly, and a nominal offset would
+      // make the next phase's first timestamps non-monotonic (the recorder
+      // would silently drop them).
+      campaign_time_s += std::max(spec.duration_s, output.elapsed_s);
     }
-    warm_start_s += spec.duration_s;
+    // Stream accumulated breakpoints so an interrupted campaign keeps its
+    // trace up to the previous phase.
+    if (cfg_.record_trace) trace.stream_rows(trace_out, &trace_rows_written);
     ++phase_index;
   }
 
@@ -433,7 +941,15 @@ int Firestarter::run_campaign() {
                             static_cast<unsigned long long>(gpu_stress->total_gemms()),
                             gpu_stress->total_flops() / 1e9);
   }
+  if (cfg_.record_trace) {
+    trace.stream_rows(trace_out, &trace_rows_written);
+    log::info() << "achieved-load trace written to " << *cfg_.record_trace;
+  }
   metrics::print_csv(out_, summaries);
+  if (cfg_.require_convergence && !all_converged) {
+    log::error() << "campaign failed --require-convergence";
+    return 1;
+  }
   return 0;
 }
 
@@ -487,13 +1003,32 @@ int Firestarter::run_stress_host() {
               << payload.stats().loop_bytes << " B, "
               << payload.stats().instructions_per_iteration << " instructions/iteration";
 
+  // Closed-loop --target: the controller's profile replaces the open-loop
+  // schedule as the actuator.
+  HostControl hc;
+  std::unique_ptr<control::FeedbackLoop> loop;
+  if (cfg_.target_spec) {
+    if (cfg_.load_profile)
+      log::warn() << "--load-profile is ignored under --target (the controller owns "
+                     "the duty cycle)";
+    const control::Setpoint sp = control::Setpoint::parse(*cfg_.target_spec);
+    if (cfg_.timeout_s > 0) sp.validate_duration(cfg_.timeout_s, "closed-loop run");
+    hc = make_host_control(cfg_, sp);
+    loop = std::move(hc.loop);
+    log::info() << "control: " << loop->setpoint().describe() << " via "
+                << hc.sensor->name();
+  } else if (cfg_.require_convergence) {
+    log::warn() << "--require-convergence is ignored without --target "
+                   "(nothing is regulated)";
+  }
+
   kernel::RunOptions run_options;
   run_options.cpus = resolve_worker_cpus(cfg_);
   run_options.policy = policy_of(cfg_);
   run_options.seed = cfg_.seed;
   run_options.load = cfg_.load;
   run_options.period_s = cfg_.period_s;
-  run_options.profile = resolve_profile(cfg_);
+  run_options.profile = loop ? hc.profile : resolve_profile(cfg_);
   run_options.phase_offset_s = cfg_.phase_offset_s;
   kernel::ThreadManager manager(payload, run_options);
   if (!run_options.profile->constant())
@@ -511,9 +1046,22 @@ int Firestarter::run_stress_host() {
 
   // Metrics for --measurement.
   auto metrics_set =
-      build_host_metrics(cfg_, manager, payload.stats().instructions_per_iteration);
+      build_host_metrics(cfg_, manager, payload.stats().instructions_per_iteration,
+                         hc.owns_plugin, hc.owns_command);
   metrics::TimeSeries load_series("load-level", "fraction");
+  // Only --measurement consumes this series (a controlled profile is never
+  // constant(), so --target runs are covered); --record-trace feeds its own
+  // recorder directly in the sampling loop.
   const bool record_load = cfg_.measurement && !run_options.profile->constant();
+  sched::TraceRecorder trace;
+  std::size_t trace_rows_written = 0;
+  std::ofstream trace_out, control_log;
+  if (cfg_.record_trace) {
+    trace_out = open_output_file(*cfg_.record_trace, "--record-trace");
+    sched::TraceRecorder::write_header(trace_out);
+  }
+  control_log = open_control_log(cfg_.control_log, loop != nullptr,
+                                 " without --target (no controller ticks to log)");
 
   kernel::Watchdog watchdog;
   std::atomic<bool> done{false};
@@ -526,9 +1074,11 @@ int Firestarter::run_stress_host() {
   manager.start();
   if (gpu_stress) gpu_stress->start();
   metrics_set->begin_all();
+  if (hc.sensor) hc.sensor->begin();
 
   const auto t0 = std::chrono::steady_clock::now();
   double last_dump_s = 0.0;
+  std::size_t log_ticks_written = 0;
   std::ofstream dump_file;
   if (cfg_.dump_registers) dump_file.open(cfg_.dump_path);
   while (!done.load()) {
@@ -536,8 +1086,19 @@ int Firestarter::run_stress_host() {
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     if (cfg_.measurement) metrics_set->sample_all(elapsed);
+    if (loop && loop->due(elapsed)) {
+      loop->poll(elapsed, *hc.sensor);
+      if (control_log.is_open())
+        stream_control_log(control_log, *loop, 0.0, "", &log_ticks_written);
+    }
     if (record_load)
       load_series.add(elapsed, manager.profile().load_at(elapsed));
+    if (cfg_.record_trace) {
+      // Stream breakpoints as levels change: an indefinite (-t 0) or killed
+      // run keeps its trace up to the last change instead of losing it all.
+      trace.record(elapsed, clamp01(manager.profile().load_at(elapsed)));
+      trace.stream_rows(trace_out, &trace_rows_written);
+    }
     if (cfg_.dump_registers && elapsed - last_dump_s >= cfg_.dump_interval_s) {
       kernel::write_dump(dump_file, kernel::capture_registers(manager));
       dump_file.flush();
@@ -559,20 +1120,30 @@ int Firestarter::run_stress_host() {
     out_ << strings::format("gpu stand-in: %llu DGEMMs (%.1f GFLOP total)\n",
                             static_cast<unsigned long long>(gpu_stress->total_gemms()),
                             gpu_stress->total_flops() / 1e9);
+  bool converged = true;
+  if (loop) {
+    const double duration = cfg_.timeout_s > 0 ? cfg_.timeout_s : 0.0;
+    converged = report_convergence(*loop, duration, "controller");
+  }
   if (cfg_.measurement) {
     std::vector<metrics::TimeSeries>& series = metrics_set->series;
     if (record_load) series.push_back(std::move(load_series));
+    if (loop) append_control_series(*loop, &series);
+    // Infinite "duration" disables summarize_phase's 25 % delta clamp: that
+    // guard exists for short campaign phases, not for a single run where
+    // the user set --start/--stop-delta deliberately.
     std::vector<metrics::Summary> summaries;
-    for (const auto& s : series) {
-      try {
-        summaries.push_back(s.summarize(cfg_.start_delta_s, cfg_.stop_delta_s));
-      } catch (const Error& e) {
-        log::warn() << e.what();
-      }
-    }
+    summarize_all(series_ptrs(series), std::numeric_limits<double>::infinity(),
+                  cfg_.start_delta_s, cfg_.stop_delta_s, /*phase=*/"", &summaries);
     metrics::print_csv(out_, summaries);
   }
-  return 0;
+  if (cfg_.record_trace) {
+    trace.stream_rows(trace_out, &trace_rows_written);
+    log::info() << "achieved-load trace written to " << *cfg_.record_trace;
+  }
+  if (loop && control_log.is_open())
+    stream_control_log(control_log, *loop, 0.0, "", &log_ticks_written);
+  return cfg_.require_convergence && !converged ? 1 : 0;
 }
 
 int Firestarter::run_optimization() {

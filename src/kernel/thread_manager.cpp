@@ -90,6 +90,12 @@ void ThreadManager::worker_main(std::size_t index, int cpu) {
   // future, staggering the pattern across workers.
   const double offset = options_.phase_offset_s * static_cast<double>(index);
   const bool full_load = profile.constant() && profile.load_at(0.0) >= 1.0;
+  const bool live = profile.live();
+
+  // Clamped profile sample for the window starting at `w`.
+  auto sampled_load = [&profile](double w) {
+    return std::min(std::max(profile.load_at(w), 0.0), 1.0);
+  };
 
   // Chunk size adapts so one kernel call lasts roughly 5 ms: long enough to
   // amortize the call, short enough for responsive stop and load control.
@@ -120,18 +126,30 @@ void ThreadManager::worker_main(std::size_t index, int cpu) {
     // low/high phases aligned no matter how long the run lasts.
     const double t = clock_.elapsed() + offset;
     const double window = sched::PhaseClock::window_start(t, period);
-    const double load = std::min(std::max(profile.load_at(window), 0.0), 1.0);
-    const double busy_until = window + load * period;
+    const double load = sampled_load(window);
+    double busy_until = window + load * period;
     const double idle_until = window + period;
     if (load > 0.0) {
       do {
         run_chunk();
         if (stop_flag_.load(std::memory_order_acquire)) return;
+        // Live profiles (the closed-loop controller) can lower the command
+        // mid-window; shrink the busy span so the actuation latency is one
+        // kernel chunk (~5 ms), not a whole modulation window.
+        if (live) busy_until = window + sampled_load(window) * period;
       } while (clock_.elapsed() + offset < busy_until);
     }
     while (!stop_flag_.load(std::memory_order_acquire) &&
-           clock_.elapsed() + offset < idle_until)
+           clock_.elapsed() + offset < idle_until) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // Symmetric live actuation: a raised command must cut the idle span
+      // short the same way a lowered one shrinks the busy span — otherwise
+      // raising the level would wait out the window (up to a full period)
+      // and the controller would see direction-dependent lag.
+      if (live &&
+          clock_.elapsed() + offset < window + sampled_load(window) * period)
+        break;
+    }
   }
 }
 

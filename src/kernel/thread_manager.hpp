@@ -24,7 +24,9 @@ struct RunOptions {
   /// Dynamic load schedule. When set it overrides `load`: each modulation
   /// window's duty fraction is profile->load_at(window start). When null the
   /// manager behaves like the classic --load square duty cycle (a
-  /// ConstantProfile of `load`).
+  /// ConstantProfile of `load`). Live profiles (control::ControlledProfile,
+  /// where a feedback loop rewrites the level while the run executes) are
+  /// additionally re-sampled mid-window so commands act within one chunk.
   sched::ProfilePtr profile;
   /// Per-worker time shift: worker i evaluates the profile at t + i * offset.
   /// Non-zero offsets rotate the load pattern across workers (e.g. a square

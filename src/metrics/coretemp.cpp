@@ -1,0 +1,84 @@
+#include "metrics/coretemp.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+
+#include "metrics/sysfs.hpp"
+#include "util/logging.hpp"
+
+namespace fs2::metrics {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cpu_temp_chip(const std::string& chip_name) {
+  // Intel package/core sensors, AMD SMU sensors (k10temp covers Zen), and
+  // the out-of-tree zenpower variant.
+  return chip_name == "coretemp" || chip_name == "k10temp" || chip_name == "zenpower";
+}
+
+}  // namespace
+
+CoretempMetric::CoretempMetric(const std::string& sysfs_root) {
+  const fs::path base = fs::path(sysfs_root) / "class" / "hwmon";
+  std::error_code ec;
+  for (const auto& chip : fs::directory_iterator(base, ec)) {
+    if (!is_cpu_temp_chip(read_sysfs_line(chip.path() / "name"))) continue;
+    std::error_code chip_ec;
+    for (const auto& entry : fs::directory_iterator(chip.path(), chip_ec)) {
+      const std::string file = entry.path().filename().string();
+      if (file.rfind("temp", 0) == 0 && file.size() > 6 &&
+          file.compare(file.size() - 6, 6, "_input") == 0)
+        sensor_paths_.push_back(entry.path().string());
+    }
+  }
+  std::sort(sensor_paths_.begin(), sensor_paths_.end());
+  if (sensor_paths_.empty()) {
+    log::debug() << "coretemp: no coretemp/k10temp hwmon chips under " << base.string()
+                 << " (metric unavailable)";
+    return;
+  }
+  // Prime the hold-last-good fallback so sensors dying between construction
+  // and the first poll still yield a real temperature. If not a single
+  // sensor is readable even now (restricted sysfs, containers), the metric
+  // is blind from birth — report unavailable rather than a frozen 0 degC
+  // that a thermal loop would chase with full load.
+  if (!primed()) {
+    log::debug() << "coretemp: " << sensor_paths_.size()
+                 << " temp inputs found but none readable (metric unavailable)";
+    sensor_paths_.clear();
+  }
+}
+
+bool CoretempMetric::primed() {
+  sample();
+  return has_reading_;
+}
+
+double CoretempMetric::sample() {
+  // Accumulate from lowest(), not 0: sub-ambient rigs (chillers, LN2 —
+  // plausible users of a VR-stress tool) legitimately report negative
+  // degC, and clamping them to 0 would blind a thermal loop.
+  double hottest = std::numeric_limits<double>::lowest();
+  for (const std::string& path : sensor_paths_) {
+    try {
+      const std::string text = read_sysfs_line(path);
+      if (text.empty()) continue;
+      hottest = std::max(hottest, std::stod(text) / 1000.0);
+    } catch (...) {
+      // Sensors can vanish on hotplug; skip and keep the rest.
+    }
+  }
+  // All sensors gone mid-run: hold the last good reading (primed at
+  // construction) instead of inventing a temperature — a thermal feedback
+  // loop fed "ice cold" would answer with full load exactly when its eyes
+  // went dark.
+  if (hottest == std::numeric_limits<double>::lowest()) return last_good_c_;
+  last_good_c_ = hottest;
+  has_reading_ = true;
+  return hottest;
+}
+
+}  // namespace fs2::metrics

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/metric.hpp"
+
+namespace fs2::metrics {
+
+/// Package-temperature metric backed by the hwmon sysfs tree (coretemp on
+/// Intel, k10temp on AMD). Reports the hottest sensor of the matching chips
+/// in degrees Celsius — the conservative choice for a thermal control loop,
+/// which must regulate the worst spot, not the average.
+///
+/// The sysfs root is injectable so tests run against fixture trees;
+/// production uses "/sys".
+class CoretempMetric : public Metric {
+ public:
+  explicit CoretempMetric(const std::string& sysfs_root = "/sys");
+
+  std::string name() const override { return "hwmon-coretemp"; }
+  std::string unit() const override { return "degC"; }
+  bool available() const override { return !sensor_paths_.empty(); }
+  void begin() override {}
+
+  /// Hottest sensor in degC (sysfs reports millidegrees). When every sensor
+  /// read fails (hotplug, suspend/resume) the last good reading is held so
+  /// a feedback loop does not mistake a dead sensor for a cold package.
+  double sample() override;
+
+  /// Sensor files found (temp*_input) — exposed for diagnostics and tests.
+  const std::vector<std::string>& sensor_paths() const { return sensor_paths_; }
+
+ private:
+  /// First read of all sensors; true when at least one was readable.
+  bool primed();
+
+  std::vector<std::string> sensor_paths_;
+  double last_good_c_ = 0.0;
+  bool has_reading_ = false;
+};
+
+}  // namespace fs2::metrics

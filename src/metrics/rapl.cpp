@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "metrics/sysfs.hpp"
 #include "util/logging.hpp"
 
 namespace fs2::metrics {
@@ -12,16 +13,9 @@ namespace fs = std::filesystem;
 
 namespace {
 
-std::string read_line(const fs::path& path) {
-  std::ifstream in(path);
-  std::string line;
-  std::getline(in, line);
-  return line;
-}
-
 std::uint64_t read_u64(const fs::path& path, std::uint64_t fallback = 0) {
   try {
-    const std::string text = read_line(path);
+    const std::string text = read_sysfs_line(path);
     return text.empty() ? fallback : std::stoull(text);
   } catch (...) {
     return fallback;
@@ -36,7 +30,7 @@ RaplReader::RaplReader(const std::string& sysfs_root) {
   for (const auto& entry : fs::directory_iterator(base, ec)) {
     const std::string dir_name = entry.path().filename().string();
     if (dir_name.rfind("intel-rapl:", 0) != 0) continue;
-    const std::string domain_name = read_line(entry.path() / "name");
+    const std::string domain_name = read_sysfs_line(entry.path() / "name");
     // Package domains only: dram/core/uncore subdomains double-count.
     if (domain_name.rfind("package", 0) != 0) continue;
     if (!fs::exists(entry.path() / "energy_uj")) continue;

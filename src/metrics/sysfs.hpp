@@ -1,0 +1,19 @@
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs2::metrics {
+
+/// First line of a sysfs attribute file, or "" when the file is missing or
+/// unreadable — sysfs attributes are one value per file, so this is the
+/// whole read protocol shared by the RAPL and hwmon scanners.
+inline std::string read_sysfs_line(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+}  // namespace fs2::metrics

@@ -68,17 +68,43 @@ Campaign Campaign::parse(std::istream& in, const std::string& origin) {
         have_duration = true;
       } else if (key == "profile") {
         phase.profile_spec = value;
+        phase.profile_explicit = true;
       } else if (key == "function") {
         phase.function = value;
+      } else if (key == "target") {
+        phase.target_spec = value;
+      } else if (key == "threads") {
+        std::uint64_t raw = 0;
+        try {
+          raw = strings::parse_u64(value, "threads");
+        } catch (const Error& e) {
+          throw fail(e.what());
+        }
+        if (raw == 0) throw fail("threads must be > 0");
+        // Guard the int cast: a value past any real machine would silently
+        // wrap into a small positive count.
+        if (raw > 1u << 20) throw fail("threads value is implausibly large");
+        phase.threads = static_cast<int>(raw);
+      } else if (key == "freq") {
+        try {
+          phase.freq_mhz = strings::parse_double(value, "freq");
+        } catch (const Error& e) {
+          throw fail(e.what());
+        }
+        if (!(*phase.freq_mhz > 0.0)) throw fail("freq must be > 0 MHz");
       } else {
-        throw fail("unknown key '" + key + "' (name, duration, profile, function)");
+        throw fail(
+            "unknown key '" + key +
+            "' (name, duration, profile, function, target, threads, freq)");
       }
     }
     if (!have_duration) throw fail("phase '" + phase.name + "' is missing duration=SEC");
 
     // Validate the profile spec now (defaults stand in for the CLI values);
     // a campaign should fail before the first phase starts stressing, not in
-    // the middle of a multi-hour run.
+    // the middle of a multi-hour run. Target specs belong to the control
+    // layer above sched — the campaign *runner* validates them in its own
+    // up-front resolve pass, preserving the same fail-fast guarantee.
     try {
       parse_profile(phase.profile_spec, /*default_load=*/1.0, /*default_period_s=*/0.1);
     } catch (const Error& e) {

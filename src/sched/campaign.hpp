@@ -16,21 +16,34 @@ struct CampaignPhase {
   std::string name;                      ///< label for per-phase metric rows
   double duration_s = 0.0;
   std::string profile_spec = "constant"; ///< --load-profile grammar
+  bool profile_explicit = false;         ///< profile= appeared in the file
   std::optional<std::string> function;   ///< stress function override (-i name)
+  /// Closed-loop setpoint spec (`--target` grammar, e.g. "power=150W").
+  /// When set, the controller drives the duty cycle and `profile` is ignored.
+  std::optional<std::string> target_spec;
+  std::optional<int> threads;            ///< worker-thread override for this phase
+  std::optional<double> freq_mhz;        ///< simulated P-state override for this phase
 };
 
 /// An ordered list of campaign phases parsed from a campaign file:
 ///
 ///   # comments and blank lines are ignored
 ///   phase name=warmup duration=10 profile=constant:30
-///   phase name=swing  duration=30 profile=sine:low=10,high=90,period=5
+///   phase name=swing  duration=30 profile=sine:low=10,high=90,period=5 threads=32
 ///   phase name=peak   duration=20 profile=constant:100 function=FUNC_FMA_256_ZEN2
+///   phase name=hold   duration=30 target=power=150W freq=2200
 ///
 /// Each line is whitespace-separated `key=value` tokens after the `phase`
 /// keyword; `duration` is required and must be > 0, `name` defaults to
-/// "phaseN", `profile` defaults to constant full load. Profile specs are
-/// validated at parse time (including trace file reads) so a malformed
-/// campaign fails before any stress starts.
+/// "phaseN", `profile` defaults to constant full load. `target` switches the
+/// phase to closed-loop control (setpoint stepping: consecutive phases with
+/// different targets produce e.g. the 80 W -> 160 W square waves of VR-stress
+/// campaigns). `threads` and `freq` override the worker count and the
+/// simulated P-state for that phase only. Profile specs are validated at
+/// parse time (including trace file reads); target specs — which belong to
+/// the control layer above sched — are validated by the campaign runner's
+/// up-front resolve pass. Either way a malformed campaign fails before any
+/// stress starts.
 class Campaign {
  public:
   /// Parse campaign text. `origin` names the source in error messages.

@@ -152,6 +152,7 @@ TraceProfile TraceProfile::from_csv(const std::string& path, bool loop, double s
   std::vector<Breakpoint> points;
   std::string line;
   int line_no = 0;
+  bool header_skipped = false;
   while (std::getline(in, line)) {
     ++line_no;
     const std::string_view trimmed = strings::trim(line);
@@ -160,10 +161,18 @@ TraceProfile TraceProfile::from_csv(const std::string& path, bool loop, double s
     if (fields.size() != 2)
       throw ConfigError(strings::format("trace '%s' line %d: expected 'time_s,load_pct'",
                                         path.c_str(), line_no));
-    // Tolerate one header row ("time_s,load_pct" or similar).
-    if (points.empty() && line_no <= 2 &&
-        fields[0].find_first_not_of("0123456789.+-eE \t") != std::string::npos)
+    // Tolerate exactly one header row ("time_s,load_pct" or similar) as the
+    // first data row, no matter how many comment lines precede it
+    // (--record-trace writes comments, then the header). Only a row whose
+    // first field does not even *start* numerically counts as a header — a
+    // typo'd data row like "0s,20" must error, not silently vanish.
+    const std::string_view first_field = strings::trim(fields[0]);
+    if (points.empty() && !header_skipped && !first_field.empty() &&
+        first_field.find_first_of("0123456789") != 0 &&
+        first_field.find_first_of("+-.") != 0) {
+      header_skipped = true;
       continue;
+    }
     Breakpoint bp;
     bp.time_s = strings::parse_double(strings::trim(fields[0]),
                                       strings::format("trace line %d time", line_no));

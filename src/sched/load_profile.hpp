@@ -35,6 +35,13 @@ class LoadProfile {
   /// True when load_at is the same for every t — lets hot paths skip
   /// per-window profile evaluation and idle phases entirely at full load.
   virtual bool constant() const { return false; }
+
+  /// True when the level is driven externally while the run executes (the
+  /// closed-loop controller's ControlledProfile) instead of being a pure
+  /// function of time. Workers re-sample live profiles mid-window so a
+  /// controller command takes effect within one kernel chunk, not only at
+  /// the next window boundary.
+  virtual bool live() const { return false; }
 };
 
 using ProfilePtr = std::shared_ptr<const LoadProfile>;

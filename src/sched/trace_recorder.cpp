@@ -1,0 +1,44 @@
+#include "sched/trace_recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace fs2::sched {
+
+void TraceRecorder::record(double t_s, double level) {
+  if (!(t_s >= 0.0)) return;
+  const double clamped = std::clamp(level, 0.0, 1.0);
+  if (!points_.empty()) {
+    const TraceProfile::Breakpoint& last = points_.back();
+    if (t_s <= last.time_s) return;                   // out of order / duplicate tick
+    if (std::abs(clamped - last.load) < 0.005) return;  // below meter jitter
+  }
+  points_.push_back(TraceProfile::Breakpoint{t_s, clamped});
+}
+
+void TraceRecorder::write_header(std::ostream& out) {
+  out << "# fs2 recorded load trace (--record-trace); replay with\n"
+         "#   --load-profile trace:file=THIS_FILE\n"
+         "time_s,load_pct\n";
+}
+
+void TraceRecorder::stream_rows(std::ostream& out, std::size_t* written) const {
+  if (*written >= points_.size()) return;
+  // Fixed-point microsecond timestamps: %g's significant-digit rounding
+  // would collapse close breakpoints into equal times once a campaign runs
+  // for hours, and from_csv rejects non-increasing times at replay.
+  for (; *written < points_.size(); ++*written)
+    out << strings::format("%.6f,%.6g\n", points_[*written].time_s,
+                           points_[*written].load * 100.0);
+  out.flush();  // survive a mid-run kill
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  write_header(out);
+  std::size_t written = 0;
+  stream_rows(out, &written);
+}
+
+}  // namespace fs2::sched

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sched/load_profile.hpp"
+
+namespace fs2::sched {
+
+/// Records the achieved load-level series of a run and writes it in the
+/// trace-CSV format TraceProfile::from_csv consumes ("time_s,load_pct"),
+/// closing the record -> replay loop: a closed-loop run against a power
+/// setpoint records the duty cycle the controller converged to, and a later
+/// open-loop `--load-profile trace:file=...` replays that power profile on a
+/// machine without the metric (or the controller) available.
+///
+/// Consecutive samples at the same level collapse into one breakpoint
+/// (step-hold semantics make them redundant), so a constant plateau costs
+/// one row regardless of the sampling rate.
+class TraceRecorder {
+ public:
+  /// Record the level (a fraction in [0, 1]) in effect from `t_s` on.
+  /// Out-of-order or duplicate times are ignored; so are level changes
+  /// below 0.5 % (meter jitter).
+  void record(double t_s, double level);
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<TraceProfile::Breakpoint>& breakpoints() const { return points_; }
+
+  /// Write the trace CSV ("# fs2 recorded trace" comment, header row,
+  /// one breakpoint per line with loads in percent). Callers own the
+  /// stream — the CLI opens its --record-trace file before the stress run
+  /// starts so a bad path fails fast.
+  void write_csv(std::ostream& out) const;
+
+  /// The comment block + column header alone — written right after opening
+  /// the file so rows can then be streamed incrementally.
+  static void write_header(std::ostream& out);
+
+  /// Append breakpoints not yet written, advancing `*written` (start at 0)
+  /// and flushing when anything was emitted. Long real-time runs stream
+  /// rows as they happen so an interrupted run keeps its trace up to the
+  /// last level change instead of losing the whole file.
+  void stream_rows(std::ostream& out, std::size_t* written) const;
+
+ private:
+  std::vector<TraceProfile::Breakpoint> points_;
+};
+
+}  // namespace fs2::sched

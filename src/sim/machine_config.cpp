@@ -76,6 +76,9 @@ MachineConfig MachineConfig::zen2_epyc7502_2s() {
   cfg.throttle.edc_current_budget = 3.70;
   cfg.throttle.step_mhz = 25.0;
   cfg.throttle.floor_mhz = 400.0;
+
+  // ~86 degC package at the ~512 W full-load point, ~39 degC idling.
+  cfg.thermal = ThermalParams{25.0, 0.12, 20.0};
   return cfg;
 }
 
@@ -132,6 +135,10 @@ MachineConfig MachineConfig::haswell_e5_2680v3_2s(int gpus) {
   cfg.throttle.edc_current_budget = 8.0;
   cfg.throttle.step_mhz = 100.0;  // Haswell throttles in 100 MHz bins
   cfg.throttle.floor_mhz = 1200.0;
+
+  // ~85 degC at the ~355 W all-levels point; smaller heatsinks than the
+  // Rome node, so a steeper rise per watt.
+  cfg.thermal = ThermalParams{25.0, 0.17, 15.0};
 
   cfg.gpu.count = gpus;
   cfg.gpu.idle_w = 29.0;

@@ -69,6 +69,16 @@ struct ThrottleParams {
   double floor_mhz = 400.0;
 };
 
+/// First-order package thermal model for closed-loop control experiments:
+/// the steady-state temperature is ambient plus c_per_w times wall power,
+/// approached with time constant tau_s. Coarse by design — it gives the
+/// temperature feedback loop a realistic lag to fight, not a thermal CFD.
+struct ThermalParams {
+  double ambient_c = 25.0;  ///< inlet air
+  double c_per_w = 0.12;    ///< steady-state degC rise per wall watt
+  double tau_s = 20.0;      ///< package thermal time constant
+};
+
 /// NVIDIA-K80-style GPU power model (Fig. 2: each GPU adds 29 W idle to
 /// 156 W under DGEMM stress).
 struct GpuParams {
@@ -110,6 +120,7 @@ struct MachineConfig {
 
   PowerParams power;
   ThrottleParams throttle;
+  ThermalParams thermal;
   GpuParams gpu;
 
   int total_cores() const { return sockets * cores_per_socket; }

@@ -1,0 +1,63 @@
+#include "sim/plant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fs2::sim {
+
+PowerPlant::PowerPlant(const Simulator& simulator, const WorkloadPoint& full_load,
+                       std::uint64_t seed, double warm_start_s, bool noise,
+                       std::optional<double> initial_temp_c)
+    : sim_(simulator),
+      full_(full_load),
+      idle_w_(simulator.idle().power_w),
+      warm_start_s_(warm_start_s),
+      noise_(noise),
+      rng_(seed) {
+  // Carry the previous phase's thermal state when given; otherwise start
+  // thermally settled at idle — a fresh run inherits a machine that has
+  // been racked and powered, not one at ambient.
+  true_temp_c_ = initial_temp_c ? *initial_temp_c : steady_temp_c(idle_w_);
+  state_.power_w = idle_w_;
+  state_.temp_c = true_temp_c_;
+}
+
+double PowerPlant::power_span_w() const { return full_.power_w - idle_w_; }
+
+double PowerPlant::temp_span_c() const {
+  return sim_.config().thermal.c_per_w * power_span_w();
+}
+
+double PowerPlant::steady_temp_c(double power_w) const {
+  const ThermalParams& th = sim_.config().thermal;
+  return th.ambient_c + th.c_per_w * power_w;
+}
+
+const PowerPlant::State& PowerPlant::step(double level, double dt_s) {
+  if (!(dt_s > 0.0)) throw Error("PowerPlant: step dt must be > 0");
+  const double clamped = std::clamp(level, 0.0, 1.0);
+  state_.time_s += dt_s;
+  state_.level = clamped;
+
+  // Same leakage warm-up shape as Simulator::power_trace: full-load power
+  // sits below the warm steady state early in a cold run.
+  const PowerParams& p = sim_.config().power;
+  const double thermal_scale =
+      1.0 - p.warm_leakage_gain * std::exp(-(warm_start_s_ + state_.time_s) / p.thermal_tau_s);
+  const double clean_power = idle_w_ + clamped * (full_.power_w * thermal_scale - idle_w_);
+
+  // First-order package temperature toward the steady state at this power.
+  const ThermalParams& th = sim_.config().thermal;
+  const double alpha = std::min(dt_s / th.tau_s, 1.0);
+  true_temp_c_ += alpha * (steady_temp_c(clean_power) - true_temp_c_);
+
+  const double power_noise = noise_ ? 1.0 + 0.004 * rng_.normal() : 1.0;
+  const double temp_noise = noise_ ? 0.25 * rng_.normal() : 0.0;  // sensor LSB jitter
+  state_.power_w = clean_power * power_noise;
+  state_.temp_c = true_temp_c_ + temp_noise;
+  return state_;
+}
+
+}  // namespace fs2::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace fs2::sim {
+
+/// Virtual-time process model for closed-loop control: maps the commanded
+/// load level to the wall power and package temperature the feedback loop
+/// measures, with the same leakage warm-up the power_trace model uses plus
+/// first-order thermal dynamics from MachineConfig::thermal.
+///
+/// Power responds to the duty cycle within one step (idle floor plus the
+/// load-weighted dynamic power — what a wall meter averages over a PWM
+/// period); temperature drags behind with the package time constant. Both
+/// carry the LMG95-like 0.4 % measurement noise, deterministic from `seed`,
+/// so controller convergence tests are exactly reproducible.
+class PowerPlant {
+ public:
+  struct State {
+    double time_s = 0.0;   ///< virtual time since plant construction
+    double power_w = 0.0;  ///< measured wall power (noise included)
+    double temp_c = 0.0;   ///< measured package temperature (noise included)
+    double level = 0.0;    ///< commanded level applied over the last step
+  };
+
+  /// `full_load` is the steady-state operating point of the workload at
+  /// 100 % duty. `warm_start_s` credits preheat from earlier campaign
+  /// phases (leakage ramp) and `initial_temp_c` carries their thermal
+  /// state — without it each phase would snap back to the idle-settled
+  /// temperature, a physically impossible discontinuity between
+  /// back-to-back holds. `noise` can be disabled for analytic tests.
+  PowerPlant(const Simulator& simulator, const WorkloadPoint& full_load,
+             std::uint64_t seed, double warm_start_s = 0.0, bool noise = true,
+             std::optional<double> initial_temp_c = std::nullopt);
+
+  /// Advance virtual time by `dt_s` with the given commanded level and
+  /// return the measured state at the end of the step.
+  const State& step(double level, double dt_s);
+
+  const State& state() const { return state_; }
+
+  double idle_power_w() const { return idle_w_; }
+
+  /// Wall-power change of a full 0 -> 1 load swing (warm package) — the
+  /// plant span the power loop normalizes its error by.
+  double power_span_w() const;
+
+  /// Steady-state temperature change of a full load swing — the span for
+  /// temperature loops.
+  double temp_span_c() const;
+
+  /// Steady-state temperature at a given clean wall power.
+  double steady_temp_c(double power_w) const;
+
+  /// Noise-free thermal state — what the next phase's plant should inherit.
+  double true_temp_c() const { return true_temp_c_; }
+
+ private:
+  const Simulator& sim_;
+  WorkloadPoint full_;
+  double idle_w_;
+  double warm_start_s_;
+  bool noise_;
+  Xoshiro256 rng_;
+  State state_;
+  double true_temp_c_;  ///< noise-free thermal state
+};
+
+}  // namespace fs2::sim

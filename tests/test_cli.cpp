@@ -184,6 +184,105 @@ TEST(Cli, HostLoadProfileShortRun) {
   EXPECT_NE(r.output.find("kernel loop iterations"), std::string::npos);
 }
 
+TEST(Cli, HelpListsClosedLoopFlags) {
+  const CliResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--target"), std::string::npos);
+  EXPECT_NE(r.output.find("--record-trace"), std::string::npos);
+  EXPECT_NE(r.output.find("--require-convergence"), std::string::npos);
+}
+
+TEST(Cli, SimClosedLoopConvergesToPowerSetpoint) {
+  const CliResult r = run_cli(
+      "--simulate=zen2 --freq 1500 -t 30 --target power=250W --require-convergence "
+      "--measurement --start-delta=2000 --stop-delta=1000");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("converged"), std::string::npos);
+  EXPECT_NE(r.output.find("ctl-setpoint,W"), std::string::npos);
+  EXPECT_NE(r.output.find("ctl-output,fraction"), std::string::npos);
+}
+
+TEST(Cli, SimClosedLoopUnreachableFailsRequireConvergence) {
+  const CliResult r = run_cli(
+      "--simulate=zen2 --freq 1500 -t 30 --target power=5000W --require-convergence "
+      "--log-level error");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Cli, MalformedTargetExitsTwo) {
+  const CliResult r = run_cli("--target power=abc");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--target"), std::string::npos);
+}
+
+TEST(Cli, MalformedCampaignTargetExitsTwoWithPhaseName) {
+  {
+    std::ofstream campaign("/tmp/fs2_cli_campaign_bad_target");
+    campaign << "phase name=hold duration=30 target=volts=1.0\n";
+  }
+  const CliResult r = run_cli("--simulate=zen2 --campaign /tmp/fs2_cli_campaign_bad_target");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("phase 'hold'"), std::string::npos);
+  EXPECT_NE(r.output.find("power=WATTS or temp=DEGC"), std::string::npos);
+}
+
+TEST(Cli, ControlledPhaseShorterThanTickIntervalExitsTwo) {
+  const CliResult r = run_cli("--simulate=zen2 -t 0.1 --target power=250W");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("shorter than two controller intervals"), std::string::npos);
+}
+
+TEST(Cli, BadRecordTracePathFailsBeforeStressing) {
+  const CliResult r = run_cli(
+      "--simulate=zen2 -t 30 --target power=250W "
+      "--record-trace /nonexistent-dir/trace.csv");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--record-trace"), std::string::npos);
+  // Fails up front: no convergence verdict was produced first.
+  EXPECT_EQ(r.output.find("converged"), std::string::npos);
+}
+
+TEST(Cli, SetpointCampaignProducesDistinctPlateaus) {
+  {
+    std::ofstream campaign("/tmp/fs2_cli_campaign_setpoints");
+    campaign << "phase name=low  duration=30 target=power=200W\n"
+                "phase name=high duration=30 target=power=320W\n";
+  }
+  const CliResult r = run_cli(
+      "--simulate=zen2 --freq 1500 --campaign /tmp/fs2_cli_campaign_setpoints "
+      "--require-convergence --log-level warn");
+  EXPECT_EQ(r.exit_code, 0);
+  // One converged wall-power plateau per phase, at the phase's setpoint.
+  auto plateau = [&r](const std::string& phase) {
+    // Find the sim-wall-power row carrying this phase's attribution.
+    std::size_t row = r.output.find("sim-wall-power");
+    while (row != std::string::npos) {
+      const std::size_t eol = r.output.find('\n', row);
+      const std::string line = r.output.substr(row, eol - row);
+      if (line.find("," + phase) != std::string::npos) {
+        const std::size_t mean_start = line.find(',', line.find(',', line.find(',') + 1) + 1) + 1;
+        return std::stod(line.substr(mean_start));
+      }
+      row = r.output.find("sim-wall-power", eol);
+    }
+    return -1.0;
+  };
+  EXPECT_NEAR(plateau("low"), 200.0, 0.02 * 200.0);
+  EXPECT_NEAR(plateau("high"), 320.0, 0.02 * 320.0);
+}
+
+TEST(Cli, RecordTraceReplaysThroughTraceProfile) {
+  const CliResult record = run_cli(
+      "--simulate=zen2 --freq 1500 -t 20 --target power=300W "
+      "--record-trace /tmp/fs2_cli_recorded.csv --log-level warn");
+  EXPECT_EQ(record.exit_code, 0);
+  const CliResult replay = run_cli(
+      "--simulate=zen2 --freq 1500 -t 20 "
+      "--load-profile trace:file=/tmp/fs2_cli_recorded.csv --log-level warn");
+  EXPECT_EQ(replay.exit_code, 0);
+  EXPECT_NE(replay.output.find("trace:"), std::string::npos);
+}
+
 TEST(Cli, HostRegisterDump) {
   const CliResult r = run_cli(
       "-t 0.4 --threads 1 --dump-registers=0.2 --dump-path /tmp/fs2_cli_regs.dump "

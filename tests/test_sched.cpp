@@ -368,6 +368,31 @@ TEST(Campaign, RejectsMalformedFiles) {
   expect_campaign_error("phase name=ok duration=5\nphase duration=bad\n", "line 2");
 }
 
+TEST(Campaign, ParsesTargetThreadsAndFreqKeys) {
+  std::istringstream in(R"(phase name=low  duration=30 target=power=200W
+phase name=high duration=30 target=temp=85C,kp=2 threads=32 freq=2200
+phase name=open duration=10 profile=constant:50
+)");
+  const Campaign campaign = Campaign::parse(in, "<test>");
+  ASSERT_EQ(campaign.size(), 3u);
+  EXPECT_EQ(*campaign.phases()[0].target_spec, "power=200W");
+  EXPECT_FALSE(campaign.phases()[0].threads.has_value());
+  EXPECT_EQ(*campaign.phases()[1].target_spec, "temp=85C,kp=2");
+  EXPECT_EQ(*campaign.phases()[1].threads, 32);
+  EXPECT_DOUBLE_EQ(*campaign.phases()[1].freq_mhz, 2200.0);
+  EXPECT_FALSE(campaign.phases()[2].target_spec.has_value());
+}
+
+TEST(Campaign, RejectsMalformedThreadsAndFreq) {
+  // target= specs are opaque strings to sched (the control layer validates
+  // them in the campaign runner's resolve pass); threads/freq are ours.
+  expect_campaign_error("phase duration=5 threads=0\n", "threads must be > 0");
+  expect_campaign_error("phase duration=5 threads=two\n", "not a non-negative integer");
+  // Would wrap into a small positive int without the range guard.
+  expect_campaign_error("phase duration=5 threads=4294967301\n", "implausibly large");
+  expect_campaign_error("phase duration=5 freq=-100\n", "freq must be > 0");
+}
+
 TEST(Campaign, LoadRejectsMissingFile) {
   EXPECT_THROW(Campaign::load("/nonexistent/fs2.campaign"), ConfigError);
 }
