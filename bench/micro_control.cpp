@@ -54,25 +54,16 @@ void BM_PidUpdate(benchmark::State& state) {
 BENCHMARK(BM_PidUpdate);
 
 void BM_FeedbackLoopTick(benchmark::State& state) {
-  // tick() appends telemetry, so a single loop driven for millions of
-  // benchmark iterations would time ever-larger vector reallocations (and
-  // eat memory). Rebuild the loop outside the timed region every 64k ticks
-  // to keep the per-tick cost honest.
+  // tick() pushes telemetry into a bounded ring (no reallocation once
+  // warm), so one loop can run for millions of benchmark iterations at a
+  // steady per-tick cost and constant memory.
   auto profile = std::make_shared<control::ControlledProfile>(0.5);
   const control::Setpoint sp = control::Setpoint::parse("power=250W");
-  auto loop = std::make_unique<control::FeedbackLoop>(sp, profile, 300.0, 0.5);
+  control::FeedbackLoop loop(sp, profile, 300.0, 0.5);
   double t = 0.0, measurement = 240.0;
-  std::size_t ticks = 0;
   for (auto _ : state) {
-    if (++ticks == 65536) {
-      state.PauseTiming();
-      loop = std::make_unique<control::FeedbackLoop>(sp, profile, 300.0, 0.5);
-      t = 0.0;
-      ticks = 0;
-      state.ResumeTiming();
-    }
     t += 0.25;
-    benchmark::DoNotOptimize(loop->tick(t, measurement));
+    benchmark::DoNotOptimize(loop.tick(t, measurement));
     measurement = measurement < 260.0 ? measurement + 0.1 : 240.0;
   }
 }

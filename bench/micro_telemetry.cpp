@@ -1,0 +1,85 @@
+// Micro-benchmarks for the streaming telemetry layer. The aggregator sits
+// on every sample the measurement path takes — the host loop publishes a
+// handful of channels at 20 Hz (cheap), but the simulator's virtual-time
+// campaigns push millions of samples per second of wall time, and the CI
+// bounded-memory smoke cranks --sim-sample-hz further. Ingest therefore has
+// to stay at tens of nanoseconds per sample, and the bus fan-out must not
+// add more than pointer-chasing on top.
+
+#include <benchmark/benchmark.h>
+
+#include "telemetry/bus.hpp"
+#include "telemetry/ring_buffer.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/streaming_aggregator.hpp"
+#include "util/rng.hpp"
+
+using namespace fs2;
+
+namespace {
+
+void BM_StreamingMomentsAdd(benchmark::State& state) {
+  telemetry::StreamingMoments moments;
+  Xoshiro256 rng(7);
+  double value = 300.0;
+  for (auto _ : state) {
+    moments.add(value);
+    value = 300.0 + 25.0 * rng.normal();
+  }
+  benchmark::DoNotOptimize(moments.mean());
+}
+BENCHMARK(BM_StreamingMomentsAdd);
+
+void BM_P2QuantileAdd(benchmark::State& state) {
+  telemetry::P2Quantile p99(0.99);
+  Xoshiro256 rng(11);
+  for (auto _ : state) p99.add(rng.uniform());
+  benchmark::DoNotOptimize(p99.value());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void BM_AggregatorIngest(benchmark::State& state) {
+  // The full per-sample path with the paper's 5 s/2 s trim window: Welford
+  // + min/max + three P² estimators on both the trimmed and untrimmed
+  // aggregates, plus the stop-delta holdback deque at 20 Sa/s.
+  telemetry::StreamingAggregator aggregator(5.0, 2.0);
+  Xoshiro256 rng(13);
+  double t = 0.0;
+  for (auto _ : state) {
+    aggregator.add(t, 300.0 + 25.0 * rng.normal());
+    t += 0.05;
+  }
+  benchmark::DoNotOptimize(aggregator.summarize());
+}
+BENCHMARK(BM_AggregatorIngest);
+
+void BM_RingBufferPush(benchmark::State& state) {
+  telemetry::RingBuffer<telemetry::Sample> ring(1024);
+  double t = 0.0;
+  for (auto _ : state) {
+    ring.push(telemetry::Sample{t, 1.0});
+    t += 0.05;
+  }
+  benchmark::DoNotOptimize(ring.size());
+}
+BENCHMARK(BM_RingBufferPush);
+
+void BM_BusPublishFanout(benchmark::State& state) {
+  // One publish through the bus into the summary sink — the hot path of a
+  // simulated campaign (per sample, per channel).
+  telemetry::TelemetryBus bus;
+  telemetry::SummarySink summary;
+  bus.attach(&summary);
+  const telemetry::ChannelId ch = bus.channel("sim-wall-power", "W");
+  bus.begin_phase("bench", 1e12, 5.0, 2.0);
+  Xoshiro256 rng(17);
+  double t = 0.0;
+  for (auto _ : state) {
+    bus.publish(ch, t, 300.0 + 25.0 * rng.normal());
+    t += 0.05;
+  }
+  bus.finish();
+}
+BENCHMARK(BM_BusPublishFanout);
+
+}  // namespace

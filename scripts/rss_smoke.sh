@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Bounded-memory smoke: telemetry must be O(sinks + window), never
+# O(run length). Runs the same deterministic simulated campaign at 1x and
+# 10x duration with a high virtual-meter sampling rate and asserts that
+# peak RSS stays flat (and under an absolute budget). Before the streaming
+# telemetry refactor the 10x run grew by the retained sample series and
+# this check fails.
+#
+# Usage: scripts/rss_smoke.sh [path-to-fs2]   (default ./build/fs2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FS2="${1:-./build/fs2}"
+
+# Peak-RSS measurement: GNU time when present, else getrusage(CHILDREN)
+# via python3 (ru_maxrss is the child's high-water mark in kB on Linux).
+TIME_BIN="${TIME_BIN:-/usr/bin/time}"
+have_gnu_time=0
+if "$TIME_BIN" -v true > /dev/null 2>&1; then
+  have_gnu_time=1
+elif ! command -v python3 > /dev/null 2>&1; then
+  echo "rss_smoke: neither GNU time nor python3 available; skipping" >&2
+  exit 0
+fi
+
+# 60 s vs 600 s of virtual time at 500 Sa/s: 30k vs 300k samples per
+# channel. The sine profile keeps the load channel busy too.
+make_campaign() { # $1 = phase duration seconds
+  local f
+  f="$(mktemp)"
+  cat > "$f" <<EOF
+phase name=warm  duration=$1 profile=constant:60
+phase name=swing duration=$1 profile=sine:low=10,high=90,period=5
+phase name=hold  duration=$1 target=power=250W
+EOF
+  echo "$f"
+}
+
+peak_rss_kb() { # $1 = campaign file
+  local args=(--simulate=zen2 --freq 1500 --campaign "$1" --sim-sample-hz 500
+              --record-trace /dev/null --control-log /dev/null --log-level warn)
+  if [ "$have_gnu_time" = 1 ]; then
+    local log
+    log="$(mktemp)"
+    "$TIME_BIN" -v "$FS2" "${args[@]}" > /dev/null 2> "$log"
+    awk '/Maximum resident set size/ {print $NF}' "$log"
+    rm -f "$log"
+  else
+    FS2_BIN="$FS2" python3 - "${args[@]}" <<'PY'
+import os, resource, subprocess, sys
+subprocess.run([os.environ["FS2_BIN"], *sys.argv[1:]], check=True,
+               stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+print(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+PY
+  fi
+}
+
+short_campaign="$(make_campaign 20)"   # 3 x 20 s  = 60 s total
+long_campaign="$(make_campaign 200)"   # 3 x 200 s = 600 s total (10x)
+trap 'rm -f "$short_campaign" "$long_campaign"' EXIT
+
+rss_short_kb="$(peak_rss_kb "$short_campaign")"
+rss_long_kb="$(peak_rss_kb "$long_campaign")"
+echo "rss_smoke: peak RSS ${rss_short_kb} kB (60 s) vs ${rss_long_kb} kB (600 s, 10x)"
+
+# Flatness: the 10x run may exceed the 1x run by at most 8 MB of noise
+# (allocator jitter), nowhere near the tens of MB retained series cost.
+growth_kb=$((rss_long_kb - rss_short_kb))
+if [ "$growth_kb" -gt 8192 ]; then
+  echo "rss_smoke: FAIL — 10x duration grew peak RSS by ${growth_kb} kB (> 8192 kB)" >&2
+  exit 1
+fi
+
+# Absolute budget: the whole process (payload compiler, simulator, telemetry)
+# fits comfortably in 192 MB.
+if [ "$rss_long_kb" -gt 196608 ]; then
+  echo "rss_smoke: FAIL — peak RSS ${rss_long_kb} kB exceeds the 192 MB budget" >&2
+  exit 1
+fi
+
+echo "rss_smoke: OK (growth ${growth_kb} kB)"

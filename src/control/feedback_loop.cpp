@@ -1,9 +1,11 @@
 #include "control/feedback_loop.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "metrics/metric.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace fs2::control {
 
@@ -20,6 +22,14 @@ PidConfig make_pid_config(const Setpoint& sp) {
   // Filter the derivative over ~4 ticks; harmless when kd == 0.
   cfg.derivative_tau_s = 4.0 * sp.interval_s;
   return cfg;
+}
+
+/// Ring capacity covering the maximum convergence window at this tick
+/// interval, with headroom — bounded above so a pathological interval
+/// cannot ask for millions of slots.
+std::size_t ring_capacity(double interval_s) {
+  const double ticks = 1.25 * FeedbackLoop::kMaxConvergenceWindowS / std::max(interval_s, 1e-3);
+  return std::clamp<std::size_t>(static_cast<std::size_t>(ticks), 64, 65536);
 }
 
 }  // namespace
@@ -53,10 +63,21 @@ FeedbackLoop::FeedbackLoop(Setpoint setpoint, std::shared_ptr<ControlledProfile>
     : setpoint_(setpoint),
       profile_(std::move(profile)),
       scale_(plant_scale > 0.0 ? plant_scale : default_scale(setpoint.variable)),
-      pid_(make_pid_config(setpoint)) {
+      pid_(make_pid_config(setpoint)),
+      ticks_(ring_capacity(setpoint.interval_s)) {
   if (!profile_) throw Error("FeedbackLoop: profile must not be null");
   profile_->set_level(initial_level);
   pid_.reset(profile_->level());
+}
+
+void FeedbackLoop::attach_bus(telemetry::TelemetryBus* bus) {
+  if (bus == nullptr) throw Error("FeedbackLoop::attach_bus: bus must not be null");
+  bus_ = bus;
+  const char* unit = unit_of(setpoint_.variable);
+  ch_setpoint_ = bus_->channel("ctl-setpoint", unit);
+  ch_measurement_ = bus_->channel("ctl-measurement", unit);
+  ch_error_ = bus_->channel("ctl-error", unit);
+  ch_output_ = bus_->channel("ctl-output", "fraction");
 }
 
 bool FeedbackLoop::due(double t_s) const {
@@ -71,8 +92,15 @@ double FeedbackLoop::tick(double t_s, double measurement) {
   const double level =
       pid_.update(setpoint_.value / scale_, measurement / scale_, dt);
   profile_->set_level(level);
-  ticks_.push_back(ControlTick{t_s, setpoint_.value, measurement,
-                               setpoint_.value - measurement, level});
+  const ControlTick tick{t_s, setpoint_.value, measurement, setpoint_.value - measurement,
+                         level};
+  ticks_.push(tick);
+  if (bus_ != nullptr) {
+    bus_->publish(ch_setpoint_, t_s, tick.setpoint);
+    bus_->publish(ch_measurement_, t_s, tick.measurement);
+    bus_->publish(ch_error_, t_s, tick.error);
+    bus_->publish(ch_output_, t_s, tick.output);
+  }
   last_tick_s_ = t_s;
   ticked_ = true;
   return level;
@@ -87,8 +115,8 @@ FeedbackLoop::TrailingStats FeedbackLoop::trailing_stats(double window_s) const 
   if (ticks_.empty()) return stats;
   const double cutoff = ticks_.back().time_s - window_s;
   double sum = 0.0;
-  for (auto it = ticks_.rbegin(); it != ticks_.rend() && it->time_s >= cutoff; ++it) {
-    sum += it->measurement;
+  for (std::size_t i = ticks_.size(); i-- > 0 && ticks_[i].time_s >= cutoff;) {
+    sum += ticks_[i].measurement;
     ++stats.samples;
   }
   if (stats.samples > 0) stats.mean = sum / static_cast<double>(stats.samples);
@@ -103,6 +131,39 @@ bool FeedbackLoop::converged(double window_s) const {
   const TrailingStats stats = trailing_stats(window_s);
   if (stats.samples < 2) return false;
   return std::abs(stats.mean - setpoint_.value) <= setpoint_.band * setpoint_.value;
+}
+
+// ---- ControlLogSink ---------------------------------------------------------
+
+void ControlLogSink::on_channel(telemetry::ChannelId id,
+                                const telemetry::ChannelInfo& info) {
+  if (roles_.size() <= id) roles_.resize(id + 1, Role::kNone);
+  if (info.name == "ctl-setpoint") roles_[id] = Role::kSetpoint;
+  else if (info.name == "ctl-measurement") roles_[id] = Role::kMeasurement;
+  else if (info.name == "ctl-error") roles_[id] = Role::kError;
+  else if (info.name == "ctl-output") roles_[id] = Role::kOutput;
+}
+
+void ControlLogSink::on_sample(telemetry::ChannelId id, const telemetry::Sample& sample) {
+  if (id >= roles_.size()) return;
+  switch (roles_[id]) {
+    case Role::kNone: return;
+    case Role::kSetpoint: row_.setpoint = sample.value; break;
+    case Role::kMeasurement: row_.measurement = sample.value; break;
+    case Role::kError: row_.error = sample.value; break;
+    case Role::kOutput: {
+      // Output is published last, completing the tick's row. Fixed-point
+      // timestamps: %g's significant-digit rounding collapses adjacent
+      // 0.25 s ticks once a burn-in campaign passes a few hours.
+      row_.output = sample.value;
+      out_ << strings::format("%.6f,%.6g,%.6g,%.6g,%.6g,%s\n",
+                              phase_.time_offset_s + sample.time_s, row_.setpoint,
+                              row_.measurement, row_.error, row_.output,
+                              phase_.name.c_str());
+      out_.flush();  // survive a mid-run kill
+      break;
+    }
+  }
 }
 
 }  // namespace fs2::control

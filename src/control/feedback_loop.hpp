@@ -1,11 +1,14 @@
 #pragma once
 
 #include <memory>
+#include <ostream>
 #include <vector>
 
 #include "control/controlled_profile.hpp"
 #include "control/pid.hpp"
 #include "control/setpoint.hpp"
+#include "telemetry/bus.hpp"
+#include "telemetry/ring_buffer.hpp"
 
 namespace fs2::metrics {
 class Metric;
@@ -14,8 +17,8 @@ class Metric;
 namespace fs2::control {
 
 /// One controller tick of telemetry: what the loop saw and what it did.
-/// Emitted as the ctl-* rows of the measurement CSV and, per tick, to
-/// --control-log.
+/// Published on the telemetry bus as the four ctl-* channels (summary CSV
+/// rows and the per-tick --control-log both hang off the bus).
 struct ControlTick {
   double time_s = 0.0;
   double setpoint = 0.0;     ///< W or degC
@@ -39,14 +42,28 @@ struct ControlTick {
 /// 50 ms sampling loop, or the simulator's virtual-time steps) and calls
 /// tick()/poll() — which is what makes the whole subsystem testable in
 /// deterministic virtual time.
+///
+/// Telemetry is bounded: each tick is pushed to a ring sized to cover the
+/// convergence window and, when a bus is attached, published on the ctl-*
+/// channels — the loop itself retains O(window), never O(run length).
 class FeedbackLoop {
  public:
+  /// Convergence verdicts never look further back than this, so the
+  /// telemetry ring can be sized to cover it (a week-long hold judges its
+  /// trailing minutes, not the whole week).
+  static constexpr double kMaxConvergenceWindowS = 300.0;
+
   /// `profile` receives every commanded level and must outlive the loop.
   /// `initial_level` seeds both the profile and the controller's integral
   /// (bumpless start from a feed-forward guess). `plant_scale` <= 0 selects
   /// the variable's default span.
   FeedbackLoop(Setpoint setpoint, std::shared_ptr<ControlledProfile> profile,
                double plant_scale, double initial_level);
+
+  /// Register the ctl-setpoint/-measurement/-error/-output channels on
+  /// `bus` (in that order — registration order is summary-row order) and
+  /// publish every subsequent tick. The bus must outlive the loop.
+  void attach_bus(telemetry::TelemetryBus* bus);
 
   /// One controller update at elapsed time `t_s` with a fresh measurement.
   /// Returns (and publishes) the commanded load level. Call at intervals of
@@ -62,7 +79,9 @@ class FeedbackLoop {
 
   const Setpoint& setpoint() const { return setpoint_; }
   const ControlledProfile& profile() const { return *profile_; }
-  const std::vector<ControlTick>& telemetry() const { return ticks_; }
+  /// Recent ticks, oldest first — a bounded window (sized from the tick
+  /// interval to cover kMaxConvergenceWindowS), not the whole run.
+  const telemetry::RingBuffer<ControlTick>& telemetry() const { return ticks_; }
 
   /// Converged = the mean measurement over the trailing `window_s` seconds
   /// of telemetry is within the setpoint's band (default +-2 %). False until
@@ -94,9 +113,37 @@ class FeedbackLoop {
   std::shared_ptr<ControlledProfile> profile_;
   double scale_;
   PidController pid_;
-  std::vector<ControlTick> ticks_;
+  telemetry::RingBuffer<ControlTick> ticks_;
+  telemetry::TelemetryBus* bus_ = nullptr;
+  telemetry::ChannelId ch_setpoint_ = 0, ch_measurement_ = 0, ch_error_ = 0, ch_output_ = 0;
   double last_tick_s_ = 0.0;
   bool ticked_ = false;
+};
+
+/// Bus sink writing the per-tick --control-log CSV
+/// ("time_s,setpoint,measurement,error,level,phase"). Assembles one row
+/// from the four ctl-* channel samples of a tick (the loop publishes them
+/// in order, output last) and flushes immediately, so a run killed mid-way
+/// keeps its log up to the last tick. Callers own the stream and its
+/// header line.
+class ControlLogSink : public telemetry::SampleSink {
+ public:
+  explicit ControlLogSink(std::ostream& out) : out_(out) {}
+
+  void on_channel(telemetry::ChannelId id, const telemetry::ChannelInfo& info) override;
+  void on_phase_begin(const telemetry::PhaseInfo& phase) override { phase_ = phase; }
+  void on_sample(telemetry::ChannelId id, const telemetry::Sample& sample) override;
+
+ private:
+  /// What a channel contributes to the row. Keyed by name, not unit: a
+  /// campaign mixing power and temperature setpoints registers two
+  /// ctl-setpoint channels (W and degC) and both feed the same column.
+  enum class Role { kNone, kSetpoint, kMeasurement, kError, kOutput };
+
+  std::ostream& out_;
+  telemetry::PhaseInfo phase_;
+  std::vector<Role> roles_;  ///< index = ChannelId
+  ControlTick row_;
 };
 
 }  // namespace fs2::control

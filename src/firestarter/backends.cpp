@@ -33,11 +33,13 @@ std::vector<double> SimBackend::evaluate(const payload::InstructionGroups& group
 
   // "Measure" through the same Metric interface a real run uses: the
   // simulated LMG95 at 20 Sa/s plus the simulated IPC counter, aggregated
-  // over the candidate window with a short start trim.
+  // over the candidate window with a short start trim (the trim window
+  // binds when the streaming measurement window opens).
   metrics::SimPowerMetric power(&system_, seed_ + ++evaluations_);
   metrics::SimIpcMetric ipc(&system_);
-  metrics::TimeSeries power_series(power.name(), power.unit());
-  metrics::TimeSeries ipc_series(ipc.name(), ipc.unit());
+  const double start_trim = std::min(1.0, duration_s_ * 0.1);
+  metrics::TimeSeries power_series(power.name(), power.unit(), start_trim, 0.0);
+  metrics::TimeSeries ipc_series(ipc.name(), ipc.unit(), start_trim, 0.0);
   const double sample_hz = 20.0;
   const auto samples = static_cast<std::size_t>(duration_s_ * sample_hz);
   power.begin();
@@ -47,9 +49,7 @@ std::vector<double> SimBackend::evaluate(const payload::InstructionGroups& group
     power_series.add(t, power.sample());
     ipc_series.add(t, ipc.sample());
   }
-  const double start_trim = std::min(1.0, duration_s_ * 0.1);
-  return {power_series.summarize(start_trim, 0.0).mean,
-          ipc_series.summarize(start_trim, 0.0).mean};
+  return {power_series.summarize().mean, ipc_series.summarize().mean};
 }
 
 HostBackend::HostBackend(payload::InstructionMix mix, arch::CacheHierarchy caches,
@@ -77,9 +77,11 @@ std::vector<double> HostBackend::evaluate(const payload::InstructionGroups& grou
   std::vector<metrics::TimeSeries> series;
   const int workers = static_cast<int>(cpus_.size());
   const auto counter = [&manager] { return manager.total_iterations(); };
+  const double start_trim = std::min(1.0, duration_s_ * 0.1);
   for (const MetricFactory& factory : factories_) {
     metric_list.push_back(factory(payload.stats(), workers, counter));
-    series.emplace_back(metric_list.back()->name(), metric_list.back()->unit());
+    series.emplace_back(metric_list.back()->name(), metric_list.back()->unit(), start_trim,
+                        0.0);
   }
 
   manager.start();
@@ -97,8 +99,7 @@ std::vector<double> HostBackend::evaluate(const payload::InstructionGroups& grou
   manager.stop();
 
   std::vector<double> objectives;
-  const double start_trim = std::min(1.0, duration_s_ * 0.1);
-  for (const auto& s : series) objectives.push_back(s.summarize(start_trim, 0.0).mean);
+  for (const auto& s : series) objectives.push_back(s.summarize().mean);
   return objectives;
 }
 

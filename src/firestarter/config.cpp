@@ -163,6 +163,10 @@ Config parse_args(int argc, const char* const* argv) {
       else throw ConfigError("unknown simulation target '" + which + "'");
     } else if (flag == "--freq") {
       cfg.sim_freq_mhz = strings::parse_double(take(inline_value, args, flag), flag);
+    } else if (flag == "--sim-sample-hz") {
+      cfg.sim_sample_hz = strings::parse_double(take(inline_value, args, flag), flag);
+      if (!(cfg.sim_sample_hz > 0.0))
+        throw ConfigError("--sim-sample-hz must be > 0");
     } else if (flag == "--gpus") {
       cfg.gpus = static_cast<int>(strings::parse_u64(take(inline_value, args, flag), flag));
     } else if (flag == "--gpu-matrixsize") {
@@ -272,7 +276,13 @@ Target system:
                                run against the calibrated testbed simulator
                                instead of the host (virtual time)
   --freq MHZ                   simulated core P-state (default: nominal)
-  --gpus N                     stress N GPU stand-ins (DGEMM workers)
+  --sim-sample-hz HZ           virtual power-meter sampling rate for
+                               simulated open-loop runs (default 20, the
+                               paper's LMG95; telemetry streams one-pass,
+                               so high rates cost CPU, not memory)
+  --gpus N                     stress N GPU stand-ins (DGEMM workers;
+                               they duty-cycle against --load-profile and
+                               campaign phase schedules like CPU workers)
   --gpu-matrixsize N           DGEMM dimension (default 256)
 )";
 }

@@ -83,6 +83,11 @@ struct Config {
   // Target system.
   TargetSystem target = TargetSystem::kHost;
   double sim_freq_mhz = 0.0;       ///< requested P-state on the simulator (0 = nominal)
+  /// Virtual-time trace sampling rate for open-loop simulated runs
+  /// (--sim-sample-hz; default mirrors the paper's LMG95 at 20 Sa/s).
+  /// Telemetry streams one-pass, so cranking this up costs CPU, not memory
+  /// — which is exactly what the CI bounded-memory smoke exercises.
+  double sim_sample_hz = 20.0;
 
   // GPU stress (host DGEMM stand-in).
   int gpus = 0;                    ///< --gpus

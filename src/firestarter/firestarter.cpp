@@ -32,6 +32,8 @@
 #include "sched/trace_recorder.hpp"
 #include "sim/plant.hpp"
 #include "sim/sim_system.hpp"
+#include "telemetry/bus.hpp"
+#include "telemetry/sinks.hpp"
 #include "tuning/nsga2.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -124,25 +126,52 @@ std::vector<int> resolve_worker_cpus(const Config& cfg,
 /// assumed clock when the real frequency is unknown (Sec. III-C).
 constexpr double kIpcEstimateAssumedMhz = 2000.0;
 
+double clamp01(double value) { return std::min(std::max(value, 0.0), 1.0); }
+
+/// The achieved duty-cycle channel every run mode publishes; --record-trace
+/// and the load-level summary rows both hang off it.
+constexpr const char* kLoadChannel = "load-level";
+
+/// Effective trim deltas for a phase of `duration_s`: honor the configured
+/// --start/--stop deltas but never let them eat a short phase (campaign
+/// phases are often a few seconds; the paper's 5 s/2 s defaults assume
+/// multi-minute runs). An infinite duration disables the clamp — that case
+/// is a single run where the user set the deltas deliberately.
+struct TrimDeltas {
+  double start_s = 0.0;
+  double stop_s = 0.0;
+};
+
+TrimDeltas phase_deltas(const Config& cfg, double duration_s) {
+  return TrimDeltas{std::min(cfg.start_delta_s, 0.25 * duration_s),
+                    std::min(cfg.stop_delta_s, 0.25 * duration_s)};
+}
+
 /// Metric set for a host stress run: RAPL power and perf IPC when available,
 /// the loop-count IPC estimate always, plus the --metric-path /
 /// --metric-command externals — shared by plain runs and campaign phases so
-/// both report through the same sources.
+/// both report through the same sources. Readings go straight onto the
+/// telemetry bus; nothing is retained here.
 struct HostMetricSet {
   metrics::RaplPowerMetric rapl;
   metrics::PerfIpcMetric perf;
   std::unique_ptr<metrics::IpcEstimateMetric> estimate;
   std::unique_ptr<metrics::PluginMetric> plugin;
   std::unique_ptr<metrics::CommandMetric> command;
-  std::vector<metrics::Metric*> active;       ///< metrics that responded as available
-  std::vector<metrics::TimeSeries> series;    ///< one per active metric, same order
+  std::vector<metrics::Metric*> active;          ///< metrics that responded as available
+  std::vector<telemetry::ChannelId> channels;    ///< one per active metric, same order
 
+  void register_channels(telemetry::TelemetryBus& bus) {
+    channels.clear();
+    for (metrics::Metric* metric : active)
+      channels.push_back(bus.channel(metric->name(), metric->unit()));
+  }
   void begin_all() {
     for (metrics::Metric* metric : active) metric->begin();
   }
-  void sample_all(double elapsed_s) {
+  void sample_all(telemetry::TelemetryBus& bus, double elapsed_s) {
     for (std::size_t m = 0; m < active.size(); ++m)
-      series[m].add(elapsed_s, active[m]->sample());
+      bus.publish(channels[m], elapsed_s, active[m]->sample());
   }
 };
 
@@ -151,7 +180,7 @@ struct HostMetricSet {
 /// source — instantiating it twice would double-initialize plugin state or
 /// double-spawn meter commands (the controller's readings still land in the
 /// CSV as ctl-measurement). The source the loop did NOT take keeps its
-/// measurement series.
+/// measurement channel.
 std::unique_ptr<HostMetricSet> build_host_metrics(const Config& cfg,
                                                   const kernel::ThreadManager& manager,
                                                   double instructions_per_iteration,
@@ -171,106 +200,10 @@ std::unique_ptr<HostMetricSet> build_host_metrics(const Config& cfg,
   set->active.push_back(set->estimate.get());
   if (set->plugin && set->plugin->available()) set->active.push_back(set->plugin.get());
   if (set->command && set->command->available()) set->active.push_back(set->command.get());
-  for (metrics::Metric* metric : set->active)
-    set->series.emplace_back(metric->name(), metric->unit());
   return set;
 }
 
-double clamp01(double value) { return std::min(std::max(value, 0.0), 1.0); }
-
-/// Trim deltas for a phase summary: honor the configured --start/--stop
-/// deltas but never let them eat a short phase (campaign phases are often a
-/// few seconds; the paper's 5 s/2 s defaults assume multi-minute runs).
-metrics::Summary summarize_phase(const metrics::TimeSeries& series, double duration_s,
-                                 double start_delta_s, double stop_delta_s,
-                                 const std::string& phase) {
-  metrics::Summary summary = series.summarize(std::min(start_delta_s, 0.25 * duration_s),
-                                              std::min(stop_delta_s, 0.25 * duration_s));
-  summary.phase = phase;
-  return summary;
-}
-
-/// Summarize every series into per-phase rows, downgrading empty-window
-/// errors (deltas ate a short phase's samples) to warnings — one place owns
-/// the catch policy for all run modes.
-void summarize_all(const std::vector<const metrics::TimeSeries*>& series, double duration_s,
-                   double start_delta_s, double stop_delta_s, const std::string& phase,
-                   std::vector<metrics::Summary>* summaries) {
-  for (const metrics::TimeSeries* s : series) {
-    try {
-      summaries->push_back(
-          summarize_phase(*s, duration_s, start_delta_s, stop_delta_s, phase));
-    } catch (const Error& e) {
-      log::warn() << e.what();
-    }
-  }
-}
-
-/// Borrowed view of a series vector for summarize_all (avoids deep-copying
-/// sample data just to read it).
-std::vector<const metrics::TimeSeries*> series_ptrs(
-    const std::vector<metrics::TimeSeries>& series) {
-  std::vector<const metrics::TimeSeries*> ptrs;
-  ptrs.reserve(series.size());
-  for (const metrics::TimeSeries& s : series) ptrs.push_back(&s);
-  return ptrs;
-}
-
-// ---- closed-loop control helpers --------------------------------------------
-
-/// Controller telemetry as extra measurement rows: one ctl-* TimeSeries per
-/// tick-level quantity, summarized alongside the regular metrics so every
-/// controlled phase's setpoint, achieved measurement, residual error, and
-/// commanded output land in the summary CSV.
-void append_control_series(const control::FeedbackLoop& loop,
-                           std::vector<metrics::TimeSeries>* series) {
-  const char* unit = control::unit_of(loop.setpoint().variable);
-  metrics::TimeSeries setpoint("ctl-setpoint", unit);
-  metrics::TimeSeries measurement("ctl-measurement", unit);
-  metrics::TimeSeries error("ctl-error", unit);
-  metrics::TimeSeries output("ctl-output", "fraction");
-  for (const control::ControlTick& tick : loop.telemetry()) {
-    setpoint.add(tick.time_s, tick.setpoint);
-    measurement.add(tick.time_s, tick.measurement);
-    error.add(tick.time_s, tick.error);
-    output.add(tick.time_s, tick.output);
-  }
-  series->push_back(std::move(setpoint));
-  series->push_back(std::move(measurement));
-  series->push_back(std::move(error));
-  series->push_back(std::move(output));
-}
-
-/// One --control-log row. Fixed-point timestamps: %g's significant-digit
-/// rounding collapses adjacent 0.25 s ticks once a burn-in campaign passes
-/// a few hours (the same failure TraceRecorder::write_csv guards against).
-void write_control_tick(std::ostream& out, const control::ControlTick& tick,
-                        double time_offset_s, const std::string& phase) {
-  out << strings::format("%.6f,%.6g,%.6g,%.6g,%.6g,%s\n", time_offset_s + tick.time_s,
-                         tick.setpoint, tick.measurement, tick.error, tick.output,
-                         phase.c_str());
-}
-
-/// Write a loop's full telemetry (instant virtual-time phases). Real-time
-/// paths stream ticks as they happen instead — a week-long burn-in that
-/// dies mid-run must not lose its entire log.
-void append_control_log(std::ostream& out, const control::FeedbackLoop& loop,
-                        double time_offset_s, const std::string& phase) {
-  for (const control::ControlTick& tick : loop.telemetry())
-    write_control_tick(out, tick, time_offset_s, phase);
-}
-
-/// Stream any not-yet-written ticks to the log; tracks progress through
-/// `written` so the sampling loop can call it every iteration.
-void stream_control_log(std::ostream& out, const control::FeedbackLoop& loop,
-                        double time_offset_s, const std::string& phase,
-                        std::size_t* written) {
-  const std::vector<control::ControlTick>& ticks = loop.telemetry();
-  if (*written == ticks.size()) return;
-  for (; *written < ticks.size(); ++*written)
-    write_control_tick(out, ticks[*written], time_offset_s, phase);
-  out.flush();  // survive a mid-run kill
-}
+// ---- output files -----------------------------------------------------------
 
 /// Open an output file (--record-trace, --control-log) up front — before
 /// any stress runs — so a bad path fails in seconds, not after an
@@ -284,7 +217,7 @@ std::ofstream open_output_file(const std::string& path, const char* flag) {
 
 /// Open --control-log with its header when the run actually has a
 /// controller to log; otherwise warn and return a closed stream. One place
-/// owns the schema so the three run modes cannot drift apart.
+/// owns the schema so the run modes cannot drift apart.
 std::ofstream open_control_log(const std::optional<std::string>& path, bool has_target,
                                const char* ignored_reason) {
   std::ofstream out;
@@ -298,19 +231,54 @@ std::ofstream open_control_log(const std::optional<std::string>& path, bool has_
   return out;
 }
 
-/// Write the recorded trace into the stream that was opened up front and
-/// tell the user where it went.
-void finish_recorded_trace(const std::optional<std::string>& path,
-                           const sched::TraceRecorder& trace, std::ofstream& out) {
-  if (!path) return;
-  trace.write_csv(out);
-  log::info() << "achieved-load trace written to " << *path;
-}
+/// The sink set every run mode wires onto its bus: summary aggregation
+/// (--measurement / campaign CSV), achieved-load trace recording
+/// (--record-trace), and the per-tick controller log (--control-log).
+/// Construction opens the output files immediately — fail fast — and
+/// attaches only the sinks the flags asked for; everything the sinks keep
+/// is bounded, so this is what makes run length and telemetry memory
+/// independent of each other.
+struct RunSinks {
+  telemetry::SummarySink summary;
+  sched::TraceRecorder trace;
+  std::ofstream trace_out;
+  std::unique_ptr<sched::TraceSink> trace_sink;
+  std::ofstream control_log;
+  std::unique_ptr<control::ControlLogSink> log_sink;
+
+  RunSinks(telemetry::TelemetryBus& bus, const Config& cfg, bool want_summary,
+           bool has_target, const char* control_log_ignored_reason) {
+    if (want_summary) bus.attach(&summary);
+    if (cfg.record_trace) {
+      trace_out = open_output_file(*cfg.record_trace, "--record-trace");
+      sched::TraceRecorder::write_header(trace_out);
+      trace_sink = std::make_unique<sched::TraceSink>(kLoadChannel, &trace, &trace_out);
+      bus.attach(trace_sink.get());
+    }
+    control_log = open_control_log(cfg.control_log, has_target, control_log_ignored_reason);
+    if (control_log.is_open()) {
+      log_sink = std::make_unique<control::ControlLogSink>(control_log);
+      bus.attach(log_sink.get());
+    }
+  }
+
+  /// Post-run notice for --record-trace (rows themselves stream as they
+  /// happen so an interrupted run keeps its trace).
+  void report_trace(const Config& cfg) {
+    if (cfg.record_trace)
+      log::info() << "achieved-load trace written to " << *cfg.record_trace;
+  }
+};
+
+// ---- closed-loop control helpers --------------------------------------------
 
 /// Convergence window for a phase of `duration_s`: the trailing quarter,
-/// but at least a few controller ticks' worth.
+/// but at least a few controller ticks' worth — capped so that week-long
+/// holds are judged on their trailing minutes (which is also all the
+/// loop's bounded telemetry ring retains).
 double convergence_window_s(const control::FeedbackLoop& loop, double duration_s) {
-  return std::max(4.0 * loop.setpoint().interval_s, 0.25 * duration_s);
+  return std::min(std::max(4.0 * loop.setpoint().interval_s, 0.25 * duration_s),
+                  control::FeedbackLoop::kMaxConvergenceWindowS);
 }
 
 /// Log whether the loop settled inside the band; returns the verdict so
@@ -332,15 +300,6 @@ bool report_convergence(const control::FeedbackLoop& loop, double duration_s,
   return converged;
 }
 
-/// Copy an achieved load-level series into the trace recorder, shifted to
-/// campaign time.
-void record_load_series(sched::TraceRecorder* trace, const metrics::TimeSeries& load,
-                        double time_offset_s) {
-  if (trace == nullptr) return;
-  for (const metrics::Sample& sample : load.samples())
-    trace->record(time_offset_s + sample.time_s, sample.value);
-}
-
 /// Actuator + sensor + regulator for a closed-loop phase on the real host.
 struct HostControl {
   std::shared_ptr<control::ControlledProfile> profile;
@@ -348,7 +307,7 @@ struct HostControl {
   std::unique_ptr<control::FeedbackLoop> loop;
   /// Which external source `sensor` is, if any — the measurement set must
   /// not instantiate that same source a second time (double plugin init,
-  /// doubled meter-command spawns); the other one keeps its series.
+  /// doubled meter-command spawns); the other one keeps its channel.
   bool owns_plugin = false;
   bool owns_command = false;
 };
@@ -406,41 +365,79 @@ HostControl make_host_control(const Config& cfg, const control::Setpoint& sp) {
   return hc;
 }
 
-/// Evaluate one simulated stress phase: steady-state operating point plus a
-/// load-modulated power/IPC/load trace at the LMG95's 20 Sa/s. The
-/// modulation folds the duty cycle into the trace the same way the wall
-/// meter would see it — idle floor plus load-weighted dynamic power.
-struct SimPhase {
-  sim::WorkloadPoint point;
-  metrics::TimeSeries power{"sim-wall-power", "W"};
-  metrics::TimeSeries ipc{"sim-perf-ipc", "instructions/cycle"};
-  metrics::TimeSeries load{"load-level", "fraction"};
+// ---- simulated phases -------------------------------------------------------
+
+/// The channels a simulated phase publishes, registered once per run so
+/// every phase's summary rows come out in the same stable order.
+struct SimChannels {
+  telemetry::ChannelId power = 0;
+  telemetry::ChannelId ipc = 0;
+  telemetry::ChannelId load = 0;
+  telemetry::ChannelId temp = 0;
+  bool has_temp = false;
 };
 
-SimPhase run_sim_phase(const sim::SimulatedSystem& system, const Config& cfg,
-                       const payload::PayloadStats& stats, const sched::LoadProfile& profile,
-                       double duration_s, std::uint64_t seed, double warm_start_s,
-                       bool gpu_stress) {
+/// `trimmed_aux` selects whether the IPC and load channels get the phase's
+/// trim deltas (campaign/controlled summaries) or none (the open-loop
+/// single-run mode reports them untrimmed); `summarize_load` drops the
+/// load-level summary row while trace recording still sees the samples.
+SimChannels register_sim_channels(telemetry::TelemetryBus& bus, bool with_temp,
+                                  bool trimmed_aux, bool summarize_load) {
+  const telemetry::TrimMode aux =
+      trimmed_aux ? telemetry::TrimMode::kPhase : telemetry::TrimMode::kNone;
+  SimChannels ch;
+  ch.power = bus.channel("sim-wall-power", "W");
+  ch.ipc = bus.channel("sim-perf-ipc", "instructions/cycle", aux);
+  ch.load = bus.channel(kLoadChannel, "fraction", aux, summarize_load);
+  if (with_temp) {
+    ch.temp = bus.channel("sim-package-temp", "degC");
+    ch.has_temp = true;
+  }
+  return ch;
+}
+
+/// Evaluate one simulated stress phase: steady-state operating point plus a
+/// load-modulated power/IPC/load trace at the virtual meter's sampling
+/// rate, published straight onto the bus (nothing materialized — a 10x
+/// longer run costs the same memory). The modulation folds the duty cycle
+/// into the trace the same way the wall meter would see it — idle floor
+/// plus load-weighted dynamic power.
+struct SimPhaseResult {
+  sim::WorkloadPoint point;
+  double mean_power_w = 0.0;  ///< thermal-carry input for open-loop phases
+  std::size_t samples = 0;
+};
+
+SimPhaseResult run_sim_phase(const sim::SimulatedSystem& system, const Config& cfg,
+                             const payload::PayloadStats& stats,
+                             const sched::LoadProfile& profile, double duration_s,
+                             std::uint64_t seed, double warm_start_s, bool gpu_stress,
+                             telemetry::TelemetryBus& bus, const SimChannels& ch) {
   sim::RunConditions cond;
   cond.freq_mhz = cfg.sim_freq_mhz;
   cond.policy = policy_of(cfg);
   cond.gpu_stress = gpu_stress;
   if (cfg.threads) cond.threads = *cfg.threads;
 
-  SimPhase phase;
-  phase.point = system.simulator().run(stats, cond);
-  constexpr double kSampleHz = 20.0;
-  const std::vector<double> trace =
-      system.simulator().power_trace(phase.point, duration_s, kSampleHz, seed, warm_start_s);
+  SimPhaseResult result;
+  result.point = system.simulator().run(stats, cond);
+  sim::PowerTraceStream trace(system.simulator(), result.point, cfg.sim_sample_hz, seed,
+                              warm_start_s);
   const double idle_w = system.simulator().idle().power_w;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const double t = static_cast<double>(i) / kSampleHz;
+  result.samples = static_cast<std::size_t>(duration_s * cfg.sim_sample_hz);
+  double power_sum = 0.0;
+  for (std::size_t i = 0; i < result.samples; ++i) {
+    const double t = trace.time_at(i);
     const double level = clamp01(profile.load_at(t));
-    phase.power.add(t, idle_w + level * (trace[i] - idle_w));
-    phase.ipc.add(t, phase.point.ipc_per_core * level);
-    phase.load.add(t, level);
+    const double watts = idle_w + level * (trace.next() - idle_w);
+    bus.publish(ch.power, t, watts);
+    bus.publish(ch.ipc, t, result.point.ipc_per_core * level);
+    bus.publish(ch.load, t, level);
+    power_sum += watts;
   }
-  return phase;
+  if (result.samples > 0)
+    result.mean_power_w = power_sum / static_cast<double>(result.samples);
+  return result;
 }
 
 /// One simulated closed-loop phase: the controller and the PowerPlant step
@@ -449,8 +446,7 @@ SimPhase run_sim_phase(const sim::SimulatedSystem& system, const Config& cfg,
 /// the loop starts from a feed-forward guess and the PID only has to trim
 /// leakage warm-up, quantization, and meter noise.
 struct ControlledSimPhase {
-  SimPhase base;  ///< power/ipc/load series + steady-state point
-  metrics::TimeSeries temp{"sim-package-temp", "degC"};
+  sim::WorkloadPoint point;
   std::shared_ptr<control::ControlledProfile> profile;
   std::unique_ptr<control::FeedbackLoop> loop;
   double final_temp_c = 0.0;  ///< noise-free thermal state for the next phase
@@ -464,7 +460,9 @@ ControlledSimPhase run_sim_controlled_phase(const sim::SimulatedSystem& system,
                                             bool gpu_stress,
                                             std::optional<double> freq_override,
                                             std::optional<int> threads_override,
-                                            std::optional<double> initial_temp_c) {
+                                            std::optional<double> initial_temp_c,
+                                            telemetry::TelemetryBus& bus,
+                                            const SimChannels& ch) {
   sp.validate_duration(duration_s, "closed-loop phase");
   sim::RunConditions cond;
   cond.freq_mhz = freq_override ? *freq_override : cfg.sim_freq_mhz;
@@ -474,8 +472,8 @@ ControlledSimPhase run_sim_controlled_phase(const sim::SimulatedSystem& system,
   else if (cfg.threads) cond.threads = *cfg.threads;
 
   ControlledSimPhase phase;
-  phase.base.point = system.simulator().run(stats, cond);
-  sim::PowerPlant plant(system.simulator(), phase.base.point, seed, warm_start_s,
+  phase.point = system.simulator().run(stats, cond);
+  sim::PowerPlant plant(system.simulator(), phase.point, seed, warm_start_s,
                         /*noise=*/true, initial_temp_c);
 
   double scale, feed_forward;
@@ -489,6 +487,7 @@ ControlledSimPhase run_sim_controlled_phase(const sim::SimulatedSystem& system,
   phase.profile = std::make_shared<control::ControlledProfile>(clamp01(feed_forward));
   phase.loop = std::make_unique<control::FeedbackLoop>(sp, phase.profile, scale,
                                                        clamp01(feed_forward));
+  phase.loop->attach_bus(&bus);
 
   // Tick loop: the plant advances one interval under the previously
   // commanded level, then the controller reacts to the fresh measurement —
@@ -498,25 +497,27 @@ ControlledSimPhase run_sim_controlled_phase(const sim::SimulatedSystem& system,
     const sim::PowerPlant::State& st = plant.step(phase.profile->level(), dt);
     const double measurement =
         sp.variable == control::ControlVariable::kPower ? st.power_w : st.temp_c;
-    phase.loop->tick(st.time_s, measurement);
-    phase.base.power.add(st.time_s, st.power_w);
-    phase.base.ipc.add(st.time_s, phase.base.point.ipc_per_core * st.level);
+    // Plant state first, controller tick second: summary rows come out in
+    // first-sample order, measurements before the ctl block.
+    bus.publish(ch.power, st.time_s, st.power_w);
+    bus.publish(ch.ipc, st.time_s, phase.point.ipc_per_core * st.level);
     // The level was applied over [time_s - dt, time_s]; stamp it at the
     // interval *start* so a recorded trace replays each duty-cycle edge at
     // the moment it originally happened, not one tick late (and so the
     // feed-forward level of the first interval is part of the record).
-    phase.base.load.add(st.time_s - dt, st.level);
-    phase.temp.add(st.time_s, st.temp_c);
+    bus.publish(ch.load, st.time_s - dt, st.level);
+    if (ch.has_temp) bus.publish(ch.temp, st.time_s, st.temp_c);
+    phase.loop->tick(st.time_s, measurement);
   }
   phase.final_temp_c = plant.true_temp_c();
   return phase;
 }
 
-/// What a host phase leaves behind beyond its summary rows: the achieved
-/// load series (trace recording) and, for controlled phases, the feedback
-/// loop with its telemetry.
+// ---- host phases ------------------------------------------------------------
+
+/// What a host phase leaves behind beyond the bus traffic: the feedback
+/// loop (convergence verdicts) and the actual wall-clock length.
 struct HostPhaseOutput {
-  metrics::TimeSeries load{"load-level", "fraction"};
   std::unique_ptr<control::FeedbackLoop> loop;
   /// Wall-clock phase length — slightly over the nominal duration (the
   /// sampling loop quantizes at 50 ms); campaign time advances by this so
@@ -526,17 +527,16 @@ struct HostPhaseOutput {
 
 /// Execute one campaign phase on the real machine: compile the phase's
 /// workload, stress for `duration_s` — under its profile, or under the
-/// feedback loop when `setpoint` is set — and append one summary row per
-/// available metric tagged with the phase name.
+/// feedback loop when `setpoint` is set — and publish every metric sample,
+/// controller tick, and achieved load level on the bus (the caller's
+/// begin_phase/end_phase bracket attributes them to the phase).
 HostPhaseOutput run_host_phase(const Config& cfg, const Target& target,
                                const payload::FunctionDef& fn,
                                const payload::InstructionGroups& groups,
                                sched::ProfilePtr profile, const control::Setpoint* setpoint,
                                std::optional<int> threads_override, double duration_s,
-                               const std::string& phase_name,
-                               std::vector<metrics::Summary>* summaries,
-                               std::ostream* control_log = nullptr,
-                               double log_time_offset_s = 0.0) {
+                               telemetry::TelemetryBus& bus,
+                               gpu::DgemmStressor* gpu_stress) {
   if (!target.cpu.features.covers(fn.mix.required))
     throw UnsupportedError("host CPU lacks features for " + fn.name + " (needs " +
                            fn.mix.required.to_string() + ")");
@@ -563,6 +563,15 @@ HostPhaseOutput run_host_phase(const Config& cfg, const Target& target,
 
   auto metrics_set = build_host_metrics(cfg, manager, payload.stats().instructions_per_iteration,
                                         hc.owns_plugin, hc.owns_command);
+  // Row order per phase: the metric channels, the ctl-* channels, then the
+  // achieved load level — matching the measurement CSV layout.
+  metrics_set->register_channels(bus);
+  if (output.loop) output.loop->attach_bus(&bus);
+  const telemetry::ChannelId load_ch = bus.channel(kLoadChannel, "fraction");
+
+  // The GPU stand-in backdrop follows this phase's schedule too (for
+  // controlled phases that is the live controller profile).
+  if (gpu_stress != nullptr) gpu_stress->set_profile(profile);
 
   kernel::Watchdog watchdog;
   std::atomic<bool> done{false};
@@ -571,29 +580,16 @@ HostPhaseOutput run_host_phase(const Config& cfg, const Target& target,
   metrics_set->begin_all();
   if (hc.sensor) hc.sensor->begin();
   const auto t0 = std::chrono::steady_clock::now();
-  std::size_t log_ticks_written = 0;
   while (!done.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    metrics_set->sample_all(elapsed);
-    if (output.loop && output.loop->due(elapsed)) {
-      output.loop->poll(elapsed, *hc.sensor);
-      if (control_log != nullptr)
-        stream_control_log(*control_log, *output.loop, log_time_offset_s, phase_name,
-                           &log_ticks_written);
-    }
-    output.load.add(elapsed, clamp01(manager.profile().load_at(elapsed)));
+    metrics_set->sample_all(bus, elapsed);
+    if (output.loop && output.loop->due(elapsed)) output.loop->poll(elapsed, *hc.sensor);
+    bus.publish(load_ch, elapsed, manager.load_at(elapsed));
     output.elapsed_s = elapsed;
   }
   manager.stop();
-
-  std::vector<metrics::TimeSeries> series = std::move(metrics_set->series);
-  if (output.loop) append_control_series(*output.loop, &series);
-  std::vector<const metrics::TimeSeries*> ptrs = series_ptrs(series);
-  ptrs.push_back(&output.load);  // borrowed: output.load survives for the caller
-  summarize_all(ptrs, duration_s, cfg.start_delta_s, cfg.stop_delta_s, phase_name,
-                summaries);
   return output;
 }
 
@@ -670,10 +666,9 @@ int Firestarter::run_stress_simulated() {
   sim::SimulatedSystem system(target.sim_config);
   const double duration = cfg_.timeout_s > 0 ? cfg_.timeout_s : 240.0;
 
-  std::ofstream trace_out, control_log;
-  if (cfg_.record_trace) trace_out = open_output_file(*cfg_.record_trace, "--record-trace");
-  control_log = open_control_log(cfg_.control_log, cfg_.target_spec.has_value(),
-                                 " without --target (no controller ticks to log)");
+  telemetry::TelemetryBus bus;
+  RunSinks sinks(bus, cfg_, cfg_.measurement, cfg_.target_spec.has_value(),
+                 " without --target (no controller ticks to log)");
 
   out_ << "target: " << target.sim_config.name << "\n"
        << "function: " << fn.name << "  M=" << groups.to_string()
@@ -686,11 +681,17 @@ int Firestarter::run_stress_simulated() {
                      "the duty cycle)";
     const control::Setpoint sp = control::Setpoint::parse(*cfg_.target_spec);
     out_ << "control: " << sp.describe() << "\n";
+    const SimChannels ch = register_sim_channels(bus, /*with_temp=*/true,
+                                                 /*trimmed_aux=*/true,
+                                                 /*summarize_load=*/true);
+    const TrimDeltas deltas = phase_deltas(cfg_, duration);
+    bus.begin_phase("", duration, deltas.start_s, deltas.stop_s);
     const ControlledSimPhase phase =
         run_sim_controlled_phase(system, cfg_, stats, sp, duration, cfg_.seed,
                                  /*warm_start_s=*/0.0, target.gpu_stress,
-                                 std::nullopt, std::nullopt, std::nullopt);
-    system.set_point(phase.base.point);
+                                 std::nullopt, std::nullopt, std::nullopt, bus, ch);
+    bus.finish();
+    system.set_point(phase.point);
     const bool converged = report_convergence(*phase.loop, duration, "controller");
     const double window = convergence_window_s(*phase.loop, duration);
     out_ << strings::format(
@@ -698,23 +699,8 @@ int Firestarter::run_stress_simulated() {
         phase.loop->trailing_mean(window), control::unit_of(sp.variable), sp.value,
         phase.profile->level() * 100.0, converged ? "converged" : "NOT converged");
 
-    if (cfg_.measurement) {
-      std::vector<metrics::TimeSeries> ctl;
-      append_control_series(*phase.loop, &ctl);
-      std::vector<const metrics::TimeSeries*> series = {
-          &phase.base.power, &phase.base.ipc, &phase.base.load, &phase.temp};
-      for (const metrics::TimeSeries& s : ctl) series.push_back(&s);
-      std::vector<metrics::Summary> summaries;
-      summarize_all(series, duration, cfg_.start_delta_s, cfg_.stop_delta_s,
-                    /*phase=*/"", &summaries);
-      metrics::print_csv(out_, summaries);
-    }
-    if (cfg_.record_trace) {
-      sched::TraceRecorder trace;
-      record_load_series(&trace, phase.base.load, 0.0);
-      finish_recorded_trace(cfg_.record_trace, trace, trace_out);
-    }
-    if (cfg_.control_log) append_control_log(control_log, *phase.loop, 0.0, "");
+    if (cfg_.measurement) metrics::print_csv(out_, sinks.summary.rows());
+    sinks.report_trace(cfg_);
     return cfg_.require_convergence && !converged ? 1 : 0;
   }
 
@@ -722,30 +708,27 @@ int Firestarter::run_stress_simulated() {
     log::warn() << "--require-convergence is ignored without --target "
                    "(nothing is regulated)";
   const sched::ProfilePtr profile = resolve_profile(cfg_);
-  SimPhase phase = run_sim_phase(system, cfg_, stats, *profile, duration, cfg_.seed,
-                                 /*warm_start_s=*/0.0, target.gpu_stress);
-  system.set_point(phase.point);
+  // The single-run mode reports IPC and load untrimmed (they are exact in
+  // virtual time; only the power trace has a warm-up to trim).
+  const SimChannels ch = register_sim_channels(bus, /*with_temp=*/false,
+                                               /*trimmed_aux=*/false,
+                                               /*summarize_load=*/!profile->constant());
+  bus.begin_phase("", duration, cfg_.start_delta_s, cfg_.stop_delta_s);
+  const SimPhaseResult result = run_sim_phase(system, cfg_, stats, *profile, duration,
+                                              cfg_.seed, /*warm_start_s=*/0.0,
+                                              target.gpu_stress, bus, ch);
+  bus.finish();
+  system.set_point(result.point);
 
   if (!profile->constant()) out_ << "load profile: " << profile->describe() << "\n";
-  const sim::WorkloadPoint& point = phase.point;
+  const sim::WorkloadPoint& point = result.point;
   out_ << strings::format(
       "steady state: %.1f W, %.2f IPC/core, %.0f MHz%s, %.1f GFLOP/s, fetch from %s\n",
       point.power_w, point.ipc_per_core, point.achieved_mhz,
       point.throttled ? " (throttled)" : "", point.gflops, sim::to_string(point.fetch_source));
 
-  if (cfg_.measurement) {
-    // Report the same CSV a real run prints, synthesized in virtual time.
-    std::vector<metrics::Summary> summaries = {
-        phase.power.summarize(cfg_.start_delta_s, cfg_.stop_delta_s),
-        phase.ipc.summarize(0.0, 0.0)};
-    if (!profile->constant()) summaries.push_back(phase.load.summarize(0.0, 0.0));
-    metrics::print_csv(out_, summaries);
-  }
-  if (cfg_.record_trace) {
-    sched::TraceRecorder trace;
-    record_load_series(&trace, phase.load, 0.0);
-    finish_recorded_trace(cfg_.record_trace, trace, trace_out);
-  }
+  if (cfg_.measurement) metrics::print_csv(out_, sinks.summary.rows());
+  sinks.report_trace(cfg_);
   return 0;
 }
 
@@ -815,8 +798,8 @@ int Firestarter::run_campaign() {
        << strings::format("%.0f s total", campaign.total_duration_s()) << " on "
        << (target.simulated ? target.sim_config.name : "host") << "\n";
 
-  // The GPU stand-in runs for the whole campaign (constant backdrop; the
-  // load schedule does not modulate it yet — see ROADMAP follow-ups).
+  // The GPU stand-in runs for the whole campaign; each phase retargets it
+  // onto its own schedule (run_host_phase swaps the profile in).
   std::unique_ptr<gpu::DgemmStressor> gpu_stress;
   if (!target.simulated && cfg_.gpus > 0) {
     gpu::GpuStressOptions gpu_options;
@@ -833,24 +816,21 @@ int Firestarter::run_campaign() {
     log::warn() << "--require-convergence is ignored: no campaign phase has a "
                    "target= setpoint";
 
-  sched::TraceRecorder trace;
-  std::size_t trace_rows_written = 0;
-  std::ofstream trace_out, control_log;
-  if (cfg_.record_trace) {
-    trace_out = open_output_file(*cfg_.record_trace, "--record-trace");
-    sched::TraceRecorder::write_header(trace_out);
-  }
-  control_log = open_control_log(cfg_.control_log, any_target,
-                                 ": no campaign phase has a target= setpoint");
+  telemetry::TelemetryBus bus;
+  RunSinks sinks(bus, cfg_, /*want_summary=*/true, any_target,
+                 ": no campaign phase has a target= setpoint");
 
   sim::SimulatedSystem system(target.sim_config);
-  std::vector<metrics::Summary> summaries;
+  SimChannels sim_channels;
+  if (target.simulated)
+    sim_channels = register_sim_channels(bus, /*with_temp=*/any_target,
+                                         /*trimmed_aux=*/true, /*summarize_load=*/true);
+
   bool all_converged = true;
-  double campaign_time_s = 0.0;  // elapsed (and virtual preheat) from earlier phases
   // Thermal state carried between controlled sim phases so back-to-back
   // holds heat continuously instead of each phase snapping back to the
-  // idle-settled temperature. (Open-loop phases don't integrate the thermal
-  // model and leave the carry untouched.)
+  // idle-settled temperature. (Open-loop phases advance the carry through a
+  // first-order settle toward their mean-power steady state.)
   std::optional<double> carry_temp_c;
   std::size_t phase_index = 0;
   for (const sched::CampaignPhase& spec : campaign.phases()) {
@@ -862,6 +842,12 @@ int Firestarter::run_campaign() {
                             res.setpoint ? res.setpoint->describe().c_str()
                                          : res.profile->describe().c_str());
 
+    const TrimDeltas deltas = phase_deltas(cfg_, spec.duration_s);
+    bus.begin_phase(spec.name, spec.duration_s, deltas.start_s, deltas.stop_s);
+    // Campaign time of this phase's start — also the virtual preheat the
+    // simulator's thermal/leakage models have accumulated.
+    const double campaign_time_s = bus.phase().time_offset_s;
+
     if (target.simulated) {
       const auto stats =
           payload::analyze_payload(fn.mix, groups, target.caches, compile_options(cfg_));
@@ -869,69 +855,45 @@ int Firestarter::run_campaign() {
         const ControlledSimPhase phase = run_sim_controlled_phase(
             system, cfg_, stats, *res.setpoint, spec.duration_s, cfg_.seed + phase_index,
             campaign_time_s, target.gpu_stress, spec.freq_mhz, spec.threads,
-            carry_temp_c);
+            carry_temp_c, bus, sim_channels);
         carry_temp_c = phase.final_temp_c;
-        std::vector<metrics::TimeSeries> ctl;
-        append_control_series(*phase.loop, &ctl);
-        std::vector<const metrics::TimeSeries*> series = {
-            &phase.base.power, &phase.base.ipc, &phase.base.load, &phase.temp};
-        for (const metrics::TimeSeries& s : ctl) series.push_back(&s);
-        summarize_all(series, spec.duration_s, cfg_.start_delta_s, cfg_.stop_delta_s,
-                      spec.name, &summaries);
-        record_load_series(cfg_.record_trace ? &trace : nullptr, phase.base.load,
-                           campaign_time_s);
-        if (control_log.is_open())
-          append_control_log(control_log, *phase.loop, campaign_time_s, spec.name);
         all_converged &=
             report_convergence(*phase.loop, spec.duration_s, "phase '" + spec.name + "'");
       } else {
-        sched::ProfilePtr profile = res.profile;
         Config phase_cfg = cfg_;
         if (spec.freq_mhz) phase_cfg.sim_freq_mhz = *spec.freq_mhz;
         if (spec.threads) phase_cfg.threads = *spec.threads;
-        const SimPhase phase =
-            run_sim_phase(system, phase_cfg, stats, *profile, spec.duration_s,
-                          cfg_.seed + phase_index, campaign_time_s, target.gpu_stress);
-        summarize_all({&phase.power, &phase.ipc, &phase.load}, spec.duration_s,
-                      cfg_.start_delta_s, cfg_.stop_delta_s, spec.name, &summaries);
-        record_load_series(cfg_.record_trace ? &trace : nullptr, phase.load,
-                           campaign_time_s);
+        const SimPhaseResult result =
+            run_sim_phase(system, phase_cfg, stats, *res.profile, spec.duration_s,
+                          cfg_.seed + phase_index, campaign_time_s, target.gpu_stress,
+                          bus, sim_channels);
         // Advance the thermal carry through this open-loop phase too — a
         // first-order settle toward the phase's mean-power steady state —
         // so a later temp-target phase doesn't inherit a stale (or
         // idle-cold) package after e.g. 300 s of full load.
-        if (!phase.power.samples().empty()) {
+        if (result.samples > 0) {
           const sim::ThermalParams& th = system.simulator().config().thermal;
-          double mean_power = 0.0;
-          for (const metrics::Sample& s : phase.power.samples()) mean_power += s.value;
-          mean_power /= static_cast<double>(phase.power.samples().size());
-          const double steady = th.ambient_c + th.c_per_w * mean_power;
+          const double steady = th.ambient_c + th.c_per_w * result.mean_power_w;
           const double prev = carry_temp_c.value_or(
               th.ambient_c + th.c_per_w * system.simulator().idle().power_w);
           carry_temp_c = steady + (prev - steady) * std::exp(-spec.duration_s / th.tau_s);
         }
       }
-      campaign_time_s += spec.duration_s;
+      bus.end_phase();
     } else {
       const HostPhaseOutput output = run_host_phase(
           cfg_, target, fn, groups, res.profile,
-          res.setpoint ? &*res.setpoint : nullptr, spec.threads, spec.duration_s,
-          spec.name, &summaries,
-          control_log.is_open() ? &control_log : nullptr, campaign_time_s);
-      record_load_series(cfg_.record_trace ? &trace : nullptr, output.load,
-                         campaign_time_s);
+          res.setpoint ? &*res.setpoint : nullptr, spec.threads, spec.duration_s, bus,
+          gpu_stress.get());
       if (output.loop)
         all_converged &= report_convergence(*output.loop, spec.duration_s,
                                             "phase '" + spec.name + "'");
       // Advance by the *actual* phase length: the 50 ms sampling loop
       // overruns the nominal duration slightly, and a nominal offset would
-      // make the next phase's first timestamps non-monotonic (the recorder
-      // would silently drop them).
-      campaign_time_s += std::max(spec.duration_s, output.elapsed_s);
+      // make the next phase's first timestamps non-monotonic (the trace
+      // recorder would silently drop them).
+      bus.end_phase(output.elapsed_s);
     }
-    // Stream accumulated breakpoints so an interrupted campaign keeps its
-    // trace up to the previous phase.
-    if (cfg_.record_trace) trace.stream_rows(trace_out, &trace_rows_written);
     ++phase_index;
   }
 
@@ -941,11 +903,9 @@ int Firestarter::run_campaign() {
                             static_cast<unsigned long long>(gpu_stress->total_gemms()),
                             gpu_stress->total_flops() / 1e9);
   }
-  if (cfg_.record_trace) {
-    trace.stream_rows(trace_out, &trace_rows_written);
-    log::info() << "achieved-load trace written to " << *cfg_.record_trace;
-  }
-  metrics::print_csv(out_, summaries);
+  bus.finish();
+  sinks.report_trace(cfg_);
+  metrics::print_csv(out_, sinks.summary.rows());
   if (cfg_.require_convergence && !all_converged) {
     log::error() << "campaign failed --require-convergence";
     return 1;
@@ -1034,34 +994,37 @@ int Firestarter::run_stress_host() {
   if (!run_options.profile->constant())
     log::info() << "load profile: " << run_options.profile->describe();
 
-  // Optional GPU stand-in stress.
+  // Optional GPU stand-in stress, duty-cycling against the same schedule
+  // (or the controller's live profile) as the CPU workers.
   std::unique_ptr<gpu::DgemmStressor> gpu_stress;
   if (cfg_.gpus > 0) {
     gpu::GpuStressOptions gpu_options;
     gpu_options.devices = cfg_.gpus;
     gpu_options.matrix_n = cfg_.gpu_matrix_n;
     gpu_options.seed = cfg_.seed;
+    gpu_options.profile = run_options.profile;
     gpu_stress = std::make_unique<gpu::DgemmStressor>(gpu_options);
   }
 
-  // Metrics for --measurement.
+  telemetry::TelemetryBus bus;
+  RunSinks sinks(bus, cfg_, cfg_.measurement, loop != nullptr,
+                 " without --target (no controller ticks to log)");
+
+  // Metrics for --measurement. Row order: metric channels, the achieved
+  // load level (summarized only when a schedule modulates it — a controlled
+  // profile is never constant(), so --target runs are covered), then ctl-*.
   auto metrics_set =
       build_host_metrics(cfg_, manager, payload.stats().instructions_per_iteration,
                          hc.owns_plugin, hc.owns_command);
-  metrics::TimeSeries load_series("load-level", "fraction");
-  // Only --measurement consumes this series (a controlled profile is never
-  // constant(), so --target runs are covered); --record-trace feeds its own
-  // recorder directly in the sampling loop.
-  const bool record_load = cfg_.measurement && !run_options.profile->constant();
-  sched::TraceRecorder trace;
-  std::size_t trace_rows_written = 0;
-  std::ofstream trace_out, control_log;
-  if (cfg_.record_trace) {
-    trace_out = open_output_file(*cfg_.record_trace, "--record-trace");
-    sched::TraceRecorder::write_header(trace_out);
-  }
-  control_log = open_control_log(cfg_.control_log, loop != nullptr,
-                                 " without --target (no controller ticks to log)");
+  metrics_set->register_channels(bus);
+  const bool summarize_load = cfg_.measurement && !run_options.profile->constant();
+  const telemetry::ChannelId load_ch =
+      bus.channel(kLoadChannel, "fraction", telemetry::TrimMode::kPhase, summarize_load);
+  if (loop) loop->attach_bus(&bus);
+
+  const double duration =
+      cfg_.timeout_s > 0 ? cfg_.timeout_s : std::numeric_limits<double>::infinity();
+  bus.begin_phase("", duration, cfg_.start_delta_s, cfg_.stop_delta_s);
 
   kernel::Watchdog watchdog;
   std::atomic<bool> done{false};
@@ -1078,27 +1041,18 @@ int Firestarter::run_stress_host() {
 
   const auto t0 = std::chrono::steady_clock::now();
   double last_dump_s = 0.0;
-  std::size_t log_ticks_written = 0;
   std::ofstream dump_file;
   if (cfg_.dump_registers) dump_file.open(cfg_.dump_path);
   while (!done.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    if (cfg_.measurement) metrics_set->sample_all(elapsed);
-    if (loop && loop->due(elapsed)) {
-      loop->poll(elapsed, *hc.sensor);
-      if (control_log.is_open())
-        stream_control_log(control_log, *loop, 0.0, "", &log_ticks_written);
-    }
-    if (record_load)
-      load_series.add(elapsed, manager.profile().load_at(elapsed));
-    if (cfg_.record_trace) {
-      // Stream breakpoints as levels change: an indefinite (-t 0) or killed
-      // run keeps its trace up to the last change instead of losing it all.
-      trace.record(elapsed, clamp01(manager.profile().load_at(elapsed)));
-      trace.stream_rows(trace_out, &trace_rows_written);
-    }
+    if (cfg_.measurement) metrics_set->sample_all(bus, elapsed);
+    // Feeds the load summary row and --record-trace's streaming recorder;
+    // with neither sink attached the publish is a no-op. Before the
+    // controller poll so summary rows order metrics, load, then ctl.
+    bus.publish(load_ch, elapsed, manager.load_at(elapsed));
+    if (loop && loop->due(elapsed)) loop->poll(elapsed, *hc.sensor);
     if (cfg_.dump_registers && elapsed - last_dump_s >= cfg_.dump_interval_s) {
       kernel::write_dump(dump_file, kernel::capture_registers(manager));
       dump_file.flush();
@@ -1112,6 +1066,7 @@ int Firestarter::run_stress_host() {
     kernel::write_dump(dump_file, kernel::capture_registers(manager));
     log::info() << "register dump written to " << cfg_.dump_path;
   }
+  bus.finish();
 
   out_ << strings::format("executed %llu kernel loop iterations on %zu workers\n",
                           static_cast<unsigned long long>(manager.total_iterations()),
@@ -1122,27 +1077,11 @@ int Firestarter::run_stress_host() {
                             gpu_stress->total_flops() / 1e9);
   bool converged = true;
   if (loop) {
-    const double duration = cfg_.timeout_s > 0 ? cfg_.timeout_s : 0.0;
-    converged = report_convergence(*loop, duration, "controller");
+    const double report_duration = cfg_.timeout_s > 0 ? cfg_.timeout_s : 0.0;
+    converged = report_convergence(*loop, report_duration, "controller");
   }
-  if (cfg_.measurement) {
-    std::vector<metrics::TimeSeries>& series = metrics_set->series;
-    if (record_load) series.push_back(std::move(load_series));
-    if (loop) append_control_series(*loop, &series);
-    // Infinite "duration" disables summarize_phase's 25 % delta clamp: that
-    // guard exists for short campaign phases, not for a single run where
-    // the user set --start/--stop-delta deliberately.
-    std::vector<metrics::Summary> summaries;
-    summarize_all(series_ptrs(series), std::numeric_limits<double>::infinity(),
-                  cfg_.start_delta_s, cfg_.stop_delta_s, /*phase=*/"", &summaries);
-    metrics::print_csv(out_, summaries);
-  }
-  if (cfg_.record_trace) {
-    trace.stream_rows(trace_out, &trace_rows_written);
-    log::info() << "achieved-load trace written to " << *cfg_.record_trace;
-  }
-  if (loop && control_log.is_open())
-    stream_control_log(control_log, *loop, 0.0, "", &log_ticks_written);
+  if (cfg_.measurement) metrics::print_csv(out_, sinks.summary.rows());
+  sinks.report_trace(cfg_);
   return cfg_.require_convergence && !converged ? 1 : 0;
 }
 

@@ -1,6 +1,8 @@
 #include "gpu/dgemm_stress.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -37,7 +39,8 @@ struct DgemmStressor::Device {
   std::uint64_t seed = 0;
 };
 
-DgemmStressor::DgemmStressor(GpuStressOptions options) : options_(options) {
+DgemmStressor::DgemmStressor(GpuStressOptions options)
+    : options_(std::move(options)), profile_(options_.profile) {
   for (int d = 0; d < options_.devices; ++d) {
     auto device = std::make_unique<Device>();
     device->seed = options_.seed + static_cast<std::uint64_t>(d) * 0x9e3779b97f4a7c15ULL;
@@ -49,7 +52,42 @@ DgemmStressor::DgemmStressor(GpuStressOptions options) : options_(options) {
 
 DgemmStressor::~DgemmStressor() { stop(); }
 
-void DgemmStressor::start() { start_flag_.store(true, std::memory_order_release); }
+void DgemmStressor::anchor_epoch() {
+  epoch_ticks_.store(
+      std::chrono::steady_clock::now().time_since_epoch().count(),
+      std::memory_order_release);
+}
+
+double DgemmStressor::elapsed_s() const {
+  const std::chrono::steady_clock::duration since_boot(
+      epoch_ticks_.load(std::memory_order_acquire));
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch() - since_boot)
+      .count();
+}
+
+void DgemmStressor::start() {
+  // Anchor the modulation epoch right before release, like
+  // ThreadManager::start(): all devices count windows from the same instant.
+  anchor_epoch();
+  start_flag_.store(true, std::memory_order_release);
+}
+
+void DgemmStressor::set_profile(sched::ProfilePtr profile) {
+  {
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    profile_ = std::move(profile);
+  }
+  // Re-anchor the epoch: a campaign phase's profile (ramp, trace, ...) is
+  // authored in phase-local time, so its clock must start with the swap —
+  // the same way each phase's ThreadManager restarts its own PhaseClock.
+  anchor_epoch();
+}
+
+sched::ProfilePtr DgemmStressor::current_profile() const {
+  std::lock_guard<std::mutex> lock(profile_mutex_);
+  return profile_;
+}
 
 void DgemmStressor::stop() {
   if (joined_) return;
@@ -91,10 +129,45 @@ void DgemmStressor::device_main(Device& device) {
 
   while (!start_flag_.load(std::memory_order_acquire)) std::this_thread::yield();
 
-  while (!stop_flag_.load(std::memory_order_acquire)) {
+  auto run_gemm = [&] {
     // beta < 1 keeps C bounded: fixed point of |C| is alpha*E[A*B]*n/(1-beta).
     blocked_dgemm(n, 1e-3, device.a.data(), device.b.data(), 0.5, device.c.data());
     device.gemms.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  const double period = options_.period_s;
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    // Re-read per window: campaign phases swap the schedule mid-run.
+    const sched::ProfilePtr profile = current_profile();
+    if (!profile || (profile->constant() && profile->load_at(0.0) >= 1.0)) {
+      run_gemm();  // flat out: no windowing arithmetic on the hot path
+      continue;
+    }
+    // Same lockstep windowing as kernel::ThreadManager::worker_main: window
+    // k spans [k*period, (k+1)*period) relative to the epoch and is busy
+    // for its first load_at(window start) fraction. Granularity here is one
+    // DGEMM call rather than a ~5 ms kernel chunk.
+    const bool live = profile->live();
+    auto sampled_load = [&profile](double w) {
+      return std::clamp(profile->load_at(w), 0.0, 1.0);
+    };
+    const double t = elapsed_s();
+    const double window = sched::PhaseClock::window_start(t, period);
+    const double idle_until = window + period;
+    double busy_until = window + sampled_load(window) * period;
+    if (t < busy_until) {
+      run_gemm();
+      continue;
+    }
+    while (!stop_flag_.load(std::memory_order_acquire) && elapsed_s() < idle_until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // Live profiles (the closed-loop controller) can raise the command
+      // mid-window; cut the idle span short so actuation latency stays at
+      // ~1 ms instead of a whole window. A set_profile() epoch re-anchor
+      // also lands within ~1 ms: elapsed_s() snaps below idle_until's
+      // stale window and the outer loop re-reads the schedule.
+      if (live && elapsed_s() < window + sampled_load(window) * period) break;
+    }
   }
 }
 

@@ -3,8 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sched/load_profile.hpp"
+#include "sched/phase_clock.hpp"
 
 namespace fs2::gpu {
 
@@ -13,6 +17,15 @@ struct GpuStressOptions {
   int devices = 1;           ///< simulated GPUs (worker contexts)
   std::size_t matrix_n = 256;  ///< square matrix dimension per DGEMM
   std::uint64_t seed = 0xD6E3;
+  /// Load schedule the devices duty-cycle against (null = flat out, the
+  /// pre-scheduler behaviour). Swappable mid-run via set_profile() so
+  /// campaign phases and the closed-loop controller steer the GPU stand-in
+  /// the same way they steer the CPU workers.
+  sched::ProfilePtr profile;
+  /// Modulation window the schedule is quantized to. DGEMM granularity is
+  /// one kernel call (tens of ms at the default matrix size), so periods
+  /// far below that degrade to on/off windows.
+  double period_s = 0.1;
 };
 
 /// Stand-in for FIRESTARTER's cuBLAS DGEMM GPU stress: each simulated
@@ -21,6 +34,13 @@ struct GpuStressOptions {
 /// initialized *inside the device worker* — mirroring the FIRESTARTER 2
 /// improvement where data is initialized directly on the GPU instead of
 /// being filled on the host and copied (Sec. III-D).
+///
+/// Devices follow the load schedule: each modulation window starting at w
+/// is busy for its first load_at(w) fraction, idle for the rest — the same
+/// lockstep duty-cycling as kernel::ThreadManager, with the device's own
+/// epoch anchored at start(). Live profiles (the feedback loop's
+/// ControlledProfile) are re-sampled every DGEMM so controller commands act
+/// within one kernel call.
 class DgemmStressor {
  public:
   explicit DgemmStressor(GpuStressOptions options);
@@ -30,6 +50,12 @@ class DgemmStressor {
 
   void start();
   void stop();
+
+  /// Swap the load schedule the devices follow (null = flat out). Safe
+  /// while running — campaign phases retarget the GPU backdrop without
+  /// restarting the device threads. Re-anchors the modulation epoch, so
+  /// the new profile is evaluated in phase-local time from the swap.
+  void set_profile(sched::ProfilePtr profile);
 
   /// DGEMM iterations completed across all devices.
   std::uint64_t total_gemms() const;
@@ -46,9 +72,18 @@ class DgemmStressor {
  private:
   struct Device;
   void device_main(Device& device);
+  sched::ProfilePtr current_profile() const;
+  void anchor_epoch();
+  double elapsed_s() const;
 
   GpuStressOptions options_;
   std::vector<std::unique_ptr<Device>> devices_;
+  mutable std::mutex profile_mutex_;
+  sched::ProfilePtr profile_;  ///< guarded by profile_mutex_
+  /// Modulation epoch as a steady_clock tick count — atomic because
+  /// set_profile() re-anchors it while device threads keep reading
+  /// (PhaseClock::restart is not safe against concurrent readers).
+  std::atomic<std::int64_t> epoch_ticks_{0};
   std::atomic<bool> start_flag_{false};
   std::atomic<bool> stop_flag_{false};
   bool joined_ = false;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -67,6 +68,12 @@ class ThreadManager {
   /// The load schedule the workers follow (never null; defaults to a
   /// constant profile built from RunOptions::load).
   const sched::LoadProfile& profile() const { return *profile_; }
+
+  /// Clamped schedule level at elapsed time `t_s` — what the orchestrator
+  /// publishes on the telemetry bus as the achieved load-level channel.
+  double load_at(double t_s) const {
+    return std::clamp(profile_->load_at(t_s), 0.0, 1.0);
+  }
 
   /// The shared epoch all workers anchor their modulation windows to.
   const sched::PhaseClock& phase_clock() const { return clock_; }

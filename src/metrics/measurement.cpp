@@ -2,48 +2,46 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
-#include "util/stats.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace fs2::metrics {
 
-std::vector<double> TimeSeries::trimmed_values(double start_delta_s, double stop_delta_s) const {
-  if (samples_.empty()) return {};
-  const double end = samples_.back().time_s;
-  std::vector<double> values;
-  values.reserve(samples_.size());
-  for (const Sample& s : samples_)
-    if (s.time_s >= start_delta_s && s.time_s <= end - stop_delta_s) values.push_back(s.value);
-  return values;
-}
-
-Summary TimeSeries::summarize(double start_delta_s, double stop_delta_s) const {
-  const std::vector<double> values = trimmed_values(start_delta_s, stop_delta_s);
-  if (values.empty())
-    throw Error("TimeSeries::summarize: no samples left for metric '" + name_ +
-                "' after trimming (start-delta " + std::to_string(start_delta_s) +
-                " s, stop-delta " + std::to_string(stop_delta_s) + " s)");
+Summary TimeSeries::summarize() const {
+  if (aggregator_.total_samples() == 0)
+    throw Error("TimeSeries::summarize: metric '" + name_ + "' recorded no samples");
+  const telemetry::StreamingSummary stats = aggregator_.summarize();
+  if (stats.trim_fallback)
+    log::warn() << "metric '" << name_ << "': start/stop deltas ("
+                << aggregator_.start_delta_s() << " s / " << aggregator_.stop_delta_s()
+                << " s) trimmed away every sample; reporting the untrimmed aggregate";
   Summary summary;
   summary.name = name_;
   summary.unit = unit_;
-  summary.mean = stats::mean(values);
-  summary.stddev = stats::stddev(values);
-  summary.min = stats::min(values);
-  summary.max = stats::max(values);
-  summary.samples = values.size();
+  summary.mean = stats.mean;
+  summary.stddev = stats.stddev;
+  summary.min = stats.min;
+  summary.max = stats.max;
+  summary.p50 = stats.p50;
+  summary.p95 = stats.p95;
+  summary.p99 = stats.p99;
+  summary.samples = stats.samples;
   return summary;
 }
 
 void print_csv(std::ostream& out, const std::vector<Summary>& summaries) {
   CsvWriter csv(out);
   csv.row(std::vector<std::string>{"metric", "unit", "samples", "mean", "stddev", "min", "max",
-                                   "phase"});
+                                   "p50", "p95", "p99", "phase"});
   for (const Summary& s : summaries)
     csv.row(std::vector<std::string>{s.name, s.unit, std::to_string(s.samples),
                                      strings::format("%.4f", s.mean),
                                      strings::format("%.4f", s.stddev),
                                      strings::format("%.4f", s.min),
-                                     strings::format("%.4f", s.max), s.phase});
+                                     strings::format("%.4f", s.max),
+                                     strings::format("%.4f", s.p50),
+                                     strings::format("%.4f", s.p95),
+                                     strings::format("%.4f", s.p99), s.phase});
 }
 
 }  // namespace fs2::metrics

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "metrics/metric.hpp"
+#include "telemetry/ring_buffer.hpp"
+#include "telemetry/streaming_aggregator.hpp"
 
 namespace fs2::metrics {
 
@@ -16,6 +18,12 @@ struct Summary {
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// Streaming P² quantile estimates (exact for tiny windows): the tail
+  /// behaviour the whole-run mean hides — a p99 power excursion is what
+  /// trips breakers, not the average.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
   std::size_t samples = 0;
   /// Campaign phase this window belongs to (empty outside campaign runs).
   /// Rendered as the trailing "phase" CSV column so every phase of a
@@ -23,35 +31,57 @@ struct Summary {
   std::string phase;
 };
 
-/// A recorded time series for one metric, with the paper's start/stop-delta
+/// A measurement window for one metric, with the paper's start/stop-delta
 /// trimming semantics (Sec. III-D: "values are averaged over the whole
 /// runtime, excluding an arbitrary time during the start and end of the
 /// measurement run, with a default of 5 s and 2 s").
+///
+/// Thin adapter over telemetry::StreamingAggregator: samples are folded
+/// into running moments on arrival and are NOT retained (a bounded ring
+/// keeps the most recent `tail_capacity` for trace/debug), so a window's
+/// memory is O(stop-delta x sample rate + tail), not O(run length). The
+/// trim deltas therefore bind at construction, when the window opens — not
+/// at summarize time as in the batch implementation this replaces.
 class TimeSeries {
  public:
-  TimeSeries(std::string name, std::string unit)
-      : name_(std::move(name)), unit_(std::move(unit)) {}
+  static constexpr std::size_t kDefaultTailCapacity = 1024;
 
-  void add(double time_s, double value) { samples_.push_back(Sample{time_s, value}); }
-  const std::vector<Sample>& samples() const { return samples_; }
+  TimeSeries(std::string name, std::string unit, double start_delta_s = 5.0,
+             double stop_delta_s = 2.0, std::size_t tail_capacity = kDefaultTailCapacity)
+      : name_(std::move(name)),
+        unit_(std::move(unit)),
+        aggregator_(start_delta_s, stop_delta_s),
+        tail_(tail_capacity) {}
+
+  void add(double time_s, double value) {
+    aggregator_.add(time_s, value);
+    tail_.push(Sample{time_s, value});
+  }
+
   const std::string& name() const { return name_; }
   const std::string& unit() const { return unit_; }
+  /// Samples observed so far (before trimming).
+  std::size_t total_samples() const { return aggregator_.total_samples(); }
+  /// Bounded most-recent-samples window (oldest first).
+  const telemetry::RingBuffer<Sample>& tail() const { return tail_; }
 
-  /// Samples with time in [start_delta, duration - stop_delta].
-  std::vector<double> trimmed_values(double start_delta_s, double stop_delta_s) const;
-
-  /// Aggregate over the trimmed window. Throws fs2::Error when trimming
-  /// removes every sample (misconfigured deltas).
-  Summary summarize(double start_delta_s = 5.0, double stop_delta_s = 2.0) const;
+  /// Aggregate over the trimmed window. Throws fs2::Error when the window
+  /// never saw a sample; degrades to the untrimmed aggregate (with a
+  /// logged warning) when the deltas trimmed every sample away — short
+  /// smoke runs must not abort just because they are shorter than the
+  /// paper's 5 s + 2 s defaults.
+  Summary summarize() const;
 
  private:
   std::string name_;
   std::string unit_;
-  std::vector<Sample> samples_;
+  telemetry::StreamingAggregator aggregator_;
+  telemetry::RingBuffer<Sample> tail_;
 };
 
 /// Print summaries as the comma-separated lines FIRESTARTER's --measurement
-/// mode emits: "name,unit,samples,mean,stddev,min,max".
+/// mode emits, extended with the streaming quantile estimates:
+/// "name,unit,samples,mean,stddev,min,max,p50,p95,p99,phase".
 void print_csv(std::ostream& out, const std::vector<Summary>& summaries);
 
 }  // namespace fs2::metrics

@@ -4,13 +4,13 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/sample.hpp"
+
 namespace fs2::metrics {
 
-/// One timestamped metric reading.
-struct Sample {
-  double time_s = 0.0;  ///< seconds since the window began
-  double value = 0.0;
-};
+/// One timestamped metric reading (shared with the telemetry bus the
+/// readings travel over).
+using Sample = telemetry::Sample;
 
 /// A measurable quantity of the system under stress (paper Sec. III-C).
 /// Implementations: RAPL package power, perf_event IPC, estimated IPC,

@@ -35,10 +35,33 @@ void TraceRecorder::stream_rows(std::ostream& out, std::size_t* written) const {
   out.flush();  // survive a mid-run kill
 }
 
+void TraceRecorder::flush_rows(std::ostream& out) {
+  if (flushed_ >= points_.size()) return;
+  stream_rows(out, &flushed_);
+  // Release everything but the newest breakpoint (the reference record()
+  // compares the next level change against).
+  points_.erase(points_.begin(), points_.end() - 1);
+  flushed_ = points_.size();  // == 1, and already on disk
+}
+
 void TraceRecorder::write_csv(std::ostream& out) const {
   write_header(out);
   std::size_t written = 0;
   stream_rows(out, &written);
+}
+
+void TraceSink::on_channel(telemetry::ChannelId id, const telemetry::ChannelInfo& info) {
+  if (info.name == channel_name_) channel_ = id;
+}
+
+void TraceSink::on_sample(telemetry::ChannelId id, const telemetry::Sample& sample) {
+  if (id != channel_) return;
+  recorder_->record(phase_.time_offset_s + sample.time_s, sample.value);
+  if (out_ != nullptr) recorder_->flush_rows(*out_);
+}
+
+void TraceSink::on_finish() {
+  if (out_ != nullptr) recorder_->flush_rows(*out_);
 }
 
 }  // namespace fs2::sched

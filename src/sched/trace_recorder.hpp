@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sched/load_profile.hpp"
+#include "telemetry/sample_sink.hpp"
 
 namespace fs2::sched {
 
@@ -44,8 +45,43 @@ class TraceRecorder {
   /// last level change instead of losing the whole file.
   void stream_rows(std::ostream& out, std::size_t* written) const;
 
+  /// Streaming variant that also RELEASES the written rows: everything but
+  /// the newest breakpoint (record() still needs it for the collapse and
+  /// monotonicity comparisons) is erased once on disk, so a week-long
+  /// streamed trace holds O(1) breakpoints in memory instead of one per
+  /// level change. Do not mix with stream_rows/write_csv on the same
+  /// recorder — pruned rows cannot be written twice.
+  void flush_rows(std::ostream& out);
+
  private:
   std::vector<TraceProfile::Breakpoint> points_;
+  std::size_t flushed_ = 0;  ///< prefix of points_ already written by flush_rows
+};
+
+/// Telemetry-bus adapter for --record-trace: subscribes to one channel
+/// (the achieved load level), feeds its samples — shifted to campaign time
+/// — into a TraceRecorder, and streams newly collapsed breakpoints to the
+/// output right away so an interrupted run keeps its trace. Memory stays
+/// bounded by the breakpoint-collapsing recorder, and the run modes no
+/// longer need a separate record-the-load-series code path.
+class TraceSink : public telemetry::SampleSink {
+ public:
+  /// `out` may be null (record only, no streaming — tests).
+  TraceSink(std::string channel_name, TraceRecorder* recorder, std::ostream* out)
+      : channel_name_(std::move(channel_name)), recorder_(recorder), out_(out) {}
+
+  void on_channel(telemetry::ChannelId id, const telemetry::ChannelInfo& info) override;
+  void on_phase_begin(const telemetry::PhaseInfo& phase) override { phase_ = phase; }
+  void on_sample(telemetry::ChannelId id, const telemetry::Sample& sample) override;
+  void on_finish() override;
+
+ private:
+  static constexpr telemetry::ChannelId kUnmatched = static_cast<telemetry::ChannelId>(-1);
+  std::string channel_name_;
+  TraceRecorder* recorder_;
+  std::ostream* out_;
+  telemetry::PhaseInfo phase_;
+  telemetry::ChannelId channel_ = kUnmatched;
 };
 
 }  // namespace fs2::sched

@@ -219,20 +219,31 @@ std::vector<double> Simulator::power_trace(const WorkloadPoint& point, double du
                                            double warm_start_s) const {
   if (duration_s <= 0.0 || sample_hz <= 0.0)
     throw Error("Simulator::power_trace: duration and sample rate must be positive");
-  const PowerParams& p = cfg_.power;
-  Xoshiro256 rng(seed);
+  PowerTraceStream stream(*this, point, sample_hz, seed, warm_start_s);
   const auto samples = static_cast<std::size_t>(duration_s * sample_hz);
   std::vector<double> trace;
   trace.reserve(samples);
-  for (std::size_t i = 0; i < samples; ++i) {
-    const double t = warm_start_s + static_cast<double>(i) / sample_hz;
-    // Leakage rises as the silicon warms: a cold start sits below the
-    // steady state by warm_leakage_gain and converges with thermal_tau_s.
-    const double thermal = 1.0 - p.warm_leakage_gain * std::exp(-t / p.thermal_tau_s);
-    const double noise = 1.0 + 0.004 * rng.normal();
-    trace.push_back(point.power_w * thermal * noise);
-  }
+  for (std::size_t i = 0; i < samples; ++i) trace.push_back(stream.next());
   return trace;
+}
+
+PowerTraceStream::PowerTraceStream(const Simulator& simulator, const WorkloadPoint& point,
+                                   double sample_hz, std::uint64_t seed, double warm_start_s)
+    : params_(simulator.config().power),
+      power_w_(point.power_w),
+      sample_hz_(sample_hz),
+      warm_start_s_(warm_start_s),
+      rng_(seed) {
+  if (sample_hz_ <= 0.0) throw Error("PowerTraceStream: sample rate must be positive");
+}
+
+double PowerTraceStream::next() {
+  const double t = warm_start_s_ + time_at(index_++);
+  // Leakage rises as the silicon warms: a cold start sits below the
+  // steady state by warm_leakage_gain and converges with thermal_tau_s.
+  const double thermal = 1.0 - params_.warm_leakage_gain * std::exp(-t / params_.thermal_tau_s);
+  const double noise = 1.0 + 0.004 * rng_.normal();
+  return power_w_ * thermal * noise;
 }
 
 }  // namespace fs2::sim

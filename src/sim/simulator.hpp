@@ -7,6 +7,7 @@
 #include "payload/compiler.hpp"
 #include "payload/data.hpp"
 #include "sim/machine_config.hpp"
+#include "util/rng.hpp"
 
 namespace fs2::sim {
 
@@ -66,7 +67,8 @@ class Simulator {
   /// warm state plus measurement noise, sampled at `sample_hz` (the ZES
   /// LMG95 in the paper samples at 20 Sa/s). `warm_start_s` sets how much
   /// preheat the package already had (Fig. 7: candidates after preheat show
-  /// no ramp).
+  /// no ramp). Materializes the whole trace; long-running callers should
+  /// stream through PowerTraceStream instead.
   std::vector<double> power_trace(const WorkloadPoint& point, double duration_s,
                                   double sample_hz, std::uint64_t seed,
                                   double warm_start_s = 0.0) const;
@@ -77,6 +79,35 @@ class Simulator {
                             double freq_mhz, double volts) const;
 
   MachineConfig cfg_;
+};
+
+/// Streaming generator behind Simulator::power_trace: the same leakage
+/// warm-up and meter-noise model, one sample per next() call, O(1) state.
+/// Virtual-time runs of any length publish these samples straight onto the
+/// telemetry bus instead of materializing an O(duration) vector first —
+/// the simulator-side half of the bounded-memory telemetry path.
+class PowerTraceStream {
+ public:
+  PowerTraceStream(const Simulator& simulator, const WorkloadPoint& point, double sample_hz,
+                   std::uint64_t seed, double warm_start_s = 0.0);
+
+  double sample_hz() const { return sample_hz_; }
+  /// Phase-local timestamp of sample `index`.
+  double time_at(std::size_t index) const { return static_cast<double>(index) / sample_hz_; }
+  /// Samples generated so far (the index the next next() will produce).
+  std::size_t produced() const { return index_; }
+
+  /// The next power sample (W). Deterministic for a given seed: the n-th
+  /// call returns the n-th element of the equivalent power_trace() vector.
+  double next();
+
+ private:
+  const PowerParams& params_;
+  double power_w_;
+  double sample_hz_;
+  double warm_start_s_;
+  Xoshiro256 rng_;
+  std::size_t index_ = 0;
 };
 
 }  // namespace fs2::sim

@@ -1,0 +1,63 @@
+#include "telemetry/bus.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fs2::telemetry {
+
+ChannelId TelemetryBus::channel(const ChannelInfo& info) {
+  for (ChannelId id = 0; id < channels_.size(); ++id)
+    if (channels_[id].name == info.name && channels_[id].unit == info.unit) return id;
+  channels_.push_back(info);
+  const ChannelId id = channels_.size() - 1;
+  for (SampleSink* sink : sinks_) sink->on_channel(id, channels_[id]);
+  return id;
+}
+
+ChannelId TelemetryBus::channel(const std::string& name, const std::string& unit,
+                                TrimMode trim, bool summarize) {
+  return channel(ChannelInfo{name, unit, trim, summarize});
+}
+
+void TelemetryBus::attach(SampleSink* sink) {
+  if (sink == nullptr) throw Error("TelemetryBus::attach: sink must not be null");
+  sinks_.push_back(sink);
+  for (ChannelId id = 0; id < channels_.size(); ++id) sink->on_channel(id, channels_[id]);
+  if (in_phase_) sink->on_phase_begin(phase_);
+}
+
+void TelemetryBus::begin_phase(const std::string& name, double duration_s,
+                               double start_delta_s, double stop_delta_s) {
+  if (in_phase_) end_phase();
+  phase_.name = name;
+  phase_.duration_s = duration_s;
+  phase_.time_offset_s = next_offset_s_;
+  phase_.start_delta_s = start_delta_s;
+  phase_.stop_delta_s = stop_delta_s;
+  in_phase_ = true;
+  for (SampleSink* sink : sinks_) sink->on_phase_begin(phase_);
+}
+
+void TelemetryBus::end_phase(double actual_elapsed_s) {
+  if (!in_phase_) return;
+  in_phase_ = false;
+  for (SampleSink* sink : sinks_) sink->on_phase_end(phase_);
+  const double nominal = std::isfinite(phase_.duration_s) ? phase_.duration_s : 0.0;
+  next_offset_s_ = phase_.time_offset_s + std::max(nominal, actual_elapsed_s);
+}
+
+void TelemetryBus::publish(ChannelId id, double time_s, double value) {
+  if (id >= channels_.size()) throw Error("TelemetryBus::publish: unknown channel id");
+  if (!in_phase_)
+    throw Error("TelemetryBus::publish: no open phase (call begin_phase first)");
+  const Sample sample{time_s, value};
+  for (SampleSink* sink : sinks_) sink->on_sample(id, sample);
+}
+
+void TelemetryBus::finish() {
+  if (in_phase_) end_phase();
+  for (SampleSink* sink : sinks_) sink->on_finish();
+}
+
+}  // namespace fs2::telemetry

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace fs2::telemetry {
+
+/// One timestamped reading of some quantity. The telemetry layer is the
+/// bottom of the measurement stack: producers (metric pollers, the feedback
+/// loop, the simulator) stamp values with seconds since their window began
+/// and push them through a TelemetryBus; nothing below this struct retains
+/// unbounded history.
+struct Sample {
+  double time_s = 0.0;  ///< seconds since the window (phase) began
+  double value = 0.0;
+};
+
+}  // namespace fs2::telemetry

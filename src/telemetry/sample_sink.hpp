@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "telemetry/sample.hpp"
+
+namespace fs2::telemetry {
+
+using ChannelId = std::size_t;
+
+/// How a channel's samples are trimmed before summary aggregation.
+enum class TrimMode {
+  kPhase,  ///< the active phase's start/stop deltas (the paper's semantics)
+  kNone,   ///< no trimming — every sample counts (e.g. load-level traces)
+};
+
+/// Identity and policy of one sample stream on the bus.
+struct ChannelInfo {
+  std::string name;
+  std::string unit;
+  TrimMode trim = TrimMode::kPhase;
+  /// False drops the channel from summary output while other sinks (trace
+  /// recording, per-tick logs) still see its samples.
+  bool summarize = true;
+};
+
+/// One aggregation window. Outside campaigns there is a single anonymous
+/// phase covering the whole run; campaigns begin one phase per line of the
+/// campaign file. Sample timestamps on the bus are PHASE-LOCAL;
+/// `time_offset_s` converts to run/campaign time for sinks that write
+/// global timestamps (trace recorder, control log).
+struct PhaseInfo {
+  std::string name;  ///< empty outside campaigns
+  double duration_s = std::numeric_limits<double>::infinity();
+  double time_offset_s = 0.0;
+  /// Effective trim deltas for TrimMode::kPhase channels. The caller owns
+  /// clamp policy (e.g. campaigns clamp to a quarter of the phase so the
+  /// 5 s/2 s defaults cannot eat a short phase).
+  double start_delta_s = 0.0;
+  double stop_delta_s = 0.0;
+};
+
+/// Receiver of bus traffic. All hooks run on the publishing thread (the
+/// orchestrator's sampling loop); implementations must be cheap and must
+/// not retain unbounded history — bounded state is the whole point of the
+/// telemetry layer.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+
+  /// A channel was registered (also replayed for pre-existing channels when
+  /// the sink attaches late).
+  virtual void on_channel(ChannelId id, const ChannelInfo& info) {
+    (void)id;
+    (void)info;
+  }
+
+  virtual void on_phase_begin(const PhaseInfo& phase) { (void)phase; }
+
+  /// One sample on `id`; `sample.time_s` is phase-local.
+  virtual void on_sample(ChannelId id, const Sample& sample) = 0;
+
+  /// The phase finished. `phase` carries the same info on_phase_begin saw.
+  virtual void on_phase_end(const PhaseInfo& phase) { (void)phase; }
+
+  /// The run finished (after the final on_phase_end).
+  virtual void on_finish() {}
+};
+
+}  // namespace fs2::telemetry

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+
+#include "telemetry/sample.hpp"
+
+namespace fs2::telemetry {
+
+/// P² (piecewise-parabolic) single-quantile estimator, Jain & Chlamtac 1985:
+/// five markers track the running quantile of a stream in O(1) memory and
+/// O(1) per observation — the standard production-telemetry answer to
+/// "p95 without keeping the samples". Exact while fewer than five
+/// observations have arrived (it falls back to the sorted array).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double quantile);
+
+  void add(double value);
+  std::size_t count() const { return count_; }
+
+  /// Current estimate; exact for count() < 5, asymptotically exact for
+  /// stationary streams. Calling with count() == 0 is a caller error and
+  /// returns 0.
+  double value() const;
+
+ private:
+  double quantile_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};     ///< marker heights (q0..q4)
+  std::array<double, 5> positions_{};   ///< actual marker positions (1-based)
+  std::array<double, 5> desired_{};     ///< desired marker positions
+  std::array<double, 5> increments_{};  ///< desired-position increments
+};
+
+/// Streaming summary of one value stream: Welford mean/stddev (population,
+/// matching util/stats), exact min/max, and P² estimates of the p50/p95/p99
+/// quantiles. Constant memory regardless of stream length.
+class StreamingMoments {
+ public:
+  StreamingMoments();
+
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< population variance; 0 when empty
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double p50() const { return p50_.value(); }
+  double p95() const { return p95_.value(); }
+  double p99() const { return p99_.value(); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  P2Quantile p50_;
+  P2Quantile p95_;
+  P2Quantile p99_;
+};
+
+/// Finished aggregate of one stream.
+struct StreamingSummary {
+  std::size_t samples = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// True when the trim window removed every sample and the summary fell
+  /// back to untrimmed aggregation (callers log a warning; short smoke runs
+  /// must not abort — the paper's 5 s/2 s defaults assume long runs).
+  bool trim_fallback = false;
+};
+
+/// One-pass aggregation with the paper's start/stop-delta trimming
+/// semantics (Sec. III-D) and NO retained series. Reproduces batch
+/// trimming exactly: a sample at time t is included iff
+/// `t >= start_delta && t <= end - stop_delta` where `end` is the last
+/// sample's timestamp.
+///
+/// `start_delta` is causal (drop on arrival). `end` is only known when the
+/// stream finishes, so the aggregator holds back samples younger than
+/// `stop_delta` in a small deque and flushes them into the running moments
+/// once newer samples prove they are inside the window — the buffer is
+/// bounded by stop_delta x sample rate, not by run length (memory is
+/// O(window), the property that unblocks week-long campaigns).
+///
+/// Timestamps must be non-decreasing (every producer in this codebase
+/// stamps monotonically). An untrimmed shadow aggregate is kept so that a
+/// run shorter than start+stop deltas degrades to the untrimmed summary
+/// instead of having nothing to report.
+class StreamingAggregator {
+ public:
+  StreamingAggregator(double start_delta_s, double stop_delta_s)
+      : start_delta_s_(start_delta_s), stop_delta_s_(stop_delta_s) {}
+
+  void add(double time_s, double value);
+
+  /// Total samples observed (before trimming).
+  std::size_t total_samples() const { return all_.count(); }
+  /// Samples currently held back awaiting proof they precede the stop
+  /// delta (bounded by stop_delta x sample rate).
+  std::size_t pending() const { return pending_.size(); }
+  double start_delta_s() const { return start_delta_s_; }
+  double stop_delta_s() const { return stop_delta_s_; }
+
+  /// Aggregate as of the samples seen so far, treating the newest
+  /// timestamp as the end of the run. Idempotent (does not consume state),
+  /// so mid-stream peeks and repeated finalization both work. When
+  /// trimming removed every sample but the stream was non-empty, returns
+  /// the untrimmed aggregate with `trim_fallback` set.
+  StreamingSummary summarize() const;
+
+ private:
+  double start_delta_s_;
+  double stop_delta_s_;
+  StreamingMoments trimmed_;      ///< samples proven inside the trim window
+  StreamingMoments all_;          ///< untrimmed shadow (fallback)
+  std::deque<Sample> pending_;    ///< survived start trim, awaiting stop proof
+  double last_time_s_ = 0.0;
+  bool any_ = false;
+};
+
+}  // namespace fs2::telemetry

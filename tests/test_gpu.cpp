@@ -100,5 +100,57 @@ TEST(DgemmStressor, StopWithoutStartIsClean) {
   EXPECT_EQ(stressor.total_gemms(), 0u);
 }
 
+TEST(DgemmStressor, ZeroLoadProfileIdlesTheDevices) {
+  // A constant-zero schedule means every window's busy span is empty: the
+  // devices must sleep through the whole run without issuing a DGEMM.
+  GpuStressOptions options;
+  options.devices = 2;
+  options.matrix_n = 32;
+  options.profile = std::make_shared<sched::ConstantProfile>(0.0);
+  DgemmStressor stressor(options);
+  stressor.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stressor.stop();
+  EXPECT_EQ(stressor.total_gemms(), 0u);
+}
+
+TEST(DgemmStressor, PartialLoadThrottlesBelowFlatOut) {
+  // 20 % duty over the same wall time must complete well under half the
+  // flat-out DGEMM count (generous bound: scheduling noise on CI).
+  auto gemms_at = [](sched::ProfilePtr profile) {
+    GpuStressOptions options;
+    options.devices = 1;
+    options.matrix_n = 48;
+    options.period_s = 0.05;
+    options.profile = std::move(profile);
+    DgemmStressor stressor(options);
+    stressor.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    stressor.stop();
+    return stressor.total_gemms();
+  };
+  const std::uint64_t flat = gemms_at(nullptr);
+  const std::uint64_t throttled = gemms_at(std::make_shared<sched::ConstantProfile>(0.2));
+  ASSERT_GT(flat, 0u);
+  EXPECT_LT(throttled, flat / 2 + 1);
+}
+
+TEST(DgemmStressor, SetProfileRetargetsMidRun) {
+  // Campaign phases swap schedules into a running stressor: a zero-load
+  // start must stay idle, and flipping to full load must start the DGEMMs.
+  GpuStressOptions options;
+  options.devices = 1;
+  options.matrix_n = 32;
+  options.profile = std::make_shared<sched::ConstantProfile>(0.0);
+  DgemmStressor stressor(options);
+  stressor.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(stressor.total_gemms(), 0u);
+  stressor.set_profile(std::make_shared<sched::ConstantProfile>(1.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stressor.stop();
+  EXPECT_GT(stressor.total_gemms(), 0u);
+}
+
 }  // namespace
 }  // namespace fs2::gpu

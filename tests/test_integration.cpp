@@ -48,7 +48,7 @@ TEST(Integration, StressRunWithEstimatedIpcMetric) {
   kernel::ThreadManager manager(workload, run);
   metrics::IpcEstimateMetric ipc([&manager] { return manager.total_iterations(); },
                                  workload.stats().instructions_per_iteration, 2000.0, 2);
-  metrics::TimeSeries series(ipc.name(), ipc.unit());
+  metrics::TimeSeries series(ipc.name(), ipc.unit(), 0.0, 0.0);
 
   manager.start();
   ipc.begin();
@@ -58,7 +58,7 @@ TEST(Integration, StressRunWithEstimatedIpcMetric) {
   }
   manager.stop();
 
-  const auto summary = series.summarize(0.0, 0.0);
+  const auto summary = series.summarize();
   EXPECT_GT(summary.mean, 0.1);   // real work happened
   EXPECT_LT(summary.mean, 16.0);  // and the estimate is in a plausible band
 }

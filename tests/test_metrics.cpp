@@ -29,36 +29,44 @@ namespace fs = std::filesystem;
 // ---- measurement windows ------------------------------------------------------
 
 TEST(TimeSeries, TrimmingMatchesPaperSemantics) {
-  // Sec. III-D: average over the runtime excluding start/stop deltas.
-  TimeSeries series("power", "W");
+  // Sec. III-D: average over the runtime excluding start/stop deltas. The
+  // window streams one-pass, so the deltas bind when it opens.
+  TimeSeries series("power", "W", /*start_delta_s=*/10.0, /*stop_delta_s=*/2.0);
   for (int t = 0; t <= 100; ++t) series.add(t, t < 10 ? 1000.0 : 300.0);
-  const Summary summary = series.summarize(/*start=*/10.0, /*stop=*/2.0);
+  const Summary summary = series.summarize();
   EXPECT_DOUBLE_EQ(summary.mean, 300.0);  // warm-up spike trimmed away
   EXPECT_EQ(summary.samples, 89u);        // t in [10, 98]
+  EXPECT_DOUBLE_EQ(summary.p50, 300.0);   // constant plateau: all quantiles agree
+  EXPECT_DOUBLE_EQ(summary.p99, 300.0);
   EXPECT_EQ(summary.name, "power");
   EXPECT_EQ(summary.unit, "W");
 }
 
-TEST(TimeSeries, OverTrimmingThrows) {
-  TimeSeries series("x", "u");
+TEST(TimeSeries, OverTrimmingFallsBackToUntrimmedAggregate) {
+  // A run shorter than start+stop deltas must not abort a smoke run; the
+  // summary degrades to the untrimmed aggregate (with a logged warning).
+  TimeSeries series("x", "u", 5.0, 5.0);
   series.add(0.0, 1.0);
   series.add(1.0, 2.0);
-  EXPECT_THROW(series.summarize(5.0, 5.0), Error);
+  const Summary summary = series.summarize();
+  EXPECT_EQ(summary.samples, 2u);
+  EXPECT_DOUBLE_EQ(summary.mean, 1.5);
 }
 
 TEST(TimeSeries, EmptySeriesThrows) {
-  TimeSeries series("x", "u");
-  EXPECT_THROW(series.summarize(0.0, 0.0), Error);
+  TimeSeries series("x", "u", 0.0, 0.0);
+  EXPECT_THROW(series.summarize(), Error);
 }
 
 TEST(TimeSeries, CsvOutputFormat) {
-  TimeSeries series("power", "W");
+  TimeSeries series("power", "W", 0.0, 0.0);
   series.add(0.0, 100.0);
   series.add(1.0, 200.0);
   std::ostringstream out;
-  print_csv(out, {series.summarize(0.0, 0.0)});
+  print_csv(out, {series.summarize()});
   const std::string text = out.str();
-  EXPECT_NE(text.find("metric,unit,samples,mean,stddev,min,max"), std::string::npos);
+  EXPECT_NE(text.find("metric,unit,samples,mean,stddev,min,max,p50,p95,p99,phase"),
+            std::string::npos);
   EXPECT_NE(text.find("power,W,2,150.0000"), std::string::npos);
 }
 
