@@ -33,4 +33,11 @@ trap 'rm -f "$campaign" "$trace"' EXIT
     --require-convergence --record-trace "$trace"
 ./build/fs2 --simulate=zen2 --freq 1500 -t 30 --load-profile "trace:file=$trace"
 
+# Cluster smoke: a coordinator plus two heterogeneous in-process sim agents
+# over loopback TCP, holding a 500 W global budget — must converge on every
+# phase, in lockstep, with the merged per-node + cluster-aggregate CSV.
+./build/fs2 --loopback zen2@1500,haswell@2000 \
+    --campaign examples/cluster_acceptance.campaign \
+    --target cluster-power=500W --require-convergence --log-level warn
+
 echo "verify: OK"

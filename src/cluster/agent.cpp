@@ -1,0 +1,124 @@
+#include "cluster/agent.hpp"
+
+#include <thread>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::cluster {
+
+AgentSession::AgentSession(const Options& options)
+    : conn_(Connection::connect(options.endpoint, options.connect_timeout_s)) {
+  HelloMsg hello;
+  hello.node_name = options.node_name;
+  hello.sku = options.sku;
+  conn_.send(hello.encode());
+
+  // Handshake loop: answer sync probes until the campaign arrives, then
+  // take the epoch. The coordinator owns the sequencing; the agent only
+  // reacts.
+  bool have_campaign = false;
+  bool have_epoch = false;
+  while (!have_campaign || !have_epoch) {
+    const auto frame = conn_.recv(/*timeout_s=*/30.0);
+    if (!frame) throw WireError("agent: coordinator went silent during handshake");
+    WireReader reader(frame->payload);
+    switch (frame->type) {
+      case MessageType::kSyncProbe: {
+        const SyncProbeMsg probe = SyncProbeMsg::decode(reader);
+        SyncReplyMsg reply;
+        reply.seq = probe.seq;
+        reply.t_coord_s = probe.t_coord_s;
+        reply.t_agent_s = local_clock_s();
+        conn_.send(reply.encode());
+        break;
+      }
+      case MessageType::kCampaign:
+        campaign_ = CampaignMsg::decode(reader);
+        current_setpoint_w_ = campaign_.initial_setpoint_w;
+        have_campaign = true;
+        break;
+      case MessageType::kEpoch:
+        epoch_ = EpochMsg::decode(reader);
+        epoch_time_ = to_time_point(epoch_.t0_agent_s);
+        have_epoch = true;
+        break;
+      default:
+        throw WireError(std::string("agent: unexpected ") + to_string(frame->type) +
+                        " during handshake");
+    }
+  }
+  sink_ = std::make_unique<RemoteSink>(&conn_, epoch_time_);
+  log::info() << "agent " << options.node_name << ": joined cluster (clock offset "
+              << strings::format("%.1f us, rtt %.1f us", epoch_.offset_s * 1e6,
+                                 epoch_.rtt_s * 1e6)
+              << ")";
+}
+
+double AgentSession::epoch_elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_time_)
+      .count();
+}
+
+void AgentSession::wait_for_start() const {
+  std::this_thread::sleep_until(epoch_time_);
+}
+
+Frame AgentSession::expect(MessageType type, double timeout_s) {
+  const auto frame = conn_.recv(timeout_s);
+  if (!frame)
+    throw WireError(strings::format("agent: no %s from the coordinator within %.0f s",
+                                    to_string(type), timeout_s));
+  if (frame->type == MessageType::kShutdown && type != MessageType::kShutdown)
+    throw WireError("agent: coordinator shut the run down early");
+  if (frame->type != type)
+    throw WireError(std::string("agent: expected ") + to_string(type) + ", got " +
+                    to_string(frame->type));
+  return *frame;
+}
+
+void AgentSession::begin_phase(std::uint32_t phase_index) {
+  next_budget_s_ = campaign_.budget_interval_s;
+  if (phase_index == 0) return;  // phase 0's barrier is the epoch itself
+  const Frame frame = expect(MessageType::kPhaseGo, /*timeout_s=*/600.0);
+  WireReader reader(frame.payload);
+  const PhaseGoMsg go = PhaseGoMsg::decode(reader);
+  if (go.phase_index != phase_index)
+    throw WireError(strings::format("agent: phase-go for %u while entering %u",
+                                    go.phase_index, phase_index));
+}
+
+bool AgentSession::budget_due(double t_s) const {
+  return has_budget() && t_s >= next_budget_s_ - 1e-9;
+}
+
+void AgentSession::budget_exchange(double t_s, control::FeedbackLoop& loop) {
+  next_budget_s_ += campaign_.budget_interval_s;
+  BudgetReportMsg report;
+  report.seq = budget_seq_++;
+  report.achieved_w = loop.trailing_mean(campaign_.budget_interval_s);
+  report.setpoint_w = loop.setpoint().value;
+  report.level = loop.profile().level();
+  conn_.send(report.encode());
+
+  const Frame frame = expect(MessageType::kBudgetAssign, /*timeout_s=*/60.0);
+  WireReader reader(frame.payload);
+  const BudgetAssignMsg assign = BudgetAssignMsg::decode(reader);
+  if (assign.seq != report.seq)
+    throw WireError(strings::format("agent: budget assign seq %u for report %u",
+                                    assign.seq, report.seq));
+  current_setpoint_w_ = assign.setpoint_w;
+  loop.set_target(assign.setpoint_w);
+  (void)t_s;
+}
+
+void AgentSession::finish(bool converged, const std::string& detail) {
+  VerdictMsg verdict;
+  verdict.converged = converged ? 1 : 0;
+  verdict.detail = detail;
+  conn_.send(verdict.encode());
+  expect(MessageType::kShutdown, /*timeout_s=*/600.0);
+  conn_.close();
+}
+
+}  // namespace fs2::cluster

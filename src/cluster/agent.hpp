@@ -1,0 +1,84 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "cluster/clock_sync.hpp"
+#include "cluster/remote_sink.hpp"
+#include "cluster/transport.hpp"
+#include "control/feedback_loop.hpp"
+
+namespace fs2::cluster {
+
+/// One node's side of a coordinated run: dials the coordinator, identifies
+/// itself, answers the clock-sync probes, and receives the campaign and the
+/// shared epoch. The campaign runner then drives the session — waiting for
+/// the epoch, bracketing phases (the coordinator's per-phase barrier), and
+/// exchanging budget reports for reassigned power setpoints — while the
+/// session's RemoteSink streams the node's telemetry bus to the wire.
+///
+/// Everything runs on the agent's single campaign thread; incoming traffic
+/// (phase-go, budget assigns, shutdown) is strictly solicited, so blocking
+/// receives at the protocol's wait points are safe.
+class AgentSession {
+ public:
+  struct Options {
+    std::string endpoint;     ///< coordinator HOST:PORT
+    std::string node_name;
+    std::string sku;          ///< e.g. "sim-zen2@1500MHz"
+    double connect_timeout_s = 15.0;
+  };
+
+  /// Connects and completes the whole handshake: hello, sync replies until
+  /// the campaign arrives, then the epoch. Throws on protocol errors.
+  explicit AgentSession(const Options& options);
+
+  const CampaignMsg& campaign() const { return campaign_; }
+  bool has_budget() const { return campaign_.has_budget != 0; }
+  /// The node's power setpoint right now (initial share until the first
+  /// budget assign moves it).
+  double current_setpoint_w() const { return current_setpoint_w_; }
+
+  /// The shared campaign start in this node's clock.
+  std::chrono::steady_clock::time_point epoch_time() const { return epoch_time_; }
+  double epoch_elapsed_s() const;
+  /// Block until the shared epoch arrives (no-op when already past).
+  void wait_for_start() const;
+
+  /// The sink to attach to the node's TelemetryBus.
+  RemoteSink& sink() { return *sink_; }
+
+  /// Phase barrier: phase 0 starts at the epoch; later phases block here
+  /// until the coordinator has seen every node finish the previous one and
+  /// broadcasts phase-go. Also resets the budget-report cadence to the new
+  /// phase's local time base.
+  void begin_phase(std::uint32_t phase_index);
+
+  /// True when phase-local time `t_s` has crossed the next budget-report
+  /// deadline (budget mode only; always false otherwise).
+  bool budget_due(double t_s) const;
+
+  /// One budget round: report the loop's trailing achieved watts and
+  /// commanded level, block for the coordinator's reassignment, and retune
+  /// the loop to it.
+  void budget_exchange(double t_s, control::FeedbackLoop& loop);
+
+  /// End of campaign: send the node's convergence verdict and block for
+  /// the coordinator's shutdown.
+  void finish(bool converged, const std::string& detail);
+
+ private:
+  Frame expect(MessageType type, double timeout_s);
+
+  Connection conn_;
+  CampaignMsg campaign_;
+  EpochMsg epoch_;
+  std::chrono::steady_clock::time_point epoch_time_;
+  std::unique_ptr<RemoteSink> sink_;
+  double current_setpoint_w_ = 0.0;
+  double next_budget_s_ = 0.0;
+  std::uint32_t budget_seq_ = 0;
+};
+
+}  // namespace fs2::cluster

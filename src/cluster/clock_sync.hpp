@@ -1,0 +1,38 @@
+#pragma once
+
+#include <chrono>
+
+#include "cluster/transport.hpp"
+
+namespace fs2::cluster {
+
+/// Steady-clock seconds since this process's (arbitrary) clock epoch — the
+/// time representation both sync messages and the epoch handoff use. Each
+/// machine's value is meaningless to the other; only differences and the
+/// estimated offset between them are.
+double local_clock_s();
+
+/// Convert a local-clock seconds value back to a time point (for
+/// sleep_until and PhaseClock epoch injection).
+std::chrono::steady_clock::time_point to_time_point(double clock_s);
+
+/// Result of the RTT-compensated offset estimation between the coordinator
+/// and one agent.
+struct ClockSyncResult {
+  /// agent_clock - coordinator_clock, in seconds: the agent's clock reads
+  /// `coordinator_now + offset_s` right now. Accurate to about rtt_s / 2
+  /// under asymmetric routing; exact under symmetric delays.
+  double offset_s = 0.0;
+  double rtt_s = 0.0;  ///< round-trip of the best (minimum-RTT) sample
+  int rounds = 0;
+};
+
+/// Coordinator side: run `rounds` probe/reply exchanges on `conn` and
+/// estimate the agent's clock offset NTP-style — the reply's remote
+/// timestamp is assumed to sit midway through the round trip, and the
+/// minimum-RTT round wins because queueing delay only ever adds (never
+/// subtracts) from the apparent offset error. The agent must be in its
+/// handshake loop answering kSyncProbe with kSyncReply.
+ClockSyncResult run_clock_sync(Connection& conn, int rounds = 8);
+
+}  // namespace fs2::cluster

@@ -1,0 +1,249 @@
+#include "cluster/cluster_bus.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::cluster {
+
+namespace {
+
+/// Which node channels fold into which cluster aggregate. Wall power sums
+/// (facility draw); package temperature maxes (hottest node). Both the sim
+/// channels and their host-metric equivalents participate, so a mixed
+/// sim/host fleet still merges.
+struct AggregateRule {
+  const char* source;
+  const char* cluster_name;
+  const char* unit;
+  bool is_sum;
+};
+
+constexpr AggregateRule kRules[] = {
+    {"sim-wall-power", "cluster-power", "W", true},
+    {"sysfs-powercap-rapl", "cluster-power", "W", true},
+    {"sim-package-temp", "cluster-temp-max", "degC", false},
+    {"hwmon-coretemp", "cluster-temp-max", "degC", false},
+};
+
+const AggregateRule* rule_for(const std::string& channel_name) {
+  for (const AggregateRule& rule : kRules)
+    if (channel_name == rule.source) return &rule;
+  return nullptr;
+}
+
+}  // namespace
+
+ClusterBus::ClusterBus(std::vector<std::string> node_names) {
+  nodes_.resize(node_names.size());
+  for (std::size_t i = 0; i < node_names.size(); ++i) {
+    nodes_[i].name = std::move(node_names[i]);
+    nodes_[i].bus.attach(&nodes_[i].summary);
+  }
+}
+
+void ClusterBus::on_channel(std::size_t node, const ChannelMsg& msg) {
+  Node& n = nodes_.at(node);
+  const telemetry::ChannelInfo info{
+      msg.name, msg.unit,
+      msg.trim_phase ? telemetry::TrimMode::kPhase : telemetry::TrimMode::kNone,
+      msg.summarize != 0};
+  n.channels[msg.channel_id] = n.bus.channel(info);
+
+  if (const AggregateRule* rule = rule_for(msg.name)) {
+    std::size_t index = aggregates_.size();
+    for (std::size_t i = 0; i < aggregates_.size(); ++i)
+      if (aggregates_[i].name == rule->cluster_name) index = i;
+    if (index == aggregates_.size()) {
+      AggregateStream stream;
+      stream.name = rule->cluster_name;
+      stream.unit = rule->unit;
+      stream.is_sum = rule->is_sum;
+      stream.participating.assign(nodes_.size(), 0);
+      stream.queues.resize(nodes_.size());
+      aggregates_.push_back(std::move(stream));
+    }
+    aggregates_[index].participating[node] = 1;
+    n.aggregate_of[msg.channel_id] = index;
+    // Host agents register metric channels from inside the first phase
+    // (sensors spin up after the begin bracket is on the wire), so a
+    // stream born mid-phase must get its aggregator NOW — otherwise the
+    // phase's samples would queue un-drained, emit no cluster row, and
+    // contaminate the next phase. Samples published by earlier-registered
+    // nodes before this one joined have already drained as smaller groups;
+    // the overlap is bounded by one registration round trip.
+    if (agg_phase_open_ && aggregates_[index].agg == nullptr)
+      aggregates_[index].agg = std::make_unique<telemetry::StreamingAggregator>(
+          agg_phase_.start_delta_s, agg_phase_.stop_delta_s);
+  }
+}
+
+void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
+  Node& n = nodes_.at(node);
+  if (msg.is_begin) {
+    if (msg.phase_index != n.phases_begun)
+      throw WireError(strings::format("node %s began phase %u out of order (expected %u)",
+                                      n.name.c_str(), msg.phase_index, n.phases_begun));
+    ++n.phases_begun;
+    n.bus.begin_phase(msg.phase_name, msg.duration_s, msg.start_delta_s, msg.stop_delta_s);
+
+    if (sync_.size() <= msg.phase_index) {
+      PhaseSync sync;
+      sync.name = msg.phase_name;
+      sync.min_begin_s = sync.max_begin_s = msg.epoch_elapsed_s;
+      sync.nodes = 1;
+      sync_.push_back(sync);
+      phase_names_.push_back(msg.phase_name);
+    } else {
+      PhaseSync& sync = sync_[msg.phase_index];
+      sync.min_begin_s = std::min(sync.min_begin_s, msg.epoch_elapsed_s);
+      sync.max_begin_s = std::max(sync.max_begin_s, msg.epoch_elapsed_s);
+      ++sync.nodes;
+    }
+
+    if (!agg_phase_open_ && msg.phase_index == agg_phase_index_) {
+      agg_phase_.name = msg.phase_name;
+      agg_phase_.duration_s = msg.duration_s;
+      agg_phase_.start_delta_s = msg.start_delta_s;
+      agg_phase_.stop_delta_s = msg.stop_delta_s;
+      agg_phase_open_ = true;
+      for (AggregateStream& stream : aggregates_)
+        stream.agg = std::make_unique<telemetry::StreamingAggregator>(msg.start_delta_s,
+                                                                      msg.stop_delta_s);
+    }
+  } else {
+    n.bus.end_phase();
+    ++n.phases_ended;
+    bool all_ended = true;
+    for (const Node& other : nodes_) all_ended &= other.phases_ended > agg_phase_index_;
+    if (all_ended) close_aggregate_phase();
+  }
+}
+
+void ClusterBus::on_samples(std::size_t node, const SampleBatchMsg& msg) {
+  Node& n = nodes_.at(node);
+  const auto channel = n.channels.find(msg.channel_id);
+  if (channel == n.channels.end())
+    throw WireError(strings::format("node %s sent samples on unregistered channel %u",
+                                    n.name.c_str(), msg.channel_id));
+  for (std::size_t i = 0; i < msg.times_s.size(); ++i)
+    n.bus.publish(channel->second, msg.times_s[i], msg.values[i]);
+
+  const auto agg = n.aggregate_of.find(msg.channel_id);
+  if (agg == n.aggregate_of.end()) return;
+  AggregateStream& stream = aggregates_[agg->second];
+  std::deque<telemetry::Sample>& queue = stream.queues[node];
+  for (std::size_t i = 0; i < msg.times_s.size(); ++i) {
+    if (queue.size() >= kMaxLagSamples) {
+      if (!stream.warned_lag) {
+        log::warn() << "cluster: node " << n.name << " is more than " << kMaxLagSamples
+                    << " samples ahead on " << stream.name
+                    << "; dropping its oldest unmatched samples";
+        stream.warned_lag = true;
+      }
+      queue.pop_front();
+    }
+    queue.push_back(telemetry::Sample{msg.times_s[i], msg.values[i]});
+  }
+  drain_aligned(stream);
+}
+
+void ClusterBus::drain_aligned(AggregateStream& stream) {
+  if (stream.agg == nullptr) return;
+  for (;;) {
+    // A group is complete when every PARTICIPATING node (one that
+    // registered a source channel for this stream) has an unconsumed
+    // sample. Non-participants (e.g. a host node without RAPL) are skipped
+    // rather than stalling the whole aggregate.
+    double sum = 0.0;
+    double max_value = 0.0;
+    double time_s = 0.0;
+    bool first = true;
+    for (std::size_t node = 0; node < nodes_.size(); ++node) {
+      if (!stream.participating[node]) continue;
+      if (stream.queues[node].empty()) return;  // group incomplete
+      const telemetry::Sample& sample = stream.queues[node].front();
+      sum += sample.value;
+      max_value = first ? sample.value : std::max(max_value, sample.value);
+      time_s = first ? sample.time_s : std::max(time_s, sample.time_s);
+      first = false;
+    }
+    if (first) return;  // no participants yet
+    for (std::size_t node = 0; node < nodes_.size(); ++node)
+      if (stream.participating[node]) stream.queues[node].pop_front();
+    stream.agg->add(time_s, stream.is_sum ? sum : max_value);
+  }
+}
+
+void ClusterBus::close_aggregate_phase() {
+  if (!agg_phase_open_) return;
+  for (AggregateStream& stream : aggregates_) {
+    drain_aligned(stream);
+    // Leftover unmatched samples (count skew between nodes) are discarded
+    // UNCONDITIONALLY: the next phase's alignment must not pair one
+    // phase's tail with another's head.
+    for (auto& queue : stream.queues) queue.clear();
+    if (stream.agg == nullptr) continue;
+    if (stream.agg->total_samples() > 0) {
+      const telemetry::StreamingSummary summary = stream.agg->summarize();
+      metrics::Summary row;
+      row.name = stream.name;
+      row.unit = stream.unit;
+      row.mean = summary.mean;
+      row.stddev = summary.stddev;
+      row.min = summary.min;
+      row.max = summary.max;
+      row.p50 = summary.p50;
+      row.p95 = summary.p95;
+      row.p99 = summary.p99;
+      row.samples = summary.samples;
+      row.phase = agg_phase_.name;
+      stream.rows.push_back(std::move(row));
+    }
+    stream.agg.reset();
+  }
+  agg_phase_open_ = false;
+  ++agg_phase_index_;
+}
+
+void ClusterBus::finish() {
+  close_aggregate_phase();
+  for (Node& node : nodes_) node.bus.finish();
+}
+
+std::vector<ClusterBus::Row> ClusterBus::merged_rows() const {
+  std::vector<Row> rows;
+  // Phase-major grouping: campaign phase names are unique (the parser
+  // rejects duplicates), so grouping per-node rows by phase name is exact.
+  for (const std::string& phase : phase_names_) {
+    for (const Node& node : nodes_)
+      for (const metrics::Summary& summary : node.summary.rows())
+        if (summary.phase == phase) rows.push_back(Row{summary, node.name});
+    for (const AggregateStream& stream : aggregates_)
+      for (const metrics::Summary& summary : stream.rows)
+        if (summary.phase == phase) rows.push_back(Row{summary, "cluster"});
+  }
+  return rows;
+}
+
+void ClusterBus::write_csv(std::ostream& out, const std::vector<Row>& rows) {
+  CsvWriter csv(out);
+  csv.row(std::vector<std::string>{"metric", "unit", "samples", "mean", "stddev", "min",
+                                   "max", "p50", "p95", "p99", "phase", "node"});
+  for (const Row& row : rows) {
+    const metrics::Summary& s = row.summary;
+    csv.row(std::vector<std::string>{s.name, s.unit, std::to_string(s.samples),
+                                     strings::format("%.4f", s.mean),
+                                     strings::format("%.4f", s.stddev),
+                                     strings::format("%.4f", s.min),
+                                     strings::format("%.4f", s.max),
+                                     strings::format("%.4f", s.p50),
+                                     strings::format("%.4f", s.p95),
+                                     strings::format("%.4f", s.p99), s.phase, row.node});
+  }
+}
+
+}  // namespace fs2::cluster

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/messages.hpp"
+#include "telemetry/bus.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace fs2::cluster {
+
+/// Coordinator-side merge hub: replays each node's streamed telemetry
+/// (channel registrations, phase brackets, sample batches) into a per-node
+/// TelemetryBus + SummarySink — the exact aggregation a local run would do
+/// — and additionally builds cluster-aggregate streams:
+///
+///   cluster-power    (W)    per-sample SUM across nodes of the node's wall
+///                           power channel — the facility-level draw whose
+///                           p99 is what trips breakers, not any one node's
+///   cluster-temp-max (degC) per-sample MAX across nodes — the hottest
+///                           package anywhere in the fleet
+///
+/// Aggregate samples align by per-phase sample index: deterministic sim
+/// agents produce identical counts and timestamps per phase, and real
+/// agents sample on the same cadence; the group's timestamp is the max of
+/// its members'. Per-node queues are bounded — a node running far ahead
+/// drops its oldest unmatched samples (warned once) rather than growing
+/// without limit, keeping coordinator memory O(nodes x window).
+///
+/// Phase sequencing across nodes is the coordinator's barrier protocol;
+/// the bus only requires that all nodes eventually bracket the same phase
+/// indices in the same order.
+class ClusterBus {
+ public:
+  /// One merged summary row: a per-node aggregate (node = node name) or a
+  /// cluster aggregate (node = "cluster").
+  struct Row {
+    metrics::Summary summary;
+    std::string node;
+  };
+
+  /// Cross-node lockstep evidence for one phase: the spread of wall-clock
+  /// begin offsets (seconds since the shared epoch) across nodes.
+  struct PhaseSync {
+    std::string name;
+    double min_begin_s = 0.0;
+    double max_begin_s = 0.0;
+    std::size_t nodes = 0;
+    double spread_s() const { return max_begin_s - min_begin_s; }
+  };
+
+  explicit ClusterBus(std::vector<std::string> node_names);
+
+  void on_channel(std::size_t node, const ChannelMsg& msg);
+  void on_bracket(std::size_t node, const PhaseBracketMsg& msg);
+  void on_samples(std::size_t node, const SampleBatchMsg& msg);
+
+  /// Close every per-node bus and the aggregate stream (after the last
+  /// bracket has arrived).
+  void finish();
+
+  /// All finished rows, grouped phase-major: for each campaign phase in
+  /// order, every node's rows, then the cluster-aggregate rows. Call after
+  /// finish().
+  std::vector<Row> merged_rows() const;
+
+  /// Per-phase begin-offset spreads, phase order.
+  const std::vector<PhaseSync>& phase_sync() const { return sync_; }
+
+  /// The merged measurement CSV: the standard summary columns plus a
+  /// trailing `node` column.
+  static void write_csv(std::ostream& out, const std::vector<Row>& rows);
+
+  /// Queue depth cap per (node, aggregate stream): at the default 20 Sa/s
+  /// this is ~7 minutes of skew between the fastest and slowest node.
+  static constexpr std::size_t kMaxLagSamples = 8192;
+
+ private:
+  struct AggregateStream;
+
+  struct Node {
+    std::string name;
+    telemetry::TelemetryBus bus;
+    telemetry::SummarySink summary;
+    /// remote channel id -> local bus channel id
+    std::map<std::uint32_t, telemetry::ChannelId> channels;
+    /// remote channel id -> aggregate stream index (nullopt = not aggregated)
+    std::map<std::uint32_t, std::size_t> aggregate_of;
+    std::uint32_t phases_begun = 0;
+    std::uint32_t phases_ended = 0;
+  };
+
+  void drain_aligned(AggregateStream& stream);
+  void close_aggregate_phase();
+
+  /// One cluster-wide derived stream (sum or max across nodes).
+  struct AggregateStream {
+    std::string name;
+    std::string unit;
+    bool is_sum = true;  ///< false = max
+    std::vector<char> participating;  ///< per node: registered a source channel
+    std::vector<std::deque<telemetry::Sample>> queues;  ///< per node
+    std::unique_ptr<telemetry::StreamingAggregator> agg; ///< current phase
+    bool warned_lag = false;
+    std::vector<metrics::Summary> rows;  ///< finished phase rows
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<AggregateStream> aggregates_;
+  std::vector<PhaseSync> sync_;
+  std::vector<std::string> phase_names_;   ///< by phase index
+  /// Trim deltas + duration of the currently aggregating phase (from the
+  /// first begin bracket of that phase).
+  telemetry::PhaseInfo agg_phase_;
+  std::uint32_t agg_phase_index_ = 0;
+  bool agg_phase_open_ = false;
+};
+
+}  // namespace fs2::cluster

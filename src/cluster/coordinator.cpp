@@ -1,0 +1,215 @@
+#include "cluster/coordinator.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+
+#include "cluster/clock_sync.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::cluster {
+
+Coordinator::Coordinator(Options options)
+    : options_(std::move(options)),
+      listener_(options_.port, options_.loopback_only),
+      phase_end_counts_(options_.phase_count, 0) {
+  if (options_.nodes == 0) throw ConfigError("--coordinator: --nodes must be >= 1");
+  if (options_.phase_count == 0)
+    throw ConfigError("--coordinator: the campaign has no phases");
+  if (options_.budget) {
+    if (options_.budget->variable != control::ControlVariable::kClusterPower)
+      throw ConfigError("--coordinator: --target must be cluster-power=WATTS");
+    apportioner_ = std::make_unique<control::BudgetApportioner>(options_.budget->value,
+                                                                options_.nodes);
+  }
+}
+
+void Coordinator::accept_and_handshake(std::ostream& log) {
+  nodes_.reserve(options_.nodes);
+  for (std::size_t i = 0; i < options_.nodes; ++i) {
+    Node node;
+    node.conn = listener_.accept(options_.accept_timeout_s);
+    const auto frame = node.conn.recv(/*timeout_s=*/10.0);
+    if (!frame || frame->type != MessageType::kHello)
+      throw WireError(strings::format("cluster: connection %zu did not say hello", i));
+    WireReader reader(frame->payload);
+    const HelloMsg hello = HelloMsg::decode(reader);
+    if (hello.version != kProtocolVersion)
+      throw WireError(strings::format("cluster: node '%s' speaks protocol %u, need %u",
+                                      hello.node_name.c_str(), hello.version,
+                                      kProtocolVersion));
+    node.info.name = hello.node_name.empty()
+                         ? strings::format("node-%zu", i)
+                         : hello.node_name;
+    // Names key the merged CSV's node column; make collisions unambiguous.
+    for (const Node& other : nodes_)
+      if (other.info.name == node.info.name)
+        node.info.name += strings::format("#%zu", i);
+    node.info.sku = hello.sku;
+
+    const ClockSyncResult sync = run_clock_sync(node.conn);
+    node.info.clock_offset_s = sync.offset_s;
+    node.info.rtt_s = sync.rtt_s;
+    log << strings::format("node %s (%s): clock offset %+.1f us, rtt %.1f us\n",
+                           node.info.name.c_str(), node.info.sku.c_str(),
+                           sync.offset_s * 1e6, sync.rtt_s * 1e6);
+    nodes_.push_back(std::move(node));
+  }
+
+  std::vector<std::string> names;
+  for (const Node& node : nodes_) names.push_back(node.info.name);
+  bus_ = std::make_unique<ClusterBus>(std::move(names));
+}
+
+void Coordinator::distribute_campaign() {
+  CampaignMsg msg;
+  msg.campaign_text = options_.campaign_text;
+  msg.has_budget = apportioner_ ? 1 : 0;
+  msg.initial_setpoint_w = apportioner_ ? apportioner_->initial_share_w() : 0.0;
+  msg.ctl_interval_s = options_.ctl_interval_s;
+  msg.budget_interval_s = options_.budget ? options_.budget->interval_s : 0.5;
+  msg.budget_band = options_.budget ? options_.budget->band : 0.02;
+  for (Node& node : nodes_) node.conn.send(msg.encode());
+}
+
+void Coordinator::announce_epoch(std::ostream& log) {
+  const double t0_coord = local_clock_s() + options_.start_delay_s;
+  for (Node& node : nodes_) {
+    EpochMsg epoch;
+    epoch.t0_agent_s = t0_coord + node.info.clock_offset_s;
+    epoch.offset_s = node.info.clock_offset_s;
+    epoch.rtt_s = node.info.rtt_s;
+    node.conn.send(epoch.encode());
+  }
+  log << strings::format("epoch: T0 in %.2f s, %zu nodes in lockstep\n",
+                         options_.start_delay_s, nodes_.size());
+}
+
+void Coordinator::record_budget_phase(std::uint32_t phase_index) {
+  if (!apportioner_) return;
+  PhaseBudgetVerdict verdict;
+  verdict.phase = phase_index < bus_->phase_sync().size()
+                      ? bus_->phase_sync()[phase_index].name
+                      : strings::format("phase%u", phase_index + 1);
+  verdict.trailing_total_w = apportioner_->trailing_total_w();
+  verdict.converged = apportioner_->converged(options_.budget->band);
+  result_.budget_converged &= verdict.converged;
+  result_.budget_phases.push_back(std::move(verdict));
+  apportioner_->begin_window();
+}
+
+void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostream& log) {
+  Node& node = nodes_[index];
+  WireReader reader(frame.payload);
+  switch (frame.type) {
+    case MessageType::kChannel:
+      bus_->on_channel(index, ChannelMsg::decode(reader));
+      break;
+    case MessageType::kSampleBatch:
+      bus_->on_samples(index, SampleBatchMsg::decode(reader));
+      break;
+    case MessageType::kPhaseBracket: {
+      const PhaseBracketMsg bracket = PhaseBracketMsg::decode(reader);
+      bus_->on_bracket(index, bracket);
+      if (!bracket.is_begin) {
+        ++node.phases_ended;
+        if (bracket.phase_index >= phase_end_counts_.size())
+          throw WireError(strings::format("node %s ended unknown phase %u",
+                                          node.info.name.c_str(), bracket.phase_index));
+        if (++phase_end_counts_[bracket.phase_index] == nodes_.size()) {
+          // Whole fleet finished this phase: close the budget window and,
+          // unless it was the last phase, release the next one.
+          record_budget_phase(bracket.phase_index);
+          if (bracket.phase_index + 1 < options_.phase_count) {
+            PhaseGoMsg go;
+            go.phase_index = bracket.phase_index + 1;
+            for (Node& n : nodes_) n.conn.send(go.encode());
+          }
+        }
+      }
+      break;
+    }
+    case MessageType::kBudgetReport: {
+      const BudgetReportMsg report = BudgetReportMsg::decode(reader);
+      if (!apportioner_)
+        throw WireError("cluster: budget report without a cluster-power target");
+      BudgetAssignMsg assign;
+      assign.seq = report.seq;
+      assign.setpoint_w = apportioner_->on_report(index, report.achieved_w);
+      node.conn.send(assign.encode());
+      break;
+    }
+    case MessageType::kVerdict: {
+      const VerdictMsg verdict = VerdictMsg::decode(reader);
+      node.info.converged = verdict.converged != 0;
+      node.info.verdict_detail = verdict.detail;
+      if (!node.verdict_received) {
+        node.verdict_received = true;
+        ++verdicts_;
+      }
+      result_.nodes_converged &= node.info.converged;
+      log << "node " << node.info.name << ": "
+          << (node.info.converged ? "converged" : "NOT converged");
+      if (!verdict.detail.empty()) log << " (" << verdict.detail << ")";
+      log << "\n";
+      break;
+    }
+    default:
+      throw WireError(strings::format("cluster: unexpected %s from node %s",
+                                      to_string(frame.type), node.info.name.c_str()));
+  }
+}
+
+void Coordinator::event_loop(std::ostream& log) {
+  while (verdicts_ < nodes_.size()) {
+    std::vector<pollfd> fds;
+    fds.reserve(nodes_.size());
+    for (const Node& node : nodes_)
+      fds.push_back(pollfd{node.conn.fd(), POLLIN, 0});
+    // A generous stall guard, not a pacing interval: agents push traffic
+    // continuously while phases run.
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/600000);
+    if (ready < 0) throw Error("cluster: poll failed");
+    if (ready == 0) throw Error("cluster: no agent traffic for 600 s — fleet stalled");
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const auto frame = nodes_[i].conn.recv(/*timeout_s=*/10.0);
+      if (!frame)
+        throw WireError("cluster: node " + nodes_[i].info.name + " stalled mid-frame");
+      handle_frame(i, *frame, log);
+    }
+  }
+  ShutdownMsg shutdown;
+  shutdown.ok = 1;
+  for (Node& node : nodes_) node.conn.send(shutdown.encode());
+}
+
+Coordinator::Result Coordinator::run(std::ostream& log) {
+  accept_and_handshake(log);
+  distribute_campaign();
+  announce_epoch(log);
+  if (apportioner_) apportioner_->begin_window();
+  event_loop(log);
+
+  bus_->finish();
+  result_.rows = bus_->merged_rows();
+  result_.sync = bus_->phase_sync();
+  for (const Node& node : nodes_) result_.nodes.push_back(node.info);
+
+  for (const ClusterBus::PhaseSync& sync : result_.sync) {
+    const bool ok = sync.spread_s() <= options_.sync_tolerance_s;
+    result_.sync_ok &= ok;
+    log << strings::format("phase '%s': start spread %.2f ms across %zu nodes%s\n",
+                           sync.name.c_str(), sync.spread_s() * 1e3, sync.nodes,
+                           ok ? "" : "  [exceeds tolerance]");
+  }
+  for (const PhaseBudgetVerdict& verdict : result_.budget_phases)
+    log << strings::format("phase '%s': cluster power %.1f W trailing (budget %g W) %s\n",
+                           verdict.phase.c_str(), verdict.trailing_total_w,
+                           options_.budget->value,
+                           verdict.converged ? "converged" : "NOT converged");
+  return result_;
+}
+
+}  // namespace fs2::cluster

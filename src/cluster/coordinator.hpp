@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_bus.hpp"
+#include "cluster/transport.hpp"
+#include "control/budget.hpp"
+#include "control/setpoint.hpp"
+
+namespace fs2::cluster {
+
+/// The fleet conductor: accepts N agents, clock-syncs each (RTT-compensated
+/// offset estimation), hands out the campaign and a shared epoch, then runs
+/// the event loop — merging streamed telemetry through a ClusterBus,
+/// barriering phase transitions, answering budget reports with reapportioned
+/// per-node setpoints, and collecting end-of-campaign verdicts.
+class Coordinator {
+ public:
+  struct Options {
+    std::uint16_t port = 0;         ///< 0 = ephemeral (loopback tests)
+    bool loopback_only = false;     ///< bind 127.0.0.1 instead of all interfaces
+    std::size_t nodes = 0;
+    std::string campaign_text;
+    std::size_t phase_count = 0;
+    /// The global power budget (--target cluster-power=NNNW); nullopt runs
+    /// the fleet open-loop (profiles/targets straight from the campaign).
+    std::optional<control::Setpoint> budget;
+    double ctl_interval_s = 0.25;   ///< per-node controller tick under budget
+    double start_delay_s = 0.5;     ///< epoch lead time after the last handshake
+    double sync_tolerance_s = 0.25; ///< max allowed phase-begin spread
+    double accept_timeout_s = 60.0;
+    std::uint64_t seed = 0;         ///< echoed into logs only
+  };
+
+  struct NodeInfo {
+    std::string name;
+    std::string sku;
+    double clock_offset_s = 0.0;
+    double rtt_s = 0.0;
+    bool converged = true;
+    std::string verdict_detail;
+  };
+
+  struct PhaseBudgetVerdict {
+    std::string phase;
+    double trailing_total_w = 0.0;
+    bool converged = false;
+  };
+
+  struct Result {
+    std::vector<ClusterBus::Row> rows;            ///< merged summary rows
+    std::vector<ClusterBus::PhaseSync> sync;      ///< per-phase begin spreads
+    std::vector<NodeInfo> nodes;
+    std::vector<PhaseBudgetVerdict> budget_phases;
+    bool nodes_converged = true;   ///< every node verdict (controlled phases)
+    bool budget_converged = true;  ///< every phase's trailing total in band
+    bool sync_ok = true;           ///< every spread within tolerance
+    bool converged() const { return nodes_converged && budget_converged && sync_ok; }
+  };
+
+  /// Binds the listener immediately so port() is valid before agents spawn.
+  explicit Coordinator(Options options);
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Accept + handshake + campaign distribution + event loop, start to
+  /// shutdown. `log` receives human-readable progress lines. Throws on
+  /// node failures and protocol errors.
+  Result run(std::ostream& log);
+
+ private:
+  struct Node {
+    Connection conn;
+    NodeInfo info;
+    std::uint32_t phases_ended = 0;
+    bool verdict_received = false;
+  };
+
+  void accept_and_handshake(std::ostream& log);
+  void distribute_campaign();
+  void announce_epoch(std::ostream& log);
+  void event_loop(std::ostream& log);
+  void handle_frame(std::size_t node, const Frame& frame, std::ostream& log);
+  void record_budget_phase(std::uint32_t phase_index);
+
+  Options options_;
+  Listener listener_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<ClusterBus> bus_;
+  std::unique_ptr<control::BudgetApportioner> apportioner_;
+  Result result_;
+  std::vector<std::uint32_t> phase_end_counts_;
+  std::size_t verdicts_ = 0;
+};
+
+}  // namespace fs2::cluster

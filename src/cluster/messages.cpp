@@ -1,0 +1,260 @@
+#include "cluster/messages.hpp"
+
+namespace fs2::cluster {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kHello: return "hello";
+    case MessageType::kSyncProbe: return "sync-probe";
+    case MessageType::kSyncReply: return "sync-reply";
+    case MessageType::kCampaign: return "campaign";
+    case MessageType::kEpoch: return "epoch";
+    case MessageType::kChannel: return "channel";
+    case MessageType::kPhaseBracket: return "phase-bracket";
+    case MessageType::kSampleBatch: return "sample-batch";
+    case MessageType::kPhaseGo: return "phase-go";
+    case MessageType::kBudgetReport: return "budget-report";
+    case MessageType::kBudgetAssign: return "budget-assign";
+    case MessageType::kVerdict: return "verdict";
+    case MessageType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+Frame make_frame(MessageType type, WireWriter&& w) {
+  return Frame{type, w.take()};
+}
+
+}  // namespace
+
+Frame HelloMsg::encode() const {
+  WireWriter w;
+  w.u32(version);
+  w.str(node_name);
+  w.str(sku);
+  return make_frame(MessageType::kHello, std::move(w));
+}
+
+HelloMsg HelloMsg::decode(WireReader& in) {
+  HelloMsg m;
+  m.version = in.u32();
+  m.node_name = in.str();
+  m.sku = in.str();
+  return m;
+}
+
+Frame SyncProbeMsg::encode() const {
+  WireWriter w;
+  w.u32(seq);
+  w.f64(t_coord_s);
+  return make_frame(MessageType::kSyncProbe, std::move(w));
+}
+
+SyncProbeMsg SyncProbeMsg::decode(WireReader& in) {
+  SyncProbeMsg m;
+  m.seq = in.u32();
+  m.t_coord_s = in.f64();
+  return m;
+}
+
+Frame SyncReplyMsg::encode() const {
+  WireWriter w;
+  w.u32(seq);
+  w.f64(t_coord_s);
+  w.f64(t_agent_s);
+  return make_frame(MessageType::kSyncReply, std::move(w));
+}
+
+SyncReplyMsg SyncReplyMsg::decode(WireReader& in) {
+  SyncReplyMsg m;
+  m.seq = in.u32();
+  m.t_coord_s = in.f64();
+  m.t_agent_s = in.f64();
+  return m;
+}
+
+Frame CampaignMsg::encode() const {
+  WireWriter w;
+  w.str(campaign_text);
+  w.u8(has_budget);
+  w.f64(initial_setpoint_w);
+  w.f64(ctl_interval_s);
+  w.f64(budget_interval_s);
+  w.f64(budget_band);
+  return make_frame(MessageType::kCampaign, std::move(w));
+}
+
+CampaignMsg CampaignMsg::decode(WireReader& in) {
+  CampaignMsg m;
+  m.campaign_text = in.str();
+  m.has_budget = in.u8();
+  m.initial_setpoint_w = in.f64();
+  m.ctl_interval_s = in.f64();
+  m.budget_interval_s = in.f64();
+  m.budget_band = in.f64();
+  return m;
+}
+
+Frame EpochMsg::encode() const {
+  WireWriter w;
+  w.f64(t0_agent_s);
+  w.f64(offset_s);
+  w.f64(rtt_s);
+  return make_frame(MessageType::kEpoch, std::move(w));
+}
+
+EpochMsg EpochMsg::decode(WireReader& in) {
+  EpochMsg m;
+  m.t0_agent_s = in.f64();
+  m.offset_s = in.f64();
+  m.rtt_s = in.f64();
+  return m;
+}
+
+Frame ChannelMsg::encode() const {
+  WireWriter w;
+  w.u32(channel_id);
+  w.str(name);
+  w.str(unit);
+  w.u8(trim_phase);
+  w.u8(summarize);
+  return make_frame(MessageType::kChannel, std::move(w));
+}
+
+ChannelMsg ChannelMsg::decode(WireReader& in) {
+  ChannelMsg m;
+  m.channel_id = in.u32();
+  m.name = in.str();
+  m.unit = in.str();
+  m.trim_phase = in.u8();
+  m.summarize = in.u8();
+  return m;
+}
+
+Frame PhaseBracketMsg::encode() const {
+  WireWriter w;
+  w.u8(is_begin);
+  w.u32(phase_index);
+  w.str(phase_name);
+  w.f64(duration_s);
+  w.f64(time_offset_s);
+  w.f64(start_delta_s);
+  w.f64(stop_delta_s);
+  w.f64(epoch_elapsed_s);
+  return make_frame(MessageType::kPhaseBracket, std::move(w));
+}
+
+PhaseBracketMsg PhaseBracketMsg::decode(WireReader& in) {
+  PhaseBracketMsg m;
+  m.is_begin = in.u8();
+  m.phase_index = in.u32();
+  m.phase_name = in.str();
+  m.duration_s = in.f64();
+  m.time_offset_s = in.f64();
+  m.start_delta_s = in.f64();
+  m.stop_delta_s = in.f64();
+  m.epoch_elapsed_s = in.f64();
+  return m;
+}
+
+Frame SampleBatchMsg::encode() const {
+  WireWriter w;
+  w.u32(channel_id);
+  w.u32(static_cast<std::uint32_t>(times_s.size()));
+  for (std::size_t i = 0; i < times_s.size(); ++i) {
+    w.f64(times_s[i]);
+    w.f64(values[i]);
+  }
+  return make_frame(MessageType::kSampleBatch, std::move(w));
+}
+
+SampleBatchMsg SampleBatchMsg::decode(WireReader& in) {
+  SampleBatchMsg m;
+  m.channel_id = in.u32();
+  const std::uint32_t n = in.u32();
+  // Truncation check before reserving: a hostile length field must not
+  // drive a multi-gigabyte allocation.
+  if (in.remaining() < static_cast<std::size_t>(n) * 16)
+    throw WireError("cluster wire: sample batch shorter than its count");
+  m.times_s.reserve(n);
+  m.values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.times_s.push_back(in.f64());
+    m.values.push_back(in.f64());
+  }
+  return m;
+}
+
+Frame PhaseGoMsg::encode() const {
+  WireWriter w;
+  w.u32(phase_index);
+  return make_frame(MessageType::kPhaseGo, std::move(w));
+}
+
+PhaseGoMsg PhaseGoMsg::decode(WireReader& in) {
+  PhaseGoMsg m;
+  m.phase_index = in.u32();
+  return m;
+}
+
+Frame BudgetReportMsg::encode() const {
+  WireWriter w;
+  w.u32(seq);
+  w.f64(achieved_w);
+  w.f64(setpoint_w);
+  w.f64(level);
+  return make_frame(MessageType::kBudgetReport, std::move(w));
+}
+
+BudgetReportMsg BudgetReportMsg::decode(WireReader& in) {
+  BudgetReportMsg m;
+  m.seq = in.u32();
+  m.achieved_w = in.f64();
+  m.setpoint_w = in.f64();
+  m.level = in.f64();
+  return m;
+}
+
+Frame BudgetAssignMsg::encode() const {
+  WireWriter w;
+  w.u32(seq);
+  w.f64(setpoint_w);
+  return make_frame(MessageType::kBudgetAssign, std::move(w));
+}
+
+BudgetAssignMsg BudgetAssignMsg::decode(WireReader& in) {
+  BudgetAssignMsg m;
+  m.seq = in.u32();
+  m.setpoint_w = in.f64();
+  return m;
+}
+
+Frame VerdictMsg::encode() const {
+  WireWriter w;
+  w.u8(converged);
+  w.str(detail);
+  return make_frame(MessageType::kVerdict, std::move(w));
+}
+
+VerdictMsg VerdictMsg::decode(WireReader& in) {
+  VerdictMsg m;
+  m.converged = in.u8();
+  m.detail = in.str();
+  return m;
+}
+
+Frame ShutdownMsg::encode() const {
+  WireWriter w;
+  w.u8(ok);
+  return make_frame(MessageType::kShutdown, std::move(w));
+}
+
+ShutdownMsg ShutdownMsg::decode(WireReader& in) {
+  ShutdownMsg m;
+  m.ok = in.u8();
+  return m;
+}
+
+}  // namespace fs2::cluster

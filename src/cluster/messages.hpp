@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/wire.hpp"
+
+namespace fs2::cluster {
+
+/// Protocol version: bumped on any wire-incompatible change. The hello
+/// exchange rejects mismatches up front instead of failing mysteriously
+/// mid-campaign.
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/// One framed message on the coordinator<->agent TCP stream. The transport
+/// prefixes `u32 length` (payload size + 1 for the type byte); the first
+/// payload byte is the MessageType.
+enum class MessageType : std::uint8_t {
+  kHello = 1,        ///< agent -> coordinator: identity + protocol version
+  kSyncProbe = 2,    ///< coordinator -> agent: clock-sync ping
+  kSyncReply = 3,    ///< agent -> coordinator: ping echo + agent clock
+  kCampaign = 4,     ///< coordinator -> agent: campaign text + run options
+  kEpoch = 5,        ///< coordinator -> agent: shared start time (agent clock)
+  kChannel = 6,      ///< agent -> coordinator: telemetry channel registration
+  kPhaseBracket = 7, ///< agent -> coordinator: phase begin/end marker
+  kSampleBatch = 8,  ///< agent -> coordinator: batched telemetry samples
+  kPhaseGo = 9,      ///< coordinator -> agent: all nodes ready, start phase k
+  kBudgetReport = 10,///< agent -> coordinator: achieved watts this interval
+  kBudgetAssign = 11,///< coordinator -> agent: new per-node power setpoint
+  kVerdict = 12,     ///< agent -> coordinator: end-of-campaign convergence
+  kShutdown = 13,    ///< coordinator -> agent: run over, disconnect
+};
+
+const char* to_string(MessageType type);
+
+struct Frame {
+  MessageType type = MessageType::kShutdown;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- message structs --------------------------------------------------------
+//
+// Each struct encodes itself into a Frame and decodes from a WireReader
+// positioned after the type byte. Field order on the wire is declaration
+// order here; docs/cluster.md mirrors this table.
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string node_name;
+  std::string sku;  ///< e.g. "sim-zen2@1500MHz" or "host"
+  Frame encode() const;
+  static HelloMsg decode(WireReader& in);
+};
+
+struct SyncProbeMsg {
+  std::uint32_t seq = 0;
+  double t_coord_s = 0.0;  ///< coordinator steady-clock seconds at send
+  Frame encode() const;
+  static SyncProbeMsg decode(WireReader& in);
+};
+
+struct SyncReplyMsg {
+  std::uint32_t seq = 0;
+  double t_coord_s = 0.0;  ///< echoed from the probe
+  double t_agent_s = 0.0;  ///< agent steady-clock seconds at reply
+  Frame encode() const;
+  static SyncReplyMsg decode(WireReader& in);
+};
+
+struct CampaignMsg {
+  std::string campaign_text;      ///< the campaign file, verbatim
+  std::uint8_t has_budget = 0;    ///< 1 = run every phase under budget control
+  double initial_setpoint_w = 0;  ///< this node's starting power share
+  double ctl_interval_s = 0.25;   ///< per-node controller tick period
+  double budget_interval_s = 0.5; ///< report/assign exchange cadence
+  double budget_band = 0.02;      ///< convergence band (informational)
+  Frame encode() const;
+  static CampaignMsg decode(WireReader& in);
+};
+
+struct EpochMsg {
+  double t0_agent_s = 0.0;  ///< campaign start, in the AGENT's steady clock
+  double offset_s = 0.0;    ///< estimated agent-minus-coordinator clock offset
+  double rtt_s = 0.0;       ///< round-trip time of the best sync sample
+  Frame encode() const;
+  static EpochMsg decode(WireReader& in);
+};
+
+struct ChannelMsg {
+  std::uint32_t channel_id = 0;  ///< agent-local TelemetryBus channel id
+  std::string name;
+  std::string unit;
+  std::uint8_t trim_phase = 1;   ///< telemetry::TrimMode::kPhase
+  std::uint8_t summarize = 1;
+  Frame encode() const;
+  static ChannelMsg decode(WireReader& in);
+};
+
+struct PhaseBracketMsg {
+  std::uint8_t is_begin = 1;
+  std::uint32_t phase_index = 0;
+  std::string phase_name;
+  double duration_s = 0.0;
+  double time_offset_s = 0.0;   ///< campaign time of the phase start
+  double start_delta_s = 0.0;   ///< trim deltas (begin only)
+  double stop_delta_s = 0.0;
+  /// Wall-clock seconds since the shared epoch at the moment the bracket
+  /// was emitted — what the coordinator compares across nodes to verify
+  /// lockstep (begin brackets) and report phase wall durations (end).
+  double epoch_elapsed_s = 0.0;
+  Frame encode() const;
+  static PhaseBracketMsg decode(WireReader& in);
+};
+
+struct SampleBatchMsg {
+  std::uint32_t channel_id = 0;
+  std::vector<double> times_s;   ///< phase-local, parallel to values
+  std::vector<double> values;
+  Frame encode() const;
+  static SampleBatchMsg decode(WireReader& in);
+};
+
+struct PhaseGoMsg {
+  std::uint32_t phase_index = 0;
+  Frame encode() const;
+  static PhaseGoMsg decode(WireReader& in);
+};
+
+struct BudgetReportMsg {
+  std::uint32_t seq = 0;         ///< per-node report counter
+  double achieved_w = 0.0;       ///< trailing-mean measured power
+  double setpoint_w = 0.0;       ///< the node's current setpoint
+  double level = 0.0;            ///< commanded load level (saturation signal)
+  Frame encode() const;
+  static BudgetReportMsg decode(WireReader& in);
+};
+
+struct BudgetAssignMsg {
+  std::uint32_t seq = 0;         ///< echoes the report
+  double setpoint_w = 0.0;
+  Frame encode() const;
+  static BudgetAssignMsg decode(WireReader& in);
+};
+
+struct VerdictMsg {
+  std::uint8_t converged = 1;
+  std::string detail;            ///< human-readable one-liner for the log
+  Frame encode() const;
+  static VerdictMsg decode(WireReader& in);
+};
+
+struct ShutdownMsg {
+  std::uint8_t ok = 1;
+  Frame encode() const;
+  static ShutdownMsg decode(WireReader& in);
+};
+
+}  // namespace fs2::cluster

@@ -1,0 +1,78 @@
+#include "cluster/remote_sink.hpp"
+
+namespace fs2::cluster {
+
+RemoteSink::RemoteSink(Connection* conn, std::chrono::steady_clock::time_point epoch)
+    : conn_(conn), epoch_(epoch) {
+  if (conn_ == nullptr) throw Error("RemoteSink: connection must not be null");
+}
+
+double RemoteSink::epoch_elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void RemoteSink::on_channel(telemetry::ChannelId id, const telemetry::ChannelInfo& info) {
+  if (batches_.size() <= id) batches_.resize(id + 1);
+  ChannelMsg msg;
+  msg.channel_id = static_cast<std::uint32_t>(id);
+  msg.name = info.name;
+  msg.unit = info.unit;
+  msg.trim_phase = info.trim == telemetry::TrimMode::kPhase ? 1 : 0;
+  msg.summarize = info.summarize ? 1 : 0;
+  conn_->send(msg.encode());
+}
+
+void RemoteSink::on_phase_begin(const telemetry::PhaseInfo& phase) {
+  PhaseBracketMsg msg;
+  msg.is_begin = 1;
+  msg.phase_index = phase_count_++;
+  msg.phase_name = phase.name;
+  msg.duration_s = phase.duration_s;
+  msg.time_offset_s = phase.time_offset_s;
+  msg.start_delta_s = phase.start_delta_s;
+  msg.stop_delta_s = phase.stop_delta_s;
+  msg.epoch_elapsed_s = epoch_elapsed_s();
+  conn_->send(msg.encode());
+}
+
+void RemoteSink::on_sample(telemetry::ChannelId id, const telemetry::Sample& sample) {
+  if (batches_.size() <= id) batches_.resize(id + 1);
+  Batch& batch = batches_[id];
+  batch.times_s.push_back(sample.time_s);
+  batch.values.push_back(sample.value);
+  if (batch.times_s.size() >= kBatchSamples) flush(id);
+}
+
+void RemoteSink::on_phase_end(const telemetry::PhaseInfo& phase) {
+  // Samples first: the end bracket doubles as the coordinator's
+  // "node finished phase k" barrier signal, so every sample of the phase
+  // must already be on the wire when it arrives.
+  flush_all();
+  PhaseBracketMsg msg;
+  msg.is_begin = 0;
+  msg.phase_index = phase_count_ - 1;
+  msg.phase_name = phase.name;
+  msg.duration_s = phase.duration_s;
+  msg.time_offset_s = phase.time_offset_s;
+  msg.epoch_elapsed_s = epoch_elapsed_s();
+  conn_->send(msg.encode());
+}
+
+void RemoteSink::on_finish() { flush_all(); }
+
+void RemoteSink::flush(telemetry::ChannelId id) {
+  Batch& batch = batches_[id];
+  if (batch.times_s.empty()) return;
+  SampleBatchMsg msg;
+  msg.channel_id = static_cast<std::uint32_t>(id);
+  msg.times_s = std::move(batch.times_s);
+  msg.values = std::move(batch.values);
+  conn_->send(msg.encode());
+  batch = Batch{};
+}
+
+void RemoteSink::flush_all() {
+  for (telemetry::ChannelId id = 0; id < batches_.size(); ++id) flush(id);
+}
+
+}  // namespace fs2::cluster

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "cluster/transport.hpp"
+#include "telemetry/sample_sink.hpp"
+
+namespace fs2::cluster {
+
+/// Telemetry sink that streams a node's bus traffic to the coordinator:
+/// channel registrations become kChannel frames, phase boundaries become
+/// kPhaseBracket frames (stamped with wall time since the shared epoch so
+/// the coordinator can verify cross-node lockstep), and samples batch into
+/// kSampleBatch frames.
+///
+/// Batching bounds the frame rate without unbounding memory: a per-channel
+/// buffer flushes at kBatchSamples or at the next phase boundary, whichever
+/// comes first, so the sink retains O(channels x batch) samples. Everything
+/// runs on the agent's publishing thread; the connection is the agent's
+/// single campaign-thread socket.
+class RemoteSink : public telemetry::SampleSink {
+ public:
+  static constexpr std::size_t kBatchSamples = 256;
+
+  /// `conn` must outlive the sink. `epoch` is the shared campaign start
+  /// (agent clock) the phase brackets are stamped against.
+  RemoteSink(Connection* conn, std::chrono::steady_clock::time_point epoch);
+
+  void on_channel(telemetry::ChannelId id, const telemetry::ChannelInfo& info) override;
+  void on_phase_begin(const telemetry::PhaseInfo& phase) override;
+  void on_sample(telemetry::ChannelId id, const telemetry::Sample& sample) override;
+  void on_phase_end(const telemetry::PhaseInfo& phase) override;
+  void on_finish() override;
+
+  /// Phases streamed so far (== the index the NEXT on_phase_begin gets).
+  std::uint32_t phases_begun() const { return phase_count_; }
+
+ private:
+  void flush(telemetry::ChannelId id);
+  void flush_all();
+  double epoch_elapsed_s() const;
+
+  struct Batch {
+    std::vector<double> times_s;
+    std::vector<double> values;
+  };
+
+  Connection* conn_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Batch> batches_;  ///< index = ChannelId
+  std::uint32_t phase_count_ = 0;
+};
+
+}  // namespace fs2::cluster

@@ -1,0 +1,206 @@
+#include "cluster/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/strings.hpp"
+
+namespace fs2::cluster {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Disable Nagle: the protocol is many small request/response frames
+/// (sync probes, budget exchanges) whose latency IS the product — clock
+/// sync quality and budget reaction time both degrade with batching delay.
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+// ---- Connection -------------------------------------------------------------
+
+Connection::Connection(int fd) : fd_(fd) {
+  if (fd_ >= 0) set_nodelay(fd_);
+}
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Connection Connection::connect(const std::string& endpoint, double retry_for_s) {
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == endpoint.size())
+    throw ConfigError("--agent: endpoint '" + endpoint + "' is not HOST:PORT");
+  const std::string host = endpoint.substr(0, colon);
+  const std::string port = endpoint.substr(colon + 1);
+  const std::uint64_t port_num = strings::parse_u64(port, "--agent port");
+  if (port_num == 0 || port_num > 65535)
+    throw ConfigError("--agent: port must be within [1, 65535]");
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &result) != 0 || result == nullptr)
+    throw Error("cluster: cannot resolve '" + host + "'");
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(retry_for_s);
+  std::string last_error;
+  do {
+    for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        ::freeaddrinfo(result);
+        return Connection(fd);
+      }
+      last_error = errno_text();
+      ::close(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  } while (std::chrono::steady_clock::now() < deadline);
+  ::freeaddrinfo(result);
+  throw Error("cluster: cannot connect to " + endpoint + " (" + last_error + ")");
+}
+
+void Connection::write_all(const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError("cluster: send failed (" + errno_text() + ")");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+bool Connection::read_all(std::uint8_t* data, std::size_t size, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError("cluster: recv failed (" + errno_text() + ")");
+    }
+    if (n == 0) {
+      if (eof_ok && got == 0) return false;
+      throw WireError("cluster: peer disconnected mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Connection::send(const Frame& frame) {
+  if (fd_ < 0) throw WireError("cluster: send on a closed connection");
+  WireWriter header;
+  header.u32(static_cast<std::uint32_t>(frame.payload.size() + 1));
+  header.u8(static_cast<std::uint8_t>(frame.type));
+  write_all(header.bytes().data(), header.bytes().size());
+  if (!frame.payload.empty()) write_all(frame.payload.data(), frame.payload.size());
+}
+
+std::optional<Frame> Connection::recv(double timeout_s) {
+  if (fd_ < 0) throw WireError("cluster: recv on a closed connection");
+  if (timeout_s >= 0.0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1000.0));
+    if (ready < 0) throw WireError("cluster: poll failed (" + errno_text() + ")");
+    if (ready == 0) return std::nullopt;
+  }
+  std::uint8_t header[4];
+  if (!read_all(header, sizeof header, /*eof_ok=*/true))
+    throw WireError("cluster: peer closed the connection");
+  WireReader reader(header, sizeof header);
+  const std::uint32_t length = reader.u32();
+  if (length == 0 || length > kMaxFrameBytes)
+    throw WireError(strings::format("cluster: bad frame length %u", length));
+  Frame frame;
+  std::uint8_t type = 0;
+  read_all(&type, 1, /*eof_ok=*/false);
+  frame.type = static_cast<MessageType>(type);
+  frame.payload.resize(length - 1);
+  if (!frame.payload.empty())
+    read_all(frame.payload.data(), frame.payload.size(), /*eof_ok=*/false);
+  return frame;
+}
+
+// ---- Listener ---------------------------------------------------------------
+
+Listener::Listener(std::uint16_t port, bool loopback_only) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error("cluster: cannot create listen socket (" + errno_text() + ")");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string reason = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(strings::format("cluster: cannot bind port %u (%s)", port, reason.c_str()));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const std::string reason = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cluster: listen failed (" + reason + ")");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection Listener::accept(double timeout_s) {
+  if (timeout_s >= 0.0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1000.0));
+    if (ready < 0) throw Error("cluster: poll failed (" + errno_text() + ")");
+    if (ready == 0)
+      throw Error(strings::format(
+          "cluster: no agent connected within %.0f s (expected more nodes)", timeout_s));
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) throw Error("cluster: accept failed (" + errno_text() + ")");
+  return Connection(fd);
+}
+
+}  // namespace fs2::cluster

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/messages.hpp"
+
+namespace fs2::cluster {
+
+/// One framed, blocking TCP connection between coordinator and agent.
+/// Frames are `u32 length | u8 type | payload` with the length covering
+/// type + payload. Send and receive are whole-frame operations; partial
+/// socket reads/writes are looped internally. Not thread-safe — each side
+/// of the protocol drives its connection from a single thread (the
+/// coordinator's event loop, the agent's campaign thread).
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(int fd);
+  ~Connection();
+
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Connect to "host:port" (numeric IPv4 or a resolvable name), retrying
+  /// for up to `retry_for_s` seconds — an agent routinely starts before its
+  /// coordinator finishes binding. Throws fs2::Error on final failure.
+  static Connection connect(const std::string& endpoint, double retry_for_s = 5.0);
+
+  void send(const Frame& frame);
+
+  /// Receive the next frame, blocking. `timeout_s` < 0 blocks forever; on
+  /// timeout returns std::nullopt. Throws WireError on disconnect or a
+  /// frame exceeding kMaxFrameBytes.
+  std::optional<Frame> recv(double timeout_s = -1.0);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Upper bound on a frame (type + payload). A sample batch of 4096
+  /// samples is ~64 KiB; anything near this limit indicates a corrupt or
+  /// hostile length prefix, not real traffic.
+  static constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t size);
+  /// False = clean EOF before any byte (peer closed between frames).
+  bool read_all(std::uint8_t* data, std::size_t size, bool eof_ok);
+
+  int fd_ = -1;
+};
+
+/// Listening TCP socket for the coordinator. Binds immediately (port 0
+/// selects an ephemeral port — loopback tests read the chosen one back via
+/// port()).
+class Listener {
+ public:
+  /// `loopback_only` binds 127.0.0.1 instead of all interfaces.
+  explicit Listener(std::uint16_t port, bool loopback_only = false);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accept one connection, waiting up to `timeout_s` (< 0 = forever).
+  /// Throws fs2::Error on timeout — a coordinator told to expect N nodes
+  /// must fail loudly when one never dials in, not hang the campaign.
+  Connection accept(double timeout_s);
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace fs2::cluster

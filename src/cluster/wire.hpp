@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fs2::cluster {
+
+/// Raised on malformed frames, protocol violations, and peer disconnects —
+/// the cluster layer's I/O failure type, distinct from ConfigError (bad
+/// user input) so the coordinator can attribute a mid-run failure to a
+/// node, not to the operator.
+class WireError : public Error {
+ public:
+  explicit WireError(const std::string& message) : Error(message) {}
+};
+
+/// Little-endian byte-stream writer for message payloads. Fixed-width
+/// integers and IEEE doubles only — both ends of the wire are this binary,
+/// but explicit widths keep the format stable across compilers and make the
+/// protocol documentable (docs/cluster.md lists every field).
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  /// Length-prefixed UTF-8/ASCII string (u32 length, no terminator).
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a received payload. Every accessor throws
+/// WireError on truncation instead of reading past the end — a malformed or
+/// hostile peer must not crash the coordinator.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw WireError("cluster wire: truncated message payload");
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fs2::cluster

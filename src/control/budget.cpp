@@ -1,0 +1,65 @@
+#include "control/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fs2::control {
+
+namespace {
+
+/// Window capacity: enough total snapshots to cover the trailing quarter
+/// of a long phase at a fast report cadence without growing with run
+/// length.
+constexpr std::size_t kWindowCapacity = 4096;
+
+}  // namespace
+
+BudgetApportioner::BudgetApportioner(double target_w, std::size_t nodes)
+    : target_w_(target_w),
+      nodes_(nodes),
+      achieved_w_(nodes, target_w / std::max<std::size_t>(nodes, 1)),
+      totals_(kWindowCapacity) {
+  if (!(target_w > 0.0)) throw Error("BudgetApportioner: target must be > 0 W");
+  if (nodes == 0) throw Error("BudgetApportioner: need at least one node");
+}
+
+double BudgetApportioner::on_report(std::size_t node, double achieved_w) {
+  if (node >= nodes_) throw Error("BudgetApportioner: node index out of range");
+  achieved_w_[node] = std::max(achieved_w, 0.0);
+  const double total = total_achieved_w();
+  totals_.push(total);
+  // Proportional reallocation. A node with no meaningful reading yet (cold
+  // meter, ramp-in) keeps its equal share — the proportional formula would
+  // assign it ~0 and a power loop cannot prove itself from a 0 W target.
+  double next = achieved_w_[node] > 1.0 && total > 1e-6
+                    ? achieved_w_[node] * target_w_ / total
+                    : initial_share_w();
+  next = std::clamp(next, 1.0, target_w_);
+  return next;
+}
+
+double BudgetApportioner::total_achieved_w() const {
+  double total = 0.0;
+  for (double a : achieved_w_) total += a;
+  return total;
+}
+
+void BudgetApportioner::begin_window() { totals_.clear(); }
+
+double BudgetApportioner::trailing_total_w() const {
+  if (totals_.empty()) return 0.0;
+  const std::size_t window = std::max<std::size_t>(4, totals_.size() / 4);
+  const std::size_t count = std::min(window, totals_.size());
+  double sum = 0.0;
+  for (std::size_t i = totals_.size() - count; i < totals_.size(); ++i) sum += totals_[i];
+  return sum / static_cast<double>(count);
+}
+
+bool BudgetApportioner::converged(double band) const {
+  if (totals_.size() < 4) return false;
+  return std::abs(trailing_total_w() - target_w_) <= band * target_w_;
+}
+
+}  // namespace fs2::control

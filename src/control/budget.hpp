@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/ring_buffer.hpp"
+
+namespace fs2::control {
+
+/// Cluster-mode counterpart of the per-node FeedbackLoop: holds one global
+/// power budget (the coordinator's `--target cluster-power=NNNW`) and
+/// splits it into per-node power setpoints from each node's reported
+/// achieved watts.
+///
+/// The update is proportional reallocation: on a report from node i with
+/// achieved a_i, the node's next setpoint is
+///
+///     w_i = a_i * W / total          total = sum of latest achieved
+///
+/// i.e. each assignment is the node's share of the budget as if the whole
+/// fleet were rescaled onto W against the latest achieved snapshot. Nodes
+/// that deliver more watts are asked to carry more of the budget (a big
+/// SKU naturally absorbs the share a small one cannot), and a saturated
+/// node's shortfall flows to whoever has headroom. Outstanding assignments
+/// can transiently disagree with W — only the reporting node is retuned,
+/// the others still hold setpoints from older snapshots, and per-node
+/// clamps apply — but at the fixed point (every a_i tracking its w_i) the
+/// cluster total settles on W. Reports are handled one at a time, as they
+/// arrive — no cross-node barrier, so a slow node never stalls the
+/// others' control.
+///
+/// Nodes that have not reported yet are assumed at their initial equal
+/// share, which keeps the first assignments sane during ramp-in.
+class BudgetApportioner {
+ public:
+  /// `target_w` is the cluster budget; `nodes` the fleet size.
+  BudgetApportioner(double target_w, std::size_t nodes);
+
+  double target_w() const { return target_w_; }
+  double initial_share_w() const { return target_w_ / static_cast<double>(nodes_); }
+
+  /// Fold in one node's report and return its next setpoint (clamped to
+  /// [1 W, budget]).
+  double on_report(std::size_t node, double achieved_w);
+
+  /// Sum of the latest achieved watts across nodes (unreported nodes count
+  /// as their initial share).
+  double total_achieved_w() const;
+
+  /// Reset the convergence window (call at campaign phase boundaries so a
+  /// phase is judged on its own plateau, not the previous phase's tail).
+  void begin_window();
+
+  /// Budget convergence over the trailing quarter of the window's total
+  /// snapshots (at least 4): their mean within `band` (fraction) of the
+  /// target. Mirrors FeedbackLoop::converged's trailing-window semantics.
+  bool converged(double band) const;
+
+  /// Mean cluster total over the same trailing window (0 when empty).
+  double trailing_total_w() const;
+
+ private:
+  double target_w_;
+  std::size_t nodes_;
+  /// Latest achieved watts per node; seeded with the equal share so nodes
+  /// that have not reported yet count as it.
+  std::vector<double> achieved_w_;
+  telemetry::RingBuffer<double> totals_;  ///< window of total snapshots
+};
+
+}  // namespace fs2::control

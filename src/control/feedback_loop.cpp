@@ -36,6 +36,7 @@ std::size_t ring_capacity(double interval_s) {
 
 PidGains FeedbackLoop::default_gains(ControlVariable variable) {
   switch (variable) {
+    case ControlVariable::kClusterPower:  // per-node share behaves like power
     case ControlVariable::kPower:
       // The plant settles within one tick (duty cycle -> power is immediate),
       // so the loop can be aggressive: half the residual error per tick from
@@ -52,6 +53,7 @@ PidGains FeedbackLoop::default_gains(ControlVariable variable) {
 
 double FeedbackLoop::default_scale(ControlVariable variable) {
   switch (variable) {
+    case ControlVariable::kClusterPower:
     case ControlVariable::kPower: return 100.0;       // typical package span, W
     case ControlVariable::kTemperature: return 40.0;  // idle->full-load rise, degC
   }
@@ -108,6 +110,11 @@ double FeedbackLoop::tick(double t_s, double measurement) {
 
 double FeedbackLoop::poll(double t_s, metrics::Metric& metric) {
   return tick(t_s, metric.sample());
+}
+
+void FeedbackLoop::set_target(double value) {
+  if (!(value > 0.0)) throw Error("FeedbackLoop::set_target: value must be > 0");
+  setpoint_.value = value;
 }
 
 FeedbackLoop::TrailingStats FeedbackLoop::trailing_stats(double window_s) const {

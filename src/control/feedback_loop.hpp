@@ -77,6 +77,14 @@ class FeedbackLoop {
   /// lets a faster sampling loop drive the controller at its own rate.
   bool due(double t_s) const;
 
+  /// Retune the regulated value mid-run — the cluster mode: a coordinator
+  /// apportioning a global power budget reassigns each node's setpoint
+  /// every budget interval, and the node's loop tracks the moving target
+  /// (the PID state carries over, so a small reassignment is absorbed
+  /// without a transient). Also shifts the convergence band's center, so
+  /// verdicts judge against the latest target.
+  void set_target(double value);
+
   const Setpoint& setpoint() const { return setpoint_; }
   const ControlledProfile& profile() const { return *profile_; }
   /// Recent ticks, oldest first — a bounded window (sized from the tick

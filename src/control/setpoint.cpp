@@ -12,6 +12,7 @@ const char* to_string(ControlVariable variable) {
   switch (variable) {
     case ControlVariable::kPower: return "power";
     case ControlVariable::kTemperature: return "temperature";
+    case ControlVariable::kClusterPower: return "cluster-power";
   }
   return "?";
 }
@@ -20,6 +21,7 @@ const char* unit_of(ControlVariable variable) {
   switch (variable) {
     case ControlVariable::kPower: return "W";
     case ControlVariable::kTemperature: return "degC";
+    case ControlVariable::kClusterPower: return "W";
   }
   return "?";
 }
@@ -79,6 +81,15 @@ Setpoint Setpoint::parse(const std::string& spec) {
         sp.value = parse_valued(value, 'C', "--target temp");
         if (!(sp.value > 0.0 && sp.value <= 150.0))
           throw ConfigError("--target: temperature setpoint must be within (0, 150] degC");
+      } else if (key == "cluster-power") {
+        sp.variable = ControlVariable::kClusterPower;
+        sp.value = parse_valued(value, 'W', "--target cluster-power");
+        if (!(sp.value > 0.0 && sp.value <= 10000000.0))
+          throw ConfigError(
+              "--target: cluster-power budget must be within (0, 1e7] watts");
+        // Budget rounds pay a network round trip each; default to a slower
+        // cadence than the per-node PID tick (interval= still overrides).
+        sp.interval_s = 0.5;
       } else {
         throw ConfigError("--target: spec must start with power=WATTS or temp=DEGC, got '" +
                           key + "'");

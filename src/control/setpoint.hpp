@@ -11,6 +11,11 @@ namespace fs2::control {
 enum class ControlVariable {
   kPower,        ///< package/wall power in watts (RAPL or the sim meter)
   kTemperature,  ///< package temperature in degrees Celsius (coretemp/k10temp)
+  /// Sum of node powers across a coordinated fleet, in watts. Only valid on
+  /// a cluster coordinator (`--coordinator --target cluster-power=2000W`):
+  /// the BudgetApportioner splits it into per-node kPower setpoints that
+  /// the agents' FeedbackLoops track.
+  kClusterPower,
 };
 
 const char* to_string(ControlVariable variable);

@@ -19,6 +19,13 @@ const char* to_string(TargetSystem target) {
   return "?";
 }
 
+TargetSystem parse_sim_target(const std::string& name) {
+  if (name == "zen2") return TargetSystem::kSimZen2;
+  if (name == "haswell") return TargetSystem::kSimHaswell;
+  if (name == "haswell-gpu") return TargetSystem::kSimHaswellGpu;
+  throw ConfigError("unknown simulation target '" + name + "'");
+}
+
 namespace {
 
 /// Argument cursor with checked value access.
@@ -106,6 +113,32 @@ Config parse_args(int argc, const char* const* argv) {
       cfg.control_log = take(inline_value, args, flag);
     } else if (flag == "--require-convergence") {
       cfg.require_convergence = true;
+    } else if (flag == "--coordinator") {
+      cfg.coordinator = true;
+    } else if (flag == "--listen") {
+      const std::uint64_t port = strings::parse_u64(take(inline_value, args, flag), flag);
+      if (port > 65535) throw ConfigError("--listen: port must be within [0, 65535]");
+      cfg.listen_port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--nodes") {
+      const std::uint64_t n = strings::parse_u64(take(inline_value, args, flag), flag);
+      if (n == 0 || n > 4096) throw ConfigError("--nodes must be within [1, 4096]");
+      cfg.cluster_nodes = static_cast<int>(n);
+    } else if (flag == "--agent") {
+      cfg.agent_endpoint = take(inline_value, args, flag);
+    } else if (flag == "--node-name") {
+      cfg.node_name = take(inline_value, args, flag);
+    } else if (flag == "--loopback") {
+      cfg.loopback_nodes = take(inline_value, args, flag);
+      cfg.coordinator = true;
+    } else if (flag == "--cluster-start-delay") {
+      cfg.cluster_start_delay_s =
+          strings::parse_double(take(inline_value, args, flag), flag);
+      if (!(cfg.cluster_start_delay_s >= 0.05 && cfg.cluster_start_delay_s <= 600.0))
+        throw ConfigError("--cluster-start-delay must be within [0.05, 600] seconds");
+    } else if (flag == "--sync-tolerance") {
+      cfg.sync_tolerance_s = strings::parse_double(take(inline_value, args, flag), flag);
+      if (!(cfg.sync_tolerance_s > 0.0))
+        throw ConfigError("--sync-tolerance must be > 0 seconds");
     } else if (flag == "-n" || flag == "--threads") {
       cfg.threads = static_cast<int>(strings::parse_u64(take(inline_value, args, flag), flag));
     } else if (flag == "--one-thread-per-core") {
@@ -156,11 +189,7 @@ Config parse_args(int argc, const char* const* argv) {
     } else if (flag == "--optimization-log") {
       cfg.optimization_log = take(inline_value, args, flag);
     } else if (flag == "--simulate") {
-      const std::string which = inline_value ? strings::to_lower(*inline_value) : "zen2";
-      if (which == "zen2") cfg.target = TargetSystem::kSimZen2;
-      else if (which == "haswell") cfg.target = TargetSystem::kSimHaswell;
-      else if (which == "haswell-gpu") cfg.target = TargetSystem::kSimHaswellGpu;
-      else throw ConfigError("unknown simulation target '" + which + "'");
+      cfg.target = parse_sim_target(inline_value ? strings::to_lower(*inline_value) : "zen2");
     } else if (flag == "--freq") {
       cfg.sim_freq_mhz = strings::parse_double(take(inline_value, args, flag), flag);
     } else if (flag == "--sim-sample-hz") {
@@ -254,6 +283,36 @@ Closed-loop control (hold a power or temperature setpoint):
                                (time_s,setpoint,measurement,error,level,phase)
   --require-convergence        exit 1 when a controlled run/phase does not
                                settle inside the setpoint band
+
+Cluster orchestration (coordinator/agent fleet runs):
+  --coordinator                run as the fleet coordinator: accept --nodes
+                               agents, clock-sync each one (RTT-compensated
+                               offset estimation), distribute --campaign,
+                               start every node on a shared epoch, merge the
+                               streamed telemetry into one CSV with a
+                               trailing node column plus cluster-aggregate
+                               rows (cluster-power sum, cluster-temp-max)
+  --listen PORT                coordinator TCP port (default 7380; 0 picks
+                               an ephemeral port)
+  --nodes N                    number of agents the coordinator waits for
+  --agent HOST:PORT            run as an agent: connect to the coordinator,
+                               receive the campaign, stream telemetry back
+  --node-name NAME             agent identity in the merged CSV
+  --loopback SPECS             single-process cluster: spawn in-process sim
+                               agents against a 127.0.0.1 coordinator, e.g.
+                               --loopback zen2@1500,haswell@2000 (implies
+                               --coordinator; deterministic, used by CI)
+  --cluster-start-delay SEC    epoch lead time after the last handshake
+                               (default 0.5)
+  --sync-tolerance SEC         max allowed cross-node phase-start spread
+                               before the run is flagged out of lockstep
+                               (default 0.25)
+  --target cluster-power=WATTS[,band=PCT,interval=SEC]
+                               (coordinator only) hold a global power
+                               budget: each interval the coordinator
+                               reapportions per-node power setpoints from
+                               reported achieved watts so the fleet total
+                               tracks the budget
 
 Measurement (Sec. III-D):
   --measurement                print metric CSV after the run

@@ -47,9 +47,23 @@ struct Config {
   std::optional<std::string> record_trace;  ///< --record-trace FILE
 
   // Closed-loop control (control/ subsystem: setpoint regulation).
-  std::optional<std::string> target_spec;   ///< --target SPEC (power=W / temp=C)
+  std::optional<std::string> target_spec;   ///< --target SPEC (power=W / temp=C /
+                                            ///< cluster-power=W on a coordinator)
   std::optional<std::string> control_log;   ///< --control-log FILE (per-tick CSV)
   bool require_convergence = false;         ///< --require-convergence (exit 1 if not)
+
+  // Cluster orchestration (cluster/ subsystem: coordinator/agent fleets).
+  bool coordinator = false;                 ///< --coordinator
+  std::uint16_t listen_port = 7380;         ///< --listen PORT (0 = ephemeral)
+  std::optional<int> cluster_nodes;         ///< --nodes N (coordinator fleet size)
+  std::optional<std::string> agent_endpoint;///< --agent HOST:PORT
+  std::optional<std::string> node_name;     ///< --node-name (agent identity)
+  /// --loopback SPEC,...: spawn in-process sim agents (e.g. "zen2@1500,
+  /// haswell@2000") against a 127.0.0.1 coordinator — the deterministic
+  /// single-process cluster for tests and CI.
+  std::optional<std::string> loopback_nodes;
+  double cluster_start_delay_s = 0.5;       ///< --cluster-start-delay SEC
+  double sync_tolerance_s = 0.25;           ///< --sync-tolerance SEC
 
   // Synchronized SIMD self-test (error detection for overclocked systems).
   bool selftest = false;
@@ -99,6 +113,11 @@ struct Config {
 /// Parse argv. Throws fs2::ConfigError on unknown flags or malformed
 /// values; never exits the process (the caller owns that decision).
 Config parse_args(int argc, const char* const* argv);
+
+/// Map a --simulate / --loopback target name ("zen2", "haswell",
+/// "haswell-gpu") to its TargetSystem. Throws fs2::ConfigError on unknown
+/// names.
+TargetSystem parse_sim_target(const std::string& name);
 
 /// --help text.
 std::string usage();

@@ -5,10 +5,15 @@
 #include <fstream>
 #include <limits>
 #include <set>
+#include <sstream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "arch/processor.hpp"
 #include "arch/topology.hpp"
+#include "cluster/agent.hpp"
+#include "cluster/coordinator.hpp"
 #include "control/controlled_profile.hpp"
 #include "control/feedback_loop.hpp"
 #include "control/setpoint.hpp"
@@ -65,20 +70,54 @@ Target resolve_target(const Config& cfg) {
     case TargetSystem::kSimZen2:
       target.cpu = arch::epyc_7502_model();
       target.caches = arch::CacheHierarchy::zen2();
-      target.sim_config = sim::MachineConfig::zen2_epyc7502_2s();
+      target.sim_config = sim::MachineConfig::named("zen2");
       target.simulated = true;
       break;
     case TargetSystem::kSimHaswell:
     case TargetSystem::kSimHaswellGpu:
       target.cpu = arch::xeon_e5_2680v3_model();
       target.caches = arch::CacheHierarchy::haswell_ep();
-      target.sim_config = sim::MachineConfig::haswell_e5_2680v3_2s(
-          cfg.target == TargetSystem::kSimHaswellGpu ? 4 : 0);
+      target.sim_config = sim::MachineConfig::named(
+          cfg.target == TargetSystem::kSimHaswellGpu ? "haswell-gpu" : "haswell");
       target.simulated = true;
       target.gpu_stress = cfg.target == TargetSystem::kSimHaswellGpu;
       break;
   }
   return target;
+}
+
+/// One entry of a --loopback fleet spec: "zen2@1500" = a simulated Zen 2
+/// agent pinned to 1500 MHz. Loopback agents are sim-only — two host
+/// stress runs inside one process would fight over the same CPUs and
+/// measure each other.
+struct LoopbackSpec {
+  TargetSystem target = TargetSystem::kSimZen2;
+  double freq_mhz = 0.0;
+  std::string name;
+};
+
+std::vector<LoopbackSpec> parse_loopback_specs(const std::string& list) {
+  std::vector<LoopbackSpec> specs;
+  for (const std::string& entry : strings::split(list, ',')) {
+    const std::string_view trimmed = strings::trim(entry);
+    if (trimmed.empty()) throw ConfigError("--loopback: empty node spec in '" + list + "'");
+    LoopbackSpec spec;
+    const auto at = trimmed.find('@');
+    const std::string sku = strings::to_lower(trimmed.substr(0, at));
+    if (sku == "host")
+      throw ConfigError(
+          "--loopback: host agents cannot share one process (run a real "
+          "fs2 --agent per machine instead); use sim SKUs here");
+    spec.target = parse_sim_target(sku);
+    spec.name = sku;
+    if (at != std::string_view::npos) {
+      spec.freq_mhz = strings::parse_double(trimmed.substr(at + 1), "--loopback freq");
+      if (!(spec.freq_mhz > 0.0)) throw ConfigError("--loopback: freq must be > 0 MHz");
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) throw ConfigError("--loopback: no node specs given");
+  return specs;
 }
 
 const payload::FunctionDef& resolve_function(const Config& cfg, const Target& target) {
@@ -462,7 +501,8 @@ ControlledSimPhase run_sim_controlled_phase(const sim::SimulatedSystem& system,
                                             std::optional<int> threads_override,
                                             std::optional<double> initial_temp_c,
                                             telemetry::TelemetryBus& bus,
-                                            const SimChannels& ch) {
+                                            const SimChannels& ch,
+                                            cluster::AgentSession* session = nullptr) {
   sp.validate_duration(duration_s, "closed-loop phase");
   sim::RunConditions cond;
   cond.freq_mhz = freq_override ? *freq_override : cfg.sim_freq_mhz;
@@ -508,6 +548,11 @@ ControlledSimPhase run_sim_controlled_phase(const sim::SimulatedSystem& system,
     bus.publish(ch.load, st.time_s - dt, st.level);
     if (ch.has_temp) bus.publish(ch.temp, st.time_s, st.temp_c);
     phase.loop->tick(st.time_s, measurement);
+    // Cluster budget round: report the trailing achieved watts and retune
+    // the loop to the coordinator's reapportioned share. Virtual time
+    // pauses for the round trip, so the exchange is deterministic.
+    if (session != nullptr && session->budget_due(st.time_s))
+      session->budget_exchange(st.time_s, *phase.loop);
   }
   phase.final_temp_c = plant.true_temp_c();
   return phase;
@@ -536,7 +581,8 @@ HostPhaseOutput run_host_phase(const Config& cfg, const Target& target,
                                sched::ProfilePtr profile, const control::Setpoint* setpoint,
                                std::optional<int> threads_override, double duration_s,
                                telemetry::TelemetryBus& bus,
-                               gpu::DgemmStressor* gpu_stress) {
+                               gpu::DgemmStressor* gpu_stress,
+                               cluster::AgentSession* session = nullptr) {
   if (!target.cpu.features.covers(fn.mix.required))
     throw UnsupportedError("host CPU lacks features for " + fn.name + " (needs " +
                            fn.mix.required.to_string() + ")");
@@ -559,6 +605,9 @@ HostPhaseOutput run_host_phase(const Config& cfg, const Target& target,
   options.period_s = cfg.period_s;
   options.profile = profile;
   options.phase_offset_s = cfg.phase_offset_s;
+  // Cluster runs duty-cycle against the fleet-wide epoch so modulation
+  // windows align across machines, not just across this node's workers.
+  if (session != nullptr) options.epoch = session->epoch_time();
   kernel::ThreadManager manager(payload, options);
 
   auto metrics_set = build_host_metrics(cfg, manager, payload.stats().instructions_per_iteration,
@@ -586,6 +635,8 @@ HostPhaseOutput run_host_phase(const Config& cfg, const Target& target,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     metrics_set->sample_all(bus, elapsed);
     if (output.loop && output.loop->due(elapsed)) output.loop->poll(elapsed, *hc.sensor);
+    if (session != nullptr && output.loop && session->budget_due(elapsed))
+      session->budget_exchange(elapsed, *output.loop);
     bus.publish(load_ch, elapsed, manager.load_at(elapsed));
     output.elapsed_s = elapsed;
   }
@@ -609,6 +660,14 @@ int Firestarter::run() {
   }
   if (cfg_.list_functions) return list_functions();
   if (cfg_.list_metrics) return list_metrics();
+  if (cfg_.coordinator) return run_coordinator();
+  if (cfg_.agent_endpoint) return run_agent();
+  if (cfg_.target_spec &&
+      control::Setpoint::parse(*cfg_.target_spec).variable ==
+          control::ControlVariable::kClusterPower)
+    throw ConfigError(
+        "--target cluster-power only applies to --coordinator runs (single "
+        "nodes hold power=/temp= setpoints)");
   if (cfg_.optimize) return run_optimization();
   if (cfg_.dump_asm) return run_dump_asm();
   if (cfg_.selftest) return run_selftest_mode();
@@ -732,8 +791,13 @@ int Firestarter::run_stress_simulated() {
   return 0;
 }
 
-int Firestarter::run_campaign() {
-  const sched::Campaign campaign = sched::Campaign::load(*cfg_.campaign_file);
+int Firestarter::run_campaign(cluster::AgentSession* session) {
+  const bool budget_mode = session != nullptr && session->has_budget();
+  const sched::Campaign campaign = [&] {
+    if (session == nullptr) return sched::Campaign::load(*cfg_.campaign_file);
+    std::istringstream in(session->campaign().campaign_text);
+    return sched::Campaign::parse(in, "(from coordinator)");
+  }();
   const Target target = resolve_target(cfg_);
   if (cfg_.load_profile)
     log::warn() << "--load-profile is ignored under --campaign (phases define their "
@@ -741,6 +805,10 @@ int Firestarter::run_campaign() {
   if (cfg_.target_spec)
     log::warn() << "--target is ignored under --campaign (phases define their own "
                    "target= setpoints)";
+  if (budget_mode)
+    log::info() << "cluster budget mode: every phase runs closed-loop against the "
+                   "coordinator's apportioned power share (phase profile=/target= "
+                   "keys are overridden)";
 
   // Resolve every phase up front — functions (typos, host feature coverage),
   // profiles (including trace-file reads), and setpoints — so a campaign
@@ -767,6 +835,31 @@ int Firestarter::run_campaign() {
     ResolvedPhase phase{&fn,
                         sched::parse_profile(spec.profile_spec, cfg_.load, cfg_.period_s),
                         std::nullopt};
+    if (budget_mode) {
+      // The coordinator owns every phase's duty cycle: regulate this
+      // node's apportioned power share. The setpoint VALUE is re-read at
+      // each phase start (assignments move it); resolve only validates
+      // feasibility.
+      if (spec.profile_explicit || spec.target_spec)
+        log::warn() << "campaign phase '" << spec.name
+                    << "': profile=/target= overridden by the cluster power budget";
+      control::Setpoint sp;
+      sp.variable = control::ControlVariable::kPower;
+      sp.value = session->current_setpoint_w();
+      sp.interval_s = session->campaign().ctl_interval_s;
+      sp.band = session->campaign().budget_band;
+      sp.validate_duration(spec.duration_s, "campaign phase '" + spec.name + "'");
+      phase.setpoint = sp;
+      if (!target.simulated && probed.insert(sp.variable).second) {
+        try {
+          make_host_control(cfg_, sp);
+        } catch (const Error& e) {
+          throw UnsupportedError("campaign phase '" + spec.name + "': " + e.what());
+        }
+      }
+      resolved.push_back(std::move(phase));
+      continue;
+    }
     if (spec.target_spec) {
       if (spec.profile_explicit)
         log::warn() << "campaign phase '" << spec.name
@@ -817,14 +910,20 @@ int Firestarter::run_campaign() {
                    "target= setpoint";
 
   telemetry::TelemetryBus bus;
-  RunSinks sinks(bus, cfg_, /*want_summary=*/true, any_target,
+  // Agents stream raw samples to the coordinator (which owns the merged
+  // summary) instead of aggregating locally.
+  RunSinks sinks(bus, cfg_, /*want_summary=*/session == nullptr, any_target,
                  ": no campaign phase has a target= setpoint");
+  if (session != nullptr) bus.attach(&session->sink());
 
   sim::SimulatedSystem system(target.sim_config);
   SimChannels sim_channels;
   if (target.simulated)
     sim_channels = register_sim_channels(bus, /*with_temp=*/any_target,
                                          /*trimmed_aux=*/true, /*summarize_load=*/true);
+
+  // Cluster runs hold the whole fleet at the shared epoch before phase 1.
+  if (session != nullptr) session->wait_for_start();
 
   bool all_converged = true;
   // Thermal state carried between controlled sim phases so back-to-back
@@ -837,10 +936,22 @@ int Firestarter::run_campaign() {
     const ResolvedPhase& res = resolved[phase_index];
     const payload::FunctionDef& fn = *res.fn;
     const auto groups = resolve_groups(cfg_, fn);
+
+    // Fleet barrier: phases after the first wait for the coordinator's
+    // phase-go (sent once every node finished the previous phase), so
+    // transitions stay in lockstep even when nodes run at different wall
+    // speeds. The budget setpoint is re-read AFTER the barrier so the
+    // phase starts from the latest apportionment.
+    std::optional<control::Setpoint> active_sp = res.setpoint;
+    if (session != nullptr) {
+      session->begin_phase(static_cast<std::uint32_t>(phase_index));
+      if (budget_mode) active_sp->value = session->current_setpoint_w();
+    }
+
     out_ << strings::format("phase %zu '%s': %s for %.0f s (%s)\n", phase_index + 1,
                             spec.name.c_str(), fn.name.c_str(), spec.duration_s,
-                            res.setpoint ? res.setpoint->describe().c_str()
-                                         : res.profile->describe().c_str());
+                            active_sp ? active_sp->describe().c_str()
+                                      : res.profile->describe().c_str());
 
     const TrimDeltas deltas = phase_deltas(cfg_, spec.duration_s);
     bus.begin_phase(spec.name, spec.duration_s, deltas.start_s, deltas.stop_s);
@@ -851,11 +962,11 @@ int Firestarter::run_campaign() {
     if (target.simulated) {
       const auto stats =
           payload::analyze_payload(fn.mix, groups, target.caches, compile_options(cfg_));
-      if (res.setpoint) {
+      if (active_sp) {
         const ControlledSimPhase phase = run_sim_controlled_phase(
-            system, cfg_, stats, *res.setpoint, spec.duration_s, cfg_.seed + phase_index,
+            system, cfg_, stats, *active_sp, spec.duration_s, cfg_.seed + phase_index,
             campaign_time_s, target.gpu_stress, spec.freq_mhz, spec.threads,
-            carry_temp_c, bus, sim_channels);
+            carry_temp_c, bus, sim_channels, session);
         carry_temp_c = phase.final_temp_c;
         all_converged &=
             report_convergence(*phase.loop, spec.duration_s, "phase '" + spec.name + "'");
@@ -883,8 +994,8 @@ int Firestarter::run_campaign() {
     } else {
       const HostPhaseOutput output = run_host_phase(
           cfg_, target, fn, groups, res.profile,
-          res.setpoint ? &*res.setpoint : nullptr, spec.threads, spec.duration_s, bus,
-          gpu_stress.get());
+          active_sp ? &*active_sp : nullptr, spec.threads, spec.duration_s, bus,
+          gpu_stress.get(), session);
       if (output.loop)
         all_converged &= report_convergence(*output.loop, spec.duration_s,
                                             "phase '" + spec.name + "'");
@@ -905,12 +1016,179 @@ int Firestarter::run_campaign() {
   }
   bus.finish();
   sinks.report_trace(cfg_);
+  if (session != nullptr) {
+    // The coordinator owns the merged CSV and the fleet verdict; the agent
+    // reports its own convergence and waits for the shutdown.
+    session->finish(all_converged,
+                    strings::format("%zu phases on %s", campaign.size(),
+                                    target.simulated ? target.sim_config.name.c_str()
+                                                     : "host"));
+    return 0;
+  }
   metrics::print_csv(out_, sinks.summary.rows());
   if (cfg_.require_convergence && !all_converged) {
     log::error() << "campaign failed --require-convergence";
     return 1;
   }
   return 0;
+}
+
+int Firestarter::run_coordinator() {
+  if (!cfg_.campaign_file)
+    throw ConfigError(
+        "--coordinator requires --campaign FILE (the campaign is distributed to "
+        "every agent)");
+  // Keep the raw text for distribution; parse a copy locally so a malformed
+  // campaign fails here, before any agent is accepted.
+  std::ifstream in(*cfg_.campaign_file);
+  if (!in) throw ConfigError("campaign: cannot open '" + *cfg_.campaign_file + "'");
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  std::istringstream parse_stream(raw.str());
+  const sched::Campaign campaign =
+      sched::Campaign::parse(parse_stream, "'" + *cfg_.campaign_file + "'");
+
+  std::optional<control::Setpoint> budget;
+  if (cfg_.target_spec) {
+    control::Setpoint sp = control::Setpoint::parse(*cfg_.target_spec);
+    if (sp.variable != control::ControlVariable::kClusterPower)
+      throw ConfigError(
+          "--coordinator: --target must be cluster-power=WATTS (per-node power=/"
+          "temp= setpoints belong in campaign phases)");
+    budget = sp;
+  }
+
+  std::vector<LoopbackSpec> loopback;
+  if (cfg_.loopback_nodes) loopback = parse_loopback_specs(*cfg_.loopback_nodes);
+  const std::size_t nodes = !loopback.empty()
+                                ? loopback.size()
+                                : (cfg_.cluster_nodes ? static_cast<std::size_t>(
+                                                            *cfg_.cluster_nodes)
+                                                      : 0);
+  if (nodes == 0) throw ConfigError("--coordinator requires --nodes N or --loopback SPECS");
+  if (!loopback.empty() && cfg_.cluster_nodes &&
+      static_cast<std::size_t>(*cfg_.cluster_nodes) != loopback.size())
+    log::warn() << "--nodes is ignored under --loopback (fleet size comes from the "
+                   "spec list)";
+
+  cluster::Coordinator::Options options;
+  // Loopback fleets always take an ephemeral port: the agents learn it
+  // in-process, and CI runs cannot collide on a fixed one.
+  options.port = loopback.empty() ? cfg_.listen_port : 0;
+  options.loopback_only = !loopback.empty();
+  options.nodes = nodes;
+  options.campaign_text = raw.str();
+  options.phase_count = campaign.size();
+  options.budget = budget;
+  options.start_delay_s = cfg_.cluster_start_delay_s;
+  options.sync_tolerance_s = cfg_.sync_tolerance_s;
+  options.seed = cfg_.seed;
+  if (budget) {
+    // Fail before accepting anyone: every phase must fit the controller
+    // tick and the budget cadence the agents will run.
+    control::Setpoint probe = *budget;
+    probe.interval_s = std::max(options.ctl_interval_s, budget->interval_s);
+    for (const sched::CampaignPhase& phase : campaign.phases())
+      probe.validate_duration(phase.duration_s, "campaign phase '" + phase.name + "'");
+  }
+  auto coordinator = std::make_unique<cluster::Coordinator>(options);
+
+  out_ << "coordinator: port " << coordinator->port() << ", " << nodes << " nodes, "
+       << campaign.size() << " phases";
+  if (budget) out_ << ", " << budget->describe();
+  out_ << "\n";
+
+  // In-process loopback agents: each thread is a full fs2 agent with its
+  // own simulated SKU, telemetry bus, and wire connection — the whole
+  // protocol exercised inside one deterministic process.
+  std::vector<std::thread> threads;
+  std::vector<std::string> agent_logs(loopback.size());
+  std::vector<int> agent_codes(loopback.size(), 0);
+  const std::uint16_t port = coordinator->port();
+  for (std::size_t i = 0; i < loopback.size(); ++i) {
+    Config agent_cfg = cfg_;
+    agent_cfg.coordinator = false;
+    agent_cfg.loopback_nodes.reset();
+    agent_cfg.campaign_file.reset();
+    agent_cfg.target_spec.reset();
+    agent_cfg.record_trace.reset();
+    agent_cfg.control_log.reset();
+    agent_cfg.measurement = false;
+    agent_cfg.require_convergence = false;
+    agent_cfg.target = loopback[i].target;
+    agent_cfg.sim_freq_mhz = loopback[i].freq_mhz;
+    agent_cfg.agent_endpoint = strings::format("127.0.0.1:%u", port);
+    agent_cfg.node_name = strings::format("n%zu-%s", i, loopback[i].name.c_str());
+    agent_cfg.seed = cfg_.seed + i + 1;  // decorrelate the nodes' meter noise
+    threads.emplace_back(
+        [cfg = std::move(agent_cfg), i, &agent_logs, &agent_codes] {
+          std::ostringstream agent_out;
+          try {
+            Firestarter agent(cfg, agent_out);
+            agent_codes[i] = agent.run();
+          } catch (const std::exception& e) {
+            agent_out << "agent error: " << e.what() << "\n";
+            agent_codes[i] = 1;
+          }
+          agent_logs[i] = agent_out.str();
+        });
+  }
+
+  cluster::Coordinator::Result result;
+  std::string failure;
+  try {
+    result = coordinator->run(out_);
+  } catch (const std::exception& e) {
+    failure = e.what();
+    // Destroying the coordinator closes every connection, which errors the
+    // loopback agents out of their blocking waits — join cannot hang.
+    coordinator.reset();
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t i = 0; i < agent_logs.size(); ++i) {
+    std::istringstream lines(agent_logs[i]);
+    std::string line;
+    while (std::getline(lines, line))
+      out_ << "[n" << i << "] " << line << "\n";
+  }
+  if (!failure.empty()) throw Error("cluster run failed: " + failure);
+
+  cluster::ClusterBus::write_csv(out_, result.rows);
+  bool agents_ok = true;
+  for (std::size_t i = 0; i < agent_codes.size(); ++i)
+    if (agent_codes[i] != 0) {
+      log::error() << "loopback agent n" << i << " exited with code " << agent_codes[i];
+      agents_ok = false;
+    }
+  if (!agents_ok) return 1;
+  if (cfg_.require_convergence && !result.converged()) {
+    log::error() << "cluster run failed --require-convergence ("
+                 << (result.nodes_converged ? "" : "node setpoints; ")
+                 << (result.budget_converged ? "" : "global budget; ")
+                 << (result.sync_ok ? "" : "phase lockstep") << ")";
+    return 1;
+  }
+  return 0;
+}
+
+int Firestarter::run_agent() {
+  if (cfg_.campaign_file)
+    log::warn() << "--campaign is ignored under --agent (the coordinator "
+                   "distributes the campaign)";
+  if (cfg_.target_spec)
+    log::warn() << "--target is ignored under --agent (setpoints come from the "
+                   "campaign or the coordinator's budget)";
+  cluster::AgentSession::Options options;
+  options.endpoint = *cfg_.agent_endpoint;
+  std::string sku = to_string(cfg_.target);
+  if (cfg_.target != TargetSystem::kHost && cfg_.sim_freq_mhz > 0.0)
+    sku += strings::format("@%.0fMHz", cfg_.sim_freq_mhz);
+  options.sku = sku;
+  options.node_name =
+      cfg_.node_name ? *cfg_.node_name
+                     : strings::format("%s-%d", sku.c_str(), static_cast<int>(::getpid()));
+  cluster::AgentSession session(options);
+  return run_campaign(&session);
 }
 
 int Firestarter::run_dump_asm() {

@@ -4,6 +4,10 @@
 
 #include "firestarter/config.hpp"
 
+namespace fs2::cluster {
+class AgentSession;
+}
+
 namespace fs2::firestarter {
 
 /// Top-level orchestration: wires CPU detection, payload selection and
@@ -24,7 +28,13 @@ class Firestarter {
   int run_selftest_mode();
   int run_dump_asm();
   int run_stress_simulated();
-  int run_campaign();
+  /// `session` non-null runs the campaign as a cluster agent: telemetry
+  /// streams to the coordinator, phase transitions barrier on the fleet,
+  /// and (in budget mode) every phase runs closed-loop against the
+  /// coordinator's reapportioned per-node power setpoint.
+  int run_campaign(cluster::AgentSession* session = nullptr);
+  int run_coordinator();
+  int run_agent();
   int run_optimization();
 
   Config cfg_;

@@ -53,8 +53,11 @@ ThreadManager::~ThreadManager() { stop(); }
 void ThreadManager::start() {
   // Anchor the shared epoch immediately before release: the release-store /
   // acquire-load pair on started_ publishes the fresh epoch to every worker,
-  // so all modulation windows are counted from the same instant.
-  clock_.restart();
+  // so all modulation windows are counted from the same instant. A cluster
+  // run injects the coordinator-agreed epoch instead, aligning windows
+  // across machines as well as across workers.
+  if (options_.epoch) clock_.restart_at(*options_.epoch);
+  else clock_.restart();
   started_.store(true, std::memory_order_release);
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -34,6 +35,13 @@ struct RunOptions {
   /// wave with offset = period/workers keeps exactly one worker busy at a
   /// time); zero keeps all workers in lockstep.
   double phase_offset_s = 0.0;
+  /// Cluster epoch injection: anchor the modulation clock to this instant
+  /// instead of start()'s call time, so every node of a coordinated run
+  /// duty-cycles against the SAME (clock-offset-corrected) epoch and the
+  /// fleet's busy/idle windows align across machines — the in-lockstep
+  /// load swings the paper's PSU/facility experiments need. Unset keeps
+  /// the classic per-run epoch.
+  std::optional<sched::PhaseClock::Clock::time_point> epoch;
 };
 
 /// Spawns one worker per target CPU, each running the compiled stress

@@ -100,6 +100,13 @@ Campaign Campaign::parse(std::istream& in, const std::string& origin) {
     }
     if (!have_duration) throw fail("phase '" + phase.name + "' is missing duration=SEC");
 
+    // Phase names key everything downstream — summary-row attribution, the
+    // cluster layer's phase-major CSV merge, log lines. A duplicate would
+    // silently fold two phases' rows together, so reject it here.
+    for (const CampaignPhase& existing : campaign.phases_)
+      if (existing.name == phase.name)
+        throw fail("duplicate phase name '" + phase.name + "'");
+
     // Validate the profile spec now (defaults stand in for the CLI values);
     // a campaign should fail before the first phase starts stressing, not in
     // the middle of a multi-hour run. Target specs belong to the control

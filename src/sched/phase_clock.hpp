@@ -23,6 +23,15 @@ class PhaseClock {
   /// write for every worker).
   void restart() { epoch_ = Clock::now(); }
 
+  /// Anchor the epoch to an explicit instant — the cluster layer's epoch
+  /// injection: every node of a coordinated run anchors to the SAME
+  /// (clock-offset-corrected) moment, so modulation windows and phase
+  /// transitions fire in lockstep across machines, not just across the
+  /// threads of one process. The instant may be in the future (workers
+  /// then see negative elapsed time until it arrives — callers gate the
+  /// start on it) or the past. Same thread-safety contract as restart().
+  void restart_at(Clock::time_point epoch) { epoch_ = epoch; }
+
   /// Seconds since the epoch.
   double elapsed() const {
     return std::chrono::duration<double>(Clock::now() - epoch_).count();

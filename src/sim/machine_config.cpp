@@ -6,6 +6,13 @@
 
 namespace fs2::sim {
 
+MachineConfig MachineConfig::named(const std::string& sku) {
+  if (sku == "zen2") return zen2_epyc7502_2s();
+  if (sku == "haswell") return haswell_e5_2680v3_2s();
+  if (sku == "haswell-gpu") return haswell_e5_2680v3_2s(4);
+  throw ConfigError("unknown machine SKU '" + sku + "' (zen2, haswell, haswell-gpu)");
+}
+
 double MachineConfig::volts_at(double mhz) const {
   if (pstates.empty()) throw Error("MachineConfig: no P-states defined");
   if (mhz <= pstates.front().mhz) return pstates.front().volts;

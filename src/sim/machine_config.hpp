@@ -136,6 +136,11 @@ struct MachineConfig {
   /// The Fig. 2 system: 2x Intel Xeon E5-2680 v3 (Haswell-EP) at 2000 MHz,
   /// optionally with 4x NVIDIA K80.
   static MachineConfig haswell_e5_2680v3_2s(int gpus = 0);
+
+  /// Per-node config lookup by SKU name ("zen2", "haswell", "haswell-gpu")
+  /// — how heterogeneous cluster fleets (--loopback specs, agent SKUs) name
+  /// their members. Throws fs2::ConfigError on unknown names.
+  static MachineConfig named(const std::string& sku);
 };
 
 }  // namespace fs2::sim

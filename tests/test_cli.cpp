@@ -283,6 +283,92 @@ TEST(Cli, RecordTraceReplaysThroughTraceProfile) {
   EXPECT_NE(replay.output.find("trace:"), std::string::npos);
 }
 
+/// Mean column of the measurement-CSV row for `metric` attributed to
+/// `phase` (empty = the first row for the metric).
+double csv_row_mean(const std::string& output, const std::string& metric,
+                    const std::string& phase) {
+  std::size_t pos = output.find(metric + ",");
+  while (pos != std::string::npos) {
+    const std::size_t eol = output.find('\n', pos);
+    const std::string line = output.substr(pos, eol - pos);
+    if (phase.empty() || line.find("," + phase) != std::string::npos) {
+      std::size_t field = 0;
+      for (int commas = 0; commas < 3; ++commas) field = line.find(',', field) + 1;
+      return std::stod(line.substr(field));
+    }
+    pos = output.find(metric + ",", eol);
+  }
+  return -1.0;
+}
+
+TEST(Cli, RecordedCampaignTraceReplaysAchievedLevels) {
+  // Close the record -> replay loop quantitatively: a controlled campaign's
+  // achieved duty-cycle trace, replayed open-loop, must reproduce the
+  // achieved-level series — not merely parse.
+  {
+    std::ofstream campaign("/tmp/fs2_cli_rr.campaign");
+    campaign << "phase name=low  duration=20 target=power=200W\n"
+                "phase name=high duration=20 target=power=320W\n";
+  }
+  const CliResult record = run_cli(
+      "--simulate=zen2 --freq 1500 --campaign /tmp/fs2_cli_rr.campaign "
+      "--record-trace /tmp/fs2_cli_rr_trace.csv --log-level warn");
+  ASSERT_EQ(record.exit_code, 0);
+  const double low = csv_row_mean(record.output, "load-level", "low");
+  const double high = csv_row_mean(record.output, "load-level", "high");
+  ASSERT_GT(low, 0.0);
+  ASSERT_GT(high, low);  // 320 W needs a higher duty cycle than 200 W
+
+  const CliResult replay = run_cli(
+      "--simulate=zen2 --freq 1500 -t 40 "
+      "--load-profile trace:file=/tmp/fs2_cli_rr_trace.csv "
+      "--measurement --start-delta=0 --stop-delta=0 --log-level warn");
+  ASSERT_EQ(replay.exit_code, 0);
+  const double replayed = csv_row_mean(replay.output, "load-level", "");
+  ASSERT_GT(replayed, 0.0);
+  // The replayed 40 s mean must match the recorded campaign's
+  // duration-weighted mean level (equal 20 s phases -> plain average).
+  // Tolerance covers trim differences and breakpoint collapsing.
+  EXPECT_NEAR(replayed, (low + high) / 2.0, 0.03) << replay.output;
+}
+
+TEST(Cli, ClusterPowerWithoutCoordinatorExitsTwo) {
+  const CliResult r = run_cli("--simulate=zen2 -t 10 --target cluster-power=500W");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--coordinator"), std::string::npos);
+}
+
+TEST(Cli, CoordinatorWithoutCampaignExitsTwo) {
+  const CliResult r = run_cli("--coordinator --nodes 2");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("requires --campaign"), std::string::npos);
+}
+
+TEST(Cli, LoopbackClusterSmoke) {
+  {
+    std::ofstream campaign("/tmp/fs2_cli_cluster.campaign");
+    campaign << "phase name=half duration=10 profile=constant:50\n";
+  }
+  const CliResult r = run_cli(
+      "--loopback zen2@1500,haswell@2000 --campaign /tmp/fs2_cli_cluster.campaign "
+      "--log-level warn");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("metric,unit,samples,mean"), std::string::npos);
+  EXPECT_NE(r.output.find(",half,n0-zen2"), std::string::npos);
+  EXPECT_NE(r.output.find(",half,n1-haswell"), std::string::npos);
+  EXPECT_NE(r.output.find("cluster-power,W"), std::string::npos);
+  EXPECT_NE(r.output.find("start spread"), std::string::npos);
+}
+
+TEST(Cli, HelpListsClusterFlags) {
+  const CliResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--coordinator"), std::string::npos);
+  EXPECT_NE(r.output.find("--agent HOST:PORT"), std::string::npos);
+  EXPECT_NE(r.output.find("--loopback"), std::string::npos);
+  EXPECT_NE(r.output.find("cluster-power=WATTS"), std::string::npos);
+}
+
 TEST(Cli, HostRegisterDump) {
   const CliResult r = run_cli(
       "-t 0.4 --threads 1 --dump-registers=0.2 --dump-path /tmp/fs2_cli_regs.dump "

@@ -1,0 +1,531 @@
+// Tests of the cluster orchestration subsystem: wire encoding, framed TCP
+// transport, RTT-compensated clock sync, budget apportioning, the
+// coordinator-side telemetry merge, and the full loopback fleet —
+// coordinator plus heterogeneous in-process sim agents exercising the
+// whole protocol over real localhost sockets, deterministically.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "cluster/agent.hpp"
+#include "cluster/clock_sync.hpp"
+#include "cluster/cluster_bus.hpp"
+#include "cluster/coordinator.hpp"
+#include "cluster/messages.hpp"
+#include "cluster/remote_sink.hpp"
+#include "cluster/transport.hpp"
+#include "cluster/wire.hpp"
+#include "control/budget.hpp"
+#include "firestarter/config.hpp"
+#include "firestarter/firestarter.hpp"
+#include "sim/machine_config.hpp"
+
+namespace {
+
+using namespace fs2;
+using namespace fs2::cluster;
+
+// ---- wire -------------------------------------------------------------------
+
+TEST(Wire, RoundTripsPrimitives) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-273.15);
+  w.str("fs2");
+  w.str("");
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), -273.15);
+  EXPECT_EQ(r.str(), "fs2");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, TruncatedReadThrows) {
+  WireWriter w;
+  w.u32(7);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u8(), WireError);
+  // A string length pointing past the end must not read out of bounds.
+  WireWriter bad;
+  bad.u32(1000);  // claims a 1000-byte string with no bytes following
+  WireReader r2(bad.bytes());
+  EXPECT_THROW(r2.str(), WireError);
+}
+
+// ---- messages ---------------------------------------------------------------
+
+TEST(Messages, CampaignRoundTrip) {
+  CampaignMsg msg;
+  msg.campaign_text = "phase name=x duration=5\n";
+  msg.has_budget = 1;
+  msg.initial_setpoint_w = 250.0;
+  msg.ctl_interval_s = 0.25;
+  msg.budget_interval_s = 0.5;
+  msg.budget_band = 0.02;
+  const Frame frame = msg.encode();
+  EXPECT_EQ(frame.type, MessageType::kCampaign);
+  WireReader r(frame.payload);
+  const CampaignMsg back = CampaignMsg::decode(r);
+  EXPECT_EQ(back.campaign_text, msg.campaign_text);
+  EXPECT_EQ(back.has_budget, 1);
+  EXPECT_DOUBLE_EQ(back.initial_setpoint_w, 250.0);
+  EXPECT_DOUBLE_EQ(back.budget_interval_s, 0.5);
+}
+
+TEST(Messages, SampleBatchRoundTrip) {
+  SampleBatchMsg msg;
+  msg.channel_id = 3;
+  for (int i = 0; i < 300; ++i) {
+    msg.times_s.push_back(i * 0.05);
+    msg.values.push_back(100.0 + i);
+  }
+  const Frame frame = msg.encode();
+  WireReader r(frame.payload);
+  const SampleBatchMsg back = SampleBatchMsg::decode(r);
+  ASSERT_EQ(back.times_s.size(), 300u);
+  EXPECT_DOUBLE_EQ(back.times_s[299], 299 * 0.05);
+  EXPECT_DOUBLE_EQ(back.values[0], 100.0);
+}
+
+TEST(Messages, SampleBatchRejectsHostileCount) {
+  // A batch claiming 2^31 samples with a tiny payload must throw, not
+  // allocate gigabytes.
+  WireWriter w;
+  w.u32(1);            // channel
+  w.u32(0x80000000u);  // sample count
+  WireReader r(w.bytes());
+  EXPECT_THROW(SampleBatchMsg::decode(r), WireError);
+}
+
+TEST(Messages, PhaseBracketRoundTrip) {
+  PhaseBracketMsg msg;
+  msg.is_begin = 1;
+  msg.phase_index = 2;
+  msg.phase_name = "swing";
+  msg.duration_s = 30.0;
+  msg.time_offset_s = 40.0;
+  msg.start_delta_s = 5.0;
+  msg.stop_delta_s = 2.0;
+  msg.epoch_elapsed_s = 40.123;
+  const Frame frame = msg.encode();
+  WireReader r(frame.payload);
+  const PhaseBracketMsg back = PhaseBracketMsg::decode(r);
+  EXPECT_EQ(back.phase_index, 2u);
+  EXPECT_EQ(back.phase_name, "swing");
+  EXPECT_DOUBLE_EQ(back.epoch_elapsed_s, 40.123);
+}
+
+// ---- transport --------------------------------------------------------------
+
+TEST(Transport, FramesRoundTripOverLoopback) {
+  Listener listener(0, /*loopback_only=*/true);
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread client([port = listener.port()] {
+    Connection conn = Connection::connect("127.0.0.1:" + std::to_string(port));
+    HelloMsg hello;
+    hello.node_name = "tester";
+    hello.sku = "sim-zen2";
+    conn.send(hello.encode());
+    const auto reply = conn.recv(5.0);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MessageType::kShutdown);
+  });
+
+  Connection server = listener.accept(5.0);
+  const auto frame = server.recv(5.0);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, MessageType::kHello);
+  WireReader r(frame->payload);
+  EXPECT_EQ(HelloMsg::decode(r).node_name, "tester");
+  ShutdownMsg shutdown;
+  server.send(shutdown.encode());
+  client.join();
+}
+
+TEST(Transport, PeerDisconnectThrowsWireError) {
+  Listener listener(0, /*loopback_only=*/true);
+  std::thread client([port = listener.port()] {
+    Connection conn = Connection::connect("127.0.0.1:" + std::to_string(port));
+    // Close immediately without sending a frame.
+  });
+  Connection server = listener.accept(5.0);
+  client.join();
+  EXPECT_THROW(server.recv(5.0), WireError);
+}
+
+TEST(Transport, AcceptTimesOutWithClearError) {
+  Listener listener(0, /*loopback_only=*/true);
+  try {
+    listener.accept(0.05);
+    FAIL() << "expected a timeout error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no agent connected"), std::string::npos);
+  }
+}
+
+// ---- clock sync -------------------------------------------------------------
+
+TEST(ClockSync, LoopbackOffsetIsTiny) {
+  Listener listener(0, /*loopback_only=*/true);
+  std::thread agent([port = listener.port()] {
+    Connection conn = Connection::connect("127.0.0.1:" + std::to_string(port));
+    // Answer probes until the coordinator side closes.
+    for (;;) {
+      std::optional<Frame> frame;
+      try {
+        frame = conn.recv(5.0);
+      } catch (const WireError&) {
+        return;
+      }
+      if (!frame || frame->type != MessageType::kSyncProbe) return;
+      WireReader r(frame->payload);
+      const SyncProbeMsg probe = SyncProbeMsg::decode(r);
+      SyncReplyMsg reply;
+      reply.seq = probe.seq;
+      reply.t_coord_s = probe.t_coord_s;
+      reply.t_agent_s = local_clock_s();
+      conn.send(reply.encode());
+    }
+  });
+  {
+    Connection conn = listener.accept(5.0);
+    const ClockSyncResult sync = run_clock_sync(conn, 8);
+    EXPECT_EQ(sync.rounds, 8);
+    EXPECT_GT(sync.rtt_s, 0.0);
+    EXPECT_LT(sync.rtt_s, 0.1);
+    // Same process, same steady clock: the estimated offset must be
+    // bounded by the round trip.
+    EXPECT_LT(std::abs(sync.offset_s), sync.rtt_s);
+  }
+  agent.join();
+}
+
+// ---- budget apportioner -----------------------------------------------------
+
+TEST(Budget, AssignmentsSumToBudgetAndFollowAchieved) {
+  control::BudgetApportioner budget(600.0, 2);
+  EXPECT_DOUBLE_EQ(budget.initial_share_w(), 300.0);
+  // Node 0 delivers more than node 1: its share grows proportionally.
+  const double w0 = budget.on_report(0, 400.0);
+  // total = 400 + 300 (node 1 assumed at initial share) = 700
+  EXPECT_NEAR(w0, 400.0 * 600.0 / 700.0, 1e-9);
+  const double w1 = budget.on_report(1, 200.0);
+  EXPECT_NEAR(w1, 200.0 * 600.0 / 600.0, 1e-9);
+  EXPECT_NEAR(budget.total_achieved_w(), 600.0, 1e-9);
+}
+
+TEST(Budget, AllIdleFleetFallsBackToEqualShares) {
+  control::BudgetApportioner budget(500.0, 4);
+  EXPECT_DOUBLE_EQ(budget.on_report(2, 0.0), 125.0);
+}
+
+TEST(Budget, ConvergenceJudgesTrailingWindow) {
+  control::BudgetApportioner budget(500.0, 2);
+  budget.begin_window();
+  EXPECT_FALSE(budget.converged(0.02));  // no data yet
+  // Ramp far from target, then settle on it: trailing window forgives the
+  // ramp.
+  for (int i = 0; i < 10; ++i) {
+    budget.on_report(0, 100.0);
+    budget.on_report(1, 100.0);
+  }
+  EXPECT_FALSE(budget.converged(0.02));
+  for (int i = 0; i < 60; ++i) {
+    budget.on_report(0, 251.0);
+    budget.on_report(1, 250.0);
+  }
+  EXPECT_TRUE(budget.converged(0.02));
+  EXPECT_NEAR(budget.trailing_total_w(), 501.0, 1.0);
+  // A fresh window forgets the settled history.
+  budget.begin_window();
+  EXPECT_FALSE(budget.converged(0.02));
+}
+
+TEST(Budget, SetpointParsesClusterPower) {
+  const control::Setpoint sp = control::Setpoint::parse("cluster-power=2000W,band=5");
+  EXPECT_EQ(sp.variable, control::ControlVariable::kClusterPower);
+  EXPECT_DOUBLE_EQ(sp.value, 2000.0);
+  EXPECT_DOUBLE_EQ(sp.band, 0.05);
+  EXPECT_DOUBLE_EQ(sp.interval_s, 0.5);  // cluster default cadence
+  EXPECT_THROW(control::Setpoint::parse("cluster-power=0W"), ConfigError);
+}
+
+// ---- cluster bus ------------------------------------------------------------
+
+ChannelMsg make_channel(std::uint32_t id, const std::string& name, const std::string& unit) {
+  ChannelMsg msg;
+  msg.channel_id = id;
+  msg.name = name;
+  msg.unit = unit;
+  return msg;
+}
+
+PhaseBracketMsg make_bracket(bool begin, std::uint32_t index, const std::string& name,
+                             double epoch_elapsed_s) {
+  PhaseBracketMsg msg;
+  msg.is_begin = begin ? 1 : 0;
+  msg.phase_index = index;
+  msg.phase_name = name;
+  msg.duration_s = 10.0;
+  msg.epoch_elapsed_s = epoch_elapsed_s;
+  return msg;
+}
+
+SampleBatchMsg make_batch(std::uint32_t id, std::initializer_list<double> values) {
+  SampleBatchMsg msg;
+  msg.channel_id = id;
+  double t = 0.0;
+  for (double v : values) {
+    msg.times_s.push_back(t += 1.0);
+    msg.values.push_back(v);
+  }
+  return msg;
+}
+
+TEST(ClusterBusTest, MergesPerNodeRowsAndAggregates) {
+  ClusterBus bus({"alpha", "beta"});
+  for (std::size_t node = 0; node < 2; ++node) {
+    bus.on_channel(node, make_channel(0, "sim-wall-power", "W"));
+    bus.on_channel(node, make_channel(1, "sim-package-temp", "degC"));
+  }
+  bus.on_bracket(0, make_bracket(true, 0, "hold", 1.001));
+  bus.on_bracket(1, make_bracket(true, 0, "hold", 1.004));
+  bus.on_samples(0, make_batch(0, {100.0, 110.0, 120.0}));
+  bus.on_samples(1, make_batch(0, {200.0, 210.0, 220.0}));
+  bus.on_samples(0, make_batch(1, {50.0, 55.0, 60.0}));
+  bus.on_samples(1, make_batch(1, {70.0, 65.0, 40.0}));
+  bus.on_bracket(0, make_bracket(false, 0, "hold", 11.0));
+  bus.on_bracket(1, make_bracket(false, 0, "hold", 11.0));
+  bus.finish();
+
+  const auto rows = bus.merged_rows();
+  auto find = [&rows](const std::string& name, const std::string& node) {
+    for (const ClusterBus::Row& row : rows)
+      if (row.summary.name == name && row.node == node) return row.summary;
+    ADD_FAILURE() << "missing row " << name << " / " << node;
+    return metrics::Summary{};
+  };
+  EXPECT_NEAR(find("sim-wall-power", "alpha").mean, 110.0, 1e-9);
+  EXPECT_NEAR(find("sim-wall-power", "beta").mean, 210.0, 1e-9);
+  // Cluster power: per-index sums 300/320/340.
+  const metrics::Summary power = find("cluster-power", "cluster");
+  EXPECT_EQ(power.samples, 3u);
+  EXPECT_NEAR(power.mean, 320.0, 1e-9);
+  EXPECT_NEAR(power.max, 340.0, 1e-9);
+  // Cluster temp: per-index maxes 70/65/60.
+  const metrics::Summary temp = find("cluster-temp-max", "cluster");
+  EXPECT_NEAR(temp.mean, 65.0, 1e-9);
+  EXPECT_NEAR(temp.min, 60.0, 1e-9);
+
+  ASSERT_EQ(bus.phase_sync().size(), 1u);
+  EXPECT_EQ(bus.phase_sync()[0].name, "hold");
+  EXPECT_NEAR(bus.phase_sync()[0].spread_s(), 0.003, 1e-9);
+}
+
+TEST(ClusterBusTest, NonParticipantDoesNotStallAggregates) {
+  // Node beta has no power channel: cluster-power is alpha alone.
+  ClusterBus bus({"alpha", "beta"});
+  bus.on_channel(0, make_channel(0, "sim-wall-power", "W"));
+  bus.on_channel(1, make_channel(0, "load-level", "fraction"));
+  bus.on_bracket(0, make_bracket(true, 0, "p", 0.0));
+  bus.on_bracket(1, make_bracket(true, 0, "p", 0.0));
+  bus.on_samples(0, make_batch(0, {100.0, 120.0}));
+  bus.on_samples(1, make_batch(0, {0.5, 0.5}));
+  bus.on_bracket(0, make_bracket(false, 0, "p", 2.0));
+  bus.on_bracket(1, make_bracket(false, 0, "p", 2.0));
+  bus.finish();
+  for (const ClusterBus::Row& row : bus.merged_rows())
+    if (row.summary.name == "cluster-power") {
+      EXPECT_NEAR(row.summary.mean, 110.0, 1e-9);
+      return;
+    }
+  FAIL() << "cluster-power row missing";
+}
+
+TEST(ClusterBusTest, ChannelRegisteredMidPhaseStillAggregates) {
+  // Host agents register sensor channels from inside the first phase (the
+  // begin bracket is on the wire before the metric set spins up). The
+  // stream must still aggregate that phase and must not leak its samples
+  // into the next one.
+  ClusterBus bus({"alpha"});
+  bus.on_bracket(0, make_bracket(true, 0, "p1", 0.0));
+  bus.on_channel(0, make_channel(0, "sysfs-powercap-rapl", "W"));
+  bus.on_samples(0, make_batch(0, {100.0, 120.0}));
+  bus.on_bracket(0, make_bracket(false, 0, "p1", 2.0));
+  bus.on_bracket(0, make_bracket(true, 1, "p2", 3.0));
+  bus.on_samples(0, make_batch(0, {200.0, 200.0}));
+  bus.on_bracket(0, make_bracket(false, 1, "p2", 5.0));
+  bus.finish();
+  const auto rows = bus.merged_rows();
+  double p1 = -1.0, p2 = -1.0;
+  for (const ClusterBus::Row& row : rows) {
+    if (row.summary.name != "cluster-power") continue;
+    if (row.summary.phase == "p1") p1 = row.summary.mean;
+    if (row.summary.phase == "p2") p2 = row.summary.mean;
+    EXPECT_EQ(row.summary.samples, 2u);  // no cross-phase contamination
+  }
+  EXPECT_NEAR(p1, 110.0, 1e-9);
+  EXPECT_NEAR(p2, 200.0, 1e-9);
+}
+
+TEST(ClusterBusTest, OutOfOrderBracketThrows) {
+  ClusterBus bus({"alpha"});
+  EXPECT_THROW(bus.on_bracket(0, make_bracket(true, 1, "p", 0.0)), WireError);
+  EXPECT_THROW(bus.on_samples(0, make_batch(7, {1.0})), WireError);
+}
+
+// ---- per-node machine configs -----------------------------------------------
+
+TEST(NodeConfigs, NamedSkusAreGenuinelyHeterogeneous) {
+  // The loopback acceptance fleet mixes these two: they must model
+  // different machines, or "heterogeneous SKUs" tests nothing.
+  const sim::MachineConfig zen2 = sim::MachineConfig::named("zen2");
+  const sim::MachineConfig haswell = sim::MachineConfig::named("haswell");
+  EXPECT_NE(zen2.total_cores(), haswell.total_cores());
+  EXPECT_NE(zen2.power.active_cycle_nj, haswell.power.active_cycle_nj);
+  EXPECT_EQ(sim::MachineConfig::named("haswell-gpu").gpu.count, 4);
+  EXPECT_THROW(sim::MachineConfig::named("epyc9754"), ConfigError);
+}
+
+// ---- loopback fleet (end to end) --------------------------------------------
+
+std::string write_campaign(const char* path, const char* text) {
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+/// Mean value of the merged-CSV row for (metric, phase, node).
+double csv_mean(const std::string& output, const std::string& metric,
+                const std::string& phase, const std::string& node) {
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(metric + ",", 0) != 0) continue;
+    if (line.find("," + phase + "," + node) == std::string::npos) continue;
+    // metric,unit,samples,mean,...
+    std::size_t pos = 0;
+    for (int commas = 0; commas < 3; ++commas) pos = line.find(',', pos) + 1;
+    return std::stod(line.substr(pos));
+  }
+  return -1.0;
+}
+
+TEST(LoopbackFleet, HeterogeneousBudgetCampaignConvergesInLockstep) {
+  const std::string campaign = write_campaign("/tmp/fs2_cluster_accept.campaign",
+                                              "phase name=ramp duration=12\n"
+                                              "phase name=hold duration=16\n"
+                                              "phase name=cool duration=12\n");
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "zen2@1500,haswell@2000";
+  cfg.coordinator = true;
+  cfg.campaign_file = campaign;
+  cfg.target_spec = "cluster-power=500W";
+  cfg.require_convergence = true;
+  cfg.log_level = "warn";
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  const int code = app.run();
+  const std::string output = out.str();
+  EXPECT_EQ(code, 0) << output;
+
+  // Merged CSV: per-node and cluster-aggregate rows for every phase.
+  for (const char* phase : {"ramp", "hold", "cool"}) {
+    EXPECT_GT(csv_mean(output, "sim-wall-power", phase, "n0-zen2"), 0.0) << output;
+    EXPECT_GT(csv_mean(output, "sim-wall-power", phase, "n1-haswell"), 0.0) << output;
+    const double cluster = csv_mean(output, "cluster-power", phase, "cluster");
+    // The global budget holds on every phase: the cluster sum within the
+    // 2 % band of 500 W (plus a little slack for the whole-phase mean,
+    // which includes the ramp-in the trailing-window verdict excludes).
+    EXPECT_NEAR(cluster, 500.0, 0.04 * 500.0) << output;
+    // The aggregate is consistent with its parts.
+    const double parts = csv_mean(output, "sim-wall-power", phase, "n0-zen2") +
+                         csv_mean(output, "sim-wall-power", phase, "n1-haswell");
+    EXPECT_NEAR(cluster, parts, 0.02 * parts) << output;
+  }
+
+  // Lockstep: the run reports per-phase start spreads and none exceeded the
+  // tolerance (which would both flag the line and fail the exit code).
+  EXPECT_NE(output.find("start spread"), std::string::npos) << output;
+  EXPECT_EQ(output.find("exceeds tolerance"), std::string::npos) << output;
+  EXPECT_NE(output.find("cluster power"), std::string::npos) << output;
+  EXPECT_EQ(output.find("NOT converged"), std::string::npos) << output;
+}
+
+TEST(LoopbackFleet, OpenLoopCampaignMergesWithoutBudget) {
+  const std::string campaign = write_campaign("/tmp/fs2_cluster_open.campaign",
+                                              "phase name=half duration=10 "
+                                              "profile=constant:50\n");
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "zen2@1500,haswell@2000";
+  cfg.coordinator = true;
+  cfg.campaign_file = campaign;
+  cfg.log_level = "warn";
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  EXPECT_EQ(app.run(), 0) << out.str();
+  const std::string output = out.str();
+  // Both nodes ran the same 50 % schedule; the cluster row sums their power.
+  EXPECT_NEAR(csv_mean(output, "load-level", "half", "n0-zen2"), 0.5, 1e-6) << output;
+  EXPECT_NEAR(csv_mean(output, "load-level", "half", "n1-haswell"), 0.5, 1e-6) << output;
+  const double parts = csv_mean(output, "sim-wall-power", "half", "n0-zen2") +
+                       csv_mean(output, "sim-wall-power", "half", "n1-haswell");
+  EXPECT_NEAR(csv_mean(output, "cluster-power", "half", "cluster"), parts, 0.02 * parts)
+      << output;
+}
+
+TEST(LoopbackFleet, UnreachableBudgetFailsRequireConvergence) {
+  const std::string campaign = write_campaign("/tmp/fs2_cluster_unreach.campaign",
+                                              "phase name=hold duration=10\n");
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "zen2@1500,haswell@2000";
+  cfg.coordinator = true;
+  cfg.campaign_file = campaign;
+  // Both SKUs flat out cannot reach 5 kW.
+  cfg.target_spec = "cluster-power=5000W";
+  cfg.require_convergence = true;
+  cfg.log_level = "error";
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  EXPECT_EQ(app.run(), 1) << out.str();
+}
+
+TEST(LoopbackFleet, RejectsHostSpecs) {
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "host,zen2";
+  cfg.coordinator = true;
+  cfg.campaign_file = write_campaign("/tmp/fs2_cluster_host.campaign",
+                                     "phase name=p duration=5\n");
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  EXPECT_THROW(app.run(), ConfigError);
+}
+
+TEST(Coordinator, RequiresCampaignAndNodes) {
+  firestarter::Config cfg;
+  cfg.coordinator = true;
+  std::ostringstream out;
+  {
+    firestarter::Firestarter app(cfg, out);
+    EXPECT_THROW(app.run(), ConfigError);  // no campaign
+  }
+  cfg.campaign_file = write_campaign("/tmp/fs2_cluster_nonode.campaign",
+                                     "phase name=p duration=5\n");
+  {
+    firestarter::Firestarter app(cfg, out);
+    EXPECT_THROW(app.run(), ConfigError);  // no --nodes / --loopback
+  }
+}
+
+}  // namespace

@@ -430,6 +430,26 @@ TEST(TraceRecorder, WrittenFilesTolerateExactlyOneHeaderRow) {
   std::remove(path.string().c_str());
 }
 
+TEST(FeedbackLoop, SetTargetRetunesMidRun) {
+  // Cluster mode: the coordinator reassigns the setpoint while the loop is
+  // running; subsequent ticks regulate (and report) against the new value.
+  Setpoint sp;
+  sp.variable = ControlVariable::kPower;
+  sp.value = 100.0;
+  auto profile = std::make_shared<ControlledProfile>(0.5);
+  FeedbackLoop loop(sp, profile, /*plant_scale=*/200.0, /*initial_level=*/0.5);
+  loop.tick(0.25, 100.0);  // on target: no correction pressure
+  loop.set_target(150.0);
+  EXPECT_DOUBLE_EQ(loop.setpoint().value, 150.0);
+  const double level = loop.tick(0.5, 100.0);  // now 50 W short
+  EXPECT_GT(level, profile->level() - 1e-12);  // commanded upward
+  EXPECT_GT(level, 0.5);
+  // Convergence judges against the NEW target.
+  for (int i = 2; i < 40; ++i) loop.tick(0.25 * (i + 1), 150.0);
+  EXPECT_TRUE(loop.converged(5.0));
+  EXPECT_THROW(loop.set_target(0.0), Error);
+}
+
 TEST(TraceRecorder, RoundTripsThroughTraceProfile) {
   sched::TraceRecorder recorder;
   recorder.record(0.0, 0.2);

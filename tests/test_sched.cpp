@@ -368,6 +368,20 @@ TEST(Campaign, RejectsMalformedFiles) {
   expect_campaign_error("phase name=ok duration=5\nphase duration=bad\n", "line 2");
 }
 
+TEST(Campaign, RejectsDuplicatePhaseNames) {
+  // Phase names key summary-row attribution and the cluster CSV merge; a
+  // duplicate would silently fold two phases' rows together.
+  expect_campaign_error("phase name=hold duration=5\nphase name=hold duration=5\n",
+                        "duplicate phase name 'hold'");
+  // Defaulted names collide with explicit ones too ("phase2" is the default
+  // for the second line).
+  expect_campaign_error("phase name=phase2 duration=5\nphase duration=5\n",
+                        "duplicate phase name 'phase2'");
+  // Same name on different campaigns is fine — state must not leak.
+  std::istringstream ok("phase name=hold duration=5\n");
+  EXPECT_EQ(Campaign::parse(ok, "<test>").size(), 1u);
+}
+
 TEST(Campaign, ParsesTargetThreadsAndFreqKeys) {
   std::istringstream in(R"(phase name=low  duration=30 target=power=200W
 phase name=high duration=30 target=temp=85C,kp=2 threads=32 freq=2200
