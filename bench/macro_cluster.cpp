@@ -1,0 +1,347 @@
+// Macro benchmark for the cluster data plane — the repo's first recorded
+// perf trajectory (BENCH_cluster.json, emitted by scripts/bench_report.sh).
+//
+// Three numbers, each covering one layer of the fleet sample path:
+//
+//   data_plane_samples_per_s   end-to-end samples/sec through the product
+//                              pipeline: TelemetryBus::publish -> RemoteSink
+//                              batching -> wire encode -> loopback TCP ->
+//                              frame decode -> ClusterBus merge (per-node
+//                              summary replay + cluster aggregates)
+//   transport_frames_per_s     one-way small-frame throughput of the framed
+//                              transport (budget-report-sized messages) —
+//                              the protocol's per-frame overhead floor
+//   fleet                      wall seconds for full loopback fleet runs
+//                              (coordinator + N in-process sim agents over
+//                              real TCP, global power budget) at increasing
+//                              fleet sizes — the scaling curve
+//
+// Standalone driver (not google-benchmark): the product pipeline needs
+// threads and sockets per iteration, and the output has to be merged into a
+// JSON artifact; a fixed workload with a wall clock is the honest measure.
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_bus.hpp"
+#include "cluster/messages.hpp"
+#include "cluster/remote_sink.hpp"
+#include "cluster/transport.hpp"
+#include "firestarter/config.hpp"
+#include "firestarter/firestarter.hpp"
+#include "telemetry/bus.hpp"
+#include "util/strings.hpp"
+
+using namespace fs2;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One coordinator-side consumer: drains frames from `conn` into a
+/// single-node ClusterBus exactly the way Coordinator::handle_frame does,
+/// until the sender's shutdown sentinel arrives.
+void drain_into_bus(cluster::Connection& conn, cluster::ClusterBus& bus) {
+  cluster::Frame frame;
+  cluster::SampleBatchMsg batch;
+  for (;;) {
+    if (!conn.recv_into(frame, /*timeout_s=*/-1.0)) return;
+    cluster::WireReader reader(frame.payload);
+    switch (frame.type) {
+      case cluster::MessageType::kChannel:
+        bus.on_channel(0, cluster::ChannelMsg::decode(reader));
+        break;
+      case cluster::MessageType::kSampleBatch:
+        cluster::SampleBatchMsg::decode_into(reader, batch);
+        bus.on_samples(0, batch);
+        break;
+      case cluster::MessageType::kPhaseBracket:
+        bus.on_bracket(0, cluster::PhaseBracketMsg::decode(reader));
+        break;
+      case cluster::MessageType::kNodeSummary:
+        bus.on_summary(0, cluster::NodeSummaryMsg::decode(reader));
+        break;
+      case cluster::MessageType::kShutdown:
+        return;
+      default:
+        return;
+    }
+  }
+}
+
+/// The data-plane workload: an open-loop fleet campaign phase on a sim
+/// agent — wall power (cluster-aggregated into cluster-power), IPC, and
+/// the achieved load level at a 500 Sa/s virtual meter rate, with the
+/// campaign's clamped trim deltas on every phase bracket. The signal is
+/// pre-generated outside the timed region so the measurement covers the
+/// pipeline, not the synthetic sine generator.
+struct DataPlaneWorkload {
+  std::size_t phases;
+  double phase_s;
+  std::size_t per_phase;
+  /// One phase's publish chunks (phase-local timestamps repeat each phase),
+  /// per channel, in publish order.
+  std::vector<std::vector<telemetry::Sample>> power, ipc, load;
+
+  DataPlaneWorkload(std::size_t phases_, double phase_s_, double sample_hz)
+      : phases(phases_),
+        phase_s(phase_s_),
+        per_phase(static_cast<std::size_t>(phase_s_ * sample_hz)) {
+    constexpr std::size_t kChunk = 1024;
+    for (std::size_t at = 0; at < per_phase; at += kChunk) {
+      const std::size_t n = std::min(kChunk, per_phase - at);
+      std::vector<telemetry::Sample> cp, ci, cl;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(at + i) / sample_hz;
+        const double level = 0.5 + 0.4 * std::sin(t * 0.7);
+        cp.push_back({t, 220.0 + 180.0 * level});
+        ci.push_back({t, 1.8 * level});
+        cl.push_back({t, level});
+      }
+      power.push_back(std::move(cp));
+      ipc.push_back(std::move(ci));
+      load.push_back(std::move(cl));
+    }
+  }
+
+  std::size_t total_samples() const { return phases * per_phase * 3; }
+};
+
+/// samples/sec through publish -> RemoteSink -> wire -> ClusterBus: the
+/// coordinator side replays into per-node summaries and the cluster
+/// aggregate exactly the way Coordinator::handle_frame does. `merge=false`
+/// drops the ClusterBus consumer in favor of a decode-and-discard drain,
+/// isolating the data-plane proper (batching, framing, transport, decode)
+/// from the O(samples) summary statistics it feeds.
+double bench_data_plane(const DataPlaneWorkload& wl, bool merge) {
+  cluster::Listener listener(0, /*loopback_only=*/true);
+  cluster::Connection agent_conn = cluster::Connection::connect(
+      strings::format("127.0.0.1:%u", listener.port()));
+  cluster::Connection coord_conn = listener.accept(/*timeout_s=*/5.0);
+
+  cluster::ClusterBus bus({"n0"});
+  std::size_t drained = 0;
+  std::thread consumer([&] {
+    if (merge) {
+      drain_into_bus(coord_conn, bus);
+      return;
+    }
+    cluster::Frame frame;
+    cluster::SampleBatchMsg batch;
+    for (;;) {
+      if (!coord_conn.recv_into(frame, /*timeout_s=*/-1.0)) return;
+      if (frame.type == cluster::MessageType::kShutdown) return;
+      if (frame.type != cluster::MessageType::kSampleBatch) continue;
+      cluster::WireReader reader(frame.payload);
+      cluster::SampleBatchMsg::decode_into(reader, batch);
+      drained += batch.samples.size();
+    }
+  });
+
+  telemetry::TelemetryBus tb;
+  cluster::RemoteSink sink(&agent_conn, Clock::now());
+  tb.attach(&sink);
+  const telemetry::ChannelId power = tb.channel("sim-wall-power", "W");
+  const telemetry::ChannelId ipc = tb.channel("sim-perf-ipc", "instructions/cycle");
+  const telemetry::ChannelId load = tb.channel("load-level", "fraction");
+
+  const auto t0 = Clock::now();
+  for (std::size_t p = 0; p < wl.phases; ++p) {
+    tb.begin_phase(strings::format("p%zu", p), wl.phase_s, /*start_delta_s=*/2.5,
+                   /*stop_delta_s=*/1.0);
+    for (std::size_t chunk = 0; chunk < wl.power.size(); ++chunk) {
+      tb.publish_batch(power, wl.power[chunk]);
+      tb.publish_batch(ipc, wl.ipc[chunk]);
+      tb.publish_batch(load, wl.load[chunk]);
+    }
+    tb.end_phase();
+  }
+  tb.finish();
+  agent_conn.send(cluster::ShutdownMsg{}.encode());
+  consumer.join();
+  const double wall_s = seconds_since(t0);
+  // Only the cluster-aggregate channel (wall power) crosses as raw sample
+  // batches under the edge-summarized protocol; the other channels arrive
+  // as per-phase rows.
+  if (!merge && drained != wl.phases * wl.per_phase)
+    std::fprintf(stderr, "data-plane bench lost samples!\n");
+  return static_cast<double>(wl.total_samples()) / wall_s;
+}
+
+/// Coordinator ingest capacity: samples/sec the coordinator can ABSORB.
+/// The agent-side stream is pre-staged — the workload runs once through
+/// the real TelemetryBus + RemoteSink data plane and every emitted frame
+/// is captured into one contiguous byte buffer — then the timed pass pumps
+/// those bytes over loopback TCP while the coordinator side does its real
+/// work (frame parse, decode, ClusterBus merge). The producer cost in the
+/// timed region is a dumb write(2) loop, so the wall clock measures the
+/// coordinator, which is the component that bounds fleet size ("hundreds
+/// of agents at 500 Sa/s each").
+double bench_coordinator_capacity(const DataPlaneWorkload& wl) {
+  // ---- stage: capture the agent's wire stream --------------------------
+  std::vector<std::uint8_t> staged;
+  {
+    cluster::Listener listener(0, /*loopback_only=*/true);
+    cluster::Connection agent_conn = cluster::Connection::connect(
+        strings::format("127.0.0.1:%u", listener.port()));
+    cluster::Connection capture_conn = listener.accept(/*timeout_s=*/5.0);
+    std::thread capture([&] {
+      cluster::Frame frame;
+      cluster::WireWriter bytes;
+      for (;;) {
+        if (!capture_conn.recv_into(frame, /*timeout_s=*/-1.0)) break;
+        bytes.u32(static_cast<std::uint32_t>(frame.payload.size() + 1));
+        bytes.u8(static_cast<std::uint8_t>(frame.type));
+        bytes.raw(frame.payload.data(), frame.payload.size());
+        if (frame.type == cluster::MessageType::kShutdown) break;
+      }
+      staged = bytes.take();
+    });
+    telemetry::TelemetryBus tb;
+    cluster::RemoteSink sink(&agent_conn, Clock::now());
+    tb.attach(&sink);
+    const telemetry::ChannelId power = tb.channel("sim-wall-power", "W");
+    const telemetry::ChannelId ipc = tb.channel("sim-perf-ipc", "instructions/cycle");
+    const telemetry::ChannelId load = tb.channel("load-level", "fraction");
+    for (std::size_t p = 0; p < wl.phases; ++p) {
+      tb.begin_phase(strings::format("p%zu", p), wl.phase_s, 2.5, 1.0);
+      for (std::size_t chunk = 0; chunk < wl.power.size(); ++chunk) {
+        tb.publish_batch(power, wl.power[chunk]);
+        tb.publish_batch(ipc, wl.ipc[chunk]);
+        tb.publish_batch(load, wl.load[chunk]);
+      }
+      tb.end_phase();
+    }
+    tb.finish();
+    agent_conn.send(cluster::ShutdownMsg{}.encode());
+    capture.join();
+  }
+
+  // ---- timed: pump the staged bytes, merge on the coordinator side -----
+  cluster::Listener listener(0, /*loopback_only=*/true);
+  cluster::Connection pump_conn = cluster::Connection::connect(
+      strings::format("127.0.0.1:%u", listener.port()));
+  cluster::Connection coord_conn = listener.accept(/*timeout_s=*/5.0);
+  cluster::ClusterBus bus({"n0"});
+  const auto t0 = Clock::now();
+  std::thread pump([&] {
+    const std::uint8_t* data = staged.data();
+    std::size_t left = staged.size();
+    while (left > 0) {
+      const ssize_t n = ::send(pump_conn.fd(), data, std::min<std::size_t>(left, 262144),
+                               MSG_NOSIGNAL);
+      if (n <= 0) return;
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  });
+  drain_into_bus(coord_conn, bus);
+  pump.join();
+  const double wall_s = seconds_since(t0);
+  return static_cast<double>(wl.total_samples()) / wall_s;
+}
+
+/// One-way frames/sec for budget-report-sized messages.
+double bench_transport_frames(std::size_t frames) {
+  cluster::Listener listener(0, /*loopback_only=*/true);
+  cluster::Connection tx = cluster::Connection::connect(
+      strings::format("127.0.0.1:%u", listener.port()));
+  cluster::Connection rx = listener.accept(/*timeout_s=*/5.0);
+
+  std::size_t received = 0;
+  std::thread consumer([&] {
+    for (;;) {
+      const auto frame = rx.recv(/*timeout_s=*/-1.0);
+      if (!frame || frame->type == cluster::MessageType::kShutdown) return;
+      ++received;
+    }
+  });
+
+  const auto t0 = Clock::now();
+  cluster::BudgetReportMsg report;
+  for (std::size_t i = 0; i < frames; ++i) {
+    report.seq = static_cast<std::uint32_t>(i);
+    report.achieved_w = 240.0 + static_cast<double>(i % 16);
+    report.setpoint_w = 250.0;
+    report.level = 0.6;
+    tx.send(report.encode());
+  }
+  tx.send(cluster::ShutdownMsg{}.encode());
+  consumer.join();
+  const double wall_s = seconds_since(t0);
+  if (received != frames) std::fprintf(stderr, "transport bench lost frames!\n");
+  return static_cast<double>(frames) / wall_s;
+}
+
+/// Wall seconds for a full loopback fleet campaign under a global power
+/// budget: half zen2 @ 1500 MHz, half haswell @ 2000 MHz, 250 W per node —
+/// the heterogeneous pair of the 2-node acceptance test scaled up.
+double bench_fleet(std::size_t nodes) {
+  const std::string campaign_path = "/tmp/fs2_bench_fleet.campaign";
+  {
+    std::ofstream out(campaign_path);
+    out << "phase name=ramp duration=6\n"
+        << "phase name=hold duration=8\n";
+  }
+  std::string spec;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (!spec.empty()) spec += ",";
+    spec += (i % 2 == 0) ? "zen2@1500" : "haswell@2000";
+  }
+  firestarter::Config cfg;
+  cfg.coordinator = true;
+  cfg.loopback_nodes = spec;
+  cfg.campaign_file = campaign_path;
+  cfg.target_spec = strings::format("cluster-power=%zuW", nodes * 250);
+  cfg.log_level = "error";
+  std::ostringstream out;
+  const auto t0 = Clock::now();
+  firestarter::Firestarter app(cfg, out);
+  const int code = app.run();
+  const double wall_s = seconds_since(t0);
+  if (code != 0) std::fprintf(stderr, "fleet bench (%zu nodes) exited %d\n", nodes, code);
+  return wall_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional single argument caps the largest fleet size (CI time budget).
+  std::size_t max_fleet = 32;
+  if (argc > 1) max_fleet = static_cast<std::size_t>(std::stoul(argv[1]));
+
+  const DataPlaneWorkload workload(/*phases=*/8, /*phase_s=*/120.0, /*sample_hz=*/500.0);
+  const double coordinator = bench_coordinator_capacity(workload);
+  const double path = bench_data_plane(workload, /*merge=*/false);
+  const double merged = bench_data_plane(workload, /*merge=*/true);
+  const double frames = bench_transport_frames(/*frames=*/200000);
+
+  std::vector<std::size_t> fleet_sizes;
+  for (std::size_t n = 2; n <= max_fleet; n *= 4) fleet_sizes.push_back(n);
+
+  std::printf("{\n");
+  std::printf("  \"coordinator_samples_per_s\": %.0f,\n", coordinator);
+  std::printf("  \"data_plane_samples_per_s\": %.0f,\n", path);
+  std::printf("  \"merged_samples_per_s\": %.0f,\n", merged);
+  std::printf("  \"transport_frames_per_s\": %.0f,\n", frames);
+  std::printf("  \"fleet\": [");
+  for (std::size_t i = 0; i < fleet_sizes.size(); ++i) {
+    const double wall_s = bench_fleet(fleet_sizes[i]);
+    std::printf("%s{\"nodes\": %zu, \"wall_s\": %.2f}", i > 0 ? ", " : "",
+                fleet_sizes[i], wall_s);
+    std::fflush(stdout);
+  }
+  std::printf("]\n}\n");
+  return 0;
+}

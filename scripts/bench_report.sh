@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Cluster data-plane perf trajectory: run bench_macro_cluster against the
+# current tree, merge with the committed pre-PR baseline
+# (scripts/bench_baseline_cluster.json), and emit BENCH_cluster.json at the
+# repo root with per-metric speedups.
+#
+# The headline metric is coordinator_samples_per_s — samples/sec one
+# coordinator ingests through the RemoteSink -> ClusterBus path — because
+# coordinator capacity is what bounds fleet size. The committed numbers
+# (baseline and current measured on the same machine) show the real ratio.
+#
+# The gate compares a fresh measurement against a baseline RECORDED ON A
+# DIFFERENT MACHINE, so it is an absolute-throughput floor, not a true
+# relative regression test: the default (1.0x = "at least match the
+# pre-PR dev-machine baseline", ~11x headroom against the committed
+# current number) only trips on order-of-magnitude regressions or
+# pathologically slow runners. Developers benchmarking on the reference
+# machine should export BENCH_MIN_SPEEDUP=5 or higher.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${BENCH_BIN:-build/bench_macro_cluster}"
+MAX_FLEET="${BENCH_MAX_FLEET:-512}"
+MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-1.0}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "bench_report: $BIN not built (cmake --build build --target bench_macro_cluster)" >&2
+  exit 1
+fi
+
+current_json="$("$BIN" "$MAX_FLEET")"
+
+CURRENT_JSON="$current_json" MIN_SPEEDUP="$MIN_SPEEDUP" python3 - <<'PYEOF'
+import json, os, sys
+
+current = json.loads(os.environ["CURRENT_JSON"])
+with open("scripts/bench_baseline_cluster.json") as f:
+    baseline = json.load(f)
+
+metrics = [
+    "coordinator_samples_per_s",
+    "data_plane_samples_per_s",
+    "merged_samples_per_s",
+    "transport_frames_per_s",
+]
+speedup = {
+    m: round(current[m] / baseline[m], 2)
+    for m in metrics
+    if baseline.get(m)
+}
+
+report = {
+    "benchmark": "bench/macro_cluster.cpp (see docs/performance.md for methodology)",
+    "headline": ("coordinator_samples_per_s: samples/sec through the "
+                 "RemoteSink -> ClusterBus path (the stream is produced by "
+                 "the real RemoteSink data plane, then replayed so the "
+                 "timed region measures the coordinator side, which is "
+                 "what bounds fleet size); merged_samples_per_s is the "
+                 "same pipeline with producer+consumer timed together on "
+                 "one core, floored by the bit-identical P2/Welford "
+                 "statistics kernel"),
+    "workload": ("open-loop fleet campaign mix: 3 channels (wall power -> "
+                 "cluster-power aggregate, IPC, load level) at 500 Sa/s, "
+                 "8 phases x 120 s, campaign trim deltas 2.5 s / 1.0 s"),
+    "baseline": baseline,
+    "current": current,
+    "speedup": speedup,
+}
+with open("BENCH_cluster.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+headline = speedup.get("coordinator_samples_per_s", 0.0)
+print(f"bench_report: coordinator ingest {current['coordinator_samples_per_s']:,.0f} "
+      f"samples/s ({headline}x baseline); merged pipeline "
+      f"{speedup.get('merged_samples_per_s', 0.0)}x; wrote BENCH_cluster.json")
+
+minimum = float(os.environ["MIN_SPEEDUP"])
+if headline < minimum:
+    print(f"bench_report: coordinator speedup {headline}x below the {minimum}x gate",
+          file=sys.stderr)
+    sys.exit(1)
+PYEOF

@@ -40,4 +40,16 @@ trap 'rm -f "$campaign" "$trace"' EXIT
     --campaign examples/cluster_acceptance.campaign \
     --target cluster-power=500W --require-convergence --log-level warn
 
+# Fleet scale: 512 in-process agents on one event loop, global budget held
+# on every phase, in lockstep — the whole run must stay inside CI's time
+# budget (it takes a few seconds; the 60 s timeout is pure safety margin).
+timeout 60 ./build/fs2 --loopback zen2@1500x256,haswell@2000x256 \
+    --campaign examples/cluster_scale.campaign \
+    --target cluster-power=96000W --require-convergence \
+    --cluster-start-delay 2 --log-level warn > /dev/null
+
+# Perf trajectory: regenerate BENCH_cluster.json against the committed
+# pre-PR baseline and gate on the coordinator-ingest speedup.
+./scripts/bench_report.sh
+
 echo "verify: OK"

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string_view>
+
+namespace fs2::cluster {
+
+/// Which node channels fold into which cluster aggregate. Wall power sums
+/// (facility draw); package temperature maxes (hottest node). Both the sim
+/// channels and their host-metric equivalents participate, so a mixed
+/// sim/host fleet still merges.
+///
+/// Shared by BOTH ends of the wire: the coordinator's ClusterBus builds
+/// its aggregate streams from it, and the agent's RemoteSink consults it
+/// to decide which channels must cross as raw sample batches at all —
+/// everything else is summarized at the edge and ships as per-phase rows,
+/// which is what keeps coordinator ingest cost (and wire bandwidth)
+/// proportional to the aggregate streams, not to the fleet's full
+/// telemetry volume.
+struct AggregateRule {
+  const char* source;        ///< node channel name
+  const char* cluster_name;  ///< derived cluster stream
+  const char* unit;
+  bool is_sum;               ///< false = max
+};
+
+inline constexpr AggregateRule kAggregateRules[] = {
+    {"sim-wall-power", "cluster-power", "W", true},
+    {"sysfs-powercap-rapl", "cluster-power", "W", true},
+    {"sim-package-temp", "cluster-temp-max", "degC", false},
+    {"hwmon-coretemp", "cluster-temp-max", "degC", false},
+};
+
+inline const AggregateRule* aggregate_rule_for(std::string_view channel_name) {
+  for (const AggregateRule& rule : kAggregateRules)
+    if (channel_name == rule.source) return &rule;
+  return nullptr;
+}
+
+}  // namespace fs2::cluster

@@ -3,57 +3,28 @@
 #include <algorithm>
 #include <ostream>
 
+#include "cluster/aggregate_rules.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace fs2::cluster {
 
-namespace {
-
-/// Which node channels fold into which cluster aggregate. Wall power sums
-/// (facility draw); package temperature maxes (hottest node). Both the sim
-/// channels and their host-metric equivalents participate, so a mixed
-/// sim/host fleet still merges.
-struct AggregateRule {
-  const char* source;
-  const char* cluster_name;
-  const char* unit;
-  bool is_sum;
-};
-
-constexpr AggregateRule kRules[] = {
-    {"sim-wall-power", "cluster-power", "W", true},
-    {"sysfs-powercap-rapl", "cluster-power", "W", true},
-    {"sim-package-temp", "cluster-temp-max", "degC", false},
-    {"hwmon-coretemp", "cluster-temp-max", "degC", false},
-};
-
-const AggregateRule* rule_for(const std::string& channel_name) {
-  for (const AggregateRule& rule : kRules)
-    if (channel_name == rule.source) return &rule;
-  return nullptr;
-}
-
-}  // namespace
-
 ClusterBus::ClusterBus(std::vector<std::string> node_names) {
   nodes_.resize(node_names.size());
-  for (std::size_t i = 0; i < node_names.size(); ++i) {
+  for (std::size_t i = 0; i < node_names.size(); ++i)
     nodes_[i].name = std::move(node_names[i]);
-    nodes_[i].bus.attach(&nodes_[i].summary);
-  }
 }
 
 void ClusterBus::on_channel(std::size_t node, const ChannelMsg& msg) {
   Node& n = nodes_.at(node);
-  const telemetry::ChannelInfo info{
-      msg.name, msg.unit,
-      msg.trim_phase ? telemetry::TrimMode::kPhase : telemetry::TrimMode::kNone,
-      msg.summarize != 0};
-  n.channels[msg.channel_id] = n.bus.channel(info);
+  if (n.registered.size() <= msg.channel_id) {
+    n.registered.resize(msg.channel_id + 1, 0);
+    n.aggregate_of.resize(msg.channel_id + 1, kNoAggregate);
+  }
+  n.registered[msg.channel_id] = 1;
 
-  if (const AggregateRule* rule = rule_for(msg.name)) {
+  if (const AggregateRule* rule = aggregate_rule_for(msg.name)) {
     std::size_t index = aggregates_.size();
     for (std::size_t i = 0; i < aggregates_.size(); ++i)
       if (aggregates_[i].name == rule->cluster_name) index = i;
@@ -66,7 +37,10 @@ void ClusterBus::on_channel(std::size_t node, const ChannelMsg& msg) {
       stream.queues.resize(nodes_.size());
       aggregates_.push_back(std::move(stream));
     }
-    aggregates_[index].participating[node] = 1;
+    if (!aggregates_[index].participating[node]) {
+      aggregates_[index].participating[node] = 1;
+      ++aggregates_[index].participants;
+    }
     n.aggregate_of[msg.channel_id] = index;
     // Host agents register metric channels from inside the first phase
     // (sensors spin up after the begin bracket is on the wire), so a
@@ -88,7 +62,6 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
       throw WireError(strings::format("node %s began phase %u out of order (expected %u)",
                                       n.name.c_str(), msg.phase_index, n.phases_begun));
     ++n.phases_begun;
-    n.bus.begin_phase(msg.phase_name, msg.duration_s, msg.start_delta_s, msg.stop_delta_s);
 
     if (sync_.size() <= msg.phase_index) {
       PhaseSync sync;
@@ -115,7 +88,6 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
                                                                       msg.stop_delta_s);
     }
   } else {
-    n.bus.end_phase();
     ++n.phases_ended;
     bool all_ended = true;
     for (const Node& other : nodes_) all_ended &= other.phases_ended > agg_phase_index_;
@@ -125,18 +97,29 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
 
 void ClusterBus::on_samples(std::size_t node, const SampleBatchMsg& msg) {
   Node& n = nodes_.at(node);
-  const auto channel = n.channels.find(msg.channel_id);
-  if (channel == n.channels.end())
+  // Resolve channel and aggregate stream ONCE per batch from the flat
+  // tables; the per-sample loops below are straight-line array walks.
+  if (msg.channel_id >= n.registered.size() || !n.registered[msg.channel_id])
     throw WireError(strings::format("node %s sent samples on unregistered channel %u",
                                     n.name.c_str(), msg.channel_id));
-  for (std::size_t i = 0; i < msg.times_s.size(); ++i)
-    n.bus.publish(channel->second, msg.times_s[i], msg.values[i]);
-
-  const auto agg = n.aggregate_of.find(msg.channel_id);
-  if (agg == n.aggregate_of.end()) return;
-  AggregateStream& stream = aggregates_[agg->second];
+  const std::size_t agg = n.aggregate_of[msg.channel_id];
+  // Edge-summarized channels have no per-sample consumer here; tolerating
+  // (and dropping) their batches keeps the bus usable with senders that
+  // stream everything.
+  if (agg == kNoAggregate) return;
+  AggregateStream& stream = aggregates_[agg];
+  // Single-participant stream: every group is this node's own sample, so
+  // the alignment queue is a round trip to nowhere — feed the aggregator
+  // directly (identical values and order; sum-of-one and max-of-one are
+  // both the sample itself). Anything queued from before the phase opened
+  // drains first so arrival order is preserved.
+  if (stream.agg != nullptr && stream.participants == 1 && stream.participating[node]) {
+    if (!stream.queues[node].empty()) drain_aligned(stream);
+    stream.agg->add_batch(msg.samples.data(), msg.samples.size());
+    return;
+  }
   std::deque<telemetry::Sample>& queue = stream.queues[node];
-  for (std::size_t i = 0; i < msg.times_s.size(); ++i) {
+  for (const telemetry::Sample& sample : msg.samples) {
     if (queue.size() >= kMaxLagSamples) {
       if (!stream.warned_lag) {
         log::warn() << "cluster: node " << n.name << " is more than " << kMaxLagSamples
@@ -146,13 +129,44 @@ void ClusterBus::on_samples(std::size_t node, const SampleBatchMsg& msg) {
       }
       queue.pop_front();
     }
-    queue.push_back(telemetry::Sample{msg.times_s[i], msg.values[i]});
+    queue.push_back(sample);
   }
   drain_aligned(stream);
 }
 
+void ClusterBus::on_summary(std::size_t node, const NodeSummaryMsg& msg) {
+  Node& n = nodes_.at(node);
+  if (msg.phase_index >= phase_names_.size())
+    throw WireError(strings::format("node %s sent a summary row for unknown phase %u",
+                                    n.name.c_str(), msg.phase_index));
+  metrics::Summary row;
+  row.name = msg.name;
+  row.unit = msg.unit;
+  row.samples = msg.samples;
+  row.mean = msg.mean;
+  row.stddev = msg.stddev;
+  row.min = msg.min;
+  row.max = msg.max;
+  row.p50 = msg.p50;
+  row.p95 = msg.p95;
+  row.p99 = msg.p99;
+  row.phase = phase_names_[msg.phase_index];
+  n.rows.push_back(std::move(row));
+}
+
+std::size_t ClusterBus::queued_samples() const {
+  std::size_t total = 0;
+  for (const AggregateStream& stream : aggregates_)
+    for (const auto& queue : stream.queues) total += queue.size();
+  return total;
+}
+
 void ClusterBus::drain_aligned(AggregateStream& stream) {
   if (stream.agg == nullptr) return;
+  // Completed groups collect into a scratch batch and hit the aggregator
+  // once — the P² updates run over a contiguous span instead of a call per
+  // group.
+  drain_scratch_.clear();
   for (;;) {
     // A group is complete when every PARTICIPATING node (one that
     // registered a source channel for this stream) has an unconsumed
@@ -162,20 +176,26 @@ void ClusterBus::drain_aligned(AggregateStream& stream) {
     double max_value = 0.0;
     double time_s = 0.0;
     bool first = true;
+    bool complete = true;
     for (std::size_t node = 0; node < nodes_.size(); ++node) {
       if (!stream.participating[node]) continue;
-      if (stream.queues[node].empty()) return;  // group incomplete
+      if (stream.queues[node].empty()) {
+        complete = false;  // group incomplete
+        break;
+      }
       const telemetry::Sample& sample = stream.queues[node].front();
       sum += sample.value;
       max_value = first ? sample.value : std::max(max_value, sample.value);
       time_s = first ? sample.time_s : std::max(time_s, sample.time_s);
       first = false;
     }
-    if (first) return;  // no participants yet
+    if (!complete || first) break;  // incomplete, or no participants yet
     for (std::size_t node = 0; node < nodes_.size(); ++node)
       if (stream.participating[node]) stream.queues[node].pop_front();
-    stream.agg->add(time_s, stream.is_sum ? sum : max_value);
+    drain_scratch_.push_back(telemetry::Sample{time_s, stream.is_sum ? sum : max_value});
   }
+  if (!drain_scratch_.empty())
+    stream.agg->add_batch(drain_scratch_.data(), drain_scratch_.size());
 }
 
 void ClusterBus::close_aggregate_phase() {
@@ -209,10 +229,7 @@ void ClusterBus::close_aggregate_phase() {
   ++agg_phase_index_;
 }
 
-void ClusterBus::finish() {
-  close_aggregate_phase();
-  for (Node& node : nodes_) node.bus.finish();
-}
+void ClusterBus::finish() { close_aggregate_phase(); }
 
 std::vector<ClusterBus::Row> ClusterBus::merged_rows() const {
   std::vector<Row> rows;
@@ -220,7 +237,7 @@ std::vector<ClusterBus::Row> ClusterBus::merged_rows() const {
   // rejects duplicates), so grouping per-node rows by phase name is exact.
   for (const std::string& phase : phase_names_) {
     for (const Node& node : nodes_)
-      for (const metrics::Summary& summary : node.summary.rows())
+      for (const metrics::Summary& summary : node.rows)
         if (summary.phase == phase) rows.push_back(Row{summary, node.name});
     for (const AggregateStream& stream : aggregates_)
       for (const metrics::Summary& summary : stream.rows)

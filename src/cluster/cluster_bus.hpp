@@ -2,7 +2,6 @@
 
 #include <deque>
 #include <iosfwd>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -14,16 +13,22 @@
 
 namespace fs2::cluster {
 
-/// Coordinator-side merge hub: replays each node's streamed telemetry
-/// (channel registrations, phase brackets, sample batches) into a per-node
-/// TelemetryBus + SummarySink — the exact aggregation a local run would do
-/// — and additionally builds cluster-aggregate streams:
+/// Coordinator-side merge hub. Per-node summary rows are aggregated at the
+/// EDGE (the agent runs the same SummarySink a local run uses — identical
+/// values) and arrive as kNodeSummary rows, stored verbatim; the
+/// coordinator's own per-sample work is limited to the cluster-aggregate
+/// streams:
 ///
 ///   cluster-power    (W)    per-sample SUM across nodes of the node's wall
 ///                           power channel — the facility-level draw whose
 ///                           p99 is what trips breakers, not any one node's
 ///   cluster-temp-max (degC) per-sample MAX across nodes — the hottest
 ///                           package anywhere in the fleet
+///
+/// Only channels feeding those streams (aggregate_rules.hpp) cross the
+/// wire as sample batches, so coordinator ingest cost is O(aggregate
+/// samples + rows), not O(fleet telemetry) — the property that lets one
+/// coordinator hold hundreds of 500 Sa/s agents.
 ///
 /// Aggregate samples align by per-phase sample index: deterministic sim
 /// agents produce identical counts and timestamps per phase, and real
@@ -59,9 +64,9 @@ class ClusterBus {
   void on_channel(std::size_t node, const ChannelMsg& msg);
   void on_bracket(std::size_t node, const PhaseBracketMsg& msg);
   void on_samples(std::size_t node, const SampleBatchMsg& msg);
+  void on_summary(std::size_t node, const NodeSummaryMsg& msg);
 
-  /// Close every per-node bus and the aggregate stream (after the last
-  /// bracket has arrived).
+  /// Close the aggregate stream (after the last bracket has arrived).
   void finish();
 
   /// All finished rows, grouped phase-major: for each campaign phase in
@@ -80,17 +85,28 @@ class ClusterBus {
   /// this is ~7 minutes of skew between the fastest and slowest node.
   static constexpr std::size_t kMaxLagSamples = 8192;
 
+  /// Samples currently queued across every aggregate stream and node,
+  /// awaiting index alignment — bounded by nodes x streams x kMaxLagSamples
+  /// (tests assert the bound; operators can watch it as a skew gauge).
+  std::size_t queued_samples() const;
+
  private:
   struct AggregateStream;
 
+  /// Sentinel for the flat per-channel resolution table below.
+  static constexpr std::size_t kNoAggregate = static_cast<std::size_t>(-1);
+
   struct Node {
     std::string name;
-    telemetry::TelemetryBus bus;
-    telemetry::SummarySink summary;
-    /// remote channel id -> local bus channel id
-    std::map<std::uint32_t, telemetry::ChannelId> channels;
-    /// remote channel id -> aggregate stream index (nullopt = not aggregated)
-    std::map<std::uint32_t, std::size_t> aggregate_of;
+    /// remote channel id -> registered flag (sample batches on unknown ids
+    /// are protocol errors).
+    std::vector<char> registered;
+    /// remote channel id -> aggregate stream index (kNoAggregate = none),
+    /// flat — resolved once per batch, no associative lookups per sample.
+    std::vector<std::size_t> aggregate_of;
+    /// Edge-aggregated summary rows, arrival order (the agent's own
+    /// SummarySink order, which is what the merged CSV preserves).
+    std::vector<metrics::Summary> rows;
     std::uint32_t phases_begun = 0;
     std::uint32_t phases_ended = 0;
   };
@@ -104,6 +120,7 @@ class ClusterBus {
     std::string unit;
     bool is_sum = true;  ///< false = max
     std::vector<char> participating;  ///< per node: registered a source channel
+    std::size_t participants = 0;     ///< how many nodes participate
     std::vector<std::deque<telemetry::Sample>> queues;  ///< per node
     std::unique_ptr<telemetry::StreamingAggregator> agg; ///< current phase
     bool warned_lag = false;
@@ -112,6 +129,7 @@ class ClusterBus {
 
   std::vector<Node> nodes_;
   std::vector<AggregateStream> aggregates_;
+  std::vector<telemetry::Sample> drain_scratch_;  ///< completed-group batch
   std::vector<PhaseSync> sync_;
   std::vector<std::string> phase_names_;   ///< by phase index
   /// Trim deltas + duration of the currently aggregating phase (from the

@@ -107,7 +107,13 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
       bus_->on_channel(index, ChannelMsg::decode(reader));
       break;
     case MessageType::kSampleBatch:
-      bus_->on_samples(index, SampleBatchMsg::decode(reader));
+      // Scratch message: the sample vector's capacity survives across
+      // batches, so steady-state decode is a bounds check plus one memcpy.
+      SampleBatchMsg::decode_into(reader, batch_scratch_);
+      bus_->on_samples(index, batch_scratch_);
+      break;
+    case MessageType::kNodeSummary:
+      bus_->on_summary(index, NodeSummaryMsg::decode(reader));
       break;
     case MessageType::kPhaseBracket: {
       const PhaseBracketMsg bracket = PhaseBracketMsg::decode(reader);
@@ -162,11 +168,15 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
 }
 
 void Coordinator::event_loop(std::ostream& log) {
+  // The pollfd set is fixed after the handshake (nodes neither join nor
+  // leave mid-campaign), so it is built once and reused; only revents is
+  // reset per wakeup. One scratch frame serves every receive — the loop
+  // allocates nothing per frame.
+  std::vector<pollfd> fds;
+  fds.reserve(nodes_.size());
+  for (const Node& node : nodes_) fds.push_back(pollfd{node.conn.fd(), POLLIN, 0});
+  Frame frame;
   while (verdicts_ < nodes_.size()) {
-    std::vector<pollfd> fds;
-    fds.reserve(nodes_.size());
-    for (const Node& node : nodes_)
-      fds.push_back(pollfd{node.conn.fd(), POLLIN, 0});
     // A generous stall guard, not a pacing interval: agents push traffic
     // continuously while phases run.
     const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/600000);
@@ -174,10 +184,14 @@ void Coordinator::event_loop(std::ostream& log) {
     if (ready == 0) throw Error("cluster: no agent traffic for 600 s — fleet stalled");
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      const auto frame = nodes_[i].conn.recv(/*timeout_s=*/10.0);
-      if (!frame)
+      fds[i].revents = 0;
+      // Drain everything this node has ready before re-polling: a streaming
+      // agent delivers many frames per wakeup, and poll() per frame would
+      // make the syscall, not the merge, the coordinator's bottleneck.
+      if (!nodes_[i].conn.recv_into(frame, /*timeout_s=*/10.0))
         throw WireError("cluster: node " + nodes_[i].info.name + " stalled mid-frame");
-      handle_frame(i, *frame, log);
+      handle_frame(i, frame, log);
+      while (nodes_[i].conn.recv_into(frame, /*timeout_s=*/0.0)) handle_frame(i, frame, log);
     }
   }
   ShutdownMsg shutdown;

@@ -90,6 +90,7 @@ class Coordinator {
   Options options_;
   Listener listener_;
   std::vector<Node> nodes_;
+  SampleBatchMsg batch_scratch_;  ///< reused decode target for sample batches
   std::unique_ptr<ClusterBus> bus_;
   std::unique_ptr<control::BudgetApportioner> apportioner_;
   Result result_;

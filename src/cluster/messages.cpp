@@ -1,5 +1,8 @@
 #include "cluster/messages.hpp"
 
+#include <bit>
+#include <cstring>
+
 namespace fs2::cluster {
 
 const char* to_string(MessageType type) {
@@ -17,6 +20,7 @@ const char* to_string(MessageType type) {
     case MessageType::kBudgetAssign: return "budget-assign";
     case MessageType::kVerdict: return "verdict";
     case MessageType::kShutdown: return "shutdown";
+    case MessageType::kNodeSummary: return "node-summary";
   }
   return "?";
 }
@@ -159,31 +163,88 @@ PhaseBracketMsg PhaseBracketMsg::decode(WireReader& in) {
   return m;
 }
 
+// The wire layout of one sample is two packed little-endian IEEE doubles —
+// identical to telemetry::Sample's in-memory layout on little-endian hosts,
+// which is what makes the memcpy fast paths below exact.
+static_assert(sizeof(telemetry::Sample) == 16);
+
+void SampleBatchMsg::encode_into(WireWriter& w, std::uint32_t channel_id,
+                                 const telemetry::Sample* samples, std::size_t count) {
+  w.clear();
+  w.reserve(8 + count * sizeof(telemetry::Sample));
+  w.u32(channel_id);
+  w.u32(static_cast<std::uint32_t>(count));
+  if constexpr (std::endian::native == std::endian::little) {
+    w.raw(samples, count * sizeof(telemetry::Sample));
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      w.f64(samples[i].time_s);
+      w.f64(samples[i].value);
+    }
+  }
+}
+
+void SampleBatchMsg::decode_into(WireReader& in, SampleBatchMsg& out) {
+  out.channel_id = in.u32();
+  const std::uint32_t n = in.u32();
+  // Truncation check before resizing: a hostile length field must not
+  // drive a multi-gigabyte allocation.
+  if (in.remaining() < static_cast<std::size_t>(n) * sizeof(telemetry::Sample))
+    throw WireError("cluster wire: sample batch shorter than its count");
+  out.samples.resize(n);
+  if (n == 0) return;  // data() may be null on an empty vector; memcpy(null) is UB
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.samples.data(), in.raw(n * sizeof(telemetry::Sample)),
+                n * sizeof(telemetry::Sample));
+  } else {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out.samples[i].time_s = in.f64();
+      out.samples[i].value = in.f64();
+    }
+  }
+}
+
 Frame SampleBatchMsg::encode() const {
   WireWriter w;
-  w.u32(channel_id);
-  w.u32(static_cast<std::uint32_t>(times_s.size()));
-  for (std::size_t i = 0; i < times_s.size(); ++i) {
-    w.f64(times_s[i]);
-    w.f64(values[i]);
-  }
+  encode_into(w, channel_id, samples.data(), samples.size());
   return make_frame(MessageType::kSampleBatch, std::move(w));
 }
 
 SampleBatchMsg SampleBatchMsg::decode(WireReader& in) {
   SampleBatchMsg m;
-  m.channel_id = in.u32();
-  const std::uint32_t n = in.u32();
-  // Truncation check before reserving: a hostile length field must not
-  // drive a multi-gigabyte allocation.
-  if (in.remaining() < static_cast<std::size_t>(n) * 16)
-    throw WireError("cluster wire: sample batch shorter than its count");
-  m.times_s.reserve(n);
-  m.values.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    m.times_s.push_back(in.f64());
-    m.values.push_back(in.f64());
-  }
+  decode_into(in, m);
+  return m;
+}
+
+Frame NodeSummaryMsg::encode() const {
+  WireWriter w;
+  w.u32(phase_index);
+  w.str(name);
+  w.str(unit);
+  w.u64(samples);
+  w.f64(mean);
+  w.f64(stddev);
+  w.f64(min);
+  w.f64(max);
+  w.f64(p50);
+  w.f64(p95);
+  w.f64(p99);
+  return make_frame(MessageType::kNodeSummary, std::move(w));
+}
+
+NodeSummaryMsg NodeSummaryMsg::decode(WireReader& in) {
+  NodeSummaryMsg m;
+  m.phase_index = in.u32();
+  m.name = in.str();
+  m.unit = in.str();
+  m.samples = in.u64();
+  m.mean = in.f64();
+  m.stddev = in.f64();
+  m.min = in.f64();
+  m.max = in.f64();
+  m.p50 = in.f64();
+  m.p95 = in.f64();
+  m.p99 = in.f64();
   return m;
 }
 

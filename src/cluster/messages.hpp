@@ -5,13 +5,16 @@
 #include <vector>
 
 #include "cluster/wire.hpp"
+#include "telemetry/sample.hpp"
 
 namespace fs2::cluster {
 
 /// Protocol version: bumped on any wire-incompatible change. The hello
 /// exchange rejects mismatches up front instead of failing mysteriously
-/// mid-campaign.
-constexpr std::uint32_t kProtocolVersion = 1;
+/// mid-campaign. v2: per-node summaries are computed at the edge and ship
+/// as kNodeSummary rows; sample batches cross the wire only for channels
+/// that feed cluster aggregates.
+constexpr std::uint32_t kProtocolVersion = 2;
 
 /// One framed message on the coordinator<->agent TCP stream. The transport
 /// prefixes `u32 length` (payload size + 1 for the type byte); the first
@@ -30,6 +33,7 @@ enum class MessageType : std::uint8_t {
   kBudgetAssign = 11,///< coordinator -> agent: new per-node power setpoint
   kVerdict = 12,     ///< agent -> coordinator: end-of-campaign convergence
   kShutdown = 13,    ///< coordinator -> agent: run over, disconnect
+  kNodeSummary = 14, ///< agent -> coordinator: one edge-aggregated summary row
 };
 
 const char* to_string(MessageType type);
@@ -113,12 +117,50 @@ struct PhaseBracketMsg {
   static PhaseBracketMsg decode(WireReader& in);
 };
 
+/// The hot message: every telemetry sample of every node crosses the wire
+/// inside one of these. The payload is `u32 channel | u32 count | count x
+/// (f64 time, f64 value)` — i.e. exactly a telemetry::Sample array in
+/// little-endian, so on little-endian hosts encode and decode are single
+/// memcpys. Senders and the coordinator use the *_into variants with
+/// reused scratch buffers; the allocating encode()/decode() remain for
+/// cold paths and tests.
 struct SampleBatchMsg {
   std::uint32_t channel_id = 0;
-  std::vector<double> times_s;   ///< phase-local, parallel to values
-  std::vector<double> values;
+  std::vector<telemetry::Sample> samples;  ///< phase-local timestamps
+
   Frame encode() const;
   static SampleBatchMsg decode(WireReader& in);
+
+  /// Encode straight from a sample array into a reused writer (cleared
+  /// here) — no intermediate message object, no allocation once the writer
+  /// has warmed up.
+  static void encode_into(WireWriter& w, std::uint32_t channel_id,
+                          const telemetry::Sample* samples, std::size_t count);
+  /// Decode reusing `out`'s sample-vector capacity.
+  static void decode_into(WireReader& in, SampleBatchMsg& out);
+};
+
+/// One per-phase, per-channel summary row aggregated ON THE NODE (the same
+/// SummarySink a local run uses, so values are identical to what the
+/// coordinator's replay used to produce) and shipped at phase end, before
+/// the end bracket. The coordinator stores rows verbatim instead of
+/// re-deriving them from sample batches — O(rows) per phase instead of
+/// O(samples), which is what lets one coordinator hold hundreds of
+/// streaming agents.
+struct NodeSummaryMsg {
+  std::uint32_t phase_index = 0;
+  std::string name;
+  std::string unit;
+  std::uint64_t samples = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  Frame encode() const;
+  static NodeSummaryMsg decode(WireReader& in);
 };
 
 struct PhaseGoMsg {

@@ -22,14 +22,22 @@ class WireError : public Error {
 /// integers and IEEE doubles only — both ends of the wire are this binary,
 /// but explicit widths keep the format stable across compilers and make the
 /// protocol documentable (docs/cluster.md lists every field).
+///
+/// Reusable: clear() drops the content but keeps the capacity, so a sender
+/// encoding thousands of frames (RemoteSink's sample batches) touches the
+/// allocator once, not per frame.
 class WireWriter {
  public:
   void u8(std::uint8_t v) { bytes_.push_back(v); }
   void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    std::uint8_t raw[4];
+    for (int i = 0; i < 4; ++i) raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    append(raw, sizeof raw);
   }
   void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    std::uint8_t raw[8];
+    for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    append(raw, sizeof raw);
   }
   void f64(double v) {
     std::uint64_t bits = 0;
@@ -42,11 +50,25 @@ class WireWriter {
     u32(static_cast<std::uint32_t>(s.size()));
     bytes_.insert(bytes_.end(), s.begin(), s.end());
   }
+  /// Raw byte append — bulk encodes (sample arrays) that already are in
+  /// wire byte order.
+  void raw(const void* data, std::size_t size) {
+    append(static_cast<const std::uint8_t*>(data), size);
+  }
+
+  void clear() { bytes_.clear(); }
+  void reserve(std::size_t capacity) { bytes_.reserve(capacity); }
 
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
  private:
+  void append(const std::uint8_t* data, std::size_t size) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + size);
+    std::memcpy(bytes_.data() + at, data, size);
+  }
+
   std::vector<std::uint8_t> bytes_;
 };
 
@@ -87,6 +109,14 @@ class WireReader {
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
+  }
+  /// Bounds-checked view of the next `n` raw bytes (and advance past them)
+  /// — bulk decodes that can consume wire byte order directly.
+  const std::uint8_t* raw(std::size_t n) {
+    need(n);
+    const std::uint8_t* at = data_ + pos_;
+    pos_ += n;
+    return at;
   }
 
   std::size_t remaining() const { return size_ - pos_; }

@@ -301,7 +301,11 @@ Cluster orchestration (coordinator/agent fleet runs):
   --loopback SPECS             single-process cluster: spawn in-process sim
                                agents against a 127.0.0.1 coordinator, e.g.
                                --loopback zen2@1500,haswell@2000 (implies
-                               --coordinator; deterministic, used by CI)
+                               --coordinator; deterministic, used by CI).
+                               A spec takes an xCOUNT multiplier — e.g.
+                               zen2@1500x256,haswell@2000x256 is a 512-node
+                               fleet, driven by one shared event loop
+                               rather than a thread per agent
   --cluster-start-delay SEC    epoch lead time after the last handshake
                                (default 0.5)
   --sync-tolerance SEC         max allowed cross-node phase-start spread

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include "arch/processor.hpp"
@@ -18,6 +19,8 @@
 #include "control/feedback_loop.hpp"
 #include "control/setpoint.hpp"
 #include "firestarter/backends.hpp"
+#include "firestarter/sim_fleet.hpp"
+#include "firestarter/sim_phases.hpp"
 #include "gpu/dgemm_stress.hpp"
 #include "kernel/register_dump.hpp"
 #include "jit/disassembler.hpp"
@@ -51,73 +54,19 @@ namespace {
 
 constexpr const char* kVersion = "fs2 2.0.0 (FIRESTARTER 2 reproduction)";
 
-/// Machine description for the selected target.
-struct Target {
-  arch::ProcessorModel cpu;
-  arch::CacheHierarchy caches;
-  sim::MachineConfig sim_config;  // meaningful for simulator targets only
-  bool simulated = false;
-  bool gpu_stress = false;
-};
-
-Target resolve_target(const Config& cfg) {
-  Target target;
-  switch (cfg.target) {
-    case TargetSystem::kHost:
-      target.cpu = arch::detect_host();
-      target.caches = arch::CacheHierarchy::from_sysfs();
-      break;
-    case TargetSystem::kSimZen2:
-      target.cpu = arch::epyc_7502_model();
-      target.caches = arch::CacheHierarchy::zen2();
-      target.sim_config = sim::MachineConfig::named("zen2");
-      target.simulated = true;
-      break;
-    case TargetSystem::kSimHaswell:
-    case TargetSystem::kSimHaswellGpu:
-      target.cpu = arch::xeon_e5_2680v3_model();
-      target.caches = arch::CacheHierarchy::haswell_ep();
-      target.sim_config = sim::MachineConfig::named(
-          cfg.target == TargetSystem::kSimHaswellGpu ? "haswell-gpu" : "haswell");
-      target.simulated = true;
-      target.gpu_stress = cfg.target == TargetSystem::kSimHaswellGpu;
-      break;
-  }
-  return target;
-}
-
-/// One entry of a --loopback fleet spec: "zen2@1500" = a simulated Zen 2
-/// agent pinned to 1500 MHz. Loopback agents are sim-only — two host
-/// stress runs inside one process would fight over the same CPUs and
-/// measure each other.
-struct LoopbackSpec {
-  TargetSystem target = TargetSystem::kSimZen2;
-  double freq_mhz = 0.0;
-  std::string name;
-};
-
-std::vector<LoopbackSpec> parse_loopback_specs(const std::string& list) {
-  std::vector<LoopbackSpec> specs;
-  for (const std::string& entry : strings::split(list, ',')) {
-    const std::string_view trimmed = strings::trim(entry);
-    if (trimmed.empty()) throw ConfigError("--loopback: empty node spec in '" + list + "'");
-    LoopbackSpec spec;
-    const auto at = trimmed.find('@');
-    const std::string sku = strings::to_lower(trimmed.substr(0, at));
-    if (sku == "host")
-      throw ConfigError(
-          "--loopback: host agents cannot share one process (run a real "
-          "fs2 --agent per machine instead); use sim SKUs here");
-    spec.target = parse_sim_target(sku);
-    spec.name = sku;
-    if (at != std::string_view::npos) {
-      spec.freq_mhz = strings::parse_double(trimmed.substr(at + 1), "--loopback freq");
-      if (!(spec.freq_mhz > 0.0)) throw ConfigError("--loopback: freq must be > 0 MHz");
-    }
-    specs.push_back(std::move(spec));
-  }
-  if (specs.empty()) throw ConfigError("--loopback: no node specs given");
-  return specs;
+/// Best-effort bump of the open-file soft limit to at least `need` (large
+/// loopback fleets hold two fds per node in one process). Never throws —
+/// if the hard limit is lower, socket creation will fail with a precise
+/// errno anyway.
+void raise_fd_limit(std::size_t need) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= need) return;
+  rlimit raised = limit;
+  raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                        ? need
+                        : std::min<rlim_t>(need, limit.rlim_max);
+  if (raised.rlim_cur > limit.rlim_cur) ::setrlimit(RLIMIT_NOFILE, &raised);
 }
 
 const payload::FunctionDef& resolve_function(const Config& cfg, const Target& target) {
@@ -136,11 +85,6 @@ payload::CompileOptions compile_options(const Config& cfg) {
   if (cfg.line_count) options.unroll = *cfg.line_count;
   options.dump_registers = cfg.dump_registers;
   return options;
-}
-
-payload::DataInitPolicy policy_of(const Config& cfg) {
-  return cfg.v174_bug_mode ? payload::DataInitPolicy::kV174InfinityBug
-                           : payload::DataInitPolicy::kSafe;
 }
 
 /// The run's load schedule: --load-profile spec, or the classic --load duty
@@ -164,27 +108,6 @@ std::vector<int> resolve_worker_cpus(const Config& cfg,
 /// The IPC estimate converts loop counts to instructions/cycle at this
 /// assumed clock when the real frequency is unknown (Sec. III-C).
 constexpr double kIpcEstimateAssumedMhz = 2000.0;
-
-double clamp01(double value) { return std::min(std::max(value, 0.0), 1.0); }
-
-/// The achieved duty-cycle channel every run mode publishes; --record-trace
-/// and the load-level summary rows both hang off it.
-constexpr const char* kLoadChannel = "load-level";
-
-/// Effective trim deltas for a phase of `duration_s`: honor the configured
-/// --start/--stop deltas but never let them eat a short phase (campaign
-/// phases are often a few seconds; the paper's 5 s/2 s defaults assume
-/// multi-minute runs). An infinite duration disables the clamp — that case
-/// is a single run where the user set the deltas deliberately.
-struct TrimDeltas {
-  double start_s = 0.0;
-  double stop_s = 0.0;
-};
-
-TrimDeltas phase_deltas(const Config& cfg, double duration_s) {
-  return TrimDeltas{std::min(cfg.start_delta_s, 0.25 * duration_s),
-                    std::min(cfg.stop_delta_s, 0.25 * duration_s)};
-}
 
 /// Metric set for a host stress run: RAPL power and perf IPC when available,
 /// the loop-count IPC estimate always, plus the --metric-path /
@@ -311,34 +234,6 @@ struct RunSinks {
 
 // ---- closed-loop control helpers --------------------------------------------
 
-/// Convergence window for a phase of `duration_s`: the trailing quarter,
-/// but at least a few controller ticks' worth — capped so that week-long
-/// holds are judged on their trailing minutes (which is also all the
-/// loop's bounded telemetry ring retains).
-double convergence_window_s(const control::FeedbackLoop& loop, double duration_s) {
-  return std::min(std::max(4.0 * loop.setpoint().interval_s, 0.25 * duration_s),
-                  control::FeedbackLoop::kMaxConvergenceWindowS);
-}
-
-/// Log whether the loop settled inside the band; returns the verdict so
-/// callers can honor --require-convergence.
-bool report_convergence(const control::FeedbackLoop& loop, double duration_s,
-                        const std::string& label) {
-  const double window = convergence_window_s(loop, duration_s);
-  const bool converged = loop.converged(window);
-  const double achieved = loop.trailing_mean(window);
-  const control::Setpoint& sp = loop.setpoint();
-  if (converged)
-    log::info() << label << ": converged to "
-                << strings::format("%.1f %s (target %g +-%g %%)", achieved,
-                                   control::unit_of(sp.variable), sp.value, sp.band * 100.0);
-  else
-    log::warn() << label << ": NOT converged — trailing mean "
-                << strings::format("%.1f %s vs target %g +-%g %%", achieved,
-                                   control::unit_of(sp.variable), sp.value, sp.band * 100.0);
-  return converged;
-}
-
 /// Actuator + sensor + regulator for a closed-loop phase on the real host.
 struct HostControl {
   std::shared_ptr<control::ControlledProfile> profile;
@@ -402,160 +297,6 @@ HostControl make_host_control(const Config& cfg, const control::Setpoint& sp) {
   hc.loop = std::make_unique<control::FeedbackLoop>(
       sp, hc.profile, sp.scale.value_or(0.0), /*initial_level=*/0.5);
   return hc;
-}
-
-// ---- simulated phases -------------------------------------------------------
-
-/// The channels a simulated phase publishes, registered once per run so
-/// every phase's summary rows come out in the same stable order.
-struct SimChannels {
-  telemetry::ChannelId power = 0;
-  telemetry::ChannelId ipc = 0;
-  telemetry::ChannelId load = 0;
-  telemetry::ChannelId temp = 0;
-  bool has_temp = false;
-};
-
-/// `trimmed_aux` selects whether the IPC and load channels get the phase's
-/// trim deltas (campaign/controlled summaries) or none (the open-loop
-/// single-run mode reports them untrimmed); `summarize_load` drops the
-/// load-level summary row while trace recording still sees the samples.
-SimChannels register_sim_channels(telemetry::TelemetryBus& bus, bool with_temp,
-                                  bool trimmed_aux, bool summarize_load) {
-  const telemetry::TrimMode aux =
-      trimmed_aux ? telemetry::TrimMode::kPhase : telemetry::TrimMode::kNone;
-  SimChannels ch;
-  ch.power = bus.channel("sim-wall-power", "W");
-  ch.ipc = bus.channel("sim-perf-ipc", "instructions/cycle", aux);
-  ch.load = bus.channel(kLoadChannel, "fraction", aux, summarize_load);
-  if (with_temp) {
-    ch.temp = bus.channel("sim-package-temp", "degC");
-    ch.has_temp = true;
-  }
-  return ch;
-}
-
-/// Evaluate one simulated stress phase: steady-state operating point plus a
-/// load-modulated power/IPC/load trace at the virtual meter's sampling
-/// rate, published straight onto the bus (nothing materialized — a 10x
-/// longer run costs the same memory). The modulation folds the duty cycle
-/// into the trace the same way the wall meter would see it — idle floor
-/// plus load-weighted dynamic power.
-struct SimPhaseResult {
-  sim::WorkloadPoint point;
-  double mean_power_w = 0.0;  ///< thermal-carry input for open-loop phases
-  std::size_t samples = 0;
-};
-
-SimPhaseResult run_sim_phase(const sim::SimulatedSystem& system, const Config& cfg,
-                             const payload::PayloadStats& stats,
-                             const sched::LoadProfile& profile, double duration_s,
-                             std::uint64_t seed, double warm_start_s, bool gpu_stress,
-                             telemetry::TelemetryBus& bus, const SimChannels& ch) {
-  sim::RunConditions cond;
-  cond.freq_mhz = cfg.sim_freq_mhz;
-  cond.policy = policy_of(cfg);
-  cond.gpu_stress = gpu_stress;
-  if (cfg.threads) cond.threads = *cfg.threads;
-
-  SimPhaseResult result;
-  result.point = system.simulator().run(stats, cond);
-  sim::PowerTraceStream trace(system.simulator(), result.point, cfg.sim_sample_hz, seed,
-                              warm_start_s);
-  const double idle_w = system.simulator().idle().power_w;
-  result.samples = static_cast<std::size_t>(duration_s * cfg.sim_sample_hz);
-  double power_sum = 0.0;
-  for (std::size_t i = 0; i < result.samples; ++i) {
-    const double t = trace.time_at(i);
-    const double level = clamp01(profile.load_at(t));
-    const double watts = idle_w + level * (trace.next() - idle_w);
-    bus.publish(ch.power, t, watts);
-    bus.publish(ch.ipc, t, result.point.ipc_per_core * level);
-    bus.publish(ch.load, t, level);
-    power_sum += watts;
-  }
-  if (result.samples > 0)
-    result.mean_power_w = power_sum / static_cast<double>(result.samples);
-  return result;
-}
-
-/// One simulated closed-loop phase: the controller and the PowerPlant step
-/// together in virtual time, so a whole campaign of setpoint steps runs
-/// deterministically in milliseconds. The plant exposes its exact span, so
-/// the loop starts from a feed-forward guess and the PID only has to trim
-/// leakage warm-up, quantization, and meter noise.
-struct ControlledSimPhase {
-  sim::WorkloadPoint point;
-  std::shared_ptr<control::ControlledProfile> profile;
-  std::unique_ptr<control::FeedbackLoop> loop;
-  double final_temp_c = 0.0;  ///< noise-free thermal state for the next phase
-};
-
-ControlledSimPhase run_sim_controlled_phase(const sim::SimulatedSystem& system,
-                                            const Config& cfg,
-                                            const payload::PayloadStats& stats,
-                                            const control::Setpoint& sp, double duration_s,
-                                            std::uint64_t seed, double warm_start_s,
-                                            bool gpu_stress,
-                                            std::optional<double> freq_override,
-                                            std::optional<int> threads_override,
-                                            std::optional<double> initial_temp_c,
-                                            telemetry::TelemetryBus& bus,
-                                            const SimChannels& ch,
-                                            cluster::AgentSession* session = nullptr) {
-  sp.validate_duration(duration_s, "closed-loop phase");
-  sim::RunConditions cond;
-  cond.freq_mhz = freq_override ? *freq_override : cfg.sim_freq_mhz;
-  cond.policy = policy_of(cfg);
-  cond.gpu_stress = gpu_stress;
-  if (threads_override) cond.threads = *threads_override;
-  else if (cfg.threads) cond.threads = *cfg.threads;
-
-  ControlledSimPhase phase;
-  phase.point = system.simulator().run(stats, cond);
-  sim::PowerPlant plant(system.simulator(), phase.point, seed, warm_start_s,
-                        /*noise=*/true, initial_temp_c);
-
-  double scale, feed_forward;
-  if (sp.variable == control::ControlVariable::kPower) {
-    scale = plant.power_span_w();
-    feed_forward = (sp.value - plant.idle_power_w()) / scale;
-  } else {
-    scale = plant.temp_span_c();
-    feed_forward = (sp.value - plant.steady_temp_c(plant.idle_power_w())) / scale;
-  }
-  phase.profile = std::make_shared<control::ControlledProfile>(clamp01(feed_forward));
-  phase.loop = std::make_unique<control::FeedbackLoop>(sp, phase.profile, scale,
-                                                       clamp01(feed_forward));
-  phase.loop->attach_bus(&bus);
-
-  // Tick loop: the plant advances one interval under the previously
-  // commanded level, then the controller reacts to the fresh measurement —
-  // the same one-tick sensing lag a real RAPL poll has.
-  const double dt = sp.interval_s;
-  while (plant.state().time_s + dt <= duration_s + 1e-9) {
-    const sim::PowerPlant::State& st = plant.step(phase.profile->level(), dt);
-    const double measurement =
-        sp.variable == control::ControlVariable::kPower ? st.power_w : st.temp_c;
-    // Plant state first, controller tick second: summary rows come out in
-    // first-sample order, measurements before the ctl block.
-    bus.publish(ch.power, st.time_s, st.power_w);
-    bus.publish(ch.ipc, st.time_s, phase.point.ipc_per_core * st.level);
-    // The level was applied over [time_s - dt, time_s]; stamp it at the
-    // interval *start* so a recorded trace replays each duty-cycle edge at
-    // the moment it originally happened, not one tick late (and so the
-    // feed-forward level of the first interval is part of the record).
-    bus.publish(ch.load, st.time_s - dt, st.level);
-    if (ch.has_temp) bus.publish(ch.temp, st.time_s, st.temp_c);
-    phase.loop->tick(st.time_s, measurement);
-    // Cluster budget round: report the trailing achieved watts and retune
-    // the loop to the coordinator's reapportioned share. Virtual time
-    // pauses for the round trip, so the exchange is deterministic.
-    if (session != nullptr && session->budget_due(st.time_s))
-      session->budget_exchange(st.time_s, *phase.loop);
-  }
-  phase.final_temp_c = plant.true_temp_c();
-  return phase;
 }
 
 // ---- host phases ------------------------------------------------------------
@@ -983,11 +724,8 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
         // so a later temp-target phase doesn't inherit a stale (or
         // idle-cold) package after e.g. 300 s of full load.
         if (result.samples > 0) {
-          const sim::ThermalParams& th = system.simulator().config().thermal;
-          const double steady = th.ambient_c + th.c_per_w * result.mean_power_w;
-          const double prev = carry_temp_c.value_or(
-              th.ambient_c + th.c_per_w * system.simulator().idle().power_w);
-          carry_temp_c = steady + (prev - steady) * std::exp(-spec.duration_s / th.tau_s);
+          carry_temp_c = advance_thermal_carry(system, spec.duration_s,
+                                               result.mean_power_w, carry_temp_c);
         }
       }
       bus.end_phase();
@@ -1091,6 +829,10 @@ int Firestarter::run_coordinator() {
     for (const sched::CampaignPhase& phase : campaign.phases())
       probe.validate_duration(phase.duration_s, "campaign phase '" + phase.name + "'");
   }
+  // Big fleets need an fd per agent on each side of every loopback socket;
+  // raise the soft limit toward the hard cap before binding anything.
+  if (!loopback.empty()) raise_fd_limit(4 * loopback.size() + 64);
+
   auto coordinator = std::make_unique<cluster::Coordinator>(options);
 
   out_ << "coordinator: port " << coordinator->port() << ", " << nodes << " nodes, "
@@ -1098,40 +840,23 @@ int Firestarter::run_coordinator() {
   if (budget) out_ << ", " << budget->describe();
   out_ << "\n";
 
-  // In-process loopback agents: each thread is a full fs2 agent with its
-  // own simulated SKU, telemetry bus, and wire connection — the whole
-  // protocol exercised inside one deterministic process.
-  std::vector<std::thread> threads;
-  std::vector<std::string> agent_logs(loopback.size());
-  std::vector<int> agent_codes(loopback.size(), 0);
-  const std::uint16_t port = coordinator->port();
-  for (std::size_t i = 0; i < loopback.size(); ++i) {
-    Config agent_cfg = cfg_;
-    agent_cfg.coordinator = false;
-    agent_cfg.loopback_nodes.reset();
-    agent_cfg.campaign_file.reset();
-    agent_cfg.target_spec.reset();
-    agent_cfg.record_trace.reset();
-    agent_cfg.control_log.reset();
-    agent_cfg.measurement = false;
-    agent_cfg.require_convergence = false;
-    agent_cfg.target = loopback[i].target;
-    agent_cfg.sim_freq_mhz = loopback[i].freq_mhz;
-    agent_cfg.agent_endpoint = strings::format("127.0.0.1:%u", port);
-    agent_cfg.node_name = strings::format("n%zu-%s", i, loopback[i].name.c_str());
-    agent_cfg.seed = cfg_.seed + i + 1;  // decorrelate the nodes' meter noise
-    threads.emplace_back(
-        [cfg = std::move(agent_cfg), i, &agent_logs, &agent_codes] {
-          std::ostringstream agent_out;
-          try {
-            Firestarter agent(cfg, agent_out);
-            agent_codes[i] = agent.run();
-          } catch (const std::exception& e) {
-            agent_out << "agent error: " << e.what() << "\n";
-            agent_codes[i] = 1;
-          }
-          agent_logs[i] = agent_out.str();
-        });
+  // In-process loopback agents: one event-loop thread drives the whole
+  // fleet of cooperative sim agents over real localhost TCP — the entire
+  // protocol exercised inside one deterministic process, at fleet sizes a
+  // thread per agent could never reach.
+  std::unique_ptr<SimFleet> fleet;
+  std::string fleet_error;
+  std::thread fleet_thread;
+  if (!loopback.empty()) {
+    const std::uint16_t port = coordinator->port();
+    fleet_thread = std::thread([&, port] {
+      try {
+        fleet = std::make_unique<SimFleet>(cfg_, loopback, port);
+        fleet->run();
+      } catch (const std::exception& e) {
+        fleet_error = e.what();
+      }
+    });
   }
 
   cluster::Coordinator::Result result;
@@ -1141,25 +866,29 @@ int Firestarter::run_coordinator() {
   } catch (const std::exception& e) {
     failure = e.what();
     // Destroying the coordinator closes every connection, which errors the
-    // loopback agents out of their blocking waits — join cannot hang.
+    // loopback agents out of their waits — join cannot hang.
     coordinator.reset();
   }
-  for (std::thread& thread : threads) thread.join();
-  for (std::size_t i = 0; i < agent_logs.size(); ++i) {
-    std::istringstream lines(agent_logs[i]);
-    std::string line;
-    while (std::getline(lines, line))
-      out_ << "[n" << i << "] " << line << "\n";
-  }
+  if (fleet_thread.joinable()) fleet_thread.join();
+  if (!fleet_error.empty())
+    out_ << "loopback fleet failed to start: " << fleet_error << "\n";
   if (!failure.empty()) throw Error("cluster run failed: " + failure);
 
   cluster::ClusterBus::write_csv(out_, result.rows);
-  bool agents_ok = true;
-  for (std::size_t i = 0; i < agent_codes.size(); ++i)
-    if (agent_codes[i] != 0) {
-      log::error() << "loopback agent n" << i << " exited with code " << agent_codes[i];
-      agents_ok = false;
-    }
+  bool agents_ok = fleet_error.empty();
+  if (fleet) {
+    std::size_t reported = 0;
+    for (const SimFleet::Outcome& outcome : fleet->outcomes())
+      if (!outcome.ok) {
+        agents_ok = false;
+        // A fleet-wide failure is usually one cause repeated 512 times;
+        // show the first few, count the rest.
+        if (reported++ < 5)
+          log::error() << "loopback agent " << outcome.name << ": " << outcome.error;
+      }
+    if (reported > 5)
+      log::error() << "... and " << (reported - 5) << " more loopback agent failures";
+  }
   if (!agents_ok) return 1;
   if (cfg_.require_convergence && !result.converged()) {
     log::error() << "cluster run failed --require-convergence ("

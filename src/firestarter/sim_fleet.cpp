@@ -1,0 +1,423 @@
+#include "firestarter/sim_fleet.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <sstream>
+
+#include "cluster/clock_sync.hpp"
+#include "payload/groups.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::firestarter {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<LoopbackSpec> parse_loopback_specs(const std::string& list) {
+  std::vector<LoopbackSpec> specs;
+  for (const std::string& entry : strings::split(list, ',')) {
+    std::string_view trimmed = strings::trim(entry);
+    if (trimmed.empty()) throw ConfigError("--loopback: empty node spec in '" + list + "'");
+
+    // Count multiplier: sku[@FREQ]xCOUNT. The 'x' is searched after the
+    // '@' (or in the bare sku) so SKU names themselves stay unrestricted.
+    std::size_t count = 1;
+    const auto at = trimmed.find('@');
+    const auto x = trimmed.find('x', at == std::string_view::npos ? 0 : at);
+    if (x != std::string_view::npos) {
+      const std::string_view count_text = trimmed.substr(x + 1);
+      count = static_cast<std::size_t>(
+          strings::parse_u64(std::string(count_text), "--loopback count"));
+      if (count == 0) throw ConfigError("--loopback: node count must be >= 1");
+      trimmed = trimmed.substr(0, x);
+    }
+
+    LoopbackSpec spec;
+    const auto freq_at = trimmed.find('@');
+    const std::string sku = strings::to_lower(trimmed.substr(0, freq_at));
+    if (sku == "host")
+      throw ConfigError(
+          "--loopback: host agents cannot share one process (run a real "
+          "fs2 --agent per machine instead); use sim SKUs here");
+    spec.target = parse_sim_target(sku);
+    spec.name = sku;
+    if (freq_at != std::string_view::npos) {
+      spec.freq_mhz =
+          strings::parse_double(trimmed.substr(freq_at + 1), "--loopback freq");
+      if (!(spec.freq_mhz > 0.0)) throw ConfigError("--loopback: freq must be > 0 MHz");
+    }
+    for (std::size_t i = 0; i < count; ++i) specs.push_back(spec);
+    if (specs.size() > kMaxLoopbackNodes)
+      throw ConfigError(strings::format("--loopback: fleet larger than %zu nodes",
+                                        kMaxLoopbackNodes));
+  }
+  if (specs.empty()) throw ConfigError("--loopback: no node specs given");
+  return specs;
+}
+
+// ---- SimAgent ---------------------------------------------------------------
+
+SimAgent::SimAgent(Config cfg, const std::string& endpoint, std::size_t index)
+    : cfg_(std::move(cfg)),
+      node_name_(cfg_.node_name ? *cfg_.node_name
+                                : strings::format("n%zu", index)),
+      conn_(cluster::Connection::connect(endpoint, /*retry_for_s=*/30.0)) {
+  cluster::HelloMsg hello;
+  hello.node_name = node_name_;
+  std::string sku = to_string(cfg_.target);
+  if (cfg_.target != TargetSystem::kHost && cfg_.sim_freq_mhz > 0.0)
+    sku += strings::format("@%.0fMHz", cfg_.sim_freq_mhz);
+  hello.sku = sku;
+  conn_.send(hello.encode());
+}
+
+void SimAgent::fail(const std::string& what) {
+  failed_ = true;
+  error_ = what;
+  state_ = State::kDone;
+  wait_ = Wait::kDone;
+  conn_.close();
+}
+
+const payload::PayloadStats& SimAgent::stats_for(const payload::FunctionDef& fn) {
+  auto it = stats_cache_.find(fn.name);
+  if (it != stats_cache_.end()) return it->second;
+  const payload::InstructionGroups groups = payload::InstructionGroups::parse(
+      cfg_.instruction_groups ? *cfg_.instruction_groups : fn.default_groups);
+  payload::CompileOptions options;
+  if (cfg_.line_count) options.unroll = *cfg_.line_count;
+  options.dump_registers = cfg_.dump_registers;
+  const payload::PayloadStats stats =
+      payload::analyze_payload(fn.mix, groups, target_.caches, options);
+  return stats_cache_.emplace(fn.name, stats).first->second;
+}
+
+void SimAgent::prepare_campaign() {
+  std::istringstream in(campaign_.campaign_text);
+  phases_ = sched::Campaign::parse(in, "(from coordinator)");
+  target_ = resolve_target(cfg_);
+  system_ = std::make_unique<sim::SimulatedSystem>(target_.sim_config);
+
+  const bool budget_mode = campaign_.has_budget != 0;
+  bool any_target = budget_mode;
+  for (const sched::CampaignPhase& spec : phases_->phases()) {
+    ResolvedPhase phase;
+    phase.fn = spec.function ? &payload::find_function(*spec.function)
+               : cfg_.function_id ? &payload::find_function(*cfg_.function_id)
+               : cfg_.function_name ? &payload::find_function(*cfg_.function_name)
+                                    : &payload::select_function(target_.cpu);
+    phase.profile = sched::parse_profile(spec.profile_spec, cfg_.load, cfg_.period_s);
+    if (budget_mode) {
+      control::Setpoint sp;
+      sp.variable = control::ControlVariable::kPower;
+      sp.value = current_setpoint_w_;
+      sp.interval_s = campaign_.ctl_interval_s;
+      sp.band = campaign_.budget_band;
+      sp.validate_duration(spec.duration_s, "campaign phase '" + spec.name + "'");
+      phase.setpoint = sp;
+    } else if (spec.target_spec) {
+      phase.setpoint = control::Setpoint::parse(*spec.target_spec);
+      phase.setpoint->validate_duration(spec.duration_s,
+                                        "campaign phase '" + spec.name + "'");
+      any_target = true;
+    }
+    resolved_.push_back(std::move(phase));
+  }
+
+  sink_ = std::make_unique<cluster::RemoteSink>(&conn_, epoch_time_);
+  bus_.attach(sink_.get());
+  channels_ = register_sim_channels(bus_, /*with_temp=*/any_target,
+                                    /*trimmed_aux=*/true, /*summarize_load=*/true);
+  state_ = State::kWaitStart;
+  wait_ = Wait::kUntil;
+}
+
+void SimAgent::begin_phase() {
+  const sched::CampaignPhase& spec = phases_->phases()[phase_index_];
+  // The budget setpoint value is re-read AFTER the barrier so the phase
+  // starts from the latest apportionment.
+  if (campaign_.has_budget != 0) resolved_[phase_index_].setpoint->value = current_setpoint_w_;
+  const TrimDeltas deltas = phase_deltas(cfg_, spec.duration_s);
+  // The begin bracket goes on the wire NOW; the phase's virtual-time work
+  // waits for advance() so a barrier release reaches the whole fleet
+  // before any node starts computing (tight begin spreads at 512 nodes).
+  bus_.begin_phase(spec.name, spec.duration_s, deltas.start_s, deltas.stop_s);
+  next_budget_s_ = campaign_.budget_interval_s;
+  state_ = State::kRunPhase;
+  wait_ = Wait::kRun;
+}
+
+void SimAgent::send_budget_report() {
+  next_budget_s_ += campaign_.budget_interval_s;
+  cluster::BudgetReportMsg report;
+  report.seq = budget_seq_++;
+  report.achieved_w = run_->loop().trailing_mean(campaign_.budget_interval_s);
+  report.setpoint_w = run_->loop().setpoint().value;
+  report.level = run_->loop().profile().level();
+  conn_.send(report.encode());
+  state_ = State::kAwaitAssign;
+  wait_ = Wait::kFrame;
+}
+
+void SimAgent::advance() {
+  if (state_ != State::kRunPhase) return;
+  try {
+    const sched::CampaignPhase& spec = phases_->phases()[phase_index_];
+    const ResolvedPhase& res = resolved_[phase_index_];
+    const double campaign_time_s = bus_.phase().time_offset_s;
+    const std::uint64_t seed = cfg_.seed + phase_index_;
+
+    if (res.setpoint) {
+      if (!run_)
+        run_ = std::make_unique<ControlledSimPhaseRun>(
+            *system_, cfg_, stats_for(*res.fn), *res.setpoint, spec.duration_s, seed,
+            campaign_time_s, target_.gpu_stress, spec.freq_mhz, spec.threads,
+            carry_temp_c_, bus_, channels_);
+      const bool budget = campaign_.has_budget != 0;
+      while (!run_->done()) {
+        const double t = run_->step();
+        if (budget && t >= next_budget_s_ - 1e-9) {
+          send_budget_report();
+          return;  // resume from the coordinator's reassignment
+        }
+      }
+      all_converged_ &= report_convergence(run_->loop(), spec.duration_s,
+                                           "phase '" + spec.name + "'", /*quiet=*/true);
+      carry_temp_c_ = run_->final_temp_c();
+      run_.reset();
+    } else {
+      Config phase_cfg = cfg_;
+      if (spec.freq_mhz) phase_cfg.sim_freq_mhz = *spec.freq_mhz;
+      if (spec.threads) phase_cfg.threads = *spec.threads;
+      const SimPhaseResult result =
+          run_sim_phase(*system_, phase_cfg, stats_for(*res.fn), *res.profile,
+                        spec.duration_s, seed, campaign_time_s, target_.gpu_stress,
+                        bus_, channels_);
+      carry_temp_c_ = advance_thermal_carry(*system_, spec.duration_s,
+                                            result.mean_power_w, carry_temp_c_);
+    }
+    finish_phase();
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+}
+
+void SimAgent::finish_phase() {
+  bus_.end_phase();
+  ++phase_index_;
+  if (phase_index_ < phases_->size()) {
+    state_ = State::kAwaitGo;
+    wait_ = Wait::kFrame;
+    return;
+  }
+  bus_.finish();
+  cluster::VerdictMsg verdict;
+  verdict.converged = all_converged_ ? 1 : 0;
+  verdict.detail = strings::format("%zu phases on %s", phases_->size(),
+                                   target_.sim_config.name.c_str());
+  conn_.send(verdict.encode());
+  state_ = State::kAwaitShutdown;
+  wait_ = Wait::kFrame;
+}
+
+void SimAgent::handle_frame(const cluster::Frame& frame) {
+  cluster::WireReader reader(frame.payload);
+  switch (frame.type) {
+    case cluster::MessageType::kSyncProbe: {
+      const cluster::SyncProbeMsg probe = cluster::SyncProbeMsg::decode(reader);
+      cluster::SyncReplyMsg reply;
+      reply.seq = probe.seq;
+      reply.t_coord_s = probe.t_coord_s;
+      reply.t_agent_s = cluster::local_clock_s();
+      conn_.send(reply.encode());
+      break;
+    }
+    case cluster::MessageType::kCampaign:
+      campaign_ = cluster::CampaignMsg::decode(reader);
+      current_setpoint_w_ = campaign_.initial_setpoint_w;
+      have_campaign_ = true;
+      if (have_campaign_ && have_epoch_) prepare_campaign();
+      break;
+    case cluster::MessageType::kEpoch: {
+      const cluster::EpochMsg epoch = cluster::EpochMsg::decode(reader);
+      epoch_time_ = cluster::to_time_point(epoch.t0_agent_s);
+      have_epoch_ = true;
+      if (have_campaign_ && have_epoch_) prepare_campaign();
+      break;
+    }
+    case cluster::MessageType::kPhaseGo: {
+      const cluster::PhaseGoMsg go = cluster::PhaseGoMsg::decode(reader);
+      if (state_ != State::kAwaitGo || go.phase_index != phase_index_)
+        throw cluster::WireError(strings::format(
+            "agent %s: phase-go for %u while at phase %zu", node_name_.c_str(),
+            go.phase_index, phase_index_));
+      begin_phase();
+      break;
+    }
+    case cluster::MessageType::kBudgetAssign: {
+      const cluster::BudgetAssignMsg assign = cluster::BudgetAssignMsg::decode(reader);
+      if (state_ != State::kAwaitAssign || assign.seq + 1 != budget_seq_)
+        throw cluster::WireError(
+            strings::format("agent %s: unexpected budget assign seq %u",
+                            node_name_.c_str(), assign.seq));
+      current_setpoint_w_ = assign.setpoint_w;
+      run_->loop().set_target(assign.setpoint_w);
+      state_ = State::kRunPhase;
+      wait_ = Wait::kRun;
+      break;
+    }
+    case cluster::MessageType::kShutdown:
+      if (state_ != State::kAwaitShutdown)
+        throw cluster::WireError("agent " + node_name_ +
+                                 ": coordinator shut the run down early");
+      conn_.close();
+      state_ = State::kDone;
+      wait_ = Wait::kDone;
+      break;
+    default:
+      throw cluster::WireError(std::string("agent ") + node_name_ + ": unexpected " +
+                               cluster::to_string(frame.type));
+  }
+}
+
+void SimAgent::on_readable() {
+  if (state_ == State::kDone) return;
+  try {
+    cluster::Frame frame;
+    // Drain everything available without blocking; each frame may flip the
+    // state machine (including to kDone, which closes the socket).
+    while (state_ != State::kDone && conn_.recv_into(frame, /*timeout_s=*/0.0))
+      handle_frame(frame);
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+}
+
+void SimAgent::on_time() {
+  if (state_ != State::kWaitStart) return;
+  try {
+    begin_phase();  // phase 0's barrier is the epoch itself
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+}
+
+// ---- SimFleet ---------------------------------------------------------------
+
+SimFleet::SimFleet(const Config& base, const std::vector<LoopbackSpec>& specs,
+                   std::uint16_t port) {
+  const std::string endpoint = strings::format("127.0.0.1:%u", port);
+  agents_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Config cfg = base;
+    cfg.coordinator = false;
+    cfg.loopback_nodes.reset();
+    cfg.campaign_file.reset();
+    cfg.target_spec.reset();
+    cfg.record_trace.reset();
+    cfg.control_log.reset();
+    cfg.measurement = false;
+    cfg.require_convergence = false;
+    cfg.target = specs[i].target;
+    cfg.sim_freq_mhz = specs[i].freq_mhz;
+    cfg.node_name = strings::format("n%zu-%s", i, specs[i].name.c_str());
+    cfg.seed = base.seed + i + 1;  // decorrelate the nodes' meter noise
+    agents_.push_back(std::make_unique<SimAgent>(std::move(cfg), endpoint, i));
+  }
+}
+
+void SimFleet::run() {
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_agents;
+  fds.reserve(agents_.size());
+  fd_agents.reserve(agents_.size());
+
+  for (;;) {
+    fds.clear();
+    fd_agents.clear();
+    bool alive = false;
+    bool runnable = false;
+    bool wake_pending = false;
+    Clock::time_point next_wake = Clock::time_point::max();
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      switch (agents_[i]->wait()) {
+        case SimAgent::Wait::kDone:
+          continue;
+        case SimAgent::Wait::kFrame:
+          fds.push_back(pollfd{agents_[i]->fd(), POLLIN, 0});
+          fd_agents.push_back(i);
+          break;
+        case SimAgent::Wait::kUntil:
+          next_wake = std::min(next_wake, agents_[i]->wake_time());
+          wake_pending = true;
+          break;
+        case SimAgent::Wait::kRun:
+          runnable = true;
+          break;
+      }
+      alive = true;
+    }
+    if (!alive) break;
+
+    int timeout_ms = 600000;  // the coordinator's stall guard, mirrored
+    if (runnable) {
+      timeout_ms = 0;
+    } else if (wake_pending) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_wake - Clock::now());
+      timeout_ms = static_cast<int>(std::clamp<long long>(until.count(), 0, 600000));
+    }
+    const int ready =
+        ::poll(fds.empty() ? nullptr : fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      for (auto& agent : agents_)
+        if (agent->wait() != SimAgent::Wait::kDone) agent->on_readable();
+      break;
+    }
+    if (ready == 0 && !runnable && !wake_pending) {
+      // Nothing runnable, nothing due, and 600 s of silence: mirror the
+      // coordinator's stall verdict instead of spinning forever.
+      for (std::size_t i = 0; i < agents_.size(); ++i)
+        if (agents_[i]->wait() == SimAgent::Wait::kFrame)
+          agents_[i]->on_readable();  // surfaces the disconnect, if any
+      break;
+    }
+
+    // Epoch wakes and barrier releases first — every agent's begin bracket
+    // hits the wire before any agent starts its phase compute.
+    if (wake_pending) {
+      const Clock::time_point now = Clock::now();
+      for (auto& agent : agents_)
+        if (agent->wait() == SimAgent::Wait::kUntil && now >= agent->wake_time())
+          agent->on_time();
+    }
+    if (ready > 0)
+      for (std::size_t k = 0; k < fds.size(); ++k)
+        if (fds[k].revents & (POLLIN | POLLHUP | POLLERR))
+          agents_[fd_agents[k]]->on_readable();
+    for (auto& agent : agents_)
+      if (agent->wait() == SimAgent::Wait::kRun) agent->advance();
+  }
+
+  outcomes_.clear();
+  for (const auto& agent : agents_) {
+    Outcome outcome;
+    outcome.name = agent->name();
+    outcome.ok = !agent->failed() && agent->wait() == SimAgent::Wait::kDone;
+    outcome.error = agent->error();
+    if (!outcome.ok && outcome.error.empty()) outcome.error = "fleet stalled";
+    outcomes_.push_back(std::move(outcome));
+  }
+}
+
+bool SimFleet::all_ok() const {
+  for (const Outcome& outcome : outcomes_) {
+    if (!outcome.ok) return false;
+  }
+  return true;
+}
+
+}  // namespace fs2::firestarter

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/messages.hpp"
+#include "cluster/remote_sink.hpp"
+#include "cluster/transport.hpp"
+#include "firestarter/sim_phases.hpp"
+#include "payload/compiler.hpp"
+#include "sched/campaign.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace fs2::firestarter {
+
+/// One entry of a --loopback fleet spec: "zen2@1500" = a simulated Zen 2
+/// agent pinned to 1500 MHz; "zen2@1500x256" = 256 of them. Loopback
+/// agents are sim-only — two host stress runs inside one process would
+/// fight over the same CPUs and measure each other.
+struct LoopbackSpec {
+  TargetSystem target = TargetSystem::kSimZen2;
+  double freq_mhz = 0.0;
+  std::string name;
+};
+
+/// Parse a --loopback spec list, expanding count multipliers:
+/// `sku[@FREQ][xCOUNT]`, comma-separated. Throws ConfigError on malformed
+/// specs, host entries, or fleets larger than kMaxLoopbackNodes.
+std::vector<LoopbackSpec> parse_loopback_specs(const std::string& list);
+
+/// Upper bound on one process's loopback fleet (file descriptors: agent +
+/// coordinator side per node).
+inline constexpr std::size_t kMaxLoopbackNodes = 4096;
+
+/// One in-process simulated agent driven by the fleet's event loop instead
+/// of a dedicated thread: a cooperative state machine that connects, says
+/// hello, answers sync probes, takes the campaign and epoch, then runs the
+/// campaign's phases in virtual time — yielding back to the loop wherever
+/// the protocol would block (phase-go barriers, budget reassignments, the
+/// shared epoch, shutdown).
+class SimAgent {
+ public:
+  /// What the agent is blocked on.
+  enum class Wait {
+    kFrame,  ///< a coordinator frame (poll the socket)
+    kUntil,  ///< a point in time (the shared epoch)
+    kRun,    ///< nothing — runnable; the loop should advance the phase
+    kDone,   ///< finished (cleanly or with error())
+  };
+
+  /// Connects and sends hello immediately (the coordinator's sequential
+  /// handshake finds every agent already dialed in).
+  SimAgent(Config cfg, const std::string& endpoint, std::size_t index);
+
+  Wait wait() const { return wait_; }
+  int fd() const { return conn_.fd(); }
+  std::chrono::steady_clock::time_point wake_time() const { return epoch_time_; }
+  const std::string& name() const { return node_name_; }
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Drain and handle every frame the socket has ready. Cheap: protocol
+  /// transitions only (sync replies, begin brackets on phase-go, budget
+  /// retunes) — phase computation happens in advance(), so a broadcast
+  /// reaches the whole fleet before any node starts burning virtual time
+  /// (keeping begin-bracket spreads tight).
+  void on_readable();
+
+  /// The epoch arrived: open phase 0.
+  void on_time();
+
+  /// Run the current phase until it blocks (budget exchange pending) or
+  /// completes (end bracket sent, next phase awaited / verdict sent).
+  void advance();
+
+ private:
+  enum class State {
+    kHandshake,
+    kWaitStart,
+    kRunPhase,
+    kAwaitAssign,
+    kAwaitGo,
+    kAwaitShutdown,
+    kDone,
+  };
+
+  struct ResolvedPhase {
+    const payload::FunctionDef* fn = nullptr;
+    sched::ProfilePtr profile;
+    std::optional<control::Setpoint> setpoint;
+  };
+
+  void handle_frame(const cluster::Frame& frame);
+  void prepare_campaign();
+  void begin_phase();
+  void finish_phase();
+  void send_budget_report();
+  void fail(const std::string& what);
+  const payload::PayloadStats& stats_for(const payload::FunctionDef& fn);
+
+  Config cfg_;
+  std::string node_name_;
+  cluster::Connection conn_;
+  State state_ = State::kHandshake;
+  Wait wait_ = Wait::kFrame;
+  bool failed_ = false;
+  std::string error_;
+
+  // Handshake results.
+  bool have_campaign_ = false;
+  bool have_epoch_ = false;
+  cluster::CampaignMsg campaign_;
+  std::chrono::steady_clock::time_point epoch_time_;
+
+  // Campaign state (valid after prepare_campaign()).
+  Target target_;
+  std::unique_ptr<sim::SimulatedSystem> system_;
+  std::optional<sched::Campaign> phases_;
+  std::vector<ResolvedPhase> resolved_;
+  telemetry::TelemetryBus bus_;
+  std::unique_ptr<cluster::RemoteSink> sink_;
+  SimChannels channels_;
+  std::map<std::string, payload::PayloadStats> stats_cache_;
+
+  // Phase-run state.
+  std::size_t phase_index_ = 0;
+  std::unique_ptr<ControlledSimPhaseRun> run_;
+  std::optional<double> carry_temp_c_;
+  double current_setpoint_w_ = 0.0;
+  double next_budget_s_ = 0.0;
+  std::uint32_t budget_seq_ = 0;
+  bool all_converged_ = true;
+};
+
+/// Drives a whole --loopback fleet of SimAgents from ONE thread: a poll(2)
+/// loop over every agent's socket plus a run queue for agents with phase
+/// work pending. Replaces the thread-per-agent design, whose per-node
+/// stacks and context-switch storms capped fleets at a few dozen nodes —
+/// 512 loopback agents fit in one process and one scheduler entity, which
+/// is what lets CI exercise the coordinator at fleet scale.
+class SimFleet {
+ public:
+  /// `base` is the coordinator's Config; per-agent copies are derived the
+  /// same way the old thread-per-agent path derived them (target/freq from
+  /// the spec, decorrelated seeds, cluster flags stripped).
+  SimFleet(const Config& base, const std::vector<LoopbackSpec>& specs,
+           std::uint16_t port);
+
+  /// Run every agent to completion (call on a dedicated thread while the
+  /// coordinator runs on the caller's). Never throws — per-agent failures
+  /// are recorded.
+  void run();
+
+  struct Outcome {
+    std::string name;
+    bool ok = true;
+    std::string error;
+  };
+  const std::vector<Outcome>& outcomes() const { return outcomes_; }
+  bool all_ok() const;
+
+ private:
+  std::vector<std::unique_ptr<SimAgent>> agents_;
+  std::vector<Outcome> outcomes_;
+};
+
+}  // namespace fs2::firestarter

@@ -6,11 +6,27 @@
 
 namespace fs2::telemetry {
 
+namespace {
+
+/// Channel-index key. Unit separator is a control byte no channel name or
+/// unit uses, so ("a", "b c") and ("a b", "c") cannot collide.
+std::string channel_key(const std::string& name, const std::string& unit) {
+  std::string key;
+  key.reserve(name.size() + unit.size() + 1);
+  key += name;
+  key += '\x1f';
+  key += unit;
+  return key;
+}
+
+}  // namespace
+
 ChannelId TelemetryBus::channel(const ChannelInfo& info) {
-  for (ChannelId id = 0; id < channels_.size(); ++id)
-    if (channels_[id].name == info.name && channels_[id].unit == info.unit) return id;
+  const auto it = index_.find(channel_key(info.name, info.unit));
+  if (it != index_.end()) return it->second;
   channels_.push_back(info);
   const ChannelId id = channels_.size() - 1;
+  index_.emplace(channel_key(info.name, info.unit), id);
   for (SampleSink* sink : sinks_) sink->on_channel(id, channels_[id]);
   return id;
 }
@@ -53,6 +69,14 @@ void TelemetryBus::publish(ChannelId id, double time_s, double value) {
     throw Error("TelemetryBus::publish: no open phase (call begin_phase first)");
   const Sample sample{time_s, value};
   for (SampleSink* sink : sinks_) sink->on_sample(id, sample);
+}
+
+void TelemetryBus::publish_batch(ChannelId id, std::span<const Sample> samples) {
+  if (id >= channels_.size()) throw Error("TelemetryBus::publish_batch: unknown channel id");
+  if (!in_phase_)
+    throw Error("TelemetryBus::publish_batch: no open phase (call begin_phase first)");
+  if (samples.empty()) return;
+  for (SampleSink* sink : sinks_) sink->on_samples(id, samples.data(), samples.size());
 }
 
 void TelemetryBus::finish() {

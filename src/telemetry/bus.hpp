@@ -1,6 +1,8 @@
 #pragma once
 
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "telemetry/sample_sink.hpp"
@@ -46,6 +48,13 @@ class TelemetryBus {
 
   void publish(ChannelId id, double time_s, double value);
 
+  /// Batched publish: one validation and one virtual dispatch per sink for
+  /// the whole span instead of per sample. Timestamps must be non-decreasing
+  /// within the span (same contract as repeated publish calls). Produces
+  /// byte-identical aggregation to publishing each sample individually —
+  /// batching is a transport optimization, never a semantic one.
+  void publish_batch(ChannelId id, std::span<const Sample> samples);
+
   /// End the open phase (if any) and notify sinks the run is over.
   void finish();
 
@@ -56,6 +65,10 @@ class TelemetryBus {
 
  private:
   std::vector<ChannelInfo> channels_;
+  /// (name, unit) -> id. The vector stays the source of truth for
+  /// registration order (summary row order); the map only accelerates the
+  /// get-or-create lookup, which producers hit on every phase of a campaign.
+  std::unordered_map<std::string, ChannelId> index_;
   std::vector<SampleSink*> sinks_;
   PhaseInfo phase_;
   bool in_phase_ = false;

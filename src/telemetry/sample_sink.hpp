@@ -62,6 +62,16 @@ class SampleSink {
   /// One sample on `id`; `sample.time_s` is phase-local.
   virtual void on_sample(ChannelId id, const Sample& sample) = 0;
 
+  /// A contiguous run of samples on `id`, timestamps non-decreasing — the
+  /// bus's batched fast path (TelemetryBus::publish_batch). The default
+  /// falls back to per-sample delivery so existing sinks keep working;
+  /// throughput-critical sinks (summary aggregation, the cluster merge)
+  /// override it to hoist their per-sample channel resolution out of the
+  /// loop.
+  virtual void on_samples(ChannelId id, const Sample* samples, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) on_sample(id, samples[i]);
+  }
+
   /// The phase finished. `phase` carries the same info on_phase_begin saw.
   virtual void on_phase_end(const PhaseInfo& phase) { (void)phase; }
 

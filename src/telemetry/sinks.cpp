@@ -17,22 +17,32 @@ void SummarySink::on_phase_begin(const PhaseInfo& phase) {
   arrival_order_.clear();
 }
 
-void SummarySink::on_sample(ChannelId id, const Sample& sample) {
-  auto it = active_.find(id);
-  if (it == active_.end()) {
+StreamingAggregator& SummarySink::aggregator(ChannelId id) {
+  if (active_.size() <= id) active_.resize(id + 1);
+  if (!active_[id]) {
     const bool trimmed = channels_[id].trim == TrimMode::kPhase;
-    it = active_
-             .emplace(id, StreamingAggregator(trimmed ? phase_.start_delta_s : 0.0,
-                                              trimmed ? phase_.stop_delta_s : 0.0))
-             .first;
+    active_[id].emplace(trimmed ? phase_.start_delta_s : 0.0,
+                        trimmed ? phase_.stop_delta_s : 0.0);
     arrival_order_.push_back(id);
   }
-  it->second.add(sample.time_s, sample.value);
+  return *active_[id];
+}
+
+void SummarySink::on_sample(ChannelId id, const Sample& sample) {
+  // Channels excluded from the summary (trace/log-only streams) produce no
+  // row — aggregating them would be pure waste.
+  if (!channels_[id].summarize) return;
+  aggregator(id).add(sample.time_s, sample.value);
+}
+
+void SummarySink::on_samples(ChannelId id, const Sample* samples, std::size_t count) {
+  if (count == 0 || !channels_[id].summarize) return;
+  aggregator(id).add_batch(samples, count);
 }
 
 void SummarySink::on_phase_end(const PhaseInfo& phase) {
   for (const ChannelId id : arrival_order_) {
-    const StreamingAggregator& aggregator = active_.at(id);
+    const StreamingAggregator& aggregator = *active_[id];
     const ChannelInfo& info = channels_[id];
     if (!info.summarize || aggregator.total_samples() == 0) continue;
     const StreamingSummary stats = aggregator.summarize();

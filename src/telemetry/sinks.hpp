@@ -1,7 +1,7 @@
 #pragma once
 
-#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "metrics/measurement.hpp"
@@ -30,6 +30,7 @@ class SummarySink : public SampleSink {
   void on_channel(ChannelId id, const ChannelInfo& info) override;
   void on_phase_begin(const PhaseInfo& phase) override;
   void on_sample(ChannelId id, const Sample& sample) override;
+  void on_samples(ChannelId id, const Sample* samples, std::size_t count) override;
   void on_phase_end(const PhaseInfo& phase) override;
   void on_finish() override;
 
@@ -38,8 +39,15 @@ class SummarySink : public SampleSink {
   const std::vector<metrics::Summary>& rows() const { return rows_; }
 
  private:
+  /// Get-or-create the current phase's aggregator for `id` — the once-per-
+  /// batch half of the ingest path; the per-sample half is add()/add_batch().
+  StreamingAggregator& aggregator(ChannelId id);
+
   std::vector<ChannelInfo> channels_;
-  std::map<ChannelId, StreamingAggregator> active_;  ///< current phase's aggregators
+  /// Current phase's aggregators, indexed by ChannelId (engaged = received
+  /// samples this phase). Flat so the per-batch resolution is one bounds
+  /// check and one load, not a tree walk.
+  std::vector<std::optional<StreamingAggregator>> active_;
   std::vector<ChannelId> arrival_order_;  ///< first-sample order within the phase
   PhaseInfo phase_;
   std::vector<metrics::Summary> rows_;

@@ -12,52 +12,11 @@ P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
   increments_ = {0.0, quantile_ / 2.0, quantile_, (1.0 + quantile_) / 2.0, 1.0};
 }
 
-void P2Quantile::add(double value) {
-  if (count_ < 5) {
-    heights_[count_++] = value;
-    if (count_ == 5) {
-      std::sort(heights_.begin(), heights_.end());
-      for (std::size_t i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
-    }
-    return;
-  }
-
-  // Locate the cell and update the extreme markers.
-  std::size_t cell;
-  if (value < heights_[0]) {
-    heights_[0] = value;
-    cell = 0;
-  } else if (value >= heights_[4]) {
-    heights_[4] = std::max(heights_[4], value);
-    cell = 3;
-  } else {
-    cell = 0;
-    while (cell < 3 && value >= heights_[cell + 1]) ++cell;
-  }
-
-  ++count_;
-  for (std::size_t i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
-  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
-
-  // Nudge the three interior markers toward their desired positions with a
-  // piecewise-parabolic height prediction (linear when the parabola would
-  // leave the neighbouring markers' bracket).
-  for (int i = 1; i <= 3; ++i) {
-    const double d = desired_[i] - positions_[i];
-    const bool move_right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
-    const bool move_left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
-    if (!move_right && !move_left) continue;
-    const int si = move_right ? 1 : -1;
-    const double s = static_cast<double>(si);
-    const double qp = heights_[i + 1], q = heights_[i], qm = heights_[i - 1];
-    const double np = positions_[i + 1], n = positions_[i], nm = positions_[i - 1];
-    double candidate = q + s / (np - nm) *
-                               ((n - nm + s) * (qp - q) / (np - n) +
-                                (np - n - s) * (q - qm) / (n - nm));
-    if (!(qm < candidate && candidate < qp))
-      candidate = q + s * (heights_[i + si] - q) / (positions_[i + si] - n);
-    heights_[i] = candidate;
-    positions_[i] += s;
+void P2Quantile::add_warmup(double value) {
+  heights_[count_++] = value;
+  if (count_ == 5) {
+    std::sort(heights_.begin(), heights_.end());
+    for (std::size_t i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
   }
 }
 
@@ -81,22 +40,6 @@ double P2Quantile::value() const {
 
 StreamingMoments::StreamingMoments() : p50_(0.50), p95_(0.95), p99_(0.99) {}
 
-void StreamingMoments::add(double value) {
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  ++count_;
-  const double delta = value - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (value - mean_);
-  p50_.add(value);
-  p95_.add(value);
-  p99_.add(value);
-}
-
 double StreamingMoments::variance() const {
   return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
 }
@@ -105,32 +48,19 @@ double StreamingMoments::stddev() const { return std::sqrt(variance()); }
 
 // ---- StreamingAggregator ----------------------------------------------------
 
-void StreamingAggregator::add(double time_s, double value) {
-  all_.add(value);
-  last_time_s_ = any_ ? std::max(last_time_s_, time_s) : time_s;
-  any_ = true;
-  if (time_s < start_delta_s_) return;  // causal start trim
-  pending_.push_back(Sample{time_s, value});
-  // Samples at or before (newest - stop_delta) stay inside the window for
-  // every possible future end time (end only grows), so they can be folded
-  // into the running moments now. Same float comparison as the batch path:
-  // t <= end - stop_delta.
-  const double threshold = last_time_s_ - stop_delta_s_;
-  while (!pending_.empty() && pending_.front().time_s <= threshold) {
-    trimmed_.add(pending_.front().value);
-    pending_.pop_front();
-  }
-}
-
 StreamingSummary StreamingAggregator::summarize() const {
   // Fold the pending samples that qualify under the current end time into a
   // COPY of the running moments — summarize() must not consume state, the
   // stream may keep going (mid-run peeks, repeated phase finalization).
   StreamingMoments window = trimmed_;
   const double threshold = last_time_s_ - stop_delta_s_;
-  for (const Sample& s : pending_)
+  pending_.for_each([&](const Sample& s) {
     if (s.time_s <= threshold) window.add(s.value);
+  });
 
+  // The untrimmed shadow is only consulted when the trimmed window is empty
+  // — exactly the condition under which it was never frozen, so it holds
+  // the complete untrimmed stream whenever it is read.
   const StreamingMoments& source = window.count() > 0 ? window : all_;
   StreamingSummary summary;
   summary.samples = source.count();
@@ -143,7 +73,7 @@ StreamingSummary StreamingAggregator::summarize() const {
     summary.p95 = source.p95();
     summary.p99 = source.p99();
   }
-  summary.trim_fallback = window.count() == 0 && all_.count() > 0;
+  summary.trim_fallback = window.count() == 0 && count_ > 0;
   return summary;
 }
 

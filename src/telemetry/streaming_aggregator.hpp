@@ -1,23 +1,127 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 #include "telemetry/sample.hpp"
 
 namespace fs2::telemetry {
+
+/// Grow-on-demand FIFO over a contiguous power-of-two ring — the stop-delta
+/// holdback buffer. std::deque's block-map indirection costs several
+/// nanoseconds per push/pop, which the aggregator pays per sample; this is
+/// a load, a store, and a mask. Capacity doubles when full (the holdback is
+/// bounded by stop_delta x sample rate, so growth stops quickly).
+class SampleFifo {
+ public:
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return tail_ - head_; }
+
+  const Sample& front() const { return ring_[head_ & mask_]; }
+
+  void push_back(const Sample& sample) {
+    if (size() == ring_.size()) grow();
+    ring_[tail_++ & mask_] = sample;
+  }
+
+  void pop_front() { ++head_; }
+
+  /// Oldest-first visit (summarize()'s idempotent window peek).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = head_; i != tail_; ++i) fn(ring_[i & mask_]);
+  }
+
+ private:
+  void grow() {
+    const std::size_t capacity = ring_.empty() ? 64 : ring_.size() * 2;
+    std::vector<Sample> next(capacity);
+    const std::size_t count = size();
+    for (std::size_t i = 0; i < count; ++i) next[i] = ring_[(head_ + i) & mask_];
+    ring_ = std::move(next);
+    head_ = 0;
+    tail_ = count;
+    mask_ = capacity - 1;
+  }
+
+  std::vector<Sample> ring_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t mask_ = 0;
+};
 
 /// P² (piecewise-parabolic) single-quantile estimator, Jain & Chlamtac 1985:
 /// five markers track the running quantile of a stream in O(1) memory and
 /// O(1) per observation — the standard production-telemetry answer to
 /// "p95 without keeping the samples". Exact while fewer than five
 /// observations have arrived (it falls back to the sorted array).
+///
+/// add() lives in the header: it sits on every sample of every summarized
+/// channel (three estimators per stream), which makes it the single hottest
+/// function of the telemetry layer — the cluster merge ingests millions of
+/// samples per second through it and cannot afford a call per observation.
 class P2Quantile {
  public:
   explicit P2Quantile(double quantile);
 
-  void add(double value);
+  void add(double value) {
+    if (count_ < 5) {
+      add_warmup(value);
+      return;
+    }
+
+    // Locate the cell and update the extreme markers. The interior search
+    // is branchless — the marker heights are sorted, so the cell index is
+    // the count of markers at or below the value; data-dependent branches
+    // here would mispredict on every oscillating stream.
+    std::size_t cell;
+    if (value < heights_[0]) {
+      heights_[0] = value;
+      cell = 0;
+    } else if (value >= heights_[4]) {
+      heights_[4] = std::max(heights_[4], value);
+      cell = 3;
+    } else {
+      cell = static_cast<std::size_t>(value >= heights_[1]) +
+             static_cast<std::size_t>(value >= heights_[2]) +
+             static_cast<std::size_t>(value >= heights_[3]);
+    }
+
+    ++count_;
+    positions_[1] += static_cast<double>(cell < 1);
+    positions_[2] += static_cast<double>(cell < 2);
+    positions_[3] += static_cast<double>(cell < 3);
+    positions_[4] += 1.0;
+    // desired_[0] never moves (increment 0) and desired_[4] is never read by
+    // the marker adjustment below — only the interior markers accumulate.
+    desired_[1] += increments_[1];
+    desired_[2] += increments_[2];
+    desired_[3] += increments_[3];
+
+    // Nudge the three interior markers toward their desired positions with a
+    // piecewise-parabolic height prediction (linear when the parabola would
+    // leave the neighbouring markers' bracket).
+    for (int i = 1; i <= 3; ++i) {
+      const double d = desired_[i] - positions_[i];
+      const bool move_right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+      const bool move_left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+      if (!move_right && !move_left) continue;
+      const int si = move_right ? 1 : -1;
+      const double s = static_cast<double>(si);
+      const double qp = heights_[i + 1], q = heights_[i], qm = heights_[i - 1];
+      const double np = positions_[i + 1], n = positions_[i], nm = positions_[i - 1];
+      double candidate = q + s / (np - nm) *
+                                 ((n - nm + s) * (qp - q) / (np - n) +
+                                  (np - n - s) * (q - qm) / (n - nm));
+      if (!(qm < candidate && candidate < qp))
+        candidate = q + s * (heights_[i + si] - q) / (positions_[i + si] - n);
+      heights_[i] = candidate;
+      positions_[i] += s;
+    }
+  }
+
   std::size_t count() const { return count_; }
 
   /// Current estimate; exact for count() < 5, asymptotically exact for
@@ -26,6 +130,8 @@ class P2Quantile {
   double value() const;
 
  private:
+  void add_warmup(double value);  ///< first five observations (cold path)
+
   double quantile_;
   std::size_t count_ = 0;
   std::array<double, 5> heights_{};     ///< marker heights (q0..q4)
@@ -36,12 +142,29 @@ class P2Quantile {
 
 /// Streaming summary of one value stream: Welford mean/stddev (population,
 /// matching util/stats), exact min/max, and P² estimates of the p50/p95/p99
-/// quantiles. Constant memory regardless of stream length.
+/// quantiles. Constant memory regardless of stream length. add() is inline
+/// for the same reason P2Quantile::add is — the three estimator updates of
+/// one observation are independent dependency chains the CPU overlaps, but
+/// only once they are visible in one compilation unit.
 class StreamingMoments {
  public:
   StreamingMoments();
 
-  void add(double value);
+  void add(double value) {
+    if (count_ == 0) {
+      min_ = max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    p50_.add(value);
+    p95_.add(value);
+    p99_.add(value);
+  }
 
   std::size_t count() const { return count_; }
   double mean() const { return mean_; }
@@ -96,16 +219,71 @@ struct StreamingSummary {
 /// Timestamps must be non-decreasing (every producer in this codebase
 /// stamps monotonically). An untrimmed shadow aggregate is kept so that a
 /// run shorter than start+stop deltas degrades to the untrimmed summary
-/// instead of having nothing to report.
+/// instead of having nothing to report. The shadow freezes as soon as the
+/// trimmed window is provably non-empty — from then on summarize() can
+/// never fall back to it, so updating it would be pure waste; this halves
+/// the steady-state ingest cost without changing any reachable output.
 class StreamingAggregator {
  public:
   StreamingAggregator(double start_delta_s, double stop_delta_s)
       : start_delta_s_(start_delta_s), stop_delta_s_(stop_delta_s) {}
 
-  void add(double time_s, double value);
+  void add(double time_s, double value) {
+    ++count_;
+    if (trimmed_.count() == 0) all_.add(value);
+    last_time_s_ = any_ ? std::max(last_time_s_, time_s) : time_s;
+    any_ = true;
+    if (time_s < start_delta_s_) return;  // causal start trim
+    pending_.push_back(Sample{time_s, value});
+    // Samples at or before (newest - stop_delta) stay inside the window for
+    // every possible future end time (end only grows), so they can be folded
+    // into the running moments now. Same float comparison as the batch path:
+    // t <= end - stop_delta.
+    const double threshold = last_time_s_ - stop_delta_s_;
+    while (!pending_.empty() && pending_.front().time_s <= threshold) {
+      trimmed_.add(pending_.front().value);
+      pending_.pop_front();
+    }
+  }
+
+  /// Batched ingest — reaches the exact state per-sample add() calls would:
+  /// the same samples fold into the same moments in the same order; the
+  /// batch form only hoists the bookkeeping (shadow check, threshold) out
+  /// of the loop and lets proven-inside-the-window samples skip the
+  /// holdback round trip. (The untrimmed shadow may receive samples a
+  /// per-sample run would have skipped when the trimmed window first fills
+  /// mid-batch — unobservable, because a non-empty trimmed window means the
+  /// shadow is never read again.)
+  void add_batch(const Sample* samples, std::size_t count) {
+    if (count == 0) return;
+    count_ += count;
+    if (trimmed_.count() == 0)
+      for (std::size_t i = 0; i < count; ++i) all_.add(samples[i].value);
+    // Producers stamp monotonically (the bus contract), so the batch's last
+    // timestamp is its newest.
+    const double newest = samples[count - 1].time_s;
+    last_time_s_ = any_ ? std::max(last_time_s_, newest) : newest;
+    any_ = true;
+    const double threshold = last_time_s_ - stop_delta_s_;
+    while (!pending_.empty() && pending_.front().time_s <= threshold) {
+      trimmed_.add(pending_.front().value);
+      pending_.pop_front();
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const Sample& sample = samples[i];
+      if (sample.time_s < start_delta_s_) continue;  // causal start trim
+      // Already provably inside the window (end only grows): straight into
+      // the moments, in arrival order — the holdback would fold it at this
+      // exact point anyway.
+      if (sample.time_s <= threshold)
+        trimmed_.add(sample.value);
+      else
+        pending_.push_back(sample);
+    }
+  }
 
   /// Total samples observed (before trimming).
-  std::size_t total_samples() const { return all_.count(); }
+  std::size_t total_samples() const { return count_; }
   /// Samples currently held back awaiting proof they precede the stop
   /// delta (bounded by stop_delta x sample rate).
   std::size_t pending() const { return pending_.size(); }
@@ -123,8 +301,12 @@ class StreamingAggregator {
   double start_delta_s_;
   double stop_delta_s_;
   StreamingMoments trimmed_;      ///< samples proven inside the trim window
-  StreamingMoments all_;          ///< untrimmed shadow (fallback)
-  std::deque<Sample> pending_;    ///< survived start trim, awaiting stop proof
+  /// Untrimmed shadow (fallback). Frozen — no longer updated — once
+  /// trimmed_ has its first sample: summarize() only reads it when the
+  /// trimmed window is empty, which can no longer happen.
+  StreamingMoments all_;
+  SampleFifo pending_;            ///< survived start trim, awaiting stop proof
+  std::size_t count_ = 0;         ///< all samples ever observed
   double last_time_s_ = 0.0;
   bool any_ = false;
 };

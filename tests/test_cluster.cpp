@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -85,16 +87,36 @@ TEST(Messages, CampaignRoundTrip) {
 TEST(Messages, SampleBatchRoundTrip) {
   SampleBatchMsg msg;
   msg.channel_id = 3;
-  for (int i = 0; i < 300; ++i) {
-    msg.times_s.push_back(i * 0.05);
-    msg.values.push_back(100.0 + i);
-  }
+  for (int i = 0; i < 300; ++i)
+    msg.samples.push_back(telemetry::Sample{i * 0.05, 100.0 + i});
   const Frame frame = msg.encode();
   WireReader r(frame.payload);
   const SampleBatchMsg back = SampleBatchMsg::decode(r);
-  ASSERT_EQ(back.times_s.size(), 300u);
-  EXPECT_DOUBLE_EQ(back.times_s[299], 299 * 0.05);
-  EXPECT_DOUBLE_EQ(back.values[0], 100.0);
+  ASSERT_EQ(back.samples.size(), 300u);
+  EXPECT_DOUBLE_EQ(back.samples[299].time_s, 299 * 0.05);
+  EXPECT_DOUBLE_EQ(back.samples[0].value, 100.0);
+}
+
+TEST(Messages, SampleBatchScratchReuseMatchesFreshDecode) {
+  // The hot path encodes from a reused writer and decodes into a reused
+  // message; both must agree with the allocating round trip bit for bit.
+  std::vector<telemetry::Sample> samples;
+  for (int i = 0; i < 100; ++i)
+    samples.push_back(telemetry::Sample{i * 0.25, 300.0 - i});
+  WireWriter scratch;
+  scratch.u32(999);  // stale content the clear() must discard
+  SampleBatchMsg::encode_into(scratch, 7, samples.data(), samples.size());
+
+  SampleBatchMsg reused;
+  reused.samples.assign(512, telemetry::Sample{9.0, 9.0});  // stale capacity
+  WireReader r1(scratch.bytes());
+  SampleBatchMsg::decode_into(r1, reused);
+  EXPECT_EQ(reused.channel_id, 7u);
+  ASSERT_EQ(reused.samples.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reused.samples[i].time_s, samples[i].time_s);
+    EXPECT_DOUBLE_EQ(reused.samples[i].value, samples[i].value);
+  }
 }
 
 TEST(Messages, SampleBatchRejectsHostileCount) {
@@ -286,10 +308,20 @@ SampleBatchMsg make_batch(std::uint32_t id, std::initializer_list<double> values
   SampleBatchMsg msg;
   msg.channel_id = id;
   double t = 0.0;
-  for (double v : values) {
-    msg.times_s.push_back(t += 1.0);
-    msg.values.push_back(v);
-  }
+  for (double v : values) msg.samples.push_back(telemetry::Sample{t += 1.0, v});
+  return msg;
+}
+
+/// Edge-summarized row the v2 protocol ships at phase end (mean is all the
+/// merge tests check; the other statistics travel verbatim anyway).
+NodeSummaryMsg make_summary(std::uint32_t phase_index, const std::string& name,
+                            const std::string& unit, double mean) {
+  NodeSummaryMsg msg;
+  msg.phase_index = phase_index;
+  msg.name = name;
+  msg.unit = unit;
+  msg.samples = 3;
+  msg.mean = mean;
   return msg;
 }
 
@@ -305,6 +337,10 @@ TEST(ClusterBusTest, MergesPerNodeRowsAndAggregates) {
   bus.on_samples(1, make_batch(0, {200.0, 210.0, 220.0}));
   bus.on_samples(0, make_batch(1, {50.0, 55.0, 60.0}));
   bus.on_samples(1, make_batch(1, {70.0, 65.0, 40.0}));
+  // Per-node rows arrive pre-aggregated from the edge, before the end
+  // bracket (the agent's RemoteSink sends them at phase end).
+  bus.on_summary(0, make_summary(0, "sim-wall-power", "W", 110.0));
+  bus.on_summary(1, make_summary(0, "sim-wall-power", "W", 210.0));
   bus.on_bracket(0, make_bracket(false, 0, "hold", 11.0));
   bus.on_bracket(1, make_bracket(false, 0, "hold", 11.0));
   bus.finish();
@@ -501,6 +537,120 @@ TEST(LoopbackFleet, UnreachableBudgetFailsRequireConvergence) {
   EXPECT_EQ(app.run(), 1) << out.str();
 }
 
+TEST(LoopbackFleet, SixtyFourNodeFleetMergesCorrectly) {
+  // Fleet-scale stress: 64 heterogeneous in-process agents under a global
+  // budget, driven by the shared event loop. Asserts the cluster
+  // aggregates against their per-node parts and that the coordinator's
+  // alignment queues stayed bounded (the run completing with converged
+  // budget implies drained queues; kMaxLagSamples caps them throughout).
+  const std::string campaign = write_campaign("/tmp/fs2_cluster_64.campaign",
+                                              "phase name=hold duration=10\n");
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "zen2@1500x32,haswell@2000x32";
+  cfg.coordinator = true;
+  cfg.campaign_file = campaign;
+  cfg.target_spec = "cluster-power=16000W";  // 250 W/node, as the pair test
+  cfg.require_convergence = true;
+  cfg.log_level = "error";
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  const int code = app.run();
+  const std::string output = out.str();
+  EXPECT_EQ(code, 0) << output;
+
+  // Every node contributed a power row, and the cluster-power aggregate is
+  // consistent with the sum of its 64 parts.
+  double parts = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const std::string node =
+        std::string("n") + std::to_string(i) + (i < 32 ? "-zen2" : "-haswell");
+    const double mean = csv_mean(output, "sim-wall-power", "hold", node);
+    EXPECT_GT(mean, 0.0) << "missing power row for " << node;
+    parts += mean;
+  }
+  const double cluster = csv_mean(output, "cluster-power", "hold", "cluster");
+  EXPECT_NEAR(cluster, 16000.0, 0.04 * 16000.0) << output;
+  EXPECT_NEAR(cluster, parts, 0.02 * parts) << output;
+
+  // The hottest-package aggregate must sit at or above every node's own
+  // mean temperature and below the hottest node's max.
+  const double temp_max = csv_mean(output, "cluster-temp-max", "hold", "cluster");
+  EXPECT_GT(temp_max, 0.0) << output;
+  for (int i = 0; i < 64; i += 16) {
+    const std::string node =
+        std::string("n") + std::to_string(i) + (i < 32 ? "-zen2" : "-haswell");
+    EXPECT_GE(temp_max + 1e-9, csv_mean(output, "sim-package-temp", "hold", node));
+  }
+}
+
+TEST(MultiProcessFleet, RealAgentSessionsConvergeOverTcp) {
+  // The production --agent path (run_agent -> AgentSession -> run_campaign's
+  // session branches) must stay covered now that --loopback drives SimFleet
+  // instead: this is the exact code real multi-machine deployments run,
+  // exercised here as separate Firestarter instances over real TCP.
+  const std::string campaign = write_campaign("/tmp/fs2_cluster_agents.campaign",
+                                              "phase name=ramp duration=8\n"
+                                              "phase name=hold duration=8\n");
+  const std::uint16_t port = [] {
+    Listener probe(0, /*loopback_only=*/true);  // freed on destruction
+    return probe.port();
+  }();
+
+  firestarter::Config coord_cfg;
+  coord_cfg.coordinator = true;
+  coord_cfg.listen_port = port;
+  coord_cfg.cluster_nodes = 2;
+  coord_cfg.campaign_file = campaign;
+  coord_cfg.target_spec = "cluster-power=500W";
+  coord_cfg.require_convergence = true;
+  coord_cfg.log_level = "error";
+  std::ostringstream coord_out;
+  int coord_code = -1;
+  std::thread coordinator([&] {
+    try {
+      firestarter::Firestarter app(coord_cfg, coord_out);
+      coord_code = app.run();
+    } catch (const std::exception& e) {
+      coord_out << "coordinator error: " << e.what() << "\n";
+    }
+  });
+
+  auto run_agent = [port](firestarter::TargetSystem target, double freq_mhz,
+                          const char* name, int* code) {
+    firestarter::Config cfg;
+    cfg.agent_endpoint = "127.0.0.1:" + std::to_string(port);
+    cfg.target = target;
+    cfg.sim_freq_mhz = freq_mhz;
+    cfg.node_name = name;
+    cfg.log_level = "error";
+    try {
+      std::ostringstream out;
+      firestarter::Firestarter app(cfg, out);
+      *code = app.run();
+    } catch (const std::exception&) {
+      *code = -2;
+    }
+  };
+  int zen2_code = -1;
+  int haswell_code = -1;
+  std::thread zen2(run_agent, firestarter::TargetSystem::kSimZen2, 1500.0, "alpha",
+                   &zen2_code);
+  std::thread haswell(run_agent, firestarter::TargetSystem::kSimHaswell, 2000.0, "beta",
+                      &haswell_code);
+  zen2.join();
+  haswell.join();
+  coordinator.join();
+
+  const std::string output = coord_out.str();
+  EXPECT_EQ(coord_code, 0) << output;
+  EXPECT_EQ(zen2_code, 0);
+  EXPECT_EQ(haswell_code, 0);
+  const double cluster = csv_mean(output, "cluster-power", "hold", "cluster");
+  EXPECT_NEAR(cluster, 500.0, 0.04 * 500.0) << output;
+  EXPECT_GT(csv_mean(output, "sim-wall-power", "ramp", "alpha"), 0.0) << output;
+  EXPECT_GT(csv_mean(output, "sim-wall-power", "hold", "beta"), 0.0) << output;
+}
+
 TEST(LoopbackFleet, RejectsHostSpecs) {
   firestarter::Config cfg;
   cfg.loopback_nodes = "host,zen2";
@@ -510,6 +660,117 @@ TEST(LoopbackFleet, RejectsHostSpecs) {
   std::ostringstream out;
   firestarter::Firestarter app(cfg, out);
   EXPECT_THROW(app.run(), ConfigError);
+}
+
+TEST(ClusterBusTest, LagQueuesStayBounded) {
+  // Node alpha streams far ahead while beta stays silent: the per-node
+  // alignment queue must cap at kMaxLagSamples (dropping oldest), never
+  // grow with the skew.
+  ClusterBus bus({"alpha", "beta"});
+  bus.on_channel(0, make_channel(0, "sim-wall-power", "W"));
+  bus.on_channel(1, make_channel(0, "sim-wall-power", "W"));
+  bus.on_bracket(0, make_bracket(true, 0, "p", 0.0));
+  bus.on_bracket(1, make_bracket(true, 0, "p", 0.0));
+  SampleBatchMsg batch;
+  batch.channel_id = 0;
+  for (int i = 0; i < 1000; ++i)
+    batch.samples.push_back(telemetry::Sample{i * 0.05, 100.0});
+  const std::size_t rounds = 3 * ClusterBus::kMaxLagSamples / 1000;
+  for (std::size_t r = 0; r <= rounds; ++r) bus.on_samples(0, batch);
+  EXPECT_LE(bus.queued_samples(), ClusterBus::kMaxLagSamples);
+  EXPECT_GT(bus.queued_samples(), 0u);
+}
+
+TEST(RemoteSinkTest, EdgeSummarizesAndShipsOnlyAggregateSamples) {
+  Listener listener(0, /*loopback_only=*/true);
+  Connection agent = Connection::connect(
+      "127.0.0.1:" + std::to_string(listener.port()));
+  Connection coordinator = listener.accept(/*timeout_s=*/5.0);
+
+  telemetry::TelemetryBus bus;
+  RemoteSink sink(&agent, std::chrono::steady_clock::now());
+  bus.attach(&sink);
+  const telemetry::ChannelId power = bus.channel("sim-wall-power", "W");
+  const telemetry::ChannelId load = bus.channel("load-level", "fraction");
+  EXPECT_TRUE(sink.ships_samples(power));
+  EXPECT_FALSE(sink.ships_samples(load));
+
+  bus.begin_phase("hold", 10.0, 0.0, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    bus.publish(power, i * 0.1, 200.0 + i);
+    bus.publish(load, i * 0.1, 0.5);
+  }
+  bus.end_phase();
+  bus.finish();
+
+  // Expected wire order: channel registrations, begin bracket, the power
+  // samples, then the edge summary rows (power AND load), then the end
+  // bracket — never a raw load-level batch.
+  std::size_t sample_batches = 0;
+  std::vector<NodeSummaryMsg> summaries;
+  bool end_bracket_seen = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto frame = coordinator.recv(/*timeout_s=*/2.0);
+    ASSERT_TRUE(frame.has_value());
+    WireReader reader(frame->payload);
+    if (frame->type == MessageType::kSampleBatch) {
+      const SampleBatchMsg batch = SampleBatchMsg::decode(reader);
+      EXPECT_EQ(batch.channel_id, static_cast<std::uint32_t>(power));
+      EXPECT_FALSE(end_bracket_seen);
+      sample_batches += batch.samples.size();
+    } else if (frame->type == MessageType::kNodeSummary) {
+      EXPECT_FALSE(end_bracket_seen);  // rows precede the barrier signal
+      summaries.push_back(NodeSummaryMsg::decode(reader));
+    } else if (frame->type == MessageType::kPhaseBracket) {
+      const PhaseBracketMsg bracket = PhaseBracketMsg::decode(reader);
+      if (!bracket.is_begin) {
+        end_bracket_seen = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(end_bracket_seen);
+  EXPECT_EQ(sample_batches, 50u);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].name, "sim-wall-power");
+  EXPECT_NEAR(summaries[0].mean, 224.5, 1e-9);  // mean of 200..249
+  EXPECT_EQ(summaries[1].name, "load-level");
+  EXPECT_NEAR(summaries[1].mean, 0.5, 1e-12);
+}
+
+TEST(RemoteSinkTest, BatchThresholdAdaptsToSampleRate) {
+  Listener listener(0, /*loopback_only=*/true);
+  Connection agent = Connection::connect(
+      "127.0.0.1:" + std::to_string(listener.port()));
+  Connection coordinator = listener.accept(/*timeout_s=*/5.0);
+
+  std::atomic<bool> done{false};
+  std::thread drain([&] {
+    Frame frame;
+    while (!done.load())
+      if (!coordinator.recv_into(frame, /*timeout_s=*/0.05)) continue;
+  });
+
+  telemetry::TelemetryBus bus;
+  RemoteSink sink(&agent, std::chrono::steady_clock::now());
+  bus.attach(&sink);
+  const telemetry::ChannelId power = bus.channel("sim-wall-power", "W");
+  EXPECT_EQ(sink.batch_threshold(power), RemoteSink::kBatchSamples);
+
+  bus.begin_phase("p", 1000.0, 0.0, 0.0);
+  // 500 Sa/s: after the first full flush the threshold re-targets
+  // kTargetBatchSeconds' worth of stream (1000 samples).
+  for (int i = 0; i < 300; ++i) bus.publish(power, i / 500.0, 100.0);
+  EXPECT_EQ(sink.batch_threshold(power),
+            static_cast<std::size_t>(500.0 * RemoteSink::kTargetBatchSeconds));
+  // 2 Sa/s: a slow channel adapts down to the floor instead of buffering
+  // minutes of latency.
+  const telemetry::ChannelId slow = bus.channel("sysfs-powercap-rapl", "W");
+  for (int i = 0; i < 1100; ++i) bus.publish(slow, i / 2.0, 50.0);
+  EXPECT_EQ(sink.batch_threshold(slow), RemoteSink::kMinBatchSamples);
+  bus.finish();
+  done.store(true);
+  drain.join();
 }
 
 TEST(Coordinator, RequiresCampaignAndNodes) {

@@ -424,5 +424,136 @@ TEST(TelemetryBus, LateAttachReplaysChannelsAndPhase) {
   EXPECT_EQ(sink.rows()[0].phase, "late");
 }
 
+TEST(TelemetryBus, HashedChannelLookupPreservesIdsAndOrder) {
+  TelemetryBus bus;
+  const ChannelId b = bus.channel("beta", "W");
+  const ChannelId a = bus.channel("alpha", "W");
+  const ChannelId a_other_unit = bus.channel("alpha", "degC");
+  // Re-registration is idempotent and returns the original id regardless of
+  // how many channels were added in between.
+  EXPECT_EQ(bus.channel("beta", "W"), b);
+  EXPECT_EQ(bus.channel("alpha", "W"), a);
+  EXPECT_EQ(bus.channel("alpha", "degC"), a_other_unit);
+  EXPECT_EQ(bus.channel_count(), 3u);
+  // Ids are registration order — the summary row order contract.
+  EXPECT_EQ(b, 0u);
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(a_other_unit, 2u);
+  EXPECT_EQ(bus.info(a).unit, "W");
+}
+
+/// Deterministic value stream with enough structure to exercise the P²
+/// marker moves and the trim window edges.
+double probe_value(std::size_t channel, std::size_t i) {
+  const double t = static_cast<double>(i) * 0.05;
+  return 100.0 * static_cast<double>(channel + 1) + 25.0 * std::sin(t * 1.3) +
+         0.01 * static_cast<double>(i % 97);
+}
+
+TEST(TelemetryBatch, PublishBatchBitIdenticalToPerSamplePublish) {
+  // Two buses consume the SAME per-channel sample sequences — one sample
+  // at a time vs. ragged batches — across multiple phases with real trim
+  // deltas. Every summary statistic (including the order-sensitive P²
+  // quantiles) must agree TO THE BIT: batching is transport, not
+  // semantics.
+  TelemetryBus single_bus, batch_bus;
+  SummarySink single_sink, batch_sink;
+  single_bus.attach(&single_sink);
+  batch_bus.attach(&batch_sink);
+
+  std::vector<ChannelId> single_ch, batch_ch;
+  for (int c = 0; c < 3; ++c) {
+    const std::string name = "ch" + std::to_string(c);
+    const TrimMode trim = c == 2 ? TrimMode::kNone : TrimMode::kPhase;
+    single_ch.push_back(single_bus.channel(name, "u", trim));
+    batch_ch.push_back(batch_bus.channel(name, "u", trim));
+  }
+
+  const std::size_t batch_sizes[] = {1, 7, 64, 501, 3};
+  for (int phase = 0; phase < 3; ++phase) {
+    const std::string phase_name = "p" + std::to_string(phase);
+    single_bus.begin_phase(phase_name, 60.0, 2.5, 1.0);
+    batch_bus.begin_phase(phase_name, 60.0, 2.5, 1.0);
+    const std::size_t samples = 1200 - static_cast<std::size_t>(phase) * 150;
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t i = 0; i < samples; ++i)
+        single_bus.publish(single_ch[c], i * 0.05, probe_value(c, i));
+      std::size_t at = 0;
+      std::size_t pick = 0;
+      while (at < samples) {
+        const std::size_t n = std::min(batch_sizes[pick++ % 5], samples - at);
+        std::vector<Sample> chunk;
+        for (std::size_t i = 0; i < n; ++i)
+          chunk.push_back(Sample{(at + i) * 0.05, probe_value(c, at + i)});
+        batch_bus.publish_batch(batch_ch[c], chunk);
+        at += n;
+      }
+    }
+    single_bus.end_phase();
+    batch_bus.end_phase();
+  }
+  single_bus.finish();
+  batch_bus.finish();
+
+  const auto& expected = single_sink.rows();
+  const auto& actual = batch_sink.rows();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE(expected[i].name + " / " + expected[i].phase);
+    EXPECT_EQ(actual[i].name, expected[i].name);
+    EXPECT_EQ(actual[i].phase, expected[i].phase);
+    EXPECT_EQ(actual[i].samples, expected[i].samples);
+    // EXPECT_EQ, not NEAR: bit-identical is the contract.
+    EXPECT_EQ(actual[i].mean, expected[i].mean);
+    EXPECT_EQ(actual[i].stddev, expected[i].stddev);
+    EXPECT_EQ(actual[i].min, expected[i].min);
+    EXPECT_EQ(actual[i].max, expected[i].max);
+    EXPECT_EQ(actual[i].p50, expected[i].p50);
+    EXPECT_EQ(actual[i].p95, expected[i].p95);
+    EXPECT_EQ(actual[i].p99, expected[i].p99);
+  }
+}
+
+TEST(TelemetryBatch, AggregatorBatchMatchesPerSampleMidStream) {
+  // add_batch must reach the same state as per-sample add even when
+  // summarize() peeks mid-stream (pending holdback in play).
+  StreamingAggregator per_sample(1.0, 0.5);
+  StreamingAggregator batched(1.0, 0.5);
+  std::vector<Sample> chunk;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const Sample s{i * 0.05, probe_value(0, i)};
+    per_sample.add(s.time_s, s.value);
+    chunk.push_back(s);
+    if (chunk.size() == 37 || i + 1 == 400) {
+      batched.add_batch(chunk.data(), chunk.size());
+      chunk.clear();
+      const StreamingSummary a = per_sample.summarize();
+      const StreamingSummary b = batched.summarize();
+      EXPECT_EQ(a.samples, b.samples);
+      EXPECT_EQ(a.mean, b.mean);
+      EXPECT_EQ(a.p99, b.p99);
+      EXPECT_EQ(per_sample.total_samples(), batched.total_samples());
+    }
+  }
+  EXPECT_EQ(per_sample.pending(), batched.pending());
+}
+
+TEST(TelemetryBatch, NonSummarizedChannelsProduceNoRowsEitherWay) {
+  TelemetryBus bus;
+  SummarySink sink;
+  bus.attach(&sink);
+  const ChannelId silent = bus.channel("trace-only", "u", TrimMode::kNone,
+                                       /*summarize=*/false);
+  const ChannelId loud = bus.channel("kept", "u");
+  bus.begin_phase("p", 10.0, 0.0, 0.0);
+  std::vector<Sample> chunk{{0.0, 1.0}, {1.0, 2.0}};
+  bus.publish_batch(silent, chunk);
+  bus.publish_batch(loud, chunk);
+  for (int i = 0; i < 4; ++i) bus.publish(silent, 2.0 + i, 3.0);
+  bus.finish();
+  ASSERT_EQ(sink.rows().size(), 1u);
+  EXPECT_EQ(sink.rows()[0].name, "kept");
+}
+
 }  // namespace
 }  // namespace fs2::telemetry
