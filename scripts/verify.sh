@@ -48,6 +48,21 @@ timeout 60 ./build/fs2 --loopback zen2@1500x256,haswell@2000x256 \
     --target cluster-power=96000W --require-convergence \
     --cluster-start-delay 2 --log-level warn > /dev/null
 
+# Fuzz smoke: a deterministic seeded discovery sweep over a small loopback
+# fleet must produce a non-empty ranked corpus (non-zero exit otherwise)
+# and a report whose spec column round-trips through the campaign grammar.
+fuzz_report="$(mktemp)"
+trap 'rm -f "$campaign" "$trace" "$fuzz_report"' EXIT
+./build/fs2 --fuzz --loopback zen2@2000x4 \
+    --fuzz-population 8 --fuzz-generations 1 --fuzz-seed 7 \
+    --fuzz-duration 3 --cluster-start-delay 0.1 \
+    --fuzz-report "$fuzz_report" --log-level warn | grep -q "ranked corpus"
+head -1 "$fuzz_report" | grep -q "spec" || { echo "fuzz report missing header" >&2; exit 1; }
+[ "$(wc -l < "$fuzz_report")" -gt 1 ] || { echo "fuzz report has no rows" >&2; exit 1; }
+# The discovered-pattern replay campaign must parse and run end to end.
+./build/fs2 --simulate=zen2 --freq 2000 \
+    --campaign examples/fuzz_discovery.campaign > /dev/null
+
 # Perf trajectory: regenerate BENCH_cluster.json against the committed
 # pre-PR baseline and gate on the coordinator-ingest speedup.
 ./scripts/bench_report.sh

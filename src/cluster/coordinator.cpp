@@ -17,6 +17,11 @@ Coordinator::Coordinator(Options options)
   if (options_.nodes == 0) throw ConfigError("--coordinator: --nodes must be >= 1");
   if (options_.phase_count == 0)
     throw ConfigError("--coordinator: the campaign has no phases");
+  if (!options_.per_node_campaigns.empty() &&
+      options_.per_node_campaigns.size() != options_.nodes)
+    throw ConfigError(
+        strings::format("coordinator: %zu per-node campaigns for %zu nodes",
+                        options_.per_node_campaigns.size(), options_.nodes));
   if (options_.budget) {
     if (options_.budget->variable != control::ControlVariable::kClusterPower)
       throw ConfigError("--coordinator: --target must be cluster-power=WATTS");
@@ -64,13 +69,17 @@ void Coordinator::accept_and_handshake(std::ostream& log) {
 
 void Coordinator::distribute_campaign() {
   CampaignMsg msg;
-  msg.campaign_text = options_.campaign_text;
   msg.has_budget = apportioner_ ? 1 : 0;
   msg.initial_setpoint_w = apportioner_ ? apportioner_->initial_share_w() : 0.0;
   msg.ctl_interval_s = options_.ctl_interval_s;
   msg.budget_interval_s = options_.budget ? options_.budget->interval_s : 0.5;
   msg.budget_band = options_.budget ? options_.budget->band : 0.02;
-  for (Node& node : nodes_) node.conn.send(msg.encode());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    msg.campaign_text = options_.per_node_campaigns.empty()
+                            ? options_.campaign_text
+                            : options_.per_node_campaigns[i];
+    nodes_[i].conn.send(msg.encode());
+  }
 }
 
 void Coordinator::announce_epoch(std::ostream& log) {

@@ -25,6 +25,13 @@ class Coordinator {
     bool loopback_only = false;     ///< bind 127.0.0.1 instead of all interfaces
     std::size_t nodes = 0;
     std::string campaign_text;
+    /// Per-node campaign texts, indexed by ACCEPT order (empty = every node
+    /// gets `campaign_text`). The fuzz sweep's fan-out hook: each agent
+    /// runs a different candidate per phase while phase names, durations,
+    /// and count stay identical across nodes — so barriers, phase-major
+    /// row merging, and sync verdicts work unchanged. When set, its size
+    /// must equal `nodes`.
+    std::vector<std::string> per_node_campaigns;
     std::size_t phase_count = 0;
     /// The global power budget (--target cluster-power=NNNW); nullopt runs
     /// the fleet open-loop (profiles/targets straight from the campaign).

@@ -139,6 +139,34 @@ Config parse_args(int argc, const char* const* argv) {
       cfg.sync_tolerance_s = strings::parse_double(take(inline_value, args, flag), flag);
       if (!(cfg.sync_tolerance_s > 0.0))
         throw ConfigError("--sync-tolerance must be > 0 seconds");
+    } else if (flag == "--fuzz") {
+      cfg.fuzz = true;
+    } else if (flag == "--fuzz-seed") {
+      cfg.fuzz_seed = strings::parse_u64(take(inline_value, args, flag), flag);
+    } else if (flag == "--fuzz-population") {
+      cfg.fuzz_population = strings::parse_u64(take(inline_value, args, flag), flag);
+      if (cfg.fuzz_population == 0 || cfg.fuzz_population > 4096)
+        throw ConfigError("--fuzz-population must be within [1, 4096]");
+    } else if (flag == "--fuzz-generations") {
+      cfg.fuzz_generations = strings::parse_u64(take(inline_value, args, flag), flag);
+      if (cfg.fuzz_generations == 0 || cfg.fuzz_generations > 1000)
+        throw ConfigError("--fuzz-generations must be within [1, 1000]");
+    } else if (flag == "--fuzz-corpus") {
+      cfg.fuzz_corpus = strings::parse_u64(take(inline_value, args, flag), flag);
+      if (cfg.fuzz_corpus == 0 || cfg.fuzz_corpus > 256)
+        throw ConfigError("--fuzz-corpus must be within [1, 256]");
+    } else if (flag == "--fuzz-duration") {
+      cfg.fuzz_duration_s = strings::parse_double(take(inline_value, args, flag), flag);
+      if (!(cfg.fuzz_duration_s >= 1.0 && cfg.fuzz_duration_s <= 600.0))
+        throw ConfigError("--fuzz-duration must be within [1, 600] seconds");
+    } else if (flag == "--fuzz-objective") {
+      cfg.fuzz_objective = take(inline_value, args, flag);
+      if (cfg.fuzz_objective != "all" && cfg.fuzz_objective != "peak-power" &&
+          cfg.fuzz_objective != "power-swing" && cfg.fuzz_objective != "thermal")
+        throw ConfigError(
+            "--fuzz-objective must be peak-power, power-swing, thermal, or all");
+    } else if (flag == "--fuzz-report") {
+      cfg.fuzz_report = take(inline_value, args, flag);
     } else if (flag == "-n" || flag == "--threads") {
       cfg.threads = static_cast<int>(strings::parse_u64(take(inline_value, args, flag), flag));
     } else if (flag == "--one-thread-per-core") {
@@ -317,6 +345,33 @@ Cluster orchestration (coordinator/agent fleet runs):
                                reapportions per-node power setpoints from
                                reported achieved watts so the fleet total
                                tracks the budget
+
+Payload pattern fuzzer (randomized scenario discovery):
+  --fuzz                       randomly compose payload patterns (memory-access
+                               mix M + unroll u), evaluate each as a short
+                               square-excursion phase on the simulated plant,
+                               and keep a bounded ranked corpus of response
+                               outliers along three objectives: peak power,
+                               power swing (VR stress), thermal ramp rate.
+                               Needs --simulate (one candidate at a time) or
+                               --loopback (a fleet evaluates one candidate
+                               per node per cluster round)
+  --fuzz-seed N                seeds candidate generation and the simulated
+                               meters; the same seed and the same target spec
+                               reproduce the identical corpus (default
+                               0x5eedf022)
+  --fuzz-population N          candidates per generation (default 32; rounded
+                               up to a multiple of the fleet size)
+  --fuzz-generations N         generations (default 2; the first is uniform
+                               random, later ones mutate corpus elites)
+  --fuzz-corpus N              retained outliers per objective (default 8)
+  --fuzz-duration SEC          virtual seconds per candidate phase (default 6)
+  --fuzz-objective NAME        peak-power | power-swing | thermal | all
+                               (default all): which axes the corpus keeps
+                               outliers for
+  --fuzz-report PATH           write the evaluation log (spec string, response
+                               signature, dedupe status, final ranks, seed);
+                               a .json extension selects JSON, else CSV
 
 Measurement (Sec. III-D):
   --measurement                print metric CSV after the run

@@ -65,6 +65,17 @@ struct Config {
   double cluster_start_delay_s = 0.5;       ///< --cluster-start-delay SEC
   double sync_tolerance_s = 0.25;           ///< --sync-tolerance SEC
 
+  // Payload pattern fuzzer (fuzz/ subsystem: randomized scenario discovery
+  // over the simulated plant, locally or fanned across a --loopback fleet).
+  bool fuzz = false;                        ///< --fuzz
+  std::uint64_t fuzz_seed = 0x5eedf022;     ///< --fuzz-seed (candidates + meters)
+  std::size_t fuzz_population = 32;         ///< --fuzz-population (per generation)
+  std::size_t fuzz_generations = 2;         ///< --fuzz-generations
+  std::size_t fuzz_corpus = 8;              ///< --fuzz-corpus (outliers/objective)
+  double fuzz_duration_s = 6.0;             ///< --fuzz-duration (per candidate)
+  std::string fuzz_objective = "all";       ///< --fuzz-objective
+  std::optional<std::string> fuzz_report;   ///< --fuzz-report PATH (.json or CSV)
+
   // Synchronized SIMD self-test (error detection for overclocked systems).
   bool selftest = false;
   std::uint64_t selftest_iterations = 200000;

@@ -21,6 +21,7 @@
 #include "firestarter/backends.hpp"
 #include "firestarter/sim_fleet.hpp"
 #include "firestarter/sim_phases.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "gpu/dgemm_stress.hpp"
 #include "kernel/register_dump.hpp"
 #include "jit/disassembler.hpp"
@@ -54,21 +55,6 @@ namespace {
 
 constexpr const char* kVersion = "fs2 2.0.0 (FIRESTARTER 2 reproduction)";
 
-/// Best-effort bump of the open-file soft limit to at least `need` (large
-/// loopback fleets hold two fds per node in one process). Never throws —
-/// if the hard limit is lower, socket creation will fail with a precise
-/// errno anyway.
-void raise_fd_limit(std::size_t need) {
-  rlimit limit{};
-  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
-  if (limit.rlim_cur >= need) return;
-  rlimit raised = limit;
-  raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
-                        ? need
-                        : std::min<rlim_t>(need, limit.rlim_max);
-  if (raised.rlim_cur > limit.rlim_cur) ::setrlimit(RLIMIT_NOFILE, &raised);
-}
-
 const payload::FunctionDef& resolve_function(const Config& cfg, const Target& target) {
   if (cfg.function_id) return payload::find_function(*cfg.function_id);
   if (cfg.function_name) return payload::find_function(*cfg.function_name);
@@ -78,6 +64,15 @@ const payload::FunctionDef& resolve_function(const Config& cfg, const Target& ta
 payload::InstructionGroups resolve_groups(const Config& cfg, const payload::FunctionDef& fn) {
   return payload::InstructionGroups::parse(
       cfg.instruction_groups ? *cfg.instruction_groups : fn.default_groups);
+}
+
+/// Per-phase workload resolution: a campaign phase's groups=/unroll= keys
+/// outrank the CLI flags, which outrank the function's defaults.
+payload::InstructionGroups resolve_phase_groups(const Config& cfg,
+                                                const sched::CampaignPhase& spec,
+                                                const payload::FunctionDef& fn) {
+  if (spec.groups) return payload::InstructionGroups::parse(*spec.groups);
+  return resolve_groups(cfg, fn);
 }
 
 payload::CompileOptions compile_options(const Config& cfg) {
@@ -401,6 +396,9 @@ int Firestarter::run() {
   }
   if (cfg_.list_functions) return list_functions();
   if (cfg_.list_metrics) return list_metrics();
+  // Before the coordinator check: --loopback implies --coordinator, and a
+  // fuzz run owns the fleet (it runs one cluster campaign per batch).
+  if (cfg_.fuzz) return run_fuzzer();
   if (cfg_.coordinator) return run_coordinator();
   if (cfg_.agent_endpoint) return run_agent();
   if (cfg_.target_spec &&
@@ -573,6 +571,10 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
     if (!target.simulated && spec.freq_mhz)
       log::warn() << "campaign phase '" << spec.name
                   << "': freq= only applies to --simulate targets (ignored on host)";
+    if (!target.simulated && spec.measure_temp)
+      log::warn() << "campaign phase '" << spec.name
+                  << "': measure=temp only applies to --simulate targets (host "
+                     "temperature comes from coretemp under target=temp)";
     ResolvedPhase phase{&fn,
                         sched::parse_profile(spec.profile_spec, cfg_.load, cfg_.period_s),
                         std::nullopt};
@@ -646,6 +648,8 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
 
   bool any_target = false;
   for (const ResolvedPhase& phase : resolved) any_target |= phase.setpoint.has_value();
+  bool any_temp = false;
+  for (const sched::CampaignPhase& spec : campaign.phases()) any_temp |= spec.measure_temp;
   if (cfg_.require_convergence && !any_target)
     log::warn() << "--require-convergence is ignored: no campaign phase has a "
                    "target= setpoint";
@@ -660,7 +664,7 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
   sim::SimulatedSystem system(target.sim_config);
   SimChannels sim_channels;
   if (target.simulated)
-    sim_channels = register_sim_channels(bus, /*with_temp=*/any_target,
+    sim_channels = register_sim_channels(bus, /*with_temp=*/any_target || any_temp,
                                          /*trimmed_aux=*/true, /*summarize_load=*/true);
 
   // Cluster runs hold the whole fleet at the shared epoch before phase 1.
@@ -676,7 +680,7 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
   for (const sched::CampaignPhase& spec : campaign.phases()) {
     const ResolvedPhase& res = resolved[phase_index];
     const payload::FunctionDef& fn = *res.fn;
-    const auto groups = resolve_groups(cfg_, fn);
+    const auto groups = resolve_phase_groups(cfg_, spec, fn);
 
     // Fleet barrier: phases after the first wait for the coordinator's
     // phase-go (sent once every node finished the previous phase), so
@@ -701,8 +705,9 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
     const double campaign_time_s = bus.phase().time_offset_s;
 
     if (target.simulated) {
-      const auto stats =
-          payload::analyze_payload(fn.mix, groups, target.caches, compile_options(cfg_));
+      payload::CompileOptions options = compile_options(cfg_);
+      if (spec.unroll) options.unroll = *spec.unroll;
+      const auto stats = payload::analyze_payload(fn.mix, groups, target.caches, options);
       if (active_sp) {
         const ControlledSimPhase phase = run_sim_controlled_phase(
             system, cfg_, stats, *active_sp, spec.duration_s, cfg_.seed + phase_index,
@@ -718,12 +723,15 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
         const SimPhaseResult result =
             run_sim_phase(system, phase_cfg, stats, *res.profile, spec.duration_s,
                           cfg_.seed + phase_index, campaign_time_s, target.gpu_stress,
-                          bus, sim_channels);
-        // Advance the thermal carry through this open-loop phase too — a
-        // first-order settle toward the phase's mean-power steady state —
-        // so a later temp-target phase doesn't inherit a stale (or
-        // idle-cold) package after e.g. 300 s of full load.
-        if (result.samples > 0) {
+                          bus, sim_channels, carry_temp_c);
+        // Advance the thermal carry through this open-loop phase too — the
+        // exact integrated temperature when the phase published the temp
+        // channel, otherwise a first-order settle toward the phase's
+        // mean-power steady state — so a later temp-target phase doesn't
+        // inherit a stale (or idle-cold) package after e.g. 300 s of load.
+        if (result.final_temp_c) {
+          carry_temp_c = result.final_temp_c;
+        } else if (result.samples > 0) {
           carry_temp_c = advance_thermal_carry(system, spec.duration_s,
                                                result.mean_power_w, carry_temp_c);
         }
@@ -1090,6 +1098,76 @@ int Firestarter::run_stress_host() {
   if (cfg_.measurement) metrics::print_csv(out_, sinks.summary.rows());
   sinks.report_trace(cfg_);
   return cfg_.require_convergence && !converged ? 1 : 0;
+}
+
+int Firestarter::run_fuzzer() {
+  // One seed drives everything random: candidate generation in the fuzzer,
+  // meter noise through the evaluator's Config — so the same seed and the
+  // same target spec reproduce the identical corpus.
+  Config cfg = cfg_;
+  cfg.seed = cfg_.fuzz_seed;
+  std::unique_ptr<fuzz::Evaluator> evaluator;
+  if (cfg.loopback_nodes) {
+    evaluator = fuzz::make_fleet_evaluator(cfg, cfg.fuzz_duration_s, out_);
+  } else if (cfg.target != TargetSystem::kHost) {
+    evaluator = fuzz::make_local_evaluator(cfg, cfg.fuzz_duration_s);
+  } else {
+    throw ConfigError(
+        "--fuzz needs --simulate TARGET (one candidate at a time) or "
+        "--loopback SPECS (fleet fan-out) — host sweeps would take hours of "
+        "real stress");
+  }
+
+  fuzz::FuzzOptions options;
+  options.seed = cfg_.fuzz_seed;
+  options.population = cfg_.fuzz_population;
+  options.generations = cfg_.fuzz_generations;
+  options.corpus_cap = cfg_.fuzz_corpus;
+  if (cfg_.fuzz_objective != "all")
+    options.objectives = {fuzz::parse_objective(cfg_.fuzz_objective)};
+
+  out_ << strings::format(
+      "fuzz: %zu generation%s x %zu candidates, %g s phases, objective %s, seed %llu\n",
+      cfg_.fuzz_generations, cfg_.fuzz_generations == 1 ? "" : "s",
+      cfg_.fuzz_population, cfg_.fuzz_duration_s, cfg_.fuzz_objective.c_str(),
+      static_cast<unsigned long long>(cfg_.fuzz_seed));
+
+  const fuzz::FuzzResult result = fuzz::run_fuzz(*evaluator, options, out_);
+
+  // The discovery verdict: for each retained objective, the top pattern
+  // against the best default-payload baseline on the same axis.
+  Table table({"objective", "rank", "pattern", "score", "node", "vs default"});
+  for (fuzz::Objective objective : result.corpus.objectives()) {
+    double reference = 0.0;
+    for (const fuzz::Evaluation& base : result.baseline)
+      reference = std::max(reference, fuzz::objective_score(base.signature, objective));
+    const char* unit = objective == fuzz::Objective::kThermal ? "degC/s" : "W";
+    for (const fuzz::CorpusEntry* entry : result.corpus.ranked(objective)) {
+      const double score = fuzz::objective_score(entry->signature, objective);
+      const std::string delta =
+          reference > 0.0 ? strings::format("%+.1f%%", (score / reference - 1.0) * 100.0)
+                          : "n/a";
+      table.add_row({fuzz::to_string(objective),
+                     std::to_string(result.corpus.rank_of(entry->spec, objective)),
+                     entry->spec.to_string(), strings::format("%.2f %s", score, unit),
+                     entry->node, delta});
+    }
+  }
+  out_ << "ranked corpus (" << result.corpus.entries().size() << " patterns, cap "
+       << result.corpus.cap() << " per objective):\n";
+  table.print(out_);
+
+  if (cfg_.fuzz_report) {
+    fuzz::FuzzReport::write_file(*cfg_.fuzz_report, cfg_.fuzz_seed, result.records,
+                                 result.corpus);
+    out_ << "fuzz report written to " << *cfg_.fuzz_report << " (seed "
+         << cfg_.fuzz_seed << " reproduces it)\n";
+  }
+  if (result.corpus.empty()) {
+    log::error() << "fuzz run retained no patterns (every candidate failed to measure)";
+    return 1;
+  }
+  return 0;
 }
 
 int Firestarter::run_optimization() {

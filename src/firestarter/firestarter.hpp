@@ -36,6 +36,10 @@ class Firestarter {
   int run_coordinator();
   int run_agent();
   int run_optimization();
+  /// --fuzz: randomized payload-pattern discovery over the sim plant (or a
+  /// loopback fleet), reporting the ranked outlier corpus vs the default
+  /// payload's baseline.
+  int run_fuzzer();
 
   Config cfg_;
   std::ostream& out_;

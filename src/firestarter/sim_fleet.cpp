@@ -1,6 +1,7 @@
 #include "firestarter/sim_fleet.hpp"
 
 #include <poll.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -14,6 +15,17 @@
 namespace fs2::firestarter {
 
 using Clock = std::chrono::steady_clock;
+
+void raise_fd_limit(std::size_t need) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= need) return;
+  rlimit raised = limit;
+  raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                        ? need
+                        : std::min<rlim_t>(need, limit.rlim_max);
+  if (raised.rlim_cur > limit.rlim_cur) ::setrlimit(RLIMIT_NOFILE, &raised);
+}
 
 std::vector<LoopbackSpec> parse_loopback_specs(const std::string& list) {
   std::vector<LoopbackSpec> specs;
@@ -81,17 +93,25 @@ void SimAgent::fail(const std::string& what) {
   conn_.close();
 }
 
-const payload::PayloadStats& SimAgent::stats_for(const payload::FunctionDef& fn) {
-  auto it = stats_cache_.find(fn.name);
-  if (it != stats_cache_.end()) return it->second;
-  const payload::InstructionGroups groups = payload::InstructionGroups::parse(
-      cfg_.instruction_groups ? *cfg_.instruction_groups : fn.default_groups);
+const payload::PayloadStats& SimAgent::stats_for(const payload::FunctionDef& fn,
+                                                 const sched::CampaignPhase& spec) {
+  const std::string groups_text =
+      spec.groups ? *spec.groups
+                  : (cfg_.instruction_groups ? *cfg_.instruction_groups
+                                             : fn.default_groups);
   payload::CompileOptions options;
-  if (cfg_.line_count) options.unroll = *cfg_.line_count;
+  if (spec.unroll)
+    options.unroll = *spec.unroll;
+  else if (cfg_.line_count)
+    options.unroll = *cfg_.line_count;
   options.dump_registers = cfg_.dump_registers;
-  const payload::PayloadStats stats =
-      payload::analyze_payload(fn.mix, groups, target_.caches, options);
-  return stats_cache_.emplace(fn.name, stats).first->second;
+  const std::string key =
+      fn.name + "|" + groups_text + strings::format("|u=%u", options.unroll);
+  auto it = stats_cache_.find(key);
+  if (it != stats_cache_.end()) return it->second;
+  const payload::PayloadStats stats = payload::analyze_payload(
+      fn.mix, payload::InstructionGroups::parse(groups_text), target_.caches, options);
+  return stats_cache_.emplace(key, stats).first->second;
 }
 
 void SimAgent::prepare_campaign() {
@@ -102,6 +122,8 @@ void SimAgent::prepare_campaign() {
 
   const bool budget_mode = campaign_.has_budget != 0;
   bool any_target = budget_mode;
+  bool any_temp = false;
+  for (const sched::CampaignPhase& spec : phases_->phases()) any_temp |= spec.measure_temp;
   for (const sched::CampaignPhase& spec : phases_->phases()) {
     ResolvedPhase phase;
     phase.fn = spec.function ? &payload::find_function(*spec.function)
@@ -128,7 +150,7 @@ void SimAgent::prepare_campaign() {
 
   sink_ = std::make_unique<cluster::RemoteSink>(&conn_, epoch_time_);
   bus_.attach(sink_.get());
-  channels_ = register_sim_channels(bus_, /*with_temp=*/any_target,
+  channels_ = register_sim_channels(bus_, /*with_temp=*/any_target || any_temp,
                                     /*trimmed_aux=*/true, /*summarize_load=*/true);
   state_ = State::kWaitStart;
   wait_ = Wait::kUntil;
@@ -172,8 +194,8 @@ void SimAgent::advance() {
     if (res.setpoint) {
       if (!run_)
         run_ = std::make_unique<ControlledSimPhaseRun>(
-            *system_, cfg_, stats_for(*res.fn), *res.setpoint, spec.duration_s, seed,
-            campaign_time_s, target_.gpu_stress, spec.freq_mhz, spec.threads,
+            *system_, cfg_, stats_for(*res.fn, spec), *res.setpoint, spec.duration_s,
+            seed, campaign_time_s, target_.gpu_stress, spec.freq_mhz, spec.threads,
             carry_temp_c_, bus_, channels_);
       const bool budget = campaign_.has_budget != 0;
       while (!run_->done()) {
@@ -192,11 +214,14 @@ void SimAgent::advance() {
       if (spec.freq_mhz) phase_cfg.sim_freq_mhz = *spec.freq_mhz;
       if (spec.threads) phase_cfg.threads = *spec.threads;
       const SimPhaseResult result =
-          run_sim_phase(*system_, phase_cfg, stats_for(*res.fn), *res.profile,
+          run_sim_phase(*system_, phase_cfg, stats_for(*res.fn, spec), *res.profile,
                         spec.duration_s, seed, campaign_time_s, target_.gpu_stress,
-                        bus_, channels_);
-      carry_temp_c_ = advance_thermal_carry(*system_, spec.duration_s,
-                                            result.mean_power_w, carry_temp_c_);
+                        bus_, channels_, carry_temp_c_);
+      carry_temp_c_ = result.final_temp_c
+                          ? result.final_temp_c
+                          : std::make_optional(advance_thermal_carry(
+                                *system_, spec.duration_s, result.mean_power_w,
+                                carry_temp_c_));
     }
     finish_phase();
   } catch (const std::exception& e) {

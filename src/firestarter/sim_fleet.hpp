@@ -36,6 +36,12 @@ std::vector<LoopbackSpec> parse_loopback_specs(const std::string& list);
 /// coordinator side per node).
 inline constexpr std::size_t kMaxLoopbackNodes = 4096;
 
+/// Best-effort bump of the open-file soft limit to at least `need` (large
+/// loopback fleets hold two fds per node in one process). Never throws —
+/// if the hard limit is lower, socket creation will fail with a precise
+/// errno anyway.
+void raise_fd_limit(std::size_t need);
+
 /// One in-process simulated agent driven by the fleet's event loop instead
 /// of a dedicated thread: a cooperative state machine that connects, says
 /// hello, answers sync probes, takes the campaign and epoch, then runs the
@@ -100,7 +106,11 @@ class SimAgent {
   void finish_phase();
   void send_budget_report();
   void fail(const std::string& what);
-  const payload::PayloadStats& stats_for(const payload::FunctionDef& fn);
+  /// Analyzed stats for the phase's workload, cached by (function, groups,
+  /// unroll) — fuzz campaigns give every phase its own pattern, so the
+  /// cache key must cover the per-phase overrides, not just the function.
+  const payload::PayloadStats& stats_for(const payload::FunctionDef& fn,
+                                         const sched::CampaignPhase& spec);
 
   Config cfg_;
   std::string node_name_;

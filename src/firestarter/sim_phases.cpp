@@ -62,7 +62,8 @@ SimPhaseResult run_sim_phase(const sim::SimulatedSystem& system, const Config& c
                              const payload::PayloadStats& stats,
                              const sched::LoadProfile& profile, double duration_s,
                              std::uint64_t seed, double warm_start_s, bool gpu_stress,
-                             telemetry::TelemetryBus& bus, const SimChannels& ch) {
+                             telemetry::TelemetryBus& bus, const SimChannels& ch,
+                             std::optional<double> initial_temp_c) {
   sim::RunConditions cond;
   cond.freq_mhz = cfg.sim_freq_mhz;
   cond.policy = policy_of(cfg);
@@ -81,15 +82,25 @@ SimPhaseResult run_sim_phase(const sim::SimulatedSystem& system, const Config& c
   // sample sequences (hence every summary) are identical to per-sample
   // publishing.
   constexpr std::size_t kChunk = 1024;
-  std::vector<telemetry::Sample> power_chunk, ipc_chunk, load_chunk;
+  std::vector<telemetry::Sample> power_chunk, ipc_chunk, load_chunk, temp_chunk;
   power_chunk.reserve(kChunk);
   ipc_chunk.reserve(kChunk);
   load_chunk.reserve(kChunk);
+  if (ch.has_temp) temp_chunk.reserve(kChunk);
+  // First-order thermal integration per sample when the temp channel is
+  // on: each step settles toward the current (noisy) wall power's steady
+  // state by the same RC law the PowerPlant uses, so the open-loop temp
+  // trace matches what a controlled phase at the same power would show.
+  const sim::ThermalParams& th = system.simulator().config().thermal;
+  const double dt = cfg.sim_sample_hz > 0.0 ? 1.0 / cfg.sim_sample_hz : 0.0;
+  const double settle = dt > 0.0 ? 1.0 - std::exp(-dt / th.tau_s) : 0.0;
+  double temp_c = initial_temp_c.value_or(th.ambient_c + th.c_per_w * idle_w);
   for (std::size_t at = 0; at < result.samples; at += kChunk) {
     const std::size_t n = std::min(kChunk, result.samples - at);
     power_chunk.clear();
     ipc_chunk.clear();
     load_chunk.clear();
+    temp_chunk.clear();
     for (std::size_t i = 0; i < n; ++i) {
       const double t = trace.time_at(at + i);
       const double level = clamp01(profile.load_at(t));
@@ -97,14 +108,20 @@ SimPhaseResult run_sim_phase(const sim::SimulatedSystem& system, const Config& c
       power_chunk.push_back(telemetry::Sample{t, watts});
       ipc_chunk.push_back(telemetry::Sample{t, result.point.ipc_per_core * level});
       load_chunk.push_back(telemetry::Sample{t, level});
+      if (ch.has_temp) {
+        temp_c += settle * (th.ambient_c + th.c_per_w * watts - temp_c);
+        temp_chunk.push_back(telemetry::Sample{t, temp_c});
+      }
       power_sum += watts;
     }
     bus.publish_batch(ch.power, power_chunk);
     bus.publish_batch(ch.ipc, ipc_chunk);
     bus.publish_batch(ch.load, load_chunk);
+    if (ch.has_temp) bus.publish_batch(ch.temp, temp_chunk);
   }
   if (result.samples > 0)
     result.mean_power_w = power_sum / static_cast<double>(result.samples);
+  if (ch.has_temp) result.final_temp_c = temp_c;
   return result;
 }
 

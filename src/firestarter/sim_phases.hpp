@@ -79,13 +79,21 @@ struct SimPhaseResult {
   sim::WorkloadPoint point;
   double mean_power_w = 0.0;  ///< thermal-carry input for open-loop phases
   std::size_t samples = 0;
+  /// Package temperature at phase end, set when the phase published the
+  /// temp channel (`ch.has_temp`) — the exact thermal carry, replacing the
+  /// mean-power settle approximation.
+  std::optional<double> final_temp_c;
 };
 
+/// `initial_temp_c` seeds the first-order thermal integration when the
+/// temp channel is on (campaign `measure=temp` phases); nullopt starts
+/// from the idle-settled package.
 SimPhaseResult run_sim_phase(const sim::SimulatedSystem& system, const Config& cfg,
                              const payload::PayloadStats& stats,
                              const sched::LoadProfile& profile, double duration_s,
                              std::uint64_t seed, double warm_start_s, bool gpu_stress,
-                             telemetry::TelemetryBus& bus, const SimChannels& ch);
+                             telemetry::TelemetryBus& bus, const SimChannels& ch,
+                             std::optional<double> initial_temp_c = std::nullopt);
 
 /// One simulated closed-loop phase in resumable form: the controller and
 /// the PowerPlant step together in virtual time, one tick per step(), so a

@@ -1,0 +1,106 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fs2::fuzz {
+
+const char* to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kPeakPower: return "peak-power";
+    case Objective::kPowerSwing: return "power-swing";
+    case Objective::kThermal: return "thermal";
+  }
+  return "?";
+}
+
+Objective parse_objective(const std::string& name) {
+  for (Objective objective : kAllObjectives)
+    if (name == to_string(objective)) return objective;
+  throw ConfigError("unknown fuzz objective '" + name +
+                    "' (peak-power, power-swing, thermal, all)");
+}
+
+double objective_score(const ResponseSignature& signature, Objective objective) {
+  switch (objective) {
+    case Objective::kPeakPower: return signature.max_power_w;
+    case Objective::kPowerSwing: return signature.power_swing_w;
+    case Objective::kThermal: return signature.thermal_slope_c_per_s;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Descending score; ties broken on the spec string so ranked order (and
+/// with it the reproducibility guarantee) never depends on insertion order.
+bool outranks(const CorpusEntry& a, const CorpusEntry& b, Objective objective) {
+  const double sa = objective_score(a.signature, objective);
+  const double sb = objective_score(b.signature, objective);
+  if (sa != sb) return sa > sb;
+  return a.spec.to_string() < b.spec.to_string();
+}
+
+}  // namespace
+
+Corpus::Corpus(std::size_t per_objective_cap, std::vector<Objective> objectives)
+    : cap_(per_objective_cap), objectives_(std::move(objectives)) {
+  if (cap_ == 0) throw ConfigError("fuzz corpus: per-objective cap must be >= 1");
+  if (objectives_.empty())
+    objectives_.assign(std::begin(kAllObjectives), std::end(kAllObjectives));
+}
+
+Corpus::AddStatus Corpus::add(CorpusEntry entry) {
+  if (!seen_specs_.insert(entry.spec.to_string()).second)
+    return AddStatus::kDuplicateSpec;
+  if (!seen_signals_.insert(dedupe_key(entry.signature)).second)
+    return AddStatus::kDuplicateSignal;
+
+  const std::string spec_text = entry.spec.to_string();
+  entries_.push_back(std::move(entry));
+  prune();
+  for (const CorpusEntry& kept : entries_)
+    if (kept.spec.to_string() == spec_text) return AddStatus::kAdded;
+  return AddStatus::kCulled;
+}
+
+void Corpus::prune() {
+  if (entries_.size() <= cap_) return;
+  std::set<std::size_t> keep;
+  std::vector<std::size_t> order(entries_.size());
+  for (Objective objective : objectives_) {
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return outranks(entries_[a], entries_[b], objective);
+    });
+    for (std::size_t i = 0; i < std::min(cap_, order.size()); ++i)
+      keep.insert(order[i]);
+  }
+  if (keep.size() == entries_.size()) return;
+  std::vector<CorpusEntry> survivors;
+  survivors.reserve(keep.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (keep.count(i)) survivors.push_back(std::move(entries_[i]));
+  entries_ = std::move(survivors);
+}
+
+std::vector<const CorpusEntry*> Corpus::ranked(Objective objective) const {
+  std::vector<const CorpusEntry*> list;
+  list.reserve(entries_.size());
+  for (const CorpusEntry& entry : entries_) list.push_back(&entry);
+  std::sort(list.begin(), list.end(), [&](const CorpusEntry* a, const CorpusEntry* b) {
+    return outranks(*a, *b, objective);
+  });
+  if (list.size() > cap_) list.resize(cap_);
+  return list;
+}
+
+std::size_t Corpus::rank_of(const PatternSpec& spec, Objective objective) const {
+  const std::vector<const CorpusEntry*> list = ranked(objective);
+  for (std::size_t i = 0; i < list.size(); ++i)
+    if (list[i]->spec == spec) return i + 1;
+  return 0;
+}
+
+}  // namespace fs2::fuzz

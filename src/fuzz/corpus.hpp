@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/pattern.hpp"
+#include "fuzz/signature.hpp"
+
+namespace fs2::fuzz {
+
+/// The three outlier axes the corpus retains, mirroring the failure modes
+/// the paper's hand-built payloads target: sustained peak draw, power
+/// swing (the VR-stress objective of the oscillation experiments), and
+/// thermal ramp rate.
+enum class Objective { kPeakPower, kPowerSwing, kThermal };
+
+inline constexpr Objective kAllObjectives[] = {Objective::kPeakPower,
+                                               Objective::kPowerSwing,
+                                               Objective::kThermal};
+
+const char* to_string(Objective objective);
+
+/// Parse "peak-power" / "power-swing" / "thermal". Throws fs2::ConfigError.
+Objective parse_objective(const std::string& name);
+
+/// Higher is worse (more stressful) — the fuzzer maximizes.
+double objective_score(const ResponseSignature& signature, Objective objective);
+
+/// One retained outlier: what ran, what it measured, and where.
+struct CorpusEntry {
+  PatternSpec spec;
+  ResponseSignature signature;
+  std::string node;        ///< node name (fleet runs) or "local"
+  std::string sku;         ///< e.g. "sim-zen2@1500MHz" — responses are per-SKU
+  std::size_t generation = 0;
+  std::size_t index = 0;   ///< global evaluation index (report cross-reference)
+};
+
+/// Bounded ranked store of response outliers. Every unique response is
+/// offered; the corpus keeps the union of the top `cap` entries along each
+/// objective (so total size is bounded by 3*cap) and evicts the rest —
+/// constant memory no matter how many candidates a long fuzz run burns
+/// through. Specs and quantized signatures are both deduplicated: a spec
+/// seen before is rejected outright, a new spec whose response collapses
+/// into an existing signature bucket is recorded as a duplicate signal.
+class Corpus {
+ public:
+  enum class AddStatus {
+    kAdded,          ///< unique response, ranks in at least one top list
+    kCulled,         ///< unique response, but outranked on every objective
+    kDuplicateSpec,  ///< exact pattern already evaluated
+    kDuplicateSignal ///< response indistinguishable from a retained one
+  };
+
+  /// `objectives` selects which axes retain outliers (--fuzz-objective);
+  /// empty means all three. Ranked lists still answer for any objective —
+  /// the subset only governs what survives pruning.
+  explicit Corpus(std::size_t per_objective_cap, std::vector<Objective> objectives = {});
+
+  AddStatus add(CorpusEntry entry);
+
+  /// Entries sorted descending by the objective's score, at most `cap`.
+  std::vector<const CorpusEntry*> ranked(Objective objective) const;
+
+  /// 1-based rank of `spec` along `objective`, 0 when not in that list.
+  std::size_t rank_of(const PatternSpec& spec, Objective objective) const;
+
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  const std::vector<Objective>& objectives() const { return objectives_; }
+  std::size_t cap() const { return cap_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  void prune();
+
+  std::size_t cap_;
+  std::vector<Objective> objectives_;
+  std::vector<CorpusEntry> entries_;
+  std::set<std::string> seen_specs_;
+  std::set<std::string> seen_signals_;
+};
+
+}  // namespace fs2::fuzz

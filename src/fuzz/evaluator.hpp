@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "firestarter/config.hpp"
+#include "fuzz/pattern.hpp"
+#include "fuzz/signature.hpp"
+
+namespace fs2::fuzz {
+
+/// One measured candidate: the pattern, its distilled response, and where
+/// it ran (a fleet node's name + SKU, or "local" for single-simulator runs).
+struct Evaluation {
+  PatternSpec spec;
+  ResponseSignature signature;
+  std::string node;
+  std::string sku;
+};
+
+/// Measurement backend for the fuzzer: turns candidate patterns into
+/// response signatures. Two implementations — a single simulated system
+/// evaluated candidate-by-candidate, and a loopback fleet that fans a batch
+/// across N nodes per cluster round (each node runs a different candidate
+/// per campaign phase, so one cluster run measures rounds x N candidates).
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// The natural batch granularity: 1 for local evaluation, the fleet size
+  /// for loopback fan-out. The fuzzer rounds its population up to a
+  /// multiple of this so no node idles through a round.
+  virtual std::size_t batch_multiple() const = 0;
+
+  /// Measure every candidate in `batch`, returned in the same order.
+  virtual std::vector<Evaluation> evaluate(const std::vector<PatternSpec>& batch) = 0;
+
+  /// Measure the target's default payload — the reference the corpus's
+  /// outliers must beat. One evaluation per node (fleet) or one ("local").
+  virtual std::vector<Evaluation> baseline() = 0;
+};
+
+/// Candidate-at-a-time evaluation on one simulated system. Throws
+/// fs2::ConfigError when `cfg` targets the host — a fuzz sweep is hundreds
+/// of stress phases, which only makes sense in virtual time.
+std::unique_ptr<Evaluator> make_local_evaluator(const firestarter::Config& cfg,
+                                                double duration_s);
+
+/// Fleet fan-out over `cfg.loopback_nodes`: each evaluate() call runs one
+/// coordinator/agent campaign where node j's phase k carries candidate
+/// k*N+j via the campaign's per-phase groups=/unroll= keys. Coordinator
+/// chatter is buffered and surfaced through `log` only on failure.
+std::unique_ptr<Evaluator> make_fleet_evaluator(const firestarter::Config& cfg,
+                                                double duration_s, std::ostream& log);
+
+}  // namespace fs2::fuzz

@@ -1,0 +1,104 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace fs2::fuzz {
+
+namespace {
+
+/// Elite pool for the next generation: the ranked lists of every retained
+/// objective, interleaved rank-major so rank-1 patterns of all objectives
+/// lead the pool (round-robin parenting then spreads mutations evenly).
+std::vector<PatternSpec> elite_pool(const Corpus& corpus) {
+  std::vector<const CorpusEntry*> lists[3];
+  std::size_t longest = 0;
+  std::size_t count = 0;
+  for (Objective objective : corpus.objectives()) {
+    lists[count] = corpus.ranked(objective);
+    longest = std::max(longest, lists[count].size());
+    ++count;
+  }
+  std::vector<PatternSpec> pool;
+  for (std::size_t rank = 0; rank < longest; ++rank)
+    for (std::size_t i = 0; i < count; ++i)
+      if (rank < lists[i].size()) pool.push_back(lists[i][rank]->spec);
+  return pool;
+}
+
+double best_score(const Corpus& corpus, Objective objective) {
+  const auto list = corpus.ranked(objective);
+  return list.empty() ? 0.0 : objective_score(list.front()->signature, objective);
+}
+
+}  // namespace
+
+FuzzResult run_fuzz(Evaluator& evaluator, const FuzzOptions& options, std::ostream& log) {
+  PatternGenerator generator(options.seed, options.limits);
+  FuzzResult result{{}, Corpus(options.corpus_cap, options.objectives), {}};
+
+  std::size_t index = 0;
+  result.baseline = evaluator.baseline();
+  for (const Evaluation& evaluation : result.baseline) {
+    FuzzRecord record;
+    record.entry = CorpusEntry{evaluation.spec, evaluation.signature, evaluation.node,
+                               evaluation.sku, /*generation=*/0, index++};
+    record.baseline = true;
+    result.records.push_back(std::move(record));
+  }
+  log << strings::format("fuzz: baseline over %zu node%s, seed %llu\n",
+                         result.baseline.size(),
+                         result.baseline.size() == 1 ? "" : "s",
+                         static_cast<unsigned long long>(options.seed));
+
+  const std::size_t multiple = std::max<std::size_t>(1, evaluator.batch_multiple());
+  std::size_t population = std::max<std::size_t>(1, options.population);
+  if (population % multiple) {
+    population = (population / multiple + 1) * multiple;
+    log << strings::format(
+        "fuzz: population rounded up to %zu (multiple of the %zu-node fleet)\n",
+        population, multiple);
+  }
+
+  for (std::size_t generation = 1; generation <= options.generations; ++generation) {
+    const std::vector<PatternSpec> elites = elite_pool(result.corpus);
+    std::vector<PatternSpec> batch;
+    batch.reserve(population);
+    for (std::size_t i = 0; i < population; ++i) {
+      // Exploit the corpus once it holds anything, but keep every fourth
+      // slot uniform random so new basins stay reachable.
+      if (elites.empty() || i % 4 == 3)
+        batch.push_back(generator.random());
+      else
+        batch.push_back(generator.mutate(elites[i % elites.size()]));
+    }
+
+    const std::vector<Evaluation> evaluations = evaluator.evaluate(batch);
+    std::size_t added = 0;
+    for (const Evaluation& evaluation : evaluations) {
+      FuzzRecord record;
+      record.entry = CorpusEntry{evaluation.spec, evaluation.signature, evaluation.node,
+                                 evaluation.sku, generation, index++};
+      if (evaluation.signature.valid()) {
+        record.status = result.corpus.add(record.entry);
+        if (record.status == Corpus::AddStatus::kAdded) ++added;
+      } else {
+        // No summary rows came back for this candidate (e.g. a fleet node
+        // dropped its phase) — never offer an empty signature to the corpus.
+        record.status = Corpus::AddStatus::kCulled;
+      }
+      result.records.push_back(std::move(record));
+    }
+    log << strings::format(
+        "fuzz: gen %zu: %zu evaluated, %zu new outliers, corpus %zu "
+        "(peak %.1f W, swing %.1f W, thermal %.2f degC/s)\n",
+        generation, evaluations.size(), added, result.corpus.entries().size(),
+        best_score(result.corpus, Objective::kPeakPower),
+        best_score(result.corpus, Objective::kPowerSwing),
+        best_score(result.corpus, Objective::kThermal));
+  }
+  return result;
+}
+
+}  // namespace fs2::fuzz

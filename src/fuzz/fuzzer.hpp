@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/evaluator.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/report.hpp"
+
+namespace fs2::fuzz {
+
+/// Knobs for one fuzz run. Everything random flows from `seed` (candidate
+/// generation here, meter noise through the evaluator's Config), so a seed
+/// plus the same evaluator spec reproduces the exact corpus.
+struct FuzzOptions {
+  std::uint64_t seed = 0;
+  std::size_t population = 32;   ///< candidates per generation (rounded up
+                                 ///< to the evaluator's batch multiple)
+  std::size_t generations = 2;
+  std::size_t corpus_cap = 8;    ///< retained outliers per objective
+  /// Objectives the corpus retains outliers for; empty = all three.
+  std::vector<Objective> objectives;
+  GeneratorLimits limits;
+};
+
+/// Everything a run produced: the evaluation log in order (baseline rows
+/// first), the surviving ranked corpus, and the per-node baselines the
+/// outliers are compared against.
+struct FuzzResult {
+  std::vector<FuzzRecord> records;
+  Corpus corpus;
+  std::vector<Evaluation> baseline;
+};
+
+/// The discovery loop: measure the default payload as the reference, then
+/// per generation compose a population (uniform random first, structural
+/// mutations of corpus elites afterwards — with a random injection every
+/// few slots so the search never collapses onto one basin), evaluate it
+/// through `evaluator`, and offer every response to the corpus. `log` gets
+/// one progress line per generation.
+FuzzResult run_fuzz(Evaluator& evaluator, const FuzzOptions& options, std::ostream& log);
+
+}  // namespace fs2::fuzz

@@ -1,0 +1,126 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "payload/access.hpp"
+
+namespace fs2::fuzz {
+
+namespace {
+
+/// Position of `kind` in the canonical all_access_kinds() order.
+std::size_t canonical_index(const payload::AccessKind& kind) {
+  const std::vector<payload::AccessKind>& kinds = payload::all_access_kinds();
+  for (std::size_t i = 0; i < kinds.size(); ++i)
+    if (kinds[i] == kind) return i;
+  return kinds.size();
+}
+
+}  // namespace
+
+PatternGenerator::PatternGenerator(std::uint64_t seed, GeneratorLimits limits)
+    : rng_(seed), limits_(limits) {}
+
+std::uint32_t PatternGenerator::random_unroll() {
+  // Powers of two up to the limit, plus 0 = the compiler's default (fill
+  // 3/4 of L1-I): the unroll axis matters logarithmically (loop bytes
+  // double per step), so uniform-in-exponent covers it evenly — and the
+  // default's L1-I-resident footprint is itself a distinct operating point
+  // (instruction-fetch energy) worth sampling.
+  int max_shift = 0;
+  while ((2u << max_shift) <= limits_.max_unroll) ++max_shift;
+  const std::uint64_t pick = rng_.below(static_cast<std::uint64_t>(max_shift) + 2);
+  return pick == 0 ? 0 : 1u << (pick - 1);
+}
+
+std::uint32_t PatternGenerator::random_count() {
+  // Log-uniform in [1, max_count]: the interesting mixes pair single-digit
+  // off-core counts with L1 blocks near the cap, so the draw must make a
+  // count of 2 and a count of 90 comparably likely.
+  const double exponent = rng_.uniform() * std::log2(static_cast<double>(limits_.max_count));
+  const auto count = static_cast<std::uint32_t>(std::lround(std::exp2(exponent)));
+  return std::min(std::max(count, 1u), limits_.max_count);
+}
+
+PatternSpec PatternGenerator::random() {
+  const std::vector<payload::AccessKind>& kinds = payload::all_access_kinds();
+  const std::size_t want = static_cast<std::size_t>(
+      rng_.range(static_cast<std::int64_t>(limits_.min_kinds),
+                 static_cast<std::int64_t>(std::min(limits_.max_kinds, kinds.size()))));
+
+  // Draw a distinct subset of kind indices, kept in canonical (genome)
+  // order so equal multisets serialize identically regardless of draw
+  // order — the spec string itself is a dedupe key.
+  std::vector<std::size_t> picked;
+  while (picked.size() < want) {
+    const std::size_t index = rng_.below(kinds.size());
+    if (std::find(picked.begin(), picked.end(), index) == picked.end())
+      picked.push_back(index);
+  }
+  std::sort(picked.begin(), picked.end());
+
+  std::vector<payload::Group> groups;
+  groups.reserve(picked.size());
+  for (const std::size_t index : picked)
+    groups.push_back(payload::Group{kinds[index], random_count()});
+
+  PatternSpec spec;
+  spec.groups = payload::InstructionGroups(std::move(groups));
+  spec.unroll = random_unroll();
+  return spec;
+}
+
+PatternSpec PatternGenerator::mutate(const PatternSpec& parent) {
+  const std::vector<payload::AccessKind>& kinds = payload::all_access_kinds();
+  for (;;) {
+    std::vector<payload::Group> groups = parent.groups.groups();
+    std::uint32_t unroll = parent.unroll;
+    switch (rng_.below(4)) {
+      case 0: {  // retune one occurrence count
+        // Multiplicative steps plus +-1: ratios between counts are what the
+        // plant responds to, so doubling/halving walks the ratio space while
+        // +-1 fine-tunes around a knee (e.g. the bandwidth-stall boundary).
+        payload::Group& group = groups[rng_.below(groups.size())];
+        std::uint32_t fresh = group.count;
+        switch (rng_.below(4)) {
+          case 0: fresh = std::min(limits_.max_count, group.count * 2); break;
+          case 1: fresh = std::max(1u, group.count / 2); break;
+          case 2: fresh = std::min(limits_.max_count, group.count + 1); break;
+          default: fresh = std::max(1u, group.count - 1); break;
+        }
+        if (fresh == group.count) continue;
+        group.count = fresh;
+        break;
+      }
+      case 1: {  // splice a new access kind in (canonical position)
+        if (groups.size() >= std::min(limits_.max_kinds, kinds.size())) continue;
+        const std::size_t index = rng_.below(kinds.size());
+        if (parent.groups.count_of(kinds[index]) > 0) continue;
+        groups.push_back(payload::Group{kinds[index], random_count()});
+        std::sort(groups.begin(), groups.end(),
+                  [](const payload::Group& a, const payload::Group& b) {
+                    return canonical_index(a.kind) < canonical_index(b.kind);
+                  });
+        break;
+      }
+      case 2: {  // drop one kind
+        if (groups.size() <= std::max<std::size_t>(limits_.min_kinds, 1)) continue;
+        groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(rng_.below(groups.size())));
+        break;
+      }
+      default: {  // rescale the unroll
+        const std::uint32_t fresh = random_unroll();
+        if (fresh == unroll) continue;
+        unroll = fresh;
+        break;
+      }
+    }
+    PatternSpec child;
+    child.groups = payload::InstructionGroups(std::move(groups));
+    child.unroll = unroll;
+    if (!(child == parent)) return child;
+  }
+}
+
+}  // namespace fs2::fuzz

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace fs2::fuzz {
+
+/// Bounds of the random pattern space. The defaults keep candidates inside
+/// the region the payload compiler handles gracefully — a handful of access
+/// kinds, power-of-two unrolls up to the L1-I budget — while reaching the
+/// count ratios that matter: the hand-tuned mixes put ~2% of accesses in
+/// RAM against an L1 block in the tens (e.g. L1_LS:77 vs RAM_L:3), so the
+/// count axis must span two orders of magnitude. Counts are drawn
+/// log-uniformly: small counts stay common, large blocks stay reachable.
+struct GeneratorLimits {
+  std::size_t min_kinds = 1;
+  std::size_t max_kinds = 5;
+  std::uint32_t max_count = 96;    ///< per-kind occurrence bound a_i
+  std::uint32_t max_unroll = 64;   ///< unroll menu: {default, 1, 2, ..., max}
+};
+
+/// Seeded source of candidate payload patterns: uniform random specs for
+/// the initial population, structural mutations (tweak a count, swap an
+/// access kind in or out, rescale the unroll) for later generations.
+/// Everything flows from the Xoshiro256 stream, so a seed reproduces the
+/// exact candidate sequence — the property the corpus-reproducibility
+/// guarantee rests on.
+class PatternGenerator {
+ public:
+  explicit PatternGenerator(std::uint64_t seed, GeneratorLimits limits = {});
+
+  /// A fresh uniform random pattern.
+  PatternSpec random();
+
+  /// A structural neighbor of `parent` — never identical to it (mutations
+  /// retry until something changed, so elitist loops cannot stall on
+  /// no-op children).
+  PatternSpec mutate(const PatternSpec& parent);
+
+ private:
+  std::uint32_t random_unroll();
+  std::uint32_t random_count();
+
+  Xoshiro256 rng_;
+  GeneratorLimits limits_;
+};
+
+}  // namespace fs2::fuzz

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "payload/groups.hpp"
+
+namespace fs2::fuzz {
+
+/// One candidate workload the fuzzer evaluates: the memory-access multiset
+/// M plus an explicit unroll factor u — the two degrees of freedom of the
+/// paper's payload space omega = (I, u, M) that vary per candidate (the
+/// instruction set I is fixed by the target's stress function). Serialized
+/// as "REG:4,L1_L:2|u=32" so every corpus entry can be re-run standalone:
+/// the groups part is the exact --run-instruction-groups grammar and the u
+/// part the --set-line-count value (a campaign phase carries them as
+/// groups= and unroll= keys).
+struct PatternSpec {
+  payload::InstructionGroups groups;
+  std::uint32_t unroll = 0;  ///< u; always explicit (>= 1) in generated specs
+
+  /// Canonical serialized form, e.g. "REG:4,L1_L:2|u=32". A zero unroll
+  /// (payload-compiler default) serializes without the "|u=" suffix.
+  std::string to_string() const;
+
+  /// Parse the canonical form (with or without the "|u=" suffix). Throws
+  /// fs2::ConfigError on malformed group lists or a zero/huge unroll.
+  static PatternSpec parse(const std::string& text);
+
+  bool operator==(const PatternSpec& other) const {
+    return unroll == other.unroll && groups == other.groups;
+  }
+};
+
+/// Upper bound on an explicit unroll factor — far beyond any loop that
+/// still fits an instruction cache, so a typo fails instead of compiling a
+/// gigabyte of kernel.
+inline constexpr std::uint32_t kMaxUnroll = 4096;
+
+}  // namespace fs2::fuzz

@@ -1,0 +1,110 @@
+#include "fuzz/report.hpp"
+
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fs2::fuzz {
+
+const char* to_string(Corpus::AddStatus status) {
+  switch (status) {
+    case Corpus::AddStatus::kAdded: return "new";
+    case Corpus::AddStatus::kCulled: return "culled";
+    case Corpus::AddStatus::kDuplicateSpec: return "dup-spec";
+    case Corpus::AddStatus::kDuplicateSignal: return "dup-signal";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Ranks {
+  std::size_t peak = 0, swing = 0, thermal = 0;
+};
+
+Ranks ranks_of(const Corpus& corpus, const FuzzRecord& record) {
+  Ranks ranks;
+  if (record.baseline) return ranks;  // the baseline never enters the corpus
+  ranks.peak = corpus.rank_of(record.entry.spec, Objective::kPeakPower);
+  ranks.swing = corpus.rank_of(record.entry.spec, Objective::kPowerSwing);
+  ranks.thermal = corpus.rank_of(record.entry.spec, Objective::kThermal);
+  return ranks;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void FuzzReport::write_csv(std::ostream& out, std::uint64_t seed,
+                           const std::vector<FuzzRecord>& records, const Corpus& corpus) {
+  CsvWriter csv(out);
+  csv.row({"index", "generation", "node", "sku", "spec", "status", "baseline",
+           "mean_power_w", "max_power_w", "min_power_w", "power_swing_w", "ipc",
+           "thermal_slope_c_per_s", "samples", "rank_peak_power", "rank_power_swing",
+           "rank_thermal", "seed"});
+  for (const FuzzRecord& record : records) {
+    const ResponseSignature& s = record.entry.signature;
+    const Ranks ranks = ranks_of(corpus, record);
+    csv.row({std::to_string(record.entry.index), std::to_string(record.entry.generation),
+             record.entry.node, record.entry.sku, record.entry.spec.to_string(),
+             record.baseline ? "baseline" : to_string(record.status),
+             record.baseline ? "1" : "0", strings::format("%.3f", s.mean_power_w),
+             strings::format("%.3f", s.max_power_w),
+             strings::format("%.3f", s.min_power_w),
+             strings::format("%.3f", s.power_swing_w), strings::format("%.4f", s.ipc),
+             strings::format("%.5f", s.thermal_slope_c_per_s),
+             std::to_string(s.samples), std::to_string(ranks.peak),
+             std::to_string(ranks.swing), std::to_string(ranks.thermal),
+             std::to_string(seed)});
+  }
+}
+
+void FuzzReport::write_json(std::ostream& out, std::uint64_t seed,
+                            const std::vector<FuzzRecord>& records, const Corpus& corpus) {
+  out << "{\n  \"seed\": " << seed << ",\n  \"corpus_cap\": " << corpus.cap()
+      << ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const FuzzRecord& record = records[i];
+    const ResponseSignature& s = record.entry.signature;
+    const Ranks ranks = ranks_of(corpus, record);
+    out << strings::format(
+        "    {\"index\": %zu, \"generation\": %zu, \"node\": \"%s\", \"sku\": \"%s\", "
+        "\"spec\": \"%s\", \"status\": \"%s\", \"baseline\": %s, "
+        "\"mean_power_w\": %.3f, \"max_power_w\": %.3f, \"min_power_w\": %.3f, "
+        "\"power_swing_w\": %.3f, \"ipc\": %.4f, \"thermal_slope_c_per_s\": %.5f, "
+        "\"samples\": %llu, \"rank_peak_power\": %zu, \"rank_power_swing\": %zu, "
+        "\"rank_thermal\": %zu}%s\n",
+        record.entry.index, record.entry.generation,
+        json_escape(record.entry.node).c_str(), json_escape(record.entry.sku).c_str(),
+        json_escape(record.entry.spec.to_string()).c_str(),
+        record.baseline ? "baseline" : to_string(record.status),
+        record.baseline ? "true" : "false", s.mean_power_w, s.max_power_w, s.min_power_w,
+        s.power_swing_w, s.ipc, s.thermal_slope_c_per_s,
+        static_cast<unsigned long long>(s.samples), ranks.peak, ranks.swing, ranks.thermal,
+        i + 1 < records.size() ? "," : "");
+  }
+  out << "  ]\n}\n";
+}
+
+void FuzzReport::write_file(const std::string& path, std::uint64_t seed,
+                            const std::vector<FuzzRecord>& records, const Corpus& corpus) {
+  std::ofstream out(path);
+  if (!out) throw Error("--fuzz-report: cannot open '" + path + "' for writing");
+  const bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json)
+    write_json(out, seed, records, corpus);
+  else
+    write_csv(out, seed, records, corpus);
+}
+
+}  // namespace fs2::fuzz

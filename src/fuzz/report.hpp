@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+
+namespace fs2::fuzz {
+
+/// One evaluated candidate as the report sees it: the corpus bookkeeping
+/// plus how the corpus judged it. Baseline rows (the target's default
+/// payload, evaluated first for the exceeds-default comparison) are
+/// flagged so downstream tooling can separate discovery from reference.
+struct FuzzRecord {
+  CorpusEntry entry;
+  Corpus::AddStatus status = Corpus::AddStatus::kCulled;
+  bool baseline = false;
+};
+
+const char* to_string(Corpus::AddStatus status);
+
+/// Exporter for the evaluation log: one row per evaluated pattern with the
+/// spec string (round-trips through PatternSpec::parse, so any row can be
+/// re-run standalone), the full response signature, the dedupe status, and
+/// the entry's final per-objective corpus ranks (0 = not retained). The
+/// fuzz seed is echoed into every row — a report is a reproduction recipe.
+class FuzzReport {
+ public:
+  /// CSV to `out`.
+  static void write_csv(std::ostream& out, std::uint64_t seed,
+                        const std::vector<FuzzRecord>& records, const Corpus& corpus);
+
+  /// JSON to `out` (an object with the seed and a records array).
+  static void write_json(std::ostream& out, std::uint64_t seed,
+                         const std::vector<FuzzRecord>& records, const Corpus& corpus);
+
+  /// Write to `path`; the format follows the extension (.json selects
+  /// JSON, anything else CSV). Throws fs2::Error when the file cannot be
+  /// opened.
+  static void write_file(const std::string& path, std::uint64_t seed,
+                         const std::vector<FuzzRecord>& records, const Corpus& corpus);
+};
+
+}  // namespace fs2::fuzz

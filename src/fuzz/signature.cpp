@@ -1,0 +1,45 @@
+#include "fuzz/signature.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace fs2::fuzz {
+
+ResponseSignature signature_from_rows(const std::vector<metrics::Summary>& rows,
+                                      const std::string& phase, double duration_s) {
+  ResponseSignature signature;
+  for (const metrics::Summary& row : rows) {
+    if (row.phase != phase) continue;
+    if (row.name == "sim-wall-power") {
+      signature.mean_power_w = row.mean;
+      signature.max_power_w = row.max;
+      signature.min_power_w = row.min;
+      signature.power_swing_w = row.max - row.min;
+      signature.samples = row.samples;
+    } else if (row.name == "sim-perf-ipc") {
+      signature.ipc = row.max;
+    } else if (row.name == "sim-package-temp") {
+      if (duration_s > 0.0)
+        signature.thermal_slope_c_per_s = (row.max - row.min) / duration_s;
+    }
+  }
+  return signature;
+}
+
+std::string dedupe_key(const ResponseSignature& signature) {
+  // Bucket widths sit just above the seeded meter noise (0.4 % of ~300 W)
+  // so reruns of the same pattern land in the same bucket while genuinely
+  // different responses do not.
+  const auto bucket = [](double value, double width) {
+    return static_cast<long long>(std::llround(value / width));
+  };
+  return strings::format("p%lld:x%lld:s%lld:i%lld:t%lld",
+                         bucket(signature.mean_power_w, 2.0),
+                         bucket(signature.max_power_w, 2.0),
+                         bucket(signature.power_swing_w, 2.0),
+                         bucket(signature.ipc, 0.05),
+                         bucket(signature.thermal_slope_c_per_s, 0.01));
+}
+
+}  // namespace fs2::fuzz

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/measurement.hpp"
+
+namespace fs2::fuzz {
+
+/// The measured response of one evaluated pattern — the fuzzer's fitness
+/// record, distilled from the same summary rows a campaign phase prints.
+/// Power fields come from the wall-power channel (mean/max/min over the
+/// trimmed phase window), IPC is the peak per-core rate while the square
+/// evaluation profile is in its high half, and the thermal slope is the
+/// package temperature excursion normalized by the phase length.
+struct ResponseSignature {
+  double mean_power_w = 0.0;
+  double max_power_w = 0.0;
+  double min_power_w = 0.0;
+  double power_swing_w = 0.0;          ///< max - min: the VR-stress objective
+  double ipc = 0.0;                    ///< peak instructions/cycle per core
+  double thermal_slope_c_per_s = 0.0;  ///< (temp max - temp min) / duration
+  std::uint64_t samples = 0;           ///< wall-power samples in the window
+
+  bool valid() const { return samples > 0; }
+};
+
+/// Distill a signature from summary rows: the rows whose phase matches
+/// `phase` feed the signature (channel names are the sim telemetry set:
+/// sim-wall-power, sim-perf-ipc, sim-package-temp). Rows from other phases
+/// are ignored, so a whole campaign's rows can be passed per phase.
+ResponseSignature signature_from_rows(const std::vector<metrics::Summary>& rows,
+                                      const std::string& phase, double duration_s);
+
+/// Quantized dedupe key: two patterns whose responses agree within the
+/// plant's noise floor (~1 W power, 0.05 IPC, 0.01 degC/s) map to the same
+/// key, so near-identical responses collapse to one corpus entry instead
+/// of crowding the ranked lists with clones.
+std::string dedupe_key(const ResponseSignature& signature);
+
+}  // namespace fs2::fuzz

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "payload/groups.hpp"
 #include "sched/load_profile.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -92,10 +93,33 @@ Campaign Campaign::parse(std::istream& in, const std::string& origin) {
           throw fail(e.what());
         }
         if (!(*phase.freq_mhz > 0.0)) throw fail("freq must be > 0 MHz");
+      } else if (key == "groups") {
+        // Validate the multiset now, like profiles: a fuzz-replay campaign
+        // with a typoed group list must fail before any stress starts.
+        try {
+          payload::InstructionGroups::parse(value);
+        } catch (const Error& e) {
+          throw fail(e.what());
+        }
+        phase.groups = value;
+      } else if (key == "unroll") {
+        std::uint64_t raw = 0;
+        try {
+          raw = strings::parse_u64(value, "unroll");
+        } catch (const Error& e) {
+          throw fail(e.what());
+        }
+        if (raw == 0 || raw > 4096) throw fail("unroll must be within [1, 4096]");
+        phase.unroll = static_cast<unsigned>(raw);
+      } else if (key == "measure") {
+        if (value != "temp")
+          throw fail("measure= supports only 'temp' (other channels are always on)");
+        phase.measure_temp = true;
       } else {
         throw fail(
             "unknown key '" + key +
-            "' (name, duration, profile, function, target, threads, freq)");
+            "' (name, duration, profile, function, target, threads, freq, "
+            "groups, unroll, measure)");
       }
     }
     if (!have_duration) throw fail("phase '" + phase.name + "' is missing duration=SEC");

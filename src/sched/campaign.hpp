@@ -23,6 +23,15 @@ struct CampaignPhase {
   std::optional<std::string> target_spec;
   std::optional<int> threads;            ///< worker-thread override for this phase
   std::optional<double> freq_mhz;        ///< simulated P-state override for this phase
+  /// Per-phase workload overrides (the fuzzer's replay hooks — any corpus
+  /// entry re-runs as a normal campaign phase): the memory-access multiset
+  /// M in --run-instruction-groups grammar and the unroll factor u.
+  std::optional<std::string> groups;
+  std::optional<unsigned> unroll;
+  /// measure=temp: publish the package-temperature channel for this
+  /// campaign (open-loop simulated phases integrate the first-order
+  /// thermal model; implied anyway when any phase holds a target=).
+  bool measure_temp = false;
 };
 
 /// An ordered list of campaign phases parsed from a campaign file:
@@ -39,7 +48,10 @@ struct CampaignPhase {
 /// phase to closed-loop control (setpoint stepping: consecutive phases with
 /// different targets produce e.g. the 80 W -> 160 W square waves of VR-stress
 /// campaigns). `threads` and `freq` override the worker count and the
-/// simulated P-state for that phase only. Profile specs are validated at
+/// simulated P-state for that phase only; `groups` and `unroll` override
+/// the workload's memory-access multiset and unroll factor (how a
+/// fuzz-discovered pattern replays as a normal phase), and `measure=temp`
+/// adds the package-temperature channel. Profile specs are validated at
 /// parse time (including trace file reads); target specs — which belong to
 /// the control layer above sched — are validated by the campaign runner's
 /// up-front resolve pass. Either way a malformed campaign fails before any

@@ -1,0 +1,370 @@
+// Tests of the payload pattern fuzzer: spec round-trips, seeded generator
+// determinism, response-signature distillation and dedupe, corpus ranking
+// and eviction bounds, and the end-to-end discovery loop — locally on one
+// simulated system and fanned across a 16-node loopback fleet, where the
+// same seed must reproduce the identical ranked corpus and the top pattern
+// must beat the default payload's baseline.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "firestarter/config.hpp"
+#include "firestarter/firestarter.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/evaluator.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/pattern.hpp"
+#include "fuzz/report.hpp"
+#include "fuzz/signature.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace fs2;
+using namespace fs2::fuzz;
+
+// ---- pattern specs ----------------------------------------------------------
+
+TEST(PatternSpec, RoundTripsThroughParse) {
+  for (const char* text : {"REG:4,L1_L:2,L2_L:1|u=32", "L1_LS:77", "RAM_P:3|u=1"}) {
+    const PatternSpec spec = PatternSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    EXPECT_TRUE(PatternSpec::parse(spec.to_string()) == spec);
+  }
+}
+
+TEST(PatternSpec, ZeroUnrollMeansCompilerDefaultAndOmitsSuffix) {
+  const PatternSpec spec = PatternSpec::parse("REG:2");
+  EXPECT_EQ(spec.unroll, 0u);
+  EXPECT_EQ(spec.to_string(), "REG:2");
+}
+
+TEST(PatternSpec, RejectsMalformedText) {
+  EXPECT_THROW(PatternSpec::parse("REG:2|u=0"), ConfigError);
+  EXPECT_THROW(PatternSpec::parse("REG:2|u=999999"), ConfigError);
+  EXPECT_THROW(PatternSpec::parse("REG:2|x=4"), ConfigError);
+  EXPECT_THROW(PatternSpec::parse("NOPE:2"), ConfigError);
+}
+
+// ---- generator --------------------------------------------------------------
+
+TEST(PatternGenerator, SameSeedReproducesTheSequence) {
+  PatternGenerator a(1234), b(1234);
+  PatternSpec last;
+  for (int i = 0; i < 64; ++i) {
+    const PatternSpec sa = a.random();
+    const PatternSpec sb = b.random();
+    EXPECT_TRUE(sa == sb) << sa.to_string() << " vs " << sb.to_string();
+    last = sa;
+  }
+  for (int i = 0; i < 64; ++i) {
+    const PatternSpec ma = a.mutate(last);
+    const PatternSpec mb = b.mutate(last);
+    EXPECT_TRUE(ma == mb);
+    last = ma;
+  }
+}
+
+TEST(PatternGenerator, EverySpecRoundTripsAndRespectsLimits) {
+  GeneratorLimits limits;
+  PatternGenerator gen(99, limits);
+  for (int i = 0; i < 200; ++i) {
+    const PatternSpec spec = gen.random();
+    EXPECT_TRUE(PatternSpec::parse(spec.to_string()) == spec) << spec.to_string();
+    EXPECT_LE(spec.groups.groups().size(), limits.max_kinds);
+    EXPECT_GE(spec.groups.groups().size(), limits.min_kinds);
+    for (const payload::Group& group : spec.groups.groups()) {
+      EXPECT_GE(group.count, 1u);
+      EXPECT_LE(group.count, limits.max_count);
+    }
+    EXPECT_LE(spec.unroll, limits.max_unroll);  // 0 = compiler default
+  }
+}
+
+TEST(PatternGenerator, MutationNeverReturnsTheParent) {
+  PatternGenerator gen(5);
+  PatternSpec parent = gen.random();
+  for (int i = 0; i < 200; ++i) {
+    const PatternSpec child = gen.mutate(parent);
+    EXPECT_FALSE(child == parent) << parent.to_string();
+    EXPECT_TRUE(PatternSpec::parse(child.to_string()) == child);
+    parent = child;
+  }
+}
+
+// ---- signatures -------------------------------------------------------------
+
+metrics::Summary row(const char* name, const char* phase, double mean, double min,
+                     double max, std::size_t samples = 60) {
+  metrics::Summary s;
+  s.name = name;
+  s.phase = phase;
+  s.mean = mean;
+  s.min = min;
+  s.max = max;
+  s.samples = samples;
+  return s;
+}
+
+TEST(ResponseSignature, DistilledFromTheMatchingPhaseRowsOnly) {
+  const std::vector<metrics::Summary> rows = {
+      row("sim-wall-power", "r0", 300.0, 120.0, 470.0),
+      row("sim-perf-ipc", "r0", 2.0, 0.0, 3.1),
+      row("sim-package-temp", "r0", 50.0, 40.0, 52.0),
+      row("sim-wall-power", "r1", 999.0, 999.0, 999.0),  // other phase: ignored
+  };
+  const ResponseSignature sig = signature_from_rows(rows, "r0", 10.0);
+  EXPECT_TRUE(sig.valid());
+  EXPECT_DOUBLE_EQ(sig.mean_power_w, 300.0);
+  EXPECT_DOUBLE_EQ(sig.max_power_w, 470.0);
+  EXPECT_DOUBLE_EQ(sig.min_power_w, 120.0);
+  EXPECT_DOUBLE_EQ(sig.power_swing_w, 350.0);
+  EXPECT_DOUBLE_EQ(sig.ipc, 3.1);
+  EXPECT_DOUBLE_EQ(sig.thermal_slope_c_per_s, 1.2);
+  EXPECT_FALSE(signature_from_rows(rows, "nope", 10.0).valid());
+}
+
+TEST(ResponseSignature, NearIdenticalResponsesShareADedupeKey) {
+  ResponseSignature a;
+  a.mean_power_w = 300.0;
+  a.max_power_w = 470.0;
+  a.min_power_w = 120.0;
+  a.power_swing_w = 350.0;
+  a.ipc = 3.10;
+  a.thermal_slope_c_per_s = 0.480;
+  a.samples = 60;
+  ResponseSignature b = a;  // within the noise floor: sub-watt, centi-IPC
+  b.mean_power_w += 0.4;
+  b.max_power_w -= 0.3;
+  b.ipc += 0.004;
+  EXPECT_EQ(dedupe_key(a), dedupe_key(b));
+  ResponseSignature c = a;  // clearly distinct response
+  c.max_power_w += 25.0;
+  c.power_swing_w += 25.0;
+  EXPECT_NE(dedupe_key(a), dedupe_key(c));
+}
+
+// ---- corpus -----------------------------------------------------------------
+
+CorpusEntry entry(const std::string& spec_text, double peak, double swing,
+                  double slope) {
+  CorpusEntry e;
+  e.spec = PatternSpec::parse(spec_text);
+  e.signature.mean_power_w = peak * 0.7;
+  e.signature.max_power_w = peak;
+  e.signature.min_power_w = peak - swing;
+  e.signature.power_swing_w = swing;
+  e.signature.ipc = 2.0;
+  e.signature.thermal_slope_c_per_s = slope;
+  e.signature.samples = 60;
+  return e;
+}
+
+TEST(Corpus, RanksDescendingAndBoundsEveryObjectiveList) {
+  Corpus corpus(2);
+  EXPECT_EQ(corpus.add(entry("REG:1", 400, 300, 0.5)), Corpus::AddStatus::kAdded);
+  EXPECT_EQ(corpus.add(entry("REG:2", 450, 250, 0.4)), Corpus::AddStatus::kAdded);
+  EXPECT_EQ(corpus.add(entry("REG:3", 425, 275, 0.45)), Corpus::AddStatus::kAdded);
+  const auto peak = corpus.ranked(Objective::kPeakPower);
+  ASSERT_EQ(peak.size(), 2u);
+  EXPECT_EQ(peak[0]->spec.to_string(), "REG:2");
+  EXPECT_EQ(peak[1]->spec.to_string(), "REG:3");
+  const auto swing = corpus.ranked(Objective::kPowerSwing);
+  ASSERT_EQ(swing.size(), 2u);
+  EXPECT_EQ(swing[0]->spec.to_string(), "REG:1");
+  EXPECT_EQ(corpus.rank_of(PatternSpec::parse("REG:2"), Objective::kPeakPower), 1u);
+  EXPECT_EQ(corpus.rank_of(PatternSpec::parse("REG:1"), Objective::kPeakPower), 0u)
+      << "evicted from the peak list";
+  // Union bound: at most cap per objective retained overall.
+  EXPECT_LE(corpus.entries().size(), 3 * corpus.cap());
+}
+
+TEST(Corpus, EvictsDominatedEntriesAndReportsCulls) {
+  Corpus corpus(2);
+  corpus.add(entry("REG:1", 400, 300, 0.50));
+  corpus.add(entry("REG:2", 410, 310, 0.51));
+  corpus.add(entry("REG:3", 420, 320, 0.52));
+  // Dominated on every axis by all three: never retained.
+  EXPECT_EQ(corpus.add(entry("REG:4", 100, 50, 0.01)), Corpus::AddStatus::kCulled);
+  EXPECT_EQ(corpus.entries().size(), 2u);
+  for (const CorpusEntry& kept : corpus.entries())
+    EXPECT_NE(kept.spec.to_string(), "REG:4");
+}
+
+TEST(Corpus, DeduplicatesSpecsAndSignals) {
+  Corpus corpus(4);
+  EXPECT_EQ(corpus.add(entry("REG:1", 400, 300, 0.5)), Corpus::AddStatus::kAdded);
+  EXPECT_EQ(corpus.add(entry("REG:1", 999, 999, 9.9)), Corpus::AddStatus::kDuplicateSpec);
+  // New spec, response within the dedupe quantum of REG:1's.
+  CorpusEntry clone = entry("REG:1,L1_L:1", 400, 300, 0.5);
+  clone.signature.max_power_w += 0.2;
+  EXPECT_EQ(corpus.add(clone), Corpus::AddStatus::kDuplicateSignal);
+  EXPECT_EQ(corpus.entries().size(), 1u);
+}
+
+TEST(Corpus, ObjectiveSubsetOnlyRetainsAlongThatAxis) {
+  Corpus corpus(1, {Objective::kPowerSwing});
+  corpus.add(entry("REG:1", 500, 100, 0.9));  // peak/thermal king, swing loser
+  EXPECT_EQ(corpus.add(entry("REG:2", 200, 180, 0.1)), Corpus::AddStatus::kAdded);
+  ASSERT_EQ(corpus.entries().size(), 1u);
+  EXPECT_EQ(corpus.entries()[0].spec.to_string(), "REG:2");
+}
+
+// ---- end-to-end: local and fleet --------------------------------------------
+
+/// Stable fingerprint of a run's surviving corpus for equality checks.
+std::string corpus_fingerprint(const FuzzResult& result) {
+  std::ostringstream out;
+  for (Objective objective : result.corpus.objectives()) {
+    out << to_string(objective) << ":";
+    for (const CorpusEntry* e : result.corpus.ranked(objective))
+      out << " " << e->spec.to_string() << "@" << e->node << "="
+          << objective_score(e->signature, objective);
+    out << "\n";
+  }
+  return out.str();
+}
+
+firestarter::Config fleet_config() {
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "zen2@2000x16";
+  cfg.coordinator = true;
+  cfg.cluster_start_delay_s = 0.1;
+  cfg.seed = 42;  // run_fuzzer seeds this from --fuzz-seed; mirror it
+  cfg.log_level = "warn";
+  return cfg;
+}
+
+FuzzOptions fleet_options() {
+  FuzzOptions options;
+  options.seed = 42;
+  options.population = 32;
+  options.generations = 3;
+  options.corpus_cap = 8;
+  return options;
+}
+
+TEST(FuzzEndToEnd, LocalRunIsSeedReproducible) {
+  firestarter::Config cfg;
+  cfg.target = firestarter::TargetSystem::kSimZen2;
+  cfg.seed = 11;
+  std::ostringstream log_a, log_b;
+  FuzzOptions options;
+  options.seed = 11;
+  options.population = 4;
+  options.generations = 1;
+  options.corpus_cap = 4;
+  const FuzzResult a = run_fuzz(*make_local_evaluator(cfg, 3.0), options, log_a);
+  const FuzzResult b = run_fuzz(*make_local_evaluator(cfg, 3.0), options, log_b);
+  EXPECT_FALSE(a.corpus.empty());
+  EXPECT_EQ(corpus_fingerprint(a), corpus_fingerprint(b));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_TRUE(a.records[i].entry.spec == b.records[i].entry.spec);
+    EXPECT_EQ(a.records[i].entry.signature.max_power_w,
+              b.records[i].entry.signature.max_power_w);
+  }
+}
+
+TEST(FuzzEndToEnd, HostTargetIsRejected) {
+  firestarter::Config cfg;  // target defaults to kHost
+  EXPECT_THROW(make_local_evaluator(cfg, 3.0), ConfigError);
+}
+
+TEST(FuzzEndToEnd, FleetSweepBeatsTheDefaultAndReproduces) {
+  // The acceptance gate: >= 16 nodes, >= 32 candidates, the seeded sweep's
+  // top pattern beats the default payload on at least one power objective,
+  // and the same seed reproduces the identical corpus.
+  std::ostringstream log_a, log_b;
+  const FuzzResult a =
+      run_fuzz(*make_fleet_evaluator(fleet_config(), 3.0, log_a), fleet_options(), log_a);
+  ASSERT_FALSE(a.corpus.empty());
+  ASSERT_EQ(a.baseline.size(), 16u);
+
+  double default_peak = 0.0, default_swing = 0.0;
+  for (const Evaluation& base : a.baseline) {
+    EXPECT_TRUE(base.signature.valid());
+    default_peak = std::max(default_peak, base.signature.max_power_w);
+    default_swing = std::max(default_swing, base.signature.power_swing_w);
+  }
+  const double top_peak =
+      objective_score(a.corpus.ranked(Objective::kPeakPower).front()->signature,
+                      Objective::kPeakPower);
+  const double top_swing =
+      objective_score(a.corpus.ranked(Objective::kPowerSwing).front()->signature,
+                      Objective::kPowerSwing);
+  EXPECT_TRUE(top_peak > default_peak || top_swing > default_swing)
+      << "top peak " << top_peak << " W vs default " << default_peak << " W, top swing "
+      << top_swing << " W vs default " << default_swing << " W";
+
+  // 16 nodes x 32 candidates x 3 generations, attributed round-robin.
+  std::size_t candidates = 0;
+  for (const FuzzRecord& record : a.records)
+    if (!record.baseline) ++candidates;
+  EXPECT_EQ(candidates, 96u);
+
+  const FuzzResult b =
+      run_fuzz(*make_fleet_evaluator(fleet_config(), 3.0, log_b), fleet_options(), log_b);
+  EXPECT_EQ(corpus_fingerprint(a), corpus_fingerprint(b));
+}
+
+TEST(FuzzEndToEnd, CliFuzzRunWritesAParseableReport) {
+  const std::string path = "/tmp/fs2_test_fuzz_report.csv";
+  std::remove(path.c_str());
+  firestarter::Config cfg = fleet_config();
+  cfg.fuzz = true;
+  cfg.fuzz_seed = 7;
+  cfg.fuzz_population = 8;
+  cfg.fuzz_generations = 1;
+  cfg.fuzz_duration_s = 3.0;
+  cfg.fuzz_report = path;
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  EXPECT_EQ(app.run(), 0) << out.str();
+  EXPECT_NE(out.str().find("ranked corpus"), std::string::npos) << out.str();
+
+  std::ifstream report(path);
+  ASSERT_TRUE(report.is_open());
+  std::string header;
+  ASSERT_TRUE(std::getline(report, header));
+  EXPECT_NE(header.find("spec"), std::string::npos);
+  EXPECT_NE(header.find("rank_peak_power"), std::string::npos);
+  // Minimal quoted-field CSV split: spec strings contain commas.
+  auto csv_field = [](const std::string& line, std::size_t want) {
+    std::size_t pos = 0, field = 0;
+    while (pos < line.size()) {
+      std::string value;
+      if (line[pos] == '"') {
+        const std::size_t close = line.find('"', pos + 1);
+        value = line.substr(pos + 1, close - pos - 1);
+        pos = close + 2;  // skip the quote and the comma
+      } else {
+        const std::size_t comma = line.find(',', pos);
+        value = line.substr(pos, comma - pos);
+        pos = comma == std::string::npos ? line.size() : comma + 1;
+      }
+      if (field++ == want) return value;
+    }
+    return std::string();
+  };
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(report, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    // Every row's spec string round-trips through the parser.
+    const std::string spec_text = csv_field(line, 4);
+    EXPECT_NO_THROW(PatternSpec::parse(spec_text)) << spec_text;
+    // The seed is echoed as the trailing column of every row.
+    ASSERT_GE(line.size(), 2u);
+    EXPECT_EQ(line.substr(line.size() - 2), ",7") << "seed echoed: " << line;
+  }
+  EXPECT_EQ(rows, 16u + 16u);  // 16 baseline rows + 16 candidates (8 -> fleet multiple)
+  std::remove(path.c_str());
+}
+
+}  // namespace
