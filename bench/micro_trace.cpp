@@ -1,0 +1,110 @@
+// Micro benchmark for the span tracer — the numbers behind the <1% gate on
+// disabled-tracing overhead (see docs/observability.md).
+//
+//   span_disabled_ns    cost of one TRACE_SPAN site with tracing off: a
+//                       relaxed atomic load and a branch. This is what every
+//                       instrumented hot path pays in production.
+//   span_enabled_ns     cost of one recorded span: two clock reads plus the
+//                       ring push (two value stores and a release publish).
+//   drain_spans_per_s   consumer throughput of Tracer::drain — how fast the
+//                       coordinator can pull a fleet's buffered spans off
+//                       the rings.
+//
+// Standalone driver (not google-benchmark): the output merges into
+// BENCH_cluster.json via scripts/bench_report.sh, which needs plain JSON.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+using Clock = std::chrono::steady_clock;
+using fs2::trace::SpanEvent;
+using fs2::trace::Tracer;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// ns per TRACE_SPAN site with tracing disabled. The loop body is exactly
+/// one instrumented scope; the atomic load inside ScopedSpan's constructor
+/// keeps the compiler from deleting it.
+double bench_disabled_ns(std::size_t iterations) {
+  Tracer::set_enabled(false);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    TRACE_SPAN("bench.disabled");
+  }
+  return seconds_since(t0) * 1e9 / static_cast<double>(iterations);
+}
+
+/// ns per recorded span, draining the ring before it can overflow so every
+/// iteration takes the full record path (a dropped span skips the stores).
+double bench_enabled_ns(std::size_t iterations) {
+  Tracer::reset();
+  Tracer::set_enabled(true);
+  std::vector<SpanEvent> sink;
+  sink.reserve(Tracer::kRingCapacity);
+  const std::size_t drain_every = Tracer::kRingCapacity / 2;
+  double drain_s = 0.0;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    TRACE_SPAN("bench.enabled");
+    if (i % drain_every == drain_every - 1) {
+      const auto d0 = Clock::now();
+      sink.clear();
+      Tracer::drain(sink);
+      drain_s += seconds_since(d0);
+    }
+  }
+  const double total_s = seconds_since(t0);
+  Tracer::set_enabled(false);
+  if (Tracer::dropped() > 0)
+    std::fprintf(stderr, "micro_trace: enabled bench overflowed the ring!\n");
+  Tracer::reset();
+  return (total_s - drain_s) * 1e9 / static_cast<double>(iterations);
+}
+
+/// Spans/sec through Tracer::drain with full rings — the off-hot-path
+/// consumer the coordinator runs at end of campaign.
+double bench_drain_rate(std::size_t rounds) {
+  Tracer::reset();
+  Tracer::set_enabled(true);
+  std::vector<SpanEvent> sink;
+  sink.reserve(Tracer::kRingCapacity);
+  std::size_t drained = 0;
+  double drain_s = 0.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < Tracer::kRingCapacity; ++i)
+      Tracer::record("bench.drain", 1.0, 2.0);
+    const auto t0 = Clock::now();
+    sink.clear();
+    drained += Tracer::drain(sink);
+    drain_s += seconds_since(t0);
+  }
+  Tracer::set_enabled(false);
+  Tracer::reset();
+  return static_cast<double>(drained) / drain_s;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kIterations = 20'000'000;
+  // Warm up once so the thread ring exists before anything is timed.
+  { TRACE_SPAN("bench.warmup"); }
+
+  const double disabled_ns = bench_disabled_ns(kIterations);
+  const double enabled_ns = bench_enabled_ns(kIterations / 10);
+  const double drain_rate = bench_drain_rate(/*rounds=*/64);
+
+  std::printf("{\n");
+  std::printf("  \"span_disabled_ns\": %.3f,\n", disabled_ns);
+  std::printf("  \"span_enabled_ns\": %.2f,\n", enabled_ns);
+  std::printf("  \"drain_spans_per_s\": %.0f\n", drain_rate);
+  std::printf("}\n");
+  return 0;
+}

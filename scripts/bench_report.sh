@@ -20,8 +20,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BIN="${BENCH_BIN:-build/bench_macro_cluster}"
+TRACE_BIN="${BENCH_TRACE_BIN:-build/bench_micro_trace}"
 MAX_FLEET="${BENCH_MAX_FLEET:-512}"
 MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-1.0}"
+# Tracing compiled in but DISABLED must stay under this share of coordinator
+# ingest wall time (the observability PR's acceptance gate).
+MAX_TRACE_OVERHEAD_PCT="${BENCH_MAX_TRACE_OVERHEAD_PCT:-1.0}"
 
 if [[ ! -x "$BIN" ]]; then
   echo "bench_report: $BIN not built (cmake --build build --target bench_macro_cluster)" >&2
@@ -29,11 +33,19 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 current_json="$("$BIN" "$MAX_FLEET")"
+trace_json="{}"
+if [[ -x "$TRACE_BIN" ]]; then
+  trace_json="$("$TRACE_BIN")"
+else
+  echo "bench_report: $TRACE_BIN not built; skipping tracer micro numbers" >&2
+fi
 
-CURRENT_JSON="$current_json" MIN_SPEEDUP="$MIN_SPEEDUP" python3 - <<'PYEOF'
+CURRENT_JSON="$current_json" TRACE_JSON="$trace_json" MIN_SPEEDUP="$MIN_SPEEDUP" \
+MAX_TRACE_OVERHEAD_PCT="$MAX_TRACE_OVERHEAD_PCT" python3 - <<'PYEOF'
 import json, os, sys
 
 current = json.loads(os.environ["CURRENT_JSON"])
+micro_trace = json.loads(os.environ["TRACE_JSON"])
 with open("scripts/bench_baseline_cluster.json") as f:
     baseline = json.load(f)
 
@@ -65,7 +77,19 @@ report = {
     "baseline": baseline,
     "current": current,
     "speedup": speedup,
+    "trace": {
+        "methodology": ("tracing_disabled_overhead_pct prices the ingest "
+                        "path's TRACE_SPAN sites (counted by running the "
+                        "same workload traced) at the measured disabled-site "
+                        "cost against the untraced wall clock; micro_trace "
+                        "holds the per-op numbers from bench/micro_trace.cpp"),
+        "micro_trace": micro_trace,
+    },
 }
+for key in ("coordinator_traced_samples_per_s", "trace_disabled_site_ns",
+            "ingest_trace_sites", "tracing_disabled_overhead_pct"):
+    if key in current:
+        report["trace"][key] = current[key]
 with open("BENCH_cluster.json", "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
@@ -79,5 +103,18 @@ minimum = float(os.environ["MIN_SPEEDUP"])
 if headline < minimum:
     print(f"bench_report: coordinator speedup {headline}x below the {minimum}x gate",
           file=sys.stderr)
+    sys.exit(1)
+
+overhead = current.get("tracing_disabled_overhead_pct")
+ceiling = float(os.environ["MAX_TRACE_OVERHEAD_PCT"])
+if overhead is None:
+    print("bench_report: macro bench emitted no tracing_disabled_overhead_pct",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"bench_report: disabled-tracing ingest overhead {overhead:.4f}% "
+      f"(gate <{ceiling}%)")
+if overhead >= ceiling:
+    print(f"bench_report: disabled-tracing overhead {overhead:.4f}% breaches the "
+          f"{ceiling}% gate", file=sys.stderr)
     sys.exit(1)
 PYEOF

@@ -36,9 +36,28 @@ trap 'rm -f "$campaign" "$trace"' EXIT
 # Cluster smoke: a coordinator plus two heterogeneous in-process sim agents
 # over loopback TCP, holding a 500 W global budget — must converge on every
 # phase, in lockstep, with the merged per-node + cluster-aggregate CSV.
+# --trace-out exercises the fleet tracer end to end: agents ship spans, the
+# coordinator rebases them through clock sync and writes trace_event JSON.
+fleet_trace="$(mktemp)"
+trap 'rm -f "$campaign" "$trace" "$fleet_trace"' EXIT
 ./build/fs2 --loopback zen2@1500,haswell@2000 \
     --campaign examples/cluster_acceptance.campaign \
-    --target cluster-power=500W --require-convergence --log-level warn
+    --target cluster-power=500W --require-convergence --log-level warn \
+    --trace-out "$fleet_trace"
+# The exported timeline must be valid JSON with one process per node plus
+# the coordinator, and clock-rebased per-node phase spans.
+FLEET_TRACE="$fleet_trace" python3 - <<'PYEOF'
+import json, os
+with open(os.environ["FLEET_TRACE"]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+names = {e["args"]["name"] for e in events if e.get("ph") == "M"}
+assert {"coordinator", "n0-zen2", "n1-haswell"} <= names, names
+spans = [e for e in events if e.get("ph") == "X"]
+assert any(e["name"].startswith("phase:") for e in spans), "no phase spans"
+assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in spans), "negative ts/dur"
+print(f"fleet trace OK: {len(spans)} spans across {len(names)} processes")
+PYEOF
 
 # Fleet scale: 512 in-process agents on one event loop, global budget held
 # on every phase, in lockstep — the whole run must stay inside CI's time
@@ -52,7 +71,7 @@ timeout 60 ./build/fs2 --loopback zen2@1500x256,haswell@2000x256 \
 # fleet must produce a non-empty ranked corpus (non-zero exit otherwise)
 # and a report whose spec column round-trips through the campaign grammar.
 fuzz_report="$(mktemp)"
-trap 'rm -f "$campaign" "$trace" "$fuzz_report"' EXIT
+trap 'rm -f "$campaign" "$trace" "$fleet_trace" "$fuzz_report"' EXIT
 ./build/fs2 --fuzz --loopback zen2@2000x4 \
     --fuzz-population 8 --fuzz-generations 1 --fuzz-seed 7 \
     --fuzz-duration 3 --cluster-start-delay 0.1 \

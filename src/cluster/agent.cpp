@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "trace/registry.hpp"
+#include "trace/tracer.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -36,6 +38,9 @@ AgentSession::AgentSession(const Options& options)
       case MessageType::kCampaign:
         campaign_ = CampaignMsg::decode(reader);
         current_setpoint_w_ = campaign_.initial_setpoint_w;
+        // The coordinator decides fleet-wide whether spans are recorded;
+        // the flag arrives before the epoch, so phase 0 is covered.
+        if (campaign_.trace_enabled != 0) trace::Tracer::set_enabled(true);
         have_campaign = true;
         break;
       case MessageType::kEpoch:
@@ -78,6 +83,7 @@ Frame AgentSession::expect(MessageType type, double timeout_s) {
 }
 
 void AgentSession::begin_phase(std::uint32_t phase_index) {
+  TRACE_SPAN("agent.phase_barrier");
   next_budget_s_ = campaign_.budget_interval_s;
   if (phase_index == 0) return;  // phase 0's barrier is the epoch itself
   const Frame frame = expect(MessageType::kPhaseGo, /*timeout_s=*/600.0);
@@ -93,6 +99,7 @@ bool AgentSession::budget_due(double t_s) const {
 }
 
 void AgentSession::budget_exchange(double t_s, control::FeedbackLoop& loop) {
+  TRACE_SPAN("agent.budget_exchange");
   next_budget_s_ += campaign_.budget_interval_s;
   BudgetReportMsg report;
   report.seq = budget_seq_++;
@@ -112,7 +119,31 @@ void AgentSession::budget_exchange(double t_s, control::FeedbackLoop& loop) {
   (void)t_s;
 }
 
+void AgentSession::add_span(std::string name, double begin_s, double end_s) {
+  if (campaign_.trace_enabled == 0) return;
+  extra_spans_.push_back(trace::Span{std::move(name), begin_s, end_s});
+}
+
 void AgentSession::finish(bool converged, const std::string& detail) {
+  // Trace shipment precedes the verdict: the verdict is the coordinator's
+  // "node done" signal, so everything observability must already be on the
+  // wire when it lands.
+  if (campaign_.trace_enabled != 0) {
+    std::vector<trace::SpanEvent> events;
+    trace::Tracer::drain(events);
+    TraceSpansMsg spans;
+    spans.spans.reserve(events.size() + extra_spans_.size());
+    for (const trace::SpanEvent& e : events)
+      spans.spans.push_back(trace::Span{e.name, e.begin_s, e.end_s});
+    for (trace::Span& span : extra_spans_) spans.spans.push_back(std::move(span));
+    extra_spans_.clear();
+    spans.dropped = trace::Tracer::dropped();
+    conn_.send(spans.encode());
+
+    CounterSnapshotMsg counters;
+    counters.counters = trace::Registry::instance().snapshot();
+    conn_.send(counters.encode());
+  }
   VerdictMsg verdict;
   verdict.converged = converged ? 1 : 0;
   verdict.detail = detail;

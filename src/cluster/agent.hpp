@@ -64,6 +64,12 @@ class AgentSession {
   /// the loop to it.
   void budget_exchange(double t_s, control::FeedbackLoop& loop);
 
+  /// Append a named span to the buffer shipped with finish() — for spans
+  /// whose names are built at runtime (e.g. "phase:<name>"), which the
+  /// literal-only global Tracer ring cannot carry. No-op when the
+  /// coordinator didn't enable tracing.
+  void add_span(std::string name, double begin_s, double end_s);
+
   /// End of campaign: send the node's convergence verdict and block for
   /// the coordinator's shutdown.
   void finish(bool converged, const std::string& detail);
@@ -76,6 +82,7 @@ class AgentSession {
   EpochMsg epoch_;
   std::chrono::steady_clock::time_point epoch_time_;
   std::unique_ptr<RemoteSink> sink_;
+  std::vector<trace::Span> extra_spans_;
   double current_setpoint_w_ = 0.0;
   double next_budget_s_ = 0.0;
   std::uint32_t budget_seq_ = 0;

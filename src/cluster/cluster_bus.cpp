@@ -4,11 +4,30 @@
 #include <ostream>
 
 #include "cluster/aggregate_rules.hpp"
+#include "trace/registry.hpp"
+#include "trace/tracer.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace fs2::cluster {
+
+namespace {
+
+/// Process-wide skew gauge: every ClusterBus mirrors its alignment-queue
+/// depth here (one live bus per process in practice). Resolved once — the
+/// registry lookup takes a mutex, the gauge store does not.
+trace::Gauge& queued_gauge() {
+  static trace::Gauge& g = trace::Registry::instance().gauge("cluster.bus.queued_samples");
+  return g;
+}
+
+trace::Counter& batch_counter() {
+  static trace::Counter& c = trace::Registry::instance().counter("cluster.bus.sample_batches");
+  return c;
+}
+
+}  // namespace
 
 ClusterBus::ClusterBus(std::vector<std::string> node_names) {
   nodes_.resize(node_names.size());
@@ -67,13 +86,20 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
       PhaseSync sync;
       sync.name = msg.phase_name;
       sync.min_begin_s = sync.max_begin_s = msg.epoch_elapsed_s;
+      sync.min_node = sync.max_node = n.name;
       sync.nodes = 1;
       sync_.push_back(sync);
       phase_names_.push_back(msg.phase_name);
     } else {
       PhaseSync& sync = sync_[msg.phase_index];
-      sync.min_begin_s = std::min(sync.min_begin_s, msg.epoch_elapsed_s);
-      sync.max_begin_s = std::max(sync.max_begin_s, msg.epoch_elapsed_s);
+      if (msg.epoch_elapsed_s < sync.min_begin_s) {
+        sync.min_begin_s = msg.epoch_elapsed_s;
+        sync.min_node = n.name;
+      }
+      if (msg.epoch_elapsed_s > sync.max_begin_s) {
+        sync.max_begin_s = msg.epoch_elapsed_s;
+        sync.max_node = n.name;
+      }
       ++sync.nodes;
     }
 
@@ -97,6 +123,7 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
 
 void ClusterBus::on_samples(std::size_t node, const SampleBatchMsg& msg) {
   Node& n = nodes_.at(node);
+  batch_counter().add();
   // Resolve channel and aggregate stream ONCE per batch from the flat
   // tables; the per-sample loops below are straight-line array walks.
   if (msg.channel_id >= n.registered.size() || !n.registered[msg.channel_id])
@@ -128,10 +155,13 @@ void ClusterBus::on_samples(std::size_t node, const SampleBatchMsg& msg) {
         stream.warned_lag = true;
       }
       queue.pop_front();
+      --queued_;
     }
     queue.push_back(sample);
+    ++queued_;
   }
   drain_aligned(stream);
+  queued_gauge().set(static_cast<double>(queued_));
 }
 
 void ClusterBus::on_summary(std::size_t node, const NodeSummaryMsg& msg) {
@@ -154,15 +184,9 @@ void ClusterBus::on_summary(std::size_t node, const NodeSummaryMsg& msg) {
   n.rows.push_back(std::move(row));
 }
 
-std::size_t ClusterBus::queued_samples() const {
-  std::size_t total = 0;
-  for (const AggregateStream& stream : aggregates_)
-    for (const auto& queue : stream.queues) total += queue.size();
-  return total;
-}
-
 void ClusterBus::drain_aligned(AggregateStream& stream) {
   if (stream.agg == nullptr) return;
+  TRACE_SPAN("cluster.bus.drain");
   // Completed groups collect into a scratch batch and hit the aggregator
   // once — the P² updates run over a contiguous span instead of a call per
   // group.
@@ -190,8 +214,11 @@ void ClusterBus::drain_aligned(AggregateStream& stream) {
       first = false;
     }
     if (!complete || first) break;  // incomplete, or no participants yet
-    for (std::size_t node = 0; node < nodes_.size(); ++node)
-      if (stream.participating[node]) stream.queues[node].pop_front();
+    for (std::size_t node = 0; node < nodes_.size(); ++node) {
+      if (!stream.participating[node]) continue;
+      stream.queues[node].pop_front();
+      --queued_;
+    }
     drain_scratch_.push_back(telemetry::Sample{time_s, stream.is_sum ? sum : max_value});
   }
   if (!drain_scratch_.empty())
@@ -205,7 +232,11 @@ void ClusterBus::close_aggregate_phase() {
     // Leftover unmatched samples (count skew between nodes) are discarded
     // UNCONDITIONALLY: the next phase's alignment must not pair one
     // phase's tail with another's head.
-    for (auto& queue : stream.queues) queue.clear();
+    for (auto& queue : stream.queues) {
+      queued_ -= queue.size();
+      queue.clear();
+    }
+    queued_gauge().set(static_cast<double>(queued_));
     if (stream.agg == nullptr) continue;
     if (stream.agg->total_samples() > 0) {
       const telemetry::StreamingSummary summary = stream.agg->summarize();
@@ -235,13 +266,30 @@ std::vector<ClusterBus::Row> ClusterBus::merged_rows() const {
   std::vector<Row> rows;
   // Phase-major grouping: campaign phase names are unique (the parser
   // rejects duplicates), so grouping per-node rows by phase name is exact.
-  for (const std::string& phase : phase_names_) {
+  for (std::size_t p = 0; p < phase_names_.size(); ++p) {
+    const std::string& phase = phase_names_[p];
     for (const Node& node : nodes_)
       for (const metrics::Summary& summary : node.rows)
         if (summary.phase == phase) rows.push_back(Row{summary, node.name});
     for (const AggregateStream& stream : aggregates_)
       for (const metrics::Summary& summary : stream.rows)
         if (summary.phase == phase) rows.push_back(Row{summary, "cluster"});
+    // Lockstep evidence rides in the CSV: min/max are the earliest/latest
+    // begin offsets since the epoch, everything else is the spread itself.
+    if (p < sync_.size()) {
+      const PhaseSync& sync = sync_[p];
+      metrics::Summary row;
+      row.name = "phase-begin-spread";
+      row.unit = "s";
+      row.samples = sync.nodes;
+      row.mean = sync.spread_s();
+      row.stddev = 0.0;
+      row.min = sync.min_begin_s;
+      row.max = sync.max_begin_s;
+      row.p50 = row.p95 = row.p99 = sync.spread_s();
+      row.phase = phase;
+      rows.push_back(Row{std::move(row), "cluster"});
+    }
   }
   return rows;
 }

@@ -50,11 +50,15 @@ class ClusterBus {
   };
 
   /// Cross-node lockstep evidence for one phase: the spread of wall-clock
-  /// begin offsets (seconds since the shared epoch) across nodes.
+  /// begin offsets (seconds since the shared epoch) across nodes, plus WHO
+  /// sits at each end — tolerance failures name the straggler, not just the
+  /// aggregate number.
   struct PhaseSync {
     std::string name;
     double min_begin_s = 0.0;
     double max_begin_s = 0.0;
+    std::string min_node;  ///< earliest beginner
+    std::string max_node;  ///< latest beginner (the straggler)
     std::size_t nodes = 0;
     double spread_s() const { return max_begin_s - min_begin_s; }
   };
@@ -70,8 +74,10 @@ class ClusterBus {
   void finish();
 
   /// All finished rows, grouped phase-major: for each campaign phase in
-  /// order, every node's rows, then the cluster-aggregate rows. Call after
-  /// finish().
+  /// order, every node's rows, the cluster-aggregate rows, then one
+  /// `phase-begin-spread` row (node = "cluster", min/max = begin offsets,
+  /// mean/p* = the spread) promoting the PhaseSync lockstep evidence into
+  /// the merged CSV. Call after finish().
   std::vector<Row> merged_rows() const;
 
   /// Per-phase begin-offset spreads, phase order.
@@ -87,8 +93,10 @@ class ClusterBus {
 
   /// Samples currently queued across every aggregate stream and node,
   /// awaiting index alignment — bounded by nodes x streams x kMaxLagSamples
-  /// (tests assert the bound; operators can watch it as a skew gauge).
-  std::size_t queued_samples() const;
+  /// (tests assert the bound). O(1): maintained incrementally and mirrored
+  /// to the "cluster.bus.queued_samples" registry gauge, so the status
+  /// plane reads it without touching the bus.
+  std::size_t queued_samples() const { return queued_; }
 
  private:
   struct AggregateStream;
@@ -129,6 +137,7 @@ class ClusterBus {
 
   std::vector<Node> nodes_;
   std::vector<AggregateStream> aggregates_;
+  std::size_t queued_ = 0;  ///< sum of all alignment-queue depths
   std::vector<telemetry::Sample> drain_scratch_;  ///< completed-group batch
   std::vector<PhaseSync> sync_;
   std::vector<std::string> phase_names_;   ///< by phase index

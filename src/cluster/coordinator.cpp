@@ -5,6 +5,8 @@
 #include <algorithm>
 
 #include "cluster/clock_sync.hpp"
+#include "trace/registry.hpp"
+#include "trace/tracer.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -13,7 +15,8 @@ namespace fs2::cluster {
 Coordinator::Coordinator(Options options)
     : options_(std::move(options)),
       listener_(options_.port, options_.loopback_only),
-      phase_end_counts_(options_.phase_count, 0) {
+      phase_end_counts_(options_.phase_count, 0),
+      phase_barrier_open_s_(options_.phase_count, 0.0) {
   if (options_.nodes == 0) throw ConfigError("--coordinator: --nodes must be >= 1");
   if (options_.phase_count == 0)
     throw ConfigError("--coordinator: the campaign has no phases");
@@ -32,12 +35,21 @@ Coordinator::Coordinator(Options options)
 
 void Coordinator::accept_and_handshake(std::ostream& log) {
   nodes_.reserve(options_.nodes);
-  for (std::size_t i = 0; i < options_.nodes; ++i) {
+  while (nodes_.size() < options_.nodes) {
+    const std::size_t i = nodes_.size();
     Node node;
     node.conn = listener_.accept(options_.accept_timeout_s);
     const auto frame = node.conn.recv(/*timeout_s=*/10.0);
-    if (!frame || frame->type != MessageType::kHello)
+    if (!frame || frame->type != MessageType::kHello) {
+      // Status probes may land while the fleet is still assembling; answer
+      // with what is known so far and keep waiting for real agents —
+      // the probe must not consume a --nodes slot.
+      if (frame && frame->type == MessageType::kStatusRequest) {
+        serve_status_client(std::move(node.conn), /*accepting=*/true);
+        continue;
+      }
       throw WireError(strings::format("cluster: connection %zu did not say hello", i));
+    }
     WireReader reader(frame->payload);
     const HelloMsg hello = HelloMsg::decode(reader);
     if (hello.version != kProtocolVersion)
@@ -74,6 +86,7 @@ void Coordinator::distribute_campaign() {
   msg.ctl_interval_s = options_.ctl_interval_s;
   msg.budget_interval_s = options_.budget ? options_.budget->interval_s : 0.5;
   msg.budget_band = options_.budget ? options_.budget->band : 0.02;
+  msg.trace_enabled = options_.trace ? 1 : 0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     msg.campaign_text = options_.per_node_campaigns.empty()
                             ? options_.campaign_text
@@ -127,12 +140,23 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
     case MessageType::kPhaseBracket: {
       const PhaseBracketMsg bracket = PhaseBracketMsg::decode(reader);
       bus_->on_bracket(index, bracket);
-      if (!bracket.is_begin) {
+      if (bracket.is_begin) {
+        ++node.phases_begun;
+      } else {
         ++node.phases_ended;
         if (bracket.phase_index >= phase_end_counts_.size())
           throw WireError(strings::format("node %s ended unknown phase %u",
                                           node.info.name.c_str(), bracket.phase_index));
+        // The barrier span opens when the first node finishes the phase and
+        // closes when the straggler arrives and the fleet is released — its
+        // width IS the coordinator-side wait.
+        if (phase_end_counts_[bracket.phase_index] == 0)
+          phase_barrier_open_s_[bracket.phase_index] = local_clock_s();
         if (++phase_end_counts_[bracket.phase_index] == nodes_.size()) {
+          if (trace::Tracer::enabled())
+            trace::Tracer::record("cluster.phase_barrier",
+                                  phase_barrier_open_s_[bracket.phase_index],
+                                  local_clock_s());
           // Whole fleet finished this phase: close the budget window and,
           // unless it was the last phase, release the next one.
           record_budget_phase(bracket.phase_index);
@@ -146,6 +170,7 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
       break;
     }
     case MessageType::kBudgetReport: {
+      TRACE_SPAN("cluster.budget_exchange");
       const BudgetReportMsg report = BudgetReportMsg::decode(reader);
       if (!apportioner_)
         throw WireError("cluster: budget report without a cluster-power target");
@@ -153,6 +178,24 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
       assign.seq = report.seq;
       assign.setpoint_w = apportioner_->on_report(index, report.achieved_w);
       node.conn.send(assign.encode());
+      node.achieved_w = report.achieved_w;
+      node.setpoint_w = assign.setpoint_w;
+      node.level = report.level;
+      break;
+    }
+    case MessageType::kTraceSpans: {
+      TraceSpansMsg msg = TraceSpansMsg::decode(reader);
+      if (msg.dropped > 0)
+        log::warn() << "trace: node " << node.info.name << " dropped " << msg.dropped
+                    << " spans on a full ring";
+      trace_.add_node(node.info.name, node.info.clock_offset_s);
+      trace_.add_spans(node.info.name, std::move(msg.spans));
+      break;
+    }
+    case MessageType::kCounterSnapshot: {
+      CounterSnapshotMsg msg = CounterSnapshotMsg::decode(reader);
+      trace_.add_node(node.info.name, node.info.clock_offset_s);
+      trace_.add_counters(node.info.name, std::move(msg.counters));
       break;
     }
     case MessageType::kVerdict: {
@@ -176,22 +219,76 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
   }
 }
 
+StatusReplyMsg Coordinator::build_status(bool accepting) const {
+  StatusReplyMsg reply;
+  reply.accepting = accepting ? 1 : 0;
+  reply.nodes_expected = static_cast<std::uint32_t>(options_.nodes);
+  reply.phase_count = static_cast<std::uint32_t>(options_.phase_count);
+  reply.queued_samples = bus_ ? bus_->queued_samples() : 0;
+  reply.budget_w = options_.budget ? options_.budget->value : 0.0;
+  for (const Node& node : nodes_) {
+    StatusNodeRec rec;
+    rec.name = node.info.name;
+    rec.sku = node.info.sku;
+    rec.connected = node.conn.valid() ? 1 : 0;
+    rec.phases_begun = node.phases_begun;
+    rec.phases_ended = node.phases_ended;
+    rec.clock_offset_s = node.info.clock_offset_s;
+    rec.clock_rtt_s = node.info.rtt_s;
+    rec.achieved_w = node.achieved_w;
+    rec.setpoint_w = node.setpoint_w;
+    rec.level = node.level;
+    reply.nodes.push_back(std::move(rec));
+  }
+  if (bus_) {
+    for (const ClusterBus::PhaseSync& sync : bus_->phase_sync()) {
+      StatusSpreadRec rec;
+      rec.phase = sync.name;
+      rec.min_node = sync.min_node;
+      rec.max_node = sync.max_node;
+      rec.min_begin_s = sync.min_begin_s;
+      rec.max_begin_s = sync.max_begin_s;
+      rec.nodes = static_cast<std::uint32_t>(sync.nodes);
+      reply.spreads.push_back(std::move(rec));
+    }
+  }
+  reply.counters = trace::Registry::instance().snapshot();
+  return reply;
+}
+
+void Coordinator::serve_status_client(Connection conn, bool accepting) {
+  try {
+    conn.send(build_status(accepting).encode());
+  } catch (const Error&) {
+    // A probe that vanishes mid-reply is its own problem.
+  }
+  conn.close();
+}
+
 void Coordinator::event_loop(std::ostream& log) {
   // The pollfd set is fixed after the handshake (nodes neither join nor
   // leave mid-campaign), so it is built once and reused; only revents is
   // reset per wakeup. One scratch frame serves every receive — the loop
-  // allocates nothing per frame.
+  // allocates nothing per frame. The last slot watches the listener:
+  // status clients may connect mid-campaign, send one kStatusRequest, and
+  // read back the fleet's live health.
   std::vector<pollfd> fds;
-  fds.reserve(nodes_.size());
+  fds.reserve(nodes_.size() + 1);
   for (const Node& node : nodes_) fds.push_back(pollfd{node.conn.fd(), POLLIN, 0});
+  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
   Frame frame;
+  trace::Counter& frames = trace::Registry::instance().counter("coordinator.frames");
+  trace::Counter& wakeups = trace::Registry::instance().counter("coordinator.poll_wakeups");
+  trace::Counter& probes = trace::Registry::instance().counter("coordinator.status_probes");
   while (verdicts_ < nodes_.size()) {
     // A generous stall guard, not a pacing interval: agents push traffic
     // continuously while phases run.
     const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/600000);
     if (ready < 0) throw Error("cluster: poll failed");
     if (ready == 0) throw Error("cluster: no agent traffic for 600 s — fleet stalled");
-    for (std::size_t i = 0; i < fds.size(); ++i) {
+    wakeups.add();
+    TRACE_SPAN("coordinator.wakeup");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
       if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       fds[i].revents = 0;
       // Drain everything this node has ready before re-polling: a streaming
@@ -200,7 +297,23 @@ void Coordinator::event_loop(std::ostream& log) {
       if (!nodes_[i].conn.recv_into(frame, /*timeout_s=*/10.0))
         throw WireError("cluster: node " + nodes_[i].info.name + " stalled mid-frame");
       handle_frame(i, frame, log);
-      while (nodes_[i].conn.recv_into(frame, /*timeout_s=*/0.0)) handle_frame(i, frame, log);
+      frames.add();
+      while (nodes_[i].conn.recv_into(frame, /*timeout_s=*/0.0)) {
+        handle_frame(i, frame, log);
+        frames.add();
+      }
+    }
+    if (fds.back().revents & POLLIN) {
+      fds.back().revents = 0;
+      probes.add();
+      try {
+        Connection client = listener_.accept(/*timeout_s=*/1.0);
+        const auto request = client.recv(/*timeout_s=*/2.0);
+        if (request && request->type == MessageType::kStatusRequest)
+          serve_status_client(std::move(client), /*accepting=*/false);
+      } catch (const Error&) {
+        // Broken probes never take the campaign down.
+      }
     }
   }
   ShutdownMsg shutdown;
@@ -209,7 +322,14 @@ void Coordinator::event_loop(std::ostream& log) {
 }
 
 Coordinator::Result Coordinator::run(std::ostream& log) {
+  if (options_.trace) trace::Tracer::set_enabled(true);
   accept_and_handshake(log);
+  // Register the fleet up front so Perfetto pids follow accept order, with
+  // the coordinator first — independent of which node ships spans first.
+  if (options_.trace) {
+    trace_.add_node("coordinator", 0.0);
+    for (const Node& node : nodes_) trace_.add_node(node.info.name, node.info.clock_offset_s);
+  }
   distribute_campaign();
   announce_epoch(log);
   if (apportioner_) apportioner_->begin_window();
@@ -223,15 +343,37 @@ Coordinator::Result Coordinator::run(std::ostream& log) {
   for (const ClusterBus::PhaseSync& sync : result_.sync) {
     const bool ok = sync.spread_s() <= options_.sync_tolerance_s;
     result_.sync_ok &= ok;
-    log << strings::format("phase '%s': start spread %.2f ms across %zu nodes%s\n",
-                           sync.name.c_str(), sync.spread_s() * 1e3, sync.nodes,
-                           ok ? "" : "  [exceeds tolerance]");
+    if (ok || sync.nodes < 2) {
+      log << strings::format("phase '%s': start spread %.2f ms across %zu nodes%s\n",
+                             sync.name.c_str(), sync.spread_s() * 1e3, sync.nodes,
+                             ok ? "" : "  [exceeds tolerance]");
+    } else {
+      // Name the offenders: the straggler (and who it trailed) is what an
+      // operator chases, not the aggregate number.
+      log << strings::format(
+          "phase '%s': start spread %.2f ms across %zu nodes exceeds tolerance %.2f ms — "
+          "node %s began %.2f ms after node %s\n",
+          sync.name.c_str(), sync.spread_s() * 1e3, sync.nodes,
+          options_.sync_tolerance_s * 1e3, sync.max_node.c_str(), sync.spread_s() * 1e3,
+          sync.min_node.c_str());
+    }
   }
   for (const PhaseBudgetVerdict& verdict : result_.budget_phases)
     log << strings::format("phase '%s': cluster power %.1f W trailing (budget %g W) %s\n",
                            verdict.phase.c_str(), verdict.trailing_total_w,
                            options_.budget->value,
                            verdict.converged ? "converged" : "NOT converged");
+
+  // Fold the coordinator's own rings and counters into the fleet timeline
+  // (offset 0 — its clock IS the merged time base) and hand it over.
+  if (options_.trace) {
+    std::vector<trace::SpanEvent> events;
+    trace::Tracer::drain(events);
+    for (const trace::SpanEvent& e : events)
+      trace_.add_span("coordinator", trace::Span{e.name, e.begin_s, e.end_s});
+    trace_.add_counters("coordinator", trace::Registry::instance().snapshot());
+    result_.trace = std::move(trace_);
+  }
   return result_;
 }
 

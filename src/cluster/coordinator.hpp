@@ -10,6 +10,7 @@
 #include "cluster/transport.hpp"
 #include "control/budget.hpp"
 #include "control/setpoint.hpp"
+#include "trace/trace_event.hpp"
 
 namespace fs2::cluster {
 
@@ -41,6 +42,10 @@ class Coordinator {
     double sync_tolerance_s = 0.25; ///< max allowed phase-begin spread
     double accept_timeout_s = 60.0;
     std::uint64_t seed = 0;         ///< echoed into logs only
+    /// Fleet tracing (--trace-out): agents record spans and ship them with
+    /// a counter snapshot before their verdict; the coordinator rebases
+    /// every buffer through the clock-sync offsets into Result.trace.
+    bool trace = false;
   };
 
   struct NodeInfo {
@@ -63,6 +68,9 @@ class Coordinator {
     std::vector<ClusterBus::PhaseSync> sync;      ///< per-phase begin spreads
     std::vector<NodeInfo> nodes;
     std::vector<PhaseBudgetVerdict> budget_phases;
+    /// Merged fleet timeline (Options::trace): every node's spans rebased
+    /// into the coordinator clock, ready for trace_event JSON export.
+    trace::TraceCollector trace;
     bool nodes_converged = true;   ///< every node verdict (controlled phases)
     bool budget_converged = true;  ///< every phase's trailing total in band
     bool sync_ok = true;           ///< every spread within tolerance
@@ -83,8 +91,13 @@ class Coordinator {
   struct Node {
     Connection conn;
     NodeInfo info;
+    std::uint32_t phases_begun = 0;
     std::uint32_t phases_ended = 0;
     bool verdict_received = false;
+    // Latest budget exchange, surfaced on the status plane.
+    double achieved_w = 0.0;
+    double setpoint_w = 0.0;
+    double level = 0.0;
   };
 
   void accept_and_handshake(std::ostream& log);
@@ -93,6 +106,12 @@ class Coordinator {
   void event_loop(std::ostream& log);
   void handle_frame(std::size_t node, const Frame& frame, std::ostream& log);
   void record_budget_phase(std::uint32_t phase_index);
+  /// Fleet health snapshot for the status plane. `accepting` = still inside
+  /// the handshake window (campaign not yet started).
+  StatusReplyMsg build_status(bool accepting) const;
+  /// Answer one status client: read its request, reply, close. Never
+  /// throws — a broken probe must not take the campaign down.
+  void serve_status_client(Connection conn, bool accepting);
 
   Options options_;
   Listener listener_;
@@ -102,6 +121,10 @@ class Coordinator {
   std::unique_ptr<control::BudgetApportioner> apportioner_;
   Result result_;
   std::vector<std::uint32_t> phase_end_counts_;
+  /// Local clock when the FIRST node ended each phase — the open edge of
+  /// the barrier span recorded when the LAST node arrives.
+  std::vector<double> phase_barrier_open_s_;
+  trace::TraceCollector trace_;
   std::size_t verdicts_ = 0;
 };
 

@@ -21,6 +21,10 @@ const char* to_string(MessageType type) {
     case MessageType::kVerdict: return "verdict";
     case MessageType::kShutdown: return "shutdown";
     case MessageType::kNodeSummary: return "node-summary";
+    case MessageType::kTraceSpans: return "trace-spans";
+    case MessageType::kCounterSnapshot: return "counter-snapshot";
+    case MessageType::kStatusRequest: return "status-request";
+    case MessageType::kStatusReply: return "status-reply";
   }
   return "?";
 }
@@ -87,6 +91,7 @@ Frame CampaignMsg::encode() const {
   w.f64(ctl_interval_s);
   w.f64(budget_interval_s);
   w.f64(budget_band);
+  w.u8(trace_enabled);
   return make_frame(MessageType::kCampaign, std::move(w));
 }
 
@@ -98,6 +103,7 @@ CampaignMsg CampaignMsg::decode(WireReader& in) {
   m.ctl_interval_s = in.f64();
   m.budget_interval_s = in.f64();
   m.budget_band = in.f64();
+  m.trace_enabled = in.u8();
   return m;
 }
 
@@ -315,6 +321,166 @@ Frame ShutdownMsg::encode() const {
 ShutdownMsg ShutdownMsg::decode(WireReader& in) {
   ShutdownMsg m;
   m.ok = in.u8();
+  return m;
+}
+
+Frame TraceSpansMsg::encode() const {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const trace::Span& s : spans) {
+    w.str(s.name);
+    w.f64(s.begin_s);
+    w.f64(s.end_s);
+  }
+  w.u64(dropped);
+  return make_frame(MessageType::kTraceSpans, std::move(w));
+}
+
+TraceSpansMsg TraceSpansMsg::decode(WireReader& in) {
+  TraceSpansMsg m;
+  const std::uint32_t n = in.u32();
+  // Each span is at least 20 wire bytes; reject counts the payload cannot hold.
+  if (in.remaining() < static_cast<std::size_t>(n) * 20)
+    throw WireError("cluster wire: trace span buffer shorter than its count");
+  m.spans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    trace::Span s;
+    s.name = in.str();
+    s.begin_s = in.f64();
+    s.end_s = in.f64();
+    m.spans.push_back(std::move(s));
+  }
+  m.dropped = in.u64();
+  return m;
+}
+
+Frame CounterSnapshotMsg::encode() const {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(counters.size()));
+  for (const trace::MetricSnapshot& c : counters) {
+    w.str(c.name);
+    w.f64(c.value);
+    w.u8(c.is_counter ? 1 : 0);
+  }
+  return make_frame(MessageType::kCounterSnapshot, std::move(w));
+}
+
+CounterSnapshotMsg CounterSnapshotMsg::decode(WireReader& in) {
+  CounterSnapshotMsg m;
+  const std::uint32_t n = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(n) * 13)
+    throw WireError("cluster wire: counter snapshot shorter than its count");
+  m.counters.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    trace::MetricSnapshot c;
+    c.name = in.str();
+    c.value = in.f64();
+    c.is_counter = in.u8() != 0;
+    m.counters.push_back(std::move(c));
+  }
+  return m;
+}
+
+Frame StatusRequestMsg::encode() const {
+  WireWriter w;
+  w.u32(version);
+  return make_frame(MessageType::kStatusRequest, std::move(w));
+}
+
+StatusRequestMsg StatusRequestMsg::decode(WireReader& in) {
+  StatusRequestMsg m;
+  m.version = in.u32();
+  return m;
+}
+
+Frame StatusReplyMsg::encode() const {
+  WireWriter w;
+  w.u8(accepting);
+  w.u32(nodes_expected);
+  w.u32(phase_count);
+  w.u64(queued_samples);
+  w.f64(budget_w);
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const StatusNodeRec& n : nodes) {
+    w.str(n.name);
+    w.str(n.sku);
+    w.u8(n.connected);
+    w.u32(n.phases_begun);
+    w.u32(n.phases_ended);
+    w.f64(n.clock_offset_s);
+    w.f64(n.clock_rtt_s);
+    w.f64(n.achieved_w);
+    w.f64(n.setpoint_w);
+    w.f64(n.level);
+  }
+  w.u32(static_cast<std::uint32_t>(spreads.size()));
+  for (const StatusSpreadRec& s : spreads) {
+    w.str(s.phase);
+    w.str(s.min_node);
+    w.str(s.max_node);
+    w.f64(s.min_begin_s);
+    w.f64(s.max_begin_s);
+    w.u32(s.nodes);
+  }
+  w.u32(static_cast<std::uint32_t>(counters.size()));
+  for (const trace::MetricSnapshot& c : counters) {
+    w.str(c.name);
+    w.f64(c.value);
+    w.u8(c.is_counter ? 1 : 0);
+  }
+  return make_frame(MessageType::kStatusReply, std::move(w));
+}
+
+StatusReplyMsg StatusReplyMsg::decode(WireReader& in) {
+  StatusReplyMsg m;
+  m.accepting = in.u8();
+  m.nodes_expected = in.u32();
+  m.phase_count = in.u32();
+  m.queued_samples = in.u64();
+  m.budget_w = in.f64();
+  const std::uint32_t node_count = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(node_count) * 57)
+    throw WireError("cluster wire: status reply shorter than its node count");
+  m.nodes.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    StatusNodeRec n;
+    n.name = in.str();
+    n.sku = in.str();
+    n.connected = in.u8();
+    n.phases_begun = in.u32();
+    n.phases_ended = in.u32();
+    n.clock_offset_s = in.f64();
+    n.clock_rtt_s = in.f64();
+    n.achieved_w = in.f64();
+    n.setpoint_w = in.f64();
+    n.level = in.f64();
+    m.nodes.push_back(std::move(n));
+  }
+  const std::uint32_t spread_count = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(spread_count) * 32)
+    throw WireError("cluster wire: status reply shorter than its spread count");
+  m.spreads.reserve(spread_count);
+  for (std::uint32_t i = 0; i < spread_count; ++i) {
+    StatusSpreadRec s;
+    s.phase = in.str();
+    s.min_node = in.str();
+    s.max_node = in.str();
+    s.min_begin_s = in.f64();
+    s.max_begin_s = in.f64();
+    s.nodes = in.u32();
+    m.spreads.push_back(std::move(s));
+  }
+  const std::uint32_t counter_count = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(counter_count) * 13)
+    throw WireError("cluster wire: status reply shorter than its counter count");
+  m.counters.reserve(counter_count);
+  for (std::uint32_t i = 0; i < counter_count; ++i) {
+    trace::MetricSnapshot c;
+    c.name = in.str();
+    c.value = in.f64();
+    c.is_counter = in.u8() != 0;
+    m.counters.push_back(std::move(c));
+  }
   return m;
 }
 

@@ -6,6 +6,8 @@
 
 #include "cluster/wire.hpp"
 #include "telemetry/sample.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace_event.hpp"
 
 namespace fs2::cluster {
 
@@ -13,8 +15,11 @@ namespace fs2::cluster {
 /// exchange rejects mismatches up front instead of failing mysteriously
 /// mid-campaign. v2: per-node summaries are computed at the edge and ship
 /// as kNodeSummary rows; sample batches cross the wire only for channels
-/// that feed cluster aggregates.
-constexpr std::uint32_t kProtocolVersion = 2;
+/// that feed cluster aggregates. v3: observability — trace span buffers and
+/// counter snapshots ship after the campaign (kTraceSpans/kCounterSnapshot,
+/// CampaignMsg.trace_enabled), and the status plane adds the
+/// kStatusRequest/kStatusReply introspection pair.
+constexpr std::uint32_t kProtocolVersion = 3;
 
 /// One framed message on the coordinator<->agent TCP stream. The transport
 /// prefixes `u32 length` (payload size + 1 for the type byte); the first
@@ -34,6 +39,10 @@ enum class MessageType : std::uint8_t {
   kVerdict = 12,     ///< agent -> coordinator: end-of-campaign convergence
   kShutdown = 13,    ///< coordinator -> agent: run over, disconnect
   kNodeSummary = 14, ///< agent -> coordinator: one edge-aggregated summary row
+  kTraceSpans = 15,  ///< agent -> coordinator: node-local trace span buffer
+  kCounterSnapshot = 16, ///< agent -> coordinator: counter/gauge registry snapshot
+  kStatusRequest = 17,   ///< any client -> coordinator: live fleet health probe
+  kStatusReply = 18,     ///< coordinator -> client: fleet health snapshot
 };
 
 const char* to_string(MessageType type);
@@ -79,6 +88,7 @@ struct CampaignMsg {
   double ctl_interval_s = 0.25;   ///< per-node controller tick period
   double budget_interval_s = 0.5; ///< report/assign exchange cadence
   double budget_band = 0.02;      ///< convergence band (informational)
+  std::uint8_t trace_enabled = 0; ///< 1 = record spans, ship kTraceSpans at end
   Frame encode() const;
   static CampaignMsg decode(WireReader& in);
 };
@@ -196,6 +206,71 @@ struct ShutdownMsg {
   std::uint8_t ok = 1;
   Frame encode() const;
   static ShutdownMsg decode(WireReader& in);
+};
+
+/// A node's buffered trace spans, shipped once after the last phase (before
+/// the verdict). Timestamps stay in the AGENT's steady clock — the
+/// coordinator rebases them through the handshake's clock-sync offset when
+/// it merges the fleet timeline.
+struct TraceSpansMsg {
+  std::vector<trace::Span> spans;
+  std::uint64_t dropped = 0;  ///< ring overflow count (0 = lossless)
+  Frame encode() const;
+  static TraceSpansMsg decode(WireReader& in);
+};
+
+/// End-of-run counter/gauge registry snapshot (one entry per metric).
+struct CounterSnapshotMsg {
+  std::vector<trace::MetricSnapshot> counters;
+  Frame encode() const;
+  static CounterSnapshotMsg decode(WireReader& in);
+};
+
+/// Live health probe. Any TCP client may connect to the coordinator port,
+/// send one of these, and read back a single kStatusReply — the connection
+/// is closed afterwards and never counts against --nodes.
+struct StatusRequestMsg {
+  std::uint32_t version = kProtocolVersion;
+  Frame encode() const;
+  static StatusRequestMsg decode(WireReader& in);
+};
+
+/// One node's health row inside a status reply.
+struct StatusNodeRec {
+  std::string name;
+  std::string sku;
+  std::uint8_t connected = 1;
+  std::uint32_t phases_begun = 0;
+  std::uint32_t phases_ended = 0;
+  double clock_offset_s = 0.0;  ///< agent minus coordinator
+  double clock_rtt_s = 0.0;
+  double achieved_w = 0.0;      ///< latest budget report (0 until one lands)
+  double setpoint_w = 0.0;
+  double level = 0.0;
+};
+
+/// One phase's begin-spread row inside a status reply.
+struct StatusSpreadRec {
+  std::string phase;
+  std::string min_node;  ///< earliest beginner
+  std::string max_node;  ///< latest beginner (the straggler)
+  double min_begin_s = 0.0;
+  double max_begin_s = 0.0;
+  std::uint32_t nodes = 0;
+};
+
+/// Fleet health snapshot: what `firestarter --status host:port` prints.
+struct StatusReplyMsg {
+  std::uint8_t accepting = 0;      ///< 1 = handshake window, campaign not started
+  std::uint32_t nodes_expected = 0;
+  std::uint32_t phase_count = 0;
+  std::uint64_t queued_samples = 0;  ///< coordinator-side aggregate lag
+  double budget_w = 0.0;             ///< global power budget (0 = none)
+  std::vector<StatusNodeRec> nodes;
+  std::vector<StatusSpreadRec> spreads;
+  std::vector<trace::MetricSnapshot> counters;  ///< coordinator registry
+  Frame encode() const;
+  static StatusReplyMsg decode(WireReader& in);
 };
 
 }  // namespace fs2::cluster

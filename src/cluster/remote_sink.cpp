@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "cluster/aggregate_rules.hpp"
+#include "trace/registry.hpp"
 
 namespace fs2::cluster {
+
+namespace {
+
+trace::Counter& batch_frame_counter() {
+  static trace::Counter& c =
+      trace::Registry::instance().counter("remote_sink.sample_batch_frames");
+  return c;
+}
+
+/// The adaptive flush threshold, observable: a saturated fleet shows the
+/// thresholds climbing toward kMaxBatchSamples.
+trace::Gauge& batch_threshold_gauge() {
+  static trace::Gauge& g = trace::Registry::instance().gauge("remote_sink.batch_threshold");
+  return g;
+}
+
+}  // namespace
 
 RemoteSink::RemoteSink(Connection* conn, std::chrono::steady_clock::time_point epoch)
     : conn_(conn), epoch_(epoch) {
@@ -109,6 +127,7 @@ void RemoteSink::flush(telemetry::ChannelId id) {
   SampleBatchMsg::encode_into(scratch_, static_cast<std::uint32_t>(id),
                               batch.samples.data(), batch.samples.size());
   conn_->send(MessageType::kSampleBatch, scratch_);
+  batch_frame_counter().add();
 
   // Re-target the flush threshold from this batch's observed rate so one
   // frame carries ~kTargetBatchSeconds of stream regardless of sample rate.
@@ -120,6 +139,7 @@ void RemoteSink::flush(telemetry::ChannelId id) {
       const double rate = static_cast<double>(batch.samples.size() - 1) / span_s;
       const auto target = static_cast<std::size_t>(rate * kTargetBatchSeconds);
       batch.threshold = std::clamp(target, kMinBatchSamples, kMaxBatchSamples);
+      batch_threshold_gauge().set(static_cast<double>(batch.threshold));
     }
   }
   batch.samples.clear();  // keep capacity — the flush path never reallocates

@@ -91,6 +91,9 @@ class Listener {
   Connection accept(double timeout_s);
 
   std::uint16_t port() const { return port_; }
+  /// Raw socket for poll(2) — the coordinator's event loop watches the
+  /// listener alongside agent connections to serve status clients mid-run.
+  int fd() const { return fd_; }
 
  private:
   int fd_ = -1;

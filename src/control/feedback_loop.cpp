@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "metrics/metric.hpp"
+#include "trace/registry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -114,6 +115,11 @@ double FeedbackLoop::poll(double t_s, metrics::Metric& metric) {
 
 void FeedbackLoop::set_target(double value) {
   if (!(value > 0.0)) throw Error("FeedbackLoop::set_target: value must be > 0");
+  // Mid-run retunes (the coordinator's budget reassignments) are the rare
+  // path worth counting: a stalled apportioner shows up as this counter
+  // flatlining while the budget is off target.
+  static trace::Counter& retunes = trace::Registry::instance().counter("control.pid_retunes");
+  if (setpoint_.value != value) retunes.add();
   setpoint_.value = value;
 }
 

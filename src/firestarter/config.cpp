@@ -139,6 +139,13 @@ Config parse_args(int argc, const char* const* argv) {
       cfg.sync_tolerance_s = strings::parse_double(take(inline_value, args, flag), flag);
       if (!(cfg.sync_tolerance_s > 0.0))
         throw ConfigError("--sync-tolerance must be > 0 seconds");
+    } else if (flag == "--trace-out") {
+      cfg.trace_out = take(inline_value, args, flag);
+      if (cfg.trace_out->empty()) throw ConfigError("--trace-out: file path must not be empty");
+    } else if (flag == "--status") {
+      cfg.status_endpoint = take(inline_value, args, flag);
+      if (cfg.status_endpoint->find(':') == std::string::npos)
+        throw ConfigError("--status expects HOST:PORT");
     } else if (flag == "--fuzz") {
       cfg.fuzz = true;
     } else if (flag == "--fuzz-seed") {
@@ -345,6 +352,16 @@ Cluster orchestration (coordinator/agent fleet runs):
                                reapportions per-node power setpoints from
                                reported achieved watts so the fleet total
                                tracks the budget
+  --trace-out FILE             enable the span tracer and write the run's
+                               merged timeline as Chrome trace_event JSON
+                               (open in Perfetto / chrome://tracing). On a
+                               coordinator, agent spans are rebased through
+                               the clock-sync offsets onto the coordinator
+                               clock — one fleet-wide timeline
+  --status HOST:PORT           probe a live coordinator and print fleet
+                               health (per-node connection state, phase
+                               progress, begin-spread, queue depth, budget
+                               allocation vs achieved watts), then exit
 
 Payload pattern fuzzer (randomized scenario discovery):
   --fuzz                       randomly compose payload patterns (memory-access

@@ -64,6 +64,14 @@ struct Config {
   std::optional<std::string> loopback_nodes;
   double cluster_start_delay_s = 0.5;       ///< --cluster-start-delay SEC
   double sync_tolerance_s = 0.25;           ///< --sync-tolerance SEC
+  /// --trace-out FILE: enable the span tracer and export the run's merged
+  /// fleet timeline as Chrome trace_event JSON (load in Perfetto). On a
+  /// coordinator the timeline covers every node, clock-rebased; on a plain
+  /// run it covers this process.
+  std::optional<std::string> trace_out;
+  /// --status HOST:PORT: don't run anything — probe a live coordinator's
+  /// status plane and print fleet health (per-node phase/queue/budget).
+  std::optional<std::string> status_endpoint;
 
   // Payload pattern fuzzer (fuzz/ subsystem: randomized scenario discovery
   // over the simulated plant, locally or fanned across a --loopback fleet).

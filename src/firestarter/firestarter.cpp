@@ -43,6 +43,9 @@
 #include "sim/sim_system.hpp"
 #include "telemetry/bus.hpp"
 #include "telemetry/sinks.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace_event.hpp"
+#include "trace/tracer.hpp"
 #include "tuning/nsga2.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -170,6 +173,32 @@ std::ofstream open_output_file(const std::string& path, const char* flag) {
   if (!out)
     throw Error(std::string(flag) + ": cannot open '" + path + "' for writing");
   return out;
+}
+
+// ---- tracing ----------------------------------------------------------------
+
+/// Drain the process-wide tracer and registry into a single-node timeline
+/// and write it as trace_event JSON — the --trace-out path for every
+/// non-coordinator mode (coordinator runs export the merged fleet timeline
+/// instead). Node "local" at offset 0: nothing to rebase in one process.
+void export_local_trace(const std::string& path, std::ostream& out) {
+  trace::TraceCollector collector;
+  collector.add_node("local", 0.0);
+  std::vector<trace::SpanEvent> events;
+  trace::Tracer::drain(events);
+  std::vector<trace::Span> spans;
+  spans.reserve(events.size());
+  for (const trace::SpanEvent& event : events)
+    spans.push_back(trace::Span{event.name, event.begin_s, event.end_s});
+  collector.add_spans("local", std::move(spans));
+  collector.add_counters("local", trace::Registry::instance().snapshot());
+  if (trace::Tracer::dropped() > 0)
+    log::warn() << "trace ring overflowed: " << trace::Tracer::dropped()
+                << " spans dropped (the timeline has gaps)";
+  std::ofstream file = open_output_file(path, "--trace-out");
+  collector.write_json(file);
+  out << "trace written to " << path << " (" << collector.span_count()
+      << " spans; load in Perfetto or chrome://tracing)\n";
 }
 
 /// Open --control-log with its header when the run actually has a
@@ -396,23 +425,31 @@ int Firestarter::run() {
   }
   if (cfg_.list_functions) return list_functions();
   if (cfg_.list_metrics) return list_metrics();
-  // Before the coordinator check: --loopback implies --coordinator, and a
-  // fuzz run owns the fleet (it runs one cluster campaign per batch).
-  if (cfg_.fuzz) return run_fuzzer();
-  if (cfg_.coordinator) return run_coordinator();
-  if (cfg_.agent_endpoint) return run_agent();
-  if (cfg_.target_spec &&
-      control::Setpoint::parse(*cfg_.target_spec).variable ==
-          control::ControlVariable::kClusterPower)
-    throw ConfigError(
-        "--target cluster-power only applies to --coordinator runs (single "
-        "nodes hold power=/temp= setpoints)");
-  if (cfg_.optimize) return run_optimization();
-  if (cfg_.dump_asm) return run_dump_asm();
-  if (cfg_.selftest) return run_selftest_mode();
-  if (cfg_.campaign_file) return run_campaign();
-  if (cfg_.target != TargetSystem::kHost) return run_stress_simulated();
-  return run_stress_host();
+  if (cfg_.status_endpoint) return run_status();
+  // Before the fuzz/local checks: --loopback implies --coordinator, and a
+  // fuzz run owns the fleet (it runs one cluster campaign per batch). The
+  // coordinator exports the merged, clock-rebased fleet timeline itself;
+  // every other mode gets the single-process --trace-out below.
+  if (cfg_.coordinator && !cfg_.fuzz) return run_coordinator();
+  if (cfg_.trace_out) trace::Tracer::set_enabled(true);
+  const int rc = [&] {
+    if (cfg_.fuzz) return run_fuzzer();
+    if (cfg_.agent_endpoint) return run_agent();
+    if (cfg_.target_spec &&
+        control::Setpoint::parse(*cfg_.target_spec).variable ==
+            control::ControlVariable::kClusterPower)
+      throw ConfigError(
+          "--target cluster-power only applies to --coordinator runs (single "
+          "nodes hold power=/temp= setpoints)");
+    if (cfg_.optimize) return run_optimization();
+    if (cfg_.dump_asm) return run_dump_asm();
+    if (cfg_.selftest) return run_selftest_mode();
+    if (cfg_.campaign_file) return run_campaign();
+    if (cfg_.target != TargetSystem::kHost) return run_stress_simulated();
+    return run_stress_host();
+  }();
+  if (cfg_.trace_out) export_local_trace(*cfg_.trace_out, out_);
+  return rc;
 }
 
 int Firestarter::list_functions() {
@@ -699,6 +736,9 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
                                       : res.profile->describe().c_str());
 
     const TrimDeltas deltas = phase_deltas(cfg_, spec.duration_s);
+    // Fleet trace: bracket the phase in local wall time (sim phases run in
+    // virtual time, but their wall extent is what aligns across nodes).
+    const double phase_span_begin_s = trace::now_s();
     bus.begin_phase(spec.name, spec.duration_s, deltas.start_s, deltas.stop_s);
     // Campaign time of this phase's start — also the virtual preheat the
     // simulator's thermal/leakage models have accumulated.
@@ -751,6 +791,8 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
       // recorder would silently drop them).
       bus.end_phase(output.elapsed_s);
     }
+    if (session != nullptr)
+      session->add_span("phase:" + spec.name, phase_span_begin_s, trace::now_s());
     ++phase_index;
   }
 
@@ -829,6 +871,7 @@ int Firestarter::run_coordinator() {
   options.start_delay_s = cfg_.cluster_start_delay_s;
   options.sync_tolerance_s = cfg_.sync_tolerance_s;
   options.seed = cfg_.seed;
+  options.trace = cfg_.trace_out.has_value();
   if (budget) {
     // Fail before accepting anyone: every phase must fit the controller
     // tick and the budget cadence the agents will run.
@@ -883,6 +926,14 @@ int Firestarter::run_coordinator() {
   if (!failure.empty()) throw Error("cluster run failed: " + failure);
 
   cluster::ClusterBus::write_csv(out_, result.rows);
+  if (cfg_.trace_out) {
+    std::ofstream trace_file = open_output_file(*cfg_.trace_out, "--trace-out");
+    result.trace.write_json(trace_file);
+    out_ << "fleet trace written to " << *cfg_.trace_out << " ("
+         << result.trace.span_count()
+         << " spans, clock-rebased onto the coordinator; load in Perfetto or "
+            "chrome://tracing)\n";
+  }
   bool agents_ok = fleet_error.empty();
   if (fleet) {
     std::size_t reported = 0;
@@ -926,6 +977,72 @@ int Firestarter::run_agent() {
                      : strings::format("%s-%d", sku.c_str(), static_cast<int>(::getpid()));
   cluster::AgentSession session(options);
   return run_campaign(&session);
+}
+
+int Firestarter::run_status() {
+  cluster::Connection conn = cluster::Connection::connect(*cfg_.status_endpoint,
+                                                          /*retry_for_s=*/5.0);
+  conn.send(cluster::StatusRequestMsg{}.encode());
+  const std::optional<cluster::Frame> frame = conn.recv(/*timeout_s=*/5.0);
+  if (!frame)
+    throw Error("--status: no reply from " + *cfg_.status_endpoint +
+                " within 5 s (is a coordinator listening there?)");
+  if (frame->type != cluster::MessageType::kStatusReply)
+    throw Error(std::string("--status: unexpected reply frame '") +
+                cluster::to_string(frame->type) + "'");
+  cluster::WireReader reader(frame->payload);
+  const cluster::StatusReplyMsg status = cluster::StatusReplyMsg::decode(reader);
+
+  out_ << "coordinator " << *cfg_.status_endpoint << ": "
+       << (status.accepting ? "accepting agents" : "campaign running") << ", "
+       << status.nodes.size() << "/" << status.nodes_expected << " nodes, "
+       << status.phase_count << " phases, " << status.queued_samples
+       << " samples queued";
+  if (status.budget_w > 0.0) out_ << strings::format(", budget %.0f W", status.budget_w);
+  out_ << "\n";
+
+  if (!status.nodes.empty()) {
+    double total_achieved = 0.0, total_setpoint = 0.0;
+    Table table({"node", "sku", "state", "phase", "offset ms", "rtt ms", "setpoint W",
+                 "achieved W", "level %"});
+    for (const cluster::StatusNodeRec& node : status.nodes) {
+      total_achieved += node.achieved_w;
+      total_setpoint += node.setpoint_w;
+      table.add_row(
+          {node.name, node.sku, node.connected ? "connected" : "lost",
+           strings::format("%u/%u", node.phases_ended, status.phase_count),
+           strings::format("%+.2f", node.clock_offset_s * 1e3),
+           strings::format("%.2f", node.clock_rtt_s * 1e3),
+           node.setpoint_w > 0.0 ? strings::format("%.1f", node.setpoint_w) : "-",
+           node.achieved_w > 0.0 ? strings::format("%.1f", node.achieved_w) : "-",
+           node.level > 0.0 ? strings::format("%.0f", node.level * 100.0) : "-"});
+    }
+    table.print(out_);
+    if (status.budget_w > 0.0 && total_setpoint > 0.0)
+      out_ << strings::format("budget: %.1f W allocated, %.1f W achieved (target %.0f W)\n",
+                              total_setpoint, total_achieved, status.budget_w);
+  }
+
+  if (!status.spreads.empty()) {
+    Table table({"phase", "begin spread ms", "first node", "last node", "nodes"});
+    for (const cluster::StatusSpreadRec& spread : status.spreads)
+      table.add_row({spread.phase,
+                     strings::format("%.2f", (spread.max_begin_s - spread.min_begin_s) * 1e3),
+                     spread.min_node, spread.max_node, std::to_string(spread.nodes)});
+    table.print(out_);
+  }
+
+  if (!status.counters.empty()) {
+    Table table({"metric", "value", "kind"});
+    for (const trace::MetricSnapshot& metric : status.counters)
+      table.add_row({metric.name,
+                     metric.is_counter
+                         ? std::to_string(static_cast<unsigned long long>(metric.value))
+                         : strings::format("%g", metric.value),
+                     metric.is_counter ? "counter" : "gauge"});
+    table.print(out_);
+  }
+  return 0;
 }
 
 int Firestarter::run_dump_asm() {

@@ -35,6 +35,9 @@ class Firestarter {
   int run_campaign(cluster::AgentSession* session = nullptr);
   int run_coordinator();
   int run_agent();
+  /// --status HOST:PORT: probe a live coordinator's status plane and print
+  /// fleet health; runs no workload.
+  int run_status();
   int run_optimization();
   /// --fuzz: randomized payload-pattern discovery over the sim plant (or a
   /// loopback fleet), reporting the ranked outlier corpus vs the default

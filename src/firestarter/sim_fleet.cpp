@@ -9,6 +9,8 @@
 
 #include "cluster/clock_sync.hpp"
 #include "payload/groups.hpp"
+#include "trace/registry.hpp"
+#include "trace/tracer.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -156,8 +158,16 @@ void SimAgent::prepare_campaign() {
   wait_ = Wait::kUntil;
 }
 
+void SimAgent::close_wait_span(const char* name) {
+  if (!tracing() || wait_open_s_ <= 0.0) return;
+  spans_.push_back(trace::Span{name, wait_open_s_, trace::now_s()});
+  wait_open_s_ = 0.0;
+}
+
 void SimAgent::begin_phase() {
   const sched::CampaignPhase& spec = phases_->phases()[phase_index_];
+  close_wait_span("agent.barrier_wait");
+  if (tracing()) phase_open_s_ = trace::now_s();
   // The budget setpoint value is re-read AFTER the barrier so the phase
   // starts from the latest apportionment.
   if (campaign_.has_budget != 0) resolved_[phase_index_].setpoint->value = current_setpoint_w_;
@@ -172,6 +182,7 @@ void SimAgent::begin_phase() {
 }
 
 void SimAgent::send_budget_report() {
+  if (tracing()) wait_open_s_ = trace::now_s();
   next_budget_s_ += campaign_.budget_interval_s;
   cluster::BudgetReportMsg report;
   report.seq = budget_seq_++;
@@ -231,13 +242,25 @@ void SimAgent::advance() {
 
 void SimAgent::finish_phase() {
   bus_.end_phase();
+  if (tracing()) {
+    spans_.push_back(trace::Span{"phase:" + phases_->phases()[phase_index_].name,
+                                 phase_open_s_, trace::now_s()});
+  }
   ++phase_index_;
   if (phase_index_ < phases_->size()) {
+    if (tracing()) wait_open_s_ = trace::now_s();
     state_ = State::kAwaitGo;
     wait_ = Wait::kFrame;
     return;
   }
   bus_.finish();
+  // Span shipment precedes the verdict (the coordinator's "node done"
+  // signal) so the merged timeline is complete when the run closes.
+  if (tracing()) {
+    cluster::TraceSpansMsg spans;
+    spans.spans = std::move(spans_);
+    conn_.send(spans.encode());
+  }
   cluster::VerdictMsg verdict;
   verdict.converged = all_converged_ ? 1 : 0;
   verdict.detail = strings::format("%zu phases on %s", phases_->size(),
@@ -287,6 +310,7 @@ void SimAgent::handle_frame(const cluster::Frame& frame) {
         throw cluster::WireError(
             strings::format("agent %s: unexpected budget assign seq %u",
                             node_name_.c_str(), assign.seq));
+      close_wait_span("agent.budget_wait");
       current_setpoint_w_ = assign.setpoint_w;
       run_->loop().set_target(assign.setpoint_w);
       state_ = State::kRunPhase;
@@ -359,7 +383,10 @@ void SimFleet::run() {
   fds.reserve(agents_.size());
   fd_agents.reserve(agents_.size());
 
+  trace::Counter& iterations = trace::Registry::instance().counter("reactor.poll_iterations");
   for (;;) {
+    iterations.add();
+    TRACE_SPAN("reactor.iteration");
     fds.clear();
     fd_agents.clear();
     bool alive = false;

@@ -14,6 +14,7 @@
 #include "payload/compiler.hpp"
 #include "sched/campaign.hpp"
 #include "telemetry/sinks.hpp"
+#include "trace/trace_event.hpp"
 
 namespace fs2::firestarter {
 
@@ -106,6 +107,9 @@ class SimAgent {
   void finish_phase();
   void send_budget_report();
   void fail(const std::string& what);
+  bool tracing() const { return campaign_.trace_enabled != 0; }
+  /// Close the open barrier/budget wait span (no-op when none is open).
+  void close_wait_span(const char* name);
   /// Analyzed stats for the phase's workload, cached by (function, groups,
   /// unroll) — fuzz campaigns give every phase its own pattern, so the
   /// cache key must cover the per-phase overrides, not just the function.
@@ -144,6 +148,14 @@ class SimAgent {
   double next_budget_s_ = 0.0;
   std::uint32_t budget_seq_ = 0;
   bool all_converged_ = true;
+
+  // Observability (campaign_.trace_enabled): an EXPLICIT per-agent span
+  // buffer. Hundreds of loopback agents share one reactor thread, so the
+  // global thread-local tracer cannot attribute spans per node; phase and
+  // wait boundaries are cold, so owned-string spans are fine here.
+  std::vector<trace::Span> spans_;
+  double phase_open_s_ = 0.0;  ///< begin of the running phase span
+  double wait_open_s_ = 0.0;   ///< begin of the open barrier/budget wait (0 = none)
 };
 
 /// Drives a whole --loopback fleet of SimAgents from ONE thread: a poll(2)

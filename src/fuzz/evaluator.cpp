@@ -14,6 +14,8 @@
 #include "sim/sim_system.hpp"
 #include "telemetry/bus.hpp"
 #include "telemetry/sinks.hpp"
+#include "trace/registry.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -133,6 +135,7 @@ class FleetEvaluator final : public Evaluator {
   std::size_t batch_multiple() const override { return specs_.size(); }
 
   std::vector<Evaluation> evaluate(const std::vector<PatternSpec>& batch) override {
+    TRACE_SPAN("fuzz.fleet_evaluate");
     if (batch.empty()) return {};
     const std::size_t nodes = specs_.size();
     const std::size_t rounds = (batch.size() + nodes - 1) / nodes;
@@ -215,6 +218,10 @@ class FleetEvaluator final : public Evaluator {
   /// coordinator torn down on failure so agents error out of their waits.
   cluster::Coordinator::Result run_cluster(const std::vector<std::string>& texts,
                                            std::size_t phase_count) {
+    TRACE_SPAN("fuzz.cluster_round");
+    static trace::Counter& rounds =
+        trace::Registry::instance().counter("fuzz.cluster_rounds");
+    rounds.add();
     // Generated campaigns should always parse; catching authoring bugs here
     // beats decoding an agent-side protocol failure.
     std::istringstream probe(texts.front());

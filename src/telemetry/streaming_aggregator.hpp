@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "telemetry/sample.hpp"
+#include "trace/tracer.hpp"
 
 namespace fs2::telemetry {
 
@@ -256,6 +257,7 @@ class StreamingAggregator {
   /// shadow is never read again.)
   void add_batch(const Sample* samples, std::size_t count) {
     if (count == 0) return;
+    TRACE_SPAN("telemetry.aggregator.add_batch");
     count_ += count;
     if (trimmed_.count() == 0)
       for (std::size_t i = 0; i < count; ++i) all_.add(samples[i].value);

@@ -1,0 +1,56 @@
+#include "trace/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace fs2::trace {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.name != name) continue;
+    if (!e.counter) throw Error("registry: '" + name + "' is a gauge, not a counter");
+    return *e.counter;
+  }
+  entries_.push_back(Entry{name, std::make_unique<Counter>(), nullptr});
+  return *entries_.back().counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.name != name) continue;
+    if (!e.gauge) throw Error("registry: '" + name + "' is a counter, not a gauge");
+    return *e.gauge;
+  }
+  entries_.push_back(Entry{name, nullptr, std::make_unique<Gauge>()});
+  return *entries_.back().gauge;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSnapshot s;
+    s.name = e.name;
+    s.is_counter = e.counter != nullptr;
+    s.value = e.counter ? static_cast<double>(e.counter->value()) : e.gauge->value();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+  }
+}
+
+}  // namespace fs2::trace

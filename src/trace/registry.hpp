@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fs2::trace {
+
+/// Monotonic event count. add() is one relaxed fetch_add; hot paths resolve
+/// the Counter& once (registry lookup takes a mutex) and keep the reference.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, batch threshold).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One registry entry at snapshot time.
+struct MetricSnapshot {
+  std::string name;
+  double value = 0.0;
+  bool is_counter = true;  ///< false = gauge
+};
+
+/// Process-wide counter/gauge directory. Names are dotted paths mirroring
+/// the span names ("cluster.bus.queued_samples", "reactor.wakeups").
+/// Registration is mutex-guarded create-or-get; updates on the returned
+/// references are lock-free. Snapshots are what agents ship to the
+/// coordinator (kCounterSnapshot) and what the status plane reports.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// All entries, registration order, counters and gauges interleaved.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zero every entry (entries stay registered — references remain valid).
+  /// Test/benchmark hook.
+  void reset();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Counter> counter;  ///< exactly one of counter/gauge set
+    std::unique_ptr<Gauge> gauge;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fs2::trace

@@ -1,0 +1,166 @@
+#include "trace/trace_event.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fs2::trace {
+
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// trace_event timestamps are microseconds; emit as integers (Perfetto
+/// accepts fractional but integers keep files small and diffs stable).
+std::int64_t to_us(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e6 + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace
+
+TraceCollector::NodeRecord& TraceCollector::node(const std::string& name) {
+  for (NodeRecord& n : nodes_)
+    if (n.name == name) return n;
+  throw Error("trace: unknown node '" + name + "' (add_node first)");
+}
+
+int TraceCollector::add_node(const std::string& name, double offset_s) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == name) return static_cast<int>(i);
+  nodes_.push_back(NodeRecord{name, offset_s, {}, {}});
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+void TraceCollector::add_span(const std::string& node_name, Span span) {
+  node(node_name).spans.push_back(std::move(span));
+}
+
+void TraceCollector::add_spans(const std::string& node_name, std::vector<Span> spans) {
+  NodeRecord& n = node(node_name);
+  if (n.spans.empty()) {
+    n.spans = std::move(spans);
+  } else {
+    n.spans.insert(n.spans.end(), std::make_move_iterator(spans.begin()),
+                   std::make_move_iterator(spans.end()));
+  }
+}
+
+void TraceCollector::add_counters(const std::string& node_name,
+                                  std::vector<MetricSnapshot> counters) {
+  NodeRecord& n = node(node_name);
+  n.counters.insert(n.counters.end(), std::make_move_iterator(counters.begin()),
+                    std::make_move_iterator(counters.end()));
+}
+
+std::vector<Span> TraceCollector::merged_timeline() const {
+  struct Keyed {
+    Span span;
+    std::size_t node_index;
+  };
+  std::vector<Keyed> all;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const Span& s : nodes_[i].spans) {
+      all.push_back(
+          Keyed{Span{s.name, s.begin_s - nodes_[i].offset_s, s.end_s - nodes_[i].offset_s}, i});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.span.begin_s != b.span.begin_s) return a.span.begin_s < b.span.begin_s;
+    if (a.node_index != b.node_index) return a.node_index < b.node_index;
+    return a.span.name < b.span.name;
+  });
+  std::vector<Span> out;
+  out.reserve(all.size());
+  for (Keyed& k : all) out.push_back(std::move(k.span));
+  return out;
+}
+
+std::vector<Span> TraceCollector::spans_for_node(const std::string& node_name) const {
+  for (const NodeRecord& n : nodes_) {
+    if (n.name != node_name) continue;
+    std::vector<Span> out;
+    out.reserve(n.spans.size());
+    for (const Span& s : n.spans)
+      out.push_back(Span{s.name, s.begin_s - n.offset_s, s.end_s - n.offset_s});
+    return out;
+  }
+  throw Error("trace: unknown node '" + node_name + "'");
+}
+
+std::size_t TraceCollector::span_count() const {
+  std::size_t total = 0;
+  for (const NodeRecord& n : nodes_) total += n.spans.size();
+  return total;
+}
+
+void TraceCollector::write_json(std::ostream& out) const {
+  // Shift so the earliest rebased begin lands at ts 0 and everything else
+  // stays non-negative — Perfetto renders negative timestamps poorly.
+  double min_s = std::numeric_limits<double>::infinity();
+  for (const NodeRecord& n : nodes_)
+    for (const Span& s : n.spans) min_s = std::min(min_s, s.begin_s - n.offset_s);
+  if (!(min_s < std::numeric_limits<double>::infinity())) min_s = 0.0;
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  for (std::size_t pid = 0; pid < nodes_.size(); ++pid) {
+    const NodeRecord& n = nodes_[pid];
+    sep();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid + 1
+        << ",\"tid\":0,\"args\":{\"name\":";
+    write_escaped(out, n.name);
+    out << "}}";
+    for (const Span& s : n.spans) {
+      const double begin = s.begin_s - n.offset_s - min_s;
+      const double dur = s.end_s - s.begin_s;
+      sep();
+      out << "{\"name\":";
+      write_escaped(out, s.name);
+      out << ",\"ph\":\"X\",\"ts\":" << to_us(begin) << ",\"dur\":" << to_us(std::max(dur, 0.0))
+          << ",\"pid\":" << pid + 1 << ",\"tid\":1}";
+    }
+    // Counters land at the node's last rebased timestamp: they are
+    // end-of-run snapshots, not a time series.
+    double last = 0.0;
+    for (const Span& s : n.spans) last = std::max(last, s.end_s - n.offset_s - min_s);
+    for (const MetricSnapshot& c : n.counters) {
+      sep();
+      out << "{\"name\":";
+      write_escaped(out, c.name);
+      out << ",\"ph\":\"C\",\"ts\":" << to_us(last) << ",\"pid\":" << pid + 1
+          << ",\"args\":{\"value\":" << c.value << "}}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace fs2::trace

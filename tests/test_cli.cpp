@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -367,6 +368,37 @@ TEST(Cli, HelpListsClusterFlags) {
   EXPECT_NE(r.output.find("--agent HOST:PORT"), std::string::npos);
   EXPECT_NE(r.output.find("--loopback"), std::string::npos);
   EXPECT_NE(r.output.find("cluster-power=WATTS"), std::string::npos);
+}
+
+TEST(Cli, StatusRejectsMalformedEndpoint) {
+  const CliResult r = run_cli("--status localhost");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("HOST:PORT"), std::string::npos);
+}
+
+TEST(Cli, HelpListsObservabilityFlags) {
+  const CliResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--trace-out"), std::string::npos);
+  EXPECT_NE(r.output.find("--status HOST:PORT"), std::string::npos);
+}
+
+TEST(Cli, TraceOutWritesLocalTimelineOnSimRun) {
+  const char* path = "/tmp/fs2_cli_trace.json";
+  std::remove(path);
+  const CliResult r = run_cli(
+      "--simulate=zen2 --freq 1500 -t 10 --trace-out /tmp/fs2_cli_trace.json "
+      "--log-level warn");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("trace written to /tmp/fs2_cli_trace.json"), std::string::npos)
+      << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"local\""), std::string::npos);
+  std::remove(path);
 }
 
 TEST(Cli, HostRegisterDump) {

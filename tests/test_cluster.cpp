@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -24,7 +25,9 @@
 #include "control/budget.hpp"
 #include "firestarter/config.hpp"
 #include "firestarter/firestarter.hpp"
+#include "firestarter/sim_fleet.hpp"
 #include "sim/machine_config.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -787,6 +790,164 @@ TEST(Coordinator, RequiresCampaignAndNodes) {
     firestarter::Firestarter app(cfg, out);
     EXPECT_THROW(app.run(), ConfigError);  // no --nodes / --loopback
   }
+}
+
+// ---- observability ----------------------------------------------------------
+
+TEST(ClusterBusTest, MergedRowsIncludePhaseBeginSpread) {
+  const std::string campaign = write_campaign("/tmp/fs2_cluster_spread.campaign",
+                                              "phase name=solo duration=10 "
+                                              "profile=constant:60\n");
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "zen2@1500,haswell@2000";
+  cfg.coordinator = true;
+  cfg.campaign_file = campaign;
+  cfg.log_level = "warn";
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  EXPECT_EQ(app.run(), 0) << out.str();
+  const std::string output = out.str();
+  // The merged CSV carries one spread row per phase on the cluster
+  // pseudo-node: mean = spread, samples = participating nodes.
+  const double spread = csv_mean(output, "phase-begin-spread", "solo", "cluster");
+  EXPECT_GE(spread, 0.0) << output;
+  EXPECT_LT(spread, 0.25) << output;  // loopback agents start nearly together
+  EXPECT_NE(output.find("phase-begin-spread,s,2,"), std::string::npos) << output;
+}
+
+TEST(LoopbackFleet, SyncToleranceFailureNamesOffendingNodes) {
+  const std::string campaign = write_campaign("/tmp/fs2_cluster_offender.campaign",
+                                              "phase name=tight duration=10 "
+                                              "profile=constant:50\n");
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "zen2@1500,haswell@2000";
+  cfg.coordinator = true;
+  cfg.campaign_file = campaign;
+  // No two nodes can begin within a nanosecond of each other; the lockstep
+  // verdict must fail and say WHICH node straggled behind which.
+  cfg.sync_tolerance_s = 1e-9;
+  cfg.require_convergence = true;
+  cfg.log_level = "error";
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  EXPECT_EQ(app.run(), 1) << out.str();
+  const std::string output = out.str();
+  EXPECT_NE(output.find("phase 'tight'"), std::string::npos) << output;
+  EXPECT_NE(output.find("exceeds tolerance"), std::string::npos) << output;
+  const std::size_t offender = output.find("— node ");
+  ASSERT_NE(offender, std::string::npos) << output;
+  EXPECT_NE(output.find("ms after node ", offender), std::string::npos) << output;
+  // Both named nodes are real fleet members.
+  const bool names_nodes = output.find("n0-zen2", offender) != std::string::npos ||
+                           output.find("n1-haswell", offender) != std::string::npos;
+  EXPECT_TRUE(names_nodes) << output;
+}
+
+TEST(LoopbackFleet, TraceOutExportsMergedFleetTimeline) {
+  const std::string campaign = write_campaign("/tmp/fs2_cluster_trace.campaign",
+                                              "phase name=ramp duration=8\n"
+                                              "phase name=cool duration=6\n");
+  const std::string trace_path = "/tmp/fs2_cluster_trace.json";
+  std::remove(trace_path.c_str());
+  firestarter::Config cfg;
+  cfg.loopback_nodes = "zen2@1500,haswell@2000";
+  cfg.coordinator = true;
+  cfg.campaign_file = campaign;
+  cfg.target_spec = "cluster-power=500W";
+  cfg.trace_out = trace_path;
+  cfg.log_level = "warn";
+  std::ostringstream out;
+  firestarter::Firestarter app(cfg, out);
+  EXPECT_EQ(app.run(), 0) << out.str();
+  EXPECT_NE(out.str().find("fleet trace written to"), std::string::npos) << out.str();
+  trace::Tracer::reset();  // do not leak an enabled tracer into other tests
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  // Every node became a named process on the merged timeline...
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"coordinator\""), std::string::npos);
+  EXPECT_NE(json.find("\"n0-zen2\""), std::string::npos);
+  EXPECT_NE(json.find("\"n1-haswell\""), std::string::npos);
+  // ...with per-node phase spans, agent waits, and coordinator-side spans.
+  EXPECT_NE(json.find("\"phase:ramp\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase:cool\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster.phase_barrier\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster.bus.drain\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(Coordinator, ServesStatusProbesDuringAcceptAndMidRun) {
+  Coordinator::Options options;
+  options.port = 0;
+  options.loopback_only = true;
+  options.nodes = 1;
+  options.campaign_text = "phase name=p duration=6 profile=constant:50\n";
+  options.phase_count = 1;
+  // A generous epoch delay keeps the coordinator in its event loop (agents
+  // parked at the epoch) long enough for the mid-run probes to land.
+  options.start_delay_s = 1.5;
+  Coordinator coordinator(options);
+  const std::string endpoint = "127.0.0.1:" + std::to_string(coordinator.port());
+  Coordinator::Result result;
+  std::ostringstream out;
+  std::thread run_thread([&] { result = coordinator.run(out); });
+
+  // Probe 1: accept window, no agents yet — answered without consuming the
+  // fleet slot.
+  {
+    Connection probe = Connection::connect(endpoint, /*retry_for_s=*/5.0);
+    probe.send(StatusRequestMsg{}.encode());
+    const auto frame = probe.recv(/*timeout_s=*/5.0);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, MessageType::kStatusReply);
+    WireReader reader(frame->payload);
+    const StatusReplyMsg reply = StatusReplyMsg::decode(reader);
+    EXPECT_EQ(reply.accepting, 1);
+    EXPECT_EQ(reply.nodes_expected, 1u);
+    EXPECT_EQ(reply.phase_count, 1u);
+    EXPECT_TRUE(reply.nodes.empty());
+  }
+
+  firestarter::Config cfg;
+  cfg.log_level = "error";
+  const auto specs = firestarter::parse_loopback_specs("zen2@1500");
+  std::unique_ptr<firestarter::SimFleet> fleet;
+  std::thread fleet_thread([&, port = coordinator.port()] {
+    fleet = std::make_unique<firestarter::SimFleet>(cfg, specs, port);
+    fleet->run();
+  });
+
+  // Probe repeatedly until the campaign is live (accepting == 0 with the
+  // node enrolled); the epoch delay guarantees a wide window.
+  bool saw_running = false;
+  for (int attempt = 0; attempt < 200 && !saw_running; ++attempt) {
+    try {
+      Connection probe = Connection::connect(endpoint, /*retry_for_s=*/0.2);
+      probe.send(StatusRequestMsg{}.encode());
+      const auto frame = probe.recv(/*timeout_s=*/2.0);
+      if (!frame || frame->type != MessageType::kStatusReply) break;
+      WireReader reader(frame->payload);
+      const StatusReplyMsg reply = StatusReplyMsg::decode(reader);
+      if (reply.accepting == 0 && !reply.nodes.empty()) {
+        saw_running = true;
+        EXPECT_EQ(reply.nodes[0].name, "n0-zen2");
+        EXPECT_EQ(reply.nodes[0].connected, 1);
+        EXPECT_LE(reply.nodes[0].phases_ended, reply.nodes[0].phases_begun);
+      }
+    } catch (const Error&) {
+      break;  // listener gone: the run finished before we caught it mid-flight
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  run_thread.join();
+  fleet_thread.join();
+  EXPECT_TRUE(saw_running);
+  ASSERT_TRUE(fleet != nullptr);
+  EXPECT_TRUE(fleet->all_ok());
 }
 
 }  // namespace
