@@ -26,6 +26,12 @@ MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-1.0}"
 # Tracing compiled in but DISABLED must stay under this share of coordinator
 # ingest wall time (the observability PR's acceptance gate).
 MAX_TRACE_OVERHEAD_PCT="${BENCH_MAX_TRACE_OVERHEAD_PCT:-1.0}"
+# Live metrics plane gates: Histogram::record must stay within this multiple
+# of Counter::add (it shares hot paths with counters), and shipping one
+# kMetricUpdate per node per second at MAX_FLEET nodes must cost the
+# coordinator less than this share of wall time.
+MAX_HIST_COUNTER_RATIO="${BENCH_MAX_HIST_COUNTER_RATIO:-2.0}"
+MAX_METRICS_OVERHEAD_PCT="${BENCH_MAX_METRICS_OVERHEAD_PCT:-1.0}"
 
 if [[ ! -x "$BIN" ]]; then
   echo "bench_report: $BIN not built (cmake --build build --target bench_macro_cluster)" >&2
@@ -41,7 +47,9 @@ else
 fi
 
 CURRENT_JSON="$current_json" TRACE_JSON="$trace_json" MIN_SPEEDUP="$MIN_SPEEDUP" \
-MAX_TRACE_OVERHEAD_PCT="$MAX_TRACE_OVERHEAD_PCT" python3 - <<'PYEOF'
+MAX_TRACE_OVERHEAD_PCT="$MAX_TRACE_OVERHEAD_PCT" MAX_FLEET="$MAX_FLEET" \
+MAX_HIST_COUNTER_RATIO="$MAX_HIST_COUNTER_RATIO" \
+MAX_METRICS_OVERHEAD_PCT="$MAX_METRICS_OVERHEAD_PCT" python3 - <<'PYEOF'
 import json, os, sys
 
 current = json.loads(os.environ["CURRENT_JSON"])
@@ -117,4 +125,34 @@ if overhead >= ceiling:
     print(f"bench_report: disabled-tracing overhead {overhead:.4f}% breaches the "
           f"{ceiling}% gate", file=sys.stderr)
     sys.exit(1)
+
+# Metrics-plane gates (skipped when micro_trace wasn't built).
+counter_ns = micro_trace.get("counter_add_ns")
+hist_ns = micro_trace.get("histogram_record_ns")
+fold_ns = micro_trace.get("metric_update_fold_ns")
+if counter_ns and hist_ns:
+    ratio = hist_ns / counter_ns
+    ratio_gate = float(os.environ["MAX_HIST_COUNTER_RATIO"])
+    print(f"bench_report: histogram record {hist_ns:.1f} ns = {ratio:.2f}x counter "
+          f"add (gate <={ratio_gate}x)")
+    if ratio > ratio_gate:
+        print(f"bench_report: histogram record {ratio:.2f}x counter add breaches "
+              f"the {ratio_gate}x gate", file=sys.stderr)
+        sys.exit(1)
+if fold_ns:
+    fleet = int(os.environ["MAX_FLEET"])
+    # One collect->encode->decode->fold cycle per node per 1 s shipping
+    # interval, as a share of the coordinator's wall clock.
+    ship_pct = fleet * fold_ns * 1e-9 * 100.0
+    ship_gate = float(os.environ["MAX_METRICS_OVERHEAD_PCT"])
+    report["trace"]["metrics_plane_ship_pct"] = round(ship_pct, 4)
+    with open("BENCH_cluster.json", "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"bench_report: 1 s metric shipping at {fleet} nodes costs "
+          f"{ship_pct:.4f}% of coordinator wall time (gate <{ship_gate}%)")
+    if ship_pct >= ship_gate:
+        print(f"bench_report: metric shipping {ship_pct:.4f}% breaches the "
+              f"{ship_gate}% gate", file=sys.stderr)
+        sys.exit(1)
 PYEOF

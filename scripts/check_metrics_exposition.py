@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus plaintext exposition payload from the fs2
+coordinator's /metrics endpoint (text format 0.0.4).
+
+Reads the payload from stdin and checks:
+  - every non-comment line parses as `name{labels} value`
+  - every sample family has a matching `# TYPE` declaration
+  - the fleet identity series are present (fs2_fleet_nodes,
+    fs2_fleet_healthy, fs2_fleet_alerts_total)
+  - at least one per-node gauge carries a {node="..."} label
+  - at least one histogram summary exposes quantile series with _sum/_count
+
+Usage: curl -s localhost:PORT/metrics | check_metrics_exposition.py [NODES]
+With NODES given, fs2_fleet_nodes must equal it exactly.
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|nan|inf|\+inf|-inf))$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<type>counter|gauge|summary)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def family(name: str) -> str:
+    """Base family of a sample name (summaries expose name_sum/name_count)."""
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main() -> int:
+    expected_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    text = sys.stdin.read()
+    if not text.strip():
+        print("check_metrics_exposition: empty payload", file=sys.stderr)
+        return 1
+
+    types: dict[str, str] = {}
+    samples: list[tuple[str, str, float]] = []  # (name, labels, value)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if line.startswith("# TYPE") and not m:
+                print(f"line {lineno}: malformed TYPE line: {line!r}", file=sys.stderr)
+                return 1
+            if m:
+                types[m.group("name")] = m.group("type")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            print(f"line {lineno}: unparseable sample: {line!r}", file=sys.stderr)
+            return 1
+        labels = m.group("labels") or ""
+        if labels:
+            for pair in labels[1:-1].split(","):
+                if not LABEL_RE.match(pair):
+                    print(f"line {lineno}: bad label {pair!r}", file=sys.stderr)
+                    return 1
+        samples.append((m.group("name"), labels, float(m.group("value"))))
+
+    undeclared = sorted(
+        {family(name) for name, _, _ in samples}
+        - set(types)
+    )
+    if undeclared:
+        print(f"samples without a TYPE declaration: {undeclared}", file=sys.stderr)
+        return 1
+
+    by_name = {}
+    for name, labels, value in samples:
+        by_name.setdefault(name, []).append((labels, value))
+
+    for required in ("fs2_fleet_nodes", "fs2_fleet_healthy", "fs2_fleet_alerts_total"):
+        if required not in by_name:
+            print(f"missing required series {required}", file=sys.stderr)
+            return 1
+
+    fleet_nodes = by_name["fs2_fleet_nodes"][0][1]
+    if expected_nodes is not None and fleet_nodes != expected_nodes:
+        print(
+            f"fs2_fleet_nodes = {fleet_nodes:g}, expected {expected_nodes}",
+            file=sys.stderr,
+        )
+        return 1
+
+    node_labelled = [
+        (name, labels)
+        for name, labels, _ in samples
+        if 'node="' in labels
+    ]
+    if not node_labelled:
+        print("no per-node series with a node label", file=sys.stderr)
+        return 1
+
+    quantile_families = {
+        family(name)
+        for name, labels, _ in samples
+        if 'quantile="' in labels
+    }
+    if not quantile_families:
+        print("no histogram quantile series", file=sys.stderr)
+        return 1
+    for fam in quantile_families:
+        if types.get(fam) != "summary":
+            print(f"{fam} has quantiles but TYPE {types.get(fam)}", file=sys.stderr)
+            return 1
+        if f"{fam}_sum" not in by_name or f"{fam}_count" not in by_name:
+            print(f"{fam} summary missing _sum/_count", file=sys.stderr)
+            return 1
+
+    print(
+        f"exposition OK: {len(samples)} samples, {len(types)} families, "
+        f"{int(fleet_nodes)} nodes, {len(quantile_families)} summaries"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,37 @@ assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in spans), "negative ts/dur"
 print(f"fleet trace OK: {len(spans)} spans across {len(names)} processes")
 PYEOF
 
+# Live metrics plane: the same loopback fleet with the exposition endpoint
+# pinned (--listen under --loopback), scraped over real HTTP mid-run. The
+# epoch delay keeps the run alive long enough for the scrape; the checker
+# validates the payload's exposition grammar, fleet rollups, per-node
+# labels, and histogram summaries. --flight-out arms the crash recorder
+# (empty after a clean run — it only dumps on alerts or abnormal exit).
+metrics_port=7391
+flight_dump="flight_dump.txt"
+scrape="$(mktemp)"
+trap 'rm -f "$campaign" "$trace" "$fleet_trace" "$scrape"' EXIT
+timeout 60 ./build/fs2 --loopback zen2@1500,haswell@2000 \
+    --campaign examples/cluster_acceptance.campaign \
+    --target cluster-power=500W --require-convergence --log-level warn \
+    --listen "$metrics_port" --metrics-interval 0.25 \
+    --cluster-start-delay 4 --flight-out "$flight_dump" > /dev/null &
+metrics_pid=$!
+scraped=0
+for _ in $(seq 1 100); do
+  if curl -s --max-time 2 "http://127.0.0.1:$metrics_port/metrics" > "$scrape" \
+      && grep -q 'fs2_node_up{node="n0-zen2"} 1' "$scrape"; then
+    scraped=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$scraped" -eq 1 ] || { echo "verify: no mid-run /metrics scrape landed" >&2; exit 1; }
+python3 scripts/check_metrics_exposition.py 2 < "$scrape"
+curl -s --max-time 2 "http://127.0.0.1:$metrics_port/healthz" | grep -qx "ok" \
+    || { echo "verify: /healthz did not answer ok" >&2; exit 1; }
+wait "$metrics_pid"
+
 # Fleet scale: 512 in-process agents on one event loop, global budget held
 # on every phase, in lockstep — the whole run must stay inside CI's time
 # budget (it takes a few seconds; the 60 s timeout is pure safety margin).

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "trace/flight_recorder.hpp"
 #include "trace/registry.hpp"
 #include "trace/tracer.hpp"
 #include "util/logging.hpp"
@@ -10,7 +11,8 @@
 namespace fs2::cluster {
 
 AgentSession::AgentSession(const Options& options)
-    : conn_(Connection::connect(options.endpoint, options.connect_timeout_s)) {
+    : conn_(Connection::connect(options.endpoint, options.connect_timeout_s)),
+      metrics_tracker_(trace::Registry::instance()) {
   HelloMsg hello;
   hello.node_name = options.node_name;
   hello.sku = options.sku;
@@ -54,10 +56,12 @@ AgentSession::AgentSession(const Options& options)
     }
   }
   sink_ = std::make_unique<RemoteSink>(&conn_, epoch_time_);
-  log::info() << "agent " << options.node_name << ": joined cluster (clock offset "
-              << strings::format("%.1f us, rtt %.1f us", epoch_.offset_s * 1e6,
-                                 epoch_.rtt_s * 1e6)
-              << ")";
+  next_metrics_s_ = campaign_.metrics_interval_s;
+  log::info() << "agent: joined cluster " << log::kv("node", options.node_name) << ' '
+              << log::kv("endpoint", options.endpoint) << ' '
+              << log::kv("offset_us", strings::format("%.1f", epoch_.offset_s * 1e6))
+              << ' ' << log::kv("rtt_us", strings::format("%.1f", epoch_.rtt_s * 1e6))
+              << ' ' << log::kv("metrics_interval_s", campaign_.metrics_interval_s);
 }
 
 double AgentSession::epoch_elapsed_s() const {
@@ -98,6 +102,36 @@ bool AgentSession::budget_due(double t_s) const {
   return has_budget() && t_s >= next_budget_s_ - 1e-9;
 }
 
+bool AgentSession::metrics_due() const {
+  return campaign_.metrics_interval_s > 0.0 && epoch_elapsed_s() >= next_metrics_s_;
+}
+
+void AgentSession::ship_metrics() {
+  // Re-arm on the fixed grid so a late ship doesn't drift the cadence;
+  // skip the wire entirely when nothing moved since the last delta.
+  const double interval = campaign_.metrics_interval_s;
+  while (next_metrics_s_ <= epoch_elapsed_s()) next_metrics_s_ += interval;
+  trace::MetricDelta delta = metrics_tracker_.collect();
+  if (delta.empty()) return;
+  MetricUpdateMsg msg;
+  msg.seq = metrics_seq_++;
+  msg.t_agent_s = epoch_elapsed_s();
+  msg.delta = std::move(delta);
+  conn_.send(msg.encode());
+}
+
+void AgentSession::ship_flight_record(const std::string& reason) {
+  try {
+    if (!conn_.valid()) return;
+    FlightRecordMsg msg;
+    msg.reason = reason;
+    msg.dump = trace::FlightRecorder::instance().serialize();
+    conn_.send(msg.encode());
+  } catch (const Error&) {
+    // Already dying; the dump on local disk (--flight-out) is the backup.
+  }
+}
+
 void AgentSession::budget_exchange(double t_s, control::FeedbackLoop& loop) {
   TRACE_SPAN("agent.budget_exchange");
   next_budget_s_ += campaign_.budget_interval_s;
@@ -127,7 +161,9 @@ void AgentSession::add_span(std::string name, double begin_s, double end_s) {
 void AgentSession::finish(bool converged, const std::string& detail) {
   // Trace shipment precedes the verdict: the verdict is the coordinator's
   // "node done" signal, so everything observability must already be on the
-  // wire when it lands.
+  // wire when it lands. The last metric delta ships first so the
+  // coordinator's folded series equal the node's final registry totals.
+  if (campaign_.metrics_interval_s > 0.0) ship_metrics();
   if (campaign_.trace_enabled != 0) {
     std::vector<trace::SpanEvent> events;
     trace::Tracer::drain(events);

@@ -8,6 +8,7 @@
 #include "cluster/remote_sink.hpp"
 #include "cluster/transport.hpp"
 #include "control/feedback_loop.hpp"
+#include "trace/metric_delta.hpp"
 
 namespace fs2::cluster {
 
@@ -59,6 +60,19 @@ class AgentSession {
   /// deadline (budget mode only; always false otherwise).
   bool budget_due(double t_s) const;
 
+  /// True when epoch-elapsed time has crossed the next kMetricUpdate
+  /// deadline (always false when the coordinator disabled the plane).
+  bool metrics_due() const;
+
+  /// Ship one incremental registry delta (kMetricUpdate) from the global
+  /// registry. Cheap no-op when nothing moved since the last ship.
+  void ship_metrics();
+
+  /// Ship the flight-recorder dump (kFlightRecord) — called from the agent
+  /// error path so the coordinator's post-mortem has the node's last view.
+  /// Best effort: never throws.
+  void ship_flight_record(const std::string& reason);
+
   /// One budget round: report the loop's trailing achieved watts and
   /// commanded level, block for the coordinator's reassignment, and retune
   /// the loop to it.
@@ -83,9 +97,12 @@ class AgentSession {
   std::chrono::steady_clock::time_point epoch_time_;
   std::unique_ptr<RemoteSink> sink_;
   std::vector<trace::Span> extra_spans_;
+  trace::MetricDeltaTracker metrics_tracker_;
   double current_setpoint_w_ = 0.0;
   double next_budget_s_ = 0.0;
+  double next_metrics_s_ = 0.0;
   std::uint32_t budget_seq_ = 0;
+  std::uint32_t metrics_seq_ = 0;
 };
 
 }  // namespace fs2::cluster

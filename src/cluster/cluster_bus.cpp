@@ -1,6 +1,7 @@
 #include "cluster/cluster_bus.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 
 #include "cluster/aggregate_rules.hpp"
@@ -25,6 +26,23 @@ trace::Gauge& queued_gauge() {
 trace::Counter& batch_counter() {
   static trace::Counter& c = trace::Registry::instance().counter("cluster.bus.sample_batches");
   return c;
+}
+
+/// Wall time spent aligning and draining completed sample groups — the bus's
+/// dominant per-batch cost, so its tail quantiles are the first thing to read
+/// when coordinator ingest falls behind.
+trace::Histogram& drain_hist() {
+  static trace::Histogram& h = trace::Registry::instance().histogram("cluster.bus.drain_s");
+  return h;
+}
+
+/// Per-node phase-begin lag behind the earliest beginner of the same phase.
+/// The CSV's phase-begin-spread row keeps only min/max; the histogram keeps
+/// the distribution across all nodes and phases.
+trace::Histogram& spread_hist() {
+  static trace::Histogram& h =
+      trace::Registry::instance().histogram("cluster.phase_begin_spread_s");
+  return h;
 }
 
 }  // namespace
@@ -101,6 +119,7 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
         sync.max_node = n.name;
       }
       ++sync.nodes;
+      spread_hist().record(std::max(0.0, msg.epoch_elapsed_s - sync.min_begin_s));
     }
 
     if (!agg_phase_open_ && msg.phase_index == agg_phase_index_) {
@@ -187,6 +206,14 @@ void ClusterBus::on_summary(std::size_t node, const NodeSummaryMsg& msg) {
 void ClusterBus::drain_aligned(AggregateStream& stream) {
   if (stream.agg == nullptr) return;
   TRACE_SPAN("cluster.bus.drain");
+  const auto drain_begin = std::chrono::steady_clock::now();
+  struct DrainTimer {
+    std::chrono::steady_clock::time_point begin;
+    ~DrainTimer() {
+      drain_hist().record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count());
+    }
+  } timer{drain_begin};
   // Completed groups collect into a scratch batch and hit the aggregator
   // once — the P² updates run over a contiguous span instead of a call per
   // group.

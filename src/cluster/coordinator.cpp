@@ -3,8 +3,11 @@
 #include <poll.h>
 
 #include <algorithm>
+#include <cerrno>
 
 #include "cluster/clock_sync.hpp"
+#include "cluster/exposition.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/registry.hpp"
 #include "trace/tracer.hpp"
 #include "util/logging.hpp"
@@ -16,6 +19,7 @@ Coordinator::Coordinator(Options options)
     : options_(std::move(options)),
       listener_(options_.port, options_.loopback_only),
       phase_end_counts_(options_.phase_count, 0),
+      phase_released_(options_.phase_count, 0),
       phase_barrier_open_s_(options_.phase_count, 0.0) {
   if (options_.nodes == 0) throw ConfigError("--coordinator: --nodes must be >= 1");
   if (options_.phase_count == 0)
@@ -39,6 +43,14 @@ void Coordinator::accept_and_handshake(std::ostream& log) {
     const std::size_t i = nodes_.size();
     Node node;
     node.conn = listener_.accept(options_.accept_timeout_s);
+    // An HTTP scraper may probe while the fleet is still assembling; its
+    // "GET " would parse as an absurd frame length and kill the accept
+    // loop. Route it off before framing, like the mid-run listener path.
+    if (peek_is_http_get(node.conn.fd(), /*timeout_s=*/10.0)) {
+      serve_http_client(std::move(node.conn), render_exposition(),
+                        detector_.fleet_healthy());
+      continue;
+    }
     const auto frame = node.conn.recv(/*timeout_s=*/10.0);
     if (!frame || frame->type != MessageType::kHello) {
       // Status probes may land while the fleet is still assembling; answer
@@ -71,12 +83,26 @@ void Coordinator::accept_and_handshake(std::ostream& log) {
     log << strings::format("node %s (%s): clock offset %+.1f us, rtt %.1f us\n",
                            node.info.name.c_str(), node.info.sku.c_str(),
                            sync.offset_s * 1e6, sync.rtt_s * 1e6);
+    log::debug() << "cluster: handshake " << log::kv("node", node.info.name) << ' '
+                 << log::kv("sku", node.info.sku) << ' '
+                 << log::kv("offset_us", sync.offset_s * 1e6) << ' '
+                 << log::kv("rtt_us", sync.rtt_s * 1e6);
     nodes_.push_back(std::move(node));
   }
 
   std::vector<std::string> names;
   for (const Node& node : nodes_) names.push_back(node.info.name);
   bus_ = std::make_unique<ClusterBus>(std::move(names));
+
+  AnomalyDetector::Options detect;
+  detect.metrics_interval_s = options_.metrics_interval_s;
+  detect.sync_tolerance_s = options_.sync_tolerance_s;
+  if (options_.budget)
+    detect.divergence_band = std::max(0.05, 2.0 * options_.budget->band);
+  detector_ = AnomalyDetector(detect, nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    detector_.set_node_name(i, nodes_[i].info.name);
+  metrics_.resize(nodes_.size());
 }
 
 void Coordinator::distribute_campaign() {
@@ -87,6 +113,7 @@ void Coordinator::distribute_campaign() {
   msg.budget_interval_s = options_.budget ? options_.budget->interval_s : 0.5;
   msg.budget_band = options_.budget ? options_.budget->band : 0.02;
   msg.trace_enabled = options_.trace ? 1 : 0;
+  msg.metrics_interval_s = options_.metrics_interval_s;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     msg.campaign_text = options_.per_node_campaigns.empty()
                             ? options_.campaign_text
@@ -104,8 +131,25 @@ void Coordinator::announce_epoch(std::ostream& log) {
     epoch.rtt_s = node.info.rtt_s;
     node.conn.send(epoch.encode());
   }
+  epoch_local_s_ = t0_coord;
   log << strings::format("epoch: T0 in %.2f s, %zu nodes in lockstep\n",
                          options_.start_delay_s, nodes_.size());
+  log::info() << "cluster: epoch announced " << log::kv("nodes", nodes_.size()) << ' '
+              << log::kv("start_delay_s", options_.start_delay_s);
+  trace::FlightRecorder::instance().note_event(
+      strings::format("epoch announced: %zu nodes, start delay %.2fs", nodes_.size(),
+                      options_.start_delay_s));
+}
+
+std::size_t Coordinator::alive_nodes() const {
+  std::size_t alive = 0;
+  for (const Node& node : nodes_)
+    if (!node.lost) ++alive;
+  return alive;
+}
+
+double Coordinator::epoch_elapsed_s() const {
+  return epoch_local_s_ > 0.0 ? local_clock_s() - epoch_local_s_ : 0.0;
 }
 
 void Coordinator::record_budget_phase(std::uint32_t phase_index) {
@@ -152,20 +196,8 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
         // width IS the coordinator-side wait.
         if (phase_end_counts_[bracket.phase_index] == 0)
           phase_barrier_open_s_[bracket.phase_index] = local_clock_s();
-        if (++phase_end_counts_[bracket.phase_index] == nodes_.size()) {
-          if (trace::Tracer::enabled())
-            trace::Tracer::record("cluster.phase_barrier",
-                                  phase_barrier_open_s_[bracket.phase_index],
-                                  local_clock_s());
-          // Whole fleet finished this phase: close the budget window and,
-          // unless it was the last phase, release the next one.
-          record_budget_phase(bracket.phase_index);
-          if (bracket.phase_index + 1 < options_.phase_count) {
-            PhaseGoMsg go;
-            go.phase_index = bracket.phase_index + 1;
-            for (Node& n : nodes_) n.conn.send(go.encode());
-          }
-        }
+        ++phase_end_counts_[bracket.phase_index];
+        maybe_release_phase(bracket.phase_index, log);
       }
       break;
     }
@@ -181,6 +213,29 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
       node.achieved_w = report.achieved_w;
       node.setpoint_w = assign.setpoint_w;
       node.level = report.level;
+      detector_.on_budget_report(index, report.achieved_w, report.setpoint_w,
+                                 epoch_elapsed_s());
+      break;
+    }
+    case MessageType::kMetricUpdate: {
+      const MetricUpdateMsg msg = MetricUpdateMsg::decode(reader);
+      const double now = epoch_elapsed_s();
+      metrics_.fold(index, msg, now);
+      detector_.on_metric_update(index, now);
+      break;
+    }
+    case MessageType::kFlightRecord: {
+      const FlightRecordMsg msg = FlightRecordMsg::decode(reader);
+      log::warn() << "cluster: flight record received "
+                  << log::kv("node", node.info.name) << ' '
+                  << log::kv("reason", msg.reason);
+      log << strings::format("node %s shipped a flight record (%s)\n",
+                             node.info.name.c_str(), msg.reason.c_str());
+      trace::FlightRecorder::instance().note_event(
+          "flight record from node " + node.info.name + " (" + msg.reason + "):\n" +
+          msg.dump);
+      trace::FlightRecorder::instance().dump("node " + node.info.name +
+                                             " abnormal exit: " + msg.reason);
       break;
     }
     case MessageType::kTraceSpans: {
@@ -205,6 +260,7 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
       if (!node.verdict_received) {
         node.verdict_received = true;
         ++verdicts_;
+        detector_.on_node_done(index);
       }
       result_.nodes_converged &= node.info.converged;
       log << "node " << node.info.name << ": "
@@ -219,6 +275,133 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
   }
 }
 
+void Coordinator::maybe_release_phase(std::uint32_t phase_index, std::ostream& log) {
+  if (phase_index >= phase_released_.size() || phase_released_[phase_index]) return;
+  // Barrier condition: every node still alive has ended the phase. A lost
+  // node's vote is waived; if nobody ended it yet there is nothing to
+  // release (0 == 0 must not fire before the phase even ran).
+  if (phase_end_counts_[phase_index] == 0) return;
+  if (phase_end_counts_[phase_index] < alive_nodes()) return;
+  phase_released_[phase_index] = 1;
+  if (trace::Tracer::enabled())
+    trace::Tracer::record("cluster.phase_barrier", phase_barrier_open_s_[phase_index],
+                          local_clock_s());
+  // Straggler check at barrier close, while the spread is fresh.
+  if (bus_ && phase_index < bus_->phase_sync().size()) {
+    const ClusterBus::PhaseSync& sync = bus_->phase_sync()[phase_index];
+    if (sync.nodes >= 2)
+      detector_.on_phase_spread(sync.name, sync.max_node, sync.spread_s(),
+                                epoch_elapsed_s());
+  }
+  process_new_alerts(log);
+  // The fleet finished this phase: close the budget window and, unless it
+  // was the last phase, release the next one.
+  record_budget_phase(phase_index);
+  if (phase_index + 1 < options_.phase_count) {
+    PhaseGoMsg go;
+    go.phase_index = phase_index + 1;
+    for (Node& n : nodes_)
+      if (!n.lost && n.conn.valid()) n.conn.send(go.encode());
+  }
+}
+
+void Coordinator::mark_node_lost(std::size_t index, const std::string& why,
+                                 std::ostream& log) {
+  Node& node = nodes_[index];
+  if (node.lost) return;
+  node.lost = true;
+  node.conn.close();
+  node.info.converged = false;
+  node.info.verdict_detail = "node lost: " + why;
+  result_.nodes_converged = false;
+  if (!node.verdict_received) {
+    node.verdict_received = true;
+    ++verdicts_;
+  }
+  log << strings::format("node %s LOST mid-campaign (%s) — continuing with %zu nodes\n",
+                         node.info.name.c_str(), why.c_str(), alive_nodes());
+  log::warn() << "cluster: node lost " << log::kv("node", node.info.name) << ' '
+              << log::kv("phase", node.phases_ended) << ' '
+              << log::kv("reason", why);
+  detector_.on_node_lost(index, why, epoch_elapsed_s());
+  trace::FlightRecorder::instance().note_event(
+      strings::format("node %s lost at t=%.2fs: %s", node.info.name.c_str(),
+                      epoch_elapsed_s(), why.c_str()));
+  process_new_alerts(log);
+  // A lost node can no longer vote: re-check every pending barrier so the
+  // survivors aren't wedged waiting for its end brackets.
+  for (std::uint32_t p = 0; p < phase_end_counts_.size(); ++p)
+    maybe_release_phase(p, log);
+  trace::FlightRecorder::instance().dump("node " + node.info.name + " lost: " + why);
+}
+
+void Coordinator::process_new_alerts(std::ostream& log) {
+  for (Alert& alert : detector_.take_new()) {
+    log << strings::format("ALERT [%s] node=%s %s\n", alert.kind.c_str(),
+                           alert.node.empty() ? "-" : alert.node.c_str(),
+                           alert.detail.c_str());
+    log::warn() << "cluster: alert " << log::kv("kind", alert.kind) << ' '
+                << log::kv("node", alert.node) << ' '
+                << log::kv("t_s", alert.t_s) << ' ' << alert.detail;
+    trace::FlightRecorder::instance().note_alert(
+        strings::format("t=%.2fs [%s] node=%s %s", alert.t_s, alert.kind.c_str(),
+                        alert.node.c_str(), alert.detail.c_str()));
+    if (options_.trace) {
+      // Zero-width span in the merged timeline at the moment the detector
+      // fired — alerts land between the spans they explain.
+      const double t = epoch_local_s_ + alert.t_s;
+      trace_.add_span("coordinator",
+                      trace::Span{"alert:" + alert.kind + ":" + alert.node, t, t});
+    }
+    result_.alerts.push_back(std::move(alert));
+  }
+}
+
+std::string Coordinator::render_exposition() const {
+  std::vector<ExpositionNode> rows;
+  rows.reserve(nodes_.size());
+  const double now = epoch_elapsed_s();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    ExpositionNode row;
+    row.name = node.info.name;
+    row.lost = node.lost;
+    row.phases_begun = node.phases_begun;
+    row.phases_ended = node.phases_ended;
+    row.clock_offset_s = node.info.clock_offset_s;
+    row.clock_rtt_s = node.info.rtt_s;
+    row.achieved_w = node.achieved_w;
+    row.setpoint_w = node.setpoint_w;
+    row.level = node.level;
+    row.metrics_age_s = metrics_.age_s(i, now);
+    rows.push_back(std::move(row));
+  }
+  return render_metrics(trace::Registry::instance().snapshot(),
+                        trace::Registry::instance().histogram_snapshots(), metrics_,
+                        rows, detector_.alerts().size(), detector_.fleet_healthy());
+}
+
+void Coordinator::serve_listener_client(std::ostream& log) {
+  try {
+    Connection client = listener_.accept(/*timeout_s=*/1.0);
+    // Route by the first bytes: an HTTP scraper starts with "GET ", a
+    // framed client with a length prefix. Peeking consumes nothing, so
+    // the framed path below still reads a whole frame.
+    if (peek_is_http_get(client.fd(), /*timeout_s=*/2.0)) {
+      trace::Registry::instance().counter("coordinator.http_requests").add();
+      serve_http_client(std::move(client), render_exposition(),
+                        detector_.fleet_healthy());
+      return;
+    }
+    const auto request = client.recv(/*timeout_s=*/2.0);
+    if (request && request->type == MessageType::kStatusRequest)
+      serve_status_client(std::move(client), /*accepting=*/false);
+  } catch (const Error&) {
+    // Broken probes and scrapers never take the campaign down.
+  }
+  (void)log;
+}
+
 StatusReplyMsg Coordinator::build_status(bool accepting) const {
   StatusReplyMsg reply;
   reply.accepting = accepting ? 1 : 0;
@@ -226,7 +409,10 @@ StatusReplyMsg Coordinator::build_status(bool accepting) const {
   reply.phase_count = static_cast<std::uint32_t>(options_.phase_count);
   reply.queued_samples = bus_ ? bus_->queued_samples() : 0;
   reply.budget_w = options_.budget ? options_.budget->value : 0.0;
-  for (const Node& node : nodes_) {
+  reply.fleet_healthy = detector_.fleet_healthy() ? 1 : 0;
+  const double now = epoch_elapsed_s();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
     StatusNodeRec rec;
     rec.name = node.info.name;
     rec.sku = node.info.sku;
@@ -238,6 +424,8 @@ StatusReplyMsg Coordinator::build_status(bool accepting) const {
     rec.achieved_w = node.achieved_w;
     rec.setpoint_w = node.setpoint_w;
     rec.level = node.level;
+    rec.lost = node.lost ? 1 : 0;
+    rec.last_metrics_age_s = metrics_.age_s(i, now);
     reply.nodes.push_back(std::move(rec));
   }
   if (bus_) {
@@ -253,6 +441,14 @@ StatusReplyMsg Coordinator::build_status(bool accepting) const {
     }
   }
   reply.counters = trace::Registry::instance().snapshot();
+  for (const Alert& alert : detector_.alerts()) {
+    StatusAlertRec rec;
+    rec.kind = alert.kind;
+    rec.node = alert.node;
+    rec.detail = alert.detail;
+    rec.t_s = alert.t_s;
+    reply.alerts.push_back(std::move(rec));
+  }
   return reply;
 }
 
@@ -266,59 +462,102 @@ void Coordinator::serve_status_client(Connection conn, bool accepting) {
 }
 
 void Coordinator::event_loop(std::ostream& log) {
-  // The pollfd set is fixed after the handshake (nodes neither join nor
-  // leave mid-campaign), so it is built once and reused; only revents is
-  // reset per wakeup. One scratch frame serves every receive — the loop
-  // allocates nothing per frame. The last slot watches the listener:
-  // status clients may connect mid-campaign, send one kStatusRequest, and
-  // read back the fleet's live health.
+  // The pollfd set is sized after the handshake (nodes never join
+  // mid-campaign), built once and reused; a LOST node's slot is parked at
+  // fd -1, which poll(2) ignores. One scratch frame serves every receive —
+  // the loop allocates nothing per frame. The last slot watches the
+  // listener: status clients and HTTP scrapers may connect mid-campaign.
   std::vector<pollfd> fds;
   fds.reserve(nodes_.size() + 1);
   for (const Node& node : nodes_) fds.push_back(pollfd{node.conn.fd(), POLLIN, 0});
   fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
   Frame frame;
-  trace::Counter& frames = trace::Registry::instance().counter("coordinator.frames");
-  trace::Counter& wakeups = trace::Registry::instance().counter("coordinator.poll_wakeups");
-  trace::Counter& probes = trace::Registry::instance().counter("coordinator.status_probes");
+  trace::Registry& registry = trace::Registry::instance();
+  trace::Counter& frames = registry.counter("coordinator.frames");
+  trace::Counter& wakeups = registry.counter("coordinator.poll_wakeups");
+  trace::Counter& probes = registry.counter("coordinator.status_probes");
+  trace::Counter& metric_updates = registry.counter("coordinator.metric_updates");
+  trace::Histogram& rx_bytes = registry.histogram("coordinator.rx_frame_bytes");
+
+  // Poll tick: half the metrics interval so flat-line detection reacts
+  // within one interval of the deadline, bounded below so an aggressive
+  // interval doesn't busy-spin the loop. 600 s stays the hard stall guard
+  // when the metrics plane is off.
+  const bool live_metrics = options_.metrics_interval_s > 0.0;
+  const int tick_ms =
+      live_metrics
+          ? std::clamp(static_cast<int>(options_.metrics_interval_s * 500.0), 50, 600000)
+          : 600000;
+  double last_traffic_s = local_clock_s();
+  double last_sweep_s = local_clock_s();
+
   while (verdicts_ < nodes_.size()) {
-    // A generous stall guard, not a pacing interval: agents push traffic
-    // continuously while phases run.
-    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/600000);
-    if (ready < 0) throw Error("cluster: poll failed");
-    if (ready == 0) throw Error("cluster: no agent traffic for 600 s — fleet stalled");
-    wakeups.add();
-    TRACE_SPAN("coordinator.wakeup");
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      fds[i].revents = 0;
-      // Drain everything this node has ready before re-polling: a streaming
-      // agent delivers many frames per wakeup, and poll() per frame would
-      // make the syscall, not the merge, the coordinator's bottleneck.
-      if (!nodes_[i].conn.recv_into(frame, /*timeout_s=*/10.0))
-        throw WireError("cluster: node " + nodes_[i].info.name + " stalled mid-frame");
-      handle_frame(i, frame, log);
-      frames.add();
-      while (nodes_[i].conn.recv_into(frame, /*timeout_s=*/0.0)) {
-        handle_frame(i, frame, log);
-        frames.add();
+    const int ready = ::poll(fds.data(), fds.size(), tick_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw Error("cluster: poll failed");
+    }
+    const double now = local_clock_s();
+    if (ready == 0 && now - last_traffic_s > 600.0) {
+      // A generous stall guard, not a pacing interval: agents push traffic
+      // continuously while phases run. Preserve the evidence before dying.
+      trace::FlightRecorder::instance().dump("fleet stalled: no traffic for 600 s");
+      throw Error("cluster: no agent traffic for 600 s — fleet stalled");
+    }
+    if (ready > 0) {
+      last_traffic_s = now;
+      wakeups.add();
+      TRACE_SPAN("coordinator.wakeup");
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].lost || !(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        fds[i].revents = 0;
+        // Drain everything this node has ready before re-polling: a
+        // streaming agent delivers many frames per wakeup, and poll() per
+        // frame would make the syscall, not the merge, the bottleneck. A
+        // node whose socket dies mid-drain is marked lost and the campaign
+        // continues with the survivors — a crash is an observable outcome
+        // now, not a fleet-wide abort.
+        try {
+          if (!nodes_[i].conn.recv_into(frame, /*timeout_s=*/10.0))
+            throw WireError("stalled mid-frame");
+          rx_bytes.record(static_cast<double>(frame.payload.size()));
+          if (frame.type == MessageType::kMetricUpdate) metric_updates.add();
+          handle_frame(i, frame, log);
+          frames.add();
+          while (nodes_[i].conn.recv_into(frame, /*timeout_s=*/0.0)) {
+            rx_bytes.record(static_cast<double>(frame.payload.size()));
+            if (frame.type == MessageType::kMetricUpdate) metric_updates.add();
+            handle_frame(i, frame, log);
+            frames.add();
+          }
+        } catch (const WireError& e) {
+          mark_node_lost(i, e.what(), log);
+          fds[i].fd = -1;
+        }
+      }
+      if (fds.back().revents & POLLIN) {
+        fds.back().revents = 0;
+        probes.add();
+        serve_listener_client(log);
       }
     }
-    if (fds.back().revents & POLLIN) {
-      fds.back().revents = 0;
-      probes.add();
-      try {
-        Connection client = listener_.accept(/*timeout_s=*/1.0);
-        const auto request = client.recv(/*timeout_s=*/2.0);
-        if (request && request->type == MessageType::kStatusRequest)
-          serve_status_client(std::move(client), /*accepting=*/false);
-      } catch (const Error&) {
-        // Broken probes never take the campaign down.
-      }
+    // Periodic detector sweep + flight-recorder heartbeat, paced by the
+    // tick whether traffic is flowing or not.
+    if (live_metrics && now - last_sweep_s >= options_.metrics_interval_s * 0.5) {
+      last_sweep_s = now;
+      detector_.sweep(epoch_elapsed_s());
+      process_new_alerts(log);
+      trace::FlightRecorder::instance().note_metrics(strings::format(
+          "t=%.2fs frames=%llu metric_updates=%llu alive=%zu verdicts=%zu",
+          epoch_elapsed_s(), static_cast<unsigned long long>(frames.value()),
+          static_cast<unsigned long long>(metric_updates.value()), alive_nodes(),
+          verdicts_));
     }
   }
   ShutdownMsg shutdown;
   shutdown.ok = 1;
-  for (Node& node : nodes_) node.conn.send(shutdown.encode());
+  for (Node& node : nodes_)
+    if (!node.lost && node.conn.valid()) node.conn.send(shutdown.encode());
 }
 
 Coordinator::Result Coordinator::run(std::ostream& log) {
@@ -363,6 +602,14 @@ Coordinator::Result Coordinator::run(std::ostream& log) {
                            verdict.phase.c_str(), verdict.trailing_total_w,
                            options_.budget->value,
                            verdict.converged ? "converged" : "NOT converged");
+
+  for (const Alert& alert : result_.alerts)
+    log << strings::format("alert recap [%s] node=%s t=%.2fs %s\n", alert.kind.c_str(),
+                           alert.node.empty() ? "-" : alert.node.c_str(), alert.t_s,
+                           alert.detail.c_str());
+  if (!result_.alerts.empty())
+    trace::FlightRecorder::instance().dump(
+        strings::format("campaign finished with %zu alerts", result_.alerts.size()));
 
   // Fold the coordinator's own rings and counters into the fleet timeline
   // (offset 0 — its clock IS the merged time base) and hand it over.

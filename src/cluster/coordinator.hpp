@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/cluster_bus.hpp"
+#include "cluster/metrics_plane.hpp"
 #include "cluster/transport.hpp"
 #include "control/budget.hpp"
 #include "control/setpoint.hpp"
@@ -46,6 +47,9 @@ class Coordinator {
     /// a counter snapshot before their verdict; the coordinator rebases
     /// every buffer through the clock-sync offsets into Result.trace.
     bool trace = false;
+    /// kMetricUpdate cadence handed to every agent (--metrics-interval);
+    /// 0 disables the live metrics plane (and flat-line detection with it).
+    double metrics_interval_s = 1.0;
   };
 
   struct NodeInfo {
@@ -71,6 +75,9 @@ class Coordinator {
     /// Merged fleet timeline (Options::trace): every node's spans rebased
     /// into the coordinator clock, ready for trace_event JSON export.
     trace::TraceCollector trace;
+    /// Anomaly log, oldest first (flat-lines, divergence, stragglers,
+    /// node losses) — also folded into `trace` as zero-width alert spans.
+    std::vector<Alert> alerts;
     bool nodes_converged = true;   ///< every node verdict (controlled phases)
     bool budget_converged = true;  ///< every phase's trailing total in band
     bool sync_ok = true;           ///< every spread within tolerance
@@ -94,6 +101,10 @@ class Coordinator {
     std::uint32_t phases_begun = 0;
     std::uint32_t phases_ended = 0;
     bool verdict_received = false;
+    /// Connection dropped mid-campaign. A lost node stops the fleet no
+    /// longer: its barrier votes are waived, its verdict is recorded as
+    /// NOT converged, and the campaign runs on with the survivors.
+    bool lost = false;
     // Latest budget exchange, surfaced on the status plane.
     double achieved_w = 0.0;
     double setpoint_w = 0.0;
@@ -112,6 +123,22 @@ class Coordinator {
   /// Answer one status client: read its request, reply, close. Never
   /// throws — a broken probe must not take the campaign down.
   void serve_status_client(Connection conn, bool accepting);
+  /// Accept one mid-run listener connection and route it: HTTP scrapers
+  /// get /metrics of /healthz, framed clients get a status reply.
+  void serve_listener_client(std::ostream& log);
+
+  std::size_t alive_nodes() const;
+  double epoch_elapsed_s() const;
+  /// Release the phase barrier once every LIVE node has ended the phase —
+  /// re-checked both on end brackets and on node loss, so a crashed node
+  /// cannot wedge the survivors.
+  void maybe_release_phase(std::uint32_t phase_index, std::ostream& log);
+  void mark_node_lost(std::size_t index, const std::string& why, std::ostream& log);
+  /// Drain newly raised detector alerts into the log, the trace timeline,
+  /// the flight recorder, and Result.alerts.
+  void process_new_alerts(std::ostream& log);
+  /// The /metrics payload rendered from live state.
+  std::string render_exposition() const;
 
   Options options_;
   Listener listener_;
@@ -121,11 +148,17 @@ class Coordinator {
   std::unique_ptr<control::BudgetApportioner> apportioner_;
   Result result_;
   std::vector<std::uint32_t> phase_end_counts_;
+  std::vector<std::uint8_t> phase_released_;  ///< barrier already opened
   /// Local clock when the FIRST node ended each phase — the open edge of
   /// the barrier span recorded when the LAST node arrives.
   std::vector<double> phase_barrier_open_s_;
   trace::TraceCollector trace_;
   std::size_t verdicts_ = 0;
+  // Live metrics plane: per-node folds of the kMetricUpdate stream plus
+  // the rolling-window anomaly detector over them.
+  MetricStore metrics_;
+  AnomalyDetector detector_;
+  double epoch_local_s_ = 0.0;  ///< coordinator clock at the shared epoch
 };
 
 }  // namespace fs2::cluster

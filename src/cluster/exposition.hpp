@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/metrics_plane.hpp"
+#include "cluster/transport.hpp"
+#include "trace/registry.hpp"
+
+namespace fs2::cluster {
+
+/// One node's identity row for the exposition endpoint (per-node gauges:
+/// phase progress, clock quality, budget tracking, update freshness).
+struct ExpositionNode {
+  std::string name;
+  bool lost = false;
+  std::uint32_t phases_begun = 0;
+  std::uint32_t phases_ended = 0;
+  double clock_offset_s = 0.0;
+  double clock_rtt_s = 0.0;
+  double achieved_w = 0.0;
+  double setpoint_w = 0.0;
+  double level = 0.0;
+  double metrics_age_s = -1.0;  ///< -1 = no update yet
+};
+
+/// Sanitize a dotted metric name into a Prometheus identifier:
+/// "cluster.bus.queued_samples" -> "fs2_cluster_bus_queued_samples".
+std::string exposition_name(const std::string& name);
+
+/// Render the full /metrics payload in Prometheus plaintext exposition
+/// format (version 0.0.4): coordinator-local counters/gauges, fleet-rollup
+/// counters and histogram quantiles (summaries), and per-node gauges with
+/// {node="..."} labels.
+std::string render_metrics(const std::vector<trace::MetricSnapshot>& local,
+                           const std::vector<trace::HistogramSnapshot>& local_hists,
+                           const MetricStore& store,
+                           const std::vector<ExpositionNode>& nodes,
+                           std::size_t alert_count, bool fleet_healthy);
+
+/// True when the next bytes on `fd` look like an HTTP GET ("GET " peeked
+/// without consuming), waiting up to `timeout_s` for them to arrive. False
+/// on timeout, EOF, or a framed-protocol client — the caller falls through
+/// to the kStatusRequest path.
+bool peek_is_http_get(int fd, double timeout_s);
+
+/// Serve one HTTP request on an accepted connection and close it:
+/// GET /metrics -> 200 with `metrics_body`; GET /healthz -> 200 "ok" when
+/// healthy, 503 otherwise; anything else -> 404. Never throws — a broken
+/// scraper must not take the campaign down.
+void serve_http_client(Connection conn, const std::string& metrics_body,
+                       bool fleet_healthy);
+
+}  // namespace fs2::cluster

@@ -25,6 +25,8 @@ const char* to_string(MessageType type) {
     case MessageType::kCounterSnapshot: return "counter-snapshot";
     case MessageType::kStatusRequest: return "status-request";
     case MessageType::kStatusReply: return "status-reply";
+    case MessageType::kMetricUpdate: return "metric-update";
+    case MessageType::kFlightRecord: return "flight-record";
   }
   return "?";
 }
@@ -92,6 +94,7 @@ Frame CampaignMsg::encode() const {
   w.f64(budget_interval_s);
   w.f64(budget_band);
   w.u8(trace_enabled);
+  w.f64(metrics_interval_s);
   return make_frame(MessageType::kCampaign, std::move(w));
 }
 
@@ -104,6 +107,7 @@ CampaignMsg CampaignMsg::decode(WireReader& in) {
   m.budget_interval_s = in.f64();
   m.budget_band = in.f64();
   m.trace_enabled = in.u8();
+  m.metrics_interval_s = in.f64();
   return m;
 }
 
@@ -381,6 +385,114 @@ CounterSnapshotMsg CounterSnapshotMsg::decode(WireReader& in) {
   return m;
 }
 
+Frame MetricUpdateMsg::encode() const {
+  WireWriter w;
+  w.u32(seq);
+  w.f64(t_agent_s);
+  w.u32(static_cast<std::uint32_t>(delta.defs.size()));
+  for (const trace::MetricDefRec& d : delta.defs) {
+    w.u32(d.id);
+    w.str(d.name);
+    w.u8(static_cast<std::uint8_t>(d.kind));
+  }
+  w.u32(static_cast<std::uint32_t>(delta.counters.size()));
+  for (const trace::CounterDeltaRec& c : delta.counters) {
+    w.u32(c.id);
+    w.u64(c.delta);
+  }
+  w.u32(static_cast<std::uint32_t>(delta.gauges.size()));
+  for (const trace::GaugeValueRec& g : delta.gauges) {
+    w.u32(g.id);
+    w.f64(g.value);
+  }
+  w.u32(static_cast<std::uint32_t>(delta.hists.size()));
+  for (const trace::HistogramDeltaRec& h : delta.hists) {
+    w.u32(h.id);
+    w.u64(h.count_delta);
+    w.f64(h.sum_delta);
+    w.f64(h.max);
+    w.u32(static_cast<std::uint32_t>(h.buckets.size()));
+    for (const auto& [bucket, count] : h.buckets) {
+      w.u32(bucket);
+      w.u64(count);
+    }
+  }
+  return make_frame(MessageType::kMetricUpdate, std::move(w));
+}
+
+MetricUpdateMsg MetricUpdateMsg::decode(WireReader& in) {
+  MetricUpdateMsg m;
+  m.seq = in.u32();
+  m.t_agent_s = in.f64();
+  const std::uint32_t def_count = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(def_count) * 9)
+    throw WireError("cluster wire: metric update shorter than its def count");
+  m.delta.defs.reserve(def_count);
+  for (std::uint32_t i = 0; i < def_count; ++i) {
+    trace::MetricDefRec d;
+    d.id = in.u32();
+    d.name = in.str();
+    d.kind = static_cast<trace::MetricKind>(in.u8());
+    m.delta.defs.push_back(std::move(d));
+  }
+  const std::uint32_t counter_count = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(counter_count) * 12)
+    throw WireError("cluster wire: metric update shorter than its counter count");
+  m.delta.counters.reserve(counter_count);
+  for (std::uint32_t i = 0; i < counter_count; ++i) {
+    trace::CounterDeltaRec c;
+    c.id = in.u32();
+    c.delta = in.u64();
+    m.delta.counters.push_back(c);
+  }
+  const std::uint32_t gauge_count = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(gauge_count) * 12)
+    throw WireError("cluster wire: metric update shorter than its gauge count");
+  m.delta.gauges.reserve(gauge_count);
+  for (std::uint32_t i = 0; i < gauge_count; ++i) {
+    trace::GaugeValueRec g;
+    g.id = in.u32();
+    g.value = in.f64();
+    m.delta.gauges.push_back(g);
+  }
+  const std::uint32_t hist_count = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(hist_count) * 32)
+    throw WireError("cluster wire: metric update shorter than its histogram count");
+  m.delta.hists.reserve(hist_count);
+  for (std::uint32_t i = 0; i < hist_count; ++i) {
+    trace::HistogramDeltaRec h;
+    h.id = in.u32();
+    h.count_delta = in.u64();
+    h.sum_delta = in.f64();
+    h.max = in.f64();
+    const std::uint32_t bucket_count = in.u32();
+    if (in.remaining() < static_cast<std::size_t>(bucket_count) * 12)
+      throw WireError("cluster wire: metric update shorter than its bucket count");
+    h.buckets.reserve(bucket_count);
+    for (std::uint32_t b = 0; b < bucket_count; ++b) {
+      const std::uint32_t index = in.u32();
+      const std::uint64_t count = in.u64();
+      h.buckets.emplace_back(index, count);
+    }
+    m.delta.hists.push_back(std::move(h));
+  }
+  return m;
+}
+
+Frame FlightRecordMsg::encode() const {
+  WireWriter w;
+  w.str(reason);
+  w.str(dump);
+  return make_frame(MessageType::kFlightRecord, std::move(w));
+}
+
+FlightRecordMsg FlightRecordMsg::decode(WireReader& in) {
+  FlightRecordMsg m;
+  m.reason = in.str();
+  m.dump = in.str();
+  return m;
+}
+
 Frame StatusRequestMsg::encode() const {
   WireWriter w;
   w.u32(version);
@@ -400,6 +512,7 @@ Frame StatusReplyMsg::encode() const {
   w.u32(phase_count);
   w.u64(queued_samples);
   w.f64(budget_w);
+  w.u8(fleet_healthy);
   w.u32(static_cast<std::uint32_t>(nodes.size()));
   for (const StatusNodeRec& n : nodes) {
     w.str(n.name);
@@ -412,6 +525,8 @@ Frame StatusReplyMsg::encode() const {
     w.f64(n.achieved_w);
     w.f64(n.setpoint_w);
     w.f64(n.level);
+    w.u8(n.lost);
+    w.f64(n.last_metrics_age_s);
   }
   w.u32(static_cast<std::uint32_t>(spreads.size()));
   for (const StatusSpreadRec& s : spreads) {
@@ -428,6 +543,13 @@ Frame StatusReplyMsg::encode() const {
     w.f64(c.value);
     w.u8(c.is_counter ? 1 : 0);
   }
+  w.u32(static_cast<std::uint32_t>(alerts.size()));
+  for (const StatusAlertRec& a : alerts) {
+    w.str(a.kind);
+    w.str(a.node);
+    w.str(a.detail);
+    w.f64(a.t_s);
+  }
   return make_frame(MessageType::kStatusReply, std::move(w));
 }
 
@@ -438,8 +560,9 @@ StatusReplyMsg StatusReplyMsg::decode(WireReader& in) {
   m.phase_count = in.u32();
   m.queued_samples = in.u64();
   m.budget_w = in.f64();
+  m.fleet_healthy = in.u8();
   const std::uint32_t node_count = in.u32();
-  if (in.remaining() < static_cast<std::size_t>(node_count) * 57)
+  if (in.remaining() < static_cast<std::size_t>(node_count) * 66)
     throw WireError("cluster wire: status reply shorter than its node count");
   m.nodes.reserve(node_count);
   for (std::uint32_t i = 0; i < node_count; ++i) {
@@ -454,6 +577,8 @@ StatusReplyMsg StatusReplyMsg::decode(WireReader& in) {
     n.achieved_w = in.f64();
     n.setpoint_w = in.f64();
     n.level = in.f64();
+    n.lost = in.u8();
+    n.last_metrics_age_s = in.f64();
     m.nodes.push_back(std::move(n));
   }
   const std::uint32_t spread_count = in.u32();
@@ -480,6 +605,18 @@ StatusReplyMsg StatusReplyMsg::decode(WireReader& in) {
     c.value = in.f64();
     c.is_counter = in.u8() != 0;
     m.counters.push_back(std::move(c));
+  }
+  const std::uint32_t alert_count = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(alert_count) * 20)
+    throw WireError("cluster wire: status reply shorter than its alert count");
+  m.alerts.reserve(alert_count);
+  for (std::uint32_t i = 0; i < alert_count; ++i) {
+    StatusAlertRec a;
+    a.kind = in.str();
+    a.node = in.str();
+    a.detail = in.str();
+    a.t_s = in.f64();
+    m.alerts.push_back(std::move(a));
   }
   return m;
 }

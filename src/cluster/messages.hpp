@@ -6,6 +6,7 @@
 
 #include "cluster/wire.hpp"
 #include "telemetry/sample.hpp"
+#include "trace/metric_delta.hpp"
 #include "trace/registry.hpp"
 #include "trace/trace_event.hpp"
 
@@ -18,8 +19,12 @@ namespace fs2::cluster {
 /// that feed cluster aggregates. v3: observability — trace span buffers and
 /// counter snapshots ship after the campaign (kTraceSpans/kCounterSnapshot,
 /// CampaignMsg.trace_enabled), and the status plane adds the
-/// kStatusRequest/kStatusReply introspection pair.
-constexpr std::uint32_t kProtocolVersion = 3;
+/// kStatusRequest/kStatusReply introspection pair. v4: live metrics plane —
+/// agents stream incremental registry deltas mid-run (kMetricUpdate,
+/// CampaignMsg.metrics_interval_s) and ship a flight-recorder dump on
+/// abnormal exit (kFlightRecord); status replies carry per-node health
+/// (lost flag, metric-update age) plus the coordinator's alert log.
+constexpr std::uint32_t kProtocolVersion = 4;
 
 /// One framed message on the coordinator<->agent TCP stream. The transport
 /// prefixes `u32 length` (payload size + 1 for the type byte); the first
@@ -43,6 +48,8 @@ enum class MessageType : std::uint8_t {
   kCounterSnapshot = 16, ///< agent -> coordinator: counter/gauge registry snapshot
   kStatusRequest = 17,   ///< any client -> coordinator: live fleet health probe
   kStatusReply = 18,     ///< coordinator -> client: fleet health snapshot
+  kMetricUpdate = 19,    ///< agent -> coordinator: incremental registry delta
+  kFlightRecord = 20,    ///< agent -> coordinator: flight-recorder dump (abnormal exit)
 };
 
 const char* to_string(MessageType type);
@@ -89,6 +96,8 @@ struct CampaignMsg {
   double budget_interval_s = 0.5; ///< report/assign exchange cadence
   double budget_band = 0.02;      ///< convergence band (informational)
   std::uint8_t trace_enabled = 0; ///< 1 = record spans, ship kTraceSpans at end
+  /// kMetricUpdate cadence in seconds; 0 disables in-run metric shipping.
+  double metrics_interval_s = 1.0;
   Frame encode() const;
   static CampaignMsg decode(WireReader& in);
 };
@@ -226,6 +235,28 @@ struct CounterSnapshotMsg {
   static CounterSnapshotMsg decode(WireReader& in);
 };
 
+/// Incremental registry delta, shipped every CampaignMsg.metrics_interval_s
+/// seconds while a campaign runs. Counter deltas and histogram bucket
+/// increments are associative sums the coordinator folds into per-node and
+/// fleet-rollup series; gauges are last-write-wins. Metric definitions
+/// (id -> name/kind) ship once, the first interval each metric exists.
+struct MetricUpdateMsg {
+  std::uint32_t seq = 0;      ///< per-connection update counter
+  double t_agent_s = 0.0;     ///< epoch-elapsed seconds on the agent clock
+  trace::MetricDelta delta;
+  Frame encode() const;
+  static MetricUpdateMsg decode(WireReader& in);
+};
+
+/// A node's flight-recorder dump, shipped on abnormal exit so the
+/// coordinator's post-mortem does not depend on reaching the node's disk.
+struct FlightRecordMsg {
+  std::string reason;  ///< one-liner: what killed the node
+  std::string dump;    ///< FlightRecorder::serialize() text
+  Frame encode() const;
+  static FlightRecordMsg decode(WireReader& in);
+};
+
 /// Live health probe. Any TCP client may connect to the coordinator port,
 /// send one of these, and read back a single kStatusReply — the connection
 /// is closed afterwards and never counts against --nodes.
@@ -247,6 +278,9 @@ struct StatusNodeRec {
   double achieved_w = 0.0;      ///< latest budget report (0 until one lands)
   double setpoint_w = 0.0;
   double level = 0.0;
+  std::uint8_t lost = 0;        ///< connection dropped mid-campaign
+  /// Seconds since the node's last kMetricUpdate (-1 = none yet / disabled).
+  double last_metrics_age_s = -1.0;
 };
 
 /// One phase's begin-spread row inside a status reply.
@@ -259,6 +293,14 @@ struct StatusSpreadRec {
   std::uint32_t nodes = 0;
 };
 
+/// One anomaly-detector alert inside a status reply.
+struct StatusAlertRec {
+  std::string kind;    ///< "flatline" | "divergence" | "straggler" | "node-lost"
+  std::string node;    ///< offending node ("" = fleet-wide)
+  std::string detail;
+  double t_s = 0.0;    ///< coordinator epoch-elapsed seconds
+};
+
 /// Fleet health snapshot: what `firestarter --status host:port` prints.
 struct StatusReplyMsg {
   std::uint8_t accepting = 0;      ///< 1 = handshake window, campaign not started
@@ -266,9 +308,14 @@ struct StatusReplyMsg {
   std::uint32_t phase_count = 0;
   std::uint64_t queued_samples = 0;  ///< coordinator-side aggregate lag
   double budget_w = 0.0;             ///< global power budget (0 = none)
+  /// 0 when any node is unhealthy (lost, flat-lined, diverged, straggling) —
+  /// `firestarter --status` exits nonzero on this, so scripts can gate on
+  /// fleet health without parsing the table.
+  std::uint8_t fleet_healthy = 1;
   std::vector<StatusNodeRec> nodes;
   std::vector<StatusSpreadRec> spreads;
   std::vector<trace::MetricSnapshot> counters;  ///< coordinator registry
+  std::vector<StatusAlertRec> alerts;           ///< anomaly log, oldest first
   Frame encode() const;
   static StatusReplyMsg decode(WireReader& in);
 };

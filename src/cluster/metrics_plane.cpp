@@ -1,0 +1,189 @@
+#include "cluster/metrics_plane.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fs2::cluster {
+
+// ---- MetricStore ------------------------------------------------------------
+
+void MetricStore::fold(std::size_t node, const MetricUpdateMsg& msg, double now_s) {
+  if (node >= nodes_.size()) nodes_.resize(node + 1);
+  NodeSeries& series = nodes_[node];
+
+  for (const trace::MetricDefRec& def : msg.delta.defs) {
+    if (def.id >= series.defs.size()) series.defs.resize(def.id + 1);
+    series.defs[def.id] = def;
+  }
+  const std::size_t ids = series.defs.size();
+  if (series.counters.size() < ids) series.counters.resize(ids, 0);
+  if (series.gauges.size() < ids) series.gauges.resize(ids, 0.0);
+  if (series.hists.size() < ids) series.hists.resize(ids);
+
+  for (const trace::CounterDeltaRec& c : msg.delta.counters) {
+    if (c.id >= series.counters.size()) series.counters.resize(c.id + 1, 0);
+    series.counters[c.id] += c.delta;
+  }
+  for (const trace::GaugeValueRec& g : msg.delta.gauges) {
+    if (g.id >= series.gauges.size()) series.gauges.resize(g.id + 1, 0.0);
+    series.gauges[g.id] = g.value;
+  }
+  for (const trace::HistogramDeltaRec& h : msg.delta.hists) {
+    if (h.id >= series.hists.size()) series.hists.resize(h.id + 1);
+    trace::HistogramSnapshot& target = series.hists[h.id];
+    target.count += h.count_delta;
+    target.sum += h.sum_delta;
+    target.max = std::max(target.max, h.max);
+    for (const auto& [bucket, delta] : h.buckets) {
+      if (bucket >= target.buckets.size()) target.buckets.resize(bucket + 1, 0);
+      target.buckets[bucket] += delta;
+    }
+  }
+
+  // Clamp pre-epoch folds to 0 so the -1 "never" sentinel stays unambiguous.
+  series.last_update_s = std::max(now_s, 0.0);
+  series.last_agent_t_s = msg.t_agent_s;
+  ++series.updates;
+}
+
+MetricStore::Rollup MetricStore::rollup() const {
+  Rollup out;
+  for (const NodeSeries& series : nodes_) {
+    for (std::size_t id = 0; id < series.defs.size(); ++id) {
+      const trace::MetricDefRec& def = series.defs[id];
+      if (def.name.empty()) continue;
+      switch (def.kind) {
+        case trace::MetricKind::kCounter: {
+          auto it = std::find_if(out.counters.begin(), out.counters.end(),
+                                 [&](const auto& p) { return p.first == def.name; });
+          if (it == out.counters.end())
+            out.counters.emplace_back(def.name, series.counters[id]);
+          else
+            it->second += series.counters[id];
+          break;
+        }
+        case trace::MetricKind::kHistogram: {
+          auto it = std::find_if(out.hists.begin(), out.hists.end(),
+                                 [&](const auto& h) { return h.name == def.name; });
+          if (it == out.hists.end()) {
+            out.hists.push_back(series.hists[id]);
+            out.hists.back().name = def.name;
+          } else {
+            it->merge(series.hists[id]);
+          }
+          break;
+        }
+        case trace::MetricKind::kGauge:
+          break;  // gauges don't roll up — they stay per-node
+      }
+    }
+  }
+  return out;
+}
+
+// ---- AnomalyDetector --------------------------------------------------------
+
+AnomalyDetector::AnomalyDetector(Options options, std::size_t node_count)
+    : options_(options), states_(node_count) {}
+
+void AnomalyDetector::set_node_name(std::size_t node, std::string name) {
+  if (node >= states_.size()) states_.resize(node + 1);
+  states_[node].name = std::move(name);
+}
+
+void AnomalyDetector::raise(std::string kind, std::string node, std::string detail,
+                            double t_s) {
+  alerts_.push_back(Alert{std::move(kind), std::move(node), std::move(detail), t_s});
+}
+
+void AnomalyDetector::on_metric_update(std::size_t node, double now_s) {
+  if (node >= states_.size()) states_.resize(node + 1);
+  NodeState& s = states_[node];
+  // Updates can land during the epoch countdown, when epoch-elapsed time is
+  // still negative — clamp so a pre-epoch timestamp doesn't collide with
+  // the "never updated" sentinel and exempt the node from the sweep.
+  s.last_update_s = std::max(now_s, 0.0);
+  s.flatlined = false;  // resumed shipping — healthy again (alert log keeps it)
+}
+
+void AnomalyDetector::on_budget_report(std::size_t node, double achieved_w,
+                                       double setpoint_w, double now_s) {
+  if (node >= states_.size()) states_.resize(node + 1);
+  NodeState& s = states_[node];
+  const double band = options_.divergence_band * std::abs(setpoint_w);
+  if (setpoint_w > 0.0 && std::abs(achieved_w - setpoint_w) > band) {
+    if (++s.beyond_band == options_.divergence_windows && !s.diverged) {
+      s.diverged = true;
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "achieved=%.1fW setpoint=%.1fW band=%.0f%% windows=%d",
+                    achieved_w, setpoint_w, options_.divergence_band * 100.0,
+                    options_.divergence_windows);
+      raise("divergence", s.name, detail, now_s);
+    }
+  } else {
+    s.beyond_band = 0;
+    s.diverged = false;
+  }
+}
+
+void AnomalyDetector::on_phase_spread(const std::string& phase,
+                                      const std::string& straggler, double spread_s,
+                                      double now_s) {
+  if (spread_s <= options_.sync_tolerance_s) return;
+  char detail[160];
+  std::snprintf(detail, sizeof(detail), "phase=%s spread=%.3fs tolerance=%.3fs",
+                phase.c_str(), spread_s, options_.sync_tolerance_s);
+  raise("straggler", straggler, detail, now_s);
+}
+
+void AnomalyDetector::on_node_lost(std::size_t node, const std::string& why,
+                                   double now_s) {
+  if (node >= states_.size()) states_.resize(node + 1);
+  NodeState& s = states_[node];
+  if (s.lost) return;
+  s.lost = true;
+  raise("node-lost", s.name, why, now_s);
+}
+
+void AnomalyDetector::on_node_done(std::size_t node) {
+  if (node >= states_.size()) states_.resize(node + 1);
+  states_[node].done = true;
+}
+
+void AnomalyDetector::sweep(double now_s) {
+  if (options_.metrics_interval_s <= 0.0) return;
+  const double limit = options_.flatline_intervals * options_.metrics_interval_s;
+  for (NodeState& s : states_) {
+    if (s.lost || s.done || s.flatlined || s.last_update_s < 0.0) continue;
+    const double age = now_s - s.last_update_s;
+    if (age <= limit) continue;
+    s.flatlined = true;
+    char detail[128];
+    std::snprintf(detail, sizeof(detail), "no metric update for %.1fs (interval %.1fs)",
+                  age, options_.metrics_interval_s);
+    raise("flatline", s.name, detail, now_s);
+  }
+}
+
+std::vector<Alert> AnomalyDetector::take_new() {
+  std::vector<Alert> out(alerts_.begin() + static_cast<std::ptrdiff_t>(taken_),
+                         alerts_.end());
+  taken_ = alerts_.size();
+  return out;
+}
+
+bool AnomalyDetector::node_healthy(std::size_t node) const {
+  if (node >= states_.size()) return true;
+  const NodeState& s = states_[node];
+  return !s.lost && !s.flatlined && !s.diverged;
+}
+
+bool AnomalyDetector::fleet_healthy() const {
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    if (!node_healthy(i)) return false;
+  return true;
+}
+
+}  // namespace fs2::cluster

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/messages.hpp"
+#include "trace/metric_delta.hpp"
+#include "trace/registry.hpp"
+
+namespace fs2::cluster {
+
+/// Coordinator-side fold target for the kMetricUpdate stream: one series
+/// set per node, keyed by the node's stable metric ids, plus fleet rollups
+/// computed on demand. Folding is pure association — counter deltas add,
+/// gauge values overwrite, histogram buckets add elementwise — so per-node
+/// series fold identically whether updates arrive one at a time or batched
+/// through a future sub-coordinator tier (same composability argument as
+/// aggregate_rules.hpp).
+class MetricStore {
+ public:
+  struct NodeSeries {
+    std::vector<trace::MetricDefRec> defs;       ///< by id (empty name = unseen)
+    std::vector<std::uint64_t> counters;         ///< folded totals, by id
+    std::vector<double> gauges;                  ///< last value, by id
+    std::vector<trace::HistogramSnapshot> hists; ///< folded buckets, by id
+    double last_update_s = -1.0;  ///< coordinator epoch-elapsed at last fold
+    double last_agent_t_s = 0.0;  ///< agent-side stamp of the last update
+    std::uint32_t updates = 0;
+  };
+
+  /// Fleet-wide rollup: counters summed and histograms merged across nodes
+  /// by metric NAME (ids are node-local).
+  struct Rollup {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<trace::HistogramSnapshot> hists;
+  };
+
+  void resize(std::size_t node_count) { nodes_.resize(node_count); }
+
+  void fold(std::size_t node, const MetricUpdateMsg& msg, double now_s);
+
+  const std::vector<NodeSeries>& nodes() const { return nodes_; }
+  Rollup rollup() const;
+
+  /// Seconds since `node` last folded an update (-1 = never).
+  double age_s(std::size_t node, double now_s) const {
+    if (node >= nodes_.size() || nodes_[node].last_update_s < 0.0) return -1.0;
+    return now_s - nodes_[node].last_update_s;
+  }
+
+ private:
+  std::vector<NodeSeries> nodes_;
+};
+
+/// One detected anomaly. `kind` is a closed vocabulary so scripts can match
+/// on it: "flatline" | "divergence" | "straggler" | "node-lost".
+struct Alert {
+  std::string kind;
+  std::string node;   ///< offending node ("" = fleet-wide)
+  std::string detail;
+  double t_s = 0.0;   ///< coordinator epoch-elapsed seconds
+};
+
+/// Rolling-window anomaly detector over the per-node series. Alerts are
+/// edge-triggered (one per entry into a bad state, not one per window) and
+/// accumulate in an append-only log; node HEALTH is level-triggered — a
+/// node that resumes shipping updates or returns into the budget band goes
+/// healthy again, but the alert history keeps the excursion for the
+/// post-mortem.
+class AnomalyDetector {
+ public:
+  struct Options {
+    double metrics_interval_s = 1.0;  ///< 0 disables flat-line detection
+    double sync_tolerance_s = 0.25;
+    /// Divergence band as a fraction of the setpoint, and how many
+    /// consecutive budget reports must exceed it before alerting.
+    double divergence_band = 0.1;
+    int divergence_windows = 4;
+    /// A node is flat-lined when no update landed for this many intervals.
+    double flatline_intervals = 3.0;
+  };
+
+  AnomalyDetector() = default;
+  AnomalyDetector(Options options, std::size_t node_count);
+
+  void set_node_name(std::size_t node, std::string name);
+
+  void on_metric_update(std::size_t node, double now_s);
+  void on_budget_report(std::size_t node, double achieved_w, double setpoint_w,
+                        double now_s);
+  void on_phase_spread(const std::string& phase, const std::string& straggler,
+                       double spread_s, double now_s);
+  void on_node_lost(std::size_t node, const std::string& why, double now_s);
+  /// The node delivered its verdict: it legitimately stops shipping updates
+  /// now, so the flat-line sweep must leave it alone.
+  void on_node_done(std::size_t node);
+
+  /// Periodic scan for nodes that stopped shipping updates (flat-line).
+  /// Cheap — called from the coordinator event loop on every poll timeout.
+  void sweep(double now_s);
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  /// Alerts raised since the last call — the coordinator logs these and
+  /// appends them to the trace timeline as they happen.
+  std::vector<Alert> take_new();
+
+  bool node_healthy(std::size_t node) const;
+  bool fleet_healthy() const;
+
+ private:
+  struct NodeState {
+    std::string name;
+    double last_update_s = -1.0;
+    int beyond_band = 0;    ///< consecutive out-of-band budget reports
+    bool flatlined = false;
+    bool diverged = false;
+    bool lost = false;
+    bool done = false;  ///< verdict received — silence is expected
+  };
+
+  void raise(std::string kind, std::string node, std::string detail, double t_s);
+
+  Options options_;
+  std::vector<NodeState> states_;
+  std::vector<Alert> alerts_;
+  std::size_t taken_ = 0;  ///< watermark into alerts_ for take_new()
+};
+
+}  // namespace fs2::cluster

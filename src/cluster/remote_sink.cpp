@@ -22,6 +22,14 @@ trace::Gauge& batch_threshold_gauge() {
   return g;
 }
 
+/// Encoded frame payload sizes — the live distribution behind the wire
+/// protocol's bytes-per-sample claims in docs/cluster.md.
+trace::Histogram& tx_bytes_hist() {
+  static trace::Histogram& h =
+      trace::Registry::instance().histogram("cluster.tx_frame_bytes");
+  return h;
+}
+
 }  // namespace
 
 RemoteSink::RemoteSink(Connection* conn, std::chrono::steady_clock::time_point epoch)
@@ -128,6 +136,7 @@ void RemoteSink::flush(telemetry::ChannelId id) {
                               batch.samples.data(), batch.samples.size());
   conn_->send(MessageType::kSampleBatch, scratch_);
   batch_frame_counter().add();
+  tx_bytes_hist().record(static_cast<double>(scratch_.bytes().size()));
 
   // Re-target the flush threshold from this batch's observed rate so one
   // frame carries ~kTargetBatchSeconds of stream regardless of sample rate.

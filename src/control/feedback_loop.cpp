@@ -97,6 +97,12 @@ double FeedbackLoop::tick(double t_s, double measurement) {
   profile_->set_level(level);
   const ControlTick tick{t_s, setpoint_.value, measurement, setpoint_.value - measurement,
                          level};
+  // |error| distribution across every tick — the quantiles behind the
+  // convergence story (a converged loop shows p95 collapsing into the
+  // setpoint band; a limit-cycling one shows a fat flat tail).
+  static trace::Histogram& error_hist =
+      trace::Registry::instance().histogram("control.pid_abs_error_w");
+  error_hist.record(std::abs(tick.error));
   ticks_.push(tick);
   if (bus_ != nullptr) {
     bus_->publish(ch_setpoint_, t_s, tick.setpoint);

@@ -119,6 +119,7 @@ Config parse_args(int argc, const char* const* argv) {
       const std::uint64_t port = strings::parse_u64(take(inline_value, args, flag), flag);
       if (port > 65535) throw ConfigError("--listen: port must be within [0, 65535]");
       cfg.listen_port = static_cast<std::uint16_t>(port);
+      cfg.listen_port_explicit = true;
     } else if (flag == "--nodes") {
       const std::uint64_t n = strings::parse_u64(take(inline_value, args, flag), flag);
       if (n == 0 || n > 4096) throw ConfigError("--nodes must be within [1, 4096]");
@@ -146,6 +147,14 @@ Config parse_args(int argc, const char* const* argv) {
       cfg.status_endpoint = take(inline_value, args, flag);
       if (cfg.status_endpoint->find(':') == std::string::npos)
         throw ConfigError("--status expects HOST:PORT");
+    } else if (flag == "--metrics-interval") {
+      cfg.metrics_interval_s = strings::parse_double(take(inline_value, args, flag), flag);
+      if (!(cfg.metrics_interval_s >= 0.0 && cfg.metrics_interval_s <= 600.0))
+        throw ConfigError("--metrics-interval must be within [0, 600] seconds (0 disables)");
+    } else if (flag == "--flight-out") {
+      cfg.flight_out = take(inline_value, args, flag);
+      if (cfg.flight_out->empty())
+        throw ConfigError("--flight-out: file path must not be empty");
     } else if (flag == "--fuzz") {
       cfg.fuzz = true;
     } else if (flag == "--fuzz-seed") {
@@ -328,7 +337,9 @@ Cluster orchestration (coordinator/agent fleet runs):
                                trailing node column plus cluster-aggregate
                                rows (cluster-power sum, cluster-temp-max)
   --listen PORT                coordinator TCP port (default 7380; 0 picks
-                               an ephemeral port)
+                               an ephemeral port; under --loopback an
+                               explicit PORT pins the otherwise-ephemeral
+                               status/metrics endpoint)
   --nodes N                    number of agents the coordinator waits for
   --agent HOST:PORT            run as an agent: connect to the coordinator,
                                receive the campaign, stream telemetry back
@@ -361,7 +372,18 @@ Cluster orchestration (coordinator/agent fleet runs):
   --status HOST:PORT           probe a live coordinator and print fleet
                                health (per-node connection state, phase
                                progress, begin-spread, queue depth, budget
-                               allocation vs achieved watts), then exit
+                               allocation vs achieved watts, alerts), then
+                               exit — nonzero when any node is unhealthy
+  --metrics-interval SEC       cadence agents ship live metric deltas at
+                               (default 1; 0 disables the live metrics
+                               plane and flat-line detection). The
+                               coordinator also answers HTTP GET /metrics
+                               on its cluster port with Prometheus-style
+                               exposition text while a run is live
+  --flight-out FILE            keep a crash flight recorder: a bounded
+                               ring of recent alerts, events, and metric
+                               snapshots rewritten to FILE as the run
+                               progresses and dumped on SIGTERM/SIGINT
 
 Payload pattern fuzzer (randomized scenario discovery):
   --fuzz                       randomly compose payload patterns (memory-access

@@ -55,6 +55,10 @@ struct Config {
   // Cluster orchestration (cluster/ subsystem: coordinator/agent fleets).
   bool coordinator = false;                 ///< --coordinator
   std::uint16_t listen_port = 7380;         ///< --listen PORT (0 = ephemeral)
+  /// True when --listen was given explicitly. Loopback fleets default to an
+  /// ephemeral port (parallel CI runs must not collide), but an explicit
+  /// --listen pins it so scrapers can reach /metrics at a known address.
+  bool listen_port_explicit = false;
   std::optional<int> cluster_nodes;         ///< --nodes N (coordinator fleet size)
   std::optional<std::string> agent_endpoint;///< --agent HOST:PORT
   std::optional<std::string> node_name;     ///< --node-name (agent identity)
@@ -71,7 +75,18 @@ struct Config {
   std::optional<std::string> trace_out;
   /// --status HOST:PORT: don't run anything — probe a live coordinator's
   /// status plane and print fleet health (per-node phase/queue/budget).
+  /// Exits nonzero when any node is unhealthy (lost, flat-lined, or
+  /// diverged from its setpoint).
   std::optional<std::string> status_endpoint;
+  /// --metrics-interval SEC: kMetricUpdate cadence agents ship registry
+  /// deltas at (coordinator hands it to the fleet). 0 disables the live
+  /// metrics plane — and flat-line detection with it.
+  double metrics_interval_s = 1.0;
+  /// --flight-out FILE: keep a crash flight recorder — a bounded ring of
+  /// recent alerts, lifecycle events, and metric snapshots rewritten to
+  /// FILE on every update and dumped (async-signal-safely) on SIGTERM/
+  /// SIGINT or a watchdog trip.
+  std::optional<std::string> flight_out;
 
   // Payload pattern fuzzer (fuzz/ subsystem: randomized scenario discovery
   // over the simulated plant, locally or fanned across a --loopback fleet).

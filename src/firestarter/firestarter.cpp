@@ -43,6 +43,7 @@
 #include "sim/sim_system.hpp"
 #include "telemetry/bus.hpp"
 #include "telemetry/sinks.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/registry.hpp"
 #include "trace/trace_event.hpp"
 #include "trace/tracer.hpp"
@@ -402,6 +403,7 @@ HostPhaseOutput run_host_phase(const Config& cfg, const Target& target,
     if (output.loop && output.loop->due(elapsed)) output.loop->poll(elapsed, *hc.sensor);
     if (session != nullptr && output.loop && session->budget_due(elapsed))
       session->budget_exchange(elapsed, *output.loop);
+    if (session != nullptr && session->metrics_due()) session->ship_metrics();
     bus.publish(load_ch, elapsed, manager.load_at(elapsed));
     output.elapsed_s = elapsed;
   }
@@ -415,6 +417,9 @@ Firestarter::Firestarter(Config config, std::ostream& out) : cfg_(std::move(conf
 
 int Firestarter::run() {
   log::set_level(log::parse_level(cfg_.log_level));
+  // Arm the crash flight recorder before anything can fail: from here on
+  // SIGTERM/SIGINT (and any explicit dump) rewrite the black box to disk.
+  if (cfg_.flight_out) trace::FlightRecorder::instance().configure(*cfg_.flight_out);
   if (cfg_.show_help) {
     out_ << usage();
     return 0;
@@ -793,6 +798,9 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
     }
     if (session != nullptr)
       session->add_span("phase:" + spec.name, phase_span_begin_s, trace::now_s());
+    // Open-loop sim phases run in virtual time with no inner wall loop;
+    // the phase edge is their shipping point.
+    if (session != nullptr && session->metrics_due()) session->ship_metrics();
     ++phase_index;
   }
 
@@ -860,9 +868,10 @@ int Firestarter::run_coordinator() {
                    "spec list)";
 
   cluster::Coordinator::Options options;
-  // Loopback fleets always take an ephemeral port: the agents learn it
-  // in-process, and CI runs cannot collide on a fixed one.
-  options.port = loopback.empty() ? cfg_.listen_port : 0;
+  // Loopback fleets default to an ephemeral port: the agents learn it
+  // in-process, and CI runs cannot collide on a fixed one. An explicit
+  // --listen overrides that so /metrics scrapers know where to look.
+  options.port = loopback.empty() || cfg_.listen_port_explicit ? cfg_.listen_port : 0;
   options.loopback_only = !loopback.empty();
   options.nodes = nodes;
   options.campaign_text = raw.str();
@@ -872,6 +881,7 @@ int Firestarter::run_coordinator() {
   options.sync_tolerance_s = cfg_.sync_tolerance_s;
   options.seed = cfg_.seed;
   options.trace = cfg_.trace_out.has_value();
+  options.metrics_interval_s = cfg_.metrics_interval_s;
   if (budget) {
     // Fail before accepting anyone: every phase must fit the controller
     // tick and the budget cadence the agents will run.
@@ -976,7 +986,17 @@ int Firestarter::run_agent() {
       cfg_.node_name ? *cfg_.node_name
                      : strings::format("%s-%d", sku.c_str(), static_cast<int>(::getpid()));
   cluster::AgentSession session(options);
-  return run_campaign(&session);
+  trace::FlightRecorder::instance().note_event("agent " + options.node_name +
+                                               " joined " + options.endpoint);
+  try {
+    return run_campaign(&session);
+  } catch (const std::exception& e) {
+    // Abnormal exit: ship the black box to the coordinator (best effort)
+    // and write the local dump before the error unwinds the process.
+    session.ship_flight_record(e.what());
+    trace::FlightRecorder::instance().dump(std::string("agent failed: ") + e.what());
+    throw;
+  }
 }
 
 int Firestarter::run_status() {
@@ -1004,18 +1024,22 @@ int Firestarter::run_status() {
   if (!status.nodes.empty()) {
     double total_achieved = 0.0, total_setpoint = 0.0;
     Table table({"node", "sku", "state", "phase", "offset ms", "rtt ms", "setpoint W",
-                 "achieved W", "level %"});
+                 "achieved W", "level %", "metrics age"});
     for (const cluster::StatusNodeRec& node : status.nodes) {
       total_achieved += node.achieved_w;
       total_setpoint += node.setpoint_w;
       table.add_row(
-          {node.name, node.sku, node.connected ? "connected" : "lost",
+          {node.name, node.sku,
+           node.lost != 0 ? "lost" : (node.connected ? "connected" : "gone"),
            strings::format("%u/%u", node.phases_ended, status.phase_count),
            strings::format("%+.2f", node.clock_offset_s * 1e3),
            strings::format("%.2f", node.clock_rtt_s * 1e3),
            node.setpoint_w > 0.0 ? strings::format("%.1f", node.setpoint_w) : "-",
            node.achieved_w > 0.0 ? strings::format("%.1f", node.achieved_w) : "-",
-           node.level > 0.0 ? strings::format("%.0f", node.level * 100.0) : "-"});
+           node.level > 0.0 ? strings::format("%.0f", node.level * 100.0) : "-",
+           node.last_metrics_age_s >= 0.0
+               ? strings::format("%.1f s", node.last_metrics_age_s)
+               : "-"});
     }
     table.print(out_);
     if (status.budget_w > 0.0 && total_setpoint > 0.0)
@@ -1042,6 +1066,22 @@ int Firestarter::run_status() {
                      metric.is_counter ? "counter" : "gauge"});
     table.print(out_);
   }
+
+  if (!status.alerts.empty()) {
+    Table table({"alert", "node", "t", "detail"});
+    for (const cluster::StatusAlertRec& alert : status.alerts)
+      table.add_row({alert.kind, alert.node, strings::format("%.1f s", alert.t_s),
+                     alert.detail});
+    table.print(out_);
+  }
+
+  // The probe's exit code IS the health check: scripts gate on it without
+  // parsing the tables.
+  if (status.fleet_healthy == 0) {
+    out_ << "fleet UNHEALTHY (" << status.alerts.size() << " alerts)\n";
+    return 1;
+  }
+  out_ << "fleet healthy\n";
   return 0;
 }
 

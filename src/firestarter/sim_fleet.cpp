@@ -5,10 +5,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <sstream>
 
 #include "cluster/clock_sync.hpp"
 #include "payload/groups.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/registry.hpp"
 #include "trace/tracer.hpp"
 #include "util/logging.hpp"
@@ -92,7 +94,38 @@ void SimAgent::fail(const std::string& what) {
   error_ = what;
   state_ = State::kDone;
   wait_ = Wait::kDone;
+  // Best-effort black box: ship the flight record so the coordinator's
+  // post-mortem has this node's last view even though the process lives on.
+  if (conn_.valid()) {
+    try {
+      cluster::FlightRecordMsg record;
+      record.reason = node_name_ + ": " + what;
+      record.dump = trace::FlightRecorder::instance().serialize();
+      conn_.send(record.encode());
+    } catch (const std::exception&) {
+      // The socket is the thing that broke; nothing more to do.
+    }
+  }
   conn_.close();
+}
+
+double SimAgent::epoch_elapsed_s() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_time_).count();
+}
+
+void SimAgent::maybe_ship_metrics(bool force) {
+  if (campaign_.metrics_interval_s <= 0.0 || !have_epoch_ || !conn_.valid()) return;
+  const double t = epoch_elapsed_s();
+  if (!force && t < next_metrics_s_) return;
+  // Re-arm on the fixed grid so a late ship doesn't drift the cadence.
+  while (next_metrics_s_ <= t) next_metrics_s_ += campaign_.metrics_interval_s;
+  trace::MetricDelta delta = metrics_tracker_.collect();
+  if (delta.empty()) return;
+  cluster::MetricUpdateMsg msg;
+  msg.seq = metrics_seq_++;
+  msg.t_agent_s = t;
+  msg.delta = std::move(delta);
+  conn_.send(msg.encode());
 }
 
 const payload::PayloadStats& SimAgent::stats_for(const payload::FunctionDef& fn,
@@ -154,6 +187,7 @@ void SimAgent::prepare_campaign() {
   bus_.attach(sink_.get());
   channels_ = register_sim_channels(bus_, /*with_temp=*/any_target || any_temp,
                                     /*trimmed_aux=*/true, /*summarize_load=*/true);
+  next_metrics_s_ = campaign_.metrics_interval_s;
   state_ = State::kWaitStart;
   wait_ = Wait::kUntil;
 }
@@ -176,6 +210,7 @@ void SimAgent::begin_phase() {
   // waits for advance() so a barrier release reaches the whole fleet
   // before any node starts computing (tight begin spreads at 512 nodes).
   bus_.begin_phase(spec.name, spec.duration_s, deltas.start_s, deltas.stop_s);
+  metrics_.gauge("agent.phase").set(static_cast<double>(phase_index_));
   next_budget_s_ = campaign_.budget_interval_s;
   state_ = State::kRunPhase;
   wait_ = Wait::kRun;
@@ -189,6 +224,12 @@ void SimAgent::send_budget_report() {
   report.achieved_w = run_->loop().trailing_mean(campaign_.budget_interval_s);
   report.setpoint_w = run_->loop().setpoint().value;
   report.level = run_->loop().profile().level();
+  metrics_.counter("agent.budget_exchanges").add();
+  metrics_.gauge("agent.achieved_w").set(report.achieved_w);
+  metrics_.gauge("agent.setpoint_w").set(report.setpoint_w);
+  metrics_.gauge("agent.level").set(report.level);
+  metrics_.histogram("agent.ctl_error_w")
+      .record(std::abs(report.achieved_w - report.setpoint_w));
   conn_.send(report.encode());
   state_ = State::kAwaitAssign;
   wait_ = Wait::kFrame;
@@ -211,6 +252,7 @@ void SimAgent::advance() {
       const bool budget = campaign_.has_budget != 0;
       while (!run_->done()) {
         const double t = run_->step();
+        maybe_ship_metrics();
         if (budget && t >= next_budget_s_ - 1e-9) {
           send_budget_report();
           return;  // resume from the coordinator's reassignment
@@ -234,6 +276,7 @@ void SimAgent::advance() {
                                 *system_, spec.duration_s, result.mean_power_w,
                                 carry_temp_c_));
     }
+    maybe_ship_metrics();
     finish_phase();
   } catch (const std::exception& e) {
     fail(e.what());
@@ -254,6 +297,9 @@ void SimAgent::finish_phase() {
     return;
   }
   bus_.finish();
+  // The final metric delta ships before the verdict so the coordinator's
+  // folded series equal this node's final registry totals.
+  maybe_ship_metrics(/*force=*/true);
   // Span shipment precedes the verdict (the coordinator's "node done"
   // signal) so the merged timeline is complete when the run closes.
   if (tracing()) {
@@ -384,6 +430,8 @@ void SimFleet::run() {
   fd_agents.reserve(agents_.size());
 
   trace::Counter& iterations = trace::Registry::instance().counter("reactor.poll_iterations");
+  trace::Histogram& poll_wait =
+      trace::Registry::instance().histogram("reactor.poll_wait_s");
   for (;;) {
     iterations.add();
     TRACE_SPAN("reactor.iteration");
@@ -421,8 +469,11 @@ void SimFleet::run() {
           next_wake - Clock::now());
       timeout_ms = static_cast<int>(std::clamp<long long>(until.count(), 0, 600000));
     }
+    const Clock::time_point poll_begin = Clock::now();
     const int ready =
         ::poll(fds.empty() ? nullptr : fds.data(), fds.size(), timeout_ms);
+    poll_wait.record(
+        std::chrono::duration<double>(Clock::now() - poll_begin).count());
     if (ready < 0) {
       if (errno == EINTR) continue;
       for (auto& agent : agents_)

@@ -14,6 +14,8 @@
 #include "payload/compiler.hpp"
 #include "sched/campaign.hpp"
 #include "telemetry/sinks.hpp"
+#include "trace/metric_delta.hpp"
+#include "trace/registry.hpp"
 #include "trace/trace_event.hpp"
 
 namespace fs2::firestarter {
@@ -107,6 +109,12 @@ class SimAgent {
   void finish_phase();
   void send_budget_report();
   void fail(const std::string& what);
+  /// Ship one kMetricUpdate delta from this agent's PRIVATE registry when
+  /// the wall-clock cadence is due (`force` flushes regardless — the final
+  /// delta before the verdict). Hundreds of loopback agents share the
+  /// process, so the global registry cannot carry per-node series.
+  void maybe_ship_metrics(bool force = false);
+  double epoch_elapsed_s() const;
   bool tracing() const { return campaign_.trace_enabled != 0; }
   /// Close the open barrier/budget wait span (no-op when none is open).
   void close_wait_span(const char* name);
@@ -148,6 +156,14 @@ class SimAgent {
   double next_budget_s_ = 0.0;
   std::uint32_t budget_seq_ = 0;
   bool all_converged_ = true;
+
+  // Live metrics plane: a per-agent registry (the process-global one is
+  // shared by the whole loopback fleet and the coordinator) plus the delta
+  // tracker that turns it into incremental kMetricUpdate frames.
+  trace::Registry metrics_;
+  trace::MetricDeltaTracker metrics_tracker_{metrics_};
+  double next_metrics_s_ = 0.0;
+  std::uint32_t metrics_seq_ = 0;
 
   // Observability (campaign_.trace_enabled): an EXPLICIT per-agent span
   // buffer. Hundreds of loopback agents share one reactor thread, so the

@@ -203,6 +203,9 @@ ControlledSimPhase run_sim_controlled_phase(
     // pauses for the round trip, so the exchange is deterministic.
     if (session != nullptr && session->budget_due(t))
       session->budget_exchange(t, run.loop());
+    // Live metrics ride the same loop at wall-clock cadence — the plane
+    // stays fresh even when virtual time outpaces real time.
+    if (session != nullptr && session->metrics_due()) session->ship_metrics();
   }
   ControlledSimPhase phase;
   phase.point = run.point();

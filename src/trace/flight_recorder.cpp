@@ -1,0 +1,137 @@
+#include "trace/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace fs2::trace {
+
+namespace {
+
+// Signal-handler state: two fixed buffers, the handler writes whichever one
+// `g_active` points at. republish_locked() renders into the inactive buffer
+// and flips the index, so the handler always sees a complete dump even if
+// it fires mid-republish.
+constexpr std::size_t kSignalBufBytes = 64 * 1024;
+char g_buf[2][kSignalBufBytes];
+std::atomic<std::size_t> g_len[2] = {{0}, {0}};
+std::atomic<int> g_active{0};
+std::atomic<int> g_fd{-1};
+std::atomic<bool> g_handlers_installed{false};
+
+void flight_signal_handler(int signo) {
+  const int fd = g_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const int slot = g_active.load(std::memory_order_acquire);
+    const std::size_t len = g_len[slot].load(std::memory_order_acquire);
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, g_buf[slot] + off, len - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+  }
+  // Restore the default disposition and re-raise so the process still dies
+  // with the original signal (exit status visible to supervisors).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::configure(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  path_ = path;
+  g_fd.store(fd_, std::memory_order_release);
+  if (!g_handlers_installed.exchange(true)) {
+    ::signal(SIGTERM, flight_signal_handler);
+    ::signal(SIGINT, flight_signal_handler);
+  }
+  republish_locked();
+}
+
+void FlightRecorder::append(std::deque<std::string>& ring, std::size_t cap,
+                            const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring.push_back(line);
+  while (ring.size() > cap) ring.pop_front();
+  if (fd_ >= 0) republish_locked();
+}
+
+void FlightRecorder::note_alert(const std::string& line) {
+  append(alerts_, kMaxAlerts, line);
+}
+void FlightRecorder::note_event(const std::string& line) {
+  append(events_, kMaxEvents, line);
+}
+void FlightRecorder::note_metrics(const std::string& line) {
+  append(metrics_, kMaxMetricLines, line);
+}
+
+std::string FlightRecorder::render_locked() const {
+  std::string out;
+  out += "# fs2 flight recorder\n";
+  out += "## alerts (" + std::to_string(alerts_.size()) + ")\n";
+  for (const std::string& l : alerts_) out += l + "\n";
+  out += "## events (" + std::to_string(events_.size()) + ")\n";
+  for (const std::string& l : events_) out += l + "\n";
+  out += "## metrics (" + std::to_string(metrics_.size()) + ")\n";
+  for (const std::string& l : metrics_) out += l + "\n";
+  return out;
+}
+
+std::string FlightRecorder::serialize() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return render_locked();
+}
+
+void FlightRecorder::republish_locked() {
+  const std::string out = render_locked();
+  const int slot = 1 - g_active.load(std::memory_order_acquire);
+  const std::size_t len = std::min(out.size(), kSignalBufBytes);
+  std::memcpy(g_buf[slot], out.data(), len);
+  g_len[slot].store(len, std::memory_order_release);
+  g_active.store(slot, std::memory_order_release);
+}
+
+void FlightRecorder::dump(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  const std::string text = "# reason: " + reason + "\n" + render_locked();
+  ::lseek(fd_, 0, SEEK_SET);
+  if (::ftruncate(fd_, 0) != 0) { /* best effort */ }
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd_, text.data() + off, text.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd_);
+}
+
+void FlightRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alerts_.clear();
+  events_.clear();
+  metrics_.clear();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  path_.clear();
+  g_fd.store(-1, std::memory_order_release);
+  g_len[0].store(0, std::memory_order_release);
+  g_len[1].store(0, std::memory_order_release);
+}
+
+}  // namespace fs2::trace

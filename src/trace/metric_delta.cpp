@@ -1,0 +1,54 @@
+#include "trace/metric_delta.hpp"
+
+namespace fs2::trace {
+
+MetricDelta MetricDeltaTracker::collect() {
+  MetricDelta out;
+  const std::vector<IndexedMetric> now = registry_->indexed_snapshot();
+  if (prev_counters_.size() < now.size()) prev_counters_.resize(now.size(), 0);
+  if (prev_sums_.size() < now.size()) prev_sums_.resize(now.size(), 0.0);
+  if (prev_buckets_.size() < now.size()) prev_buckets_.resize(now.size());
+
+  for (const IndexedMetric& m : now) {
+    if (m.id >= defs_sent_) out.defs.push_back(MetricDefRec{m.id, m.name, m.kind});
+    switch (m.kind) {
+      case MetricKind::kCounter: {
+        const std::uint64_t prev = prev_counters_[m.id];
+        if (m.counter != prev || m.id >= defs_sent_) {
+          // Registry::reset() (tests) can move a counter backwards; re-ship
+          // the absolute value then so the fold doesn't wrap.
+          const std::uint64_t delta = m.counter >= prev ? m.counter - prev : m.counter;
+          out.counters.push_back(CounterDeltaRec{m.id, delta});
+          prev_counters_[m.id] = m.counter;
+        }
+        break;
+      }
+      case MetricKind::kGauge:
+        out.gauges.push_back(GaugeValueRec{m.id, m.gauge});
+        break;
+      case MetricKind::kHistogram: {
+        std::vector<std::uint64_t>& prev = prev_buckets_[m.id];
+        if (prev.size() < m.hist.buckets.size()) prev.resize(m.hist.buckets.size(), 0);
+        HistogramDeltaRec rec;
+        rec.id = m.id;
+        rec.max = m.hist.max;
+        for (std::size_t b = 0; b < m.hist.buckets.size(); ++b) {
+          const std::uint64_t cur = m.hist.buckets[b];
+          const std::uint64_t delta = cur >= prev[b] ? cur - prev[b] : cur;
+          if (delta == 0) continue;
+          rec.buckets.emplace_back(static_cast<std::uint32_t>(b), delta);
+          rec.count_delta += delta;
+          prev[b] = cur;
+        }
+        rec.sum_delta = m.hist.sum - prev_sums_[m.id];
+        prev_sums_[m.id] = m.hist.sum;
+        if (rec.count_delta > 0 || m.id >= defs_sent_) out.hists.push_back(std::move(rec));
+        break;
+      }
+    }
+  }
+  defs_sent_ = now.size();
+  return out;
+}
+
+}  // namespace fs2::trace

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/registry.hpp"
+
+namespace fs2::trace {
+
+/// First-seen metric definition: ships once per metric per connection so
+/// subsequent deltas reference metrics by their stable registry id instead
+/// of repeating names every interval.
+struct MetricDefRec {
+  std::uint32_t id = 0;
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+};
+
+struct CounterDeltaRec {
+  std::uint32_t id = 0;
+  std::uint64_t delta = 0;
+};
+
+struct GaugeValueRec {
+  std::uint32_t id = 0;
+  double value = 0.0;
+};
+
+/// Sparse histogram increment: only buckets that grew since the last
+/// collection cross the wire. `max` is the running maximum (idempotent under
+/// re-fold), everything else is additive.
+struct HistogramDeltaRec {
+  std::uint32_t id = 0;
+  std::uint64_t count_delta = 0;
+  double sum_delta = 0.0;
+  double max = 0.0;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;  ///< (index, delta)
+};
+
+/// One collection interval's worth of registry movement. Folding a sequence
+/// of these (coordinator side) reproduces the registry totals: deltas are
+/// associative sums, gauges are last-write-wins, histogram buckets add.
+struct MetricDelta {
+  std::vector<MetricDefRec> defs;         ///< metrics first seen this interval
+  std::vector<CounterDeltaRec> counters;  ///< nonzero deltas only
+  std::vector<GaugeValueRec> gauges;      ///< every gauge's current value
+  std::vector<HistogramDeltaRec> hists;   ///< nonzero count deltas only
+
+  bool empty() const {
+    return defs.empty() && counters.empty() && gauges.empty() && hists.empty();
+  }
+};
+
+/// Diffs a Registry against its previous collection. One tracker per
+/// connection (the watermark is what the peer has already seen); collect()
+/// is called once per --metrics-interval, so it allocates freely.
+class MetricDeltaTracker {
+ public:
+  explicit MetricDeltaTracker(Registry& registry) : registry_(&registry) {}
+
+  MetricDelta collect();
+
+ private:
+  Registry* registry_;
+  std::size_t defs_sent_ = 0;                          ///< ids below this shipped defs
+  std::vector<std::uint64_t> prev_counters_;           ///< by id
+  std::vector<double> prev_sums_;                      ///< by id (histograms)
+  std::vector<std::vector<std::uint64_t>> prev_buckets_;  ///< by id
+};
+
+}  // namespace fs2::trace

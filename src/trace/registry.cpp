@@ -1,22 +1,98 @@
 #include "trace/registry.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace fs2::trace {
+
+// ---- HistogramSnapshot ------------------------------------------------------
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  if (other.buckets.empty()) return;
+  if (buckets.size() < other.buckets.size()) buckets.resize(other.buckets.size(), 0);
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1.
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) return std::min(Histogram::bucket_upper(i), max);
+  }
+  return max;
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN clamp to the bottom bucket
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  const int index = (exp + kExpOffset) * 2 + (m >= 0.75 ? 1 : 0);
+  if (index < 0) return 0;
+  if (index >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(index);
+}
+
+double Histogram::bucket_upper(std::size_t index) {
+  const int exp = static_cast<int>(index / 2) - kExpOffset;
+  return std::ldexp(index % 2 == 0 ? 0.75 : 1.0, exp);
+}
+
+HistogramSnapshot Histogram::snapshot(std::string name) const {
+  HistogramSnapshot s;
+  s.name = std::move(name);
+  s.buckets.resize(kBuckets, 0);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    s.buckets[i] = n;
+    s.count += n;
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---- Registry ---------------------------------------------------------------
 
 Registry& Registry::instance() {
   static Registry registry;
   return registry;
 }
 
+namespace {
+std::string kind_mismatch(const std::string& name, bool counter, bool gauge,
+                          const char* wanted) {
+  const char* actual = counter ? "counter" : gauge ? "gauge" : "histogram";
+  return "registry: '" + name + "' is a " + actual + ", not a " + wanted;
+}
+}  // namespace
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (Entry& e : entries_) {
     if (e.name != name) continue;
-    if (!e.counter) throw Error("registry: '" + name + "' is a gauge, not a counter");
+    if (!e.counter)
+      throw Error(kind_mismatch(name, false, e.gauge != nullptr, "counter"));
     return *e.counter;
   }
-  entries_.push_back(Entry{name, std::make_unique<Counter>(), nullptr});
+  entries_.push_back(Entry{name, std::make_unique<Counter>(), nullptr, nullptr});
   return *entries_.back().counter;
 }
 
@@ -24,11 +100,25 @@ Gauge& Registry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (Entry& e : entries_) {
     if (e.name != name) continue;
-    if (!e.gauge) throw Error("registry: '" + name + "' is a counter, not a gauge");
+    if (!e.gauge)
+      throw Error(kind_mismatch(name, e.counter != nullptr, false, "gauge"));
     return *e.gauge;
   }
-  entries_.push_back(Entry{name, nullptr, std::make_unique<Gauge>()});
+  entries_.push_back(Entry{name, nullptr, std::make_unique<Gauge>(), nullptr});
   return *entries_.back().gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.name != name) continue;
+    if (!e.histogram)
+      throw Error(kind_mismatch(name, e.counter != nullptr, e.gauge != nullptr,
+                                "histogram"));
+    return *e.histogram;
+  }
+  entries_.push_back(Entry{name, nullptr, nullptr, std::make_unique<Histogram>()});
+  return *entries_.back().histogram;
 }
 
 std::vector<MetricSnapshot> Registry::snapshot() const {
@@ -36,6 +126,7 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
   std::vector<MetricSnapshot> out;
   out.reserve(entries_.size());
   for (const Entry& e : entries_) {
+    if (e.histogram) continue;
     MetricSnapshot s;
     s.name = e.name;
     s.is_counter = e.counter != nullptr;
@@ -45,11 +136,45 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
   return out;
 }
 
+std::vector<HistogramSnapshot> Registry::histogram_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  for (const Entry& e : entries_) {
+    if (e.histogram) out.push_back(e.histogram->snapshot(e.name));
+  }
+  return out;
+}
+
+std::vector<IndexedMetric> Registry::indexed_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<IndexedMetric> out;
+  out.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    IndexedMetric m;
+    m.id = static_cast<std::uint32_t>(i);
+    m.name = e.name;
+    if (e.counter) {
+      m.kind = MetricKind::kCounter;
+      m.counter = e.counter->value();
+    } else if (e.gauge) {
+      m.kind = MetricKind::kGauge;
+      m.gauge = e.gauge->value();
+    } else {
+      m.kind = MetricKind::kHistogram;
+      m.hist = e.histogram->snapshot(std::string());
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (Entry& e : entries_) {
     if (e.counter) e.counter->reset();
     if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
   }
 }
 

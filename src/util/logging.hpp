@@ -52,4 +52,18 @@ inline detail::LineLogger info() { return detail::LineLogger(Level::kInfo); }
 inline detail::LineLogger warn() { return detail::LineLogger(Level::kWarn); }
 inline detail::LineLogger error() { return detail::LineLogger(Level::kError); }
 
+/// Structured `key=value` suffix for lifecycle log lines — greppable by
+/// key, quoted only when the value contains whitespace. Values stream
+/// through ostringstream, so anything printable works:
+///   log::info() << "cluster: node lost " << log::kv("node", name)
+///               << ' ' << log::kv("phase", idx);
+template <typename T>
+std::string kv(const std::string& key, const T& value) {
+  std::ostringstream os;
+  os << value;
+  const std::string text = os.str();
+  const bool quote = text.find_first_of(" \t") != std::string::npos || text.empty();
+  return quote ? key + "=\"" + text + "\"" : key + "=" + text;
+}
+
 }  // namespace fs2::log

@@ -262,9 +262,11 @@ TEST(TraceMessages, StatusRoundTrip) {
   msg.phase_count = 3;
   msg.queued_samples = 99;
   msg.budget_w = 1000.0;
-  msg.nodes = {{"n0", "zen2", 1, 3, 2, 0.002, 0.0001, 251.0, 250.0, 0.61}};
+  msg.fleet_healthy = 0;
+  msg.nodes = {{"n0", "zen2", 1, 3, 2, 0.002, 0.0001, 251.0, 250.0, 0.61, 1, 4.25}};
   msg.spreads = {{"ramp", "n0", "n1", 1.0, 1.002, 4}};
   msg.counters = {{"coordinator.frames", 512.0, true}};
+  msg.alerts = {{"flatline", "n0", "no metric update for 4.2 s", 17.5}};
   const cluster::Frame frame = msg.encode();
   EXPECT_EQ(frame.type, cluster::MessageType::kStatusReply);
   cluster::WireReader reader(frame.payload);
@@ -282,6 +284,14 @@ TEST(TraceMessages, StatusRoundTrip) {
   EXPECT_EQ(back.spreads[0].nodes, 4u);
   ASSERT_EQ(back.counters.size(), 1u);
   EXPECT_EQ(back.counters[0].name, "coordinator.frames");
+  EXPECT_EQ(back.fleet_healthy, 0);
+  EXPECT_EQ(back.nodes[0].lost, 1);
+  EXPECT_DOUBLE_EQ(back.nodes[0].last_metrics_age_s, 4.25);
+  ASSERT_EQ(back.alerts.size(), 1u);
+  EXPECT_EQ(back.alerts[0].kind, "flatline");
+  EXPECT_EQ(back.alerts[0].node, "n0");
+  EXPECT_EQ(back.alerts[0].detail, "no metric update for 4.2 s");
+  EXPECT_DOUBLE_EQ(back.alerts[0].t_s, 17.5);
 
   const cluster::Frame request_frame = cluster::StatusRequestMsg{}.encode();
   cluster::WireReader request_reader(request_frame.payload);
