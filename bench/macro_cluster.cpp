@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cluster/cluster_bus.hpp"
+#include "cluster/fault_injection.hpp"
 #include "cluster/messages.hpp"
 #include "cluster/remote_sink.hpp"
 #include "cluster/transport.hpp"
@@ -189,9 +190,11 @@ double bench_data_plane(const DataPlaneWorkload& wl, bool merge) {
 /// timed region is a dumb write(2) loop, so the wall clock measures the
 /// coordinator, which is the component that bounds fleet size ("hundreds
 /// of agents at 500 Sa/s each").
-double bench_coordinator_capacity(const DataPlaneWorkload& wl) {
+double bench_coordinator_capacity(const DataPlaneWorkload& wl,
+                                  std::size_t* frames_out = nullptr) {
   // ---- stage: capture the agent's wire stream --------------------------
   std::vector<std::uint8_t> staged;
+  std::size_t staged_frames = 0;
   {
     cluster::Listener listener(0, /*loopback_only=*/true);
     cluster::Connection agent_conn = cluster::Connection::connect(
@@ -205,6 +208,7 @@ double bench_coordinator_capacity(const DataPlaneWorkload& wl) {
         bytes.u32(static_cast<std::uint32_t>(frame.payload.size() + 1));
         bytes.u8(static_cast<std::uint8_t>(frame.type));
         bytes.raw(frame.payload.data(), frame.payload.size());
+        ++staged_frames;
         if (frame.type == cluster::MessageType::kShutdown) break;
       }
       staged = bytes.take();
@@ -250,15 +254,18 @@ double bench_coordinator_capacity(const DataPlaneWorkload& wl) {
   drain_into_bus(coord_conn, bus);
   pump.join();
   const double wall_s = seconds_since(t0);
+  if (frames_out != nullptr) *frames_out = staged_frames;
   return static_cast<double>(wl.total_samples()) / wall_s;
 }
 
 /// One-way frames/sec for budget-report-sized messages.
-double bench_transport_frames(std::size_t frames) {
+double bench_transport_frames(std::size_t frames,
+                              cluster::LinkFaults* faults = nullptr) {
   cluster::Listener listener(0, /*loopback_only=*/true);
   cluster::Connection tx = cluster::Connection::connect(
       strings::format("127.0.0.1:%u", listener.port()));
   cluster::Connection rx = listener.accept(/*timeout_s=*/5.0);
+  if (faults != nullptr) tx.set_faults(faults);
 
   std::size_t received = 0;
   std::thread consumer([&] {
@@ -362,6 +369,53 @@ TraceOverhead bench_trace_overhead(const DataPlaneWorkload& wl,
   return result;
 }
 
+/// ns per Connection::send for the fault-injection wrapper when no --chaos
+/// plan is armed (faults_ == nullptr): one pointer load and a branch, the
+/// same shape as a disabled TRACE_SPAN site. The slot is volatile so the
+/// check is reloaded and re-taken every iteration, as send() does.
+double bench_chaos_disabled_site_ns() {
+  constexpr std::size_t kIterations = 200'000'000;
+  cluster::LinkFaults* volatile slot = nullptr;
+  std::size_t armed = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    if (slot != nullptr) ++armed;
+  }
+  const double wall_s = seconds_since(t0);
+  if (armed != 0) std::fprintf(stderr, "chaos site bench: impossible arm\n");
+  return wall_s * 1e9 / static_cast<double>(kIterations);
+}
+
+/// The chaos <1% gate's inputs, following the tracing methodology: every
+/// frame the coordinator ingests crossed exactly one send-side wrapper
+/// check on its way in, so the disabled-path overhead is (frames x measured
+/// site cost) against the ingest wall clock. quiet_frames_per_s prices the
+/// other end of the spectrum — a LinkFaults injector ARMED with all-zero
+/// rates — as an empirical ceiling on what arming chaos costs the
+/// transport.
+struct ChaosOverhead {
+  double disabled_site_ns = 0.0;
+  std::uint64_t ingest_send_sites = 0;  ///< frames the ingest workload sends
+  double disabled_overhead_pct = 0.0;
+  double quiet_frames_per_s = 0.0;
+};
+
+ChaosOverhead bench_chaos_overhead(const DataPlaneWorkload& wl,
+                                   std::size_t ingest_frames,
+                                   double untouched_samples_per_s) {
+  ChaosOverhead result;
+  result.disabled_site_ns = bench_chaos_disabled_site_ns();
+  result.ingest_send_sites = ingest_frames;
+  const double wall_ns =
+      static_cast<double>(wl.total_samples()) / untouched_samples_per_s * 1e9;
+  result.disabled_overhead_pct = static_cast<double>(ingest_frames) *
+                                 result.disabled_site_ns / wall_ns * 100.0;
+  cluster::LinkFaults quiet(/*drop=*/0.0, /*corrupt=*/0.0, /*truncate=*/0.0,
+                            /*delay_s=*/0.0, /*delay_jitter_s=*/0.0, /*seed=*/7);
+  result.quiet_frames_per_s = bench_transport_frames(/*frames=*/200000, &quiet);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -370,8 +424,10 @@ int main(int argc, char** argv) {
   if (argc > 1) max_fleet = static_cast<std::size_t>(std::stoul(argv[1]));
 
   const DataPlaneWorkload workload(/*phases=*/8, /*phase_s=*/120.0, /*sample_hz=*/500.0);
-  const double coordinator = bench_coordinator_capacity(workload);
+  std::size_t ingest_frames = 0;
+  const double coordinator = bench_coordinator_capacity(workload, &ingest_frames);
   const TraceOverhead overhead = bench_trace_overhead(workload, coordinator);
+  const ChaosOverhead chaos = bench_chaos_overhead(workload, ingest_frames, coordinator);
   const double path = bench_data_plane(workload, /*merge=*/false);
   const double merged = bench_data_plane(workload, /*merge=*/true);
   const double frames = bench_transport_frames(/*frames=*/200000);
@@ -388,6 +444,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(overhead.ingest_trace_sites));
   std::printf("  \"tracing_disabled_overhead_pct\": %.4f,\n",
               overhead.disabled_overhead_pct);
+  std::printf("  \"chaos_disabled_site_ns\": %.3f,\n", chaos.disabled_site_ns);
+  std::printf("  \"ingest_chaos_sites\": %llu,\n",
+              static_cast<unsigned long long>(chaos.ingest_send_sites));
+  std::printf("  \"chaos_disabled_overhead_pct\": %.4f,\n",
+              chaos.disabled_overhead_pct);
+  std::printf("  \"chaos_quiet_frames_per_s\": %.0f,\n", chaos.quiet_frames_per_s);
   std::printf("  \"data_plane_samples_per_s\": %.0f,\n", path);
   std::printf("  \"merged_samples_per_s\": %.0f,\n", merged);
   std::printf("  \"transport_frames_per_s\": %.0f,\n", frames);

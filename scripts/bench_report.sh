@@ -26,6 +26,10 @@ MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-1.0}"
 # Tracing compiled in but DISABLED must stay under this share of coordinator
 # ingest wall time (the observability PR's acceptance gate).
 MAX_TRACE_OVERHEAD_PCT="${BENCH_MAX_TRACE_OVERHEAD_PCT:-1.0}"
+# Fault injection compiled in but DISARMED (no --chaos plan) must stay under
+# this share of coordinator ingest wall time (the chaos PR's acceptance
+# gate: production fleets pay for the wrapper on every send).
+MAX_CHAOS_OVERHEAD_PCT="${BENCH_MAX_CHAOS_OVERHEAD_PCT:-1.0}"
 # Live metrics plane gates: Histogram::record must stay within this multiple
 # of Counter::add (it shares hot paths with counters), and shipping one
 # kMetricUpdate per node per second at MAX_FLEET nodes must cost the
@@ -49,7 +53,8 @@ fi
 CURRENT_JSON="$current_json" TRACE_JSON="$trace_json" MIN_SPEEDUP="$MIN_SPEEDUP" \
 MAX_TRACE_OVERHEAD_PCT="$MAX_TRACE_OVERHEAD_PCT" MAX_FLEET="$MAX_FLEET" \
 MAX_HIST_COUNTER_RATIO="$MAX_HIST_COUNTER_RATIO" \
-MAX_METRICS_OVERHEAD_PCT="$MAX_METRICS_OVERHEAD_PCT" python3 - <<'PYEOF'
+MAX_METRICS_OVERHEAD_PCT="$MAX_METRICS_OVERHEAD_PCT" \
+MAX_CHAOS_OVERHEAD_PCT="$MAX_CHAOS_OVERHEAD_PCT" python3 - <<'PYEOF'
 import json, os, sys
 
 current = json.loads(os.environ["CURRENT_JSON"])
@@ -98,6 +103,20 @@ for key in ("coordinator_traced_samples_per_s", "trace_disabled_site_ns",
             "ingest_trace_sites", "tracing_disabled_overhead_pct"):
     if key in current:
         report["trace"][key] = current[key]
+report["chaos"] = {
+    "methodology": ("chaos_disabled_overhead_pct prices the send-side "
+                    "fault-injection check (one pointer load + branch, "
+                    "taken once per frame) at its measured disabled-site "
+                    "cost against the coordinator ingest wall clock; "
+                    "chaos_quiet_frames_per_s is the transport with a "
+                    "zero-rate LinkFaults injector ARMED — the empirical "
+                    "ceiling on what --chaos costs when every fault rate "
+                    "is zero"),
+}
+for key in ("chaos_disabled_site_ns", "ingest_chaos_sites",
+            "chaos_disabled_overhead_pct", "chaos_quiet_frames_per_s"):
+    if key in current:
+        report["chaos"][key] = current[key]
 with open("BENCH_cluster.json", "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
@@ -124,6 +143,19 @@ print(f"bench_report: disabled-tracing ingest overhead {overhead:.4f}% "
 if overhead >= ceiling:
     print(f"bench_report: disabled-tracing overhead {overhead:.4f}% breaches the "
           f"{ceiling}% gate", file=sys.stderr)
+    sys.exit(1)
+
+chaos_overhead = current.get("chaos_disabled_overhead_pct")
+chaos_ceiling = float(os.environ["MAX_CHAOS_OVERHEAD_PCT"])
+if chaos_overhead is None:
+    print("bench_report: macro bench emitted no chaos_disabled_overhead_pct",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"bench_report: disarmed fault-injection ingest overhead "
+      f"{chaos_overhead:.4f}% (gate <{chaos_ceiling}%)")
+if chaos_overhead >= chaos_ceiling:
+    print(f"bench_report: disarmed fault-injection overhead {chaos_overhead:.4f}% "
+          f"breaches the {chaos_ceiling}% gate", file=sys.stderr)
     sys.exit(1)
 
 # Metrics-plane gates (skipped when micro_trace wasn't built).

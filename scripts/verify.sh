@@ -98,6 +98,28 @@ timeout 60 ./build/fs2 --loopback zen2@1500x256,haswell@2000x256 \
     --target cluster-power=96000W --require-convergence \
     --cluster-start-delay 2 --log-level warn > /dev/null
 
+# Chaos smoke: the same fleet machinery under deterministic fault
+# injection — 1% frame drop, 2 ms delay jitter, and one node crashed at
+# the phase-1 barrier. The replacement must reconnect with backoff,
+# rejoin mid-campaign, and contribute to the final phase; the run is
+# still REQUIRED to converge on every phase. The seeded schedule makes a
+# failure replayable bit-for-bit; the flight dump is kept on failure.
+chaos_log="$(mktemp)"
+trap 'rm -f "$campaign" "$trace" "$fleet_trace" "$scrape" "$chaos_log"' EXIT
+if ! timeout 120 ./build/fs2 --loopback zen2@1500x64 \
+    --campaign examples/cluster_chaos.campaign \
+    --target cluster-power=16000W --require-convergence \
+    --chaos "seed=7,drop=1%,delay=2ms,kill=node5@phase1" \
+    --flight-out chaos_flight_dump.txt --log-level warn > "$chaos_log"; then
+  echo "verify: chaos smoke failed — log follows (flight dump in chaos_flight_dump.txt)" >&2
+  cat "$chaos_log" >&2
+  exit 1
+fi
+grep -q "REJOINED at phase" "$chaos_log" \
+    || { echo "verify: chaos smoke converged but no rejoin happened" >&2; exit 1; }
+grep -q "'cool': start spread.*across 64 nodes" "$chaos_log" \
+    || { echo "verify: rejoined node missing from the final phase" >&2; exit 1; }
+
 # Fuzz smoke: a deterministic seeded discovery sweep over a small loopback
 # fleet must produce a non-empty ranked corpus (non-zero exit otherwise)
 # and a report whose spec column round-trips through the campaign grammar.

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "cluster/fault_injection.hpp"
 #include "trace/flight_recorder.hpp"
 #include "trace/registry.hpp"
 #include "trace/tracer.hpp"
@@ -11,7 +12,8 @@
 namespace fs2::cluster {
 
 AgentSession::AgentSession(const Options& options)
-    : conn_(Connection::connect(options.endpoint, options.connect_timeout_s)),
+    : options_(options),
+      conn_(Connection::connect(options.endpoint, options.connect_timeout_s)),
       metrics_tracker_(trace::Registry::instance()) {
   HelloMsg hello;
   hello.node_name = options.node_name;
@@ -151,6 +153,103 @@ void AgentSession::budget_exchange(double t_s, control::FeedbackLoop& loop) {
   current_setpoint_w_ = assign.setpoint_w;
   loop.set_target(assign.setpoint_w);
   (void)t_s;
+}
+
+std::uint32_t AgentSession::rejoin(std::uint32_t phases_ended) {
+  conn_.close();
+  // Jitter seeded from the campaign id + node identity: reproducible per
+  // run, and a whole fleet knocked over at once fans its redials out
+  // instead of stampeding the listener in lockstep.
+  Backoff::Options opts;
+  std::uint64_t seed = campaign_.campaign_id + phases_ended;
+  for (const char c : options_.node_name) seed = seed * 31 + static_cast<std::uint8_t>(c);
+  opts.seed = seed;
+  Backoff backoff(opts);
+  const auto give_up_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.rejoin_timeout_s));
+  bool refused = false;
+  for (;;) {
+    try {
+      Connection fresh = Connection::connect(options_.endpoint, /*retry_for_s=*/1.0);
+      RejoinMsg msg;
+      msg.node_name = options_.node_name;
+      msg.campaign_id = campaign_.campaign_id;
+      msg.phases_ended = phases_ended;
+      fresh.send(msg.encode());
+      const auto reply = fresh.recv(/*timeout_s=*/10.0);
+      if (!reply || reply->type != MessageType::kRejoinAck)
+        throw WireError("agent: no rejoin ack from the coordinator");
+      WireReader ack_reader(reply->payload);
+      const RejoinAckMsg ack = RejoinAckMsg::decode(ack_reader);
+      if (ack.accepted == 0) {
+        // Authoritative: the window expired, the campaign id is stale, or
+        // the verdict is already in. Retrying cannot change the answer.
+        refused = true;
+        throw Error("agent: rejoin refused: " + ack.detail);
+      }
+
+      // Re-run the admission sequence on the fresh socket: sync probes,
+      // then the campaign and the ORIGINAL epoch re-expressed through the
+      // new clock offset. A phase-go replay may already be queued behind
+      // them; it stays buffered for the next begin_phase.
+      bool have_campaign = false;
+      bool have_epoch = false;
+      while (!have_campaign || !have_epoch) {
+        const auto frame = fresh.recv(/*timeout_s=*/30.0);
+        if (!frame) throw WireError("agent: coordinator went silent during rejoin");
+        WireReader reader(frame->payload);
+        switch (frame->type) {
+          case MessageType::kSyncProbe: {
+            const SyncProbeMsg probe = SyncProbeMsg::decode(reader);
+            SyncReplyMsg sync_reply;
+            sync_reply.seq = probe.seq;
+            sync_reply.t_coord_s = probe.t_coord_s;
+            sync_reply.t_agent_s = local_clock_s();
+            fresh.send(sync_reply.encode());
+            break;
+          }
+          case MessageType::kCampaign:
+            campaign_ = CampaignMsg::decode(reader);
+            current_setpoint_w_ = campaign_.initial_setpoint_w;
+            have_campaign = true;
+            break;
+          case MessageType::kEpoch:
+            epoch_ = EpochMsg::decode(reader);
+            epoch_time_ = to_time_point(epoch_.t0_agent_s);
+            have_epoch = true;
+            break;
+          default:
+            throw WireError(std::string("agent: unexpected ") +
+                            to_string(frame->type) + " during rejoin");
+        }
+      }
+      // conn_ is a member, so its address — which the RemoteSink holds —
+      // survives the swap; the sink keeps streaming on the new socket with
+      // its channel registrations intact (the coordinator kept the node's
+      // registration state across the outage).
+      conn_ = std::move(fresh);
+      next_metrics_s_ = campaign_.metrics_interval_s > 0.0
+                            ? epoch_elapsed_s() + campaign_.metrics_interval_s
+                            : 0.0;
+      log::info() << "agent: rejoined cluster " << log::kv("node", options_.node_name)
+                  << ' ' << log::kv("resume_phase", ack.resume_phase) << ' '
+                  << log::kv("attempts", backoff.attempts() + 1);
+      trace::FlightRecorder::instance().note_event(
+          strings::format("rejoined coordinator, resuming phase %u", ack.resume_phase));
+      return ack.resume_phase;
+    } catch (const Error& e) {
+      if (refused) throw;
+      if (std::chrono::steady_clock::now() >= give_up_at)
+        throw Error(strings::format("agent: rejoin failed for %.0f s: %s",
+                                    options_.rejoin_timeout_s, e.what()));
+      const double delay = backoff.next_s();
+      log::warn() << "agent: rejoin attempt failed (" << e.what() << "); retrying in "
+                  << strings::format("%.0f ms", delay * 1e3);
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
 }
 
 void AgentSession::add_span(std::string name, double begin_s, double end_s) {

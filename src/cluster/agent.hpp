@@ -29,6 +29,9 @@ class AgentSession {
     std::string node_name;
     std::string sku;          ///< e.g. "sim-zen2@1500MHz"
     double connect_timeout_s = 15.0;
+    /// Overall budget for one reconnect/rejoin recovery (dial + handshake,
+    /// across backoff attempts) after a lost link.
+    double rejoin_timeout_s = 30.0;
   };
 
   /// Connects and completes the whole handshake: hello, sync replies until
@@ -88,9 +91,21 @@ class AgentSession {
   /// the coordinator's shutdown.
   void finish(bool converged, const std::string& detail);
 
+  /// Recover a lost link: dial the coordinator again with exponential
+  /// backoff + jitter, present the rejoin handshake (node name, campaign
+  /// id, `phases_ended` completed phases), and on acceptance re-run clock
+  /// sync and re-take the campaign and epoch on the fresh socket. Returns
+  /// the coordinator-assigned resume phase: the phase to run next (equal to
+  /// the campaign's phase count means every phase is done — go straight to
+  /// finish()). Throws fs2::Error when the coordinator refuses the rejoin
+  /// (authoritative — no retry) or when Options::rejoin_timeout_s of
+  /// attempts all fail.
+  std::uint32_t rejoin(std::uint32_t phases_ended);
+
  private:
   Frame expect(MessageType type, double timeout_s);
 
+  Options options_;
   Connection conn_;
   CampaignMsg campaign_;
   EpochMsg epoch_;

@@ -100,6 +100,11 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
                                       n.name.c_str(), msg.phase_index, n.phases_begun));
     ++n.phases_begun;
 
+    // A rejoined node's re-begin of its interrupted phase arrives seconds
+    // after the fleet's — recovery lateness, not a lockstep straggle.
+    const bool sync_exempt = msg.phase_index == n.sync_exempt_phase;
+    if (sync_exempt) n.sync_exempt_phase = kNoSyncExempt;
+
     if (sync_.size() <= msg.phase_index) {
       PhaseSync sync;
       sync.name = msg.phase_name;
@@ -108,6 +113,9 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
       sync.nodes = 1;
       sync_.push_back(sync);
       phase_names_.push_back(msg.phase_name);
+    } else if (sync_exempt) {
+      // Keep the entry's stats untouched; the re-begin still opens the
+      // aggregate phase below.
     } else {
       PhaseSync& sync = sync_[msg.phase_index];
       if (msg.epoch_elapsed_s < sync.min_begin_s) {
@@ -134,10 +142,70 @@ void ClusterBus::on_bracket(std::size_t node, const PhaseBracketMsg& msg) {
     }
   } else {
     ++n.phases_ended;
-    bool all_ended = true;
-    for (const Node& other : nodes_) all_ended &= other.phases_ended > agg_phase_index_;
-    if (all_ended) close_aggregate_phase();
+    close_completed_phases();
   }
+}
+
+void ClusterBus::close_completed_phases() {
+  while (agg_phase_open_) {
+    bool all_ended = true;
+    bool any = false;
+    for (const Node& other : nodes_) {
+      if (other.lost) continue;
+      any = true;
+      all_ended &= other.phases_ended > agg_phase_index_;
+    }
+    if (!any || !all_ended) return;
+    close_aggregate_phase();
+  }
+}
+
+void ClusterBus::on_node_lost(std::size_t node) {
+  Node& n = nodes_.at(node);
+  if (n.lost) return;
+  n.lost = true;
+  for (AggregateStream& stream : aggregates_) {
+    if (stream.participating[node]) {
+      stream.participating[node] = 0;
+      --stream.participants;
+    }
+    queued_ -= stream.queues[node].size();
+    stream.queues[node].clear();
+    // Groups that were only waiting on the dead node can complete now.
+    drain_aligned(stream);
+  }
+  queued_gauge().set(static_cast<double>(queued_));
+  close_completed_phases();
+}
+
+void ClusterBus::on_node_rejoin(std::size_t node, std::uint32_t resume) {
+  Node& n = nodes_.at(node);
+  n.lost = false;
+  n.phases_begun = resume;
+  n.phases_ended = resume;
+  // The re-begin of the interrupted phase (if the fleet already began it)
+  // is late by the whole outage; exempt it from the lockstep spread.
+  if (resume < sync_.size()) n.sync_exempt_phase = resume;
+  // The dead incarnation's queued samples must not align with the fresh
+  // run — a restarted agent re-publishes its interrupted phase from the top.
+  for (AggregateStream& stream : aggregates_) {
+    queued_ -= stream.queues[node].size();
+    stream.queues[node].clear();
+  }
+  // Restore aggregate participation for channels the node had registered.
+  // A restarted sim agent re-registers (on_channel would heal this), but a
+  // surviving real agent keeps its sink and never re-sends kChannel.
+  for (std::size_t ch = 0; ch < n.aggregate_of.size(); ++ch) {
+    const std::size_t agg = n.aggregate_of[ch];
+    if (agg == kNoAggregate || n.registered[ch] == 0) continue;
+    AggregateStream& stream = aggregates_[agg];
+    if (!stream.participating[node]) {
+      stream.participating[node] = 1;
+      ++stream.participants;
+    }
+  }
+  queued_gauge().set(static_cast<double>(queued_));
+  close_completed_phases();
 }
 
 void ClusterBus::on_samples(std::size_t node, const SampleBatchMsg& msg) {

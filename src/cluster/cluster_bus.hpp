@@ -70,6 +70,18 @@ class ClusterBus {
   void on_samples(std::size_t node, const SampleBatchMsg& msg);
   void on_summary(std::size_t node, const NodeSummaryMsg& msg);
 
+  /// The coordinator gave up on a lost node: drop it from every aggregate
+  /// (its queued samples are discarded, its participation no longer gates
+  /// group completion) and close any phase that was only waiting on it.
+  void on_node_lost(std::size_t node);
+
+  /// The node rejoined and will resume at phase `resume`: rewind its
+  /// bracket expectations (a restarted agent re-begins its interrupted
+  /// phase; completed-but-unreported phases are credited by the
+  /// coordinator), discard the dead incarnation's queued samples, and
+  /// re-check aggregate close for any phase its credited ends complete.
+  void on_node_rejoin(std::size_t node, std::uint32_t resume);
+
   /// Close the aggregate stream (after the last bracket has arrived).
   void finish();
 
@@ -117,10 +129,22 @@ class ClusterBus {
     std::vector<metrics::Summary> rows;
     std::uint32_t phases_begun = 0;
     std::uint32_t phases_ended = 0;
+    bool lost = false;  ///< given up on — excluded from aggregate close
+    /// One phase whose begin bracket is exempt from the lockstep spread
+    /// stats: a rejoined node re-begins its interrupted phase seconds after
+    /// everyone else, and that lateness is recovery, not a straggle.
+    std::uint32_t sync_exempt_phase = kNoSyncExempt;
   };
+
+  /// Sentinel: no sync-exempt phase pending.
+  static constexpr std::uint32_t kNoSyncExempt =
+      static_cast<std::uint32_t>(-1);
 
   void drain_aligned(AggregateStream& stream);
   void close_aggregate_phase();
+  /// Close every aggregate phase whose gating set (non-lost nodes) has
+  /// fully ended it — called when loss or rejoin changes that set.
+  void close_completed_phases();
 
   /// One cluster-wide derived stream (sum or max across nodes).
   struct AggregateStream {

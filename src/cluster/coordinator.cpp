@@ -11,6 +11,7 @@
 #include "trace/registry.hpp"
 #include "trace/tracer.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace fs2::cluster {
@@ -35,59 +36,131 @@ Coordinator::Coordinator(Options options)
     apportioner_ = std::make_unique<control::BudgetApportioner>(options_.budget->value,
                                                                 options_.nodes);
   }
+  // Run-unique campaign id: the seed alone would collide across repeated
+  // runs of the same spec, which is exactly when a zombie agent from the
+  // previous run might still be retrying its rejoin.
+  std::uint64_t id_state =
+      options_.seed ^ static_cast<std::uint64_t>(local_clock_s() * 1e6);
+  campaign_id_ = splitmix64(id_state);
 }
 
 void Coordinator::accept_and_handshake(std::ostream& log) {
   nodes_.reserve(options_.nodes);
+  // Sockets accepted but not yet past hello. The old loop did one blocking
+  // 10 s recv per accepted socket, so a single silent client stalled the
+  // whole fleet's admission behind it (head-of-line). Now the listener and
+  // every pending socket are polled together: a slow, silent, or garbage
+  // client burns only its own hello window while agents behind it are
+  // admitted; when its window expires the socket is dropped, not the run.
+  struct PendingConn {
+    Connection conn;
+    double deadline_s = 0.0;
+  };
+  constexpr double kHelloWindowS = 10.0;
+  std::vector<PendingConn> pending;
+  // Progress-based overall deadline, matching the old per-accept semantics:
+  // a coordinator told to expect N nodes fails loudly when the NEXT agent
+  // never dials in, not after N quiet windows stack up.
+  double accept_deadline_s = local_clock_s() + options_.accept_timeout_s;
   while (nodes_.size() < options_.nodes) {
-    const std::size_t i = nodes_.size();
-    Node node;
-    node.conn = listener_.accept(options_.accept_timeout_s);
-    // An HTTP scraper may probe while the fleet is still assembling; its
-    // "GET " would parse as an absurd frame length and kill the accept
-    // loop. Route it off before framing, like the mid-run listener path.
-    if (peek_is_http_get(node.conn.fd(), /*timeout_s=*/10.0)) {
-      serve_http_client(std::move(node.conn), render_exposition(),
-                        detector_.fleet_healthy());
-      continue;
+    std::vector<pollfd> fds;
+    fds.reserve(pending.size() + 1);
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    for (const PendingConn& p : pending) fds.push_back(pollfd{p.conn.fd(), POLLIN, 0});
+    double wait_s = accept_deadline_s - local_clock_s();
+    for (const PendingConn& p : pending)
+      wait_s = std::min(wait_s, p.deadline_s - local_clock_s());
+    const int timeout_ms =
+        static_cast<int>(std::clamp(wait_s, 0.0, 600.0) * 1000.0) + 1;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw Error("cluster: poll failed during handshake");
     }
-    const auto frame = node.conn.recv(/*timeout_s=*/10.0);
-    if (!frame || frame->type != MessageType::kHello) {
-      // Status probes may land while the fleet is still assembling; answer
-      // with what is known so far and keep waiting for real agents —
-      // the probe must not consume a --nodes slot.
-      if (frame && frame->type == MessageType::kStatusRequest) {
-        serve_status_client(std::move(node.conn), /*accepting=*/true);
+    const double now = local_clock_s();
+    if (fds[0].revents & POLLIN)
+      pending.push_back(PendingConn{listener_.accept(1.0), now + kHelloWindowS});
+
+    std::size_t fd_index = 1;  // fds[0] is the listener
+    for (std::size_t p = 0; p < pending.size() && nodes_.size() < options_.nodes;) {
+      // fds[fd_index] pairs with the pending entry in pre-poll order;
+      // erasing consumes the slot, so the index advances once per visited
+      // entry either way. Sockets admitted by the accept above sit past the
+      // end of fds (no pollfd yet) and simply wait a turn.
+      const bool readable =
+          fd_index < fds.size() && (fds[fd_index].revents & (POLLIN | POLLHUP | POLLERR));
+      ++fd_index;
+      if (!readable) {
+        if (now < pending[p].deadline_s) {
+          ++p;
+          continue;
+        }
+        log::warn() << "cluster: dropping connection that never said hello within "
+                    << kHelloWindowS << " s";
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(p));
         continue;
       }
-      throw WireError(strings::format("cluster: connection %zu did not say hello", i));
-    }
-    WireReader reader(frame->payload);
-    const HelloMsg hello = HelloMsg::decode(reader);
-    if (hello.version != kProtocolVersion)
-      throw WireError(strings::format("cluster: node '%s' speaks protocol %u, need %u",
-                                      hello.node_name.c_str(), hello.version,
-                                      kProtocolVersion));
-    node.info.name = hello.node_name.empty()
-                         ? strings::format("node-%zu", i)
-                         : hello.node_name;
-    // Names key the merged CSV's node column; make collisions unambiguous.
-    for (const Node& other : nodes_)
-      if (other.info.name == node.info.name)
-        node.info.name += strings::format("#%zu", i);
-    node.info.sku = hello.sku;
+      Connection conn = std::move(pending[p].conn);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(p));
+      try {
+        const std::size_t i = nodes_.size();
+        // An HTTP scraper may probe while the fleet is still assembling; its
+        // "GET " would parse as an absurd frame length and kill the accept
+        // loop. Route it off before framing, like the mid-run listener path.
+        if (peek_is_http_get(conn.fd(), /*timeout_s=*/1.0)) {
+          serve_http_client(std::move(conn), render_exposition(),
+                            detector_.fleet_healthy());
+          continue;
+        }
+        const auto frame = conn.recv(/*timeout_s=*/2.0);
+        if (!frame || frame->type != MessageType::kHello) {
+          // Status probes may land while the fleet is still assembling;
+          // answer with what is known so far and keep waiting for real
+          // agents — the probe must not consume a --nodes slot.
+          if (frame && frame->type == MessageType::kStatusRequest) {
+            serve_status_client(std::move(conn), /*accepting=*/true);
+            continue;
+          }
+          throw WireError("first frame was not a hello");
+        }
+        WireReader reader(frame->payload);
+        const HelloMsg hello = HelloMsg::decode(reader);
+        if (hello.version != kProtocolVersion)
+          throw WireError(strings::format("node '%s' speaks protocol %u, need %u",
+                                          hello.node_name.c_str(), hello.version,
+                                          kProtocolVersion));
+        Node node;
+        node.conn = std::move(conn);
+        node.info.name = hello.node_name.empty() ? strings::format("node-%zu", i)
+                                                 : hello.node_name;
+        // Names key the merged CSV's node column; make collisions unambiguous.
+        for (const Node& other : nodes_)
+          if (other.info.name == node.info.name)
+            node.info.name += strings::format("#%zu", i);
+        node.info.sku = hello.sku;
 
-    const ClockSyncResult sync = run_clock_sync(node.conn);
-    node.info.clock_offset_s = sync.offset_s;
-    node.info.rtt_s = sync.rtt_s;
-    log << strings::format("node %s (%s): clock offset %+.1f us, rtt %.1f us\n",
-                           node.info.name.c_str(), node.info.sku.c_str(),
-                           sync.offset_s * 1e6, sync.rtt_s * 1e6);
-    log::debug() << "cluster: handshake " << log::kv("node", node.info.name) << ' '
-                 << log::kv("sku", node.info.sku) << ' '
-                 << log::kv("offset_us", sync.offset_s * 1e6) << ' '
-                 << log::kv("rtt_us", sync.rtt_s * 1e6);
-    nodes_.push_back(std::move(node));
+        const ClockSyncResult sync = run_clock_sync(node.conn);
+        node.info.clock_offset_s = sync.offset_s;
+        node.info.rtt_s = sync.rtt_s;
+        log << strings::format("node %s (%s): clock offset %+.1f us, rtt %.1f us\n",
+                               node.info.name.c_str(), node.info.sku.c_str(),
+                               sync.offset_s * 1e6, sync.rtt_s * 1e6);
+        log::debug() << "cluster: handshake " << log::kv("node", node.info.name) << ' '
+                     << log::kv("sku", node.info.sku) << ' '
+                     << log::kv("offset_us", sync.offset_s * 1e6) << ' '
+                     << log::kv("rtt_us", sync.rtt_s * 1e6);
+        nodes_.push_back(std::move(node));
+        accept_deadline_s = local_clock_s() + options_.accept_timeout_s;
+      } catch (const WireError& e) {
+        // A malformed or wrong-version client costs itself the socket, never
+        // the fleet: real agents keep being admitted around it.
+        log::warn() << "cluster: dropping bad handshake connection: " << e.what();
+      }
+    }
+    if (nodes_.size() < options_.nodes && local_clock_s() >= accept_deadline_s)
+      throw Error(strings::format(
+          "cluster: accepted %zu of %zu nodes, none arrived for %.0f s",
+          nodes_.size(), options_.nodes, options_.accept_timeout_s));
   }
 
   std::vector<std::string> names;
@@ -107,6 +180,7 @@ void Coordinator::accept_and_handshake(std::ostream& log) {
 
 void Coordinator::distribute_campaign() {
   CampaignMsg msg;
+  msg.campaign_id = campaign_id_;
   msg.has_budget = apportioner_ ? 1 : 0;
   msg.initial_setpoint_w = apportioner_ ? apportioner_->initial_share_w() : 0.0;
   msg.ctl_interval_s = options_.ctl_interval_s;
@@ -146,6 +220,13 @@ std::size_t Coordinator::alive_nodes() const {
   for (const Node& node : nodes_)
     if (!node.lost) ++alive;
   return alive;
+}
+
+std::size_t Coordinator::voting_nodes() const {
+  std::size_t voting = 0;
+  for (const Node& node : nodes_)
+    if (!node.given_up) ++voting;
+  return voting;
 }
 
 double Coordinator::epoch_elapsed_s() const {
@@ -277,11 +358,14 @@ void Coordinator::handle_frame(std::size_t index, const Frame& frame, std::ostre
 
 void Coordinator::maybe_release_phase(std::uint32_t phase_index, std::ostream& log) {
   if (phase_index >= phase_released_.size() || phase_released_[phase_index]) return;
-  // Barrier condition: every node still alive has ended the phase. A lost
-  // node's vote is waived; if nobody ended it yet there is nothing to
-  // release (0 == 0 must not fire before the phase even ran).
+  // Barrier condition: every VOTING node has ended the phase. A lost node
+  // inside its rejoin grace window still votes — the fleet holds for a node
+  // that may come back, so a rejoined node contributes to every remaining
+  // phase. Only a given-up node's vote is waived. If nobody ended the phase
+  // yet there is nothing to release (0 == 0 must not fire before the phase
+  // even ran).
   if (phase_end_counts_[phase_index] == 0) return;
-  if (phase_end_counts_[phase_index] < alive_nodes()) return;
+  if (phase_end_counts_[phase_index] < voting_nodes()) return;
   phase_released_[phase_index] = 1;
   if (trace::Tracer::enabled())
     trace::Tracer::record("cluster.phase_barrier", phase_barrier_open_s_[phase_index],
@@ -310,29 +394,190 @@ void Coordinator::mark_node_lost(std::size_t index, const std::string& why,
   Node& node = nodes_[index];
   if (node.lost) return;
   node.lost = true;
+  node.lost_since_s = local_clock_s();
+  node.lost_why = why;
   node.conn.close();
+  log << strings::format("node %s LOST mid-campaign (%s) — rejoin window %.1fs open\n",
+                         node.info.name.c_str(), why.c_str(), options_.rejoin_grace_s);
+  log::warn() << "cluster: node lost " << log::kv("node", node.info.name) << ' '
+              << log::kv("phase", node.phases_ended) << ' '
+              << log::kv("reason", why);
+  detector_.on_node_lost(index, why, epoch_elapsed_s());
+  // The dead node's budget share flows to the survivors NOW, not at the
+  // next phase boundary: its stale achieved sample stops counting and
+  // every survivor's next report sees the smaller denominator. The
+  // convergence window restarts too — the phase is judged on the fleet
+  // composition it ends with, not on totals that straddle the loss.
+  if (apportioner_) {
+    apportioner_->on_node_lost(index);
+    apportioner_->begin_window();
+  }
+  trace::FlightRecorder::instance().note_event(
+      strings::format("node %s lost at t=%.2fs: %s", node.info.name.c_str(),
+                      epoch_elapsed_s(), why.c_str()));
+  process_new_alerts(log);
+  if (options_.rejoin_grace_s <= 0.0) give_up_node(index, log);
+}
+
+void Coordinator::give_up_node(std::size_t index, std::ostream& log) {
+  Node& node = nodes_[index];
+  if (node.given_up) return;
+  node.given_up = true;
   node.info.converged = false;
-  node.info.verdict_detail = "node lost: " + why;
+  node.info.verdict_detail = "node lost: " + node.lost_why;
   result_.nodes_converged = false;
   if (!node.verdict_received) {
     node.verdict_received = true;
     ++verdicts_;
   }
-  log << strings::format("node %s LOST mid-campaign (%s) — continuing with %zu nodes\n",
-                         node.info.name.c_str(), why.c_str(), alive_nodes());
-  log::warn() << "cluster: node lost " << log::kv("node", node.info.name) << ' '
-              << log::kv("phase", node.phases_ended) << ' '
-              << log::kv("reason", why);
-  detector_.on_node_lost(index, why, epoch_elapsed_s());
-  trace::FlightRecorder::instance().note_event(
-      strings::format("node %s lost at t=%.2fs: %s", node.info.name.c_str(),
-                      epoch_elapsed_s(), why.c_str()));
-  process_new_alerts(log);
-  // A lost node can no longer vote: re-check every pending barrier so the
-  // survivors aren't wedged waiting for its end brackets.
+  log << strings::format("node %s given up (%s) — continuing with %zu nodes\n",
+                         node.info.name.c_str(), node.lost_why.c_str(), voting_nodes());
+  log::warn() << "cluster: node given up " << log::kv("node", node.info.name) << ' '
+              << log::kv("reason", node.lost_why);
+  // A given-up node can no longer vote: drop it from the aggregate gate and
+  // re-check every pending barrier so the survivors aren't wedged waiting
+  // for its end brackets.
+  if (bus_) bus_->on_node_lost(index);
   for (std::uint32_t p = 0; p < phase_end_counts_.size(); ++p)
     maybe_release_phase(p, log);
-  trace::FlightRecorder::instance().dump("node " + node.info.name + " lost: " + why);
+  trace::FlightRecorder::instance().dump("node " + node.info.name +
+                                         " lost: " + node.lost_why);
+}
+
+void Coordinator::sweep_rejoin_grace(std::ostream& log) {
+  const double now = local_clock_s();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.lost && !node.given_up &&
+        now - node.lost_since_s >= options_.rejoin_grace_s)
+      give_up_node(i, log);
+  }
+}
+
+void Coordinator::handle_rejoin(Connection client, const RejoinMsg& msg,
+                                std::ostream& log) {
+  const auto refuse = [&](const std::string& why) {
+    log::warn() << "cluster: rejoin refused " << log::kv("node", msg.node_name) << ' '
+                << log::kv("why", why);
+    RejoinAckMsg ack;
+    ack.accepted = 0;
+    ack.detail = why;
+    client.send(ack.encode());
+  };
+  if (msg.version != kProtocolVersion) {
+    refuse(strings::format("protocol %u, need %u", msg.version, kProtocolVersion));
+    return;
+  }
+  if (msg.campaign_id != campaign_id_) {
+    refuse("campaign id mismatch (agent from another run?)");
+    return;
+  }
+  std::size_t index = nodes_.size();
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].info.name == msg.node_name) index = i;
+  if (index == nodes_.size()) {
+    refuse("unknown node name");
+    return;
+  }
+  Node& node = nodes_[index];
+  if (node.given_up) {
+    refuse(strings::format("rejoin window (%.1fs) expired", options_.rejoin_grace_s));
+    return;
+  }
+  if (node.verdict_received) {
+    refuse("verdict already recorded");
+    return;
+  }
+  if (!node.lost) {
+    // Double-rejoin: a fresh socket for a node we still believe connected
+    // means the old connection is dead on the agent's side (half-open TCP).
+    // Latest wins — drop the stale socket so exactly one stays live.
+    log::warn() << "cluster: node " << node.info.name
+                << " rejoined over a live connection; replacing the stale socket";
+    node.conn.close();
+  }
+  // The agent may have completed phases whose end brackets never survived
+  // the wire; its own count is proof of completion, so credit the missing
+  // barrier votes rather than making it re-run work the fleet would then
+  // double-count.
+  const std::uint32_t prev_ended = node.phases_ended;
+  const std::uint32_t resume =
+      std::min(static_cast<std::uint32_t>(options_.phase_count),
+               std::max(prev_ended, msg.phases_ended));
+
+  // Replay the admission sequence on the fresh socket BEFORE flipping any
+  // coordinator state: if the rejoiner dies mid-handshake the node simply
+  // stays lost, with its grace window still ticking.
+  RejoinAckMsg ack;
+  ack.accepted = 1;
+  ack.resume_phase = resume;
+  client.send(ack.encode());
+  const ClockSyncResult sync = run_clock_sync(client);
+  CampaignMsg campaign;
+  campaign.campaign_id = campaign_id_;
+  campaign.has_budget = apportioner_ ? 1 : 0;
+  // The node is still marked lost here (it holds no share); on admission the
+  // whole live set is re-seeded equal, so the equal share IS its setpoint.
+  campaign.initial_setpoint_w = apportioner_ ? apportioner_->initial_share_w() : 0.0;
+  campaign.ctl_interval_s = options_.ctl_interval_s;
+  campaign.budget_interval_s = options_.budget ? options_.budget->interval_s : 0.5;
+  campaign.budget_band = options_.budget ? options_.budget->band : 0.02;
+  campaign.trace_enabled = options_.trace ? 1 : 0;
+  campaign.metrics_interval_s = options_.metrics_interval_s;
+  campaign.campaign_text = options_.per_node_campaigns.empty()
+                               ? options_.campaign_text
+                               : options_.per_node_campaigns[index];
+  client.send(campaign.encode());
+  // The ORIGINAL epoch re-expressed through the fresh clock sync: the
+  // rejoined node lands on the same shared timeline as everyone else.
+  EpochMsg epoch;
+  epoch.t0_agent_s = epoch_local_s_ + sync.offset_s;
+  epoch.offset_s = sync.offset_s;
+  epoch.rtt_s = sync.rtt_s;
+  client.send(epoch.encode());
+  // If the go for its resume phase fired while it was away, replay it —
+  // the node would otherwise wait for a broadcast that already happened.
+  if (resume > 0 && resume < options_.phase_count && phase_released_[resume - 1]) {
+    PhaseGoMsg go;
+    go.phase_index = resume;
+    client.send(go.encode());
+  }
+
+  // Wire sequence survived — flip the node back to alive.
+  node.conn = std::move(client);
+  node.lost = false;
+  node.lost_why.clear();
+  node.phases_begun = resume;
+  node.phases_ended = resume;
+  node.info.clock_offset_s = sync.offset_s;
+  node.info.rtt_s = sync.rtt_s;
+  ++node.info.rejoins;
+  fds_stale_ = true;
+  for (std::uint32_t p = prev_ended; p < resume; ++p) {
+    if (phase_end_counts_[p] == 0) phase_barrier_open_s_[p] = local_clock_s();
+    ++phase_end_counts_[p];
+  }
+  bus_->on_node_rejoin(index, resume);
+  // Re-seed shares equal across the grown fleet and restart the window:
+  // budget convergence is judged on the composition the phase ends with.
+  if (apportioner_) {
+    apportioner_->on_node_rejoin(index);
+    apportioner_->begin_window();
+  }
+  detector_.on_node_recovered(index, epoch_elapsed_s());
+  trace::Registry::instance().counter("coordinator.rejoins").add();
+  log << strings::format("node %s REJOINED at phase %u (rejoin #%u)\n",
+                         node.info.name.c_str(), resume, node.info.rejoins);
+  log::info() << "cluster: node rejoined " << log::kv("node", node.info.name) << ' '
+              << log::kv("resume_phase", resume) << ' '
+              << log::kv("rejoins", node.info.rejoins) << ' '
+              << log::kv("offset_us", sync.offset_s * 1e6);
+  trace::FlightRecorder::instance().note_event(
+      strings::format("node %s rejoined at t=%.2fs, resuming phase %u",
+                      node.info.name.c_str(), epoch_elapsed_s(), resume));
+  process_new_alerts(log);
+  // Credited end brackets may have completed pending barriers.
+  for (std::uint32_t p = prev_ended; p < resume; ++p) maybe_release_phase(p, log);
 }
 
 void Coordinator::process_new_alerts(std::ostream& log) {
@@ -374,6 +619,7 @@ std::string Coordinator::render_exposition() const {
     row.setpoint_w = node.setpoint_w;
     row.level = node.level;
     row.metrics_age_s = metrics_.age_s(i, now);
+    row.rejoins = node.info.rejoins;
     rows.push_back(std::move(row));
   }
   return render_metrics(trace::Registry::instance().snapshot(),
@@ -394,12 +640,16 @@ void Coordinator::serve_listener_client(std::ostream& log) {
       return;
     }
     const auto request = client.recv(/*timeout_s=*/2.0);
-    if (request && request->type == MessageType::kStatusRequest)
+    if (request && request->type == MessageType::kStatusRequest) {
       serve_status_client(std::move(client), /*accepting=*/false);
+    } else if (request && request->type == MessageType::kRejoin) {
+      WireReader reader(request->payload);
+      handle_rejoin(std::move(client), RejoinMsg::decode(reader), log);
+    }
   } catch (const Error&) {
-    // Broken probes and scrapers never take the campaign down.
+    // Broken probes, scrapers, and half-dead rejoiners never take the
+    // campaign down.
   }
-  (void)log;
 }
 
 StatusReplyMsg Coordinator::build_status(bool accepting) const {
@@ -426,6 +676,7 @@ StatusReplyMsg Coordinator::build_status(bool accepting) const {
     rec.level = node.level;
     rec.lost = node.lost ? 1 : 0;
     rec.last_metrics_age_s = metrics_.age_s(i, now);
+    rec.rejoins = node.info.rejoins;
     reply.nodes.push_back(std::move(rec));
   }
   if (bus_) {
@@ -462,15 +713,22 @@ void Coordinator::serve_status_client(Connection conn, bool accepting) {
 }
 
 void Coordinator::event_loop(std::ostream& log) {
-  // The pollfd set is sized after the handshake (nodes never join
-  // mid-campaign), built once and reused; a LOST node's slot is parked at
-  // fd -1, which poll(2) ignores. One scratch frame serves every receive —
-  // the loop allocates nothing per frame. The last slot watches the
-  // listener: status clients and HTTP scrapers may connect mid-campaign.
+  // The pollfd set is sized after the handshake, built once and reused; a
+  // LOST node's slot is parked at fd -1, which poll(2) ignores, and a
+  // REJOIN swaps in a fresh socket (fds_stale_ forces a rebuild). One
+  // scratch frame serves every receive — the loop allocates nothing per
+  // frame. The last slot watches the listener: status clients, HTTP
+  // scrapers, and rejoining agents connect mid-campaign.
   std::vector<pollfd> fds;
-  fds.reserve(nodes_.size() + 1);
-  for (const Node& node : nodes_) fds.push_back(pollfd{node.conn.fd(), POLLIN, 0});
-  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  const auto rebuild_fds = [&] {
+    fds.clear();
+    fds.reserve(nodes_.size() + 1);
+    for (const Node& node : nodes_)
+      fds.push_back(pollfd{node.lost ? -1 : node.conn.fd(), POLLIN, 0});
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    fds_stale_ = false;
+  };
+  rebuild_fds();
   Frame frame;
   trace::Registry& registry = trace::Registry::instance();
   trace::Counter& frames = registry.counter("coordinator.frames");
@@ -492,12 +750,20 @@ void Coordinator::event_loop(std::ostream& log) {
   double last_sweep_s = local_clock_s();
 
   while (verdicts_ < nodes_.size()) {
-    const int ready = ::poll(fds.data(), fds.size(), tick_ms);
+    if (fds_stale_) rebuild_fds();
+    // A lost node's grace window must expire on time even when the metrics
+    // plane is off (tick_ms = 600 s): bound the wait while any window is
+    // open.
+    int timeout_ms = tick_ms;
+    for (const Node& node : nodes_)
+      if (node.lost && !node.given_up) timeout_ms = std::min(timeout_ms, 50);
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       throw Error("cluster: poll failed");
     }
     const double now = local_clock_s();
+    sweep_rejoin_grace(log);
     if (ready == 0 && now - last_traffic_s > 600.0) {
       // A generous stall guard, not a pacing interval: agents push traffic
       // continuously while phases run. Preserve the evidence before dying.
@@ -558,6 +824,10 @@ void Coordinator::event_loop(std::ostream& log) {
   shutdown.ok = 1;
   for (Node& node : nodes_)
     if (!node.lost && node.conn.valid()) node.conn.send(shutdown.encode());
+  // Every verdict is in: stop listening. Anything still in the accept
+  // backlog (a rejoiner that arrived after its node was given up) gets a
+  // reset instead of an eternal unanswered handshake.
+  listener_.close();
 }
 
 Coordinator::Result Coordinator::run(std::ostream& log) {

@@ -50,6 +50,13 @@ class Coordinator {
     /// kMetricUpdate cadence handed to every agent (--metrics-interval);
     /// 0 disables the live metrics plane (and flat-line detection with it).
     double metrics_interval_s = 1.0;
+    /// How long a lost node may take to reconnect and rejoin before the
+    /// coordinator gives up on it (waives its barrier votes, records a NOT
+    /// converged verdict). While the window is open the fleet HOLDS at the
+    /// node's next barrier — a rejoined node must contribute to every
+    /// remaining phase, not limp in after the campaign moved on. 0 gives up
+    /// immediately (the pre-rejoin behavior).
+    double rejoin_grace_s = 2.0;
   };
 
   struct NodeInfo {
@@ -59,6 +66,7 @@ class Coordinator {
     double rtt_s = 0.0;
     bool converged = true;
     std::string verdict_detail;
+    std::uint32_t rejoins = 0;  ///< accepted kRejoin handshakes for this node
   };
 
   struct PhaseBudgetVerdict {
@@ -101,10 +109,16 @@ class Coordinator {
     std::uint32_t phases_begun = 0;
     std::uint32_t phases_ended = 0;
     bool verdict_received = false;
-    /// Connection dropped mid-campaign. A lost node stops the fleet no
-    /// longer: its barrier votes are waived, its verdict is recorded as
-    /// NOT converged, and the campaign runs on with the survivors.
+    /// Connection dropped mid-campaign. Loss opens a rejoin grace window
+    /// (Options::rejoin_grace_s): the node's budget share flows to the
+    /// survivors immediately, but its barrier votes still count — the fleet
+    /// holds for a node that may come back. If the window expires the node
+    /// is GIVEN UP: votes waived, verdict recorded as NOT converged, and
+    /// the campaign runs on with the survivors.
     bool lost = false;
+    bool given_up = false;        ///< grace expired; no rejoin accepted
+    double lost_since_s = 0.0;    ///< local clock at loss (grace bookkeeping)
+    std::string lost_why;         ///< first loss reason, for the give-up verdict
     // Latest budget exchange, surfaced on the status plane.
     double achieved_w = 0.0;
     double setpoint_w = 0.0;
@@ -128,12 +142,27 @@ class Coordinator {
   void serve_listener_client(std::ostream& log);
 
   std::size_t alive_nodes() const;
+  /// Nodes whose barrier votes still count: everyone not given up —
+  /// including lost nodes inside their rejoin grace window.
+  std::size_t voting_nodes() const;
   double epoch_elapsed_s() const;
-  /// Release the phase barrier once every LIVE node has ended the phase —
-  /// re-checked both on end brackets and on node loss, so a crashed node
-  /// cannot wedge the survivors.
+  /// Release the phase barrier once every VOTING node has ended the phase —
+  /// re-checked on end brackets, on give-up (so a crashed node cannot wedge
+  /// the survivors forever), and on rejoin (credited end brackets).
   void maybe_release_phase(std::uint32_t phase_index, std::ostream& log);
   void mark_node_lost(std::size_t index, const std::string& why, std::ostream& log);
+  /// The rejoin grace window expired: waive the node's barrier votes and
+  /// record its NOT-converged verdict. Loss with rejoin_grace_s == 0 lands
+  /// here immediately.
+  void give_up_node(std::size_t index, std::ostream& log);
+  /// Expire grace windows of lost nodes that never came back.
+  void sweep_rejoin_grace(std::ostream& log);
+  /// A fresh socket presented kRejoin: validate it (version, campaign id,
+  /// node name, window still open), replay the admission sequence on the
+  /// new connection (ack, clock re-sync, campaign, epoch, any missed
+  /// PhaseGo), and flip the node back to alive. Refusals answer with
+  /// accepted=0 and never disturb the campaign.
+  void handle_rejoin(Connection client, const RejoinMsg& msg, std::ostream& log);
   /// Drain newly raised detector alerts into the log, the trace timeline,
   /// the flight recorder, and Result.alerts.
   void process_new_alerts(std::ostream& log);
@@ -159,6 +188,13 @@ class Coordinator {
   MetricStore metrics_;
   AnomalyDetector detector_;
   double epoch_local_s_ = 0.0;  ///< coordinator clock at the shared epoch
+  /// Run-unique id stamped into the campaign and echoed by every kRejoin:
+  /// an agent from yesterday's run (or someone else's coordinator) cannot
+  /// splice itself into this campaign.
+  std::uint64_t campaign_id_ = 0;
+  /// A rejoin swapped a node's socket: the event loop's pollfd set must be
+  /// rebuilt before the next poll.
+  bool fds_stale_ = false;
 };
 
 }  // namespace fs2::cluster

@@ -129,6 +129,8 @@ std::string render_metrics(const std::vector<trace::MetricSnapshot>& local,
       {"fs2_node_level", [](const ExpositionNode& n) { return n.level; }},
       {"fs2_node_metrics_age_seconds",
        [](const ExpositionNode& n) { return n.metrics_age_s; }},
+      {"fs2_node_rejoins",
+       [](const ExpositionNode& n) { return static_cast<double>(n.rejoins); }},
   };
   for (const NodeGauge& g : kNodeGauges) {
     append_type(out, g.metric, "gauge");

@@ -22,6 +22,7 @@ struct ExpositionNode {
   double setpoint_w = 0.0;
   double level = 0.0;
   double metrics_age_s = -1.0;  ///< -1 = no update yet
+  std::uint32_t rejoins = 0;    ///< accepted rejoin handshakes
 };
 
 /// Sanitize a dotted metric name into a Prometheus identifier:

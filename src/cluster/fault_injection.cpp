@@ -1,0 +1,245 @@
+#include "cluster/fault_injection.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace fs2::cluster {
+
+namespace {
+
+/// FNV-1a 64 over the node name: stable across platforms (std::hash is
+/// not), which is what makes per-link schedules reproducible everywhere.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+[[noreturn]] void bad_token(const std::string& token, const std::string& why) {
+  throw ConfigError("--chaos: bad token '" + token + "' (" + why + ")");
+}
+
+/// "1%" -> 0.01, "0.5%" -> 0.005, "0.01" -> 0.01.
+double parse_probability(const std::string& token, const std::string& value) {
+  std::string text = value;
+  bool percent = false;
+  if (!text.empty() && text.back() == '%') {
+    percent = true;
+    text.pop_back();
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') bad_token(token, "expected a probability");
+  const double p = percent ? parsed / 100.0 : parsed;
+  if (!(p >= 0.0 && p <= 1.0)) bad_token(token, "probability out of [0, 100%]");
+  return p;
+}
+
+/// "5ms" -> 0.005, "12s" -> 12, "250us" -> 0.00025. `rest` gets the suffix
+/// after the unit (for "12s:2s"-style compounds).
+double parse_duration(const std::string& token, const std::string& value,
+                      std::string* rest = nullptr) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str()) bad_token(token, "expected a duration");
+  double scale = 0.0;
+  if (std::strncmp(end, "us", 2) == 0) {
+    scale = 1e-6;
+    end += 2;
+  } else if (std::strncmp(end, "ms", 2) == 0) {
+    scale = 1e-3;
+    end += 2;
+  } else if (*end == 's') {
+    scale = 1.0;
+    end += 1;
+  } else {
+    bad_token(token, "duration needs a unit (us/ms/s)");
+  }
+  if (rest != nullptr)
+    *rest = end;
+  else if (*end != '\0')
+    bad_token(token, "trailing text after duration");
+  if (!(parsed >= 0.0)) bad_token(token, "duration must be >= 0");
+  return parsed * scale;
+}
+
+/// "NODE@phase2" / "NODE@t30s" -> kill cue; "NODE@t12s[:2s]" -> stall cue.
+std::pair<std::string, std::string> split_at(const std::string& token,
+                                             const std::string& value) {
+  const auto at = value.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 == value.size())
+    bad_token(token, "expected NODE@...");
+  return {value.substr(0, at), value.substr(at + 1)};
+}
+
+}  // namespace
+
+// ---- LinkFaults -------------------------------------------------------------
+
+bool LinkFaults::expendable(MessageType type) {
+  switch (type) {
+    case MessageType::kSampleBatch:
+    case MessageType::kNodeSummary:
+    case MessageType::kMetricUpdate:
+    case MessageType::kTraceSpans:
+    case MessageType::kCounterSnapshot:
+    case MessageType::kFlightRecord:
+      return true;
+    default:
+      return false;
+  }
+}
+
+LinkFaults::Verdict LinkFaults::on_send(MessageType type, std::size_t payload_size) {
+  Verdict verdict;
+  // Fixed draw order per armed fault keeps the stream reproducible: the
+  // k-th frame of a given eligibility class always consumes the same draws.
+  if (expendable(type)) {
+    if (drop_ > 0.0 && rng_.chance(drop_)) verdict.drop = true;
+    if (corrupt_ > 0.0 && rng_.chance(corrupt_) && payload_size > 0)
+      verdict.corrupt_bit = rng_.below(payload_size * 8);
+    if (truncate_ > 0.0 && rng_.chance(truncate_) && payload_size > 0)
+      verdict.truncate_to = rng_.below(payload_size);
+  }
+  if (delay_s_ > 0.0) {
+    double delay = delay_s_;
+    if (delay_jitter_s_ > 0.0) delay += rng_.uniform(-delay_jitter_s_, delay_jitter_s_);
+    if (delay > 0.0) verdict.delay_s = delay;
+  }
+  return verdict;
+}
+
+// ---- FaultPlan --------------------------------------------------------------
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const std::string token = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size())
+      bad_token(token, "expected key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "seed") {
+      plan.seed = strings::parse_u64(value, "--chaos seed");
+    } else if (key == "drop") {
+      plan.drop = parse_probability(token, value);
+    } else if (key == "corrupt") {
+      plan.corrupt = parse_probability(token, value);
+    } else if (key == "truncate") {
+      plan.truncate = parse_probability(token, value);
+    } else if (key == "delay") {
+      // "5ms", "5ms±3ms", or the ASCII spelling "5ms+-3ms".
+      std::string rest;
+      plan.delay_s = parse_duration(token, value, &rest);
+      if (!rest.empty()) {
+        if (rest.rfind("\xc2\xb1", 0) == 0)
+          rest = rest.substr(2);
+        else if (rest.rfind("+-", 0) == 0)
+          rest = rest.substr(2);
+        else
+          bad_token(token, "expected ±JITTER after the mean delay");
+        plan.delay_jitter_s = parse_duration(token, rest);
+      }
+    } else if (key == "kill") {
+      const auto [node, when] = split_at(token, value);
+      KillCue cue;
+      cue.node = node;
+      if (when.rfind("phase", 0) == 0) {
+        cue.phase = static_cast<std::uint32_t>(
+            strings::parse_u64(when.substr(5), "--chaos kill phase"));
+      } else if (when[0] == 't') {
+        cue.t_s = parse_duration(token, when.substr(1));
+      } else {
+        bad_token(token, "expected @phaseK or @tXs");
+      }
+      plan.kills.push_back(std::move(cue));
+    } else if (key == "stall") {
+      const auto [node, when] = split_at(token, value);
+      if (when.empty() || when[0] != 't') bad_token(token, "expected @tXs[:DUR]");
+      StallCue cue;
+      cue.node = node;
+      std::string rest;
+      cue.t_s = parse_duration(token, when.substr(1), &rest);
+      if (!rest.empty()) {
+        if (rest[0] != ':') bad_token(token, "expected :DUR after the stall time");
+        cue.duration_s = parse_duration(token, rest.substr(1));
+      }
+      plan.stalls.push_back(std::move(cue));
+    } else {
+      bad_token(token, "unknown key");
+    }
+  }
+  return plan;
+}
+
+LinkFaults FaultPlan::link(const std::string& node_name) const {
+  return LinkFaults(drop, corrupt, truncate, delay_s, delay_jitter_s,
+                    seed ^ fnv1a(node_name));
+}
+
+bool FaultPlan::node_matches(const std::string& cue, const std::string& node_name) {
+  if (cue == node_name) return true;
+  std::size_t digits = 0;
+  if (cue.rfind("node", 0) == 0)
+    digits = 4;
+  else if (cue.rfind("n", 0) == 0)
+    digits = 1;
+  else
+    return false;
+  const std::string index = cue.substr(digits);
+  if (index.empty()) return false;
+  for (const char c : index)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  // "n5"/"node5" match the loopback names "n5" and "n5-zen2".
+  const std::string prefix = "n" + index;
+  return node_name == prefix || node_name.rfind(prefix + "-", 0) == 0;
+}
+
+const KillCue* FaultPlan::kill_for(const std::string& node_name) const {
+  for (const KillCue& cue : kills)
+    if (node_matches(cue.node, node_name)) return &cue;
+  return nullptr;
+}
+
+const StallCue* FaultPlan::stall_for(const std::string& node_name) const {
+  for (const StallCue& cue : stalls)
+    if (node_matches(cue.node, node_name)) return &cue;
+  return nullptr;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out = strings::format("seed=%llu", static_cast<unsigned long long>(seed));
+  if (drop > 0.0) out += strings::format(",drop=%g%%", drop * 100.0);
+  if (corrupt > 0.0) out += strings::format(",corrupt=%g%%", corrupt * 100.0);
+  if (truncate > 0.0) out += strings::format(",truncate=%g%%", truncate * 100.0);
+  if (delay_s > 0.0) {
+    out += strings::format(",delay=%gms", delay_s * 1e3);
+    if (delay_jitter_s > 0.0) out += strings::format("+-%gms", delay_jitter_s * 1e3);
+  }
+  for (const KillCue& cue : kills) {
+    if (cue.phase)
+      out += strings::format(",kill=%s@phase%u", cue.node.c_str(), *cue.phase);
+    else
+      out += strings::format(",kill=%s@t%gs", cue.node.c_str(), *cue.t_s);
+  }
+  for (const StallCue& cue : stalls)
+    out += strings::format(",stall=%s@t%gs:%gs", cue.node.c_str(), cue.t_s,
+                           cue.duration_s);
+  return out;
+}
+
+}  // namespace fs2::cluster

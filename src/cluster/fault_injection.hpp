@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/messages.hpp"
+#include "util/rng.hpp"
+
+namespace fs2::cluster {
+
+/// Deterministic exponential backoff with seeded jitter. Reconnecting
+/// agents draw their retry delays from one of these; the schedule is a pure
+/// function of (options, seed, attempt count), so tests can replay it
+/// against a fake clock and two agents with different seeds never
+/// synchronize their reconnect storms.
+class Backoff {
+ public:
+  struct Options {
+    double base_s = 0.05;   ///< first retry delay
+    double factor = 2.0;    ///< growth per attempt
+    double max_s = 2.0;     ///< ceiling on the nominal delay
+    double jitter = 0.2;    ///< ± fraction of the nominal delay
+    std::uint64_t seed = 1;
+  };
+
+  Backoff() : Backoff(Options()) {}
+  explicit Backoff(Options options) : options_(options), rng_(options.seed) {}
+
+  /// Delay to wait before the next attempt; advances the schedule. One RNG
+  /// draw per call, so the sequence is reproducible from the seed alone.
+  double next_s() {
+    double nominal = options_.base_s;
+    for (std::uint32_t i = 0; i < attempt_ && nominal < options_.max_s; ++i)
+      nominal *= options_.factor;
+    if (nominal > options_.max_s) nominal = options_.max_s;
+    ++attempt_;
+    const double spread = nominal * options_.jitter;
+    const double delay = nominal + rng_.uniform(-spread, spread);
+    return delay > 0.0 ? delay : options_.base_s;
+  }
+
+  void reset() { attempt_ = 0; }
+  std::uint32_t attempts() const { return attempt_; }
+
+ private:
+  Options options_;
+  Xoshiro256 rng_;
+  std::uint32_t attempt_ = 0;
+};
+
+/// Kill an agent when it reaches a phase (`node7@phase2`) or an
+/// epoch-elapsed time (`node7@t30s`). The agent drops its connection
+/// without ceremony — mid-frame as far as the coordinator can tell — and
+/// comes back through the reconnect/rejoin path. Fires once per run.
+struct KillCue {
+  std::string node;
+  std::optional<std::uint32_t> phase;  ///< fire when this phase begins
+  std::optional<double> t_s;           ///< or at this epoch-elapsed time
+};
+
+/// Freeze an agent for a window (`node3@t12s` or `node3@t12s:2s`): it stops
+/// reading and writing its socket but keeps the connection open — a hung
+/// peer, the failure mode deadlines exist for.
+struct StallCue {
+  std::string node;
+  double t_s = 0.0;
+  double duration_s = 1.0;
+};
+
+/// Per-connection fault injector, consulted by Connection::send. Each link
+/// gets its own RNG stream seeded from plan seed ^ hash(node name), so one
+/// node's fault schedule does not depend on how many frames its neighbours
+/// sent — the same seed reproduces the same per-link schedule at any fleet
+/// size.
+class LinkFaults {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Verdict {
+    bool drop = false;
+    std::size_t corrupt_bit = kNone;   ///< payload bit to flip (kNone = don't)
+    std::size_t truncate_to = kNone;   ///< new payload size (kNone = don't)
+    double delay_s = 0.0;              ///< hold the frame this long
+  };
+
+  LinkFaults(double drop, double corrupt, double truncate, double delay_s,
+             double delay_jitter_s, std::uint64_t seed)
+      : drop_(drop),
+        corrupt_(corrupt),
+        truncate_(truncate),
+        delay_s_(delay_s),
+        delay_jitter_s_(delay_jitter_s),
+        rng_(seed) {}
+
+  /// Decide this frame's fate. Drop/corrupt/truncate only ever hit
+  /// expendable telemetry frames — losing control-plane frames (phase-go,
+  /// budget exchange, brackets) would model a fault the protocol is not
+  /// meant to absorb silently; control-path failure is modelled at the
+  /// connection level (stall/kill) where deadlines and rejoin recover it.
+  /// Delay applies to everything: ordering is preserved, so a slow link is
+  /// survivable by design.
+  Verdict on_send(MessageType type, std::size_t payload_size);
+
+  /// True for frames the protocol can lose without corrupting the verdict:
+  /// telemetry, summaries, metric deltas, trace spans, flight records.
+  static bool expendable(MessageType type);
+
+ private:
+  double drop_, corrupt_, truncate_;
+  double delay_s_, delay_jitter_s_;
+  Xoshiro256 rng_;
+};
+
+/// A parsed --chaos specification: seeded probabilities for the link-level
+/// faults plus the kill/stall cue list. Example:
+///
+///   --chaos "seed=7,drop=1%,delay=5ms±3ms,corrupt=0.1%,stall=node3@t12s,kill=node7@phase2"
+///
+/// The plan is recorded verbatim in the flight dump (describe()), so a
+/// failing chaos run can be replayed bit-for-bit from its black box.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop = 0.0;      ///< P(drop) per expendable frame
+  double corrupt = 0.0;   ///< P(flip one payload bit)
+  double truncate = 0.0;  ///< P(shorten the frame; the decoder must object)
+  double delay_s = 0.0;   ///< mean added latency, all frames
+  double delay_jitter_s = 0.0;
+  std::vector<KillCue> kills;
+  std::vector<StallCue> stalls;
+
+  /// Parse the comma-separated spec; throws ConfigError with the offending
+  /// token on any grammar violation.
+  static FaultPlan parse(const std::string& spec);
+
+  /// True when any per-frame fault is armed (kill/stall cues alone leave
+  /// the transport untouched).
+  bool link_faults_enabled() const {
+    return drop > 0.0 || corrupt > 0.0 || truncate > 0.0 || delay_s > 0.0;
+  }
+
+  /// The injector for one agent->coordinator link.
+  LinkFaults link(const std::string& node_name) const;
+
+  const KillCue* kill_for(const std::string& node_name) const;
+  const StallCue* stall_for(const std::string& node_name) const;
+
+  /// Canonical one-line spec (round-trips through parse) for logs and the
+  /// flight dump.
+  std::string describe() const;
+
+  /// Cue-to-node matching: "node5" and "n5" both select the loopback agent
+  /// "n5-zen2"; a full name matches exactly.
+  static bool node_matches(const std::string& cue, const std::string& node_name);
+};
+
+}  // namespace fs2::cluster

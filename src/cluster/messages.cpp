@@ -27,6 +27,8 @@ const char* to_string(MessageType type) {
     case MessageType::kStatusReply: return "status-reply";
     case MessageType::kMetricUpdate: return "metric-update";
     case MessageType::kFlightRecord: return "flight-record";
+    case MessageType::kRejoin: return "rejoin";
+    case MessageType::kRejoinAck: return "rejoin-ack";
   }
   return "?";
 }
@@ -95,6 +97,7 @@ Frame CampaignMsg::encode() const {
   w.f64(budget_band);
   w.u8(trace_enabled);
   w.f64(metrics_interval_s);
+  w.u64(campaign_id);
   return make_frame(MessageType::kCampaign, std::move(w));
 }
 
@@ -108,6 +111,7 @@ CampaignMsg CampaignMsg::decode(WireReader& in) {
   m.budget_band = in.f64();
   m.trace_enabled = in.u8();
   m.metrics_interval_s = in.f64();
+  m.campaign_id = in.u64();
   return m;
 }
 
@@ -493,6 +497,40 @@ FlightRecordMsg FlightRecordMsg::decode(WireReader& in) {
   return m;
 }
 
+Frame RejoinMsg::encode() const {
+  WireWriter w;
+  w.u32(version);
+  w.str(node_name);
+  w.u64(campaign_id);
+  w.u32(phases_ended);
+  return make_frame(MessageType::kRejoin, std::move(w));
+}
+
+RejoinMsg RejoinMsg::decode(WireReader& in) {
+  RejoinMsg m;
+  m.version = in.u32();
+  m.node_name = in.str();
+  m.campaign_id = in.u64();
+  m.phases_ended = in.u32();
+  return m;
+}
+
+Frame RejoinAckMsg::encode() const {
+  WireWriter w;
+  w.u8(accepted);
+  w.u32(resume_phase);
+  w.str(detail);
+  return make_frame(MessageType::kRejoinAck, std::move(w));
+}
+
+RejoinAckMsg RejoinAckMsg::decode(WireReader& in) {
+  RejoinAckMsg m;
+  m.accepted = in.u8();
+  m.resume_phase = in.u32();
+  m.detail = in.str();
+  return m;
+}
+
 Frame StatusRequestMsg::encode() const {
   WireWriter w;
   w.u32(version);
@@ -527,6 +565,7 @@ Frame StatusReplyMsg::encode() const {
     w.f64(n.level);
     w.u8(n.lost);
     w.f64(n.last_metrics_age_s);
+    w.u32(n.rejoins);
   }
   w.u32(static_cast<std::uint32_t>(spreads.size()));
   for (const StatusSpreadRec& s : spreads) {
@@ -562,7 +601,7 @@ StatusReplyMsg StatusReplyMsg::decode(WireReader& in) {
   m.budget_w = in.f64();
   m.fleet_healthy = in.u8();
   const std::uint32_t node_count = in.u32();
-  if (in.remaining() < static_cast<std::size_t>(node_count) * 66)
+  if (in.remaining() < static_cast<std::size_t>(node_count) * 70)
     throw WireError("cluster wire: status reply shorter than its node count");
   m.nodes.reserve(node_count);
   for (std::uint32_t i = 0; i < node_count; ++i) {
@@ -579,6 +618,7 @@ StatusReplyMsg StatusReplyMsg::decode(WireReader& in) {
     n.level = in.f64();
     n.lost = in.u8();
     n.last_metrics_age_s = in.f64();
+    n.rejoins = in.u32();
     m.nodes.push_back(std::move(n));
   }
   const std::uint32_t spread_count = in.u32();

@@ -23,8 +23,11 @@ namespace fs2::cluster {
 /// agents stream incremental registry deltas mid-run (kMetricUpdate,
 /// CampaignMsg.metrics_interval_s) and ship a flight-recorder dump on
 /// abnormal exit (kFlightRecord); status replies carry per-node health
-/// (lost flag, metric-update age) plus the coordinator's alert log.
-constexpr std::uint32_t kProtocolVersion = 4;
+/// (lost flag, metric-update age) plus the coordinator's alert log. v5:
+/// chaos hardening — campaigns carry a run-unique campaign id, lost agents
+/// reconnect and present a kRejoin/kRejoinAck handshake (node name +
+/// campaign id + last completed phase), and status node rows count rejoins.
+constexpr std::uint32_t kProtocolVersion = 5;
 
 /// One framed message on the coordinator<->agent TCP stream. The transport
 /// prefixes `u32 length` (payload size + 1 for the type byte); the first
@@ -50,6 +53,8 @@ enum class MessageType : std::uint8_t {
   kStatusReply = 18,     ///< coordinator -> client: fleet health snapshot
   kMetricUpdate = 19,    ///< agent -> coordinator: incremental registry delta
   kFlightRecord = 20,    ///< agent -> coordinator: flight-recorder dump (abnormal exit)
+  kRejoin = 21,          ///< agent -> coordinator: reconnect handshake after a loss
+  kRejoinAck = 22,       ///< coordinator -> agent: rejoin verdict + resume phase
 };
 
 const char* to_string(MessageType type);
@@ -98,6 +103,10 @@ struct CampaignMsg {
   std::uint8_t trace_enabled = 0; ///< 1 = record spans, ship kTraceSpans at end
   /// kMetricUpdate cadence in seconds; 0 disables in-run metric shipping.
   double metrics_interval_s = 1.0;
+  /// Run-unique id (derived from the coordinator's seed + start time). A
+  /// rejoining agent echoes it so the coordinator can tell "my agent coming
+  /// back" from "an agent of some other run dialing the wrong port".
+  std::uint64_t campaign_id = 0;
   Frame encode() const;
   static CampaignMsg decode(WireReader& in);
 };
@@ -257,6 +266,34 @@ struct FlightRecordMsg {
   static FlightRecordMsg decode(WireReader& in);
 };
 
+/// Reconnect handshake: a previously-admitted agent dialing back in after
+/// losing its connection. Sent instead of kHello on the fresh socket; the
+/// coordinator validates the (name, campaign id) pair against its node
+/// table, answers kRejoinAck, re-runs clock sync, and re-ships the
+/// campaign + epoch so the agent can resume at the acked phase.
+struct RejoinMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string node_name;
+  std::uint64_t campaign_id = 0;
+  std::uint32_t phases_ended = 0;  ///< last completed phase count on the agent
+  Frame encode() const;
+  static RejoinMsg decode(WireReader& in);
+};
+
+/// The coordinator's rejoin verdict. `resume_phase` is the phase the agent
+/// must run next — the coordinator's released-barrier prefix, which may be
+/// ahead of the agent's own count when phase-gos were lost with the
+/// connection. On resume_phase == phase count the agent goes straight to
+/// its verdict. `accepted == 0` means the handshake was refused (unknown
+/// node, wrong campaign, stale protocol); `detail` says why.
+struct RejoinAckMsg {
+  std::uint8_t accepted = 0;
+  std::uint32_t resume_phase = 0;
+  std::string detail;
+  Frame encode() const;
+  static RejoinAckMsg decode(WireReader& in);
+};
+
 /// Live health probe. Any TCP client may connect to the coordinator port,
 /// send one of these, and read back a single kStatusReply — the connection
 /// is closed afterwards and never counts against --nodes.
@@ -281,6 +318,7 @@ struct StatusNodeRec {
   std::uint8_t lost = 0;        ///< connection dropped mid-campaign
   /// Seconds since the node's last kMetricUpdate (-1 = none yet / disabled).
   double last_metrics_age_s = -1.0;
+  std::uint32_t rejoins = 0;    ///< successful reconnect handshakes
 };
 
 /// One phase's begin-spread row inside a status reply.

@@ -147,6 +147,18 @@ void AnomalyDetector::on_node_lost(std::size_t node, const std::string& why,
   raise("node-lost", s.name, why, now_s);
 }
 
+void AnomalyDetector::on_node_recovered(std::size_t node, double now_s) {
+  if (node >= states_.size()) states_.resize(node + 1);
+  NodeState& s = states_[node];
+  if (!s.lost) return;
+  s.lost = false;
+  s.flatlined = false;
+  s.diverged = false;
+  s.beyond_band = 0;
+  s.last_update_s = now_s;  // restart the flat-line clock from the rejoin
+  raise("node-recovered", s.name, "rejoined after loss", now_s);
+}
+
 void AnomalyDetector::on_node_done(std::size_t node) {
   if (node >= states_.size()) states_.resize(node + 1);
   states_[node].done = true;

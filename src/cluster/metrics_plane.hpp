@@ -54,7 +54,8 @@ class MetricStore {
 };
 
 /// One detected anomaly. `kind` is a closed vocabulary so scripts can match
-/// on it: "flatline" | "divergence" | "straggler" | "node-lost".
+/// on it: "flatline" | "divergence" | "straggler" | "node-lost" |
+/// "node-recovered".
 struct Alert {
   std::string kind;
   std::string node;   ///< offending node ("" = fleet-wide)
@@ -92,6 +93,10 @@ class AnomalyDetector {
   void on_phase_spread(const std::string& phase, const std::string& straggler,
                        double spread_s, double now_s);
   void on_node_lost(std::size_t node, const std::string& why, double now_s);
+  /// The node rejoined after a loss: edge-triggered "node-recovered" alert,
+  /// and its health flags reset so the fresh incarnation is judged on its
+  /// own behavior (the alert log keeps the excursion).
+  void on_node_recovered(std::size_t node, double now_s);
   /// The node delivered its verdict: it legitimately stops shipping updates
   /// now, so the flat-line sweep must leave it alone.
   void on_node_done(std::size_t node);

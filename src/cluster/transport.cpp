@@ -1,5 +1,7 @@
 #include "cluster/transport.hpp"
 
+#include "cluster/fault_injection.hpp"
+
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
@@ -8,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -29,19 +32,42 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+/// Bound every blocking send: a peer that stops reading (stalled agent,
+/// dead network) must surface as a WireError within the deadline instead
+/// of wedging the sender forever once the socket buffer fills.
+void set_send_deadline(int fd) {
+  timeval tv{};
+  tv.tv_sec = 30;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+double mono_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 // ---- Connection -------------------------------------------------------------
 
 Connection::Connection(int fd) : fd_(fd) {
-  if (fd_ >= 0) set_nodelay(fd_);
+  if (fd_ >= 0) {
+    set_nodelay(fd_);
+    set_send_deadline(fd_);
+  }
 }
 
 Connection::~Connection() { close(); }
 
 Connection::Connection(Connection&& other) noexcept
-    : fd_(other.fd_), send_buf_(std::move(other.send_buf_)) {
+    : fd_(other.fd_),
+      send_buf_(std::move(other.send_buf_)),
+      faults_(other.faults_),
+      pending_(std::move(other.pending_)) {
   other.fd_ = -1;
+  other.faults_ = nullptr;
+  other.pending_.clear();
 }
 
 Connection& Connection::operator=(Connection&& other) noexcept {
@@ -49,7 +75,11 @@ Connection& Connection::operator=(Connection&& other) noexcept {
     close();
     fd_ = other.fd_;
     send_buf_ = std::move(other.send_buf_);
+    faults_ = other.faults_;
+    pending_ = std::move(other.pending_);
     other.fd_ = -1;
+    other.faults_ = nullptr;
+    other.pending_.clear();
   }
   return *this;
 }
@@ -59,6 +89,7 @@ void Connection::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  pending_.clear();
 }
 
 Connection Connection::connect(const std::string& endpoint, double retry_for_s) {
@@ -103,6 +134,8 @@ void Connection::write_all(const std::uint8_t* data, std::size_t size) {
     const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw WireError("cluster: send timed out (peer stopped reading)");
       throw WireError("cluster: send failed (" + errno_text() + ")");
     }
     data += n;
@@ -129,6 +162,31 @@ bool Connection::read_all(std::uint8_t* data, std::size_t size, bool eof_ok) {
 
 void Connection::send(MessageType type, const std::uint8_t* payload, std::size_t size) {
   if (fd_ < 0) throw WireError("cluster: send on a closed connection");
+  double delay_s = 0.0;
+  if (faults_ != nullptr) {
+    const LinkFaults::Verdict verdict = faults_->on_send(type, size);
+    if (verdict.drop) return;
+    if (verdict.truncate_to != LinkFaults::kNone && verdict.truncate_to < size)
+      // Frame-level truncation: the length prefix matches the bytes
+      // actually sent, so the stream never desyncs — the DECODER sees a
+      // short payload and must throw cleanly (what the hardening corpus
+      // asserts), while the transport keeps framing.
+      size = verdict.truncate_to;
+    delay_s = verdict.delay_s;
+    if (verdict.corrupt_bit != LinkFaults::kNone && verdict.corrupt_bit < size * 8) {
+      assemble(type, payload, size);
+      send_buf_[5 + verdict.corrupt_bit / 8] ^=
+          static_cast<std::uint8_t>(1u << (verdict.corrupt_bit % 8));
+      enqueue_or_write(delay_s);
+      return;
+    }
+  }
+  assemble(type, payload, size);
+  enqueue_or_write(delay_s);
+}
+
+void Connection::assemble(MessageType type, const std::uint8_t* payload,
+                          std::size_t size) {
   // One contiguous buffer, one send(2). Copying the payload into the
   // scratch costs nanoseconds; the second syscall (and the Nagle-less
   // two-segment wakeup it causes on the peer) costs microseconds. No
@@ -141,7 +199,34 @@ void Connection::send(MessageType type, const std::uint8_t* payload, std::size_t
     send_buf_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(length >> (8 * i));
   send_buf_[4] = static_cast<std::uint8_t>(type);
   if (size > 0) std::memcpy(send_buf_.data() + 5, payload, size);
-  write_all(send_buf_.data(), send_buf_.size());
+}
+
+void Connection::enqueue_or_write(double delay_s) {
+  // FIFO past any held frame: delays slow the stream but never reorder it
+  // (due times are monotonic along the queue).
+  if (delay_s <= 0.0 && pending_.empty()) {
+    write_all(send_buf_.data(), send_buf_.size());
+    return;
+  }
+  flush_pending();
+  double due = mono_s() + delay_s;
+  if (!pending_.empty() && pending_.back().due_s > due) due = pending_.back().due_s;
+  if (pending_.empty() && delay_s <= 0.0) {
+    write_all(send_buf_.data(), send_buf_.size());
+    return;
+  }
+  pending_.push_back({due, send_buf_});
+}
+
+double Connection::flush_pending() {
+  while (!pending_.empty()) {
+    const double now = mono_s();
+    if (pending_.front().due_s > now) return pending_.front().due_s - now;
+    const PendingFrame frame = std::move(pending_.front());
+    pending_.pop_front();
+    write_all(frame.bytes.data(), frame.bytes.size());
+  }
+  return 0.0;
 }
 
 void Connection::send(const Frame& frame) {
@@ -150,11 +235,25 @@ void Connection::send(const Frame& frame) {
 
 bool Connection::recv_into(Frame& frame, double timeout_s) {
   if (fd_ < 0) throw WireError("cluster: recv on a closed connection");
-  if (timeout_s >= 0.0) {
-    pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1000.0));
-    if (ready < 0) throw WireError("cluster: poll failed (" + errno_text() + ")");
-    if (ready == 0) return false;
+  if (timeout_s >= 0.0 || !pending_.empty()) {
+    // Bound each poll by the next delayed frame's due time so chaos-held
+    // sends still drain while this side blocks waiting for the peer — the
+    // peer may be waiting on exactly the frame we are holding.
+    const double deadline = timeout_s >= 0.0 ? mono_s() + timeout_s : -1.0;
+    for (;;) {
+      double wait_s = deadline < 0.0 ? -1.0 : std::max(0.0, deadline - mono_s());
+      if (!pending_.empty()) {
+        const double until_due = flush_pending();
+        if (until_due > 0.0 && (wait_s < 0.0 || until_due < wait_s)) wait_s = until_due;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready =
+          ::poll(&pfd, 1, wait_s < 0.0 ? -1 : static_cast<int>(wait_s * 1000.0));
+      if (ready < 0) throw WireError("cluster: poll failed (" + errno_text() + ")");
+      if (ready > 0) break;
+      if (!pending_.empty()) flush_pending();
+      if (deadline >= 0.0 && mono_s() >= deadline) return false;
+    }
   }
   std::uint8_t header[5];
   if (!read_all(header, sizeof header, /*eof_ok=*/true))
@@ -209,6 +308,11 @@ Listener::Listener(std::uint16_t port, bool loopback_only) {
 
 Listener::~Listener() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
 }
 
 Connection Listener::accept(double timeout_s) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -8,6 +9,8 @@
 #include "cluster/messages.hpp"
 
 namespace fs2::cluster {
+
+class LinkFaults;
 
 /// One framed, blocking TCP connection between coordinator and agent.
 /// Frames are `u32 length | u8 type | payload` with the length covering
@@ -59,18 +62,44 @@ class Connection {
   int fd() const { return fd_; }
   void close();
 
+  /// Attach a chaos injector (nullptr = disabled, the production path: one
+  /// pointer compare per send). The injector is consulted on every outgoing
+  /// frame; delayed frames are held in a FIFO so chaos never reorders the
+  /// stream, only slows it.
+  void set_faults(LinkFaults* faults) { faults_ = faults; }
+
+  /// Frames held back by a delay fault and not yet written.
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Write every held frame whose due time has arrived. Returns seconds
+  /// until the next held frame is due, or 0 when none remain — cooperative
+  /// reactors (SimFleet) call this each iteration so delayed frames drain
+  /// even while the owning agent is idle.
+  double flush_pending();
+
   /// Upper bound on a frame (type + payload). A sample batch of 4096
   /// samples is ~64 KiB; anything near this limit indicates a corrupt or
   /// hostile length prefix, not real traffic.
   static constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
  private:
+  struct PendingFrame {
+    double due_s = 0.0;  ///< monotonic seconds when the frame may be written
+    std::vector<std::uint8_t> bytes;
+  };
+
   void write_all(const std::uint8_t* data, std::size_t size);
   /// False = clean EOF before any byte (peer closed between frames).
   bool read_all(std::uint8_t* data, std::size_t size, bool eof_ok);
+  /// Build header + payload in send_buf_.
+  void assemble(MessageType type, const std::uint8_t* payload, std::size_t size);
+  /// Write send_buf_ now, or queue it behind delayed frames.
+  void enqueue_or_write(double delay_s);
 
   int fd_ = -1;
   std::vector<std::uint8_t> send_buf_;  ///< header+payload assembly scratch
+  LinkFaults* faults_ = nullptr;        ///< chaos injector; null in production
+  std::deque<PendingFrame> pending_;    ///< delay-faulted frames, FIFO
 };
 
 /// Listening TCP socket for the coordinator. Binds immediately (port 0
@@ -94,6 +123,11 @@ class Listener {
   /// Raw socket for poll(2) — the coordinator's event loop watches the
   /// listener alongside agent connections to serve status clients mid-run.
   int fd() const { return fd_; }
+
+  /// Stop listening (idempotent). Connections still sitting in the accept
+  /// backlog are reset, so a late rejoiner fails fast instead of waiting on
+  /// a socket nobody will ever serve.
+  void close();
 
  private:
   int fd_ = -1;

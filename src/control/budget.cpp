@@ -20,6 +20,8 @@ BudgetApportioner::BudgetApportioner(double target_w, std::size_t nodes)
     : target_w_(target_w),
       nodes_(nodes),
       achieved_w_(nodes, target_w / std::max<std::size_t>(nodes, 1)),
+      active_(nodes, 1),
+      active_count_(nodes),
       totals_(kWindowCapacity) {
   if (!(target_w > 0.0)) throw Error("BudgetApportioner: target must be > 0 W");
   if (nodes == 0) throw Error("BudgetApportioner: need at least one node");
@@ -28,21 +30,59 @@ BudgetApportioner::BudgetApportioner(double target_w, std::size_t nodes)
 double BudgetApportioner::on_report(std::size_t node, double achieved_w) {
   if (node >= nodes_) throw Error("BudgetApportioner: node index out of range");
   achieved_w_[node] = std::max(achieved_w, 0.0);
+  if (!active_[node]) {
+    // A report from a node we marked lost means the loss was one-sided (the
+    // send path died, the recv path limped on). Treat the report as proof of
+    // life rather than dropping live watts on the floor.
+    active_[node] = 1;
+    ++active_count_;
+  }
   const double total = total_achieved_w();
   totals_.push(total);
+  return share_w(node);
+}
+
+void BudgetApportioner::on_node_lost(std::size_t node) {
+  if (node >= nodes_ || !active_[node]) return;
+  active_[node] = 0;
+  --active_count_;
+  // Snapshot the post-loss total so the convergence window immediately
+  // reflects the smaller fleet instead of averaging in the dead node's
+  // stale watts.
+  totals_.push(total_achieved_w());
+}
+
+void BudgetApportioner::on_node_rejoin(std::size_t node) {
+  if (node >= nodes_ || active_[node]) return;
+  active_[node] = 1;
+  ++active_count_;
+  // Equal re-seed across the whole live set, not just the returner: the
+  // proportional update only rescales ratios, so seeding the rejoiner into
+  // the survivors' inflated distribution would freeze it at a squeezed
+  // share and settle the fleet multiplicatively — too slow to re-converge
+  // within the interrupted phase.
+  for (std::size_t i = 0; i < nodes_; ++i)
+    if (active_[i]) achieved_w_[i] = initial_share_w();
+  totals_.push(total_achieved_w());
+}
+
+double BudgetApportioner::share_w(std::size_t node) const {
+  if (node >= nodes_) throw Error("BudgetApportioner: node index out of range");
+  if (!active_[node]) return 0.0;  // lost nodes hold no share until rejoin
+  const double total = total_achieved_w();
   // Proportional reallocation. A node with no meaningful reading yet (cold
   // meter, ramp-in) keeps its equal share — the proportional formula would
   // assign it ~0 and a power loop cannot prove itself from a 0 W target.
   double next = achieved_w_[node] > 1.0 && total > 1e-6
                     ? achieved_w_[node] * target_w_ / total
                     : initial_share_w();
-  next = std::clamp(next, 1.0, target_w_);
-  return next;
+  return std::clamp(next, 1.0, target_w_);
 }
 
 double BudgetApportioner::total_achieved_w() const {
   double total = 0.0;
-  for (double a : achieved_w_) total += a;
+  for (std::size_t i = 0; i < nodes_; ++i)
+    if (active_[i]) total += achieved_w_[i];
   return total;
 }
 

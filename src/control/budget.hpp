@@ -43,8 +43,35 @@ class BudgetApportioner {
   /// [1 W, budget]).
   double on_report(std::size_t node, double achieved_w);
 
-  /// Sum of the latest achieved watts across nodes (unreported nodes count
-  /// as their initial share).
+  /// The node's connection died: drop it from the live set at the MOMENT of
+  /// loss. Its stale achieved sample stops counting toward the cluster
+  /// total immediately, so the next report from every survivor sees a
+  /// smaller denominator and absorbs the dead node's share of the budget —
+  /// no waiting for a phase boundary.
+  void on_node_lost(std::size_t node);
+
+  /// The node rejoined: back into the live set, and EVERY live node is
+  /// re-seeded at the initial equal share. Proportional reallocation only
+  /// rescales the existing distribution — rejoining into a fleet whose
+  /// survivors absorbed the freed watts would trap the returner at the
+  /// squeezed ratio of its cold ramp-in and chase the whole fleet down a
+  /// slow multiplicative settle. Equal re-seeding jumps straight to the
+  /// homogeneous fixed point and lets capacity differences re-emerge from
+  /// real reports.
+  void on_node_rejoin(std::size_t node);
+
+  bool active(std::size_t node) const { return node < active_.size() && active_[node]; }
+  std::size_t active_count() const { return active_count_; }
+
+  /// The setpoint the current snapshot implies for `node` — same formula as
+  /// on_report but without folding a new sample. The coordinator uses this
+  /// to push fresh assignments to survivors at the moment a node is lost
+  /// instead of waiting for their next reports. A lost node holds no share
+  /// (0 W) until it rejoins.
+  double share_w(std::size_t node) const;
+
+  /// Sum of the latest achieved watts across LIVE nodes (unreported nodes
+  /// count as their initial share; lost nodes count as nothing).
   double total_achieved_w() const;
 
   /// Reset the convergence window (call at campaign phase boundaries so a
@@ -65,6 +92,9 @@ class BudgetApportioner {
   /// Latest achieved watts per node; seeded with the equal share so nodes
   /// that have not reported yet count as it.
   std::vector<double> achieved_w_;
+  /// Live mask: lost nodes are excluded from the total until they rejoin.
+  std::vector<char> active_;
+  std::size_t active_count_;
   telemetry::RingBuffer<double> totals_;  ///< window of total snapshots
 };
 

@@ -147,9 +147,35 @@ double FeedbackLoop::trailing_mean(double window_s) const {
 }
 
 bool FeedbackLoop::converged(double window_s) const {
-  const TrailingStats stats = trailing_stats(window_s);
-  if (stats.samples < 2) return false;
-  return std::abs(stats.mean - setpoint_.value) <= setpoint_.band * setpoint_.value;
+  // Judge each tick against the target it was asked to hold. The apportioner
+  // re-tunes the share every budget round, so tiny in-band drift must NOT
+  // split segments — only a material step (loss/rejoin reapportion) does.
+  // Walk segments newest-first: a segment that had a full window and still
+  // sits off-band is a failed loop; a segment too fresh to have settled
+  // (the re-tune landed near phase end) defers to the previous target,
+  // which the loop did have time to track.
+  std::size_t end = ticks_.size();
+  while (end > 0) {
+    const double target = ticks_[end - 1].setpoint;
+    const double tol = setpoint_.band * target;
+    std::size_t begin = end;
+    while (begin > 0 && std::abs(ticks_[begin - 1].setpoint - target) <= tol) --begin;
+    const double cutoff = ticks_[end - 1].time_s - window_s;
+    double sum = 0.0;
+    std::size_t samples = 0;
+    for (std::size_t i = end; i-- > begin && ticks_[i].time_s >= cutoff;) {
+      sum += ticks_[i].measurement;
+      ++samples;
+    }
+    if (samples >= 2) {
+      const double mean = sum / static_cast<double>(samples);
+      if (std::abs(mean - target) <= tol) return true;
+      // Off-band with the whole window behind it: the loop failed to track.
+      if (ticks_[begin].time_s <= cutoff) return false;
+    }
+    end = begin;  // segment was partial (or too short) and off-band: defer
+  }
+  return false;
 }
 
 // ---- ControlLogSink ---------------------------------------------------------

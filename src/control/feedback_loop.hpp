@@ -94,6 +94,13 @@ class FeedbackLoop {
   /// Converged = the mean measurement over the trailing `window_s` seconds
   /// of telemetry is within the setpoint's band (default +-2 %). False until
   /// the window has at least two ticks.
+  ///
+  /// Ticks are judged against the target they were asked to hold, not
+  /// blindly against the latest one: a material mid-window retune (the
+  /// coordinator reapportioning the budget when a node is lost or rejoins)
+  /// starts a new segment, and a segment too fresh to have settled defers
+  /// the verdict to the previous target's segment instead of poisoning the
+  /// mean with samples that were tracking the old value.
   bool converged(double window_s) const;
 
   /// Mean measurement over the trailing `window_s` of telemetry (0 when no

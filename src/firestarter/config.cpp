@@ -155,6 +155,14 @@ Config parse_args(int argc, const char* const* argv) {
       cfg.flight_out = take(inline_value, args, flag);
       if (cfg.flight_out->empty())
         throw ConfigError("--flight-out: file path must not be empty");
+    } else if (flag == "--chaos") {
+      cfg.chaos_spec = take(inline_value, args, flag);
+      if (cfg.chaos_spec->empty())
+        throw ConfigError("--chaos: spec must not be empty");
+    } else if (flag == "--rejoin-grace") {
+      cfg.rejoin_grace_s = strings::parse_double(take(inline_value, args, flag), flag);
+      if (!(cfg.rejoin_grace_s >= 0.0 && cfg.rejoin_grace_s <= 600.0))
+        throw ConfigError("--rejoin-grace must be within [0, 600] seconds");
     } else if (flag == "--fuzz") {
       cfg.fuzz = true;
     } else if (flag == "--fuzz-seed") {
@@ -384,6 +392,15 @@ Cluster orchestration (coordinator/agent fleet runs):
                                ring of recent alerts, events, and metric
                                snapshots rewritten to FILE as the run
                                progresses and dumped on SIGTERM/SIGINT
+  --chaos SPEC                 deterministic fault injection (coordinator):
+                               seeded drop/corrupt/truncate/delay on the
+                               fleet's telemetry links plus kill/stall cues,
+                               e.g. "seed=7,drop=1%,delay=5ms+-3ms,
+                               kill=node5@phase1". Same seed, same schedule;
+                               the plan is recorded in the flight dump
+  --rejoin-grace SEC           how long a lost node may rejoin before the
+                               coordinator gives up on it (default 2;
+                               barriers hold during the window)
 
 Payload pattern fuzzer (randomized scenario discovery):
   --fuzz                       randomly compose payload patterns (memory-access

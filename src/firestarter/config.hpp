@@ -87,6 +87,14 @@ struct Config {
   /// FILE on every update and dumped (async-signal-safely) on SIGTERM/
   /// SIGINT or a watchdog trip.
   std::optional<std::string> flight_out;
+  /// --chaos SPEC: deterministic fault injection on a coordinator run, e.g.
+  /// "seed=7,drop=1%,delay=5ms+-3ms,corrupt=0.1%,kill=node5@phase1". The
+  /// seeded plan is replayable bit-for-bit and recorded in the flight dump.
+  std::optional<std::string> chaos_spec;
+  /// --rejoin-grace SEC: how long a lost node may take to rejoin before the
+  /// coordinator gives up on it (barriers hold during the window; 0 gives
+  /// up immediately).
+  double rejoin_grace_s = 2.0;
 
   // Payload pattern fuzzer (fuzz/ subsystem: randomized scenario discovery
   // over the simulated plant, locally or fanned across a --loopback fleet).

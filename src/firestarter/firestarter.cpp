@@ -718,90 +718,114 @@ int Firestarter::run_campaign(cluster::AgentSession* session) {
   // idle-settled temperature. (Open-loop phases advance the carry through a
   // first-order settle toward their mean-power steady state.)
   std::optional<double> carry_temp_c;
+  // Fully completed phases — the credential a rejoin presents so the
+  // coordinator can credit them instead of re-running the whole campaign.
+  std::uint32_t phases_done = 0;
   std::size_t phase_index = 0;
-  for (const sched::CampaignPhase& spec : campaign.phases()) {
+  while (phase_index < campaign.size()) {
+    const sched::CampaignPhase& spec = campaign.phases()[phase_index];
     const ResolvedPhase& res = resolved[phase_index];
-    const payload::FunctionDef& fn = *res.fn;
-    const auto groups = resolve_phase_groups(cfg_, spec, fn);
+    try {
+      const payload::FunctionDef& fn = *res.fn;
+      const auto groups = resolve_phase_groups(cfg_, spec, fn);
 
-    // Fleet barrier: phases after the first wait for the coordinator's
-    // phase-go (sent once every node finished the previous phase), so
-    // transitions stay in lockstep even when nodes run at different wall
-    // speeds. The budget setpoint is re-read AFTER the barrier so the
-    // phase starts from the latest apportionment.
-    std::optional<control::Setpoint> active_sp = res.setpoint;
-    if (session != nullptr) {
-      session->begin_phase(static_cast<std::uint32_t>(phase_index));
-      if (budget_mode) active_sp->value = session->current_setpoint_w();
-    }
-
-    out_ << strings::format("phase %zu '%s': %s for %.0f s (%s)\n", phase_index + 1,
-                            spec.name.c_str(), fn.name.c_str(), spec.duration_s,
-                            active_sp ? active_sp->describe().c_str()
-                                      : res.profile->describe().c_str());
-
-    const TrimDeltas deltas = phase_deltas(cfg_, spec.duration_s);
-    // Fleet trace: bracket the phase in local wall time (sim phases run in
-    // virtual time, but their wall extent is what aligns across nodes).
-    const double phase_span_begin_s = trace::now_s();
-    bus.begin_phase(spec.name, spec.duration_s, deltas.start_s, deltas.stop_s);
-    // Campaign time of this phase's start — also the virtual preheat the
-    // simulator's thermal/leakage models have accumulated.
-    const double campaign_time_s = bus.phase().time_offset_s;
-
-    if (target.simulated) {
-      payload::CompileOptions options = compile_options(cfg_);
-      if (spec.unroll) options.unroll = *spec.unroll;
-      const auto stats = payload::analyze_payload(fn.mix, groups, target.caches, options);
-      if (active_sp) {
-        const ControlledSimPhase phase = run_sim_controlled_phase(
-            system, cfg_, stats, *active_sp, spec.duration_s, cfg_.seed + phase_index,
-            campaign_time_s, target.gpu_stress, spec.freq_mhz, spec.threads,
-            carry_temp_c, bus, sim_channels, session);
-        carry_temp_c = phase.final_temp_c;
-        all_converged &=
-            report_convergence(*phase.loop, spec.duration_s, "phase '" + spec.name + "'");
-      } else {
-        Config phase_cfg = cfg_;
-        if (spec.freq_mhz) phase_cfg.sim_freq_mhz = *spec.freq_mhz;
-        if (spec.threads) phase_cfg.threads = *spec.threads;
-        const SimPhaseResult result =
-            run_sim_phase(system, phase_cfg, stats, *res.profile, spec.duration_s,
-                          cfg_.seed + phase_index, campaign_time_s, target.gpu_stress,
-                          bus, sim_channels, carry_temp_c);
-        // Advance the thermal carry through this open-loop phase too — the
-        // exact integrated temperature when the phase published the temp
-        // channel, otherwise a first-order settle toward the phase's
-        // mean-power steady state — so a later temp-target phase doesn't
-        // inherit a stale (or idle-cold) package after e.g. 300 s of load.
-        if (result.final_temp_c) {
-          carry_temp_c = result.final_temp_c;
-        } else if (result.samples > 0) {
-          carry_temp_c = advance_thermal_carry(system, spec.duration_s,
-                                               result.mean_power_w, carry_temp_c);
-        }
+      // Fleet barrier: phases after the first wait for the coordinator's
+      // phase-go (sent once every node finished the previous phase), so
+      // transitions stay in lockstep even when nodes run at different wall
+      // speeds. The budget setpoint is re-read AFTER the barrier so the
+      // phase starts from the latest apportionment.
+      std::optional<control::Setpoint> active_sp = res.setpoint;
+      if (session != nullptr) {
+        session->begin_phase(static_cast<std::uint32_t>(phase_index));
+        if (budget_mode) active_sp->value = session->current_setpoint_w();
       }
-      bus.end_phase();
-    } else {
-      const HostPhaseOutput output = run_host_phase(
-          cfg_, target, fn, groups, res.profile,
-          active_sp ? &*active_sp : nullptr, spec.threads, spec.duration_s, bus,
-          gpu_stress.get(), session);
-      if (output.loop)
-        all_converged &= report_convergence(*output.loop, spec.duration_s,
-                                            "phase '" + spec.name + "'");
-      // Advance by the *actual* phase length: the 50 ms sampling loop
-      // overruns the nominal duration slightly, and a nominal offset would
-      // make the next phase's first timestamps non-monotonic (the trace
-      // recorder would silently drop them).
-      bus.end_phase(output.elapsed_s);
+
+      out_ << strings::format("phase %zu '%s': %s for %.0f s (%s)\n", phase_index + 1,
+                              spec.name.c_str(), fn.name.c_str(), spec.duration_s,
+                              active_sp ? active_sp->describe().c_str()
+                                        : res.profile->describe().c_str());
+
+      const TrimDeltas deltas = phase_deltas(cfg_, spec.duration_s);
+      // Fleet trace: bracket the phase in local wall time (sim phases run in
+      // virtual time, but their wall extent is what aligns across nodes).
+      const double phase_span_begin_s = trace::now_s();
+      bus.begin_phase(spec.name, spec.duration_s, deltas.start_s, deltas.stop_s);
+      // Campaign time of this phase's start — also the virtual preheat the
+      // simulator's thermal/leakage models have accumulated.
+      const double campaign_time_s = bus.phase().time_offset_s;
+
+      if (target.simulated) {
+        payload::CompileOptions options = compile_options(cfg_);
+        if (spec.unroll) options.unroll = *spec.unroll;
+        const auto stats = payload::analyze_payload(fn.mix, groups, target.caches, options);
+        if (active_sp) {
+          const ControlledSimPhase phase = run_sim_controlled_phase(
+              system, cfg_, stats, *active_sp, spec.duration_s, cfg_.seed + phase_index,
+              campaign_time_s, target.gpu_stress, spec.freq_mhz, spec.threads,
+              carry_temp_c, bus, sim_channels, session);
+          carry_temp_c = phase.final_temp_c;
+          all_converged &=
+              report_convergence(*phase.loop, spec.duration_s, "phase '" + spec.name + "'");
+        } else {
+          Config phase_cfg = cfg_;
+          if (spec.freq_mhz) phase_cfg.sim_freq_mhz = *spec.freq_mhz;
+          if (spec.threads) phase_cfg.threads = *spec.threads;
+          const SimPhaseResult result =
+              run_sim_phase(system, phase_cfg, stats, *res.profile, spec.duration_s,
+                            cfg_.seed + phase_index, campaign_time_s, target.gpu_stress,
+                            bus, sim_channels, carry_temp_c);
+          // Advance the thermal carry through this open-loop phase too — the
+          // exact integrated temperature when the phase published the temp
+          // channel, otherwise a first-order settle toward the phase's
+          // mean-power steady state — so a later temp-target phase doesn't
+          // inherit a stale (or idle-cold) package after e.g. 300 s of load.
+          if (result.final_temp_c) {
+            carry_temp_c = result.final_temp_c;
+          } else if (result.samples > 0) {
+            carry_temp_c = advance_thermal_carry(system, spec.duration_s,
+                                                 result.mean_power_w, carry_temp_c);
+          }
+        }
+        bus.end_phase();
+      } else {
+        const HostPhaseOutput output = run_host_phase(
+            cfg_, target, fn, groups, res.profile,
+            active_sp ? &*active_sp : nullptr, spec.threads, spec.duration_s, bus,
+            gpu_stress.get(), session);
+        if (output.loop)
+          all_converged &= report_convergence(*output.loop, spec.duration_s,
+                                              "phase '" + spec.name + "'");
+        // Advance by the *actual* phase length: the 50 ms sampling loop
+        // overruns the nominal duration slightly, and a nominal offset would
+        // make the next phase's first timestamps non-monotonic (the trace
+        // recorder would silently drop them).
+        bus.end_phase(output.elapsed_s);
+      }
+      if (session != nullptr)
+        session->add_span("phase:" + spec.name, phase_span_begin_s, trace::now_s());
+      // Open-loop sim phases run in virtual time with no inner wall loop;
+      // the phase edge is their shipping point.
+      if (session != nullptr && session->metrics_due()) session->ship_metrics();
+      ++phase_index;
+      phases_done = static_cast<std::uint32_t>(phase_index);
+    } catch (const cluster::WireError& e) {
+      if (session == nullptr) throw;
+      // Lost the coordinator link mid-campaign: mute the sink while the
+      // half-run phase is closed locally (its partial telemetry and the
+      // implicit end bracket must not hit the wire), rejoin with backoff,
+      // then resume at the coordinator-assigned phase.
+      log::warn() << "cluster link lost during phase " << phase_index + 1 << ": "
+                  << e.what() << " — rejoining";
+      session->sink().mute(true);
+      if (bus.in_phase()) bus.end_phase();
+      const std::uint32_t resume = session->rejoin(phases_done);
+      session->sink().rewind_phase(resume);
+      session->sink().mute(false);
+      trace::FlightRecorder::instance().note_event(
+          strings::format("rejoined; resuming at phase %u", resume));
+      phase_index = resume;
+      phases_done = resume;
     }
-    if (session != nullptr)
-      session->add_span("phase:" + spec.name, phase_span_begin_s, trace::now_s());
-    // Open-loop sim phases run in virtual time with no inner wall loop;
-    // the phase edge is their shipping point.
-    if (session != nullptr && session->metrics_due()) session->ship_metrics();
-    ++phase_index;
   }
 
   if (gpu_stress) {
@@ -867,6 +891,19 @@ int Firestarter::run_coordinator() {
     log::warn() << "--nodes is ignored under --loopback (fleet size comes from the "
                    "spec list)";
 
+  // The chaos plan parses before anything binds, and its canonical spec is
+  // recorded in the flight dump — a failing chaos run replays bit-for-bit
+  // from `--chaos "<recorded spec>"`.
+  std::optional<cluster::FaultPlan> chaos;
+  if (cfg_.chaos_spec) {
+    chaos = cluster::FaultPlan::parse(*cfg_.chaos_spec);
+    if (loopback.empty())
+      log::warn() << "--chaos drives loopback agents; real remote agents only "
+                     "see its effects indirectly (lost links, held barriers)";
+    out_ << "chaos: " << chaos->describe() << "\n";
+    trace::FlightRecorder::instance().note_event("chaos plan: " + chaos->describe());
+  }
+
   cluster::Coordinator::Options options;
   // Loopback fleets default to an ephemeral port: the agents learn it
   // in-process, and CI runs cannot collide on a fixed one. An explicit
@@ -882,6 +919,7 @@ int Firestarter::run_coordinator() {
   options.seed = cfg_.seed;
   options.trace = cfg_.trace_out.has_value();
   options.metrics_interval_s = cfg_.metrics_interval_s;
+  options.rejoin_grace_s = cfg_.rejoin_grace_s;
   if (budget) {
     // Fail before accepting anyone: every phase must fit the controller
     // tick and the budget cadence the agents will run.
@@ -912,7 +950,8 @@ int Firestarter::run_coordinator() {
     const std::uint16_t port = coordinator->port();
     fleet_thread = std::thread([&, port] {
       try {
-        fleet = std::make_unique<SimFleet>(cfg_, loopback, port);
+        fleet = std::make_unique<SimFleet>(cfg_, loopback, port,
+                                           chaos ? &*chaos : nullptr);
         fleet->run();
       } catch (const std::exception& e) {
         fleet_error = e.what();
@@ -1023,8 +1062,8 @@ int Firestarter::run_status() {
 
   if (!status.nodes.empty()) {
     double total_achieved = 0.0, total_setpoint = 0.0;
-    Table table({"node", "sku", "state", "phase", "offset ms", "rtt ms", "setpoint W",
-                 "achieved W", "level %", "metrics age"});
+    Table table({"node", "sku", "state", "phase", "rejoins", "offset ms", "rtt ms",
+                 "setpoint W", "achieved W", "level %", "metrics age"});
     for (const cluster::StatusNodeRec& node : status.nodes) {
       total_achieved += node.achieved_w;
       total_setpoint += node.setpoint_w;
@@ -1032,6 +1071,7 @@ int Firestarter::run_status() {
           {node.name, node.sku,
            node.lost != 0 ? "lost" : (node.connected ? "connected" : "gone"),
            strings::format("%u/%u", node.phases_ended, status.phase_count),
+           node.rejoins > 0 ? std::to_string(node.rejoins) : "-",
            strings::format("%+.2f", node.clock_offset_s * 1e3),
            strings::format("%.2f", node.clock_rtt_s * 1e3),
            node.setpoint_w > 0.0 ? strings::format("%.1f", node.setpoint_w) : "-",

@@ -75,11 +75,47 @@ std::vector<LoopbackSpec> parse_loopback_specs(const std::string& list) {
 
 // ---- SimAgent ---------------------------------------------------------------
 
-SimAgent::SimAgent(Config cfg, const std::string& endpoint, std::size_t index)
+SimAgent::SimAgent(Config cfg, const std::string& endpoint, std::size_t index,
+                   const cluster::FaultPlan* plan, std::optional<RejoinSpec> rejoin)
     : cfg_(std::move(cfg)),
       node_name_(cfg_.node_name ? *cfg_.node_name
                                 : strings::format("n%zu", index)),
-      conn_(cluster::Connection::connect(endpoint, /*retry_for_s=*/30.0)) {
+      // A first-incarnation agent may start well before the coordinator's
+      // listener is up, so it retries long. A rejoiner dials a coordinator
+      // that was provably listening moments ago — if the port now refuses,
+      // the run is over (grace expired, listener closed) and a long retry
+      // would only delay the fleet's own shutdown.
+      conn_(cluster::Connection::connect(endpoint,
+                                         /*retry_for_s=*/rejoin ? 5.0 : 30.0)),
+      rejoin_(rejoin) {
+  if (plan != nullptr) {
+    if (plan->link_faults_enabled()) {
+      faults_.emplace(plan->link(node_name_));
+      conn_.set_faults(&*faults_);
+    }
+    // Cues fire once per run: a rejoined incarnation does not re-arm them
+    // (its predecessor already consumed the kill).
+    if (!rejoin_) {
+      if (const cluster::KillCue* kill = plan->kill_for(node_name_))
+        kill_cue_ = *kill;
+      if (const cluster::StallCue* stall = plan->stall_for(node_name_))
+        stall_cue_ = *stall;
+    }
+  }
+  if (rejoin_) {
+    cluster::RejoinMsg msg;
+    msg.node_name = node_name_;
+    msg.campaign_id = rejoin_->campaign_id;
+    msg.phases_ended = rejoin_->phases_ended;
+    conn_.send(msg.encode());
+    await_rejoin_ack_ = true;
+    // Bounded wait: the coordinator may have finished (or given this node
+    // up and shut down) between the kill and this respawn, leaving the
+    // handshake sitting in a backlog nobody serves.
+    ack_deadline_ = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    phases_ended_ = rejoin_->phases_ended;
+    return;
+  }
   cluster::HelloMsg hello;
   hello.node_name = node_name_;
   std::string sku = to_string(cfg_.target);
@@ -87,6 +123,49 @@ SimAgent::SimAgent(Config cfg, const std::string& endpoint, std::size_t index)
     sku += strings::format("@%.0fMHz", cfg_.sim_freq_mhz);
   hello.sku = sku;
   conn_.send(hello.encode());
+}
+
+void SimAgent::die(const std::string& why) {
+  log::warn() << "[" << node_name_ << "] chaos kill: " << why;
+  // No ceremony — no flight record, no goodbye. The coordinator sees a dead
+  // link mid-stream, exactly like a real crash.
+  conn_.close();
+  killed_ = true;
+  state_ = State::kDone;
+  wait_ = Wait::kDone;
+}
+
+bool SimAgent::kill_due() const {
+  if (!kill_cue_ || killed_) return false;
+  if (kill_cue_->phase) return *kill_cue_->phase == phase_index_;
+  if (kill_cue_->t_s) return have_epoch_ && epoch_elapsed_s() >= *kill_cue_->t_s;
+  return false;
+}
+
+bool SimAgent::maybe_stall() {
+  if (stalled_) return true;
+  if (!stall_cue_ || stall_fired_ || !have_epoch_) return false;
+  if (epoch_elapsed_s() < stall_cue_->t_s) return false;
+  stall_fired_ = true;
+  stalled_ = true;
+  stall_resume_ = wait_;
+  wake_time_ = epoch_time_ + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     stall_cue_->t_s + stall_cue_->duration_s));
+  wait_ = Wait::kUntil;
+  log::warn() << "[" << node_name_ << "] chaos stall: frozen for "
+              << stall_cue_->duration_s << "s";
+  return true;
+}
+
+double SimAgent::flush_pending() {
+  if (!conn_.valid() || !conn_.has_pending()) return 0.0;
+  try {
+    return conn_.flush_pending();
+  } catch (const std::exception& e) {
+    fail(e.what());
+    return 0.0;
+  }
 }
 
 void SimAgent::fail(const std::string& what) {
@@ -188,6 +267,28 @@ void SimAgent::prepare_campaign() {
   channels_ = register_sim_channels(bus_, /*with_temp=*/any_target || any_temp,
                                     /*trimmed_aux=*/true, /*summarize_load=*/true);
   next_metrics_s_ = campaign_.metrics_interval_s;
+  wake_time_ = epoch_time_;
+  if (rejoin_) {
+    // Resume where the previous incarnation died. The coordinator already
+    // credited the completed phases — they are never re-run. The fresh
+    // sink's phase counter must agree: its first begin bracket has to carry
+    // the coordinator-assigned resume index, not 0.
+    phase_index_ = resume_phase_;
+    phases_ended_ = resume_phase_;
+    sink_->rewind_phase(resume_phase_);
+    if (phase_index_ >= phases_->size()) {
+      send_verdict();  // everything already ran; only the verdict is owed
+      return;
+    }
+    if (phase_index_ == 0) {
+      state_ = State::kWaitStart;  // epoch may be in the past: fires at once
+      wait_ = Wait::kUntil;
+    } else {
+      state_ = State::kAwaitGo;  // the phase-go replay (or release) is coming
+      wait_ = Wait::kFrame;
+    }
+    return;
+  }
   state_ = State::kWaitStart;
   wait_ = Wait::kUntil;
 }
@@ -214,6 +315,10 @@ void SimAgent::begin_phase() {
   next_budget_s_ = campaign_.budget_interval_s;
   state_ = State::kRunPhase;
   wait_ = Wait::kRun;
+  // A phase-cued kill fires right after the begin bracket: the coordinator
+  // has counted the node into the phase, then the link goes dark mid-phase.
+  if (kill_cue_ && kill_cue_->phase && *kill_cue_->phase == phase_index_)
+    die(strings::format("kill cue at phase %zu", phase_index_));
 }
 
 void SimAgent::send_budget_report() {
@@ -237,6 +342,11 @@ void SimAgent::send_budget_report() {
 
 void SimAgent::advance() {
   if (state_ != State::kRunPhase) return;
+  if (maybe_stall()) return;
+  if (kill_due()) {
+    die(strings::format("kill cue at t=%.1fs", epoch_elapsed_s()));
+    return;
+  }
   try {
     const sched::CampaignPhase& spec = phases_->phases()[phase_index_];
     const ResolvedPhase& res = resolved_[phase_index_];
@@ -253,6 +363,11 @@ void SimAgent::advance() {
       while (!run_->done()) {
         const double t = run_->step();
         maybe_ship_metrics();
+        if (kill_due()) {
+          die(strings::format("kill cue at t=%.1fs", epoch_elapsed_s()));
+          return;
+        }
+        if (maybe_stall()) return;  // resume this step loop after the window
         if (budget && t >= next_budget_s_ - 1e-9) {
           send_budget_report();
           return;  // resume from the coordinator's reassignment
@@ -285,6 +400,7 @@ void SimAgent::advance() {
 
 void SimAgent::finish_phase() {
   bus_.end_phase();
+  ++phases_ended_;
   if (tracing()) {
     spans_.push_back(trace::Span{"phase:" + phases_->phases()[phase_index_].name,
                                  phase_open_s_, trace::now_s()});
@@ -296,6 +412,10 @@ void SimAgent::finish_phase() {
     wait_ = Wait::kFrame;
     return;
   }
+  send_verdict();
+}
+
+void SimAgent::send_verdict() {
   bus_.finish();
   // The final metric delta ships before the verdict so the coordinator's
   // folded series equal this node's final registry totals.
@@ -341,6 +461,20 @@ void SimAgent::handle_frame(const cluster::Frame& frame) {
       if (have_campaign_ && have_epoch_) prepare_campaign();
       break;
     }
+    case cluster::MessageType::kRejoinAck: {
+      const cluster::RejoinAckMsg ack = cluster::RejoinAckMsg::decode(reader);
+      if (!await_rejoin_ack_)
+        throw cluster::WireError("agent " + node_name_ + ": unsolicited rejoin ack");
+      await_rejoin_ack_ = false;
+      ack_deadline_ = std::chrono::steady_clock::time_point::max();
+      if (ack.accepted == 0)
+        throw cluster::WireError("agent " + node_name_ +
+                                 ": rejoin refused: " + ack.detail);
+      resume_phase_ = ack.resume_phase;
+      log::info() << "[" << node_name_ << "] rejoin accepted "
+                  << log::kv("resume_phase", ack.resume_phase);
+      break;
+    }
     case cluster::MessageType::kPhaseGo: {
       const cluster::PhaseGoMsg go = cluster::PhaseGoMsg::decode(reader);
       if (state_ != State::kAwaitGo || go.phase_index != phase_index_)
@@ -379,6 +513,7 @@ void SimAgent::handle_frame(const cluster::Frame& frame) {
 
 void SimAgent::on_readable() {
   if (state_ == State::kDone) return;
+  if (maybe_stall()) return;  // frozen: stop reading; frames queue in the kernel
   try {
     cluster::Frame frame;
     // Drain everything available without blocking; each frame may flip the
@@ -391,6 +526,16 @@ void SimAgent::on_readable() {
 }
 
 void SimAgent::on_time() {
+  if (stalled_) {
+    // The stall window ended: thaw and pick up where the freeze hit.
+    stalled_ = false;
+    wait_ = stall_resume_;
+    return;
+  }
+  if (await_rejoin_ack_ && std::chrono::steady_clock::now() >= ack_deadline_) {
+    fail("rejoin handshake timed out (coordinator gone or unresponsive)");
+    return;
+  }
   if (state_ != State::kWaitStart) return;
   try {
     begin_phase();  // phase 0's barrier is the epoch itself
@@ -402,9 +547,11 @@ void SimAgent::on_time() {
 // ---- SimFleet ---------------------------------------------------------------
 
 SimFleet::SimFleet(const Config& base, const std::vector<LoopbackSpec>& specs,
-                   std::uint16_t port) {
-  const std::string endpoint = strings::format("127.0.0.1:%u", port);
+                   std::uint16_t port, const cluster::FaultPlan* plan)
+    : endpoint_(strings::format("127.0.0.1:%u", port)) {
+  if (plan != nullptr) plan_ = *plan;
   agents_.reserve(specs.size());
+  configs_.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     Config cfg = base;
     cfg.coordinator = false;
@@ -413,13 +560,16 @@ SimFleet::SimFleet(const Config& base, const std::vector<LoopbackSpec>& specs,
     cfg.target_spec.reset();
     cfg.record_trace.reset();
     cfg.control_log.reset();
+    cfg.chaos_spec.reset();
     cfg.measurement = false;
     cfg.require_convergence = false;
     cfg.target = specs[i].target;
     cfg.sim_freq_mhz = specs[i].freq_mhz;
     cfg.node_name = strings::format("n%zu-%s", i, specs[i].name.c_str());
     cfg.seed = base.seed + i + 1;  // decorrelate the nodes' meter noise
-    agents_.push_back(std::make_unique<SimAgent>(std::move(cfg), endpoint, i));
+    configs_.push_back(cfg);
+    agents_.push_back(std::make_unique<SimAgent>(
+        std::move(cfg), endpoint_, i, plan_ ? &*plan_ : nullptr));
   }
 }
 
@@ -435,12 +585,65 @@ void SimFleet::run() {
   for (;;) {
     iterations.add();
     TRACE_SPAN("reactor.iteration");
+
+    // Chaos-killed agents respawn as rejoining replacements after a
+    // deterministic backoff delay (seeded from the plan, not the clock).
+    const Clock::time_point now = Clock::now();
+    if (respawn_tries_.size() < agents_.size()) respawn_tries_.resize(agents_.size(), 0);
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      // One respawn per node: the replacement's connect already retries for
+      // 30 s, so a second failure means the coordinator is gone for good.
+      if (!agents_[i]->killed() || respawn_tries_[i] > 0) continue;
+      ++respawn_tries_[i];
+      cluster::Backoff::Options bopts;
+      bopts.seed = (plan_ ? plan_->seed : 1) * 0x9E3779B97F4A7C15ull + i;
+      cluster::Backoff backoff(bopts);
+      Respawn rs;
+      rs.index = i;
+      rs.due = now + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(backoff.next_s()));
+      rs.spec.campaign_id = agents_[i]->campaign_id();
+      rs.spec.phases_ended = agents_[i]->phases_ended();
+      respawns_.push_back(rs);
+    }
+    for (std::size_t r = 0; r < respawns_.size();) {
+      if (now < respawns_[r].due) {
+        ++r;
+        continue;
+      }
+      const Respawn rs = respawns_[r];
+      respawns_.erase(respawns_.begin() + r);
+      try {
+        agents_[rs.index] = std::make_unique<SimAgent>(
+            configs_[rs.index], endpoint_, rs.index,
+            plan_ ? &*plan_ : nullptr, rs.spec);
+      } catch (const std::exception& e) {
+        // Dial failed even after the connect retries: the dead incarnation
+        // stays in the slot and the outcome reports the crash.
+        log::warn() << "[fleet] respawn of " << configs_[rs.index].node_name.value_or("?")
+                    << " failed: " << e.what();
+      }
+    }
+
+    // Drain chaos-delayed frames that have come due, and learn how soon the
+    // next one is due so the poll timeout never overshoots it.
+    double pending_due_s = 0.0;
+    for (auto& agent : agents_) {
+      const double due = agent->flush_pending();
+      if (due > 0.0)
+        pending_due_s = pending_due_s == 0.0 ? due : std::min(pending_due_s, due);
+    }
+
     fds.clear();
     fd_agents.clear();
-    bool alive = false;
+    bool alive = !respawns_.empty();
     bool runnable = false;
     bool wake_pending = false;
     Clock::time_point next_wake = Clock::time_point::max();
+    for (const Respawn& r : respawns_) {
+      next_wake = std::min(next_wake, r.due);
+      wake_pending = true;
+    }
     for (std::size_t i = 0; i < agents_.size(); ++i) {
       switch (agents_[i]->wait()) {
         case SimAgent::Wait::kDone:
@@ -448,6 +651,10 @@ void SimFleet::run() {
         case SimAgent::Wait::kFrame:
           fds.push_back(pollfd{agents_[i]->fd(), POLLIN, 0});
           fd_agents.push_back(i);
+          if (agents_[i]->frame_deadline() != Clock::time_point::max()) {
+            next_wake = std::min(next_wake, agents_[i]->frame_deadline());
+            wake_pending = true;
+          }
           break;
         case SimAgent::Wait::kUntil:
           next_wake = std::min(next_wake, agents_[i]->wake_time());
@@ -469,6 +676,9 @@ void SimFleet::run() {
           next_wake - Clock::now());
       timeout_ms = static_cast<int>(std::clamp<long long>(until.count(), 0, 600000));
     }
+    if (pending_due_s > 0.0)
+      timeout_ms = std::min(timeout_ms,
+                            static_cast<int>(pending_due_s * 1000.0) + 1);
     const Clock::time_point poll_begin = Clock::now();
     const int ready =
         ::poll(fds.empty() ? nullptr : fds.data(), fds.size(), timeout_ms);
@@ -480,7 +690,7 @@ void SimFleet::run() {
         if (agent->wait() != SimAgent::Wait::kDone) agent->on_readable();
       break;
     }
-    if (ready == 0 && !runnable && !wake_pending) {
+    if (ready == 0 && !runnable && !wake_pending && pending_due_s == 0.0) {
       // Nothing runnable, nothing due, and 600 s of silence: mirror the
       // coordinator's stall verdict instead of spinning forever.
       for (std::size_t i = 0; i < agents_.size(); ++i)
@@ -492,10 +702,14 @@ void SimFleet::run() {
     // Epoch wakes and barrier releases first — every agent's begin bracket
     // hits the wire before any agent starts its phase compute.
     if (wake_pending) {
-      const Clock::time_point now = Clock::now();
-      for (auto& agent : agents_)
-        if (agent->wait() == SimAgent::Wait::kUntil && now >= agent->wake_time())
+      const Clock::time_point wake_now = Clock::now();
+      for (auto& agent : agents_) {
+        if (agent->wait() == SimAgent::Wait::kUntil && wake_now >= agent->wake_time())
           agent->on_time();
+        else if (agent->wait() == SimAgent::Wait::kFrame &&
+                 wake_now >= agent->frame_deadline())
+          agent->on_time();  // rejoin-ack deadline expired
+      }
     }
     if (ready > 0)
       for (std::size_t k = 0; k < fds.size(); ++k)
@@ -509,9 +723,13 @@ void SimFleet::run() {
   for (const auto& agent : agents_) {
     Outcome outcome;
     outcome.name = agent->name();
-    outcome.ok = !agent->failed() && agent->wait() == SimAgent::Wait::kDone;
+    // A killed() final incarnation means the respawn never made it back —
+    // the crash went unrecovered, which is a failure.
+    outcome.ok = !agent->failed() && !agent->killed() &&
+                 agent->wait() == SimAgent::Wait::kDone;
     outcome.error = agent->error();
-    if (!outcome.ok && outcome.error.empty()) outcome.error = "fleet stalled";
+    if (!outcome.ok && outcome.error.empty())
+      outcome.error = agent->killed() ? "chaos-killed, never rejoined" : "fleet stalled";
     outcomes_.push_back(std::move(outcome));
   }
 }

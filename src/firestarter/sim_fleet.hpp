@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/fault_injection.hpp"
 #include "cluster/messages.hpp"
 #include "cluster/remote_sink.hpp"
 #include "cluster/transport.hpp"
@@ -61,16 +62,46 @@ class SimAgent {
     kDone,   ///< finished (cleanly or with error())
   };
 
-  /// Connects and sends hello immediately (the coordinator's sequential
-  /// handshake finds every agent already dialed in).
-  SimAgent(Config cfg, const std::string& endpoint, std::size_t index);
+  /// A respawned agent's credentials: instead of hello it presents kRejoin
+  /// with these and resumes the campaign where its predecessor died.
+  struct RejoinSpec {
+    std::uint64_t campaign_id = 0;
+    std::uint32_t phases_ended = 0;
+  };
+
+  /// Connects and sends hello immediately (the coordinator's handshake
+  /// finds every agent already dialed in) — or, when `rejoin` is set, sends
+  /// the rejoin handshake of a crashed agent's replacement. `plan` (may be
+  /// null) arms this agent's link faults; kill/stall cues fire once per run
+  /// and are not re-armed on a rejoined incarnation.
+  SimAgent(Config cfg, const std::string& endpoint, std::size_t index,
+           const cluster::FaultPlan* plan = nullptr,
+           std::optional<RejoinSpec> rejoin = std::nullopt);
 
   Wait wait() const { return wait_; }
   int fd() const { return conn_.fd(); }
-  std::chrono::steady_clock::time_point wake_time() const { return epoch_time_; }
+  std::chrono::steady_clock::time_point wake_time() const { return wake_time_; }
+  /// While a kFrame wait has a deadline (the rejoin-ack wait: a coordinator
+  /// that finished or wedged would otherwise strand the replacement
+  /// forever), the time at which the wait gives up; time_point::max()
+  /// otherwise. The fleet folds this into its poll timeout and calls
+  /// on_time() past it.
+  std::chrono::steady_clock::time_point frame_deadline() const { return ack_deadline_; }
   const std::string& name() const { return node_name_; }
   bool failed() const { return failed_; }
   const std::string& error() const { return error_; }
+
+  /// A chaos kill cue fired: the agent dropped its socket without ceremony
+  /// and the fleet should spawn a rejoining replacement.
+  bool killed() const { return killed_; }
+  std::uint64_t campaign_id() const { return campaign_.campaign_id; }
+  std::uint32_t phases_ended() const { return phases_ended_; }
+
+  /// Write any delay-held frames that have come due; returns seconds until
+  /// the next held frame (0 = none pending). The fleet calls this every
+  /// iteration and bounds its poll timeout by the result, so chaos-delayed
+  /// frames drain even while the agent itself is blocked.
+  double flush_pending();
 
   /// Drain and handle every frame the socket has ready. Cheap: protocol
   /// transitions only (sync replies, begin brackets on phase-go, budget
@@ -107,8 +138,20 @@ class SimAgent {
   void prepare_campaign();
   void begin_phase();
   void finish_phase();
+  /// Final metrics flush + span ship + convergence verdict; await shutdown.
+  void send_verdict();
   void send_budget_report();
   void fail(const std::string& what);
+  /// Chaos kill: drop the socket without ceremony (mid-stream, as a real
+  /// crash would) and mark this incarnation dead so the fleet respawns a
+  /// rejoining replacement.
+  void die(const std::string& why);
+  /// True when the kill cue is due at the current point (phase begin or
+  /// epoch-elapsed time).
+  bool kill_due() const;
+  /// Arm the stall window if its cue time has passed: the agent stops
+  /// reading and writing (socket stays open) until the window ends.
+  bool maybe_stall();
   /// Ship one kMetricUpdate delta from this agent's PRIVATE registry when
   /// the wall-clock cadence is due (`force` flushes regardless — the final
   /// delta before the verdict). Hundreds of loopback agents share the
@@ -132,11 +175,33 @@ class SimAgent {
   bool failed_ = false;
   std::string error_;
 
+  // Chaos plumbing. The LinkFaults injector must outlive the connection
+  // that points at it, so the agent owns it by value.
+  std::optional<cluster::LinkFaults> faults_;
+  std::optional<cluster::KillCue> kill_cue_;
+  std::optional<cluster::StallCue> stall_cue_;
+  bool killed_ = false;
+  bool stall_fired_ = false;
+  bool stalled_ = false;
+  Wait stall_resume_ = Wait::kRun;  ///< wait to restore when the stall ends
+  std::uint32_t phases_ended_ = 0;
+
+  // Rejoin mode (replacement incarnation of a killed agent).
+  std::optional<RejoinSpec> rejoin_;
+  bool await_rejoin_ack_ = false;
+  std::uint32_t resume_phase_ = 0;
+  /// Deadline on the rejoin-ack wait; max() once the ack (or refusal) is in.
+  std::chrono::steady_clock::time_point ack_deadline_ =
+      std::chrono::steady_clock::time_point::max();
+
   // Handshake results.
   bool have_campaign_ = false;
   bool have_epoch_ = false;
   cluster::CampaignMsg campaign_;
   std::chrono::steady_clock::time_point epoch_time_;
+  /// What a Wait::kUntil is waiting for: the shared epoch, or the end of a
+  /// chaos stall window.
+  std::chrono::steady_clock::time_point wake_time_;
 
   // Campaign state (valid after prepare_campaign()).
   Target target_;
@@ -184,13 +249,16 @@ class SimFleet {
  public:
   /// `base` is the coordinator's Config; per-agent copies are derived the
   /// same way the old thread-per-agent path derived them (target/freq from
-  /// the spec, decorrelated seeds, cluster flags stripped).
+  /// the spec, decorrelated seeds, cluster flags stripped). `plan` (may be
+  /// null; copied) arms each agent's chaos faults and cues.
   SimFleet(const Config& base, const std::vector<LoopbackSpec>& specs,
-           std::uint16_t port);
+           std::uint16_t port, const cluster::FaultPlan* plan = nullptr);
 
   /// Run every agent to completion (call on a dedicated thread while the
   /// coordinator runs on the caller's). Never throws — per-agent failures
-  /// are recorded.
+  /// are recorded. Chaos-killed agents are respawned after a deterministic
+  /// backoff delay as rejoining replacements; the outcome row reflects the
+  /// final incarnation.
   void run();
 
   struct Outcome {
@@ -202,7 +270,19 @@ class SimFleet {
   bool all_ok() const;
 
  private:
+  /// A killed agent waiting for its replacement to dial back in.
+  struct Respawn {
+    std::size_t index = 0;
+    std::chrono::steady_clock::time_point due;
+    SimAgent::RejoinSpec spec;
+  };
+
+  std::string endpoint_;
+  std::optional<cluster::FaultPlan> plan_;
+  std::vector<Config> configs_;  ///< per-agent configs, kept for respawns
   std::vector<std::unique_ptr<SimAgent>> agents_;
+  std::vector<Respawn> respawns_;
+  std::vector<std::uint32_t> respawn_tries_;  ///< one respawn per node, ever
   std::vector<Outcome> outcomes_;
 };
 

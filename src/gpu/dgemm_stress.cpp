@@ -151,6 +151,7 @@ void DgemmStressor::device_main(Device& device) {
     auto sampled_load = [&profile](double w) {
       return std::clamp(profile->load_at(w), 0.0, 1.0);
     };
+    const auto epoch_before = epoch_ticks_.load(std::memory_order_acquire);
     const double t = elapsed_s();
     const double window = sched::PhaseClock::window_start(t, period);
     const double idle_until = window + period;
@@ -161,11 +162,14 @@ void DgemmStressor::device_main(Device& device) {
     }
     while (!stop_flag_.load(std::memory_order_acquire) && elapsed_s() < idle_until) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // A set_profile() epoch re-anchor snaps elapsed_s() back toward zero,
+      // which would leave this loop sleeping out the STALE window's
+      // idle_until against the new clock — bail so the outer loop re-reads
+      // the swapped schedule within ~1 ms.
+      if (epoch_ticks_.load(std::memory_order_acquire) != epoch_before) break;
       // Live profiles (the closed-loop controller) can raise the command
       // mid-window; cut the idle span short so actuation latency stays at
-      // ~1 ms instead of a whole window. A set_profile() epoch re-anchor
-      // also lands within ~1 ms: elapsed_s() snaps below idle_until's
-      // stale window and the outer loop re-reads the schedule.
+      // ~1 ms instead of a whole window.
       if (live && elapsed_s() < window + sampled_load(window) * period) break;
     }
   }

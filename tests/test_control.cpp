@@ -287,6 +287,53 @@ TEST(FeedbackLoop, UnreachableSetpointSaturatesWithoutWindup) {
   EXPECT_NEAR(loop->trailing_mean(7.5), 420.0, 0.05 * 420.0);
 }
 
+TEST(FeedbackLoop, LateRetuneDefersToThePreviousTarget) {
+  // A coordinator reapportioning the budget when a node rejoins can step the
+  // share moments before the phase-end verdict. The verdict must fall back
+  // to the target the loop actually had a window to hold, not condemn a
+  // settled loop for a step it was just handed.
+  const sim::Simulator sim = zen2_sim();
+  sim::PowerPlant plant(sim, full_load_point(420.0), /*seed=*/17);
+  const Setpoint sp = Setpoint::parse("power=333W");
+  auto profile = std::make_shared<ControlledProfile>(0.0);
+  FeedbackLoop loop(sp, profile, plant.power_span_w(), 0.0);
+  const double dt = sp.interval_s;
+  while (plant.state().time_s + dt <= 30.0 + 1e-9) {
+    const auto& st = plant.step(profile->level(), dt);
+    loop.tick(st.time_s, st.power_w);
+  }
+  ASSERT_TRUE(loop.converged(7.5));
+  loop.set_target(250.0);  // material step, two ticks before the verdict
+  for (int i = 0; i < 2; ++i) {
+    const auto& st = plant.step(profile->level(), dt);
+    loop.tick(st.time_s, st.power_w);
+  }
+  EXPECT_TRUE(loop.converged(7.5));
+}
+
+TEST(FeedbackLoop, LateRetuneDoesNotForgiveAnUnsettledLoop) {
+  // The fallback only reaches targets the loop tracked: if the previous
+  // target had a full window and the loop still sat off-band, a fresh
+  // retune must not launder the failure into a pass.
+  const sim::Simulator sim = zen2_sim();
+  sim::PowerPlant plant(sim, full_load_point(420.0), /*seed=*/19);
+  const Setpoint sp = Setpoint::parse("power=2000W");  // unreachable
+  auto profile = std::make_shared<ControlledProfile>(0.0);
+  FeedbackLoop loop(sp, profile, plant.power_span_w(), 0.0);
+  const double dt = sp.interval_s;
+  while (plant.state().time_s + dt <= 30.0 + 1e-9) {
+    const auto& st = plant.step(profile->level(), dt);
+    loop.tick(st.time_s, st.power_w);
+  }
+  ASSERT_FALSE(loop.converged(7.5));
+  loop.set_target(250.0);
+  for (int i = 0; i < 2; ++i) {
+    const auto& st = plant.step(profile->level(), dt);
+    loop.tick(st.time_s, st.power_w);
+  }
+  EXPECT_FALSE(loop.converged(7.5));
+}
+
 TEST(FeedbackLoop, RecoversQuicklyAfterUnreachableEpisode) {
   // Drive the same PID + plant by hand: a long unreachable episode must not
   // leave windup that delays the drop to a reachable setpoint.
